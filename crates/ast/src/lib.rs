@@ -1,0 +1,20 @@
+//! # systolic-ast
+//!
+//! The target abstract syntax of the systolizing compiler (Sec. 4,
+//! Appendix C) and its code generators.
+//!
+//! - [`syntax`] — the statement forms the final programs of Appendices
+//!   D.1.7 / D.2.7 / E.1.7 / E.2.7 are built from;
+//! - [`lower`] — assembly of a compiled plan into a full program
+//!   (channel declarations; input, buffer, computation, and output
+//!   processes under `par`);
+//! - [`printers`] — three renderings from the same tree: the paper's
+//!   notation, occam-like, and C-with-communication-directives.
+
+pub mod lower;
+pub mod printers;
+pub mod syntax;
+
+pub use lower::lower;
+pub use printers::{c_style, occam_style, paper_style};
+pub use syntax::{Program, Stmt};

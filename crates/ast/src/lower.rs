@@ -1,0 +1,736 @@
+//! Lowering a compiled [`SystolicProgram`] plan to the target abstract
+//! syntax: the final-program assembly of Appendices D.1.7, D.2.7, E.1.7,
+//! and E.2.7 — channel declarations, input processes, buffer processes,
+//! computation processes, output processes, composed in `par`.
+
+use crate::syntax::{Program, Stmt};
+use systolic_core::{StreamKind, StreamPlan, SystolicProgram};
+use systolic_ir::{ScalarExpr, SourceProgram};
+use systolic_math::affine::{display_point, AffinePoint};
+use systolic_math::{point, Affine, Piecewise, Var};
+
+/// Render an affine expression.
+fn aff(plan: &SystolicProgram, e: &Affine) -> String {
+    e.display(&plan.vars)
+}
+
+/// Render an affine point.
+fn pt(plan: &SystolicProgram, p: &[Affine]) -> String {
+    display_point(p, &plan.vars)
+}
+
+/// Substitute one coordinate throughout a guarded piecewise point and
+/// simplify (prune infeasible clauses).
+fn subst_pw<T: Clone>(
+    pw: &Piecewise<T>,
+    v: Var,
+    repl: &Affine,
+    mut f: impl FnMut(&T) -> T,
+) -> Piecewise<T> {
+    let mut clauses = Vec::new();
+    for (g, val) in pw.clauses() {
+        if let Some(g2) = g.substitute(v, repl).simplify() {
+            clauses.push((g2, f(val)));
+        }
+    }
+    Piecewise::new(clauses)
+}
+
+fn subst_point(p: &AffinePoint, v: Var, repl: &Affine) -> AffinePoint {
+    p.iter().map(|e| e.substitute(v, repl)).collect()
+}
+
+/// The coordinate point of a process, as affine expressions.
+fn coord_point(plan: &SystolicProgram) -> AffinePoint {
+    plan.coords.iter().map(|&c| Affine::var(c)).collect()
+}
+
+/// Channel index string for the channel *into* process `y` (`s_chan[y]`).
+fn chan_at(plan: &SystolicProgram, sp: &StreamPlan, y: &[Affine], shift: i64) -> String {
+    let idx: Vec<Affine> = y
+        .iter()
+        .zip(&sp.unit_flow)
+        .map(|(e, &u)| e.clone() + Affine::int(shift * u))
+        .collect();
+    format!(
+        "{}_chan[{}]",
+        sp.name,
+        idx.iter()
+            .map(|e| aff_string(plan, e))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn aff_string(plan: &SystolicProgram, e: &Affine) -> String {
+    e.display(&plan.vars)
+}
+
+/// The buffer channel at process `y` (`s_buff[y]`, Appendix D).
+fn buff_chan_at(plan: &SystolicProgram, sp: &StreamPlan, y: &[Affine]) -> String {
+    format!(
+        "{}_buff[{}]",
+        sp.name,
+        y.iter()
+            .map(|e| aff_string(plan, e))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+/// Render the basic statement: par-receive moving streams, the updates,
+/// par-send moving streams (the Appendix D/E basic-statement shape).
+fn render_basic_statement(plan: &SystolicProgram) -> Vec<Stmt> {
+    let src = &plan.source;
+    let y = coord_point(plan);
+    let mut recvs = Vec::new();
+    let mut sends = Vec::new();
+    for sp in &plan.streams {
+        if sp.kind == StreamKind::Moving {
+            // Fractional flows interpose buffer processes: the cell
+            // receives from the buffer channel family (D.1.7's
+            // `receive b from b_buff[col]`).
+            let in_chan = if sp.denominator > 1 {
+                buff_chan_at(plan, sp, &y)
+            } else {
+                chan_at(plan, sp, &y, 0)
+            };
+            recvs.push(Stmt::Recv {
+                var: sp.name.clone(),
+                chan: in_chan,
+            });
+            sends.push(Stmt::Send {
+                value: sp.name.clone(),
+                chan: chan_at(plan, sp, &y, 1),
+            });
+        }
+    }
+    let mut body = Vec::new();
+    if !recvs.is_empty() {
+        body.push(Stmt::Par(recvs));
+    }
+    for u in &src.body.updates {
+        let target = src.stream_name(u.target).to_string();
+        let value = render_scalar(src, &u.value);
+        match &u.guard {
+            None => body.push(Stmt::Assign { target, value }),
+            Some(g) => body.push(Stmt::IfStmt {
+                arms: vec![(render_bool(src, g), vec![Stmt::Assign { target, value }])],
+                else_skip: true,
+            }),
+        }
+    }
+    if !sends.is_empty() {
+        body.push(Stmt::Par(sends));
+    }
+    body
+}
+
+fn render_scalar(src: &SourceProgram, e: &ScalarExpr) -> String {
+    match e {
+        ScalarExpr::Stream(s) => src.stream_name(*s).to_string(),
+        ScalarExpr::Index(i) => src.loops[*i].index_name.clone(),
+        ScalarExpr::Const(c) => c.to_string(),
+        ScalarExpr::Add(a, b) => format!("{} + {}", render_scalar(src, a), render_scalar(src, b)),
+        ScalarExpr::Sub(a, b) => format!("{} - {}", render_scalar(src, a), render_scalar(src, b)),
+        ScalarExpr::Mul(a, b) => {
+            format!("{} * {}", render_atom(src, a), render_atom(src, b))
+        }
+        ScalarExpr::Min(a, b) => {
+            format!("min({}, {})", render_scalar(src, a), render_scalar(src, b))
+        }
+        ScalarExpr::Max(a, b) => {
+            format!("max({}, {})", render_scalar(src, a), render_scalar(src, b))
+        }
+        ScalarExpr::Neg(a) => format!("-{}", render_atom(src, a)),
+    }
+}
+
+fn render_atom(src: &SourceProgram, e: &ScalarExpr) -> String {
+    match e {
+        ScalarExpr::Add(..) | ScalarExpr::Sub(..) => format!("({})", render_scalar(src, e)),
+        _ => render_scalar(src, e),
+    }
+}
+
+fn render_bool(src: &SourceProgram, b: &systolic_ir::BoolExpr) -> String {
+    use systolic_ir::{BoolExpr, CmpOp};
+    match b {
+        BoolExpr::Cmp(op, a, c) => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!(
+                "{} {} {}",
+                render_scalar(src, a),
+                sym,
+                render_scalar(src, c)
+            )
+        }
+        BoolExpr::And(a, c) => format!("{} and {}", render_bool(src, a), render_bool(src, c)),
+        BoolExpr::Or(a, c) => format!("{} or {}", render_bool(src, a), render_bool(src, c)),
+        BoolExpr::Not(a) => format!("not ({})", render_bool(src, a)),
+        BoolExpr::True => "true".into(),
+    }
+}
+
+/// Emit an assignment of a (possibly piecewise) repeater-bound pair, plus
+/// the statement using it. `single` receives direct strings when there is
+/// only one unguarded clause.
+fn piecewise_pair(
+    plan: &SystolicProgram,
+    name: &str,
+    fs: &Piecewise<AffinePoint>,
+    ls: &Piecewise<AffinePoint>,
+    out: &mut Vec<Stmt>,
+) -> (String, String) {
+    let single = fs.len() == 1
+        && ls.len() == 1
+        && fs.clauses()[0].0.is_always()
+        && ls.clauses()[0].0.is_always();
+    if single {
+        (pt(plan, &fs.clauses()[0].1), pt(plan, &ls.clauses()[0].1))
+    } else {
+        // The paper emits separate case analyses for first and last
+        // (their guards need not match, E.2.2).
+        let fvar = format!("first_{name}");
+        let lvar = format!("last_{name}");
+        out.push(Stmt::TupleDecl {
+            arity: plan.r - 1,
+            names: vec![fvar.clone(), lvar.clone()],
+        });
+        for (var, pw) in [(&fvar, fs), (&lvar, ls)] {
+            out.push(Stmt::AssignIf {
+                target: var.clone(),
+                arms: pw
+                    .clauses()
+                    .iter()
+                    .map(|(g, p)| (g.display(&plan.vars), pt(plan, p)))
+                    .collect(),
+                else_null: true,
+            });
+        }
+        (fvar, lvar)
+    }
+}
+
+/// Emit a (possibly piecewise) scalar count; returns the expression or the
+/// assigned variable name.
+fn piecewise_count(
+    plan: &SystolicProgram,
+    var_name: &str,
+    pw: &Piecewise<Affine>,
+    out: &mut Vec<Stmt>,
+) -> String {
+    if pw.len() == 1 && pw.clauses()[0].0.is_always() {
+        aff(plan, &pw.clauses()[0].1)
+    } else {
+        out.push(Stmt::IntDecl {
+            names: vec![var_name.to_string()],
+        });
+        out.push(Stmt::AssignIf {
+            target: var_name.to_string(),
+            arms: pw
+                .clauses()
+                .iter()
+                .map(|(g, e)| (g.display(&plan.vars), aff(plan, e)))
+                .collect(),
+            else_null: true,
+        });
+        var_name.to_string()
+    }
+}
+
+/// Wrap `body` in `parfor`s over the given process-space dimensions.
+fn parfor_nest(
+    plan: &SystolicProgram,
+    dims: &[(usize, Affine, Affine)],
+    body: Vec<Stmt>,
+) -> Vec<Stmt> {
+    let mut inner = body;
+    for &(d, ref lo, ref hi) in dims.iter().rev() {
+        inner = vec![Stmt::ParFor {
+            var: plan.vars.name(plan.coords[d]).to_string(),
+            lo: aff(plan, lo),
+            hi: aff(plan, hi),
+            body: inner,
+        }];
+    }
+    inner
+}
+
+/// The i/o processes of one stream (inputs or outputs).
+fn io_processes(plan: &SystolicProgram, sp: &StreamPlan, inputs: bool) -> Vec<Stmt> {
+    let dims = plan.r - 1;
+    let mut out = Vec::new();
+    for iod in &sp.io_dims {
+        let at_min = iod.input_at_min == inputs;
+        let boundary = if at_min {
+            plan.ps_min[iod.dim].clone()
+        } else {
+            plan.ps_max[iod.dim].clone()
+        };
+        // Free dimensions, with exclusion-shrunk ranges (Sec. 7.3 dedup).
+        let mut frees = Vec::new();
+        for f in 0..dims {
+            if f == iod.dim {
+                continue;
+            }
+            let (mut lo, mut hi) = (plan.ps_min[f].clone(), plan.ps_max[f].clone());
+            if iod.exclude_dims.contains(&f) {
+                // Skip the corner already claimed by dimension f's own
+                // boundary (same side: input corner for inputs, output
+                // corner for outputs).
+                let f_dim = sp
+                    .io_dims
+                    .iter()
+                    .find(|d| d.dim == f)
+                    .expect("excluded dim is io");
+                let f_at_min = f_dim.input_at_min == inputs;
+                if f_at_min {
+                    lo = lo + Affine::int(1);
+                } else {
+                    hi = hi - Affine::int(1);
+                }
+            }
+            frees.push((f, lo, hi));
+        }
+
+        // Specialize the repeater bounds to the boundary.
+        let cvar = plan.coords[iod.dim];
+        let fs = subst_pw(&sp.first_s, cvar, &boundary, |p| {
+            subst_point(p, cvar, &boundary)
+        });
+        let ls = subst_pw(&sp.last_s, cvar, &boundary, |p| {
+            subst_point(p, cvar, &boundary)
+        });
+
+        // The channel: inputs send into s_chan[y0]; outputs receive from
+        // s_chan[ylast + unit_flow].
+        let mut y = coord_point(plan);
+        y[iod.dim] = boundary.clone();
+        let chan = chan_at(plan, sp, &y, if inputs { 0 } else { 1 });
+
+        let mut body = Vec::new();
+        let (first, last) = piecewise_pair(plan, &sp.name, &fs, &ls, &mut body);
+        let inc = point::fmt_point(&sp.increment_s);
+        if inputs {
+            body.push(Stmt::SendRepeater {
+                stream: sp.name.clone(),
+                first,
+                last,
+                inc,
+                chan,
+            });
+        } else {
+            body.push(Stmt::RecvRepeater {
+                stream: sp.name.clone(),
+                first,
+                last,
+                inc,
+                chan,
+            });
+        }
+        out.extend(parfor_nest(plan, &frees, body));
+    }
+    out
+}
+
+/// The internal buffer processes for fractional flows (Sec. 7.6).
+fn internal_buffers(plan: &SystolicProgram, sp: &StreamPlan) -> Vec<Stmt> {
+    if sp.denominator <= 1 {
+        return Vec::new();
+    }
+    let dims: Vec<(usize, Affine, Affine)> = (0..plan.r - 1)
+        .map(|d| (d, plan.ps_min[d].clone(), plan.ps_max[d].clone()))
+        .collect();
+    let mut body = vec![
+        Stmt::Comment(format!(
+            "flow.{} = {} has denominator {}: {} buffer(s) per edge",
+            sp.name,
+            point::fmt_rat_point(&sp.io_flow),
+            sp.denominator,
+            sp.denominator - 1
+        )),
+        Stmt::IntDecl {
+            names: vec!["foo".into()],
+        },
+    ];
+    let count = piecewise_count(
+        plan,
+        &format!("pass_{}", sp.name),
+        &sp.pass_total,
+        &mut body,
+    );
+    // The appendix writes the buffer as an explicit loop receiving from
+    // the stream channel and forwarding on the buffer channel family
+    // (D.1.7); the cell then reads `s_buff[y]`.
+    let y = coord_point(plan);
+    body.push(Stmt::For {
+        var: "counter".into(),
+        lo: "1".into(),
+        hi: count,
+        body: vec![
+            Stmt::Recv {
+                var: "foo".into(),
+                chan: chan_at(plan, sp, &y, 0),
+            },
+            Stmt::Send {
+                value: "foo".into(),
+                chan: buff_chan_at(plan, sp, &y),
+            },
+        ],
+    });
+    parfor_nest(plan, &dims, body)
+}
+
+/// The external buffer processes (`PS \ CS`), when the place function is
+/// not simple.
+fn external_buffers(plan: &SystolicProgram) -> Vec<Stmt> {
+    if plan.simple_place {
+        return Vec::new();
+    }
+    let dims: Vec<(usize, Affine, Affine)> = (0..plan.r - 1)
+        .map(|d| (d, plan.ps_min[d].clone(), plan.ps_max[d].clone()))
+        .collect();
+    let cs_guard = plan
+        .first
+        .clauses()
+        .iter()
+        .map(|(g, _)| format!("({})", g.display(&plan.vars)))
+        .collect::<Vec<_>>()
+        .join(" \\/ ");
+    let mut passes = Vec::new();
+    for sp in &plan.streams {
+        let count = piecewise_count(
+            plan,
+            &format!("pass_{}", sp.name),
+            &sp.pass_total,
+            &mut passes,
+        );
+        passes.push(Stmt::Pass {
+            stream: sp.name.clone(),
+            count,
+        });
+    }
+    let body = vec![Stmt::IfStmt {
+        arms: vec![(format!("not ({cs_guard})"), vec![Stmt::Par(passes)])],
+        else_skip: true,
+    }];
+    parfor_nest(plan, &dims, body)
+}
+
+/// The computation processes.
+fn computation_processes(plan: &SystolicProgram) -> Vec<Stmt> {
+    let dims: Vec<(usize, Affine, Affine)> = (0..plan.r - 1)
+        .map(|d| (d, plan.ps_min[d].clone(), plan.ps_max[d].clone()))
+        .collect();
+    let y = coord_point(plan);
+    let mut body = Vec::new();
+    body.push(Stmt::IntDecl {
+        names: plan.streams.iter().map(|s| s.name.clone()).collect(),
+    });
+
+    let (first, last) = piecewise_pair(plan, "x", &plan.first, &plan.last, &mut body);
+
+    // Loads.
+    for sp in &plan.streams {
+        if let StreamKind::Stationary { .. } = sp.kind {
+            let c = piecewise_count(plan, &format!("load_{}", sp.name), &sp.drain, &mut body);
+            body.push(Stmt::Load {
+                stream: sp.name.clone(),
+                count: c,
+            });
+        }
+    }
+    // Soaks.
+    for sp in &plan.streams {
+        if sp.kind == StreamKind::Moving {
+            let c = piecewise_count(plan, &format!("soak_{}", sp.name), &sp.soak, &mut body);
+            body.push(Stmt::Pass {
+                stream: sp.name.clone(),
+                count: c,
+            });
+        }
+    }
+    // The repeater.
+    body.push(Stmt::Repeater {
+        first,
+        last,
+        inc: point::fmt_point(&plan.increment),
+        body: render_basic_statement(plan),
+    });
+    // Drains.
+    for sp in &plan.streams {
+        if sp.kind == StreamKind::Moving {
+            let c = piecewise_count(plan, &format!("drain_{}", sp.name), &sp.drain, &mut body);
+            body.push(Stmt::Pass {
+                stream: sp.name.clone(),
+                count: c,
+            });
+        }
+    }
+    // Recoveries.
+    for sp in &plan.streams {
+        if let StreamKind::Stationary { .. } = sp.kind {
+            let c = piecewise_count(plan, &format!("rec_{}", sp.name), &sp.soak, &mut body);
+            body.push(Stmt::Recover {
+                stream: sp.name.clone(),
+                count: c,
+            });
+        }
+    }
+    let _ = y;
+    parfor_nest(plan, &dims, body)
+}
+
+/// Channel declarations: per stream, ranges extended by one position in
+/// each flow direction (the i/o fringe).
+fn chan_decls(plan: &SystolicProgram) -> Vec<Stmt> {
+    plan.streams
+        .iter()
+        .map(|sp| {
+            let dims: Vec<(String, String)> = (0..plan.r - 1)
+                .map(|d| {
+                    let lo = plan.ps_min[d].clone();
+                    let hi = plan.ps_max[d].clone();
+                    let (lo, hi) = match sp.unit_flow[d].signum() {
+                        1 => (lo, hi + Affine::int(1)),
+                        -1 => (lo - Affine::int(1), hi),
+                        _ => (lo, hi),
+                    };
+                    (aff(plan, &lo), aff(plan, &hi))
+                })
+                .collect();
+            Stmt::ChanDecl {
+                name: format!("{}_chan", sp.name),
+                dims,
+            }
+        })
+        .collect()
+}
+
+/// Buffer channel declarations for fractional-flow streams
+/// (`chan b_buff[0..n]`, Appendix D).
+fn buff_chan_decls(plan: &SystolicProgram) -> Vec<Stmt> {
+    plan.streams
+        .iter()
+        .filter(|sp| sp.denominator > 1)
+        .map(|sp| {
+            let dims: Vec<(String, String)> = (0..plan.r - 1)
+                .map(|d| (aff(plan, &plan.ps_min[d]), aff(plan, &plan.ps_max[d])))
+                .collect();
+            Stmt::ChanDecl {
+                name: format!("{}_buff", sp.name),
+                dims,
+            }
+        })
+        .collect()
+}
+
+/// Lower a full plan to the abstract-syntax program.
+pub fn lower(plan: &SystolicProgram) -> Program {
+    let mut items = Vec::new();
+    items.push(Stmt::Comment(format!(
+        "systolic program for {} (step {:?}, increment {})",
+        plan.source.name,
+        plan.array.step,
+        point::fmt_point(&plan.increment),
+    )));
+    items.extend(chan_decls(plan));
+    items.extend(buff_chan_decls(plan));
+
+    let mut par = Vec::new();
+    par.push(Stmt::Comment("Input Processes".into()));
+    for sp in &plan.streams {
+        par.extend(io_processes(plan, sp, true));
+    }
+    let mut bufs = Vec::new();
+    for sp in &plan.streams {
+        bufs.extend(internal_buffers(plan, sp));
+    }
+    bufs.extend(external_buffers(plan));
+    if !bufs.is_empty() {
+        par.push(Stmt::Comment("Buffer Processes".into()));
+        par.extend(bufs);
+    }
+    par.push(Stmt::Comment("Computation Processes".into()));
+    par.extend(computation_processes(plan));
+    par.push(Stmt::Comment("Output Processes".into()));
+    for sp in &plan.streams {
+        par.extend(io_processes(plan, sp, false));
+    }
+    items.push(Stmt::Par(par));
+    Program {
+        name: plan.source.name.clone(),
+        items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    fn plan_for(
+        pair: (
+            systolic_ir::SourceProgram,
+            systolic_synthesis::SystolicArray,
+        ),
+    ) -> SystolicProgram {
+        let (p, a) = pair;
+        compile(&p, &a, &Options::default()).unwrap()
+    }
+
+    fn flatten(s: &Stmt, out: &mut Vec<Stmt>) {
+        out.push(s.clone());
+        match s {
+            Stmt::Par(xs) | Stmt::Seq(xs) => xs.iter().for_each(|x| flatten(x, out)),
+            Stmt::ParFor { body, .. } | Stmt::For { body, .. } | Stmt::Repeater { body, .. } => {
+                body.iter().for_each(|x| flatten(x, out))
+            }
+            Stmt::IfStmt { arms, .. } => arms
+                .iter()
+                .for_each(|(_, b)| b.iter().for_each(|x| flatten(x, out))),
+            _ => {}
+        }
+    }
+
+    fn all_stmts(p: &Program) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        p.items.iter().for_each(|s| flatten(s, &mut out));
+        out
+    }
+
+    #[test]
+    fn d1_program_structure() {
+        let plan = plan_for(paper::polyprod_d1());
+        let prog = lower(&plan);
+        let stmts = all_stmts(&prog);
+        // load a, n - col; recover a, col (Appendix D.1.7).
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Load { stream, count } if stream == "a" && count == "n - col")));
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Recover { stream, count } if stream == "a" && count == "col")));
+        // pass c, col before and pass c, n - col after the repeater.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Pass { stream, count } if stream == "c" && count == "col")));
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Pass { stream, count } if stream == "c" && count == "n - col")));
+        // The repeater {(col,0) (col,n) (0,1)}.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Repeater { first, last, inc, .. }
+                if first == "(col, 0)" && last == "(col, n)" && inc == "(0,1)")));
+        // One internal buffer for b: the explicit D.1.7 loop form.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::For { hi, .. } if hi == "n + 1")));
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Send { value, chan } if value == "foo" && chan == "b_buff[col]")));
+        // The cell reads b from the buffer channel, not b_chan.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Recv { var, chan } if var == "b" && chan == "b_buff[col]")));
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::ChanDecl { name, .. } if name == "b_buff")));
+        // io repeaters {0 n 1} for b, {0 2n 1} for c.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::SendRepeater { stream, first, last, .. }
+                if stream == "b" && first == "0" && last == "n")));
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::SendRepeater { stream, first, last, .. }
+                if stream == "c" && first == "0" && last == "2*n")));
+    }
+
+    #[test]
+    fn d2_reversed_b_repeater() {
+        let plan = plan_for(paper::polyprod_d2());
+        let prog = lower(&plan);
+        let stmts = all_stmts(&prog);
+        // b's io repeater is {n 0 -1} (Appendix D.2.4).
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::SendRepeater { stream, first, last, inc, .. }
+                if stream == "b" && first == "n" && last == "0" && inc == "-1")));
+        // first/last are piecewise: an AssignIf with two arms exists.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::AssignIf { target, arms, .. }
+                if target.contains("first_x") && arms.len() == 2)));
+    }
+
+    #[test]
+    fn e1_channels_and_repeaters() {
+        let plan = plan_for(paper::matmul_e1());
+        let prog = lower(&plan);
+        let stmts = all_stmts(&prog);
+        // a_chan[0..n, 0..n+1] (flow (0,1) extends dim 1).
+        assert!(stmts.iter().any(|s| match s {
+            Stmt::ChanDecl { name, dims } =>
+                name == "a_chan"
+                    && dims == &vec![("0".into(), "n".into()), ("0".into(), "n + 1".into())],
+            _ => false,
+        }));
+        // The repeater {(col,row,0) (col,row,n) (0,0,1)}.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Repeater { first, last, inc, .. }
+                if first == "(col, row, 0)" && last == "(col, row, n)" && inc == "(0,0,1)")));
+        // load c, n - col and recover c, col (E.1.7).
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Load { stream, count } if stream == "c" && count == "n - col")));
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Recover { stream, count } if stream == "c" && count == "col")));
+        // No buffer section for E.1.
+        assert!(!stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Comment(c) if c == "Buffer Processes")));
+    }
+
+    #[test]
+    fn e2_has_external_buffers_and_null_alternatives() {
+        let plan = plan_for(paper::matmul_e2());
+        let prog = lower(&plan);
+        let stmts = all_stmts(&prog);
+        assert!(stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Comment(c) if c == "Buffer Processes")));
+        // Null alternatives: AssignIf with else_null for first/last.
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::AssignIf { target, else_null: true, arms }
+                if target.contains("first_x") && arms.len() == 3)));
+        // The basic statement sends c to c_chan[col - 1, row - 1].
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Send { value, chan }
+                if value == "c" && chan == "c_chan[col - 1, row - 1]")));
+        // And receives a from a_chan[col, row].
+        assert!(stmts.iter().any(|s| matches!(s,
+            Stmt::Recv { var, chan } if var == "a" && chan == "a_chan[col, row]")));
+    }
+
+    #[test]
+    fn e2_io_exclusion_shrinks_a_range() {
+        let plan = plan_for(paper::matmul_e2());
+        let prog = lower(&plan);
+        let stmts = all_stmts(&prog);
+        // Stream c has two io dims; the second (dim 1) excludes dim 0's
+        // corner: a parfor over col with range shrunk by one.
+        let shrunk = stmts.iter().any(|s| match s {
+            Stmt::ParFor { lo, hi, .. } => {
+                (lo == "-n + 1" && hi == "n") || (lo == "-n" && hi == "n - 1")
+            }
+            _ => false,
+        });
+        assert!(shrunk, "expected an exclusion-shrunk parfor range");
+    }
+
+    #[test]
+    fn program_sizes_are_substantial() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let prog = lower(&plan);
+            assert!(prog.size() > 25, "{label}: size {}", prog.size());
+        }
+    }
+}

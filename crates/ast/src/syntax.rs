@@ -1,0 +1,168 @@
+//! The target abstract syntax (Sec. 4 and Appendix C).
+//!
+//! "Our systolic programs are expressed in an abstract syntax that is
+//! easily translated to any distributed programming language" — the
+//! constructs required are arrays of processes (`parfor`), arrays of
+//! channels, synchronous communication, and ordinary sequential glue.
+//! Expressions are carried as already-rendered strings (they are linear
+//! expressions over problem sizes and process coordinates, rendered once
+//! by the lowering pass); the printers differ in the *structure* syntax.
+
+/// A whole target program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    pub name: String,
+    pub items: Vec<Stmt>,
+}
+
+/// Target statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    Comment(String),
+    /// `chan name[lo0..hi0, lo1..hi1, ...]`
+    ChanDecl {
+        name: String,
+        dims: Vec<(String, String)>,
+    },
+    /// `int a, b, c`
+    IntDecl {
+        names: Vec<String>,
+    },
+    /// `(int,...,int) first, last` — tuple-valued locals.
+    TupleDecl {
+        arity: usize,
+        names: Vec<String>,
+    },
+    /// Parallel composition of arbitrary processes.
+    Par(Vec<Stmt>),
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `parfor var from lo to hi do body` — an array of processes.
+    ParFor {
+        var: String,
+        lo: String,
+        hi: String,
+        body: Vec<Stmt>,
+    },
+    /// An ordinary sequential counted loop.
+    For {
+        var: String,
+        lo: String,
+        hi: String,
+        body: Vec<Stmt>,
+    },
+    /// `target := if g0 -> e0 [] g1 -> e1 [] (else -> null) fi`
+    AssignIf {
+        target: String,
+        arms: Vec<(String, String)>,
+        else_null: bool,
+    },
+    /// `target := value`
+    Assign {
+        target: String,
+        value: String,
+    },
+    /// `send s {first last inc} to chan` — an i/o repeater (Sec. 4.2).
+    SendRepeater {
+        stream: String,
+        first: String,
+        last: String,
+        inc: String,
+        chan: String,
+    },
+    /// `receive s {first last inc} from chan`.
+    RecvRepeater {
+        stream: String,
+        first: String,
+        last: String,
+        inc: String,
+        chan: String,
+    },
+    /// `send value to chan`.
+    Send {
+        value: String,
+        chan: String,
+    },
+    /// `receive var from chan`.
+    Recv {
+        var: String,
+        chan: String,
+    },
+    /// `pass s, count` (Appendix C).
+    Pass {
+        stream: String,
+        count: String,
+    },
+    /// `load s, count` = receive-and-keep, then pass.
+    Load {
+        stream: String,
+        count: String,
+    },
+    /// `recover s, count` = pass, then send own.
+    Recover {
+        stream: String,
+        count: String,
+    },
+    /// The computation repeater `{first last increment}` with the basic
+    /// statement as body.
+    Repeater {
+        first: String,
+        last: String,
+        inc: String,
+        body: Vec<Stmt>,
+    },
+    /// `if g -> stmts [] ... fi` at statement level.
+    IfStmt {
+        arms: Vec<(String, Vec<Stmt>)>,
+        else_skip: bool,
+    },
+    Skip,
+}
+
+impl Stmt {
+    /// Recursively count statements (structure metric used in tests).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Stmt::Par(xs) | Stmt::Seq(xs) => xs.iter().map(Stmt::size).sum(),
+            Stmt::ParFor { body, .. } | Stmt::For { body, .. } | Stmt::Repeater { body, .. } => {
+                body.iter().map(Stmt::size).sum()
+            }
+            Stmt::IfStmt { arms, .. } => arms
+                .iter()
+                .map(|(_, b)| b.iter().map(Stmt::size).sum::<usize>())
+                .sum(),
+            _ => 0,
+        }
+    }
+}
+
+impl Program {
+    pub fn size(&self) -> usize {
+        self.items.iter().map(Stmt::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_nested_statements() {
+        let p = Program {
+            name: "t".into(),
+            items: vec![Stmt::Par(vec![
+                Stmt::Skip,
+                Stmt::ParFor {
+                    var: "col".into(),
+                    lo: "0".into(),
+                    hi: "n".into(),
+                    body: vec![Stmt::Pass {
+                        stream: "a".into(),
+                        count: "n".into(),
+                    }],
+                },
+            ])],
+        };
+        assert_eq!(p.size(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Benchmark B1 + experiments D1/D2/E1/E2 (timing side): the cost of the
+//! symbolic derivation.
+//!
+//! The scheme's selling point against run-time generation (Sec. 8) is
+//! that its cost is *independent of the problem size*: everything is
+//! derived once, symbolically. We measure (a) compilation time per
+//! appendix design, (b) scaling with the loop depth `r` (2, 3, 4), and
+//! (c) the run-time-generation baseline whose cost grows with `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use systolic_core::{compile, Options};
+use systolic_interp::runtime_gen;
+use systolic_math::Env;
+use systolic_synthesis::placement::paper;
+
+fn bench_appendix_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile/appendix");
+    for (label, p, a) in paper::all() {
+        g.bench_function(label, |b| {
+            b.iter(|| compile(black_box(&p), black_box(&a), &Options::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile/loop-depth");
+    let programs = [
+        ("r2-polyprod", systolic_ir::gallery::polynomial_product()),
+        ("r3-matmul", systolic_ir::gallery::matrix_product()),
+        ("r4-tensor", systolic_ir::gallery::tensor_contraction()),
+    ];
+    for (label, p) in programs {
+        let a = systolic_synthesis::derive_array(&p, 1, 4).expect("array");
+        g.bench_function(label, |b| {
+            b.iter(|| compile(black_box(&p), black_box(&a), &Options::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_runtime_generation_baseline(c: &mut Criterion) {
+    // B3d: the "other end of the spectrum" — per-process statement
+    // derivation by index-space scan, whose cost grows with n while the
+    // compiled plan's cost stays flat.
+    let (p, a) = paper::matmul_e1();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut g = c.benchmark_group("compile/runtime-gen-baseline");
+    for n in [4i64, 8, 12, 16] {
+        let mut env = Env::new();
+        env.bind(p.sizes[0], n);
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| runtime_gen::scan(black_box(&plan), black_box(&env)))
+        });
+    }
+    // The compiled-scheme equivalent of that phase: evaluating the plan
+    // at every process (what elaboration does).
+    for n in [4i64, 8, 12, 16] {
+        let mut env = Env::new();
+        env.bind(p.sizes[0], n);
+        g.bench_with_input(BenchmarkId::new("plan-eval", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0i64;
+                for y in plan.ps_points(&env) {
+                    total += plan.count_at(&env, &y);
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthesis_search(c: &mut Criterion) {
+    // X4 timing: the schedule search.
+    let mut g = c.benchmark_group("synthesis/step-search");
+    let poly = systolic_ir::gallery::polynomial_product();
+    let mm = systolic_ir::gallery::matrix_product();
+    for bound in [1i64, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("polyprod", bound), &bound, |b, &bound| {
+            b.iter(|| systolic_synthesis::optimal_step(black_box(&poly), bound, 6))
+        });
+        g.bench_with_input(BenchmarkId::new("matmul", bound), &bound, |b, &bound| {
+            b.iter(|| systolic_synthesis::optimal_step(black_box(&mm), bound, 6))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_appendix_designs, bench_loop_depth,
+              bench_runtime_generation_baseline, bench_synthesis_search
+}
+criterion_main!(benches);

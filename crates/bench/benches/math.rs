@@ -1,0 +1,85 @@
+//! Micro-benchmarks for the symbolic substrate: the operations the
+//! compilation scheme spends its time in (null spaces, symbolic solving,
+//! affine arithmetic, piecewise evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use systolic_math::{linsolve, Affine, Chain, Env, Guard, Matrix, Piecewise, Rational, VarTable};
+
+fn bench_null_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("math/null-space");
+    let kl = Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]]);
+    g.bench_function("kung-leiserson-place", |b| {
+        b.iter(|| black_box(&kl).null_generator())
+    });
+    let wide = Matrix::from_rows(&[vec![1, 0, 0, -1], vec![0, 1, 0, -1], vec![0, 0, 1, -1]]);
+    g.bench_function("r4-place", |b| b.iter(|| black_box(&wide).null_generator()));
+    g.finish();
+}
+
+fn bench_symbolic_solve(c: &mut Criterion) {
+    let mut t = VarTable::new();
+    let col = t.coord(0);
+    let row = t.coord(1);
+    let a = Matrix::from_rows(&[vec![0, -1], vec![1, -1]]);
+    let b = vec![Affine::var(col), Affine::var(row)];
+    c.bench_function("math/face-solve", |bch| {
+        bch.iter(|| linsolve::solve(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_affine_ops(c: &mut Criterion) {
+    let mut t = VarTable::new();
+    let n = t.size("n");
+    let col = t.coord(0);
+    let e1 = Affine::var(n).scale(Rational::int(2)) - Affine::var(col) + Affine::int(1);
+    let e2 = Affine::var(col) + Affine::var(n);
+    let mut g = c.benchmark_group("math/affine");
+    g.bench_function("add-sub", |b| {
+        b.iter(|| black_box(e1.clone()) + black_box(&e2) - black_box(&e1))
+    });
+    let mut env = Env::new();
+    env.bind(n, 100).bind(col, 37);
+    g.bench_function("eval", |b| b.iter(|| black_box(&e1).eval_int(&env)));
+    g.bench_function("substitute", |b| {
+        b.iter(|| black_box(&e1).substitute(col, black_box(&e2)))
+    });
+    g.finish();
+}
+
+fn bench_piecewise_select(c: &mut Criterion) {
+    let mut t = VarTable::new();
+    let n = t.size("n");
+    let col = t.coord(0);
+    let row = t.coord(1);
+    // An E.2-sized 9-clause piecewise (the count expression shape).
+    let clauses: Vec<(Guard, Affine)> = (0..9)
+        .map(|k| {
+            let g = Guard::always()
+                .and_chain(Chain::between(
+                    Affine::int(-k),
+                    Affine::var(col) - Affine::var(row),
+                    Affine::var(n),
+                ))
+                .and_chain(Chain::between(
+                    Affine::zero(),
+                    Affine::var(col),
+                    Affine::var(n),
+                ));
+            (g, Affine::var(n) + Affine::int(k))
+        })
+        .collect();
+    let pw = Piecewise::new(clauses);
+    let mut env = Env::new();
+    env.bind(n, 50).bind(col, 20).bind(row, 30);
+    c.bench_function("math/piecewise-select-9", |b| {
+        b.iter(|| black_box(&pw).select(&env))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_null_space, bench_symbolic_solve, bench_affine_ops, bench_piecewise_select
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! # systolic-bench
+//!
+//! The benchmark harness: Criterion benches (`compile`, `simulate`) and
+//! the `experiments` binary that regenerates every table recorded in
+//! `EXPERIMENTS.md`.

@@ -1,0 +1,160 @@
+//! The process space basis (Secs. 6.1 and 7.1).
+//!
+//! Each coordinate of `PS_min` is the minimum over the index space of the
+//! corresponding component of `place`. Because the index space is a
+//! rectangular (convex) box, the extremum of a linear functional is
+//! attained at a vertex determined componentwise by the signs of the
+//! functional's coefficients: a positive coefficient pulls the minimum to
+//! the loop's left bound, a negative one to the right bound (Sec. 7.1).
+
+use systolic_ir::SourceProgram;
+use systolic_math::{affine::AffinePoint, Affine};
+use systolic_synthesis::SystolicArray;
+
+/// Compute `(PS_min, PS_max)` symbolically in the problem sizes.
+pub fn process_space_basis(
+    program: &SourceProgram,
+    array: &SystolicArray,
+) -> (AffinePoint, AffinePoint) {
+    let r = program.r();
+    let dims = r - 1;
+    let mut ps_min = Vec::with_capacity(dims);
+    let mut ps_max = Vec::with_capacity(dims);
+    for row in 0..dims {
+        let mut lo = Affine::zero();
+        let mut hi = Affine::zero();
+        for j in 0..r {
+            let c = array.place.at(row, j);
+            if c.is_zero() {
+                continue;
+            }
+            let lb = program.loops[j].lb.clone().scale(c);
+            let rb = program.loops[j].rb.clone().scale(c);
+            if c.signum() > 0 {
+                lo = lo + lb;
+                hi = hi + rb;
+            } else {
+                lo = lo + rb;
+                hi = hi + lb;
+            }
+        }
+        ps_min.push(lo);
+        ps_max.push(hi);
+    }
+    (ps_min, ps_max)
+}
+
+/// Sec. 7.1's optimization note: if, for each argument of `place`, the
+/// signs of its non-zero coefficients across all components agree, a
+/// single vertex realizes every coordinate of `PS_min` simultaneously (two
+/// point evaluations instead of `2(r-1)`).
+pub fn single_vertex_suffices(array: &SystolicArray) -> bool {
+    let (rows, cols) = (array.place.rows(), array.place.cols());
+    (0..cols).all(|j| {
+        let signs: Vec<i64> = (0..rows)
+            .map(|i| array.place.at(i, j).signum())
+            .filter(|&s| s != 0)
+            .collect();
+        signs.windows(2).all(|w| w[0] == w[1])
+    })
+}
+
+/// Is the place function *simple* (Sec. 7.2.3): a projection along a
+/// single axis, i.e. all but one component of the projection direction
+/// zero?
+pub fn is_simple_place(increment: &[i64]) -> bool {
+    increment.iter().filter(|&&c| c != 0).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_math::{affine::display_point, Env};
+    use systolic_synthesis::placement::paper;
+
+    #[test]
+    fn basis_d1() {
+        // Appendix D.1: PS_min = 0, PS_max = n.
+        let (p, a) = paper::polyprod_d1();
+        let (lo, hi) = process_space_basis(&p, &a);
+        assert_eq!(display_point(&lo, &p.vars), "0");
+        assert_eq!(display_point(&hi, &p.vars), "n");
+    }
+
+    #[test]
+    fn basis_d2() {
+        // Appendix D.2: PS_min = 0, PS_max = 2n.
+        let (p, a) = paper::polyprod_d2();
+        let (lo, hi) = process_space_basis(&p, &a);
+        assert_eq!(display_point(&lo, &p.vars), "0");
+        assert_eq!(display_point(&hi, &p.vars), "2*n");
+    }
+
+    #[test]
+    fn basis_e1() {
+        // Appendix E.1: PS_min = (0,0), PS_max = (n,n).
+        let (p, a) = paper::matmul_e1();
+        let (lo, hi) = process_space_basis(&p, &a);
+        assert_eq!(display_point(&lo, &p.vars), "(0, 0)");
+        assert_eq!(display_point(&hi, &p.vars), "(n, n)");
+    }
+
+    #[test]
+    fn basis_e2() {
+        // Appendix E.2: PS_min = (-n,-n), PS_max = (n,n).
+        let (p, a) = paper::matmul_e2();
+        let (lo, hi) = process_space_basis(&p, &a);
+        assert_eq!(display_point(&lo, &p.vars), "(-n, -n)");
+        assert_eq!(display_point(&hi, &p.vars), "(n, n)");
+    }
+
+    #[test]
+    fn basis_is_a_bounding_box() {
+        // At a concrete size, every place image lies within the box and
+        // each face is attained.
+        for (label, p, a) in paper::all() {
+            let mut env = Env::new();
+            env.bind(p.sizes[0], 3);
+            let (lo, hi) = process_space_basis(&p, &a);
+            let lo: Vec<i64> = lo.iter().map(|e| e.eval_int(&env)).collect();
+            let hi: Vec<i64> = hi.iter().map(|e| e.eval_int(&env)).collect();
+            let mut seen_lo = vec![false; lo.len()];
+            let mut seen_hi = vec![false; hi.len()];
+            for x in p.index_space_seq(&env) {
+                let y = a.place_at(&x);
+                for d in 0..y.len() {
+                    assert!(y[d] >= lo[d] && y[d] <= hi[d], "{label}: {y:?} outside");
+                    seen_lo[d] |= y[d] == lo[d];
+                    seen_hi[d] |= y[d] == hi[d];
+                }
+            }
+            assert!(seen_lo.iter().all(|&b| b), "{label}: min not attained");
+            assert!(seen_hi.iter().all(|&b| b), "{label}: max not attained");
+        }
+    }
+
+    #[test]
+    fn vertex_agreement() {
+        let (_, a1) = paper::matmul_e1();
+        assert!(single_vertex_suffices(&a1));
+        let (_, a2) = paper::matmul_e2();
+        assert!(
+            single_vertex_suffices(&a2),
+            "E.2: signs of k agree (both negative)"
+        );
+        // A place with disagreeing signs per argument.
+        let mixed = systolic_synthesis::SystolicArray::new(
+            vec![1, 1, 1],
+            systolic_math::Matrix::from_rows(&[vec![1, 0, -1], vec![-1, 1, 0]]),
+        );
+        assert!(!single_vertex_suffices(&mixed));
+    }
+
+    #[test]
+    fn simplicity() {
+        assert!(is_simple_place(&[0, 1]));
+        assert!(is_simple_place(&[0, 0, -1]));
+        assert!(!is_simple_place(&[1, -1]));
+        assert!(!is_simple_place(&[1, 1, 1]));
+    }
+}

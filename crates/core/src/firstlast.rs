@@ -1,0 +1,304 @@
+//! Derivation of the computation repeaters (Secs. 6.2 and 7.2): the
+//! `increment` along each chord, and the guarded case analyses for `first`
+//! and `last`.
+
+use crate::basis::is_simple_place;
+use crate::error::CompileError;
+use systolic_ir::SourceProgram;
+use systolic_math::{
+    affine::{point_sub, AffinePoint},
+    linsolve, Affine, Chain, Guard, Matrix, Piecewise, Var,
+};
+use systolic_synthesis::SystolicArray;
+
+/// Sec. 7.2.1: `increment = sgn(step.w) * (1/k) * w` for any
+/// `w in null.place`. [`SystolicArray::projection_direction`] already
+/// returns the primitive, step-oriented generator; here we also enforce
+/// restriction A.2 (`increment in {-1,0,+1}^r`).
+pub fn derive_increment(array: &SystolicArray) -> Result<Vec<i64>, CompileError> {
+    let inc = array.projection_direction().ok_or(CompileError::Array(
+        systolic_synthesis::ArrayError::StepPlaceInconsistent,
+    ))?;
+    if inc.iter().any(|&c| c.abs() > 1) {
+        return Err(CompileError::IncrementNotUnit { increment: inc });
+    }
+    Ok(inc)
+}
+
+/// Which endpoint is being derived; `last` swaps the roles of the bounds
+/// (Sec. 7.2.2: "the derivation of last proceeds identically with the
+/// roles of the left bound and right bound interchanged").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    First,
+    Last,
+}
+
+/// Derive `first` or `last` as a guarded case analysis with one
+/// alternative per face of the index space (Sec. 7.2.2), or the single
+/// unguarded expression of the simple-place special case (Sec. 7.2.3).
+pub fn derive_endpoint(
+    program: &SourceProgram,
+    array: &SystolicArray,
+    increment: &[i64],
+    coords: &[Var],
+    which: Endpoint,
+) -> Result<Piecewise<AffinePoint>, CompileError> {
+    let r = program.r();
+    let simple = is_simple_place(increment);
+    let mut clauses = Vec::new();
+
+    for face in 0..r {
+        if increment[face] == 0 {
+            continue; // chord parallel to this dimension: not a face.
+        }
+        // bound_i: the left bound if increment.i > 0 for `first`
+        // (reversed for `last`).
+        let take_lb = (increment[face] > 0) == (which == Endpoint::First);
+        let bound = if take_lb {
+            program.loops[face].lb.clone()
+        } else {
+            program.loops[face].rb.clone()
+        };
+
+        // Solve place.(x; face := bound) = y for the r-1 unknowns x_j.
+        let unknowns: Vec<usize> = (0..r).filter(|&j| j != face).collect();
+        let a = Matrix::from_rat_rows(
+            &(0..r - 1)
+                .map(|row| unknowns.iter().map(|&j| array.place.at(row, j)).collect())
+                .collect::<Vec<_>>(),
+        );
+        let rhs: Vec<Affine> = (0..r - 1)
+            .map(|row| Affine::var(coords[row]) - bound.clone().scale(array.place.at(row, face)))
+            .collect();
+        let Some(solution) = linsolve::solve(&a, &rhs) else {
+            // Theorem 9 guarantees solvability when increment.face != 0;
+            // a singular system means the array is inconsistent.
+            return Err(CompileError::NonIntegerSolution {
+                face,
+                detail: "singular face system".into(),
+            });
+        };
+
+        // Assemble the full index point and its guard.
+        let mut point = vec![Affine::zero(); r];
+        point[face] = bound;
+        let mut guard = Guard::always();
+        for (pos, &j) in unknowns.iter().enumerate() {
+            let e = solution[pos].clone();
+            require_integral(&e, face)?;
+            guard = guard.and_chain(Chain::between(
+                program.loops[j].lb.clone(),
+                e.clone(),
+                program.loops[j].rb.clone(),
+            ));
+            point[j] = e;
+        }
+        let guard = if simple {
+            // Sec. 7.2.3: CS = PS, one expression covers every process;
+            // no guards are needed.
+            Guard::always()
+        } else {
+            guard
+        };
+        clauses.push((guard, point));
+    }
+    Ok(Piecewise::new(clauses))
+}
+
+fn require_integral(e: &Affine, face: usize) -> Result<(), CompileError> {
+    let ok = e.constant_part().is_integer() && e.vars().all(|v| e.coeff(v).is_integer());
+    if ok {
+        Ok(())
+    } else {
+        Err(CompileError::NonIntegerSolution {
+            face,
+            detail: "rational coefficients".into(),
+        })
+    }
+}
+
+/// `count = ((last - first) // increment) + 1` (eq. 4), defined piecewise
+/// over the crossed guards of `first` and `last` ("when any of these are
+/// defined piece-wise, the calculation is done piece-wise", Sec. 7.6).
+pub fn derive_count(
+    first: &Piecewise<AffinePoint>,
+    last: &Piecewise<AffinePoint>,
+    increment: &[i64],
+) -> Result<Piecewise<Affine>, CompileError> {
+    let mut failed = false;
+    let count = first.cross(last, |f, l| {
+        match systolic_math::affine::point_exact_div(&point_sub(l, f), increment) {
+            Some(q) => q + Affine::int(1),
+            None => {
+                failed = true;
+                Affine::zero()
+            }
+        }
+    });
+    if failed {
+        return Err(CompileError::DivisionFailed {
+            what: "count",
+            stream: None,
+        });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_math::affine::display_point;
+    use systolic_math::{Env, VarTable};
+    use systolic_synthesis::placement::paper;
+
+    fn setup(
+        pair: (SourceProgram, SystolicArray),
+    ) -> (SourceProgram, SystolicArray, VarTable, Vec<Var>, Vec<i64>) {
+        let (p, a) = pair;
+        let mut vars = p.vars.clone();
+        let coords: Vec<Var> = (0..p.r() - 1).map(|d| vars.coord(d)).collect();
+        let inc = derive_increment(&a).unwrap();
+        (p, a, vars, coords, inc)
+    }
+
+    #[test]
+    fn increment_matches_paper() {
+        let (_, _, _, _, inc) = setup(paper::polyprod_d1());
+        assert_eq!(inc, vec![0, 1], "D.1");
+        let (_, _, _, _, inc) = setup(paper::polyprod_d2());
+        assert_eq!(inc, vec![1, -1], "D.2");
+        let (_, _, _, _, inc) = setup(paper::matmul_e1());
+        assert_eq!(inc, vec![0, 0, 1], "E.1");
+        let (_, _, _, _, inc) = setup(paper::matmul_e2());
+        assert_eq!(inc, vec![1, 1, 1], "E.2");
+    }
+
+    #[test]
+    fn d1_first_last_are_unguarded() {
+        let (p, a, vars, coords, inc) = setup(paper::polyprod_d1());
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        assert_eq!(first.len(), 1);
+        assert!(first.clauses()[0].0.is_always());
+        assert_eq!(display_point(&first.clauses()[0].1, &vars), "(col, 0)");
+        assert_eq!(display_point(&last.clauses()[0].1, &vars), "(col, n)");
+        let count = derive_count(&first, &last, &inc).unwrap();
+        assert_eq!(count.clauses()[0].1.display(&vars), "n + 1");
+    }
+
+    #[test]
+    fn d2_first_last_two_cases() {
+        let (p, a, vars, coords, inc) = setup(paper::polyprod_d2());
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        assert_eq!(first.len(), 2);
+        // Face 0: (0, col) guarded by 0 <= col <= n.
+        let (g0, p0) = &first.clauses()[0];
+        assert_eq!(display_point(p0, &vars), "(0, col)");
+        assert_eq!(g0.display(&vars), "0 <= col <= n");
+        // Face 1: (col - n, n) guarded by 0 <= col - n <= n.
+        let (g1, p1) = &first.clauses()[1];
+        assert_eq!(display_point(p1, &vars), "(col - n, n)");
+        assert_eq!(g1.display(&vars), "0 <= col - n <= n");
+
+        // `last` has the same two faces; we emit them in face order
+        // (face 0 first), the paper in guard order — equivalent.
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        assert_eq!(display_point(&last.clauses()[0].1, &vars), "(n, col - n)");
+        assert_eq!(display_point(&last.clauses()[1].1, &vars), "(col, 0)");
+
+        // count: piecewise col + 1 / 2n - col + 1 (Appendix D.2.2).
+        let count = derive_count(&first, &last, &inc).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let col = coords[0];
+        for (c, expect) in [(0i64, 1i64), (2, 3), (4, 5), (5, 4), (8, 1)] {
+            env.bind(col, c);
+            assert_eq!(
+                count.select(&env).unwrap().eval_int(&env),
+                expect,
+                "col={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn e1_simple_place() {
+        let (p, a, vars, coords, inc) = setup(paper::matmul_e1());
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(display_point(&first.clauses()[0].1, &vars), "(col, row, 0)");
+        assert_eq!(display_point(&last.clauses()[0].1, &vars), "(col, row, n)");
+        let count = derive_count(&first, &last, &inc).unwrap();
+        assert_eq!(count.clauses()[0].1.display(&vars), "n + 1");
+    }
+
+    #[test]
+    fn e2_three_cases_match_paper() {
+        let (p, a, vars, coords, inc) = setup(paper::matmul_e2());
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        assert_eq!(first.len(), 3);
+        let rendered: Vec<(String, String)> = first
+            .clauses()
+            .iter()
+            .map(|(g, pt)| (g.display(&vars), display_point(pt, &vars)))
+            .collect();
+        // Appendix E.2.2's expression for first.
+        assert_eq!(rendered[0].1, "(0, row - col, -col)");
+        assert_eq!(rendered[0].0, "0 <= row - col <= n  /\\  0 <= -col <= n");
+        assert_eq!(rendered[1].1, "(col - row, 0, -row)");
+        assert_eq!(rendered[1].0, "0 <= col - row <= n  /\\  0 <= -row <= n");
+        assert_eq!(rendered[2].1, "(col, row, 0)");
+        assert_eq!(rendered[2].0, "0 <= col <= n  /\\  0 <= row <= n");
+
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        let rendered: Vec<String> = last
+            .clauses()
+            .iter()
+            .map(|(_, pt)| display_point(pt, &vars))
+            .collect();
+        // Paper: (n, row-col+n, -col+n) etc.; our canonical term order
+        // renders the same polynomials with `n` leading.
+        assert_eq!(rendered[0], "(n, n + row - col, n - col)");
+        assert_eq!(rendered[1], "(n + col - row, n, n - row)");
+        assert_eq!(rendered[2], "(n + col, n + row, n)");
+    }
+
+    #[test]
+    fn chords_agree_with_direct_projection() {
+        // For every PS point, the repeater enumeration must equal the set
+        // of index points projecting there, ordered by step.
+        for (label, p, a) in paper::all() {
+            let mut vars = p.vars.clone();
+            let coords: Vec<Var> = (0..p.r() - 1).map(|d| vars.coord(d)).collect();
+            let inc = derive_increment(&a).unwrap();
+            let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+            let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+            let n = 3i64;
+            let mut env = Env::new();
+            env.bind(p.sizes[0], n);
+
+            use std::collections::HashMap;
+            let mut chords: HashMap<Vec<i64>, Vec<Vec<i64>>> = HashMap::new();
+            for x in p.index_space_seq(&env) {
+                chords.entry(a.place_at(&x)).or_default().push(x);
+            }
+            for (y, mut chord) in chords {
+                chord.sort_by_key(|x| a.step_at(x));
+                let mut env_y = env.clone();
+                for (d, &c) in coords.iter().enumerate() {
+                    env_y.bind(c, y[d]);
+                }
+                let f = first
+                    .select(&env_y)
+                    .map(|pt| systolic_math::affine::eval_point(pt, &env_y));
+                let l = last
+                    .select(&env_y)
+                    .map(|pt| systolic_math::affine::eval_point(pt, &env_y));
+                assert_eq!(f.as_ref(), chord.first(), "{label} first at {y:?}");
+                assert_eq!(l.as_ref(), chord.last(), "{label} last at {y:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Data propagation through computation processes (Secs. 6.5 / 7.5):
+//! soaking and draining for moving streams; loading and recovery pass
+//! counts for stationary ones.
+
+use crate::error::CompileError;
+use systolic_ir::{SourceProgram, StreamId};
+use systolic_math::{
+    affine::{matrix_apply, point_exact_div, point_sub, AffinePoint},
+    Affine, Piecewise,
+};
+
+/// Eq. 8: `soak_s = (M.first - first_s) // increment_s`, piecewise over
+/// the clauses of `first` crossed with those of `first_s` (Appendix E.2.5
+/// derives all six combinations; infeasible guard pairs are pruned).
+pub fn derive_soak(
+    program: &SourceProgram,
+    s: StreamId,
+    first: &Piecewise<AffinePoint>,
+    first_s: &Piecewise<AffinePoint>,
+    increment_s: &[i64],
+) -> Result<Piecewise<Affine>, CompileError> {
+    let m = &program.stream(s).index_map;
+    let mut failed = false;
+    let soak = first.cross(first_s, |f, fs| {
+        let mf = matrix_apply(m, f);
+        match point_exact_div(&point_sub(&mf, fs), increment_s) {
+            Some(q) => q,
+            None => {
+                failed = true;
+                Affine::zero()
+            }
+        }
+    });
+    if failed {
+        return Err(CompileError::DivisionFailed {
+            what: "soak",
+            stream: Some(s.0),
+        });
+    }
+    Ok(soak)
+}
+
+/// Eq. 9: `drain_s = (last_s - M.last) // increment_s`.
+pub fn derive_drain(
+    program: &SourceProgram,
+    s: StreamId,
+    last: &Piecewise<AffinePoint>,
+    last_s: &Piecewise<AffinePoint>,
+    increment_s: &[i64],
+) -> Result<Piecewise<Affine>, CompileError> {
+    let m = &program.stream(s).index_map;
+    let mut failed = false;
+    let drain = last.cross(last_s, |l, ls| {
+        let ml = matrix_apply(m, l);
+        match point_exact_div(&point_sub(ls, &ml), increment_s) {
+            Some(q) => q,
+            None => {
+                failed = true;
+                Affine::zero()
+            }
+        }
+    });
+    if failed {
+        return Err(CompileError::DivisionFailed {
+            what: "drain",
+            stream: Some(s.0),
+        });
+    }
+    Ok(drain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firstlast::{derive_endpoint, derive_increment, Endpoint};
+    use crate::iocomm::{derive_pipe_end, stream_increment, PipeEnd};
+    use systolic_math::{Env, Var};
+    use systolic_synthesis::placement::paper;
+
+    /// Evaluate a piecewise affine at (col [, row]) with n bound.
+    fn eval_at(
+        pw: &Piecewise<Affine>,
+        sizes: &[Var],
+        coords: &[Var],
+        n: i64,
+        y: &[i64],
+    ) -> Option<i64> {
+        let mut env = Env::new();
+        env.bind(sizes[0], n);
+        for (&c, &v) in coords.iter().zip(y) {
+            env.bind(c, v);
+        }
+        pw.select(&env).map(|e| e.eval_int(&env))
+    }
+
+    #[test]
+    fn d1_soak_drain_match_paper() {
+        // Appendix D.1.5: soak_b = drain_b = 0; soak_c = col,
+        // drain_c = n - col; loading of a = n - col, recovery = col.
+        let (p, a) = paper::polyprod_d1();
+        let mut vars = p.vars.clone();
+        let coords: Vec<Var> = vec![vars.coord(0)];
+        let inc = derive_increment(&a).unwrap();
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        let x = &first.clauses()[0].1;
+
+        let check = |sid: usize, inc_s: Vec<i64>, expect_soak: &str, expect_drain: &str| {
+            let f_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::FirstS).unwrap();
+            let l_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::LastS).unwrap();
+            let soak = derive_soak(&p, StreamId(sid), &first, &f_s, &inc_s).unwrap();
+            let drain = derive_drain(&p, StreamId(sid), &last, &l_s, &inc_s).unwrap();
+            assert_eq!(
+                soak.clauses()[0].1.display(&vars),
+                expect_soak,
+                "soak s{sid}"
+            );
+            assert_eq!(
+                drain.clauses()[0].1.display(&vars),
+                expect_drain,
+                "drain s{sid}"
+            );
+        };
+        check(1, stream_increment(&p, StreamId(1), &inc), "0", "0");
+        check(2, stream_increment(&p, StreamId(2), &inc), "col", "n - col");
+        // Stationary a, loading vector 1: recovery (= soak) col,
+        // loading (= drain) n - col.
+        check(0, vec![1], "col", "n - col");
+    }
+
+    #[test]
+    fn d2_soak_drain_match_paper() {
+        // Appendix D.2.5 (left column = guard 0<=col<=n, right =
+        // n<=col<=2n): soak_a = 0 | col-n; soak_b = col | n (paper: col-n
+        // wait, soak_b left = col, right = n); drain_a = n-col | 0;
+        // drain_b = 0 | col-n.
+        let (p, a) = paper::polyprod_d2();
+        let mut vars = p.vars.clone();
+        let coords: Vec<Var> = vec![vars.coord(0)];
+        let inc = derive_increment(&a).unwrap();
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        let x = &first.clauses()[0].1;
+        let n = 4i64;
+
+        let eval_stream = |sid: usize, inc_s: Vec<i64>, col: i64| -> (i64, i64) {
+            let f_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::FirstS).unwrap();
+            let l_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::LastS).unwrap();
+            let soak = derive_soak(&p, StreamId(sid), &first, &f_s, &inc_s).unwrap();
+            let drain = derive_drain(&p, StreamId(sid), &last, &l_s, &inc_s).unwrap();
+            (
+                eval_at(&soak, &p.sizes, &coords, n, &[col]).unwrap(),
+                eval_at(&drain, &p.sizes, &coords, n, &[col]).unwrap(),
+            )
+        };
+        let inc_a = stream_increment(&p, StreamId(0), &inc);
+        let inc_b = stream_increment(&p, StreamId(1), &inc);
+        // col in the left region (0..n): soak_a = 0, drain_a = n - col.
+        assert_eq!(eval_stream(0, inc_a.clone(), 2), (0, 2));
+        // col in the right region: soak_a = col - n, drain_a = 0.
+        assert_eq!(eval_stream(0, inc_a, 6), (2, 0));
+        // b: left (0, ...) hmm paper: soak_b left = col? D.2.5 left
+        // derivation ends in col - n? Re-check numerically instead:
+        // total conservation soak + count + drain = n + 1 must hold
+        // (b's pipe carries n+1 elements everywhere).
+        for col in 0..=2 * n {
+            let (s, d) = eval_stream(1, inc_b.clone(), col);
+            let count = if col <= n { col + 1 } else { 2 * n - col + 1 };
+            assert_eq!(s + d + count, n + 1, "b conservation at col {col}");
+        }
+        // c stationary, loading vector 1 (D.2.5: loading = 2n - col,
+        // recovery = col).
+        let (soak_c, drain_c) = eval_stream(2, vec![1], 3);
+        assert_eq!(drain_c, 2 * n - 3, "loading passes 2n - col");
+        assert_eq!(soak_c, 3, "recovery passes col");
+    }
+
+    #[test]
+    fn e1_no_soak_or_drain_for_moving_streams() {
+        // Appendix E.1.5: M.s.first = first_s for a and b, so no soaking
+        // or draining; c loads n - col and recovers col.
+        let (p, a) = paper::matmul_e1();
+        let mut vars = p.vars.clone();
+        let coords: Vec<Var> = vec![vars.coord(0), vars.coord(1)];
+        let inc = derive_increment(&a).unwrap();
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        let x = &first.clauses()[0].1;
+        for sid in [0usize, 1] {
+            let inc_s = stream_increment(&p, StreamId(sid), &inc);
+            let f_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::FirstS).unwrap();
+            let l_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::LastS).unwrap();
+            let soak = derive_soak(&p, StreamId(sid), &first, &f_s, &inc_s).unwrap();
+            let drain = derive_drain(&p, StreamId(sid), &last, &l_s, &inc_s).unwrap();
+            assert!(soak.clauses()[0].1.is_zero(), "s{sid}");
+            assert!(drain.clauses()[0].1.is_zero(), "s{sid}");
+        }
+        let f_c = derive_pipe_end(&p, StreamId(2), x, &[1, 0], PipeEnd::FirstS).unwrap();
+        let l_c = derive_pipe_end(&p, StreamId(2), x, &[1, 0], PipeEnd::LastS).unwrap();
+        let soak = derive_soak(&p, StreamId(2), &first, &f_c, &[1, 0]).unwrap();
+        let drain = derive_drain(&p, StreamId(2), &last, &l_c, &[1, 0]).unwrap();
+        assert_eq!(soak.clauses()[0].1.display(&vars), "col", "recovery");
+        assert_eq!(drain.clauses()[0].1.display(&vars), "n - col", "loading");
+    }
+
+    #[test]
+    fn e2_soak_conservation() {
+        // The six-way soak/drain expressions of E.2.5 are hard to compare
+        // textually; check the conservation law instead: for every CS
+        // process, soak + count + drain = pass_total of its pipe.
+        let (p, a) = paper::matmul_e2();
+        let mut vars = p.vars.clone();
+        let coords: Vec<Var> = vec![vars.coord(0), vars.coord(1)];
+        let inc = derive_increment(&a).unwrap();
+        let first = derive_endpoint(&p, &a, &inc, &coords, Endpoint::First).unwrap();
+        let last = derive_endpoint(&p, &a, &inc, &coords, Endpoint::Last).unwrap();
+        let count = crate::firstlast::derive_count(&first, &last, &inc).unwrap();
+        let x = &first.clauses()[0].1;
+        let n = 3i64;
+        for sid in 0..3usize {
+            let inc_s = stream_increment(&p, StreamId(sid), &inc);
+            let f_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::FirstS).unwrap();
+            let l_s = derive_pipe_end(&p, StreamId(sid), x, &inc_s, PipeEnd::LastS).unwrap();
+            let soak = derive_soak(&p, StreamId(sid), &first, &f_s, &inc_s).unwrap();
+            let drain = derive_drain(&p, StreamId(sid), &last, &l_s, &inc_s).unwrap();
+            let total =
+                crate::iocomm::derive_pass_total(StreamId(sid), &f_s, &l_s, &inc_s).unwrap();
+            for col in -n..=n {
+                for row in -n..=n {
+                    let mut env = Env::new();
+                    env.bind(p.sizes[0], n);
+                    env.bind(coords[0], col).bind(coords[1], row);
+                    let Some(cnt) = count.select(&env) else {
+                        continue;
+                    };
+                    let s = soak.select(&env).unwrap().eval_int(&env);
+                    let d = drain.select(&env).unwrap().eval_int(&env);
+                    let t = total.select(&env).unwrap().eval_int(&env);
+                    assert_eq!(
+                        s + cnt.eval_int(&env) + d,
+                        t,
+                        "stream {sid} at ({col},{row})"
+                    );
+                }
+            }
+        }
+        let _ = vars;
+    }
+}

@@ -1,0 +1,244 @@
+//! Paper-style textual report of a compiled plan: the derived quantities
+//! as the appendices present them. Used by the examples and by
+//! `EXPERIMENTS.md` generation.
+
+use crate::plan::{StreamKind, SystolicProgram};
+use std::fmt::Write as _;
+use systolic_math::affine::display_point;
+use systolic_math::{point, Affine, Guard, Piecewise};
+
+fn fmt_piecewise_point(
+    pw: &Piecewise<Vec<Affine>>,
+    plan: &SystolicProgram,
+    indent: &str,
+) -> String {
+    fmt_piecewise(pw, plan, indent, |p| display_point(p, &plan.vars))
+}
+
+fn fmt_piecewise_scalar(pw: &Piecewise<Affine>, plan: &SystolicProgram, indent: &str) -> String {
+    fmt_piecewise(pw, plan, indent, |e| e.display(&plan.vars))
+}
+
+fn fmt_piecewise<T>(
+    pw: &Piecewise<T>,
+    plan: &SystolicProgram,
+    indent: &str,
+    mut f: impl FnMut(&T) -> String,
+) -> String {
+    let always = |g: &Guard| g.is_always();
+    if pw.len() == 1 && always(&pw.clauses()[0].0) {
+        return f(&pw.clauses()[0].1);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "if");
+    for (g, v) in pw.clauses() {
+        let _ = writeln!(out, "{indent}  [] {}  ->  {}", g.display(&plan.vars), f(v));
+    }
+    let _ = writeln!(out, "{indent}  [] else -> null");
+    let _ = write!(out, "{indent}fi");
+    out
+}
+
+/// Render the full derivation report.
+pub fn render(plan: &SystolicProgram) -> String {
+    let mut out = String::new();
+    let v = &plan.vars;
+    let _ = writeln!(out, "=== systolic program plan: {} ===", plan.source.name);
+    let _ = writeln!(out, "r                : {}", plan.r);
+    let _ = writeln!(out, "step             : {:?}", plan.array.step);
+    let _ = writeln!(
+        out,
+        "place rows       : {:?}",
+        (0..plan.array.place.rows())
+            .map(|i| (0..plan.array.place.cols())
+                .map(|j| plan.array.place.at(i, j).to_string())
+                .collect::<Vec<_>>()
+                .join(","))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(out, "PS_min           : {}", display_point(&plan.ps_min, v));
+    let _ = writeln!(out, "PS_max           : {}", display_point(&plan.ps_max, v));
+    let _ = writeln!(
+        out,
+        "increment        : {}",
+        point::fmt_point(&plan.increment)
+    );
+    let _ = writeln!(out, "simple place     : {}", plan.simple_place);
+    let _ = writeln!(
+        out,
+        "first            : {}",
+        fmt_piecewise_point(&plan.first, plan, "  ")
+    );
+    let _ = writeln!(
+        out,
+        "last             : {}",
+        fmt_piecewise_point(&plan.last, plan, "  ")
+    );
+    let _ = writeln!(
+        out,
+        "count            : {}",
+        fmt_piecewise_scalar(&plan.count, plan, "  ")
+    );
+    for sp in &plan.streams {
+        let _ = writeln!(out, "--- stream {} ---", sp.name);
+        let kind = match &sp.kind {
+            StreamKind::Moving => "moving".to_string(),
+            StreamKind::Stationary { loading_vector } => {
+                format!(
+                    "stationary (loading vector {})",
+                    point::fmt_point(loading_vector)
+                )
+            }
+        };
+        let _ = writeln!(out, "  kind           : {kind}");
+        let _ = writeln!(out, "  flow           : {}", point::fmt_rat_point(&sp.flow));
+        let _ = writeln!(
+            out,
+            "  denominator    : {} ({} internal buffer(s))",
+            sp.denominator,
+            sp.denominator - 1
+        );
+        let _ = writeln!(
+            out,
+            "  increment_s    : {}",
+            point::fmt_point(&sp.increment_s)
+        );
+        let _ = writeln!(
+            out,
+            "  first_s        : {}",
+            fmt_piecewise_point(&sp.first_s, plan, "    ")
+        );
+        let _ = writeln!(
+            out,
+            "  last_s         : {}",
+            fmt_piecewise_point(&sp.last_s, plan, "    ")
+        );
+        let _ = writeln!(
+            out,
+            "  soak/recover   : {}",
+            fmt_piecewise_scalar(&sp.soak, plan, "    ")
+        );
+        let _ = writeln!(
+            out,
+            "  drain/load     : {}",
+            fmt_piecewise_scalar(&sp.drain, plan, "    ")
+        );
+        let _ = writeln!(
+            out,
+            "  pass total     : {}",
+            fmt_piecewise_scalar(&sp.pass_total, plan, "    ")
+        );
+        let dims: Vec<String> = sp
+            .io_dims
+            .iter()
+            .map(|d| {
+                format!(
+                    "dim {} (inputs at {}{})",
+                    d.dim,
+                    if d.input_at_min { "min" } else { "max" },
+                    if d.exclude_dims.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", excluding dims {:?}", d.exclude_dims)
+                    }
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  io boundaries  : [{}]", dims.join("; "));
+    }
+    out
+}
+
+/// Render the process-space layout at a concrete size as an ASCII grid
+/// (2-D) or line (1-D): `#` computation cells, `.` null processes
+/// (external buffers). The hardware papers' "array figure", textually.
+pub fn render_layout(plan: &SystolicProgram, env: &systolic_math::Env) -> String {
+    let mut out = String::new();
+    let bx = plan.ps_box(env);
+    match bx.len() {
+        1 => {
+            let (lo, hi) = bx[0];
+            let _ = write!(out, "cols {lo}..{hi}: ");
+            for col in lo..=hi {
+                out.push(if plan.in_cs(env, &[col]) { '#' } else { '.' });
+            }
+            let _ = writeln!(out);
+        }
+        2 => {
+            let (clo, chi) = bx[0];
+            let (rlo, rhi) = bx[1];
+            let _ = writeln!(
+                out,
+                "cols {clo}..{chi} (x), rows {rlo}..{rhi} (y, top down):"
+            );
+            for row in (rlo..=rhi).rev() {
+                let _ = write!(out, "{row:>4} | ");
+                for col in clo..=chi {
+                    out.push(if plan.in_cs(env, &[col, row]) {
+                        '#'
+                    } else {
+                        '.'
+                    });
+                    out.push(' ');
+                }
+                let _ = writeln!(out);
+            }
+        }
+        d => {
+            let _ = writeln!(out, "({d}-dimensional process space; no ASCII rendering)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    #[test]
+    fn reports_render_for_all_designs() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let text = super::render(&plan);
+            assert!(text.contains("increment"), "{label}");
+            assert!(text.contains("stream a"), "{label}");
+            assert!(text.len() > 400, "{label}: report too short");
+        }
+    }
+
+    #[test]
+    fn layouts_render() {
+        use systolic_math::Env;
+        // E.2 at n=2: the diagonal band in a 5x5 grid.
+        let (p, a) = paper::matmul_e2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 2);
+        let grid = super::render_layout(&plan, &env);
+        assert!(grid.contains('#'));
+        assert!(grid.contains('.'), "E.2 has null processes");
+        let hashes = grid.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes, 19, "band |col-row| <= 2 in the 5x5 box");
+        // D.1 at n=3: a full line.
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 3);
+        let line = super::render_layout(&plan, &env);
+        assert!(line.contains("####"));
+        let cells = line.split(": ").nth(1).unwrap().trim();
+        assert!(!cells.contains('.'), "no null processes for a simple place");
+    }
+
+    #[test]
+    fn d1_report_contains_paper_values() {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let text = super::render(&plan);
+        assert!(text.contains("PS_min           : 0"));
+        assert!(text.contains("PS_max           : n"));
+        assert!(text.contains("increment        : (0,1)"));
+        assert!(text.contains("flow           : 1/2"), "b's fractional flow");
+    }
+}

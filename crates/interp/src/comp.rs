@@ -1,0 +1,353 @@
+//! The computation-process virtual machine.
+//!
+//! Each computation process executes the canonical program shape of
+//! Appendix C–E:
+//!
+//! ```text
+//! load  s, drain_s          -- per stationary stream (keep 1st, pass rest)
+//! pass  m, soak_m           -- per moving stream (soaking)
+//! { first last increment }  -- the repeater: par-receive moving elements,
+//!                           --   execute the basic statement, par-send
+//! pass  m, drain_m          -- per moving stream (draining)
+//! recover s, soak_s         -- per stationary stream (pass, then eject)
+//! ```
+//!
+//! Since generated programs have no data-dependent control flow, the
+//! process compiles to a short instruction list interpreted by a state
+//! machine implementing [`Process`].
+
+use systolic_ir::{BasicStatement, Value};
+use systolic_runtime::{ChanId, CommReq, Process};
+
+/// One compiled instruction of a computation process.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// `receive` one value into the stream local (the keep of `load`).
+    RecvKeep { slot: usize, chan: ChanId },
+    /// `pass s, n`: `n` receive-forward cycles.
+    PassN {
+        in_chan: ChanId,
+        out_chan: ChanId,
+        n: i64,
+    },
+    /// `send` the stream local (the eject of `recover`).
+    SendLocal { slot: usize, chan: ChanId },
+    /// The repeater: `count` iterations of par-receive / execute /
+    /// par-send over the moving streams.
+    Compute,
+}
+
+/// Channel pair of one moving stream at this process.
+#[derive(Clone, Copy, Debug)]
+pub struct MovingChans {
+    pub slot: usize,
+    pub in_chan: ChanId,
+    pub out_chan: ChanId,
+}
+
+/// What the previously issued communication set was, so `step` can absorb
+/// its results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    None,
+    RecvKeep {
+        slot: usize,
+    },
+    /// A pass cycle's receive; the value must be forwarded next.
+    PassRecv {
+        out_chan: ChanId,
+    },
+    /// A pass cycle's send completed.
+    PassSent,
+    /// The repeater's par-receive; values land in moving-stream order.
+    ComputeRecv,
+    /// The repeater's par-send completed.
+    ComputeSent,
+    SendLocalDone,
+}
+
+/// The computation process at one point of the computation space.
+pub struct CompProc {
+    instrs: Vec<Instr>,
+    pc: usize,
+    /// Remaining cycles of the current `PassN`.
+    pass_left: i64,
+    pending: Pending,
+    /// One local per stream of the source program.
+    locals: Vec<Value>,
+    body: BasicStatement,
+    moving: Vec<MovingChans>,
+    /// The repeater.
+    first: Vec<i64>,
+    increment: Vec<i64>,
+    count: i64,
+    /// Current index point and iteration.
+    x: Vec<i64>,
+    t: i64,
+    label: String,
+}
+
+impl CompProc {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        instrs: Vec<Instr>,
+        n_streams: usize,
+        body: BasicStatement,
+        moving: Vec<MovingChans>,
+        first: Vec<i64>,
+        increment: Vec<i64>,
+        count: i64,
+        label: impl Into<String>,
+    ) -> CompProc {
+        let x = first.clone();
+        CompProc {
+            instrs,
+            pc: 0,
+            pass_left: -1,
+            pending: Pending::None,
+            locals: vec![0; n_streams],
+            body,
+            moving,
+            first,
+            increment,
+            count,
+            x,
+            t: 0,
+            label: label.into(),
+        }
+    }
+
+    /// Absorb the results of the previous set; returns a value to forward
+    /// if the previous op was a pass-receive.
+    fn absorb(&mut self, received: &[Value]) -> Option<Value> {
+        match self.pending {
+            Pending::None | Pending::PassSent | Pending::ComputeSent | Pending::SendLocalDone => {
+                None
+            }
+            Pending::RecvKeep { slot } => {
+                self.locals[slot] = received[0];
+                None
+            }
+            Pending::PassRecv { .. } => Some(received[0]),
+            Pending::ComputeRecv => {
+                for (mc, &v) in self.moving.iter().zip(received) {
+                    self.locals[mc.slot] = v;
+                }
+                // Execute the basic statement at the current index point.
+                self.body.execute(&mut self.locals, &self.x);
+                None
+            }
+        }
+    }
+}
+
+impl Process for CompProc {
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        // Phase 1: absorb the previous set.
+        let forward = self.absorb(received);
+        if let (Some(v), Pending::PassRecv { out_chan }) = (forward, self.pending) {
+            self.pending = Pending::PassSent;
+            return vec![CommReq::Send {
+                chan: out_chan,
+                value: v,
+            }];
+        }
+        if self.pending == Pending::ComputeRecv {
+            // Body executed in absorb; now par-send the moving locals.
+            self.pending = Pending::ComputeSent;
+            return self
+                .moving
+                .iter()
+                .map(|mc| CommReq::Send {
+                    chan: mc.out_chan,
+                    value: self.locals[mc.slot],
+                })
+                .collect();
+        }
+        if self.pending == Pending::ComputeSent {
+            // Iteration finished: advance the repeater.
+            self.t += 1;
+            for (xi, &inc) in self.x.iter_mut().zip(&self.increment) {
+                *xi += inc;
+            }
+        }
+
+        // Phase 2: issue the next communication.
+        loop {
+            let Some(instr) = self.instrs.get(self.pc) else {
+                self.pending = Pending::None;
+                return vec![];
+            };
+            match instr {
+                Instr::RecvKeep { slot, chan } => {
+                    let (slot, chan) = (*slot, *chan);
+                    self.pc += 1;
+                    self.pending = Pending::RecvKeep { slot };
+                    return vec![CommReq::Recv { chan }];
+                }
+                Instr::PassN {
+                    in_chan,
+                    out_chan,
+                    n,
+                } => {
+                    if self.pass_left < 0 {
+                        self.pass_left = *n;
+                    }
+                    if self.pass_left == 0 {
+                        self.pass_left = -1;
+                        self.pc += 1;
+                        continue;
+                    }
+                    self.pass_left -= 1;
+                    self.pending = Pending::PassRecv {
+                        out_chan: *out_chan,
+                    };
+                    return vec![CommReq::Recv { chan: *in_chan }];
+                }
+                Instr::SendLocal { slot, chan } => {
+                    let req = CommReq::Send {
+                        chan: *chan,
+                        value: self.locals[*slot],
+                    };
+                    self.pc += 1;
+                    self.pending = Pending::SendLocalDone;
+                    return vec![req];
+                }
+                Instr::Compute => {
+                    if self.t >= self.count {
+                        // Reset for a hypothetical later Compute (unused).
+                        self.pc += 1;
+                        self.t = 0;
+                        self.x = self.first.clone();
+                        continue;
+                    }
+                    if self.moving.is_empty() {
+                        // No communications: execute the whole repeater
+                        // locally in one go.
+                        while self.t < self.count {
+                            let x = self.x.clone();
+                            self.body.execute(&mut self.locals, &x);
+                            self.t += 1;
+                            for (xi, &inc) in self.x.iter_mut().zip(&self.increment) {
+                                *xi += inc;
+                            }
+                        }
+                        continue;
+                    }
+                    self.pending = Pending::ComputeRecv;
+                    return self
+                        .moving
+                        .iter()
+                        .map(|mc| CommReq::Recv { chan: mc.in_chan })
+                        .collect();
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ir::expr::build::*;
+    use systolic_runtime::{sink_buffer, ChannelPolicy, Network, SinkProc, SourceProc};
+
+    /// A single computation process computing c := c + a*b over a 3-long
+    /// chord, with a and b moving and c stationary-loaded.
+    #[test]
+    fn single_process_inner_product() {
+        let body = BasicStatement {
+            updates: vec![assign(2, add(s(2), mul(s(0), s(1))))],
+        };
+        // Channels: a: 0 -> 1; b: 2 -> 3; c: 4 -> 5 (stationary pipe).
+        let instrs = vec![
+            Instr::RecvKeep { slot: 2, chan: 4 },
+            Instr::PassN {
+                in_chan: 4,
+                out_chan: 5,
+                n: 0,
+            },
+            Instr::Compute,
+            Instr::PassN {
+                in_chan: 4,
+                out_chan: 5,
+                n: 0,
+            },
+            Instr::SendLocal { slot: 2, chan: 5 },
+        ];
+        let moving = vec![
+            MovingChans {
+                slot: 0,
+                in_chan: 0,
+                out_chan: 1,
+            },
+            MovingChans {
+                slot: 1,
+                in_chan: 2,
+                out_chan: 3,
+            },
+        ];
+        let comp = CompProc::new(instrs, 3, body, moving, vec![0, 0], vec![0, 1], 3, "comp");
+
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let a_out = sink_buffer();
+        let b_out = sink_buffer();
+        let c_out = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![2, 3, 4], "a-in")));
+        net.add(Box::new(SourceProc::new(2, vec![10, 100, 1000], "b-in")));
+        net.add(Box::new(SourceProc::new(4, vec![5], "c-in")));
+        net.add(Box::new(comp));
+        net.add(Box::new(SinkProc::new(1, 3, a_out.clone(), "a-out")));
+        net.add(Box::new(SinkProc::new(3, 3, b_out.clone(), "b-out")));
+        net.add(Box::new(SinkProc::new(5, 1, c_out.clone(), "c-out")));
+        net.run().unwrap();
+        assert_eq!(*a_out.lock(), vec![2, 3, 4], "a passes through");
+        assert_eq!(*b_out.lock(), vec![10, 100, 1000]);
+        assert_eq!(*c_out.lock(), vec![5 + 2 * 10 + 3 * 100 + 4 * 1000]);
+    }
+
+    /// Soak and drain: the process relays elements it does not use.
+    #[test]
+    fn soak_compute_drain() {
+        // Stream a moves through; process uses only the middle element
+        // (soak 1, compute 1, drain 1). Body: c := a (c never communicated;
+        // use SendLocal at the end on a scratch channel to observe it).
+        let body = BasicStatement {
+            updates: vec![assign(1, s(0))],
+        };
+        let instrs = vec![
+            Instr::PassN {
+                in_chan: 0,
+                out_chan: 1,
+                n: 1,
+            },
+            Instr::Compute,
+            Instr::PassN {
+                in_chan: 0,
+                out_chan: 1,
+                n: 1,
+            },
+            Instr::SendLocal { slot: 1, chan: 6 },
+        ];
+        let moving = vec![MovingChans {
+            slot: 0,
+            in_chan: 0,
+            out_chan: 1,
+        }];
+        let comp = CompProc::new(instrs, 2, body, moving, vec![0], vec![1], 1, "comp");
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let a_out = sink_buffer();
+        let kept = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![7, 8, 9], "a-in")));
+        net.add(Box::new(comp));
+        net.add(Box::new(SinkProc::new(1, 3, a_out.clone(), "a-out")));
+        net.add(Box::new(SinkProc::new(6, 1, kept.clone(), "kept")));
+        net.run().unwrap();
+        assert_eq!(*a_out.lock(), vec![7, 8, 9]);
+        assert_eq!(*kept.lock(), vec![8], "used the soaked-past middle element");
+    }
+}

@@ -1,0 +1,146 @@
+//! A human-readable map of the elaborated network: every process with
+//! its role, counts, and channels — the "linker map" of a systolic
+//! program. Useful for debugging designs and for teaching what the
+//! compiled plan actually builds at a given problem size.
+
+use std::fmt::Write as _;
+use systolic_core::{StreamKind, SystolicProgram};
+use systolic_math::{point, Env};
+
+/// Render the per-process map at a concrete problem size.
+pub fn describe(plan: &SystolicProgram, env: &Env) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== network map: {} ===", plan.source.name);
+    let bx = plan.ps_box(env);
+    let _ = writeln!(
+        out,
+        "process space: {}",
+        bx.iter()
+            .map(|(lo, hi)| format!("[{lo}..{hi}]"))
+            .collect::<Vec<_>>()
+            .join(" x ")
+    );
+
+    // Computation and buffer processes.
+    for y in plan.ps_points(env) {
+        if let Some(first) = plan.first_at(env, &y) {
+            let count = plan.count_at(env, &y);
+            let last = plan.last_at(env, &y).unwrap();
+            let _ = writeln!(
+                out,
+                "comp {:>10}  repeater {} -> {} ({} steps)",
+                point::fmt_point(&y),
+                point::fmt_point(&first),
+                point::fmt_point(&last),
+                count
+            );
+            for sp in &plan.streams {
+                let soak = plan.stream_count_at(&sp.soak, env, &y);
+                let drain = plan.stream_count_at(&sp.drain, env, &y);
+                let role = match &sp.kind {
+                    StreamKind::Moving => format!("soak {soak}, use {count}, drain {drain}"),
+                    StreamKind::Stationary { .. } => {
+                        format!("load (pass {drain}), keep 1, recover (pass {soak})")
+                    }
+                };
+                let _ = writeln!(out, "      {:<4} {role}", sp.name);
+            }
+        } else {
+            let passes: Vec<String> = plan
+                .streams
+                .iter()
+                .map(|sp| {
+                    let n = plan.stream_count_at(&sp.pass_total, env, &y);
+                    format!("{}:{}", sp.name, n)
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "null {:>10}  pass {}",
+                point::fmt_point(&y),
+                passes.join(" ")
+            );
+        }
+    }
+
+    // Pipes per stream.
+    let inside = |p: &Vec<i64>| p.iter().zip(&bx).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+    for sp in &plan.streams {
+        let _ = writeln!(
+            out,
+            "stream {} ({}), unit flow {}, {} relay(s)/edge:",
+            sp.name,
+            match &sp.kind {
+                StreamKind::Moving => "moving".to_string(),
+                StreamKind::Stationary { loading_vector } => format!(
+                    "stationary, loaded along {}",
+                    point::fmt_point(loading_vector)
+                ),
+            },
+            point::fmt_point(&sp.unit_flow),
+            sp.denominator - 1
+        );
+        for head in plan.ps_points(env) {
+            if inside(&point::sub(&head, &sp.unit_flow)) {
+                continue;
+            }
+            let mut len = 0;
+            let mut z = head.clone();
+            while inside(&z) {
+                len += 1;
+                z = point::add(&z, &sp.unit_flow);
+            }
+            let (contents, first, last) = match (
+                plan.stream_point_at(&sp.first_s, env, &head),
+                plan.stream_point_at(&sp.last_s, env, &head),
+            ) {
+                (Some(f), Some(l)) => {
+                    let n = point::exact_div(&point::sub(&l, &f), &sp.increment_s).unwrap() + 1;
+                    (n, point::fmt_point(&f), point::fmt_point(&l))
+                }
+                _ => (0, "-".into(), "-".into()),
+            };
+            let _ = writeln!(
+                out,
+                "  pipe @{:<10} length {len:>3}, {contents:>3} element(s) {first} .. {last}",
+                point::fmt_point(&head)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    #[test]
+    fn map_describes_d1() {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 3);
+        let map = describe(&plan, &env);
+        assert!(map.contains("comp"));
+        assert!(map.contains("load (pass"));
+        assert!(map.contains("stream b (moving), unit flow 1, 1 relay(s)/edge"));
+        // One pipe per stream for the 1-D array.
+        assert_eq!(map.matches("pipe @").count(), 3);
+    }
+
+    #[test]
+    fn map_shows_null_processes_for_e2() {
+        let (p, a) = paper::matmul_e2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 2);
+        let map = describe(&plan, &env);
+        assert!(map.contains("null"));
+        // Null pipes exist in the corners (0 elements).
+        assert!(map.contains("0 element(s)"));
+        // 19 computation cells at n = 2.
+        assert_eq!(map.matches("comp ").count(), 19);
+    }
+}

@@ -1,0 +1,551 @@
+//! Elaboration: instantiate a symbolic [`SystolicProgram`] at a concrete
+//! problem size as a network of virtual processes.
+//!
+//! The construction follows Appendix C's channel discipline — stream `s`
+//! has a channel family along its flow, `s_chan[y]` connecting
+//! `y - flow.s -> y` — realized as one FIFO pipe per equivalence class of
+//! process-space points under translation by the stream's unit flow. Each
+//! pipe gets an input process at its upstream end, `d - 1` relay buffers
+//! ahead of every process for a flow of denominator `d` (Sec. 7.6,
+//! "inserted in between each computation process ... for the sake of
+//! regularity" also ahead of the first), and an output process downstream.
+
+use crate::comp::{CompProc, Instr, MovingChans};
+use std::collections::HashMap;
+use systolic_core::{StreamKind, SystolicProgram};
+use systolic_ir::HostStore;
+use systolic_math::{point, Env};
+use systolic_runtime::{sink_buffer, ChanId, Process, RelayProc, SinkBuffer, SinkProc, SourceProc};
+use systolic_runtime::{ScriptedSink, ScriptedSource};
+
+/// Where an output pipe's values must be restored.
+pub struct OutputBinding {
+    pub variable: String,
+    /// Element identities, in arrival order.
+    pub elements: Vec<Vec<i64>>,
+    pub buffer: SinkBuffer,
+}
+
+/// Census of the elaborated network, for reports and experiments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Census {
+    pub computation: usize,
+    /// Splitter/merger escort processes (split-propagation protocol).
+    pub escorts: usize,
+    /// Null processes of `PS \ CS` (external buffers), counted per stream.
+    pub external_buffers: usize,
+    /// Internal (fractional-flow) relay buffers.
+    pub internal_buffers: usize,
+    pub inputs: usize,
+    pub outputs: usize,
+    pub channels: usize,
+}
+
+/// The elaborated network, ready to run.
+pub struct Elaborated {
+    pub procs: Vec<Box<dyn Process>>,
+    pub outputs: Vec<OutputBinding>,
+    pub census: Census,
+    /// Per (stream index, process-space point): the channel into and out
+    /// of the process at that point — the map behind `s_chan[y]`
+    /// (Appendix C). Used by the space-time tracer.
+    pub endpoints: Vec<(usize, Vec<i64>, ChanId, ChanId)>,
+}
+
+/// Options controlling elaboration (ablation hooks and protocol
+/// variants).
+#[derive(Clone, Debug)]
+pub struct ElabOptions {
+    /// Insert the `d - 1` internal buffers fractional flows require
+    /// (Sec. 7.6). Disabling demonstrates the timing effect.
+    pub internal_buffers: bool,
+    /// Use the *split propagation* protocol: soaking and draining of
+    /// moving streams run in per-stream escort processes
+    /// (splitter/merger pairs) instead of sequential phases inside the
+    /// computation process. The paper's phase protocol "is only one of
+    /// many possible choices" (Sec. 4.2) and is not deadlock-free for
+    /// every valid design (two streams sharing an index map couple the
+    /// phases against the repeater's par-sends — found by fuzzing);
+    /// splitting removes the cross-stream coupling.
+    pub split_propagation: bool,
+    /// Merge the per-pipe i/o processes of each stream into a single host
+    /// input and a single host output process, feeding/draining the pipes
+    /// in round-robin element order — the optimization the paper defers
+    /// ("at a later stage, these may be merged into fewer processes",
+    /// Sec. 4.2).
+    pub merge_io: bool,
+}
+
+impl Default for ElabOptions {
+    fn default() -> ElabOptions {
+        ElabOptions {
+            internal_buffers: true,
+            split_propagation: false,
+            merge_io: false,
+        }
+    }
+}
+
+struct ChanAlloc(ChanId);
+
+impl ChanAlloc {
+    fn next(&mut self) -> ChanId {
+        let c = self.0;
+        self.0 += 1;
+        c
+    }
+}
+
+/// Build the process network for `plan` at the problem size bound in
+/// `env`, reading initial stream data from `store`.
+pub fn elaborate(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    opts: &ElabOptions,
+) -> Elaborated {
+    let ps = plan.ps_box(env);
+    let in_ps = |p: &[i64]| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+    let ps_points = plan.ps_points(env);
+
+    let mut chans = ChanAlloc(0);
+    let mut procs: Vec<Box<dyn Process>> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut census = Census::default();
+    // (stream, point) -> (in_chan, out_chan)
+    let mut endpoint: HashMap<(usize, Vec<i64>), (ChanId, ChanId)> = HashMap::new();
+    // (stream, point) -> pipe element count
+    let mut pipe_n: HashMap<(usize, Vec<i64>), i64> = HashMap::new();
+
+    struct PipeIo {
+        entry: ChanId,
+        exit: ChanId,
+        head: Vec<i64>,
+        tail: Vec<i64>,
+        values: Vec<i64>,
+        elements: Vec<Vec<i64>>,
+    }
+
+    for sp in &plan.streams {
+        let u = &sp.unit_flow;
+        let relays = if opts.internal_buffers {
+            sp.denominator - 1
+        } else {
+            0
+        };
+        let mut pipe_ios: Vec<PipeIo> = Vec::new();
+        for head in &ps_points {
+            if in_ps(&point::sub(head, u)) {
+                continue; // not the upstream end of a pipe
+            }
+            // Walk the chain.
+            let mut chain = Vec::new();
+            let mut z = head.clone();
+            while in_ps(&z) {
+                chain.push(z.clone());
+                z = point::add(&z, u);
+            }
+            // Pipe contents from first_s / last_s at the head.
+            let first_s = plan.stream_point_at(&sp.first_s, env, head);
+            let last_s = plan.stream_point_at(&sp.last_s, env, head);
+            let (elements, n) = match (first_s, last_s) {
+                (Some(f), Some(l)) => {
+                    let k = point::exact_div(&point::sub(&l, &f), &sp.increment_s)
+                        .expect("pipe ends not aligned with increment_s");
+                    assert!(k >= 0, "last_s precedes first_s");
+                    let elems: Vec<Vec<i64>> = (0..=k)
+                        .map(|t| point::add(&f, &point::scale(t, &sp.increment_s)))
+                        .collect();
+                    let n = elems.len() as i64;
+                    (elems, n)
+                }
+                _ => (Vec::new(), 0),
+            };
+            for z in &chain {
+                pipe_n.insert((sp.id.0, z.clone()), n);
+            }
+
+            // Pipe entry channel and chain with relays ahead of every
+            // process.
+            let entry = chans.next();
+            let mut prev = entry;
+            for z in &chain {
+                for r in 0..relays {
+                    let nxt = chans.next();
+                    procs.push(Box::new(RelayProc::new(
+                        prev,
+                        nxt,
+                        n.max(0) as usize,
+                        format!("buf{r}:{}@{}", sp.name, point::fmt_point(z)),
+                    )));
+                    census.internal_buffers += 1;
+                    prev = nxt;
+                }
+                let out = chans.next();
+                endpoint.insert((sp.id.0, z.clone()), (prev, out));
+                prev = out;
+            }
+            let values: Vec<i64> = elements
+                .iter()
+                .map(|e| store.get(&sp.name).get(e))
+                .collect();
+            pipe_ios.push(PipeIo {
+                entry,
+                exit: prev,
+                head: head.clone(),
+                tail: chain.last().unwrap().clone(),
+                values,
+                elements,
+            });
+        }
+
+        // Emit i/o processes: one per pipe (the paper's abstract layout)
+        // or merged per stream (the deferred optimization).
+        if opts.merge_io {
+            let max_len = pipe_ios.iter().map(|p| p.values.len()).max().unwrap_or(0);
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            let mut merged_elems = Vec::new();
+            for t in 0..max_len {
+                for p in &pipe_ios {
+                    if t < p.values.len() {
+                        sends.push((p.entry, p.values[t]));
+                        recvs.push(p.exit);
+                        merged_elems.push(p.elements[t].clone());
+                    }
+                }
+            }
+            procs.push(Box::new(ScriptedSource::new(
+                sends,
+                format!("in:{}", sp.name),
+            )));
+            let buffer = sink_buffer();
+            procs.push(Box::new(ScriptedSink::new(
+                recvs,
+                buffer.clone(),
+                format!("out:{}", sp.name),
+            )));
+            census.inputs += 1;
+            census.outputs += 1;
+            outputs.push(OutputBinding {
+                variable: sp.name.clone(),
+                elements: merged_elems,
+                buffer,
+            });
+        } else {
+            for p in pipe_ios {
+                procs.push(Box::new(SourceProc::new(
+                    p.entry,
+                    p.values,
+                    format!("in:{}@{}", sp.name, point::fmt_point(&p.head)),
+                )));
+                census.inputs += 1;
+                let buffer = sink_buffer();
+                procs.push(Box::new(SinkProc::new(
+                    p.exit,
+                    p.elements.len(),
+                    buffer.clone(),
+                    format!("out:{}@{}", sp.name, point::fmt_point(&p.tail)),
+                )));
+                census.outputs += 1;
+                outputs.push(OutputBinding {
+                    variable: sp.name.clone(),
+                    elements: p.elements,
+                    buffer,
+                });
+            }
+        }
+    }
+
+    // Processes at every PS point.
+    for y in &ps_points {
+        if let Some(first) = plan.first_at(env, y) {
+            // Computation process.
+            let count = plan.count_at(env, y);
+            let mut env_y = env.clone();
+            plan.bind_coords(&mut env_y, y);
+            let mut instrs = Vec::new();
+            let mut moving = Vec::new();
+            // Loads.
+            for sp in &plan.streams {
+                if let StreamKind::Stationary { .. } = sp.kind {
+                    let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
+                    let drain = plan.stream_count_at(&sp.drain, env, y);
+                    instrs.push(Instr::RecvKeep {
+                        slot: sp.id.0,
+                        chan: ic,
+                    });
+                    instrs.push(Instr::PassN {
+                        in_chan: ic,
+                        out_chan: oc,
+                        n: drain,
+                    });
+                }
+            }
+            // Soaks (paper protocol) or escort processes (split
+            // propagation).
+            for sp in &plan.streams {
+                if sp.kind == StreamKind::Moving {
+                    let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
+                    let soak = plan.stream_count_at(&sp.soak, env, y);
+                    let drain = plan.stream_count_at(&sp.drain, env, y);
+                    if opts.split_propagation {
+                        let cs = chans.next(); // splitter -> comp
+                        let cm = chans.next(); // comp -> merger
+                        let sm = chans.next(); // splitter -> merger
+                        procs.push(Box::new(systolic_runtime::SegmentRelay::new(
+                            vec![
+                                (ic, sm, soak.max(0) as usize),
+                                (ic, cs, count.max(0) as usize),
+                                (ic, sm, drain.max(0) as usize),
+                            ],
+                            format!("split:{}@{}", sp.name, point::fmt_point(y)),
+                        )));
+                        procs.push(Box::new(systolic_runtime::SegmentRelay::new(
+                            vec![
+                                (sm, oc, soak.max(0) as usize),
+                                (cm, oc, count.max(0) as usize),
+                                (sm, oc, drain.max(0) as usize),
+                            ],
+                            format!("merge:{}@{}", sp.name, point::fmt_point(y)),
+                        )));
+                        census.escorts += 2;
+                        moving.push(MovingChans {
+                            slot: sp.id.0,
+                            in_chan: cs,
+                            out_chan: cm,
+                        });
+                    } else {
+                        instrs.push(Instr::PassN {
+                            in_chan: ic,
+                            out_chan: oc,
+                            n: soak,
+                        });
+                        moving.push(MovingChans {
+                            slot: sp.id.0,
+                            in_chan: ic,
+                            out_chan: oc,
+                        });
+                    }
+                }
+            }
+            instrs.push(Instr::Compute);
+            // Drains (paper protocol only; escorts already handle them).
+            if !opts.split_propagation {
+                for sp in &plan.streams {
+                    if sp.kind == StreamKind::Moving {
+                        let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
+                        let drain = plan.stream_count_at(&sp.drain, env, y);
+                        instrs.push(Instr::PassN {
+                            in_chan: ic,
+                            out_chan: oc,
+                            n: drain,
+                        });
+                    }
+                }
+            }
+            // Recoveries.
+            for sp in &plan.streams {
+                if let StreamKind::Stationary { .. } = sp.kind {
+                    let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
+                    let soak = plan.stream_count_at(&sp.soak, env, y);
+                    instrs.push(Instr::PassN {
+                        in_chan: ic,
+                        out_chan: oc,
+                        n: soak,
+                    });
+                    instrs.push(Instr::SendLocal {
+                        slot: sp.id.0,
+                        chan: oc,
+                    });
+                }
+            }
+            procs.push(Box::new(CompProc::new(
+                instrs,
+                plan.streams.len(),
+                plan.source.body.clone(),
+                moving,
+                first,
+                plan.increment.clone(),
+                count,
+                format!("comp@{}", point::fmt_point(y)),
+            )));
+            census.computation += 1;
+        } else {
+            // Null process: external buffer, one relay per stream
+            // (the paper composes the passes in `par`; independent relay
+            // processes are the same composition).
+            for sp in &plan.streams {
+                let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
+                let n = pipe_n[&(sp.id.0, y.clone())];
+                procs.push(Box::new(RelayProc::new(
+                    ic,
+                    oc,
+                    n.max(0) as usize,
+                    format!("extbuf:{}@{}", sp.name, point::fmt_point(y)),
+                )));
+                census.external_buffers += 1;
+            }
+        }
+    }
+
+    census.channels = chans.0;
+    let endpoints = endpoint
+        .into_iter()
+        .map(|((sid, y), (ic, oc))| (sid, y, ic, oc))
+        .collect();
+    Elaborated {
+        procs,
+        outputs,
+        census,
+        endpoints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    fn plan_of(
+        pair: (
+            systolic_ir::SourceProgram,
+            systolic_synthesis::SystolicArray,
+        ),
+    ) -> SystolicProgram {
+        let (p, a) = pair;
+        compile(&p, &a, &Options::default()).unwrap()
+    }
+
+    #[test]
+    fn d1_census() {
+        let plan = plan_of(paper::polyprod_d1());
+        let n = 4i64;
+        let mut env = Env::new();
+        env.bind(plan.source.sizes[0], n);
+        let store = HostStore::allocate(&plan.source, &env);
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default());
+        // n+1 computation processes; 3 pipes (one per stream, 1-D);
+        // b has denominator 2 -> one internal buffer per column.
+        assert_eq!(el.census.computation, (n + 1) as usize);
+        assert_eq!(el.census.inputs, 3);
+        assert_eq!(el.census.outputs, 3);
+        assert_eq!(el.census.internal_buffers, (n + 1) as usize);
+        assert_eq!(el.census.external_buffers, 0, "CS = PS for simple place");
+    }
+
+    #[test]
+    fn e2_census_has_external_buffers() {
+        let plan = plan_of(paper::matmul_e2());
+        let n = 2i64;
+        let mut env = Env::new();
+        env.bind(plan.source.sizes[0], n);
+        let store = HostStore::allocate(&plan.source, &env);
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default());
+        let side = 2 * n + 1;
+        let ps = (side * side) as usize;
+        // CS: |col - row| <= n band.
+        let cs: usize = (0..side * side)
+            .map(|i| (i / side - n, i % side - n))
+            .filter(|&(c, r)| (c - r).abs() <= n)
+            .count();
+        assert_eq!(el.census.computation, cs);
+        assert_eq!(el.census.external_buffers, (ps - cs) * 3);
+        assert_eq!(el.census.internal_buffers, 0);
+        // Pipes: a and b have 2n+1 each (vertical / horizontal), c has
+        // one per anti-diagonal line of the box = 2*(2n+1) - 1.
+        let expect_pipes = (side + side + (2 * side - 1)) as usize;
+        assert_eq!(el.census.inputs, expect_pipes);
+        assert_eq!(el.census.outputs, expect_pipes);
+    }
+
+    #[test]
+    fn census_invariants() {
+        // inputs == outputs (one source and one sink per pipe), and the
+        // endpoints cover exactly PS x streams.
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let mut env = Env::new();
+            env.bind(plan.source.sizes[0], 3);
+            let store = HostStore::allocate(&plan.source, &env);
+            let el = elaborate(&plan, &env, &store, &ElabOptions::default());
+            assert_eq!(el.census.inputs, el.census.outputs, "{label}");
+            let ps_count = plan.ps_points(&env).len();
+            assert_eq!(
+                el.endpoints.len(),
+                ps_count * plan.streams.len(),
+                "{label}: every (stream, PS point) has channel endpoints"
+            );
+            // Channel ids are unique across endpoints per side.
+            let mut ins: Vec<_> = el.endpoints.iter().map(|(_, _, i, _)| *i).collect();
+            ins.sort_unstable();
+            ins.dedup();
+            assert_eq!(ins.len(), el.endpoints.len(), "{label}: in-channels unique");
+            // Total processes = comp + null buffers + internal buffers
+            // + escorts + inputs + outputs.
+            assert_eq!(
+                el.procs.len(),
+                el.census.computation
+                    + el.census.external_buffers
+                    + el.census.internal_buffers
+                    + el.census.escorts
+                    + el.census.inputs
+                    + el.census.outputs,
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipe_conservation_invariant() {
+        // soak + count + drain = pipe N for every computation process and
+        // moving stream (the FIFO conservation law).
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let mut env = Env::new();
+            env.bind(plan.source.sizes[0], 3);
+            for y in plan.ps_points(&env) {
+                let Some(_) = plan.first_at(&env, &y) else {
+                    continue;
+                };
+                let count = plan.count_at(&env, &y);
+                for sp in &plan.streams {
+                    let soak = plan.stream_count_at(&sp.soak, &env, &y);
+                    let drain = plan.stream_count_at(&sp.drain, &env, &y);
+                    // Walk to the pipe head to get N.
+                    let mut head = y.clone();
+                    let ps = plan.ps_box(&env);
+                    let inside =
+                        |p: &Vec<i64>| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+                    loop {
+                        let prev = point::sub(&head, &sp.unit_flow);
+                        if !inside(&prev) {
+                            break;
+                        }
+                        head = prev;
+                    }
+                    let f = plan.stream_point_at(&sp.first_s, &env, &head);
+                    let l = plan.stream_point_at(&sp.last_s, &env, &head);
+                    let n = match (f, l) {
+                        (Some(f), Some(l)) => {
+                            point::exact_div(&point::sub(&l, &f), &sp.increment_s).unwrap() + 1
+                        }
+                        _ => 0,
+                    };
+                    let used = match sp.kind {
+                        StreamKind::Moving => count,
+                        StreamKind::Stationary { .. } => 1,
+                    };
+                    assert_eq!(
+                        soak + used + drain,
+                        n,
+                        "{label}: stream {} at {:?}",
+                        sp.name,
+                        y
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Execution of elaborated plans and equivalence checking against the
+//! sequential reference — the mechanized version of the paper's Sec. 8
+//! experiments (hand translations run on transputer networks and a
+//! Symult s2010).
+
+use crate::elaborate::{elaborate, ElabOptions, Elaborated};
+use std::time::Duration;
+use systolic_core::SystolicProgram;
+use systolic_ir::{seq, HostStore};
+use systolic_math::Env;
+use systolic_runtime::{run_threaded, ChannelPolicy, Deadlock, Network, RunStats};
+
+/// Outcome of a systolic run.
+pub struct SystolicRun {
+    /// The host store after recovery/extraction.
+    pub store: HostStore,
+    pub stats: RunStats,
+    pub census: crate::elaborate::Census,
+}
+
+fn writeback(outputs: &[crate::elaborate::OutputBinding], store: &mut HostStore) {
+    for out in outputs {
+        let values = out.buffer.lock();
+        assert_eq!(
+            values.len(),
+            out.elements.len(),
+            "output pipe for {} returned {} of {} elements",
+            out.variable,
+            values.len(),
+            out.elements.len()
+        );
+        let arr = store.get_mut(&out.variable);
+        for (e, &v) in out.elements.iter().zip(values.iter()) {
+            arr.set(e, v);
+        }
+    }
+}
+
+/// Run the plan on the cooperative scheduler. `store` supplies the input
+/// data; the result store contains everything the array recovered.
+pub fn run_plan(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+) -> Result<SystolicRun, Deadlock> {
+    let Elaborated {
+        procs,
+        outputs,
+        census,
+        ..
+    } = elaborate(plan, env, store, opts);
+    let mut net = Network::new(policy);
+    for p in procs {
+        net.add(p);
+    }
+    let stats = net.run()?;
+    let mut result = store.clone();
+    writeback(&outputs, &mut result);
+    Ok(SystolicRun {
+        store: result,
+        stats,
+        census,
+    })
+}
+
+/// Run the plan on OS threads (wall-clock parallelism).
+pub fn run_plan_threaded(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    timeout: Duration,
+) -> Result<SystolicRun, String> {
+    let Elaborated {
+        procs,
+        outputs,
+        census,
+        ..
+    } = elaborate(plan, env, store, &ElabOptions::default());
+    let stats = run_threaded(procs, timeout)?;
+    let mut result = store.clone();
+    writeback(&outputs, &mut result);
+    Ok(SystolicRun {
+        store: result,
+        stats,
+        census,
+    })
+}
+
+/// Run the plan partitioned onto `workers` OS threads (the paper's
+/// Sec. 8 "not enough processors" refinement): virtual processes are
+/// block-assigned to workers and multiplexed cooperatively.
+pub fn run_plan_partitioned(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    workers: usize,
+    timeout: Duration,
+) -> Result<SystolicRun, String> {
+    let Elaborated {
+        procs,
+        outputs,
+        census,
+        ..
+    } = elaborate(plan, env, store, &ElabOptions::default());
+    let groups = systolic_runtime::block_partition(procs.len(), workers);
+    let stats = systolic_runtime::run_partitioned(procs, groups, timeout)?;
+    let mut result = store.clone();
+    writeback(&outputs, &mut result);
+    Ok(SystolicRun {
+        store: result,
+        stats,
+        census,
+    })
+}
+
+/// The end-to-end equivalence experiment: fill the named input variables
+/// with seeded data, run both the sequential reference and the systolic
+/// program, and compare every variable of the store.
+pub fn verify_equivalence(
+    plan: &SystolicProgram,
+    env: &Env,
+    inputs: &[&str],
+    seed: u64,
+) -> Result<RunStats, String> {
+    verify_equivalence_with(plan, env, inputs, seed, &ElabOptions::default())
+}
+
+/// [`verify_equivalence`] under explicit elaboration options (protocol
+/// variants, ablations).
+pub fn verify_equivalence_with(
+    plan: &SystolicProgram,
+    env: &Env,
+    inputs: &[&str],
+    seed: u64,
+    opts: &ElabOptions,
+) -> Result<RunStats, String> {
+    let mut store = HostStore::allocate(&plan.source, env);
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    let mut expected = store.clone();
+    seq::run(&plan.source, env, &mut expected);
+
+    let run =
+        run_plan(plan, env, &store, ChannelPolicy::Rendezvous, opts).map_err(|d| d.to_string())?;
+    for name in expected.names() {
+        if run.store.get(name) != expected.get(name) {
+            return Err(format!(
+                "variable {name} differs between sequential and systolic execution"
+            ));
+        }
+    }
+    Ok(run.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    fn size_env(plan: &SystolicProgram, n: i64) -> Env {
+        let mut env = Env::new();
+        for &s in &plan.source.sizes {
+            env.bind(s, n);
+        }
+        env
+    }
+
+    #[test]
+    fn d1_executes_correctly() {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        for n in 1..=6 {
+            let env = size_env(&plan, n);
+            verify_equivalence(&plan, &env, &["a", "b"], 42 + n as u64)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn d2_executes_correctly() {
+        let (p, a) = paper::polyprod_d2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        for n in 1..=6 {
+            let env = size_env(&plan, n);
+            verify_equivalence(&plan, &env, &["a", "b"], 7 + n as u64)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn e1_executes_correctly() {
+        let (p, a) = paper::matmul_e1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        for n in 1..=4 {
+            let env = size_env(&plan, n);
+            verify_equivalence(&plan, &env, &["a", "b"], 100 + n as u64)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn e2_executes_correctly() {
+        let (p, a) = paper::matmul_e2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        for n in 1..=4 {
+            let env = size_env(&plan, n);
+            verify_equivalence(&plan, &env, &["a", "b"], 200 + n as u64)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn threaded_executor_agrees() {
+        let (p, a) = paper::matmul_e1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let n = 3;
+        let env = size_env(&plan, n);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        store.fill_random("a", 5, -9, 9);
+        store.fill_random("b", 6, -9, 9);
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+        let run = run_plan_threaded(&plan, &env, &store, Duration::from_secs(30)).unwrap();
+        assert_eq!(run.store.get("c"), expected.get("c"));
+        assert_eq!(
+            run.store.get("a"),
+            expected.get("a"),
+            "a recovered unchanged"
+        );
+    }
+
+    #[test]
+    fn partitioned_executor_agrees_for_every_worker_count() {
+        let (p, a) = paper::matmul_e2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let n = 2;
+        let env = size_env(&plan, n);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        store.fill_random("a", 8, -9, 9);
+        store.fill_random("b", 9, -9, 9);
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+        for workers in [1usize, 2, 4, 16] {
+            let run = run_plan_partitioned(&plan, &env, &store, workers, Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+            assert_eq!(run.store.get("c"), expected.get("c"), "workers={workers}");
+            assert_eq!(run.store.get("a"), expected.get("a"), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn internal_buffer_ablation() {
+        // D.1's stream b has flow 1/2; Sec. 7.6 inserts one buffer per
+        // edge to realize the half-speed movement of the synchronous
+        // schedule. The *asynchronous* semantics tolerates their removal
+        // (results stay correct — rendezvous never loses FIFO order), but
+        // the timing changes: the buffers add pipeline slack. We verify
+        // correctness in both configurations and that the round counts
+        // differ, which is what the ablation benchmark measures.
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let env = size_env(&plan, 5);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        store.fill_random("a", 1, -5, 5);
+        store.fill_random("b", 2, -5, 5);
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+
+        let with = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        let without = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions {
+                internal_buffers: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.store.get("c"), expected.get("c"));
+        assert_eq!(without.store.get("c"), expected.get("c"));
+        assert!(with.census.internal_buffers > 0);
+        assert_eq!(without.census.internal_buffers, 0);
+        assert_ne!(with.stats.rounds, without.stats.rounds, "timing differs");
+    }
+
+    #[test]
+    fn buffered_channels_also_work() {
+        let (p, a) = paper::polyprod_d2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let env = size_env(&plan, 4);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        store.fill_random("a", 3, -5, 5);
+        store.fill_random("b", 4, -5, 5);
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+        let run = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Buffered(4),
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.store.get("c"), expected.get("c"));
+    }
+
+    #[test]
+    fn gallery_programs_execute_via_derived_arrays() {
+        use systolic_ir::gallery;
+        for p in gallery::all() {
+            let a = systolic_synthesis::derive_array(&p, 2, 4).unwrap();
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let mut env = Env::new();
+            for &s in &p.sizes {
+                env.bind(s, 3);
+            }
+            let inputs: Vec<&str> = match p.name.as_str() {
+                "fir_filter" => vec!["h", "x"],
+                _ => vec!["a", "b"],
+            };
+            verify_equivalence(&plan, &env, &inputs, 11)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn makespan_is_linear_not_cubic() {
+        // The headline claim: the systolic program's virtual clock grows
+        // linearly in n while sequential work grows cubically (matmul).
+        let (p, a) = paper::matmul_e1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut rounds = Vec::new();
+        for n in [2i64, 4, 6] {
+            let env = size_env(&plan, n);
+            let stats = verify_equivalence(&plan, &env, &["a", "b"], 1).unwrap();
+            rounds.push((n, stats.rounds));
+        }
+        // Roughly linear: rounds(6)/rounds(2) well below (6/2)^3 = 27.
+        let ratio = rounds[2].1 as f64 / rounds[0].1 as f64;
+        assert!(ratio < 9.0, "rounds {rounds:?} grew superlinearly");
+    }
+}

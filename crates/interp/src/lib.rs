@@ -1,0 +1,27 @@
+//! # systolic-interp
+//!
+//! Elaboration and execution of compiled systolic programs: the bridge
+//! between the symbolic plan (`systolic-core`) and the simulated
+//! distributed-memory machine (`systolic-runtime`).
+//!
+//! - [`comp`] — the computation-process virtual machine (the canonical
+//!   load / soak / repeater / drain / recover program shape);
+//! - [`elaborate`] — pipe construction, channel allocation, buffer
+//!   insertion at a concrete problem size;
+//! - [`exec`] — running plans on either executor and verifying
+//!   observational equivalence with the sequential reference.
+
+pub mod comp;
+pub mod describe;
+pub mod elaborate;
+pub mod exec;
+pub mod runtime_gen;
+pub mod rustgen;
+pub mod trace;
+
+pub use describe::describe;
+pub use elaborate::{elaborate, Census, ElabOptions, Elaborated, OutputBinding};
+pub use exec::{
+    run_plan, run_plan_partitioned, run_plan_threaded, verify_equivalence, verify_equivalence_with,
+    SystolicRun,
+};

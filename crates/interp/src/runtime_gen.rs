@@ -1,0 +1,184 @@
+//! The run-time code-generation baseline (ablation B3d).
+//!
+//! Sec. 8 situates the paper on a spectrum: "generation at run time has
+//! each process determine the identity and ordering of its statements
+//! from the loop bounds specified in the source program and its
+//! coordinates in the process space. This is done either as a separate
+//! phase before execution or interleaved with it [3, 25]. At the other
+//! end of the spectrum is our approach."
+//!
+//! This module implements the *other* end: given only the source program
+//! and the array (no compiled plan), every per-process quantity — chord,
+//! soak/drain counts, pipe contents — is recovered by scanning the index
+//! space, once per process, exactly as a run-time generator would. The
+//! outputs must agree with the compiled plan (tested), and the scan cost
+//! is what the benchmark compares against plan evaluation.
+
+use std::collections::HashMap;
+use systolic_core::{StreamKind, SystolicProgram};
+use systolic_math::{point, Env};
+
+/// Everything one process needs, derived by brute-force scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScannedProcess {
+    /// The chord in step order (empty for null processes).
+    pub chord: Vec<Vec<i64>>,
+    /// Per stream: (soak, used, drain) counts along its pipe.
+    pub propagation: Vec<(i64, i64, i64)>,
+}
+
+/// Scan the whole index space once and derive per-process data for every
+/// process-space point — the run-time generator's "separate phase before
+/// execution". Returns the map and the number of index points visited
+/// (the work metric).
+pub fn scan(plan: &SystolicProgram, env: &Env) -> (HashMap<Vec<i64>, ScannedProcess>, usize) {
+    let mut out: HashMap<Vec<i64>, ScannedProcess> = HashMap::new();
+    let n_streams = plan.streams.len();
+    for y in plan.ps_points(env) {
+        out.insert(
+            y,
+            ScannedProcess {
+                chord: Vec::new(),
+                propagation: vec![(0, 0, 0); n_streams],
+            },
+        );
+    }
+    // Pass 1: chords.
+    let mut visited = 0usize;
+    for x in plan.source.index_space_seq(env) {
+        visited += 1;
+        let y = plan.array.place_at(&x);
+        out.get_mut(&y)
+            .expect("place image inside PS")
+            .chord
+            .push(x);
+    }
+    for sp in out.values_mut() {
+        let step = &plan.array.step;
+        sp.chord.sort_by_key(|x| point::dot(step, x));
+    }
+
+    // Pass 2: per-stream pipe propagation. For each pipe (chain along the
+    // stream's unit flow), order the pipe's elements by increment_s and
+    // count, for each process, how many elements precede its first used
+    // element and follow its last.
+    let ps = plan.ps_box(env);
+    let inside = |p: &[i64]| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+    let ys: Vec<Vec<i64>> = out.keys().cloned().collect();
+    for (k, spn) in plan.streams.iter().enumerate() {
+        let m = &plan.source.stream(spn.id).index_map;
+        for head in &ys {
+            if inside(&point::sub(head, &spn.unit_flow)) {
+                continue;
+            }
+            // Collect the chain and every element used along it.
+            let mut chain = Vec::new();
+            let mut z = head.clone();
+            while inside(&z) {
+                chain.push(z.clone());
+                z = point::add(&z, &spn.unit_flow);
+            }
+            let mut elems: Vec<Vec<i64>> = Vec::new();
+            for z in &chain {
+                for x in &out[z].chord {
+                    let e = m.apply_int(x);
+                    if !elems.contains(&e) {
+                        elems.push(e);
+                    }
+                }
+            }
+            // Order along increment_s.
+            elems.sort_by_key(|e| point::dot(&spn.increment_s, e));
+            let rank: HashMap<&Vec<i64>, i64> = elems
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e, i as i64))
+                .collect();
+            let total = elems.len() as i64;
+            for z in &chain {
+                let used: Vec<i64> = out[z].chord.iter().map(|x| rank[&m.apply_int(x)]).collect();
+                let prop = if used.is_empty() {
+                    (0, 0, 0)
+                } else {
+                    let lo = *used.iter().min().unwrap();
+                    let hi = *used.iter().max().unwrap();
+                    let distinct = if matches!(spn.kind, StreamKind::Stationary { .. }) {
+                        1
+                    } else {
+                        hi - lo + 1
+                    };
+                    (lo, distinct, total - 1 - hi)
+                };
+                out.get_mut(z).unwrap().propagation[k] = prop;
+            }
+        }
+    }
+    (out, visited)
+}
+
+/// Check the scan against the compiled plan at a size: chords, soak and
+/// drain counts must agree everywhere. Returns the number of processes
+/// compared.
+pub fn agree_with_plan(plan: &SystolicProgram, env: &Env) -> Result<usize, String> {
+    let (scanned, _) = scan(plan, env);
+    let mut compared = 0;
+    for (y, sp) in &scanned {
+        let chord = plan.chord_at(env, y);
+        if chord != sp.chord {
+            return Err(format!(
+                "chord mismatch at {y:?}: plan {chord:?} vs scan {:?}",
+                sp.chord
+            ));
+        }
+        for (k, spn) in plan.streams.iter().enumerate() {
+            if chord.is_empty() {
+                continue;
+            }
+            let soak = plan.stream_count_at(&spn.soak, env, y);
+            let drain = plan.stream_count_at(&spn.drain, env, y);
+            let (s, _, d) = sp.propagation[k];
+            if (soak, drain) != (s, d) {
+                return Err(format!(
+                    "stream {} at {y:?}: plan soak/drain ({soak},{drain}) vs scan ({s},{d})",
+                    spn.name
+                ));
+            }
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    #[test]
+    fn scan_agrees_with_the_compiled_plan_on_all_designs() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            for n in [2i64, 4] {
+                let mut env = Env::new();
+                env.bind(p.sizes[0], n);
+                let compared =
+                    agree_with_plan(&plan, &env).unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+                assert!(compared > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_work_grows_with_the_index_space() {
+        let (p, a) = paper::matmul_e1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 3);
+        let (_, visited3) = scan(&plan, &env);
+        env.bind(p.sizes[0], 6);
+        let (_, visited6) = scan(&plan, &env);
+        assert_eq!(visited3, 64);
+        assert_eq!(visited6, 343);
+    }
+}

@@ -1,0 +1,347 @@
+//! A gallery of source programs satisfying the paper's restrictions
+//! (Appendix A). The first two are the paper's running examples
+//! (Appendices D and E); the rest exercise the compiler on further kernels
+//! from the same class.
+
+use crate::expr::build::*;
+use crate::expr::BasicStatement;
+use crate::program::{IndexedVar, Loop, SourceProgram, Stream};
+use systolic_math::{Affine, Matrix, Rational, VarTable};
+
+/// Appendix D: polynomial product (degree-`n` convolution).
+///
+/// ```text
+/// int a[0..n], b[0..n], c[0..2n]
+/// for i = 0 <- 1 -> n
+///   for j = 0 <- 1 -> n
+///     c[i+j] := c[i+j] + a[i] * b[j]
+/// ```
+///
+/// Streams: `a[i]` (id 0), `b[j]` (id 1), `c[i+j]` (id 2).
+pub fn polynomial_product() -> SourceProgram {
+    let mut vars = VarTable::new();
+    let n = vars.size("n");
+    let zero = Affine::zero();
+    let nv = Affine::var(n);
+    let two_n = nv.clone().scale(Rational::int(2));
+    SourceProgram {
+        name: "polynomial_product".into(),
+        sizes: vec![n],
+        loops: vec![
+            Loop {
+                index_name: "i".into(),
+                lb: zero.clone(),
+                rb: nv.clone(),
+                step: 1,
+            },
+            Loop {
+                index_name: "j".into(),
+                lb: zero.clone(),
+                rb: nv.clone(),
+                step: 1,
+            },
+        ],
+        variables: vec![
+            IndexedVar {
+                name: "a".into(),
+                bounds: vec![(zero.clone(), nv.clone())],
+            },
+            IndexedVar {
+                name: "b".into(),
+                bounds: vec![(zero.clone(), nv.clone())],
+            },
+            IndexedVar {
+                name: "c".into(),
+                bounds: vec![(zero.clone(), two_n)],
+            },
+        ],
+        streams: vec![
+            Stream {
+                variable: 0,
+                index_map: Matrix::from_rows(&[vec![1, 0]]),
+            },
+            Stream {
+                variable: 1,
+                index_map: Matrix::from_rows(&[vec![0, 1]]),
+            },
+            Stream {
+                variable: 2,
+                index_map: Matrix::from_rows(&[vec![1, 1]]),
+            },
+        ],
+        body: BasicStatement {
+            updates: vec![assign(2, add(s(2), mul(s(0), s(1))))],
+        },
+        vars,
+    }
+}
+
+/// Appendix E: matrix–matrix multiplication of `(n+1) x (n+1)` matrices.
+///
+/// ```text
+/// int a[0..n,0..n], b[0..n,0..n], c[0..n,0..n]
+/// for i = 0 <- 1 -> n
+///   for j = 0 <- 1 -> n
+///     for k = 0 <- 1 -> n
+///       c[i,j] := c[i,j] + a[i,k] * b[k,j]
+/// ```
+///
+/// Streams: `a[i,k]` (0), `b[k,j]` (1), `c[i,j]` (2).
+pub fn matrix_product() -> SourceProgram {
+    let mut vars = VarTable::new();
+    let n = vars.size("n");
+    let zero = Affine::zero();
+    let nv = Affine::var(n);
+    let sq = |name: &str| IndexedVar {
+        name: name.into(),
+        bounds: vec![(zero.clone(), nv.clone()), (zero.clone(), nv.clone())],
+    };
+    SourceProgram {
+        name: "matrix_product".into(),
+        sizes: vec![n],
+        loops: vec![
+            Loop {
+                index_name: "i".into(),
+                lb: zero.clone(),
+                rb: nv.clone(),
+                step: 1,
+            },
+            Loop {
+                index_name: "j".into(),
+                lb: zero.clone(),
+                rb: nv.clone(),
+                step: 1,
+            },
+            Loop {
+                index_name: "k".into(),
+                lb: zero.clone(),
+                rb: nv.clone(),
+                step: 1,
+            },
+        ],
+        variables: vec![sq("a"), sq("b"), sq("c")],
+        streams: vec![
+            // M.a = (i, k)
+            Stream {
+                variable: 0,
+                index_map: Matrix::from_rows(&[vec![1, 0, 0], vec![0, 0, 1]]),
+            },
+            // M.b = (k, j)
+            Stream {
+                variable: 1,
+                index_map: Matrix::from_rows(&[vec![0, 0, 1], vec![0, 1, 0]]),
+            },
+            // M.c = (i, j)
+            Stream {
+                variable: 2,
+                index_map: Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]),
+            },
+        ],
+        body: BasicStatement {
+            updates: vec![assign(2, add(s(2), mul(s(0), s(1))))],
+        },
+        vars,
+    }
+}
+
+/// Matrix product with the second operand stored transposed:
+/// `c[i,j] += a[i,k] * bT[j,k]`. Same dependence structure as
+/// [`matrix_product`] but a different index map for `b`, exercising
+/// non-paper stream geometry.
+pub fn matrix_product_bt() -> SourceProgram {
+    let mut p = matrix_product();
+    p.name = "matrix_product_bt".into();
+    // M.bT = (j, k)
+    p.streams[1].index_map = Matrix::from_rows(&[vec![0, 1, 0], vec![0, 0, 1]]);
+    p
+}
+
+/// FIR filter / correlation with `n+1` taps over a signal window:
+///
+/// ```text
+/// int h[0..n], x[-n..m], y[0..m]
+/// for i = 0 <- 1 -> m       (output sample)
+///   for j = 0 <- 1 -> n     (tap)
+///     y[i] := y[i] + h[j] * x[i-j]
+/// ```
+///
+/// Two problem-size symbols (`n`, `m`) — exercises multi-parameter bounds.
+pub fn fir_filter() -> SourceProgram {
+    let mut vars = VarTable::new();
+    let n = vars.size("n");
+    let m = vars.size("m");
+    let zero = Affine::zero();
+    let nv = Affine::var(n);
+    let mv = Affine::var(m);
+    SourceProgram {
+        name: "fir_filter".into(),
+        sizes: vec![n, m],
+        loops: vec![
+            Loop {
+                index_name: "i".into(),
+                lb: zero.clone(),
+                rb: mv.clone(),
+                step: 1,
+            },
+            Loop {
+                index_name: "j".into(),
+                lb: zero.clone(),
+                rb: nv.clone(),
+                step: 1,
+            },
+        ],
+        variables: vec![
+            IndexedVar {
+                name: "h".into(),
+                bounds: vec![(zero.clone(), nv.clone())],
+            },
+            IndexedVar {
+                name: "x".into(),
+                bounds: vec![(-nv.clone(), mv.clone())],
+            },
+            IndexedVar {
+                name: "y".into(),
+                bounds: vec![(zero.clone(), mv.clone())],
+            },
+        ],
+        streams: vec![
+            // h[j]
+            Stream {
+                variable: 0,
+                index_map: Matrix::from_rows(&[vec![0, 1]]),
+            },
+            // x[i-j]
+            Stream {
+                variable: 1,
+                index_map: Matrix::from_rows(&[vec![1, -1]]),
+            },
+            // y[i]
+            Stream {
+                variable: 2,
+                index_map: Matrix::from_rows(&[vec![1, 0]]),
+            },
+        ],
+        body: BasicStatement {
+            updates: vec![assign(2, add(s(2), mul(s(0), s(1))))],
+        },
+        vars,
+    }
+}
+
+/// A depth-4 nest: tensor-times-matrix contraction
+///
+/// ```text
+/// int a[0..n,0..n,0..n], b[0..n,0..n,0..n], c[0..n,0..n,0..n]
+/// for i, j, k, l in [0..n]^4:
+///   c[i,j,k] := c[i,j,k] + a[i,j,l] * b[l,j,k]
+/// ```
+///
+/// `r = 4` with 3-dimensional variables: exercises the scheme on a
+/// three-dimensional process space (the paper's machinery is dimension-
+/// generic; its examples stop at r = 3).
+pub fn tensor_contraction() -> SourceProgram {
+    let mut vars = VarTable::new();
+    let n = vars.size("n");
+    let zero = Affine::zero();
+    let nv = Affine::var(n);
+    let cube = |name: &str| IndexedVar {
+        name: name.into(),
+        bounds: vec![
+            (zero.clone(), nv.clone()),
+            (zero.clone(), nv.clone()),
+            (zero.clone(), nv.clone()),
+        ],
+    };
+    let mk_loop = |name: &str| Loop {
+        index_name: name.into(),
+        lb: zero.clone(),
+        rb: nv.clone(),
+        step: 1,
+    };
+    SourceProgram {
+        name: "tensor_contraction".into(),
+        sizes: vec![n],
+        loops: vec![mk_loop("i"), mk_loop("j"), mk_loop("k"), mk_loop("l")],
+        variables: vec![cube("a"), cube("b"), cube("c")],
+        streams: vec![
+            // M.a = (i, j, l)
+            Stream {
+                variable: 0,
+                index_map: Matrix::from_rows(&[
+                    vec![1, 0, 0, 0],
+                    vec![0, 1, 0, 0],
+                    vec![0, 0, 0, 1],
+                ]),
+            },
+            // M.b = (l, j, k)
+            Stream {
+                variable: 1,
+                index_map: Matrix::from_rows(&[
+                    vec![0, 0, 0, 1],
+                    vec![0, 1, 0, 0],
+                    vec![0, 0, 1, 0],
+                ]),
+            },
+            // M.c = (i, j, k)
+            Stream {
+                variable: 2,
+                index_map: Matrix::from_rows(&[
+                    vec![1, 0, 0, 0],
+                    vec![0, 1, 0, 0],
+                    vec![0, 0, 1, 0],
+                ]),
+            },
+        ],
+        body: BasicStatement {
+            updates: vec![assign(2, add(s(2), mul(s(0), s(1))))],
+        },
+        vars,
+    }
+}
+
+/// Every gallery program, for sweep-style tests.
+pub fn all() -> Vec<SourceProgram> {
+    vec![
+        polynomial_product(),
+        matrix_product(),
+        matrix_product_bt(),
+        fir_filter(),
+        tensor_contraction(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_math::Env;
+
+    #[test]
+    fn gallery_programs_have_consistent_shapes() {
+        for p in all() {
+            let r = p.r();
+            assert!(r >= 2);
+            for s in &p.streams {
+                assert_eq!(s.index_map.cols(), r);
+                assert_eq!(s.index_map.rows(), r - 1);
+                assert_eq!(s.index_map.rank(), r - 1, "{}: rank", p.name);
+            }
+            assert_eq!(p.variables.len(), p.streams.len());
+        }
+    }
+
+    #[test]
+    fn fir_filter_runs() {
+        let p = fir_filter();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 2).bind(p.sizes[1], 5);
+        let store = crate::seq::run_random(&p, &env, &["h", "x"], 3);
+        // Direct check at one output point.
+        let mut fresh = crate::host::HostStore::allocate(&p, &env);
+        fresh.fill_random("h", 3, -9, 9);
+        fresh.fill_random("x", 4, -9, 9);
+        let expect: i64 = (0..=2)
+            .map(|j| fresh.get("h").get(&[j]) * fresh.get("x").get(&[3 - j]))
+            .sum();
+        assert_eq!(store.get("y").get(&[3]), expect);
+    }
+}

@@ -1,0 +1,234 @@
+//! The host's view of data (Sec. 4.2): indexed variables living in ordinary
+//! arrays. The systolic program's input processes read elements out of the
+//! host store and its output processes restore them.
+
+use crate::expr::Value;
+use crate::program::SourceProgram;
+use std::collections::HashMap;
+use systolic_math::Env;
+
+/// A dense integer array with inclusive per-dimension bounds — one indexed
+/// variable instantiated at a concrete problem size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostArray {
+    lb: Vec<i64>,
+    extent: Vec<i64>,
+    data: Vec<Value>,
+}
+
+impl HostArray {
+    /// A zero-filled array with the given inclusive bounds.
+    pub fn zeros(bounds: &[(i64, i64)]) -> HostArray {
+        let lb: Vec<i64> = bounds.iter().map(|&(l, _)| l).collect();
+        let extent: Vec<i64> = bounds.iter().map(|&(l, r)| (r - l + 1).max(0)).collect();
+        let len = extent.iter().product::<i64>().max(0) as usize;
+        HostArray {
+            lb,
+            extent,
+            data: vec![0; len],
+        }
+    }
+
+    /// Build from a generator over index points.
+    pub fn from_fn(bounds: &[(i64, i64)], mut f: impl FnMut(&[i64]) -> Value) -> HostArray {
+        let mut a = HostArray::zeros(bounds);
+        for p in a.points() {
+            let v = f(&p);
+            a.set(&p, v);
+        }
+        a
+    }
+
+    pub fn dims(&self) -> usize {
+        self.lb.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn bounds(&self) -> Vec<(i64, i64)> {
+        self.lb
+            .iter()
+            .zip(&self.extent)
+            .map(|(&l, &e)| (l, l + e - 1))
+            .collect()
+    }
+
+    pub fn contains(&self, p: &[i64]) -> bool {
+        p.len() == self.lb.len()
+            && p.iter()
+                .zip(self.lb.iter().zip(&self.extent))
+                .all(|(&x, (&l, &e))| x >= l && x < l + e)
+    }
+
+    fn offset(&self, p: &[i64]) -> usize {
+        assert!(
+            self.contains(p),
+            "index {p:?} out of bounds {:?}",
+            self.bounds()
+        );
+        let mut off = 0i64;
+        for ((&x, &l), &e) in p.iter().zip(&self.lb).zip(&self.extent) {
+            off = off * e + (x - l);
+        }
+        off as usize
+    }
+
+    pub fn get(&self, p: &[i64]) -> Value {
+        self.data[self.offset(p)]
+    }
+
+    pub fn set(&mut self, p: &[i64], v: Value) {
+        let off = self.offset(p);
+        self.data[off] = v;
+    }
+
+    /// All index points in row-major order.
+    pub fn points(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::with_capacity(self.len());
+        let dims = self.dims();
+        if self.data.is_empty() {
+            return out;
+        }
+        let mut p: Vec<i64> = self.lb.clone();
+        loop {
+            out.push(p.clone());
+            let mut d = dims;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                p[d] += 1;
+                if p[d] < self.lb[d] + self.extent[d] {
+                    break;
+                }
+                p[d] = self.lb[d];
+            }
+        }
+    }
+
+    pub fn raw(&self) -> &[Value] {
+        &self.data
+    }
+}
+
+/// The complete host memory: one array per indexed variable, by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostStore {
+    arrays: HashMap<String, HostArray>,
+}
+
+impl HostStore {
+    pub fn new() -> HostStore {
+        HostStore::default()
+    }
+
+    /// Allocate zero-filled arrays for every variable of a program at the
+    /// given problem size.
+    pub fn allocate(program: &SourceProgram, env: &Env) -> HostStore {
+        let mut store = HostStore::new();
+        for v in &program.variables {
+            let bounds: Vec<(i64, i64)> = v
+                .bounds
+                .iter()
+                .map(|(lb, rb)| (lb.eval_int(env), rb.eval_int(env)))
+                .collect();
+            store.insert(&v.name, HostArray::zeros(&bounds));
+        }
+        store
+    }
+
+    pub fn insert(&mut self, name: &str, array: HostArray) {
+        self.arrays.insert(name.to_string(), array);
+    }
+
+    pub fn get(&self, name: &str) -> &HostArray {
+        self.arrays
+            .get(name)
+            .unwrap_or_else(|| panic!("no host array named {name}"))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> &mut HostArray {
+        self.arrays
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no host array named {name}"))
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.arrays.keys().map(|s| s.as_str())
+    }
+
+    /// Fill an array with uniform pseudo-random values from a seeded LCG —
+    /// deterministic workloads for the equivalence experiments.
+    pub fn fill_random(&mut self, name: &str, seed: u64, lo: Value, hi: Value) {
+        let arr = self.get_mut(name);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let span = (hi - lo + 1).max(1) as u64;
+        for p in arr.points() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = lo + ((state >> 33) % span) as i64;
+            arr.set(&p, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_roundtrip() {
+        let mut a = HostArray::zeros(&[(0, 2), (-1, 1)]);
+        assert_eq!(a.len(), 9);
+        a.set(&[1, 0], 42);
+        assert_eq!(a.get(&[1, 0]), 42);
+        assert_eq!(a.get(&[0, -1]), 0);
+        assert!(a.contains(&[2, 1]));
+        assert!(!a.contains(&[3, 0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let a = HostArray::zeros(&[(0, 1)]);
+        a.get(&[2]);
+    }
+
+    #[test]
+    fn points_cover_all() {
+        let a = HostArray::zeros(&[(0, 1), (5, 6)]);
+        let pts = a.points();
+        assert_eq!(pts, vec![vec![0, 5], vec![0, 6], vec![1, 5], vec![1, 6]]);
+    }
+
+    #[test]
+    fn from_fn_generator() {
+        let a = HostArray::from_fn(&[(0, 2)], |p| p[0] * 10);
+        assert_eq!(a.raw(), &[0, 10, 20]);
+    }
+
+    #[test]
+    fn store_allocation_and_random_fill() {
+        use crate::gallery;
+        let p = gallery::polynomial_product();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 3);
+        let mut store = HostStore::allocate(&p, &env);
+        assert_eq!(store.get("a").len(), 4);
+        assert_eq!(store.get("c").len(), 7);
+        store.fill_random("a", 7, -5, 5);
+        assert!(store.get("a").raw().iter().all(|&v| (-5..=5).contains(&v)));
+        // Deterministic for equal seeds.
+        let mut store2 = HostStore::allocate(&p, &env);
+        store2.fill_random("a", 7, -5, 5);
+        assert_eq!(store.get("a"), store2.get("a"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Tokenizer for the source-program surface syntax (the paper's Sec. 3.1
+//! notation, `for x = lb <- st -> rb`, made concrete).
+
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    // keywords
+    Program,
+    Size,
+    Var,
+    For,
+    If,
+    Min,
+    Max,
+    And,
+    Or,
+    Not,
+    // punctuation
+    Semi,
+    Comma,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Assign,    // =
+    Arrow,     // ->
+    BackArrow, // <-
+    DotDot,    // ..
+    Plus,
+    Minus,
+    Star,
+    Le,   // <=
+    Lt,   // <
+    Ge,   // >=
+    Gt,   // >
+    EqEq, // ==
+    Ne,   // !=
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer {n}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Tokenize the input. `#` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    line,
+                });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Minus,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'-') {
+                    out.push(Spanned {
+                        tok: Tok::BackArrow,
+                        line,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Tok::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Tok::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Tok::Ne, line });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `!`".into(),
+                    });
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&'.') {
+                    out.push(Spanned {
+                        tok: Tok::DotDot,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `.`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad integer {text}"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "program" => Tok::Program,
+                    "size" => Tok::Size,
+                    "var" => Tok::Var,
+                    "for" => Tok::For,
+                    "if" => Tok::If,
+                    "min" => Tok::Min,
+                    "max" => Tok::Max,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    _ => Tok::Ident(text),
+                };
+                out.push(Spanned { tok, line });
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_loop_header() {
+        let toks = lex("for i = 0 <- 1 -> n").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::For,
+                Tok::Ident("i".into()),
+                Tok::Assign,
+                Tok::Int(0),
+                Tok::BackArrow,
+                Tok::Int(1),
+                Tok::Arrow,
+                Tok::Ident("n".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ranges_and_comments() {
+        let toks = lex("a[0..2*n] # tail comment\n;").unwrap();
+        assert!(toks.iter().any(|s| s.tok == Tok::DotDot));
+        assert!(toks.iter().any(|s| s.tok == Tok::Semi));
+        assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        let toks = lex("<= < >= > == !=").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::Ge,
+                Tok::Gt,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_line() {
+        let err = lex("ok\n$").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

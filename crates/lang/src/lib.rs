@@ -1,0 +1,12 @@
+//! # systolic-lang
+//!
+//! The textual front end of the systolizing compiler: a concrete syntax
+//! for the paper's source programs (Sec. 3.1), with a lexer, a recursive
+//! descent parser, and lowering to `systolic-ir` with line-numbered
+//! diagnostics for restriction violations.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,314 @@
+//! Guards: conjunctions of chained linear inequalities.
+//!
+//! The alternatives of `first`/`last` (Sec. 7.2.2) are guarded by closed
+//! forms like `0 <= row - col <= n  /\  0 <= -col <= n` — each conjunct a
+//! chain `e0 <= e1 <= ... <= ek` of affine expressions. We keep the chain
+//! structure so that generated code reads like the paper's.
+
+use crate::affine::Affine;
+use crate::rational::Rational;
+use crate::symbols::{Env, VarTable};
+
+/// A chain `exprs[0] <= exprs[1] <= ... <= exprs[k]` (k >= 1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chain {
+    exprs: Vec<Affine>,
+}
+
+impl Chain {
+    /// Build a chain; panics if fewer than two expressions.
+    pub fn new(exprs: Vec<Affine>) -> Chain {
+        assert!(exprs.len() >= 2, "a chain needs at least two expressions");
+        Chain { exprs }
+    }
+
+    /// The common paper form `lb <= e <= rb`.
+    pub fn between(lb: Affine, e: Affine, rb: Affine) -> Chain {
+        Chain::new(vec![lb, e, rb])
+    }
+
+    /// A single inequality `a <= b`.
+    pub fn le(a: Affine, b: Affine) -> Chain {
+        Chain::new(vec![a, b])
+    }
+
+    pub fn exprs(&self) -> &[Affine] {
+        &self.exprs
+    }
+
+    /// Evaluate under the bindings.
+    pub fn eval(&self, env: &Env) -> bool {
+        self.exprs
+            .windows(2)
+            .all(|w| w[0].eval_rat(env) <= w[1].eval_rat(env))
+    }
+
+    /// `Some(b)` if the chain is constant with truth value `b`.
+    pub fn const_value(&self) -> Option<bool> {
+        let consts: Option<Vec<Rational>> = self.exprs.iter().map(|e| e.as_const()).collect();
+        consts.map(|cs| cs.windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    pub fn display(&self, table: &VarTable) -> String {
+        self.exprs
+            .iter()
+            .map(|e| e.display(table))
+            .collect::<Vec<_>>()
+            .join(" <= ")
+    }
+
+    /// Substitute a variable throughout the chain (used when specializing
+    /// an expression to a process-space boundary, Sec. E.2.7: "simplified
+    /// after substituting the appropriate values for row and col").
+    pub fn substitute(&self, v: crate::symbols::Var, repl: &Affine) -> Chain {
+        Chain {
+            exprs: self.exprs.iter().map(|e| e.substitute(v, repl)).collect(),
+        }
+    }
+}
+
+/// A conjunction of chains. The empty guard is `true`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Guard {
+    chains: Vec<Chain>,
+}
+
+impl Guard {
+    /// The always-true guard.
+    pub fn always() -> Guard {
+        Guard::default()
+    }
+
+    pub fn new(chains: Vec<Chain>) -> Guard {
+        Guard { chains }
+    }
+
+    pub fn chains(&self) -> &[Chain] {
+        &self.chains
+    }
+
+    pub fn is_always(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Conjoin another chain.
+    pub fn and_chain(mut self, c: Chain) -> Guard {
+        self.chains.push(c);
+        self
+    }
+
+    /// Conjoin two guards.
+    pub fn and(mut self, other: &Guard) -> Guard {
+        self.chains.extend(other.chains.iter().cloned());
+        self
+    }
+
+    /// Evaluate under the bindings.
+    pub fn eval(&self, env: &Env) -> bool {
+        self.chains.iter().all(|c| c.eval(env))
+    }
+
+    /// Drop conjuncts that are constant-true; return `None` if any conjunct
+    /// is constant-false (the whole guard is infeasible). This is the
+    /// pruning the paper performs by hand ("only one of the sub-alternatives
+    /// has a guard that is consistent", App. E.2.5).
+    pub fn simplify(&self) -> Option<Guard> {
+        let mut kept = Vec::new();
+        for c in &self.chains {
+            match c.const_value() {
+                Some(true) => {}
+                Some(false) => return None,
+                None => kept.push(c.clone()),
+            }
+        }
+        Some(Guard { chains: kept })
+    }
+
+    pub fn display(&self, table: &VarTable) -> String {
+        if self.chains.is_empty() {
+            "true".to_string()
+        } else {
+            self.chains
+                .iter()
+                .map(|c| c.display(table))
+                .collect::<Vec<_>>()
+                .join("  /\\  ")
+        }
+    }
+
+    /// Substitute a variable throughout the guard.
+    pub fn substitute(&self, v: crate::symbols::Var, repl: &Affine) -> Guard {
+        Guard {
+            chains: self.chains.iter().map(|c| c.substitute(v, repl)).collect(),
+        }
+    }
+}
+
+/// A guarded case analysis with an implicit `else -> null` (Sec. 7.2.2's
+/// `if .. [] .. fi`; App. E.2.7 adds "an extra alternative that assigns the
+/// null value" for points outside the computation space).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Piecewise<T> {
+    clauses: Vec<(Guard, T)>,
+}
+
+impl<T> Piecewise<T> {
+    pub fn new(clauses: Vec<(Guard, T)>) -> Piecewise<T> {
+        Piecewise { clauses }
+    }
+
+    /// One unguarded clause (the simple-place case, Sec. 7.2.3).
+    pub fn total(value: T) -> Piecewise<T> {
+        Piecewise {
+            clauses: vec![(Guard::always(), value)],
+        }
+    }
+
+    pub fn clauses(&self) -> &[(Guard, T)] {
+        &self.clauses
+    }
+
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// First clause whose guard holds; `None` means the null alternative.
+    /// Overlapping guards are fine: the paper proves the overlapping
+    /// expressions agree ("the two guards overlap at col = n, but the two
+    /// expressions are equal", App. D.2.2).
+    pub fn select(&self, env: &Env) -> Option<&T> {
+        self.clauses
+            .iter()
+            .find(|(g, _)| g.eval(env))
+            .map(|(_, v)| v)
+    }
+
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Piecewise<U> {
+        Piecewise {
+            clauses: self
+                .clauses
+                .iter()
+                .map(|(g, v)| (g.clone(), f(v)))
+                .collect(),
+        }
+    }
+
+    /// Cross two piecewise values: clause guards are conjoined and values
+    /// combined; infeasible (constant-false) combinations are pruned.
+    /// This is how the paper forms the six-way soak/drain expressions of
+    /// App. E.2.5 (3 clauses of `first` x 2 clauses of `first_s`).
+    pub fn cross<'a, U, V>(
+        &'a self,
+        other: &'a Piecewise<U>,
+        mut f: impl FnMut(&T, &U) -> V,
+    ) -> Piecewise<V> {
+        let mut clauses = Vec::new();
+        for (g1, v1) in &self.clauses {
+            for (g2, v2) in &other.clauses {
+                if let Some(g) = g1.clone().and(g2).simplify() {
+                    clauses.push((g, f(v1, v2)));
+                }
+            }
+        }
+        Piecewise { clauses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::VarTable;
+
+    fn setup() -> (VarTable, Env, Affine, Affine, Affine) {
+        let mut t = VarTable::new();
+        let n = t.size("n");
+        let col = t.coord(0);
+        let row = t.coord(1);
+        let mut env = Env::new();
+        env.bind(n, 4).bind(col, 2).bind(row, 3);
+        (t, env, Affine::var(n), Affine::var(col), Affine::var(row))
+    }
+
+    #[test]
+    fn chain_evaluation() {
+        let (_, env, n, col, _) = setup();
+        // 0 <= col <= n with col=2, n=4: true.
+        let c = Chain::between(Affine::zero(), col.clone(), n.clone());
+        assert!(c.eval(&env));
+        // n <= col: false.
+        assert!(!Chain::le(n, col).eval(&env));
+    }
+
+    #[test]
+    fn chain_display() {
+        let (t, _, n, col, _) = setup();
+        let c = Chain::between(Affine::zero(), col - n.clone(), n);
+        assert_eq!(c.display(&t), "0 <= col - n <= n");
+    }
+
+    #[test]
+    fn guard_conjunction_and_simplify() {
+        let (t, env, n, col, row) = setup();
+        let g = Guard::always()
+            .and_chain(Chain::between(Affine::zero(), row - col.clone(), n.clone()))
+            .and_chain(Chain::between(Affine::zero(), col, n));
+        assert!(g.eval(&env));
+        assert_eq!(g.display(&t), "0 <= row - col <= n  /\\  0 <= col <= n");
+        // Constant-true chains vanish, constant-false kills the guard.
+        let ok = Guard::always().and_chain(Chain::le(Affine::int(0), Affine::int(3)));
+        assert!(ok.simplify().unwrap().is_always());
+        let bad = Guard::always().and_chain(Chain::le(Affine::int(3), Affine::int(0)));
+        assert!(bad.simplify().is_none());
+    }
+
+    #[test]
+    fn piecewise_select_first_match() {
+        let (_, env, n, col, _) = setup();
+        // if 0 <= col <= n -> 1 [] n <= col <= 2n -> 2 fi (col=2, n=4 -> 1).
+        let pw = Piecewise::new(vec![
+            (
+                Guard::always().and_chain(Chain::between(Affine::zero(), col.clone(), n.clone())),
+                1,
+            ),
+            (
+                Guard::always().and_chain(Chain::between(
+                    n.clone(),
+                    col,
+                    n.scale(crate::rational::Rational::int(2)),
+                )),
+                2,
+            ),
+        ]);
+        assert_eq!(pw.select(&env), Some(&1));
+        // col=9 out of range -> null.
+        let mut t2 = VarTable::new();
+        let nn = t2.size("n");
+        let cc = t2.coord(0);
+        let mut env2 = Env::new();
+        env2.bind(nn, 4).bind(cc, 9);
+        assert_eq!(pw.select(&env2), None);
+    }
+
+    #[test]
+    fn cross_prunes_infeasible() {
+        let (_, _, n, col, _) = setup();
+        let a = Piecewise::new(vec![(Guard::always(), 1)]);
+        let b = Piecewise::new(vec![
+            (
+                Guard::always().and_chain(Chain::le(Affine::int(1), Affine::int(0))),
+                10,
+            ),
+            (
+                Guard::always().and_chain(Chain::between(Affine::zero(), col, n)),
+                20,
+            ),
+        ]);
+        let crossed = a.cross(&b, |x, y| x + y);
+        assert_eq!(crossed.len(), 1);
+        assert_eq!(crossed.clauses()[0].1, 21);
+    }
+}

@@ -1,0 +1,33 @@
+//! # systolic-math
+//!
+//! The exact-arithmetic and symbolic-algebra substrate for the systolizing
+//! compilation scheme of Barnett & Lengauer (1991).
+//!
+//! The paper's derivations (Secs. 6–7) manipulate four kinds of objects,
+//! each with a module here:
+//!
+//! - [`rational`] — exact rationals (`flow` values, null-space scaling);
+//! - [`point`] — integer/rational points in `n`-space with the paper's
+//!   operators (`•`, `//`, `nb`, chords, gcd units);
+//! - [`matrix`] — linear functions as matrices: rank, null spaces
+//!   (Theorems 1–2), application;
+//! - [`symbols`], [`affine`], [`guard`] — symbolic affine expressions over
+//!   problem-size and process-coordinate variables, chained-inequality
+//!   guards, and guarded piecewise values (`if .. [] .. fi`);
+//! - [`linsolve`] — Gaussian elimination with symbolic right-hand sides
+//!   (the face equations of Sec. 7.2.2).
+
+pub mod affine;
+pub mod guard;
+pub mod linsolve;
+pub mod matrix;
+pub mod point;
+pub mod rational;
+pub mod symbols;
+
+pub use affine::{Affine, AffinePoint};
+pub use guard::{Chain, Guard, Piecewise};
+pub use matrix::Matrix;
+pub use point::{Point, RatPoint};
+pub use rational::Rational;
+pub use symbols::{Env, Var, VarKind, VarTable};

@@ -1,0 +1,111 @@
+//! Symbolic linear solving: Gaussian elimination with affine right-hand
+//! sides.
+//!
+//! Sec. 7.2.2: "for the boundary points in IS, one component is known,
+//! leaving r-1 unknowns, and the system of equations may be solved for the
+//! unique point which is the value of first. Each set of equations is solved
+//! symbolically." The coefficient matrix (`place` restricted to a face) is
+//! numeric; the right-hand side contains the symbolic process coordinates
+//! and loop bounds, so the solutions are affine expressions.
+
+use crate::affine::{Affine, AffinePoint};
+use crate::matrix::Matrix;
+use crate::rational::Rational;
+
+/// Solve the square system `A * x = b` where `A` is a rational matrix and
+/// `b` a vector of affine expressions. Returns `None` if `A` is singular.
+#[allow(clippy::needless_range_loop)] // index symmetry with the math is clearer
+pub fn solve(a: &Matrix, b: &[Affine]) -> Option<AffinePoint> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve requires a square system");
+    assert_eq!(b.len(), n, "right-hand side length mismatch");
+
+    // Augmented elimination: numeric part `m`, symbolic part `rhs`.
+    let mut m: Vec<Vec<Rational>> = (0..n).map(|r| a.row(r).to_vec()).collect();
+    let mut rhs: Vec<Affine> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: any non-zero entry suffices over Q.
+        let pivot = (col..n).find(|&r| !m[r][col].is_zero())?;
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        let inv = m[col][col].recip();
+        for c in col..n {
+            m[col][c] = m[col][c] * inv;
+        }
+        rhs[col] = rhs[col].scale(inv);
+        for r in 0..n {
+            if r != col && !m[r][col].is_zero() {
+                let f = m[r][col];
+                for c in col..n {
+                    m[r][c] = m[r][c] - f * m[col][c];
+                }
+                rhs[r] = rhs[r].clone() - rhs[col].scale(f);
+            }
+        }
+    }
+    Some(rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Env, VarTable};
+
+    #[test]
+    fn numeric_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+        let a = Matrix::from_rows(&[vec![1, 1], vec![1, -1]]);
+        let b = vec![Affine::int(3), Affine::int(1)];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, vec![Affine::int(2), Affine::int(1)]);
+    }
+
+    #[test]
+    fn singular_system() {
+        let a = Matrix::from_rows(&[vec![1, 1], vec![2, 2]]);
+        let b = vec![Affine::int(0), Affine::int(0)];
+        assert!(solve(&a, &b).is_none());
+    }
+
+    #[test]
+    fn symbolic_rhs_polyprod_face() {
+        // Appendix D.2, first face: place.(0, j) = col with place = i + j.
+        // Fixing i = 0 leaves the 1x1 system  1 * j = col  =>  j = col.
+        let mut t = VarTable::new();
+        let col = t.coord(0);
+        let a = Matrix::from_rows(&[vec![1]]);
+        let b = vec![Affine::var(col)];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, vec![Affine::var(col)]);
+    }
+
+    #[test]
+    fn symbolic_rhs_kung_leiserson_face() {
+        // Appendix E.2, face 0 (i = 0): place.(0, j, k) = (col, row) with
+        // place = (i - k, j - k). System over unknowns (j, k):
+        //   -k = col,  j - k = row   =>   k = -col, j = row - col.
+        let mut t = VarTable::new();
+        let col = t.coord(0);
+        let row = t.coord(1);
+        // Columns: j, k. Row 1: 0*j - 1*k = col. Row 2: 1*j - 1*k = row.
+        let a = Matrix::from_rows(&[vec![0, -1], vec![1, -1]]);
+        let b = vec![Affine::var(col), Affine::var(row)];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x[0], Affine::var(row) - Affine::var(col), "j = row - col");
+        assert_eq!(x[1], -Affine::var(col), "k = -col");
+    }
+
+    #[test]
+    fn rational_coefficients() {
+        // (1/2) x = n  =>  x = 2n.
+        let mut t = VarTable::new();
+        let n = t.size("n");
+        let a = Matrix::from_rat_rows(&[vec![Rational::new(1, 2)]]);
+        let b = vec![Affine::var(n)];
+        let x = solve(&a, &b).unwrap();
+        let mut env = Env::new();
+        env.bind(n, 7);
+        assert_eq!(x[0].eval_int(&env), 14);
+    }
+}

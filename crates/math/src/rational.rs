@@ -1,0 +1,307 @@
+//! Exact rational arithmetic.
+//!
+//! The compilation scheme works over `Q` (Sec. 2 of the paper): `flow`
+//! functions are rational vectors, null-space generators are normalized by a
+//! gcd, and the symbolic linear solving of Sec. 7.2.2 runs Gaussian
+//! elimination over the rationals. All quantities appearing in real systolic
+//! designs are tiny, so a 64-bit numerator/denominator pair with 128-bit
+//! intermediates is exact for every input we accept; overflow panics rather
+//! than silently wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two integers (non-negative result;
+/// `gcd(0, 0) == 0`).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Least common multiple (non-negative; `lcm(0, x) == 0`).
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// The sign function of Sec. 2: `-1`, `0`, or `+1`.
+pub fn sgn(x: i64) -> i64 {
+    x.signum()
+}
+
+/// An exact rational number, always stored in lowest terms with a positive
+/// denominator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+impl Rational {
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Create `num / den`, normalizing. Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// An integer as a rational.
+    pub const fn int(n: i64) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    pub fn num(&self) -> i64 {
+        self.num
+    }
+
+    pub fn den(&self) -> i64 {
+        self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The integer value, if this rational is an integer.
+    pub fn to_integer(&self) -> Option<i64> {
+        (self.den == 1).then_some(self.num)
+    }
+
+    /// Sign of the rational: -1, 0, or +1.
+    pub fn signum(&self) -> i64 {
+        self.num.signum()
+    }
+
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    fn from_i128(num: i128, den: i128) -> Rational {
+        assert!(den != 0);
+        let g = gcd128(num, den);
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational {
+            num: i64::try_from(num).expect("rational overflow"),
+            den: i64::try_from(den).expect("rational overflow"),
+        }
+    }
+}
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::from_i128(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::from_i128(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rational::from_i128(
+            self.num as i128 * rhs.den as i128,
+            self.den as i128 * rhs.num as i128,
+        )
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Rational {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Rational {
+        Rational::int(n)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+    }
+
+    #[test]
+    fn normalization() {
+        let r = Rational::new(4, -6);
+        assert_eq!(r.num(), -2);
+        assert_eq!(r.den(), 3);
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn integer_checks() {
+        assert_eq!(Rational::new(6, 3).to_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+        assert!(Rational::int(5).is_integer());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 6).to_string(), "1/2");
+        assert_eq!(Rational::int(-4).to_string(), "-4");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reciprocal_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+}

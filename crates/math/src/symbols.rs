@@ -1,0 +1,194 @@
+//! Symbolic variables for the compilation scheme.
+//!
+//! Derived quantities (`first`, `last`, `count`, soak/drain amounts, guards)
+//! are expressions in two kinds of variables (Sec. 4.1: "first and last are
+//! parameterized over the process space, i.e. they are expressions in the
+//! coordinates of the process space", plus the problem-size parameters of
+//! Sec. 3.1):
+//!
+//! - **problem-size** symbols (`n`, `m`, ...) — fixed once per run of the
+//!   generated program,
+//! - **coordinate** symbols (`col`, `row`, ...) — one per dimension of the
+//!   process space; each process instantiates them with its own position.
+
+use std::fmt;
+
+/// An interned symbolic variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+/// What a variable ranges over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    /// A problem-size parameter of the source program (Sec. 3.1).
+    Size,
+    /// A coordinate of the process space (Sec. 5), with its dimension index.
+    Coord(usize),
+}
+
+/// The registry of variables for one compilation. `Var` ids index into it.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    kinds: Vec<VarKind>,
+}
+
+/// Default coordinate names, matching the paper's examples: the 1-D process
+/// space uses `col`; 2-D uses `(col, row)`; beyond that, `z2`, `z3`, ...
+pub fn coord_name(dim: usize) -> String {
+    match dim {
+        0 => "col".to_string(),
+        1 => "row".to_string(),
+        d => format!("z{d}"),
+    }
+}
+
+impl VarTable {
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Intern a variable. Re-interning the same name with the same kind
+    /// returns the existing id; a kind clash panics (it is a compiler bug).
+    pub fn intern(&mut self, name: &str, kind: VarKind) -> Var {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            assert_eq!(
+                self.kinds[i], kind,
+                "variable {name} re-interned with a different kind"
+            );
+            return Var(i as u32);
+        }
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        Var((self.names.len() - 1) as u32)
+    }
+
+    /// Intern a problem-size symbol.
+    pub fn size(&mut self, name: &str) -> Var {
+        self.intern(name, VarKind::Size)
+    }
+
+    /// Intern the coordinate symbol for process-space dimension `dim`.
+    pub fn coord(&mut self, dim: usize) -> Var {
+        self.intern(&coord_name(dim), VarKind::Coord(dim))
+    }
+
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    pub fn kind(&self, v: Var) -> VarKind {
+        self.kinds[v.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Look up an existing variable by name.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
+    }
+
+    /// All coordinate variables, ordered by dimension.
+    pub fn coords(&self) -> Vec<Var> {
+        let mut cs: Vec<(usize, Var)> = (0..self.len())
+            .filter_map(|i| match self.kinds[i] {
+                VarKind::Coord(d) => Some((d, Var(i as u32))),
+                VarKind::Size => None,
+            })
+            .collect();
+        cs.sort_by_key(|&(d, _)| d);
+        cs.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// A binding of variables to integer values, used to evaluate symbolic
+/// expressions once a problem size and a process position are fixed.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    vals: Vec<Option<i64>>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    pub fn bind(&mut self, v: Var, value: i64) -> &mut Self {
+        let idx = v.0 as usize;
+        if self.vals.len() <= idx {
+            self.vals.resize(idx + 1, None);
+        }
+        self.vals[idx] = Some(value);
+        self
+    }
+
+    pub fn get(&self, v: Var) -> Option<i64> {
+        self.vals.get(v.0 as usize).copied().flatten()
+    }
+
+    /// Value of `v`, panicking with the variable id if unbound.
+    pub fn expect(&self, v: Var) -> i64 {
+        self.get(v)
+            .unwrap_or_else(|| panic!("unbound symbolic variable {v:?} during evaluation"))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = VarTable::new();
+        let n1 = t.size("n");
+        let n2 = t.size("n");
+        assert_eq!(n1, n2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(n1), "n");
+    }
+
+    #[test]
+    fn coordinate_names_follow_the_paper() {
+        let mut t = VarTable::new();
+        let c = t.coord(0);
+        let r = t.coord(1);
+        assert_eq!(t.name(c), "col");
+        assert_eq!(t.name(r), "row");
+        assert_eq!(t.coords(), vec![c, r]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kind_clash_panics() {
+        let mut t = VarTable::new();
+        t.size("col");
+        t.coord(0); // also named "col"
+    }
+
+    #[test]
+    fn env_bindings() {
+        let mut t = VarTable::new();
+        let n = t.size("n");
+        let col = t.coord(0);
+        let mut env = Env::new();
+        env.bind(n, 10).bind(col, 3);
+        assert_eq!(env.get(n), Some(10));
+        assert_eq!(env.expect(col), 3);
+        assert_eq!(env.get(Var(99)), None);
+    }
+}

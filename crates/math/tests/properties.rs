@@ -1,0 +1,169 @@
+//! Property-based tests for the math substrate. These check the algebraic
+//! laws the compilation scheme silently relies on (Sec. 2 and Theorem 7 of
+//! the paper).
+
+use proptest::prelude::*;
+use systolic_math::affine::{matrix_apply, point_exact_div, point_sub};
+use systolic_math::point;
+use systolic_math::rational::{gcd, Rational};
+use systolic_math::{Affine, Env, Matrix, VarTable};
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-20i64..=20, 1i64..=6).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn rational_field_laws(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!(a / b * b, a);
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in -1000i64..1000, b in -1000i64..1000) {
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    /// Theorem 7 corollary: the unit along a vector is primitive, parallel,
+    /// and the original is an integral multiple of it.
+    #[test]
+    fn unit_along_is_primitive(v in proptest::collection::vec(-9i64..=9, 1..4)) {
+        prop_assume!(!point::is_zero(&v));
+        let u = point::unit_along(&v);
+        prop_assert_eq!(point::content(&u), 1);
+        let k = point::content(&v);
+        prop_assert_eq!(point::scale(k, &u), v);
+    }
+
+    /// `x // y` inverts scalar multiplication.
+    #[test]
+    fn exact_div_inverts_scale(
+        y in proptest::collection::vec(-5i64..=5, 1..4),
+        m in -7i64..=7,
+    ) {
+        prop_assume!(!point::is_zero(&y));
+        let x = point::scale(m, &y);
+        prop_assert_eq!(point::exact_div(&x, &y), Some(m));
+    }
+
+    /// Points on a chord have every coordinate between 0 and the endpoint.
+    #[test]
+    fn chord_points_are_bounded(
+        x in proptest::collection::vec(-9i64..=9, 1..4),
+        num in 0i64..=4, den in 1i64..=4,
+    ) {
+        prop_assume!(num <= den);
+        // w = (num/den) * x when integral.
+        let w: Option<Vec<i64>> = x
+            .iter()
+            .map(|&xi| {
+                let v = xi * num;
+                (v % den == 0).then_some(v / den)
+            })
+            .collect();
+        if let Some(w) = w {
+            prop_assert!(point::on_chord(&w, &x));
+        }
+    }
+
+    /// Matrix application is linear over affine points.
+    #[test]
+    fn matrix_apply_is_linear(
+        rows in proptest::collection::vec(proptest::collection::vec(-4i64..=4, 3), 2),
+        p in proptest::collection::vec(-10i64..=10, 3),
+        q in proptest::collection::vec(-10i64..=10, 3),
+    ) {
+        let m = Matrix::from_rows(&rows);
+        let pa: Vec<Affine> = p.iter().map(|&v| Affine::int(v)).collect();
+        let qa: Vec<Affine> = q.iter().map(|&v| Affine::int(v)).collect();
+        let lhs = matrix_apply(&m, &point_sub(&pa, &qa));
+        let rhs = point_sub(&matrix_apply(&m, &pa), &matrix_apply(&m, &qa));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Null-space basis vectors are annihilated and primitive.
+    #[test]
+    fn null_space_is_sound(
+        rows in proptest::collection::vec(proptest::collection::vec(-3i64..=3, 4), 1..4),
+    ) {
+        let m = Matrix::from_rows(&rows);
+        let ns = m.null_space();
+        prop_assert_eq!(ns.len() + m.rank(), 4, "rank-nullity");
+        for v in ns {
+            prop_assert!(m.apply(&v).iter().all(|r| r.is_zero()));
+            prop_assert_eq!(point::content(&v), 1);
+        }
+    }
+
+    /// Symbolic solve agrees with numeric evaluation: if solve(A, b) = x,
+    /// then for any binding, A * eval(x) == eval(b).
+    #[test]
+    fn solve_then_eval_consistent(
+        rows in proptest::collection::vec(proptest::collection::vec(-3i64..=3, 2), 2),
+        b0 in -5i64..=5, b1 in -5i64..=5, nval in 0i64..=10,
+    ) {
+        let a = Matrix::from_rows(&rows);
+        prop_assume!(a.rank() == 2);
+        let mut t = VarTable::new();
+        let n = t.size("n");
+        let b = vec![
+            Affine::var(n) + Affine::int(b0),
+            Affine::var(n).scale(Rational::int(2)) + Affine::int(b1),
+        ];
+        let x = systolic_math::linsolve::solve(&a, &b).unwrap();
+        let mut env = Env::new();
+        env.bind(n, nval);
+        let xv: Vec<Rational> = x.iter().map(|e| e.eval_rat(&env)).collect();
+        let bv: Vec<Rational> = b.iter().map(|e| e.eval_rat(&env)).collect();
+        prop_assert_eq!(a.apply_rat(&xv), bv);
+    }
+
+    /// Affine substitution then evaluation == evaluation with substituted
+    /// binding.
+    #[test]
+    fn substitution_commutes_with_eval(
+        c0 in -10i64..=10, c1 in -5i64..=5, c2 in -5i64..=5,
+        v in -10i64..=10,
+    ) {
+        let mut t = VarTable::new();
+        let n = t.size("n");
+        let col = t.coord(0);
+        let e = Affine::int(c0)
+            + Affine::var(n).scale(Rational::int(c1))
+            + Affine::var(col).scale(Rational::int(c2));
+        // Substitute col := n + 1.
+        let sub = e.substitute(col, &(Affine::var(n) + Affine::int(1)));
+        let mut env = Env::new();
+        env.bind(n, v).bind(col, v + 1);
+        prop_assert_eq!(sub.eval_rat(&env), e.eval_rat(&env));
+    }
+
+    /// point_exact_div is the symbolic counterpart of `//`.
+    #[test]
+    fn symbolic_div_matches_concrete(
+        inc in proptest::collection::vec(-2i64..=2, 1..4),
+        m in -6i64..=6, nval in 0i64..=8,
+    ) {
+        prop_assume!(!point::is_zero(&inc));
+        let mut t = VarTable::new();
+        let n = t.size("n");
+        // x = (m + n) * inc symbolically.
+        let factor = Affine::var(n) + Affine::int(m);
+        let x: Vec<Affine> = inc.iter().map(|&i| factor.clone().scale(Rational::int(i))).collect();
+        let d = point_exact_div(&x, &inc).unwrap();
+        let mut env = Env::new();
+        env.bind(n, nval);
+        prop_assert_eq!(d.eval_int(&env), m + nval);
+    }
+}

@@ -1,0 +1,428 @@
+//! The cooperative, deterministic scheduler.
+//!
+//! Generated systolic programs have no data-dependent control flow, so a
+//! single-threaded round-based simulation is faithful to the asynchronous
+//! semantics (any interleaving yields the same results — the Sec. 4
+//! correctness argument) while also *measuring* the lock-step lower bound:
+//! one **round** completes every rendezvous that is enabled at its start,
+//! mirroring the global clock tick of the hardware array.
+//!
+//! Deadlock is detected exactly: unfinished processes with no enabled
+//! rendezvous.
+
+use crate::process::{ChanId, CommReq, Process, Value};
+use std::collections::HashMap;
+
+/// Channel behaviour for the ablation experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelPolicy {
+    /// Pure synchronous rendezvous (the paper's model, Sec. 4).
+    Rendezvous,
+    /// Buffered with the given positive capacity: a send completes
+    /// immediately while fewer than `cap` values are in flight.
+    Buffered(usize),
+}
+
+/// Execution statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rendezvous rounds — the virtual systolic clock.
+    pub rounds: u64,
+    /// Total values transferred over channels.
+    pub messages: u64,
+    /// Number of processes that ran.
+    pub processes: usize,
+    /// Total `step` invocations across processes.
+    pub steps: u64,
+}
+
+/// A deadlock: the blocked processes and what they wait on.
+#[derive(Clone, Debug)]
+pub struct Deadlock {
+    pub blocked: Vec<String>,
+}
+
+impl std::fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadlock: {} process(es) blocked: ", self.blocked.len())?;
+        for (i, b) in self.blocked.iter().take(8).enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        if self.blocked.len() > 8 {
+            write!(f, "; ...")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Deadlock {}
+
+struct ProcState {
+    proc: Box<dyn Process>,
+    /// Pending requests with completion marks.
+    pending: Vec<(CommReq, bool)>,
+    /// Values received for pending `Recv`s, by request index.
+    inbox: Vec<Option<Value>>,
+    finished: bool,
+}
+
+impl ProcState {
+    fn all_complete(&self) -> bool {
+        self.pending.iter().all(|&(_, done)| done)
+    }
+
+    fn collect_received(&mut self) -> Vec<Value> {
+        let mut vals = Vec::new();
+        for (i, (req, _)) in self.pending.iter().enumerate() {
+            if !req.is_send() {
+                vals.push(self.inbox[i].take().expect("recv completed without value"));
+            }
+        }
+        vals
+    }
+}
+
+/// One recorded channel transfer (for space-time diagrams and debugging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The rendezvous round in which the transfer fired.
+    pub round: u64,
+    pub chan: ChanId,
+    pub value: Value,
+}
+
+/// A network of processes plus channel state, run to completion by
+/// [`Network::run`].
+pub struct Network {
+    procs: Vec<ProcState>,
+    policy: ChannelPolicy,
+    /// In-flight buffered values per channel.
+    queues: HashMap<ChanId, std::collections::VecDeque<Value>>,
+    stats: RunStats,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Network {
+    pub fn new(policy: ChannelPolicy) -> Network {
+        Network {
+            procs: Vec::new(),
+            policy,
+            queues: HashMap::new(),
+            stats: RunStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Record every channel transfer; retrieve with [`Network::run_traced`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Run to completion, returning the statistics and the recorded
+    /// trace of every channel transfer.
+    pub fn run_traced(mut self) -> Result<(RunStats, Vec<TraceEvent>), Deadlock> {
+        self.enable_trace();
+        let stats = self.run_inner()?;
+        let trace = self.trace.take().unwrap_or_default();
+        Ok((stats, trace))
+    }
+
+    /// Add a process; returns its index.
+    pub fn add(&mut self, proc: Box<dyn Process>) -> usize {
+        self.procs.push(ProcState {
+            proc,
+            pending: Vec::new(),
+            inbox: Vec::new(),
+            finished: false,
+        });
+        self.procs.len() - 1
+    }
+
+    /// Run all processes to completion. Returns statistics, or the
+    /// deadlock if progress stops.
+    pub fn run(mut self) -> Result<RunStats, Deadlock> {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> Result<RunStats, Deadlock> {
+        self.stats.processes = self.procs.len();
+        // Prime every process.
+        for i in 0..self.procs.len() {
+            self.advance(i, Vec::new());
+        }
+        loop {
+            if self.procs.iter().all(|p| p.finished) {
+                return Ok(self.stats.clone());
+            }
+            let fired = self.round();
+            if fired == 0 {
+                let blocked = self
+                    .procs
+                    .iter()
+                    .filter(|p| !p.finished)
+                    .map(|p| {
+                        let waits: Vec<String> = p
+                            .pending
+                            .iter()
+                            .filter(|&&(_, done)| !done)
+                            .map(|(r, _)| match r {
+                                CommReq::Send { chan, .. } => format!("send@{chan}"),
+                                CommReq::Recv { chan } => format!("recv@{chan}"),
+                            })
+                            .collect();
+                        format!("{} [{}]", p.proc.label(), waits.join(","))
+                    })
+                    .collect();
+                return Err(Deadlock { blocked });
+            }
+            self.stats.rounds += 1;
+        }
+    }
+
+    /// Feed `received` into process `i` and register its next comm set.
+    fn advance(&mut self, i: usize, received: Vec<Value>) {
+        let reqs = self.procs[i].proc.step(&received);
+        self.stats.steps += 1;
+        if reqs.is_empty() {
+            self.procs[i].finished = true;
+            self.procs[i].pending.clear();
+            self.procs[i].inbox.clear();
+            return;
+        }
+        let n = reqs.len();
+        self.procs[i].pending = reqs.into_iter().map(|r| (r, false)).collect();
+        self.procs[i].inbox = vec![None; n];
+    }
+
+    /// One round: complete every rendezvous enabled at the start of the
+    /// round, then re-step processes whose sets completed. Returns the
+    /// number of transfers performed.
+    fn round(&mut self) -> u64 {
+        // Snapshot matches: channel -> (sender proc/req, receiver proc/req).
+        let mut senders: HashMap<ChanId, (usize, usize, Value)> = HashMap::new();
+        let mut receivers: HashMap<ChanId, (usize, usize)> = HashMap::new();
+        for (pi, p) in self.procs.iter().enumerate() {
+            for (ri, &(req, done)) in p.pending.iter().enumerate() {
+                if done {
+                    continue;
+                }
+                match req {
+                    CommReq::Send { chan, value } => {
+                        let prev = senders.insert(chan, (pi, ri, value));
+                        assert!(prev.is_none(), "two senders pending on channel {chan}");
+                    }
+                    CommReq::Recv { chan } => {
+                        let prev = receivers.insert(chan, (pi, ri));
+                        assert!(prev.is_none(), "two receivers pending on channel {chan}");
+                    }
+                }
+            }
+        }
+
+        let mut fired = 0u64;
+        let mut touched: Vec<usize> = Vec::new();
+        // Buffered policy: drain queue heads into receivers, admit sends.
+        if let ChannelPolicy::Buffered(cap) = self.policy {
+            let mut chans: Vec<ChanId> = receivers.keys().copied().collect();
+            chans.sort_unstable();
+            for chan in chans {
+                if let Some(q) = self.queues.get_mut(&chan) {
+                    if let Some(v) = q.pop_front() {
+                        let (pi, ri) = receivers.remove(&chan).unwrap();
+                        self.procs[pi].pending[ri].1 = true;
+                        self.procs[pi].inbox[ri] = Some(v);
+                        touched.push(pi);
+                        fired += 1;
+                    }
+                }
+            }
+            let mut chans: Vec<ChanId> = senders.keys().copied().collect();
+            chans.sort_unstable();
+            for chan in chans {
+                let q = self.queues.entry(chan).or_default();
+                if q.len() < cap {
+                    let (pi, ri, v) = senders.remove(&chan).unwrap();
+                    q.push_back(v);
+                    self.procs[pi].pending[ri].1 = true;
+                    touched.push(pi);
+                    fired += 1;
+                }
+            }
+        } else {
+            // Rendezvous: match sender/receiver pairs.
+            let mut chans: Vec<ChanId> = senders
+                .keys()
+                .filter(|c| receivers.contains_key(c))
+                .copied()
+                .collect();
+            chans.sort_unstable();
+            for chan in chans {
+                let (spi, sri, v) = senders[&chan];
+                let (rpi, rri) = receivers[&chan];
+                self.procs[spi].pending[sri].1 = true;
+                self.procs[rpi].pending[rri].1 = true;
+                self.procs[rpi].inbox[rri] = Some(v);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent {
+                        round: self.stats.rounds,
+                        chan,
+                        value: v,
+                    });
+                }
+                touched.push(spi);
+                touched.push(rpi);
+                fired += 1;
+            }
+        }
+        self.stats.messages += fired;
+
+        touched.sort_unstable();
+        touched.dedup();
+        for pi in touched {
+            if !self.procs[pi].finished && self.procs[pi].all_complete() {
+                let received = self.procs[pi].collect_received();
+                self.advance(pi, received);
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{sink_buffer, RelayProc, SinkProc, SourceProc};
+
+    #[test]
+    fn pipeline_delivers_in_order() {
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
+        net.add(Box::new(RelayProc::new(0, 1, 3, "relay")));
+        net.add(Box::new(SinkProc::new(1, 3, buf.clone(), "sink")));
+        let stats = net.run().unwrap();
+        assert_eq!(*buf.lock(), vec![1, 2, 3]);
+        assert_eq!(stats.messages, 6, "3 values over 2 hops");
+        assert_eq!(stats.processes, 3);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // A sink waiting on a channel nobody sends on.
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SinkProc::new(9, 1, buf, "lonely-sink")));
+        let err = net.run().unwrap_err();
+        assert_eq!(err.blocked.len(), 1);
+        assert!(err.blocked[0].contains("recv@9"));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn mismatched_counts_deadlock() {
+        // Source sends 3, sink expects 4.
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
+        net.add(Box::new(SinkProc::new(0, 4, buf, "sink")));
+        assert!(net.run().is_err());
+    }
+
+    #[test]
+    fn rendezvous_rounds_reflect_pipelining() {
+        // A chain of k relays: first value needs k+1 rounds to cross, and
+        // subsequent values pipeline behind it.
+        let k = 4usize;
+        let n = 10usize;
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, (0..n as i64).collect(), "src")));
+        for i in 0..k {
+            net.add(Box::new(RelayProc::new(i, i + 1, n, format!("relay{i}"))));
+        }
+        net.add(Box::new(SinkProc::new(k, n, buf.clone(), "sink")));
+        let stats = net.run().unwrap();
+        assert_eq!(buf.lock().len(), n);
+        // Pipelined: rounds ~ n + k, not n * k.
+        assert!(
+            stats.rounds <= (2 * (n + k)) as u64,
+            "rounds = {}",
+            stats.rounds
+        );
+        assert_eq!(stats.messages, ((k + 1) * n) as u64);
+    }
+
+    #[test]
+    fn buffered_policy_decouples_sender() {
+        let mut net = Network::new(ChannelPolicy::Buffered(8));
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![5, 6], "src")));
+        net.add(Box::new(SinkProc::new(0, 2, buf.clone(), "sink")));
+        let stats = net.run().unwrap();
+        assert_eq!(*buf.lock(), vec![5, 6]);
+        // Each value counts twice: enqueue + dequeue.
+        assert_eq!(stats.messages, 4);
+    }
+
+    #[test]
+    fn two_parallel_pipelines_fire_in_one_round_each() {
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let b1 = sink_buffer();
+        let b2 = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1], "s1")));
+        net.add(Box::new(SourceProc::new(1, vec![2], "s2")));
+        net.add(Box::new(SinkProc::new(0, 1, b1.clone(), "k1")));
+        net.add(Box::new(SinkProc::new(1, 1, b2.clone(), "k2")));
+        let stats = net.run().unwrap();
+        assert_eq!(stats.rounds, 1, "independent channels fire simultaneously");
+        assert_eq!(*b1.lock(), vec![1]);
+        assert_eq!(*b2.lock(), vec![2]);
+    }
+
+    /// A process exercising par-sets: receives from two channels at once.
+    struct Join {
+        a: ChanId,
+        b: ChanId,
+        out: crate::process::SinkBuffer,
+        rounds: usize,
+    }
+
+    impl crate::process::Process for Join {
+        fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+            if received.len() == 2 {
+                self.out.lock().push(received[0] + received[1]);
+            }
+            if self.rounds == 0 {
+                return vec![];
+            }
+            self.rounds -= 1;
+            vec![
+                CommReq::Recv { chan: self.a },
+                CommReq::Recv { chan: self.b },
+            ]
+        }
+
+        fn label(&self) -> String {
+            "join".into()
+        }
+    }
+
+    #[test]
+    fn par_set_completes_in_any_order() {
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1, 10], "sa")));
+        net.add(Box::new(SourceProc::new(1, vec![2, 20], "sb")));
+        net.add(Box::new(Join {
+            a: 0,
+            b: 1,
+            out: buf.clone(),
+            rounds: 2,
+        }));
+        net.run().unwrap();
+        assert_eq!(*buf.lock(), vec![3, 30]);
+    }
+}

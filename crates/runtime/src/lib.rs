@@ -1,0 +1,29 @@
+//! # systolic-runtime
+//!
+//! The distributed-memory multiprocessor substrate (the paper's target
+//! machine model, Sec. 4, simulated): asynchronously composed sequential
+//! processes, synchronous point-to-point channels, `par` communication
+//! sets, host-side sources and sinks.
+//!
+//! - [`process`] — the [`Process`] coroutine trait and the library
+//!   processes (sources, sinks, relays);
+//! - [`coop`] — the deterministic cooperative scheduler with rendezvous
+//!   rounds (the virtual systolic clock), exact deadlock detection, and a
+//!   buffered-channel ablation mode;
+//! - [`threaded`] — the OS-thread executor with a blocking rendezvous
+//!   engine for wall-clock parallel measurements;
+//! - [`partition`] — the Sec. 8 partitioning refinement: many virtual
+//!   processes multiplexed per worker thread.
+
+pub mod coop;
+pub mod partition;
+pub mod process;
+pub mod threaded;
+
+pub use coop::{ChannelPolicy, Deadlock, Network, RunStats, TraceEvent};
+pub use partition::{block_partition, run_partitioned};
+pub use process::{
+    sink_buffer, ChanId, CommReq, Process, RelayProc, ScriptedSink, ScriptedSource, SegmentRelay,
+    SinkBuffer, SinkProc, SourceProc, Value,
+};
+pub use threaded::run_threaded;

@@ -1,0 +1,359 @@
+//! Partitioned execution: many virtual processes per worker thread.
+//!
+//! Sec. 8 lists the refinement "our programs must be refined to meet the
+//! restrictions that actual machines impose: not enough processors ...
+//! such limitations can be imposed with techniques of partitioning \[23\]".
+//! This module supplies the runtime half of that refinement: a fixed
+//! number of workers each hosts a *group* of virtual processes,
+//! multiplexing them cooperatively, while groups communicate through the
+//! same rendezvous engine as the one-thread-per-process executor.
+//!
+//! The crucial difference from [`crate::threaded`] is that a worker never
+//! blocks on a single process's communication set: it registers offers
+//! non-blockingly, resumes whichever member completed, and parks only
+//! when *every* member is stuck — so intra-group rendezvous still make
+//! progress (they complete inside the shared matcher the moment both
+//! sides are offered, regardless of which thread hosts them).
+
+use crate::coop::RunStats;
+use crate::process::{ChanId, CommReq, Process, Value};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct SetState {
+    remaining: usize,
+    inbox: Vec<Option<Value>>,
+    /// Completed but not yet resumed by its worker.
+    ready: bool,
+    finished: bool,
+}
+
+struct EngineState {
+    sends: HashMap<ChanId, (usize, usize, Value)>,
+    recvs: HashMap<ChanId, (usize, usize)>,
+    sets: Vec<SetState>,
+    messages: u64,
+}
+
+struct Engine {
+    state: Mutex<EngineState>,
+    /// One wakeup per group.
+    wakeups: Vec<Condvar>,
+    group_of: Vec<usize>,
+    aborted: AtomicBool,
+}
+
+impl Engine {
+    /// Register a process's next communication set; complete any matches
+    /// this enables. Caller holds no lock.
+    fn register(&self, pid: usize, reqs: &[CommReq]) {
+        let mut st = self.state.lock();
+        st.sets[pid] = SetState {
+            remaining: reqs.len(),
+            inbox: vec![None; reqs.len()],
+            ready: reqs.is_empty(),
+            finished: false,
+        };
+        let mut to_wake = Vec::new();
+        for (ri, req) in reqs.iter().enumerate() {
+            match *req {
+                CommReq::Send { chan, value } => {
+                    if let Some((rpid, rri)) = st.recvs.remove(&chan) {
+                        st.sets[rpid].inbox[rri] = Some(value);
+                        Self::complete(&mut st, rpid, &mut to_wake, &self.group_of);
+                        Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
+                        st.messages += 1;
+                    } else {
+                        let prev = st.sends.insert(chan, (pid, ri, value));
+                        assert!(prev.is_none(), "two senders on channel {chan}");
+                    }
+                }
+                CommReq::Recv { chan } => {
+                    if let Some((spid, _sri, value)) = st.sends.remove(&chan) {
+                        st.sets[pid].inbox[ri] = Some(value);
+                        Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
+                        Self::complete(&mut st, spid, &mut to_wake, &self.group_of);
+                        st.messages += 1;
+                    } else {
+                        let prev = st.recvs.insert(chan, (pid, ri));
+                        assert!(prev.is_none(), "two receivers on channel {chan}");
+                    }
+                }
+            }
+        }
+        drop(st);
+        to_wake.sort_unstable();
+        to_wake.dedup();
+        for g in to_wake {
+            self.wakeups[g].notify_one();
+        }
+    }
+
+    fn complete(st: &mut EngineState, pid: usize, to_wake: &mut Vec<usize>, group_of: &[usize]) {
+        st.sets[pid].remaining -= 1;
+        if st.sets[pid].remaining == 0 {
+            st.sets[pid].ready = true;
+            to_wake.push(group_of[pid]);
+        }
+    }
+
+    /// Pop a ready member of `group`, returning its id and received
+    /// values; or park until one appears. `None` on abort/timeout or when
+    /// every member has finished.
+    fn next_ready(
+        &self,
+        group_id: usize,
+        members: &[usize],
+        reqs_of: &dyn Fn(usize) -> Vec<bool>, // is_send per request index
+        timeout: Duration,
+    ) -> Result<Option<(usize, Vec<Value>)>, String> {
+        let mut st = self.state.lock();
+        loop {
+            if members.iter().all(|&m| st.sets[m].finished) {
+                return Ok(None);
+            }
+            if let Some(&m) = members
+                .iter()
+                .find(|&&m| st.sets[m].ready && !st.sets[m].finished)
+            {
+                st.sets[m].ready = false;
+                let sends = reqs_of(m);
+                let mut received = Vec::new();
+                for (ri, is_send) in sends.iter().enumerate() {
+                    if !is_send {
+                        received.push(
+                            st.sets[m].inbox[ri]
+                                .take()
+                                .expect("recv completed without value"),
+                        );
+                    }
+                }
+                return Ok(Some((m, received)));
+            }
+            if self.aborted.load(Ordering::Relaxed) {
+                return Err("aborted".into());
+            }
+            if self.wakeups[group_id]
+                .wait_for(&mut st, timeout)
+                .timed_out()
+            {
+                self.aborted.store(true, Ordering::Relaxed);
+                for w in &self.wakeups {
+                    w.notify_all();
+                }
+                return Err(format!("group {group_id} timed out waiting for rendezvous"));
+            }
+        }
+    }
+}
+
+/// Run processes partitioned into `groups` (a partition of process ids),
+/// one OS thread per group. Returns the usual statistics.
+pub fn run_partitioned(
+    procs: Vec<Box<dyn Process>>,
+    groups: Vec<Vec<usize>>,
+    timeout: Duration,
+) -> Result<RunStats, String> {
+    let n = procs.len();
+    {
+        let mut seen = vec![false; n];
+        for g in &groups {
+            for &m in g {
+                assert!(!seen[m], "process {m} in two groups");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "groups must cover every process");
+    }
+    let mut group_of = vec![0usize; n];
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in g {
+            group_of[m] = gi;
+        }
+    }
+    let engine = Arc::new(Engine {
+        state: Mutex::new(EngineState {
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            sets: (0..n)
+                .map(|_| SetState {
+                    remaining: 0,
+                    inbox: Vec::new(),
+                    ready: true,
+                    finished: false,
+                })
+                .collect(),
+            messages: 0,
+        }),
+        wakeups: (0..groups.len()).map(|_| Condvar::new()).collect(),
+        group_of,
+        aborted: AtomicBool::new(false),
+    });
+
+    // Distribute process ownership to the group threads.
+    let mut slots: Vec<Option<Box<dyn Process>>> = procs.into_iter().map(Some).collect();
+    let mut handles = Vec::new();
+    let mut steps_total = 0u64;
+    for (gi, members) in groups.iter().enumerate() {
+        let mut owned: Vec<(usize, Box<dyn Process>)> = members
+            .iter()
+            .map(|&m| (m, slots[m].take().unwrap()))
+            .collect();
+        let engine = engine.clone();
+        let members = members.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("systolic-group-{gi}"))
+            .spawn(move || -> Result<u64, String> {
+                let mut steps = 0u64;
+                // Track each member's current request shape for inbox
+                // extraction.
+                let mut shapes: HashMap<usize, Vec<bool>> = HashMap::new();
+                // Prime every member.
+                for (pid, proc) in owned.iter_mut() {
+                    let reqs = proc.step(&[]);
+                    steps += 1;
+                    if reqs.is_empty() {
+                        engine.state.lock().sets[*pid].finished = true;
+                        continue;
+                    }
+                    shapes.insert(*pid, reqs.iter().map(|r| r.is_send()).collect());
+                    engine.register(*pid, &reqs);
+                }
+                loop {
+                    let shapes_ref = shapes.clone();
+                    let lookup = move |pid: usize| shapes_ref[&pid].clone();
+                    match engine.next_ready(gi, &members, &lookup, timeout)? {
+                        None => return Ok(steps),
+                        Some((pid, received)) => {
+                            let proc = owned
+                                .iter_mut()
+                                .find(|(p, _)| *p == pid)
+                                .map(|(_, pr)| pr)
+                                .expect("ready member owned by this group");
+                            let reqs = proc.step(&received);
+                            steps += 1;
+                            if reqs.is_empty() {
+                                engine.state.lock().sets[pid].finished = true;
+                                shapes.remove(&pid);
+                            } else {
+                                shapes.insert(pid, reqs.iter().map(|r| r.is_send()).collect());
+                                engine.register(pid, &reqs);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn group thread");
+        handles.push(h);
+    }
+    let mut first_err = None;
+    for h in handles {
+        match h.join().map_err(|_| "group thread panicked".to_string()) {
+            Ok(Ok(s)) => steps_total += s,
+            Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let st = engine.state.lock();
+    Ok(RunStats {
+        rounds: 0,
+        messages: st.messages,
+        processes: n,
+        steps: steps_total,
+    })
+}
+
+/// A simple block partition: processes in index order, `k` groups of
+/// near-equal size.
+pub fn block_partition(n_procs: usize, k: usize) -> Vec<Vec<usize>> {
+    let k = k.max(1).min(n_procs.max(1));
+    let mut groups = vec![Vec::new(); k];
+    for p in 0..n_procs {
+        groups[p * k / n_procs.max(1)].push(p);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{sink_buffer, RelayProc, SinkProc, SourceProc};
+
+    const T: Duration = Duration::from_secs(10);
+
+    fn pipeline(
+        len: usize,
+        values: Vec<Value>,
+    ) -> (Vec<Box<dyn Process>>, crate::process::SinkBuffer) {
+        let buf = sink_buffer();
+        let n = values.len();
+        let mut procs: Vec<Box<dyn Process>> = vec![Box::new(SourceProc::new(0, values, "src"))];
+        for i in 0..len {
+            procs.push(Box::new(RelayProc::new(i, i + 1, n, format!("r{i}"))));
+        }
+        procs.push(Box::new(SinkProc::new(len, n, buf.clone(), "sink")));
+        (procs, buf)
+    }
+
+    #[test]
+    fn single_group_runs_everything_on_one_thread() {
+        let (procs, buf) = pipeline(5, vec![1, 2, 3]);
+        let n = procs.len();
+        let stats = run_partitioned(procs, vec![(0..n).collect()], T).unwrap();
+        assert_eq!(*buf.lock(), vec![1, 2, 3]);
+        assert_eq!(stats.processes, n);
+    }
+
+    #[test]
+    fn two_groups_split_mid_pipeline() {
+        let (procs, buf) = pipeline(6, (0..10).collect());
+        let n = procs.len();
+        let groups = vec![(0..n / 2).collect(), (n / 2..n).collect()];
+        run_partitioned(procs, groups, T).unwrap();
+        assert_eq!(*buf.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_partition_shapes() {
+        assert_eq!(block_partition(10, 3).len(), 3);
+        assert_eq!(block_partition(10, 3).concat().len(), 10);
+        assert_eq!(block_partition(2, 8).len(), 2, "no empty groups");
+        assert_eq!(block_partition(7, 1), vec![(0..7).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn every_partition_of_a_diamond_works() {
+        // Fan-out/fan-in across group boundaries in all placements.
+        for k in 1..=4 {
+            let buf = sink_buffer();
+            let procs: Vec<Box<dyn Process>> = vec![
+                Box::new(SourceProc::new(0, vec![5, 6], "sa")),
+                Box::new(SourceProc::new(1, vec![7, 8], "sb")),
+                Box::new(RelayProc::new(0, 2, 2, "ra")),
+                Box::new(RelayProc::new(1, 3, 2, "rb")),
+                Box::new(SinkProc::new(2, 2, buf.clone(), "ka")),
+                Box::new(SinkProc::new(3, 2, sink_buffer(), "kb")),
+            ];
+            let groups = block_partition(procs.len(), k);
+            run_partitioned(procs, groups, T).unwrap();
+            assert_eq!(*buf.lock(), vec![5, 6], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn timeout_on_stuck_group() {
+        let buf = sink_buffer();
+        let procs: Vec<Box<dyn Process>> = vec![Box::new(SinkProc::new(9, 1, buf, "lonely"))];
+        let err = run_partitioned(procs, vec![vec![0]], Duration::from_millis(50)).unwrap_err();
+        assert!(
+            err.contains("timed out") || err.contains("aborted"),
+            "{err}"
+        );
+    }
+}

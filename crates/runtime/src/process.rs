@@ -1,0 +1,397 @@
+//! The virtual-process abstraction.
+//!
+//! Sec. 4: "systolic programs specify a set of asynchronously composed
+//! processes, each one an ordinary sequential process", communicating over
+//! synchronous channels, where "multiple communications may be performed
+//! concurrently" (`par` of sends/receives, Appendix C).
+//!
+//! A [`Process`] is a coroutine driven by the scheduler: each call to
+//! [`Process::step`] runs local computation and returns the next set of
+//! communication requests; the set completes when every request has
+//! matched, in any order; the values received (in request order) are
+//! passed to the next `step`. An empty set terminates the process.
+
+use std::sync::Arc;
+
+/// The scalar carried on channels.
+pub type Value = i64;
+
+/// Identifies a point-to-point channel. Each channel must have exactly one
+/// sending and one receiving process over the run ("the channels are
+/// mutually independent", Sec. 4).
+pub type ChanId = usize;
+
+/// One communication request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommReq {
+    /// Offer `value` on the channel; completes when the receiver takes it.
+    Send { chan: ChanId, value: Value },
+    /// Take a value from the channel; completes when a sender offers one.
+    Recv { chan: ChanId },
+}
+
+impl CommReq {
+    pub fn chan(&self) -> ChanId {
+        match self {
+            CommReq::Send { chan, .. } | CommReq::Recv { chan } => *chan,
+        }
+    }
+
+    pub fn is_send(&self) -> bool {
+        matches!(self, CommReq::Send { .. })
+    }
+}
+
+/// A cooperative sequential process.
+pub trait Process: Send {
+    /// Advance the process. `received` holds the values of the previous
+    /// set's `Recv` requests, in request order (empty on the first call).
+    /// Return the next communication set; an empty set means the process
+    /// has terminated.
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq>;
+
+    /// A short label for diagnostics (deadlock reports).
+    fn label(&self) -> String {
+        "process".into()
+    }
+}
+
+/// An input process: sends a fixed sequence of values on one channel
+/// (the host-side injection of a stream partition, Sec. 4.2).
+pub struct SourceProc {
+    chan: ChanId,
+    values: std::vec::IntoIter<Value>,
+    label: String,
+}
+
+impl SourceProc {
+    pub fn new(chan: ChanId, values: Vec<Value>, label: impl Into<String>) -> SourceProc {
+        SourceProc {
+            chan,
+            values: values.into_iter(),
+            label: label.into(),
+        }
+    }
+}
+
+impl Process for SourceProc {
+    fn step(&mut self, _received: &[Value]) -> Vec<CommReq> {
+        match self.values.next() {
+            Some(v) => vec![CommReq::Send {
+                chan: self.chan,
+                value: v,
+            }],
+            None => vec![],
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Shared collection buffer for [`SinkProc`] results.
+pub type SinkBuffer = Arc<parking_lot::Mutex<Vec<Value>>>;
+
+/// An output process: receives `count` values from one channel into a
+/// shared buffer (the host-side extraction, Sec. 4.2).
+pub struct SinkProc {
+    chan: ChanId,
+    remaining: usize,
+    out: SinkBuffer,
+    label: String,
+}
+
+impl SinkProc {
+    pub fn new(chan: ChanId, count: usize, out: SinkBuffer, label: impl Into<String>) -> SinkProc {
+        SinkProc {
+            chan,
+            remaining: count,
+            out,
+            label: label.into(),
+        }
+    }
+}
+
+impl Process for SinkProc {
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        if let Some(&v) = received.first() {
+            self.out.lock().push(v);
+        }
+        if self.remaining == 0 {
+            return vec![];
+        }
+        self.remaining -= 1;
+        vec![CommReq::Recv { chan: self.chan }]
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A buffer process: receives `count` values on one channel and forwards
+/// each on another (`pass s, n` — the internal buffers of Sec. 7.6 and
+/// the external buffers of `PS \ CS`).
+pub struct RelayProc {
+    in_chan: ChanId,
+    out_chan: ChanId,
+    remaining: usize,
+    label: String,
+}
+
+impl RelayProc {
+    pub fn new(
+        in_chan: ChanId,
+        out_chan: ChanId,
+        count: usize,
+        label: impl Into<String>,
+    ) -> RelayProc {
+        RelayProc {
+            in_chan,
+            out_chan,
+            remaining: count,
+            label: label.into(),
+        }
+    }
+}
+
+impl Process for RelayProc {
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        if let Some(&v) = received.first() {
+            return vec![CommReq::Send {
+                chan: self.out_chan,
+                value: v,
+            }];
+        }
+        if self.remaining == 0 {
+            return vec![];
+        }
+        self.remaining -= 1;
+        vec![CommReq::Recv { chan: self.in_chan }]
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A relay that forwards values in consecutive *segments*, each with its
+/// own input channel, output channel, and count. Used to split a
+/// computation cell's data propagation into independent per-stream escort
+/// processes (splitter/merger pairs) — the alternative propagation
+/// protocol of `ElabOptions::split_propagation` (the paper: its protocol
+/// "is only one of many possible choices", Sec. 4.2).
+pub struct SegmentRelay {
+    segments: std::vec::IntoIter<(ChanId, ChanId, usize)>,
+    current: Option<(ChanId, ChanId, usize)>,
+    label: String,
+}
+
+impl SegmentRelay {
+    /// `segments`: `(in_chan, out_chan, count)` triples processed in
+    /// order; zero-count segments are skipped.
+    pub fn new(segments: Vec<(ChanId, ChanId, usize)>, label: impl Into<String>) -> SegmentRelay {
+        SegmentRelay {
+            segments: segments.into_iter(),
+            current: None,
+            label: label.into(),
+        }
+    }
+
+    fn next_segment(&mut self) -> Option<(ChanId, ChanId, usize)> {
+        loop {
+            match self.segments.next() {
+                Some((_, _, 0)) => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Process for SegmentRelay {
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        if let Some(&v) = received.first() {
+            let (_, out, _) = self.current.expect("received without a segment");
+            return vec![CommReq::Send {
+                chan: out,
+                value: v,
+            }];
+        }
+        // Advance within / across segments.
+        match &mut self.current {
+            Some((_, _, n)) if *n > 1 => {
+                *n -= 1;
+            }
+            _ => {
+                self.current = self.next_segment();
+            }
+        }
+        match self.current {
+            Some((inp, _, _)) => vec![CommReq::Recv { chan: inp }],
+            None => vec![],
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A host-side input process driving *many* channels from one script:
+/// the merged form of per-pipe input processes (Sec. 4.2: "at a later
+/// stage, these may be merged into fewer processes").
+pub struct ScriptedSource {
+    sends: std::vec::IntoIter<(ChanId, Value)>,
+    label: String,
+}
+
+impl ScriptedSource {
+    pub fn new(sends: Vec<(ChanId, Value)>, label: impl Into<String>) -> ScriptedSource {
+        ScriptedSource {
+            sends: sends.into_iter(),
+            label: label.into(),
+        }
+    }
+}
+
+impl Process for ScriptedSource {
+    fn step(&mut self, _received: &[Value]) -> Vec<CommReq> {
+        match self.sends.next() {
+            Some((chan, value)) => vec![CommReq::Send { chan, value }],
+            None => vec![],
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The merged output counterpart: receives from many channels in a fixed
+/// order into one shared buffer.
+pub struct ScriptedSink {
+    recvs: std::vec::IntoIter<ChanId>,
+    out: SinkBuffer,
+    label: String,
+}
+
+impl ScriptedSink {
+    pub fn new(recvs: Vec<ChanId>, out: SinkBuffer, label: impl Into<String>) -> ScriptedSink {
+        ScriptedSink {
+            recvs: recvs.into_iter(),
+            out,
+            label: label.into(),
+        }
+    }
+}
+
+impl Process for ScriptedSink {
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        if let Some(&v) = received.first() {
+            self.out.lock().push(v);
+        }
+        match self.recvs.next() {
+            Some(chan) => vec![CommReq::Recv { chan }],
+            None => vec![],
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Build a fresh sink buffer.
+pub fn sink_buffer() -> SinkBuffer {
+    Arc::new(parking_lot::Mutex::new(Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_emits_in_order() {
+        let mut s = SourceProc::new(0, vec![1, 2], "src");
+        assert_eq!(s.step(&[]), vec![CommReq::Send { chan: 0, value: 1 }]);
+        assert_eq!(s.step(&[]), vec![CommReq::Send { chan: 0, value: 2 }]);
+        assert!(s.step(&[]).is_empty());
+    }
+
+    #[test]
+    fn sink_collects() {
+        let buf = sink_buffer();
+        let mut s = SinkProc::new(3, 2, buf.clone(), "sink");
+        assert_eq!(s.step(&[]), vec![CommReq::Recv { chan: 3 }]);
+        assert_eq!(s.step(&[10]), vec![CommReq::Recv { chan: 3 }]);
+        assert!(s.step(&[20]).is_empty());
+        assert_eq!(*buf.lock(), vec![10, 20]);
+    }
+
+    #[test]
+    fn segment_relay_switches_channels() {
+        // Segments: 2 from chan 0 -> 10, 1 from chan 1 -> 11, skip a
+        // zero segment, 1 from chan 0 -> 10.
+        let mut r = SegmentRelay::new(vec![(0, 10, 2), (1, 11, 1), (2, 12, 0), (0, 10, 1)], "seg");
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[5]), vec![CommReq::Send { chan: 10, value: 5 }]);
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[6]), vec![CommReq::Send { chan: 10, value: 6 }]);
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 1 }]);
+        assert_eq!(r.step(&[7]), vec![CommReq::Send { chan: 11, value: 7 }]);
+        assert_eq!(
+            r.step(&[]),
+            vec![CommReq::Recv { chan: 0 }],
+            "zero segment skipped"
+        );
+        assert_eq!(r.step(&[8]), vec![CommReq::Send { chan: 10, value: 8 }]);
+        assert!(r.step(&[]).is_empty());
+    }
+
+    #[test]
+    fn scripted_source_and_sink_round_robin() {
+        let mut src = ScriptedSource::new(vec![(0, 10), (1, 20), (0, 11)], "host-in");
+        assert_eq!(
+            src.step(&[]),
+            vec![CommReq::Send { chan: 0, value: 10 }]
+        );
+        assert_eq!(
+            src.step(&[]),
+            vec![CommReq::Send { chan: 1, value: 20 }]
+        );
+        assert_eq!(
+            src.step(&[]),
+            vec![CommReq::Send { chan: 0, value: 11 }]
+        );
+        assert!(src.step(&[]).is_empty());
+
+        let buf = sink_buffer();
+        let mut sink = ScriptedSink::new(vec![2, 3, 2], buf.clone(), "host-out");
+        assert_eq!(sink.step(&[]), vec![CommReq::Recv { chan: 2 }]);
+        assert_eq!(sink.step(&[5]), vec![CommReq::Recv { chan: 3 }]);
+        assert_eq!(sink.step(&[6]), vec![CommReq::Recv { chan: 2 }]);
+        assert!(sink.step(&[7]).is_empty());
+        assert_eq!(*buf.lock(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn comm_req_accessors() {
+        let s = CommReq::Send { chan: 4, value: 9 };
+        let r = CommReq::Recv { chan: 7 };
+        assert_eq!(s.chan(), 4);
+        assert_eq!(r.chan(), 7);
+        assert!(s.is_send());
+        assert!(!r.is_send());
+    }
+
+    #[test]
+    fn relay_alternates_recv_send() {
+        let mut r = RelayProc::new(0, 1, 2, "relay");
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[7]), vec![CommReq::Send { chan: 1, value: 7 }]);
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[8]), vec![CommReq::Send { chan: 1, value: 8 }]);
+        assert!(r.step(&[]).is_empty());
+    }
+}

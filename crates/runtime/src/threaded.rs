@@ -1,0 +1,252 @@
+//! The threaded executor: the same process networks on real OS threads
+//! with blocking rendezvous — genuine asynchronous parallelism, used for
+//! the speed-up experiments.
+//!
+//! The rendezvous engine is a single matcher protected by a mutex with one
+//! condvar per process (the classic building block; cf. the guides'
+//! "Rust Atomics and Locks" treatment of condition variables). A process
+//! offers its whole communication set at once, so `par` communications
+//! complete in any order without the thread having to block on one channel
+//! at a time — this is what makes the executor deadlock-equivalent to the
+//! cooperative scheduler.
+
+use crate::coop::RunStats;
+use crate::process::{ChanId, CommReq, Process, Value};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct SetState {
+    remaining: usize,
+    inbox: Vec<Option<Value>>,
+}
+
+struct EngineState {
+    sends: HashMap<ChanId, (usize, usize, Value)>,
+    recvs: HashMap<ChanId, (usize, usize)>,
+    sets: Vec<SetState>,
+    messages: u64,
+}
+
+struct Engine {
+    state: Mutex<EngineState>,
+    wakeups: Vec<Condvar>,
+    aborted: AtomicBool,
+}
+
+impl Engine {
+    fn new(nprocs: usize) -> Engine {
+        Engine {
+            state: Mutex::new(EngineState {
+                sends: HashMap::new(),
+                recvs: HashMap::new(),
+                sets: (0..nprocs)
+                    .map(|_| SetState {
+                        remaining: 0,
+                        inbox: Vec::new(),
+                    })
+                    .collect(),
+                messages: 0,
+            }),
+            wakeups: (0..nprocs).map(|_| Condvar::new()).collect(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Offer a communication set and block until it completes. Returns the
+    /// received values in request order, or `Err` on timeout/abort.
+    fn offer_set(
+        &self,
+        pid: usize,
+        reqs: &[CommReq],
+        timeout: Duration,
+    ) -> Result<Vec<Value>, String> {
+        let mut st = self.state.lock();
+        st.sets[pid] = SetState {
+            remaining: reqs.len(),
+            inbox: vec![None; reqs.len()],
+        };
+        for (ri, req) in reqs.iter().enumerate() {
+            match *req {
+                CommReq::Send { chan, value } => {
+                    if let Some((rpid, rri)) = st.recvs.remove(&chan) {
+                        st.sets[rpid].inbox[rri] = Some(value);
+                        st.sets[rpid].remaining -= 1;
+                        st.sets[pid].remaining -= 1;
+                        st.messages += 1;
+                        if st.sets[rpid].remaining == 0 {
+                            self.wakeups[rpid].notify_one();
+                        }
+                    } else {
+                        let prev = st.sends.insert(chan, (pid, ri, value));
+                        assert!(prev.is_none(), "two senders on channel {chan}");
+                    }
+                }
+                CommReq::Recv { chan } => {
+                    if let Some((spid, _sri, value)) = st.sends.remove(&chan) {
+                        st.sets[pid].inbox[ri] = Some(value);
+                        st.sets[pid].remaining -= 1;
+                        st.sets[spid].remaining -= 1;
+                        st.messages += 1;
+                        if st.sets[spid].remaining == 0 {
+                            self.wakeups[spid].notify_one();
+                        }
+                    } else {
+                        let prev = st.recvs.insert(chan, (pid, ri));
+                        assert!(prev.is_none(), "two receivers on channel {chan}");
+                    }
+                }
+            }
+        }
+        while st.sets[pid].remaining > 0 {
+            if self.aborted.load(Ordering::Relaxed) {
+                return Err("aborted".into());
+            }
+            if self.wakeups[pid].wait_for(&mut st, timeout).timed_out() {
+                self.aborted.store(true, Ordering::Relaxed);
+                for w in &self.wakeups {
+                    w.notify_one();
+                }
+                return Err(format!("process {pid} timed out waiting for rendezvous"));
+            }
+        }
+        let mut received = Vec::new();
+        for (ri, req) in reqs.iter().enumerate() {
+            if !req.is_send() {
+                received.push(st.sets[pid].inbox[ri].take().expect("recv without value"));
+            }
+        }
+        Ok(received)
+    }
+}
+
+/// Run a set of processes on OS threads (one thread each, small stacks).
+/// `timeout` bounds any single rendezvous wait — a blown timeout reports
+/// instead of hanging (the cooperative scheduler is the deadlock oracle;
+/// this executor is for wall-clock measurement).
+pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<RunStats, String> {
+    let n = procs.len();
+    let engine = Arc::new(Engine::new(n));
+    let mut handles = Vec::with_capacity(n);
+    let mut steps_total = 0u64;
+    for (pid, mut proc) in procs.into_iter().enumerate() {
+        let engine = engine.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("systolic-{pid}"))
+            .stack_size(128 * 1024)
+            .spawn(move || -> Result<u64, String> {
+                let mut received = Vec::new();
+                let mut steps = 0u64;
+                loop {
+                    let reqs = proc.step(&received);
+                    steps += 1;
+                    if reqs.is_empty() {
+                        return Ok(steps);
+                    }
+                    received = engine.offer_set(pid, &reqs, timeout)?;
+                }
+            })
+            .expect("spawn systolic thread");
+        handles.push(h);
+    }
+    let mut first_err = None;
+    for h in handles {
+        match h.join().map_err(|_| "thread panicked".to_string()) {
+            Ok(Ok(s)) => steps_total += s,
+            Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let st = engine.state.lock();
+    Ok(RunStats {
+        rounds: 0,
+        messages: st.messages,
+        processes: n,
+        steps: steps_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{sink_buffer, RelayProc, SinkProc, SourceProc};
+
+    const T: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn threaded_pipeline_matches_cooperative() {
+        let buf = sink_buffer();
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(SourceProc::new(0, vec![1, 2, 3, 4], "src")),
+            Box::new(RelayProc::new(0, 1, 4, "relay")),
+            Box::new(SinkProc::new(1, 4, buf.clone(), "sink")),
+        ];
+        let stats = run_threaded(procs, T).unwrap();
+        assert_eq!(*buf.lock(), vec![1, 2, 3, 4]);
+        assert_eq!(stats.messages, 8);
+        assert_eq!(stats.processes, 3);
+    }
+
+    #[test]
+    fn threaded_fanout_join() {
+        struct Join {
+            out: crate::process::SinkBuffer,
+            rounds: usize,
+        }
+        impl Process for Join {
+            fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+                if received.len() == 2 {
+                    self.out.lock().push(received[0] * received[1]);
+                }
+                if self.rounds == 0 {
+                    return vec![];
+                }
+                self.rounds -= 1;
+                vec![CommReq::Recv { chan: 0 }, CommReq::Recv { chan: 1 }]
+            }
+        }
+        let buf = sink_buffer();
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(SourceProc::new(0, vec![2, 3], "sa")),
+            Box::new(SourceProc::new(1, vec![10, 100], "sb")),
+            Box::new(Join {
+                out: buf.clone(),
+                rounds: 2,
+            }),
+        ];
+        run_threaded(procs, T).unwrap();
+        assert_eq!(*buf.lock(), vec![20, 300]);
+    }
+
+    #[test]
+    fn timeout_reports_instead_of_hanging() {
+        let buf = sink_buffer();
+        let procs: Vec<Box<dyn Process>> = vec![Box::new(SinkProc::new(7, 1, buf, "lonely"))];
+        let err = run_threaded(procs, Duration::from_millis(50)).unwrap_err();
+        assert!(
+            err.contains("timed out") || err.contains("aborted"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn many_threads_small_stacks() {
+        // 200 parallel one-shot pipelines.
+        let mut procs: Vec<Box<dyn Process>> = Vec::new();
+        let mut bufs = Vec::new();
+        for i in 0..200 {
+            let buf = sink_buffer();
+            procs.push(Box::new(SourceProc::new(i, vec![i as Value], "s")));
+            procs.push(Box::new(SinkProc::new(i, 1, buf.clone(), "k")));
+            bufs.push(buf);
+        }
+        run_threaded(procs, T).unwrap();
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(*b.lock(), vec![i as Value]);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Randomized stress tests: the three executors (cooperative, threaded,
+//! partitioned) must agree on arbitrary relay networks.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use systolic_runtime::{
+    block_partition, run_partitioned, run_threaded, sink_buffer, ChannelPolicy, Network, Process,
+    RelayProc, SinkBuffer, SinkProc, SourceProc,
+};
+
+/// Build `k` independent pipelines with the given relay counts and
+/// payload lengths. Returns (processes, sink buffers, expected values).
+#[allow(clippy::type_complexity)]
+fn build(specs: &[(usize, usize)]) -> (Vec<Box<dyn Process>>, Vec<SinkBuffer>, Vec<Vec<i64>>) {
+    let mut procs: Vec<Box<dyn Process>> = Vec::new();
+    let mut bufs = Vec::new();
+    let mut expected = Vec::new();
+    let mut chan = 0usize;
+    for (pipe, &(relays, len)) in specs.iter().enumerate() {
+        let values: Vec<i64> = (0..len as i64).map(|v| v * 7 + pipe as i64).collect();
+        procs.push(Box::new(SourceProc::new(
+            chan,
+            values.clone(),
+            format!("src{pipe}"),
+        )));
+        for r in 0..relays {
+            procs.push(Box::new(RelayProc::new(
+                chan,
+                chan + 1,
+                len,
+                format!("r{pipe}.{r}"),
+            )));
+            chan += 1;
+        }
+        let buf = sink_buffer();
+        procs.push(Box::new(SinkProc::new(
+            chan,
+            len,
+            buf.clone(),
+            format!("sink{pipe}"),
+        )));
+        chan += 1;
+        bufs.push(buf);
+        expected.push(values);
+    }
+    (procs, bufs, expected)
+}
+
+/// Case count: default, overridable via PROPTEST_CASES for deep fuzzing.
+fn env_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: env_cases(32), ..ProptestConfig::default() })]
+
+    #[test]
+    fn executors_agree_on_random_pipelines(
+        specs in proptest::collection::vec((0usize..6, 0usize..12), 1..6),
+        workers in 1usize..5,
+    ) {
+        // Cooperative.
+        let (procs, bufs, expected) = build(&specs);
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        for p in procs {
+            net.add(p);
+        }
+        net.run().unwrap();
+        for (b, e) in bufs.iter().zip(&expected) {
+            prop_assert_eq!(&*b.lock(), e);
+        }
+
+        // Threaded.
+        let (procs, bufs, expected) = build(&specs);
+        run_threaded(procs, Duration::from_secs(20)).unwrap();
+        for (b, e) in bufs.iter().zip(&expected) {
+            prop_assert_eq!(&*b.lock(), e);
+        }
+
+        // Partitioned.
+        let (procs, bufs, expected) = build(&specs);
+        let groups = block_partition(procs.len(), workers);
+        run_partitioned(procs, groups, Duration::from_secs(20)).unwrap();
+        for (b, e) in bufs.iter().zip(&expected) {
+            prop_assert_eq!(&*b.lock(), e);
+        }
+    }
+
+    #[test]
+    fn buffered_policy_agrees_with_rendezvous(
+        specs in proptest::collection::vec((0usize..5, 1usize..10), 1..4),
+        cap in 1usize..5,
+    ) {
+        let (procs, bufs, expected) = build(&specs);
+        let mut net = Network::new(ChannelPolicy::Buffered(cap));
+        for p in procs {
+            net.add(p);
+        }
+        net.run().unwrap();
+        for (b, e) in bufs.iter().zip(&expected) {
+            prop_assert_eq!(&*b.lock(), e);
+        }
+    }
+
+    /// Message conservation: total messages equals sum over pipes of
+    /// values x hops under rendezvous.
+    #[test]
+    fn message_conservation(
+        specs in proptest::collection::vec((0usize..5, 0usize..10), 1..5),
+    ) {
+        let (procs, _bufs, _expected) = build(&specs);
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        for p in procs {
+            net.add(p);
+        }
+        let stats = net.run().unwrap();
+        let expect: u64 = specs.iter().map(|&(r, l)| ((r + 1) * l) as u64).sum();
+        prop_assert_eq!(stats.messages, expect);
+    }
+}

@@ -1,0 +1,305 @@
+//! The systolic array specification (Sec. 3.2): the two linear
+//! distribution functions `step` and `place`, and the derived `flow`.
+
+use systolic_ir::{SourceProgram, StreamId};
+use systolic_math::{point, Matrix, RatPoint, Rational};
+
+/// A linear systolic array: `step :: Op -> Z` (temporal distribution) and
+/// `place :: Op -> Z^{r-1}` (spatial distribution), both linear and
+/// constant-free, as required in Sec. 3.2.
+#[derive(Clone, Debug)]
+pub struct SystolicArray {
+    /// Coefficients of the step functional, length `r`.
+    pub step: Vec<i64>,
+    /// The place matrix, `(r-1) x r`.
+    pub place: Matrix,
+}
+
+/// Why a `(step, place)` pair is not a valid systolic array for a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArrayError {
+    /// `place` does not have rank `r-1`.
+    PlaceRankDeficient { rank: usize, expected: usize },
+    /// `step` and `place` are inconsistent: a non-trivial projection
+    /// direction is mapped to step 0 (violates eq. 1 / Theorem 3).
+    StepPlaceInconsistent,
+    /// Step does not respect the ordering of accesses to a written stream:
+    /// the dependence along the stream's reuse direction gets a
+    /// non-positive step increase.
+    DependenceViolated { stream: usize },
+    /// A read-only stream's reuse direction is mapped to step 0 (would be a
+    /// broadcast, which systolic arrays do not allow).
+    BroadcastRequired { stream: usize },
+    /// A stream's flow violates the neighbouring-connection restriction
+    /// (no `m > 0` with `nb(m * flow)`).
+    FlowNotNeighbouring { stream: usize, flow: Vec<Rational> },
+    /// The projection direction is not a unit-component vector, so the
+    /// derived `increment` leaves {-1, 0, +1}^r (restriction A.2).
+    IncrementNotUnit { increment: Vec<i64> },
+}
+
+impl SystolicArray {
+    pub fn new(step: Vec<i64>, place: Matrix) -> SystolicArray {
+        assert_eq!(step.len(), place.cols(), "step/place arity mismatch");
+        SystolicArray { step, place }
+    }
+
+    /// The nesting depth `r` this array serves.
+    pub fn r(&self) -> usize {
+        self.step.len()
+    }
+
+    /// `step.x` for a concrete index point.
+    pub fn step_at(&self, x: &[i64]) -> i64 {
+        point::dot(&self.step, x)
+    }
+
+    /// `place.x` for a concrete index point.
+    pub fn place_at(&self, x: &[i64]) -> Vec<i64> {
+        self.place.apply_int(x)
+    }
+
+    /// The primitive generator of `null.place` (Theorems 1–2), oriented so
+    /// that `step` increases along it (Theorem 6's normalization, used to
+    /// derive `increment` in Sec. 7.2.1).
+    pub fn projection_direction(&self) -> Option<Vec<i64>> {
+        let g = self.place.null_generator()?;
+        let s = point::dot(&self.step, &g);
+        if s == 0 {
+            return None; // step/place inconsistent (Theorem 3).
+        }
+        Some(if s > 0 { g } else { point::scale(-1, &g) })
+    }
+
+    /// `flow.s` (Sec. 3.2 / Theorem 10): pick the reuse direction of the
+    /// stream (the null generator of its index map) and form
+    /// `place.d / step.d`. Stationary streams get the zero vector.
+    pub fn flow(&self, program: &SourceProgram, s: StreamId) -> RatPoint {
+        let m = &program.stream(s).index_map;
+        let d = m
+            .null_generator()
+            .expect("index map must have a 1-dimensional null space (rank r-1)");
+        let num = self.place.apply(&d);
+        let den = point::dot(&self.step, &d);
+        assert!(
+            den != 0,
+            "flow undefined: step constant along stream reuse direction"
+        );
+        point::rat_scale(Rational::new(1, den), &num)
+    }
+
+    /// Is the stream stationary under this array (zero flow)?
+    pub fn is_stationary(&self, program: &SourceProgram, s: StreamId) -> bool {
+        point::rat_is_zero(&self.flow(program, s))
+    }
+
+    /// Full validity check of the array against a source program
+    /// (Sec. 3.2's eq. 1, the dependence order, the neighbouring-connection
+    /// requirement, and restriction A.2 on `increment`).
+    pub fn validate(&self, program: &SourceProgram) -> Result<(), ArrayError> {
+        let r = self.r();
+        if self.place.rank() != r - 1 {
+            return Err(ArrayError::PlaceRankDeficient {
+                rank: self.place.rank(),
+                expected: r - 1,
+            });
+        }
+        let Some(dir) = self.projection_direction() else {
+            return Err(ArrayError::StepPlaceInconsistent);
+        };
+        if !point::nb(&dir) {
+            // increment = unit along dir; primitive generator already.
+            return Err(ArrayError::IncrementNotUnit { increment: dir });
+        }
+
+        let written = program.body.streams_written();
+        for s in program.stream_ids() {
+            let m = &program.stream(s).index_map;
+            let g = m
+                .null_generator()
+                .expect("index maps validated to rank r-1 before array checks");
+            let sg = point::dot(&self.step, &g);
+            if written.contains(&s) {
+                // Orient g forward in sequential execution order and demand
+                // the step increases along it (true dependence).
+                let fwd = orient_lex_forward(&g, program);
+                if point::dot(&self.step, &fwd) <= 0 {
+                    return Err(ArrayError::DependenceViolated { stream: s.0 });
+                }
+            } else if sg == 0 {
+                return Err(ArrayError::BroadcastRequired { stream: s.0 });
+            }
+            let flow = self.flow(program, s);
+            if point::neighbour_multiple(&flow).is_none() {
+                return Err(ArrayError::FlowNotNeighbouring { stream: s.0, flow });
+            }
+        }
+        Ok(())
+    }
+
+    /// The makespan (number of distinct step values) at a concrete problem
+    /// size: `max step - min step + 1` over the index-space vertices.
+    pub fn makespan(&self, program: &SourceProgram, env: &systolic_math::Env) -> i64 {
+        let bounds = program.concrete_bounds(env);
+        let (mut lo, mut hi) = (0i64, 0i64);
+        for (i, &(lb, rb)) in bounds.iter().enumerate() {
+            let c = self.step[i];
+            let (a, b) = (c * lb, c * rb);
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        hi - lo + 1
+    }
+}
+
+/// Orient a reuse direction forward in sequential execution order: the
+/// first non-zero component must agree with the direction its loop runs
+/// (lexicographic order under the loop steps).
+fn orient_lex_forward(g: &[i64], program: &SourceProgram) -> Vec<i64> {
+    for (i, &gi) in g.iter().enumerate() {
+        if gi != 0 {
+            let dir = program.loops[i].step;
+            return if gi.signum() == dir.signum() {
+                g.to_vec()
+            } else {
+                point::scale(-1, g)
+            };
+        }
+    }
+    g.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ir::gallery;
+    use systolic_math::Env;
+
+    fn polyprod_d1() -> (systolic_ir::SourceProgram, SystolicArray) {
+        let p = gallery::polynomial_product();
+        let arr = SystolicArray::new(vec![2, 1], Matrix::from_rows(&[vec![1, 0]]));
+        (p, arr)
+    }
+
+    #[test]
+    fn paper_flows_polyprod_place_i() {
+        // Appendix D.1: flow.a = 0, flow.b = 1/2, flow.c = 1.
+        let (p, arr) = polyprod_d1();
+        arr.validate(&p).unwrap();
+        assert_eq!(arr.flow(&p, StreamId(0)), vec![Rational::ZERO]);
+        assert_eq!(arr.flow(&p, StreamId(1)), vec![Rational::new(1, 2)]);
+        assert_eq!(arr.flow(&p, StreamId(2)), vec![Rational::ONE]);
+        assert!(arr.is_stationary(&p, StreamId(0)));
+        assert!(!arr.is_stationary(&p, StreamId(1)));
+    }
+
+    #[test]
+    fn paper_flows_polyprod_place_i_plus_j() {
+        // Appendix D.2: flow.a = 1/2, flow.b = 1/2... actually the paper
+        // derives flow.a = 1/2? Check: place = i+j, step = 2i+j.
+        // null M.a = (0,1): place/step = 1/1 = 1. null M.b = (1,0): 1/2.
+        // null M.c = (1,-1): 0/1 = 0 -> stationary.
+        let p = gallery::polynomial_product();
+        let arr = SystolicArray::new(vec![2, 1], Matrix::from_rows(&[vec![1, 1]]));
+        arr.validate(&p).unwrap();
+        assert_eq!(arr.flow(&p, StreamId(0)), vec![Rational::ONE]);
+        assert_eq!(arr.flow(&p, StreamId(1)), vec![Rational::new(1, 2)]);
+        assert_eq!(arr.flow(&p, StreamId(2)), vec![Rational::ZERO]);
+    }
+
+    #[test]
+    fn paper_flows_matmul_simple() {
+        // Appendix E.1: flow.a = (0,1), flow.b = (1,0), flow.c = (0,0).
+        let p = gallery::matrix_product();
+        let arr = SystolicArray::new(
+            vec![1, 1, 1],
+            Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]),
+        );
+        arr.validate(&p).unwrap();
+        let f = |k| arr.flow(&p, StreamId(k));
+        assert_eq!(f(0), vec![Rational::ZERO, Rational::ONE]);
+        assert_eq!(f(1), vec![Rational::ONE, Rational::ZERO]);
+        assert_eq!(f(2), vec![Rational::ZERO, Rational::ZERO]);
+    }
+
+    #[test]
+    fn paper_flows_matmul_kung_leiserson() {
+        // Appendix E.2: flow.a = (0,1), flow.b = (1,0), flow.c = (-1,-1).
+        let p = gallery::matrix_product();
+        let arr = SystolicArray::new(
+            vec![1, 1, 1],
+            Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]]),
+        );
+        arr.validate(&p).unwrap();
+        let f = |k| arr.flow(&p, StreamId(k));
+        assert_eq!(f(0), vec![Rational::ZERO, Rational::ONE]);
+        assert_eq!(f(1), vec![Rational::ONE, Rational::ZERO]);
+        assert_eq!(f(2), vec![Rational::int(-1), Rational::int(-1)]);
+    }
+
+    #[test]
+    fn place_i_minus_j_is_rejected() {
+        // Sec. D.2.3's aside: place.(i,j) = i-j gives flow.c = 2, which
+        // violates the neighbouring restriction.
+        let p = gallery::polynomial_product();
+        let arr = SystolicArray::new(vec![2, 1], Matrix::from_rows(&[vec![1, -1]]));
+        match arr.validate(&p) {
+            Err(ArrayError::FlowNotNeighbouring { stream: 2, flow }) => {
+                assert_eq!(flow, vec![Rational::int(2)]);
+            }
+            other => panic!("expected flow violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_step_place_rejected() {
+        // step = (0, 1) with place = i: null.place = (0, 1) direction gets
+        // step difference... dot((0,1),(0,1)) = 1, fine. Use step (1, 0):
+        // dot = 0 -> processes would execute two statements simultaneously.
+        let p = gallery::polynomial_product();
+        let arr = SystolicArray::new(vec![1, 0], Matrix::from_rows(&[vec![1, 0]]));
+        assert_eq!(arr.validate(&p), Err(ArrayError::StepPlaceInconsistent));
+    }
+
+    #[test]
+    fn anti_dependence_rejected() {
+        // step = (2, -1) decreases along c's forward reuse direction (1,-1)?
+        // dot((2,-1),(1,-1)) = 3 > 0 ok; try step (-2, -1): forward dir of
+        // c is (1,-1) (i ascending): dot = -1 < 0 -> violation. But a and b
+        // also break first? a's dir (0,1): dot = -1 != 0 fine (read-only).
+        let p = gallery::polynomial_product();
+        let arr = SystolicArray::new(vec![-2, -1], Matrix::from_rows(&[vec![1, 0]]));
+        assert_eq!(
+            arr.validate(&p),
+            Err(ArrayError::DependenceViolated { stream: 2 })
+        );
+    }
+
+    #[test]
+    fn makespan_matches_paper_step_functions() {
+        let (p, arr) = polyprod_d1();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        // step = 2i + j over [0,4]^2: range 0..=12 -> 13 steps.
+        assert_eq!(arr.makespan(&p, &env), 13);
+        let mm = gallery::matrix_product();
+        let arr = SystolicArray::new(
+            vec![1, 1, 1],
+            Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]),
+        );
+        let mut env = Env::new();
+        env.bind(mm.sizes[0], 4);
+        assert_eq!(arr.makespan(&mm, &env), 13);
+    }
+
+    #[test]
+    fn projection_direction_is_step_oriented() {
+        let (_, arr) = polyprod_d1();
+        assert_eq!(arr.projection_direction(), Some(vec![0, 1]));
+        let kl = SystolicArray::new(
+            vec![1, 1, 1],
+            Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]]),
+        );
+        assert_eq!(kl.projection_direction(), Some(vec![1, 1, 1]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Design-space exploration: enumerate complete (step, place) designs
+//! and rank them by cost.
+//!
+//! "step is the primary function that determines a systolic array. Once
+//! it has been derived, many different place functions are possible"
+//! (Sec. 3.2). Downstream users choose by trading makespan against
+//! processor count, channel count, stationary operands, and buffering;
+//! this module makes that trade-off table explicit.
+
+use crate::array::SystolicArray;
+use crate::placement::enumerate_places;
+use crate::schedule::enumerate_schedules;
+use systolic_ir::SourceProgram;
+use systolic_math::{point, Env};
+
+/// A fully evaluated candidate design.
+#[derive(Clone, Debug)]
+pub struct Design {
+    pub array: SystolicArray,
+    /// `max step - min step + 1` at the reference size.
+    pub makespan: i64,
+    /// Number of process-space points (the enclosing box) at the
+    /// reference size.
+    pub processes: i64,
+    /// Names of stationary streams under this design.
+    pub stationary: Vec<String>,
+    /// Largest flow denominator across streams (1 = no internal buffers).
+    pub max_denominator: i64,
+    /// Is the place simple (a single-axis projection)?
+    pub simple: bool,
+}
+
+impl Design {
+    /// The classic area-time cost: processes x makespan.
+    pub fn area_time(&self) -> i64 {
+        self.processes * self.makespan
+    }
+}
+
+/// Enumerate every valid design with step coefficients within
+/// `step_bound` and unit projection directions, evaluated at
+/// `sample_size`. Sorted by (makespan, processes, step weight).
+pub fn explore(program: &SourceProgram, step_bound: i64, sample_size: i64) -> Vec<Design> {
+    let mut env = Env::new();
+    for &s in &program.sizes {
+        env.bind(s, sample_size);
+    }
+    let mut out: Vec<Design> = Vec::new();
+    let mut seen_steps = std::collections::HashSet::new();
+    for cand in enumerate_schedules(program, step_bound, sample_size) {
+        if !seen_steps.insert(cand.step.clone()) {
+            continue;
+        }
+        for array in enumerate_places(program, &cand.step) {
+            let bounds = program.concrete_bounds(&env);
+            // Process-space box volume.
+            let mut volume = 1i64;
+            for row in 0..array.place.rows() {
+                let (mut lo, mut hi) = (0i64, 0i64);
+                for (j, &(lb, rb)) in bounds.iter().enumerate() {
+                    let c = array.place.at(row, j);
+                    let (a, b) = (
+                        c * systolic_math::Rational::int(lb),
+                        c * systolic_math::Rational::int(rb),
+                    );
+                    let (a, b) = (a.to_integer().unwrap_or(0), b.to_integer().unwrap_or(0));
+                    lo += a.min(b);
+                    hi += a.max(b);
+                }
+                volume *= hi - lo + 1;
+            }
+            let stationary: Vec<String> = program
+                .stream_ids()
+                .filter(|&s| array.is_stationary(program, s))
+                .map(|s| program.stream_name(s).to_string())
+                .collect();
+            let max_denominator = program
+                .stream_ids()
+                .map(|s| point::neighbour_multiple(&array.flow(program, s)).unwrap_or(1))
+                .max()
+                .unwrap_or(1);
+            let simple = array
+                .projection_direction()
+                .map(|u| u.iter().filter(|&&c| c != 0).count() == 1)
+                .unwrap_or(false);
+            out.push(Design {
+                makespan: cand.makespan,
+                processes: volume,
+                stationary,
+                max_denominator,
+                simple,
+                array,
+            });
+        }
+    }
+    out.sort_by_key(|d| {
+        (
+            d.makespan,
+            d.processes,
+            d.array.step.iter().map(|c| c.abs()).sum::<i64>(),
+        )
+    });
+    out
+}
+
+/// Render the exploration as a table.
+pub fn render_table(program: &SourceProgram, designs: &[Design], limit: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<12} {:>9} {:>7} {:>10} {:>6} {:<12}",
+        "step", "projection", "makespan", "procs", "area*time", "denom", "stationary"
+    );
+    for d in designs.iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<12} {:>9} {:>7} {:>10} {:>6} {:<12}",
+            format!("{:?}", d.array.step),
+            d.array
+                .projection_direction()
+                .map(|u| point::fmt_point(&u))
+                .unwrap_or_default(),
+            d.makespan,
+            d.processes,
+            d.area_time(),
+            d.max_denominator,
+            if d.stationary.is_empty() {
+                "-".to_string()
+            } else {
+                d.stationary.join(",")
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "({} designs total for {})",
+        designs.len(),
+        program.name
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ir::gallery;
+
+    #[test]
+    fn polyprod_design_space_contains_the_paper_designs() {
+        let p = gallery::polynomial_product();
+        let designs = explore(&p, 2, 6);
+        assert!(!designs.is_empty());
+        // Both appendix D designs appear with the paper's step.
+        let has = |place_rows: &[Vec<i64>]| {
+            designs.iter().any(|d| {
+                d.array.step == vec![2, 1]
+                    && d.array.place == systolic_math::Matrix::from_rows(place_rows)
+            })
+        };
+        assert!(has(&[vec![1, 0]]), "D.1");
+        assert!(has(&[vec![1, 1]]), "D.2");
+        // Sorted by makespan.
+        assert!(designs.windows(2).all(|w| w[0].makespan <= w[1].makespan));
+    }
+
+    #[test]
+    fn matmul_design_space_ranks_kung_leiserson() {
+        let p = gallery::matrix_product();
+        let designs = explore(&p, 1, 4);
+        let kl = designs
+            .iter()
+            .find(|d| {
+                d.array.place == systolic_math::Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]])
+            })
+            .expect("Kung-Leiserson in the space");
+        assert_eq!(kl.makespan, 13, "3n+1 at n=4");
+        assert_eq!(kl.processes, 81, "(2n+1)^2");
+        assert!(kl.stationary.is_empty(), "all streams move");
+        let simple = designs
+            .iter()
+            .find(|d| {
+                d.array.place == systolic_math::Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]])
+            })
+            .expect("E.1 in the space");
+        assert_eq!(simple.processes, 25, "(n+1)^2");
+        assert_eq!(simple.stationary, vec!["c"]);
+        assert!(simple.simple);
+    }
+
+    #[test]
+    fn all_explored_designs_are_valid() {
+        let p = gallery::fir_filter();
+        let designs = explore(&p, 2, 4);
+        assert!(!designs.is_empty());
+        for d in &designs {
+            d.array.validate(&p).unwrap();
+            assert!(d.makespan >= 1);
+            assert!(d.processes >= 1);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let p = gallery::polynomial_product();
+        let designs = explore(&p, 2, 6);
+        let table = render_table(&p, &designs, 5);
+        assert!(table.contains("makespan"));
+        assert!(table.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! # systolic-synthesis
+//!
+//! Derivation of systolic arrays from source programs — the substrate the
+//! paper assumes ("there are several implemented methods for the systematic
+//! derivation of systolic arrays [5, 10, 11, 22]", Sec. 1). Given a valid
+//! source program this crate finds linear `step` schedules respecting the
+//! data dependences, constructs compatible `place` functions from
+//! projection directions, and validates complete arrays against Sec. 3.2's
+//! conditions (eq. 1, well-defined neighbour-bounded flows).
+//!
+//! - [`array`] — the [`SystolicArray`] type, `flow`, validity, makespan;
+//! - [`schedule`] — dependence extraction and optimal-step search;
+//! - [`placement`] — place construction, enumeration, and
+//!   [`placement::paper`] with the four appendix designs.
+
+pub mod array;
+pub mod explore;
+pub mod placement;
+pub mod schedule;
+
+pub use array::{ArrayError, SystolicArray};
+pub use explore::{explore, Design};
+pub use placement::{enumerate_places, place_from_projection};
+pub use schedule::{dependences, enumerate_schedules, optimal_step};
+
+/// Derive a complete systolic array automatically: pick the optimal step
+/// within the coefficient bound, then the first valid place (preferring
+/// simple places — single-axis projections — as parallelizing compilers
+/// do, Sec. 7.2.3).
+pub fn derive_array(
+    program: &systolic_ir::SourceProgram,
+    bound: i64,
+    sample_size: i64,
+) -> Option<SystolicArray> {
+    let step = optimal_step(program, bound, sample_size)?;
+    let mut arrays = enumerate_places(program, &step);
+    if arrays.is_empty() {
+        return None;
+    }
+    // Prefer a simple place: projection direction with a single non-zero
+    // component.
+    arrays.sort_by_key(|a| {
+        a.projection_direction()
+            .map(|u| u.iter().filter(|&&x| x != 0).count())
+            .unwrap_or(usize::MAX)
+    });
+    arrays.into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ir::gallery;
+    use systolic_math::Env;
+
+    #[test]
+    fn fully_automatic_derivation() {
+        for p in gallery::all() {
+            let arr =
+                derive_array(&p, 2, 6).unwrap_or_else(|| panic!("{}: no array found", p.name));
+            arr.validate(&p).unwrap();
+            let mut env = Env::new();
+            for &s in &p.sizes {
+                env.bind(s, 6);
+            }
+            // Linear-in-n makespan: far below the sequential op count.
+            let seq_ops = p.index_space_size(&env) as i64;
+            assert!(arr.makespan(&p, &env) < seq_ops, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Construction of spatial distributions (`place` functions).
+//!
+//! "Once \[step\] has been derived, many different place functions are
+//! possible; each must be compatible with the partial order defined by the
+//! step" (Sec. 3.2). A linear place of rank `r-1` is determined (up to a
+//! change of basis in the process space) by its 1-dimensional null space —
+//! the *projection direction*. This module constructs a canonical integer
+//! place matrix from a projection direction, enumerates the directions that
+//! yield valid arrays for a given step, and names the paper's designs.
+
+use crate::array::SystolicArray;
+use systolic_ir::SourceProgram;
+use systolic_math::{point, Matrix};
+
+/// Build the canonical `(r-1) x r` place matrix that projects along `u`.
+///
+/// For each axis `a` other than the pivot axis `p` (the last axis with
+/// `u.p != 0`), emit the row `u.p * e_a - u.a * e_p`, normalized to
+/// primitive form with positive leading coefficient. The null space of the
+/// result is exactly `span(u)`.
+///
+/// This reproduces the paper's arrays: `u = (0,1) -> place i`;
+/// `u = (1,-1) -> place i+j`; `u = (0,0,1) -> place (i,j)`;
+/// `u = (1,1,1) -> place (i-k, j-k)` (Kung–Leiserson).
+pub fn place_from_projection(u: &[i64]) -> Matrix {
+    assert!(!point::is_zero(u), "projection direction must be non-zero");
+    let r = u.len();
+    let p = (0..r).rev().find(|&i| u[i] != 0).unwrap();
+    let mut rows = Vec::with_capacity(r - 1);
+    for a in 0..r {
+        if a == p {
+            continue;
+        }
+        let mut row = vec![0i64; r];
+        row[a] = u[p];
+        row[p] = -u[a];
+        // Normalize: primitive, positive leading coefficient.
+        let g = point::content(&row).max(1);
+        let mut row: Vec<i64> = row.iter().map(|&x| x / g).collect();
+        if let Some(&lead) = row.iter().find(|&&x| x != 0) {
+            if lead < 0 {
+                row = point::scale(-1, &row);
+            }
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows)
+}
+
+/// All projection directions with components in `{-1, 0, +1}` (restriction
+/// A.2 on `increment`) that make a valid array with the given step,
+/// together with the built arrays. Directions are deduplicated up to sign.
+pub fn enumerate_places(program: &SourceProgram, step: &[i64]) -> Vec<SystolicArray> {
+    let r = step.len();
+    let mut out = Vec::new();
+    let mut u = vec![-1i64; r];
+    loop {
+        if !point::is_zero(&u) && is_canonical_sign(&u) {
+            let arr = SystolicArray::new(step.to_vec(), place_from_projection(&u));
+            if arr.validate(program).is_ok() {
+                out.push(arr);
+            }
+        }
+        let mut d = r;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            u[d] += 1;
+            if u[d] <= 1 {
+                break;
+            }
+            u[d] = -1;
+        }
+    }
+}
+
+/// First non-zero component positive (one representative per +-u pair).
+fn is_canonical_sign(u: &[i64]) -> bool {
+    u.iter().find(|&&x| x != 0).is_none_or(|&x| x > 0)
+}
+
+/// The four designs worked out in the paper's appendices.
+pub mod paper {
+    use super::*;
+    use systolic_ir::gallery;
+
+    /// Appendix D.1: polynomial product, `place.(i,j) = i` (simple).
+    pub fn polyprod_d1() -> (SourceProgram, SystolicArray) {
+        let p = gallery::polynomial_product();
+        let a = SystolicArray::new(vec![2, 1], Matrix::from_rows(&[vec![1, 0]]));
+        (p, a)
+    }
+
+    /// Appendix D.2: polynomial product, `place.(i,j) = i + j`.
+    pub fn polyprod_d2() -> (SourceProgram, SystolicArray) {
+        let p = gallery::polynomial_product();
+        let a = SystolicArray::new(vec![2, 1], Matrix::from_rows(&[vec![1, 1]]));
+        (p, a)
+    }
+
+    /// Appendix E.1: matrix product, `place.(i,j,k) = (i,j)` (simple).
+    pub fn matmul_e1() -> (SourceProgram, SystolicArray) {
+        let p = gallery::matrix_product();
+        let a = SystolicArray::new(
+            vec![1, 1, 1],
+            Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]),
+        );
+        (p, a)
+    }
+
+    /// Appendix E.2: matrix product, `place.(i,j,k) = (i-k, j-k)` — the
+    /// Kung–Leiserson hexagonal array.
+    pub fn matmul_e2() -> (SourceProgram, SystolicArray) {
+        let p = gallery::matrix_product();
+        let a = SystolicArray::new(
+            vec![1, 1, 1],
+            Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]]),
+        );
+        (p, a)
+    }
+
+    /// All four, with their appendix labels.
+    pub fn all() -> Vec<(&'static str, SourceProgram, SystolicArray)> {
+        let (p1, a1) = polyprod_d1();
+        let (p2, a2) = polyprod_d2();
+        let (p3, a3) = matmul_e1();
+        let (p4, a4) = matmul_e2();
+        vec![
+            ("D.1", p1, a1),
+            ("D.2", p2, a2),
+            ("E.1", p3, a3),
+            ("E.2", p4, a4),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ir::gallery;
+
+    #[test]
+    fn projection_reproduces_paper_places() {
+        assert_eq!(
+            place_from_projection(&[0, 1]),
+            Matrix::from_rows(&[vec![1, 0]])
+        );
+        assert_eq!(
+            place_from_projection(&[1, -1]),
+            Matrix::from_rows(&[vec![1, 1]])
+        );
+        assert_eq!(
+            place_from_projection(&[0, 0, 1]),
+            Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]])
+        );
+        assert_eq!(
+            place_from_projection(&[1, 1, 1]),
+            Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]])
+        );
+    }
+
+    #[test]
+    fn constructed_place_has_right_null_space() {
+        for u in [vec![1, 0, 0], vec![1, -1, 0], vec![1, 1, -1], vec![0, 1, 1]] {
+            let m = place_from_projection(&u);
+            assert_eq!(m.rank(), 2);
+            let g = m.null_generator().unwrap();
+            assert!(g == u || g == point::scale(-1, &u), "{u:?} vs {g:?}");
+        }
+    }
+
+    #[test]
+    fn paper_designs_validate() {
+        for (label, p, a) in paper::all() {
+            a.validate(&p).unwrap_or_else(|e| panic!("{label}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn enumeration_contains_paper_designs() {
+        let p = gallery::polynomial_product();
+        let arrays = enumerate_places(&p, &[2, 1]);
+        let places: Vec<_> = arrays.iter().map(|a| a.place.clone()).collect();
+        assert!(
+            places.contains(&Matrix::from_rows(&[vec![1, 0]])),
+            "place i"
+        );
+        assert!(
+            places.contains(&Matrix::from_rows(&[vec![1, 1]])),
+            "place i+j"
+        );
+        // place i - j (u = (1,1)) is filtered: flow.c = 2 is not
+        // neighbouring (Sec. D.2.3's aside).
+        assert!(!places.contains(&Matrix::from_rows(&[vec![1, -1]])));
+
+        let mm = gallery::matrix_product();
+        let arrays = enumerate_places(&mm, &[1, 1, 1]);
+        let places: Vec<_> = arrays.iter().map(|a| a.place.clone()).collect();
+        assert!(places.contains(&Matrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]])));
+        assert!(places.contains(&Matrix::from_rows(&[vec![1, 0, -1], vec![0, 1, -1]])));
+    }
+
+    #[test]
+    fn enumerated_arrays_all_validate() {
+        let mm = gallery::matrix_product();
+        let arrays = enumerate_places(&mm, &[1, 1, 1]);
+        assert!(!arrays.is_empty());
+        for a in &arrays {
+            a.validate(&mm).unwrap();
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Derivation of the temporal distribution `step`.
+//!
+//! The paper assumes the systolic array is produced by an upstream design
+//! method ("several automatic systems for deriving systolic arrays
+//! guarantee the optimality of step", Sec. 3.2, citing [5, 10, 11, 22]).
+//! Those systems are not available, so this module provides the equivalent
+//! substrate: an exhaustive search over small-coefficient linear schedules
+//! that (a) respect every data dependence of the source program and
+//! (b) minimize the makespan at a reference problem size.
+
+use crate::array::SystolicArray;
+use systolic_ir::SourceProgram;
+use systolic_math::{point, Env};
+
+/// A candidate schedule with its quality metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleCandidate {
+    /// Step coefficients, length `r`.
+    pub step: Vec<i64>,
+    /// Makespan at the reference size (smaller is better).
+    pub makespan: i64,
+    /// Sum of |coefficients| (tie-break: cheaper control).
+    pub weight: i64,
+}
+
+/// The dependence directions a schedule must respect, extracted from the
+/// source program: for each *written* stream the forward-oriented reuse
+/// direction (strict), and for each read-only stream the reuse direction
+/// (non-zero step required, either sign).
+#[derive(Clone, Debug)]
+pub struct Dependences {
+    /// `step . d > 0` required.
+    pub strict: Vec<Vec<i64>>,
+    /// `step . d != 0` required.
+    pub nonzero: Vec<Vec<i64>>,
+}
+
+/// Extract dependence directions from the program (Sec. 3.2's requirement
+/// that `step` "respects the data dependences in the source program").
+pub fn dependences(program: &SourceProgram) -> Dependences {
+    let written = program.body.streams_written();
+    let mut strict = Vec::new();
+    let mut nonzero = Vec::new();
+    for s in program.stream_ids() {
+        let g = program
+            .stream(s)
+            .index_map
+            .null_generator()
+            .expect("rank r-1 index map");
+        if written.contains(&s) {
+            strict.push(orient_forward(&g, program));
+        } else {
+            nonzero.push(g);
+        }
+    }
+    Dependences { strict, nonzero }
+}
+
+fn orient_forward(g: &[i64], program: &SourceProgram) -> Vec<i64> {
+    for (i, &gi) in g.iter().enumerate() {
+        if gi != 0 {
+            return if gi.signum() == program.loops[i].step.signum() {
+                g.to_vec()
+            } else {
+                point::scale(-1, g)
+            };
+        }
+    }
+    g.to_vec()
+}
+
+/// Is `step` valid for the dependences?
+pub fn is_valid_step(step: &[i64], deps: &Dependences) -> bool {
+    deps.strict.iter().all(|d| point::dot(step, d) > 0)
+        && deps.nonzero.iter().all(|d| point::dot(step, d) != 0)
+}
+
+/// Makespan of a bare step vector at a concrete size (max - min + 1 over
+/// the rectangular index space).
+pub fn step_makespan(step: &[i64], program: &SourceProgram, env: &Env) -> i64 {
+    let bounds = program.concrete_bounds(env);
+    let (mut lo, mut hi) = (0i64, 0i64);
+    for (i, &(lb, rb)) in bounds.iter().enumerate() {
+        let (a, b) = (step[i] * lb, step[i] * rb);
+        lo += a.min(b);
+        hi += a.max(b);
+    }
+    hi - lo + 1
+}
+
+/// Exhaustively enumerate valid schedules with coefficients in
+/// `[-bound, bound]`, ranked by (makespan, weight, lexicographic). The
+/// reference size binds every problem-size symbol to `sample_size`.
+pub fn enumerate_schedules(
+    program: &SourceProgram,
+    bound: i64,
+    sample_size: i64,
+) -> Vec<ScheduleCandidate> {
+    let deps = dependences(program);
+    let r = program.r();
+    let mut env = Env::new();
+    for &s in &program.sizes {
+        env.bind(s, sample_size);
+    }
+    let mut out = Vec::new();
+    let mut step = vec![-bound; r];
+    loop {
+        if is_valid_step(&step, &deps) {
+            out.push(ScheduleCandidate {
+                makespan: step_makespan(&step, program, &env),
+                weight: step.iter().map(|c| c.abs()).sum(),
+                step: step.clone(),
+            });
+        }
+        // Odometer over [-bound, bound]^r.
+        let mut d = r;
+        loop {
+            if d == 0 {
+                out.sort_by(|a, b| {
+                    (a.makespan, a.weight, &a.step).cmp(&(b.makespan, b.weight, &b.step))
+                });
+                return out;
+            }
+            d -= 1;
+            step[d] += 1;
+            if step[d] <= bound {
+                break;
+            }
+            step[d] = -bound;
+        }
+    }
+}
+
+/// The best schedule (minimal makespan, then weight), if any exists within
+/// the coefficient bound.
+pub fn optimal_step(program: &SourceProgram, bound: i64, sample_size: i64) -> Option<Vec<i64>> {
+    enumerate_schedules(program, bound, sample_size)
+        .into_iter()
+        .next()
+        .map(|c| c.step)
+}
+
+/// Verify a full array pairs a valid schedule with its place function —
+/// convenience wrapper over [`SystolicArray::validate`].
+pub fn check(program: &SourceProgram, array: &SystolicArray) -> bool {
+    array.validate(program).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ir::gallery;
+
+    #[test]
+    fn polyprod_dependences() {
+        let p = gallery::polynomial_product();
+        let d = dependences(&p);
+        // c written: forward (1, -1). a, b read-only.
+        assert_eq!(d.strict, vec![vec![1, -1]]);
+        assert_eq!(d.nonzero.len(), 2);
+    }
+
+    #[test]
+    fn paper_steps_are_valid() {
+        let p = gallery::polynomial_product();
+        let d = dependences(&p);
+        assert!(is_valid_step(&[2, 1], &d), "paper's step 2i + j");
+        assert!(is_valid_step(&[3, 1], &d), "slower but valid schedule");
+        assert!(!is_valid_step(&[1, 1], &d), "step constant along c's reuse");
+        // The mirror (1, 2) reverses the imperative accumulation chain of
+        // c (reads of c[k] happen in order of increasing i): invalid.
+        assert!(!is_valid_step(&[1, 2], &d));
+        let mm = gallery::matrix_product();
+        let d = dependences(&mm);
+        assert!(is_valid_step(&[1, 1, 1], &d), "paper's step i + j + k");
+        assert!(!is_valid_step(&[1, 1, 0], &d), "no time along k");
+    }
+
+    #[test]
+    fn optimal_matches_paper_makespan() {
+        // For polynomial product the minimal linear makespan with valid
+        // scheduling is 3n + 1 (e.g. 2i + j); the search must find a
+        // schedule at least as good as the paper's.
+        let p = gallery::polynomial_product();
+        let best = optimal_step(&p, 2, 8).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 8);
+        assert!(step_makespan(&best, &p, &env) <= step_makespan(&[2, 1], &p, &env));
+        let d = dependences(&p);
+        assert!(is_valid_step(&best, &d));
+    }
+
+    #[test]
+    fn optimal_matmul_is_the_paper_schedule() {
+        let mm = gallery::matrix_product();
+        let best = optimal_step(&mm, 1, 6).unwrap();
+        // i + j + k (or a signed variant of the same makespan 3n + 1).
+        let mut env = Env::new();
+        env.bind(mm.sizes[0], 6);
+        assert_eq!(step_makespan(&best, &mm, &env), 19, "3n + 1 at n = 6");
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_valid() {
+        let p = gallery::polynomial_product();
+        let all = enumerate_schedules(&p, 2, 5);
+        assert!(!all.is_empty());
+        let d = dependences(&p);
+        assert!(all.windows(2).all(|w| w[0].makespan <= w[1].makespan));
+        assert!(all.iter().all(|c| is_valid_step(&c.step, &d)));
+    }
+
+    #[test]
+    fn reversed_loop_orients_dependences() {
+        let mut p = gallery::polynomial_product();
+        p.loops[0].step = -1; // i runs n..0
+        let d = dependences(&p);
+        // c's reuse (1,-1) now forward-oriented as (-1, 1).
+        assert_eq!(d.strict, vec![vec![-1, 1]]);
+        assert!(is_valid_step(&[-2, 1], &d));
+        assert!(!is_valid_step(&[2, 1], &d));
+    }
+}

@@ -1,0 +1,309 @@
+//! The command-line driver's argument handling and command execution,
+//! factored out of `main` for testability.
+
+use crate::{systolize_source, PlaceChoice, SystolizeOptions};
+use systolic_interp::ElabOptions;
+
+/// Parsed command-line invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation {
+    pub command: String,
+    pub file: String,
+    pub flags: Vec<(String, String)>,
+}
+
+/// Parse raw arguments (after the binary name). `None` on malformed
+/// input (flag without a value, missing command/file).
+pub fn parse_args(raw: &[String]) -> Option<Invocation> {
+    let mut it = raw.iter();
+    let command = it.next()?.clone();
+    let mut file = None;
+    let mut flags = Vec::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            flags.push((name.to_string(), it.next()?.clone()));
+        } else if file.is_none() {
+            file = Some(a.clone());
+        } else {
+            return None; // extra positional argument
+        }
+    }
+    Some(Invocation {
+        command,
+        file: file?,
+        flags,
+    })
+}
+
+impl Invocation {
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse `N[,M..]` size lists.
+pub fn parse_sizes(spec: &str) -> Option<Vec<i64>> {
+    spec.split(',').map(|p| p.trim().parse().ok()).collect()
+}
+
+/// Build pipeline options from flags.
+pub fn build_options(inv: &Invocation) -> Option<SystolizeOptions> {
+    let mut opts = SystolizeOptions::default();
+    if let Some(p) = inv.flag("place") {
+        opts.place = if p == "auto" {
+            PlaceChoice::Auto
+        } else if let Some(spec) = p.strip_prefix("proj:") {
+            PlaceChoice::Projection(parse_sizes(spec)?)
+        } else {
+            return None;
+        };
+    }
+    if let Some(b) = inv.flag("bound") {
+        opts.step_bound = b.parse().ok()?;
+    }
+    if let Some(s) = inv.flag("sample") {
+        opts.sample_size = s.parse().ok()?;
+    }
+    Some(opts)
+}
+
+/// Build elaboration (protocol) options from flags: `--protocol
+/// paper|split`, `--merge-io yes|no`.
+pub fn build_elab_options(inv: &Invocation) -> Option<ElabOptions> {
+    let mut opts = ElabOptions::default();
+    match inv.flag("protocol") {
+        None | Some("paper") => {}
+        Some("split") => opts.split_propagation = true,
+        Some(_) => return None,
+    }
+    match inv.flag("merge-io") {
+        None | Some("no") => {}
+        Some("yes") => opts.merge_io = true,
+        Some(_) => return None,
+    }
+    Some(opts)
+}
+
+/// Execute an invocation; returns the text to print, or an error message.
+pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
+    match inv.command.as_str() {
+        "compile" => {
+            let opts = build_options(inv).ok_or("bad options")?;
+            let sys = systolize_source(src, &opts).map_err(|e| e.to_string())?;
+            let emit = inv.flag("emit").unwrap_or("paper");
+            match emit {
+                "paper" => Ok(sys.paper_code()),
+                "occam" => Ok(sys.occam_code()),
+                "c" => Ok(sys.c_code()),
+                "report" => Ok(sys.report()),
+                "rust" => {
+                    // The runnable back end is concrete: it needs a size.
+                    let sizes = inv
+                        .flag("sizes")
+                        .and_then(parse_sizes)
+                        .ok_or("--emit rust requires --sizes N[,M..]")?;
+                    if sizes.len() != sys.source.sizes.len() {
+                        return Err("size arity mismatch".into());
+                    }
+                    let seed: u64 = inv.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+                    let env = sys.size_env(&sizes);
+                    Ok(systolic_interp::rustgen::generate_rust(
+                        &sys.plan, &env, seed,
+                    ))
+                }
+                other => Err(format!("unknown --emit {other}")),
+            }
+        }
+        "run" | "verify" => {
+            let opts = build_options(inv).ok_or("bad options")?;
+            let elab = build_elab_options(inv).ok_or("bad protocol options")?;
+            let sizes = inv
+                .flag("sizes")
+                .and_then(parse_sizes)
+                .ok_or("--sizes N[,M..] is required")?;
+            let seed: u64 = inv.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+            let sys = systolize_source(src, &opts).map_err(|e| e.to_string())?;
+            if sizes.len() != sys.source.sizes.len() {
+                return Err(format!(
+                    "program has {} size parameter(s), {} given",
+                    sys.source.sizes.len(),
+                    sizes.len()
+                ));
+            }
+            let inputs: Vec<String> = sys
+                .source
+                .variables
+                .iter()
+                .map(|v| v.name.clone())
+                .collect();
+            let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+            let stats = sys
+                .verify_with(&sizes, &input_refs, seed, &elab)
+                .map_err(|e| format!("FAILED: {e}"))?;
+            Ok(format!(
+                "OK: {} processes, {} rendezvous rounds, {} messages; \
+                 systolic result == sequential result",
+                stats.processes, stats.rounds, stats.messages
+            ))
+        }
+        "describe" => {
+            let opts = build_options(inv).ok_or("bad options")?;
+            let sizes = inv
+                .flag("sizes")
+                .and_then(parse_sizes)
+                .ok_or("--sizes N[,M..] is required")?;
+            let sys = systolize_source(src, &opts).map_err(|e| e.to_string())?;
+            if sizes.len() != sys.source.sizes.len() {
+                return Err("size arity mismatch".into());
+            }
+            let env = sys.size_env(&sizes);
+            let mut out = systolic_core::report::render_layout(&sys.plan, &env);
+            out.push('\n');
+            out.push_str(&systolic_interp::describe(&sys.plan, &env));
+            Ok(out)
+        }
+        "explore" => {
+            let bound: i64 = inv.flag("bound").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let sample: i64 = inv.flag("sample").and_then(|s| s.parse().ok()).unwrap_or(6);
+            let program = systolic_lang::parse(src).map_err(|e| e.to_string())?;
+            let designs = systolic_synthesis::explore(&program, bound, sample);
+            Ok(systolic_synthesis::explore::render_table(
+                &program, &designs, 20,
+            ))
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        program p;
+        size n;
+        var a[0..n], b[0..n], c[0..2*n];
+        for i = 0 <- 1 -> n
+        for j = 0 <- 1 -> n {
+          c[i+j] = c[i+j] + a[i] * b[j];
+        }
+    ";
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let inv = parse_args(&args(&["verify", "f.sys", "--sizes", "4", "--seed", "9"])).unwrap();
+        assert_eq!(inv.command, "verify");
+        assert_eq!(inv.file, "f.sys");
+        assert_eq!(inv.flag("sizes"), Some("4"));
+        assert_eq!(inv.flag("seed"), Some("9"));
+        assert_eq!(inv.flag("nope"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_args() {
+        assert!(parse_args(&args(&["compile"])).is_none(), "missing file");
+        assert!(
+            parse_args(&args(&["compile", "f", "--emit"])).is_none(),
+            "flag w/o value"
+        );
+        assert!(
+            parse_args(&args(&["compile", "f", "g"])).is_none(),
+            "extra positional"
+        );
+    }
+
+    #[test]
+    fn sizes_parsing() {
+        assert_eq!(parse_sizes("4"), Some(vec![4]));
+        assert_eq!(parse_sizes("4, 7"), Some(vec![4, 7]));
+        assert_eq!(parse_sizes("x"), None);
+    }
+
+    #[test]
+    fn protocol_flags() {
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "3",
+            "--protocol",
+            "split",
+            "--merge-io",
+            "yes",
+        ]))
+        .unwrap();
+        let elab = build_elab_options(&inv).unwrap();
+        assert!(elab.split_propagation);
+        assert!(elab.merge_io);
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--protocol",
+            "bogus",
+            "--sizes",
+            "3",
+        ]))
+        .unwrap();
+        assert!(build_elab_options(&inv).is_none());
+    }
+
+    #[test]
+    fn execute_verify_with_split_protocol() {
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "4",
+            "--protocol",
+            "split",
+        ]))
+        .unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("OK:"), "{out}");
+    }
+
+    #[test]
+    fn emit_rust_requires_sizes_and_generates_main() {
+        let inv = parse_args(&args(&["compile", "f", "--emit", "rust"])).unwrap();
+        assert!(execute(&inv, SRC).is_err(), "sizes required");
+        let inv = parse_args(&args(&["compile", "f", "--emit", "rust", "--sizes", "3"])).unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("fn main()"));
+        assert!(out.contains("sync_channel"));
+    }
+
+    #[test]
+    fn execute_compile_and_explore() {
+        let inv = parse_args(&args(&["compile", "f", "--emit", "occam"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap().contains("PAR"));
+        let inv = parse_args(&args(&["explore", "f", "--bound", "2", "--sample", "4"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap().contains("makespan"));
+    }
+
+    #[test]
+    fn execute_describe() {
+        let inv = parse_args(&args(&["describe", "f", "--sizes", "3"])).unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("network map"), "{out}");
+        assert!(out.contains("comp"), "{out}");
+        assert!(out.contains("pipe @"), "{out}");
+    }
+
+    #[test]
+    fn execute_errors_are_messages_not_panics() {
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "3,4"])).unwrap();
+        let err = execute(&inv, SRC).unwrap_err();
+        assert!(err.contains("size parameter"));
+        let inv = parse_args(&args(&["compile", "f", "--emit", "brainfuck"])).unwrap();
+        assert!(execute(&inv, SRC).is_err());
+        let inv = parse_args(&args(&["nonsense", "f"])).unwrap();
+        assert!(execute(&inv, SRC).is_err());
+    }
+}

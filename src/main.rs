@@ -1,0 +1,50 @@
+//! The `systolizer` command-line compiler driver.
+//!
+//! ```text
+//! systolizer compile <file> [--place auto|proj:<c,c,..>] [--emit paper|occam|c|report]
+//! systolizer run     <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
+//! systolizer verify  <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
+//! systolizer explore <file> [--bound B] [--sample N]
+//! ```
+//!
+//! The input is a source program in the front-end syntax (Sec. 3.1 made
+//! concrete); see `programs/` and `README.md`.
+
+use std::process::ExitCode;
+use systolizer::cli;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         systolizer compile <file> [--place auto|proj:C,C,..] [--emit paper|occam|c|report]\n  \
+         systolizer run     <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
+         systolizer verify  <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
+         systolizer describe <file> --sizes N[,M..]\n  \
+         systolizer explore <file> [--bound B] [--sample N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(inv) = cli::parse_args(&raw) else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(&inv.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", inv.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    match cli::execute(&inv, &src) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

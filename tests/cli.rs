@@ -1,0 +1,123 @@
+//! Integration tests for the `systolizer` command-line driver.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_systolizer"))
+}
+
+fn program_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs/polyprod.sys")
+}
+
+#[test]
+fn verify_subcommand_passes_on_the_sample_program() {
+    let out = bin()
+        .args(["verify", program_file().to_str().unwrap(), "--sizes", "5"])
+        .output()
+        .expect("run CLI");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("OK:"), "{stdout}");
+    assert!(stdout.contains("systolic result == sequential result"));
+}
+
+#[test]
+fn compile_emits_each_backend() {
+    for (emit, needle) in [
+        ("paper", "parfor"),
+        ("occam", "PAR"),
+        ("c", "PARFOR"),
+        ("report", "increment"),
+    ] {
+        let out = bin()
+            .args(["compile", program_file().to_str().unwrap(), "--emit", emit])
+            .output()
+            .expect("run CLI");
+        assert!(out.status.success(), "emit={emit}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(needle), "emit={emit}: {stdout}");
+    }
+}
+
+#[test]
+fn compile_with_projection_flag() {
+    let out = bin()
+        .args([
+            "compile",
+            program_file().to_str().unwrap(),
+            "--place",
+            "proj:1,-1",
+            "--emit",
+            "report",
+        ])
+        .output()
+        .expect("run CLI");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2*n"),
+        "place i+j gives PS_max 2n: {stdout}"
+    );
+}
+
+#[test]
+fn explore_subcommand_prints_a_table() {
+    let out = bin()
+        .args([
+            "explore",
+            program_file().to_str().unwrap(),
+            "--bound",
+            "2",
+            "--sample",
+            "5",
+        ])
+        .output()
+        .expect("run CLI");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("designs total"));
+}
+
+#[test]
+fn bad_usage_and_bad_files_fail_cleanly() {
+    let out = bin().args(["compile"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["verify", "/nonexistent.sys", "--sizes", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["frobnicate", program_file().to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn size_arity_mismatch_is_reported() {
+    let fir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs/fir.sys");
+    let out = bin()
+        .args(["verify", fir.to_str().unwrap(), "--sizes", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("size parameter"), "{stderr}");
+    // And the correct arity passes.
+    let out = bin()
+        .args(["verify", fir.to_str().unwrap(), "--sizes", "3,7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

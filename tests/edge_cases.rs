@@ -1,0 +1,150 @@
+//! Edge-case integration tests: degenerate problem sizes, minimal
+//! arrays, asymmetric bounds, and failure surfaces.
+
+use systolizer::core::{compile, Options};
+use systolizer::interp::verify_equivalence;
+use systolizer::math::Env;
+use systolizer::synthesis::placement::paper;
+
+fn env1(p: &systolizer::ir::SourceProgram, n: i64) -> Env {
+    let mut env = Env::new();
+    env.bind(p.sizes[0], n);
+    env
+}
+
+#[test]
+fn n_zero_degenerates_to_one_process() {
+    // n = 0: a single basic statement; the array is one process plus its
+    // i/o. Every design must still work.
+    for (label, p, a) in paper::all() {
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let env = env1(&p, 0);
+        let stats = verify_equivalence(&plan, &env, &["a", "b"], 1)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(stats.processes >= 3, "{label}: at least comp + i/o");
+    }
+}
+
+#[test]
+fn n_one_smallest_nontrivial() {
+    for (label, p, a) in paper::all() {
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let env = env1(&p, 1);
+        verify_equivalence(&plan, &env, &["a", "b"], 2).unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn asymmetric_bounds_with_offsets() {
+    // Loops over [2 .. n+2] and [-1 .. n]: exercises non-zero lower
+    // bounds everywhere (basis, faces, guards, pipes).
+    use systolizer::ir::{gallery, IndexedVar};
+    use systolizer::math::Affine;
+    let mut p = gallery::polynomial_product();
+    let n = p.sizes[0];
+    let two = Affine::int(2);
+    let minus_one = Affine::int(-1);
+    p.loops[0].lb = two.clone();
+    p.loops[0].rb = Affine::var(n) + two.clone();
+    p.loops[1].lb = minus_one.clone();
+    p.loops[1].rb = Affine::var(n);
+    // Variable spaces must cover the accessed elements:
+    // a[i] over [2, n+2]; b[j] over [-1, n]; c[i+j] over [1, 2n+2].
+    p.variables = vec![
+        IndexedVar {
+            name: "a".into(),
+            bounds: vec![(two.clone(), Affine::var(n) + two.clone())],
+        },
+        IndexedVar {
+            name: "b".into(),
+            bounds: vec![(minus_one.clone(), Affine::var(n))],
+        },
+        IndexedVar {
+            name: "c".into(),
+            bounds: vec![(
+                Affine::int(1),
+                Affine::var(n).scale(systolizer::math::Rational::int(2)) + two,
+            )],
+        },
+    ];
+    let a = systolizer::synthesis::derive_array(&p, 2, 5).expect("array");
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    for n_val in [0i64, 1, 4, 7] {
+        let env = env1(&p, n_val);
+        verify_equivalence(&plan, &env, &["a", "b"], 4)
+            .unwrap_or_else(|e| panic!("n={n_val}: {e}"));
+    }
+}
+
+#[test]
+fn rectangular_not_square_index_space() {
+    // FIR with wildly different extents in the two loops.
+    let p = systolizer::ir::gallery::fir_filter();
+    let a = systolizer::synthesis::derive_array(&p, 2, 4).unwrap();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    for (n, m) in [(0i64, 0i64), (0, 9), (5, 0), (1, 20), (6, 2)] {
+        let mut env = Env::new();
+        env.bind(p.sizes[0], n).bind(p.sizes[1], m);
+        verify_equivalence(&plan, &env, &["h", "x"], 6)
+            .unwrap_or_else(|e| panic!("(n,m)=({n},{m}): {e}"));
+    }
+}
+
+#[test]
+fn tensor_r4_runs_at_small_sizes() {
+    let p = systolizer::ir::gallery::tensor_contraction();
+    let a = systolizer::synthesis::derive_array(&p, 1, 3).unwrap();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    for n in [0i64, 1, 2] {
+        let env = env1(&p, n);
+        verify_equivalence(&plan, &env, &["a", "b"], 8).unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn kung_leiserson_tensor_style_place_for_r4() {
+    // A non-simple place for the r = 4 kernel: project along (1,1,0,1)
+    // if valid, else fall back to enumeration and pick any non-simple one.
+    let p = systolizer::ir::gallery::tensor_contraction();
+    let step = systolizer::synthesis::optimal_step(&p, 1, 3).unwrap();
+    let arrays = systolizer::synthesis::enumerate_places(&p, &step);
+    let non_simple = arrays.iter().find(|a| {
+        a.projection_direction()
+            .map(|u| u.iter().filter(|&&c| c != 0).count() > 1)
+            .unwrap_or(false)
+    });
+    if let Some(a) = non_simple {
+        let plan = compile(&p, a, &Options::default()).unwrap();
+        let env = env1(&p, 1);
+        verify_equivalence(&plan, &env, &["a", "b"], 9).unwrap();
+    }
+}
+
+#[test]
+fn all_zero_inputs_roundtrip() {
+    // Zero data must still be injected, propagated, and recovered
+    // (counts, not values, drive the protocol).
+    let (p, a) = paper::matmul_e2();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let env = env1(&p, 3);
+    let store = systolizer::ir::HostStore::allocate(&p, &env);
+    let run = systolizer::interp::run_plan(
+        &plan,
+        &env,
+        &store,
+        systolizer::runtime::ChannelPolicy::Rendezvous,
+        &systolizer::interp::ElabOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(run.store, store, "all-zero store is a fixed point");
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let (p, a) = paper::polyprod_d2();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let env = env1(&p, 5);
+    let s1 = verify_equivalence(&plan, &env, &["a", "b"], 42).unwrap();
+    let s2 = verify_equivalence(&plan, &env, &["a", "b"], 42).unwrap();
+    assert_eq!(s1, s2, "cooperative scheduler is deterministic");
+}

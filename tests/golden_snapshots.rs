@@ -1,0 +1,79 @@
+//! Byte-exact snapshot tests for the generated programs of the four
+//! appendix designs. Unlike `codegen_golden.rs` (which checks structural
+//! content against the paper's text), these pin our *own* output so that
+//! codegen changes are always deliberate.
+//!
+//! Regenerate after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_snapshots`
+
+use std::fs;
+use std::path::PathBuf;
+use systolizer::synthesis::placement::paper;
+use systolizer::{systolize, PlaceChoice, SystolizeOptions};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {path:?}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "generated text for {name} changed; review and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn design(idx: usize) -> systolizer::Systolized {
+    let (_, p, a) = paper::all().into_iter().nth(idx).unwrap();
+    systolize(
+        &p,
+        &SystolizeOptions {
+            place: PlaceChoice::Explicit(a),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn paper_code_snapshots() {
+    for (idx, name) in [
+        (0usize, "d1_paper.txt"),
+        (1, "d2_paper.txt"),
+        (2, "e1_paper.txt"),
+        (3, "e2_paper.txt"),
+    ] {
+        check(name, &design(idx).paper_code());
+    }
+}
+
+#[test]
+fn occam_code_snapshots() {
+    check("d1_occam.txt", &design(0).occam_code());
+    check("e2_occam.txt", &design(3).occam_code());
+}
+
+#[test]
+fn c_code_snapshots() {
+    check("d1_c.txt", &design(0).c_code());
+    check("e2_c.txt", &design(3).c_code());
+}
+
+#[test]
+fn report_snapshots() {
+    for (idx, name) in [
+        (0usize, "d1_report.txt"),
+        (1, "d2_report.txt"),
+        (2, "e1_report.txt"),
+        (3, "e2_report.txt"),
+    ] {
+        check(name, &design(idx).report());
+    }
+}

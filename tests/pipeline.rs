@@ -1,0 +1,151 @@
+//! Experiment X4 + public-API pipeline tests: text source in, derived
+//! array, compiled plan, generated code, verified execution out.
+
+use systolizer::{systolize, systolize_source, Error, PlaceChoice, SystolizeOptions};
+
+const POLYPROD: &str = "
+    program polyprod;
+    size n;
+    var a[0..n], b[0..n], c[0..2*n];
+    for i = 0 <- 1 -> n
+    for j = 0 <- 1 -> n {
+      c[i+j] = c[i+j] + a[i] * b[j];
+    }
+";
+
+const MATMUL: &str = "
+    program matmul;
+    size n;
+    var a[0..n, 0..n], b[0..n, 0..n], c[0..n, 0..n];
+    for i = 0 <- 1 -> n
+    for j = 0 <- 1 -> n
+    for k = 0 <- 1 -> n {
+      c[i,j] = c[i,j] + a[i,k] * b[k,j];
+    }
+";
+
+#[test]
+fn text_to_verified_execution() {
+    for (src, inputs) in [(POLYPROD, vec!["a", "b"]), (MATMUL, vec!["a", "b"])] {
+        let sys = systolize_source(src, &SystolizeOptions::default()).unwrap();
+        sys.verify(&[4], &inputs, 17).unwrap();
+        assert!(sys.paper_code().len() > 300);
+    }
+}
+
+#[test]
+fn synthesis_finds_the_paper_arrays() {
+    // The paper's arrays are reachable through the public API via
+    // explicit projections, and validate against the derived step.
+    let sys = systolize_source(
+        MATMUL,
+        &SystolizeOptions {
+            place: PlaceChoice::Projection(vec![1, 1, 1]),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Kung-Leiserson place rows.
+    let place = &sys.array.place;
+    assert_eq!(place.rows(), 2);
+    // The derived step may be a reflected variant; the projection is the
+    // same line either way.
+    let proj = sys.array.projection_direction().unwrap();
+    assert!(
+        proj == vec![1, 1, 1] || proj == vec![-1, -1, -1],
+        "{proj:?}"
+    );
+    sys.verify(&[3], &["a", "b"], 23).unwrap();
+}
+
+#[test]
+fn restriction_violations_are_reported_not_miscompiled() {
+    // r-dimensional variable (matmul with a 1-D c) -> rank violation.
+    let bad = "
+        program bad;
+        size n;
+        var a[0..n, 0..n], b[0..n, 0..n], c[0..n];
+        for i = 0 <- 1 -> n
+        for j = 0 <- 1 -> n
+        for k = 0 <- 1 -> n {
+          c[i] = c[i] + a[i,k] * b[k,j];
+        }
+    ";
+    match systolize_source(bad, &SystolizeOptions::default()) {
+        Err(Error::NoArrayFound) | Err(Error::Compile(_)) => {}
+        Ok(_) => panic!("rank-deficient index map must not compile"),
+        Err(e) => panic!("unexpected error class: {e}"),
+    }
+}
+
+#[test]
+fn fully_sequentializable_program_with_no_valid_array_is_rejected() {
+    // Opposing accumulation chains: c[i+j] and d[i-j] both written.
+    // Any linear schedule must strictly increase along (1,-1) and (1,1),
+    // which is satisfiable -- so instead test a genuinely unschedulable
+    // shape: the same variable written under two index maps is already a
+    // front-end error.
+    let bad = "
+        program bad;
+        size n;
+        var a[0..n], b[0..n], c[0..2*n];
+        for i = 0 <- 1 -> n
+        for j = 0 <- 1 -> n {
+          c[i+j] = c[i+j] + a[i] * b[j];
+          c[i-j] = c[i-j] + a[i];
+        }
+    ";
+    match systolize_source(bad, &SystolizeOptions::default()) {
+        Err(Error::Parse(e)) => assert!(e.message.contains("two different index maps")),
+        other => panic!("expected a parse diagnostic, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn explicit_array_round_trip() {
+    let program = systolizer::ir::gallery::polynomial_product();
+    let (_, array) = systolizer::synthesis::placement::paper::polyprod_d2();
+    let sys = systolize(
+        &program,
+        &SystolizeOptions {
+            place: PlaceChoice::Explicit(array.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sys.array.step, array.step);
+    assert_eq!(sys.makespan(&[10]), 31, "2i + j over [0,10]^2");
+}
+
+#[test]
+fn reports_and_code_are_consistent() {
+    let sys = systolize_source(POLYPROD, &SystolizeOptions::default()).unwrap();
+    let report = sys.report();
+    let code = sys.paper_code();
+    // The increment in the report appears in the repeater of the code.
+    let inc_line = report
+        .lines()
+        .find(|l| l.starts_with("increment"))
+        .unwrap()
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .to_string();
+    assert!(code.contains(&inc_line), "increment {inc_line} not in code");
+}
+
+#[test]
+fn run_with_explicit_store() {
+    let sys = systolize_source(POLYPROD, &SystolizeOptions::default()).unwrap();
+    let env = sys.size_env(&[2]);
+    let mut store = systolizer::ir::HostStore::allocate(&sys.source, &env);
+    for (i, v) in [1i64, 2, 3].into_iter().enumerate() {
+        store.get_mut("a").set(&[i as i64], v);
+        store.get_mut("b").set(&[i as i64], 1);
+    }
+    let run = sys.run(&[2], &store).unwrap();
+    // (1 + 2x + 3x^2)(1 + x + x^2) = 1 + 3x + 6x^2 + 5x^3 + 3x^4.
+    let c: Vec<i64> = (0..=4).map(|k| run.store.get("c").get(&[k])).collect();
+    assert_eq!(c, vec![1, 3, 6, 5, 3]);
+}
