@@ -1,0 +1,45 @@
+//! Scheduler-only benchmark: `Network::run` on freshly elaborated matmul
+//! E.1 networks, with elaboration kept out of the measured routine via
+//! `iter_batched` — the number this tracks is the event-driven engine's
+//! cost per simulated network, not the compiler front half's.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use systolic_core::{compile, Options};
+use systolic_interp::{elaborate, ElabOptions, Elaborated};
+use systolic_ir::HostStore;
+use systolic_math::Env;
+use systolic_runtime::{ChannelPolicy, Network};
+use systolic_synthesis::placement::paper;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/matmul-E.1");
+    g.sample_size(10);
+    for n in [8i64, 16, 24] {
+        let (p, a) = paper::matmul_e1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], n);
+        let mut store = HostStore::allocate(&p, &env);
+        store.fill_random("a", 1, -9, 9);
+        store.fill_random("b", 2, -9, 9);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let Elaborated { procs, .. } =
+                        elaborate(&plan, &env, &store, &ElabOptions::default());
+                    let mut net = Network::new(ChannelPolicy::Rendezvous);
+                    for pr in procs {
+                        net.add(pr);
+                    }
+                    net
+                },
+                |net| net.run().unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! The benchmark trajectory harness: runs the simulate suite (the four
+//! appendix designs at several problem sizes) and writes
+//! `BENCH_simulate.json` at the repo root with wall-clock, rounds,
+//! messages, and steps per configuration.
+//!
+//! Future PRs rerun this binary and compare against the committed file to
+//! track the performance trajectory of the simulator:
+//!
+//! ```sh
+//! cargo run --release -p systolic-bench --bin simulate_trajectory
+//! ```
+//!
+//! Wall-clock is the minimum over [`ITERS`] runs (the usual noise-robust
+//! estimator); rounds/messages/steps are deterministic and identical
+//! across runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use systolic_core::{compile, Options};
+use systolic_interp::{run_plan, ElabOptions};
+use systolic_ir::HostStore;
+use systolic_math::Env;
+use systolic_runtime::ChannelPolicy;
+use systolic_synthesis::placement::paper;
+
+const ITERS: usize = 9;
+
+type DesignFn = fn() -> (
+    systolic_ir::SourceProgram,
+    systolic_synthesis::SystolicArray,
+);
+
+struct Entry {
+    design: &'static str,
+    n: i64,
+    wall_ms: f64,
+    processes: usize,
+    rounds: u64,
+    messages: u64,
+    steps: u64,
+}
+
+fn measure(label: &'static str, mk: DesignFn, n: i64) -> Entry {
+    let (p, a) = mk();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut env = Env::new();
+    env.bind(p.sizes[0], n);
+    let mut store = HostStore::allocate(&p, &env);
+    store.fill_random("a", 1, -9, 9);
+    store.fill_random("b", 2, -9, 9);
+
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        let run = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+        stats = Some(run.stats);
+    }
+    let stats = stats.unwrap();
+    Entry {
+        design: label,
+        n,
+        wall_ms: best,
+        processes: stats.processes,
+        rounds: stats.rounds,
+        messages: stats.messages,
+        steps: stats.steps,
+    }
+}
+
+fn main() {
+    let suite: [(&'static str, DesignFn, &[i64]); 4] = [
+        ("polyprod-D.1", paper::polyprod_d1, &[16, 32, 64]),
+        ("polyprod-D.2", paper::polyprod_d2, &[16, 32, 64]),
+        ("matmul-E.1", paper::matmul_e1, &[8, 16, 24]),
+        ("matmul-E.2", paper::matmul_e2, &[8, 16, 24]),
+    ];
+
+    let mut entries = Vec::new();
+    for (label, mk, sizes) in suite {
+        for &n in sizes {
+            let e = measure(label, mk, n);
+            println!(
+                "{:<14} n={:<3} wall {:>9.3} ms  procs {:>6}  rounds {:>6}  messages {:>9}  steps {:>9}",
+                e.design, e.n, e.wall_ms, e.processes, e.rounds, e.messages, e.steps
+            );
+            entries.push(e);
+        }
+    }
+
+    // Hand-rolled JSON: the schema is fixed and flat, and the workspace
+    // deliberately avoids a serde_json dependency outside criterion.
+    let mut json = String::from("{\n  \"suite\": \"simulate\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"design\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \"processes\": {}, \
+             \"rounds\": {}, \"messages\": {}, \"steps\": {}}}{}",
+            e.design,
+            e.n,
+            e.wall_ms,
+            e.processes,
+            e.rounds,
+            e.messages,
+            e.steps,
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_simulate.json");
+    std::fs::write(&path, json).expect("write BENCH_simulate.json");
+    println!("wrote {}", path.display());
+}

@@ -164,7 +164,14 @@ impl SystolicProgram {
     pub fn first_at(&self, env_sizes: &Env, y: &[i64]) -> Option<Vec<i64>> {
         let mut env = env_sizes.clone();
         self.bind_coords(&mut env, y);
-        self.first.select(&env).map(|p| eval_point(p, &env))
+        self.first_bound(&env)
+    }
+
+    /// [`SystolicProgram::first_at`] with the coordinates already bound —
+    /// the clone-free form for callers that sweep many points with one
+    /// scratch environment (elaboration's per-point loop).
+    pub fn first_bound(&self, env_y: &Env) -> Option<Vec<i64>> {
+        self.first.select(env_y).map(|p| eval_point(p, env_y))
     }
 
     /// Evaluate `last` at a process position.
@@ -183,7 +190,12 @@ impl SystolicProgram {
     pub fn count_at(&self, env_sizes: &Env, y: &[i64]) -> i64 {
         let mut env = env_sizes.clone();
         self.bind_coords(&mut env, y);
-        self.count.select(&env).map_or(0, |c| c.eval_int(&env))
+        self.count_bound(&env)
+    }
+
+    /// [`SystolicProgram::count_at`] with the coordinates already bound.
+    pub fn count_bound(&self, env_y: &Env) -> i64 {
+        self.count.select(env_y).map_or(0, |c| c.eval_int(env_y))
     }
 
     /// The chord of index points process `y` executes, in step order.
@@ -206,7 +218,13 @@ impl SystolicProgram {
     pub fn stream_count_at(&self, which: &Piecewise<Affine>, env_sizes: &Env, y: &[i64]) -> i64 {
         let mut env = env_sizes.clone();
         self.bind_coords(&mut env, y);
-        which.select(&env).map_or(0, |c| c.eval_int(&env))
+        Self::stream_count_bound(which, &env)
+    }
+
+    /// [`SystolicProgram::stream_count_at`] with the coordinates already
+    /// bound.
+    pub fn stream_count_bound(which: &Piecewise<Affine>, env_y: &Env) -> i64 {
+        which.select(env_y).map_or(0, |c| c.eval_int(env_y))
     }
 
     /// Evaluate `first_s` / `last_s` at an i/o process position.
@@ -218,7 +236,13 @@ impl SystolicProgram {
     ) -> Option<Vec<i64>> {
         let mut env = env_sizes.clone();
         self.bind_coords(&mut env, y);
-        which.select(&env).map(|p| eval_point(p, &env))
+        Self::stream_point_bound(which, &env)
+    }
+
+    /// [`SystolicProgram::stream_point_at`] with the coordinates already
+    /// bound.
+    pub fn stream_point_bound(which: &Piecewise<AffinePoint>, env_y: &Env) -> Option<Vec<i64>> {
+        which.select(env_y).map(|p| eval_point(p, env_y))
     }
 }
 

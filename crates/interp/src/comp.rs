@@ -16,6 +16,7 @@
 //! process compiles to a short instruction list interpreted by a state
 //! machine implementing [`Process`].
 
+use std::sync::Arc;
 use systolic_ir::{BasicStatement, Value};
 use systolic_runtime::{ChanId, CommReq, Process};
 
@@ -75,7 +76,10 @@ pub struct CompProc {
     pending: Pending,
     /// One local per stream of the source program.
     locals: Vec<Value>,
-    body: BasicStatement,
+    /// Shared across the array's processes — the basic statement is
+    /// identical at every point, so elaboration clones a pointer, not
+    /// the expression tree.
+    body: Arc<BasicStatement>,
     moving: Vec<MovingChans>,
     /// The repeater.
     first: Vec<i64>,
@@ -92,7 +96,7 @@ impl CompProc {
     pub fn new(
         instrs: Vec<Instr>,
         n_streams: usize,
-        body: BasicStatement,
+        body: Arc<BasicStatement>,
         moving: Vec<MovingChans>,
         first: Vec<i64>,
         increment: Vec<i64>,
@@ -142,27 +146,28 @@ impl CompProc {
 }
 
 impl Process for CompProc {
-    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+    // `step_into` (not `step`) so the computation cells — the bulk of
+    // every elaborated network — uphold the scheduler's zero-allocation
+    // round invariant.
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
         // Phase 1: absorb the previous set.
         let forward = self.absorb(received);
         if let (Some(v), Pending::PassRecv { out_chan }) = (forward, self.pending) {
             self.pending = Pending::PassSent;
-            return vec![CommReq::Send {
+            out.push(CommReq::Send {
                 chan: out_chan,
                 value: v,
-            }];
+            });
+            return;
         }
         if self.pending == Pending::ComputeRecv {
             // Body executed in absorb; now par-send the moving locals.
             self.pending = Pending::ComputeSent;
-            return self
-                .moving
-                .iter()
-                .map(|mc| CommReq::Send {
-                    chan: mc.out_chan,
-                    value: self.locals[mc.slot],
-                })
-                .collect();
+            out.extend(self.moving.iter().map(|mc| CommReq::Send {
+                chan: mc.out_chan,
+                value: self.locals[mc.slot],
+            }));
+            return;
         }
         if self.pending == Pending::ComputeSent {
             // Iteration finished: advance the repeater.
@@ -176,14 +181,15 @@ impl Process for CompProc {
         loop {
             let Some(instr) = self.instrs.get(self.pc) else {
                 self.pending = Pending::None;
-                return vec![];
+                return;
             };
             match instr {
                 Instr::RecvKeep { slot, chan } => {
                     let (slot, chan) = (*slot, *chan);
                     self.pc += 1;
                     self.pending = Pending::RecvKeep { slot };
-                    return vec![CommReq::Recv { chan }];
+                    out.push(CommReq::Recv { chan });
+                    return;
                 }
                 Instr::PassN {
                     in_chan,
@@ -202,7 +208,8 @@ impl Process for CompProc {
                     self.pending = Pending::PassRecv {
                         out_chan: *out_chan,
                     };
-                    return vec![CommReq::Recv { chan: *in_chan }];
+                    out.push(CommReq::Recv { chan: *in_chan });
+                    return;
                 }
                 Instr::SendLocal { slot, chan } => {
                     let req = CommReq::Send {
@@ -211,22 +218,22 @@ impl Process for CompProc {
                     };
                     self.pc += 1;
                     self.pending = Pending::SendLocalDone;
-                    return vec![req];
+                    out.push(req);
+                    return;
                 }
                 Instr::Compute => {
                     if self.t >= self.count {
                         // Reset for a hypothetical later Compute (unused).
                         self.pc += 1;
                         self.t = 0;
-                        self.x = self.first.clone();
+                        self.x.copy_from_slice(&self.first);
                         continue;
                     }
                     if self.moving.is_empty() {
                         // No communications: execute the whole repeater
                         // locally in one go.
                         while self.t < self.count {
-                            let x = self.x.clone();
-                            self.body.execute(&mut self.locals, &x);
+                            self.body.execute(&mut self.locals, &self.x);
                             self.t += 1;
                             for (xi, &inc) in self.x.iter_mut().zip(&self.increment) {
                                 *xi += inc;
@@ -235,11 +242,12 @@ impl Process for CompProc {
                         continue;
                     }
                     self.pending = Pending::ComputeRecv;
-                    return self
-                        .moving
-                        .iter()
-                        .map(|mc| CommReq::Recv { chan: mc.in_chan })
-                        .collect();
+                    out.extend(
+                        self.moving
+                            .iter()
+                            .map(|mc| CommReq::Recv { chan: mc.in_chan }),
+                    );
+                    return;
                 }
             }
         }
@@ -291,7 +299,7 @@ mod tests {
                 out_chan: 3,
             },
         ];
-        let comp = CompProc::new(instrs, 3, body, moving, vec![0, 0], vec![0, 1], 3, "comp");
+        let comp = CompProc::new(instrs, 3, Arc::new(body), moving, vec![0, 0], vec![0, 1], 3, "comp");
 
         let mut net = Network::new(ChannelPolicy::Rendezvous);
         let a_out = sink_buffer();
@@ -338,7 +346,7 @@ mod tests {
             in_chan: 0,
             out_chan: 1,
         }];
-        let comp = CompProc::new(instrs, 2, body, moving, vec![0], vec![1], 1, "comp");
+        let comp = CompProc::new(instrs, 2, Arc::new(body), moving, vec![0], vec![1], 1, "comp");
         let mut net = Network::new(ChannelPolicy::Rendezvous);
         let a_out = sink_buffer();
         let kept = sink_buffer();

@@ -11,7 +11,6 @@
 //! regularity" also ahead of the first), and an output process downstream.
 
 use crate::comp::{CompProc, Instr, MovingChans};
-use std::collections::HashMap;
 use systolic_core::{StreamKind, SystolicProgram};
 use systolic_ir::HostStore;
 use systolic_math::{point, Env};
@@ -96,6 +95,40 @@ impl ChanAlloc {
     }
 }
 
+/// Row-major index of the PS box, so per-(stream, point) tables are flat
+/// vectors rather than point-keyed hash maps (which cost a key clone and
+/// a hash per access — measurable at matmul sizes).
+struct PsIndex {
+    lo: Vec<i64>,
+    dims: Vec<usize>,
+}
+
+impl PsIndex {
+    fn new(ps: &[(i64, i64)]) -> PsIndex {
+        PsIndex {
+            lo: ps.iter().map(|&(lo, _)| lo).collect(),
+            dims: ps
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1).max(0) as usize)
+                .collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Offset of a point known to lie inside the box.
+    fn at(&self, p: &[i64]) -> usize {
+        let mut idx = 0usize;
+        for ((&x, &lo), &d) in p.iter().zip(&self.lo).zip(&self.dims) {
+            debug_assert!(x >= lo && ((x - lo) as usize) < d);
+            idx = idx * d + (x - lo) as usize;
+        }
+        idx
+    }
+}
+
 /// Build the process network for `plan` at the problem size bound in
 /// `env`, reading initial stream data from `store`.
 pub fn elaborate(
@@ -107,15 +140,25 @@ pub fn elaborate(
     let ps = plan.ps_box(env);
     let in_ps = |p: &[i64]| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
     let ps_points = plan.ps_points(env);
+    let psidx = PsIndex::new(&ps);
+    let n_streams = plan.streams.iter().map(|s| s.id.0 + 1).max().unwrap_or(0);
+    // One scratch environment for every per-point query below; each
+    // `bind_coords` overwrites the previous point's coordinates.
+    let mut env_y = env.clone();
+    // The basic statement is identical at every computation process.
+    let body = std::sync::Arc::new(plan.source.body.clone());
 
     let mut chans = ChanAlloc(0);
     let mut procs: Vec<Box<dyn Process>> = Vec::new();
     let mut outputs = Vec::new();
     let mut census = Census::default();
-    // (stream, point) -> (in_chan, out_chan)
-    let mut endpoint: HashMap<(usize, Vec<i64>), (ChanId, ChanId)> = HashMap::new();
-    // (stream, point) -> pipe element count
-    let mut pipe_n: HashMap<(usize, Vec<i64>), i64> = HashMap::new();
+    // [stream][PS offset] -> (in_chan, out_chan); every in-PS point of
+    // every stream lies on exactly one pipe chain, so both tables are
+    // fully populated by the pipe walks below.
+    let mut endpoint: Vec<Vec<(ChanId, ChanId)>> =
+        vec![vec![(ChanId::MAX, ChanId::MAX); psidx.len()]; n_streams];
+    // [stream][PS offset] -> pipe element count
+    let mut pipe_n: Vec<Vec<i64>> = vec![vec![0; psidx.len()]; n_streams];
 
     struct PipeIo {
         entry: ChanId,
@@ -146,8 +189,9 @@ pub fn elaborate(
                 z = point::add(&z, u);
             }
             // Pipe contents from first_s / last_s at the head.
-            let first_s = plan.stream_point_at(&sp.first_s, env, head);
-            let last_s = plan.stream_point_at(&sp.last_s, env, head);
+            plan.bind_coords(&mut env_y, head);
+            let first_s = SystolicProgram::stream_point_bound(&sp.first_s, &env_y);
+            let last_s = SystolicProgram::stream_point_bound(&sp.last_s, &env_y);
             let (elements, n) = match (first_s, last_s) {
                 (Some(f), Some(l)) => {
                     let k = point::exact_div(&point::sub(&l, &f), &sp.increment_s)
@@ -162,7 +206,7 @@ pub fn elaborate(
                 _ => (Vec::new(), 0),
             };
             for z in &chain {
-                pipe_n.insert((sp.id.0, z.clone()), n);
+                pipe_n[sp.id.0][psidx.at(z)] = n;
             }
 
             // Pipe entry channel and chain with relays ahead of every
@@ -182,13 +226,11 @@ pub fn elaborate(
                     prev = nxt;
                 }
                 let out = chans.next();
-                endpoint.insert((sp.id.0, z.clone()), (prev, out));
+                endpoint[sp.id.0][psidx.at(z)] = (prev, out);
                 prev = out;
             }
-            let values: Vec<i64> = elements
-                .iter()
-                .map(|e| store.get(&sp.name).get(e))
-                .collect();
+            let var = store.get(&sp.name);
+            let values: Vec<i64> = elements.iter().map(|e| var.get(e)).collect();
             pipe_ios.push(PipeIo {
                 entry,
                 exit: prev,
@@ -259,18 +301,18 @@ pub fn elaborate(
 
     // Processes at every PS point.
     for y in &ps_points {
-        if let Some(first) = plan.first_at(env, y) {
+        let yi = psidx.at(y);
+        plan.bind_coords(&mut env_y, y);
+        if let Some(first) = plan.first_bound(&env_y) {
             // Computation process.
-            let count = plan.count_at(env, y);
-            let mut env_y = env.clone();
-            plan.bind_coords(&mut env_y, y);
+            let count = plan.count_bound(&env_y);
             let mut instrs = Vec::new();
             let mut moving = Vec::new();
             // Loads.
             for sp in &plan.streams {
                 if let StreamKind::Stationary { .. } = sp.kind {
-                    let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                    let drain = plan.stream_count_at(&sp.drain, env, y);
+                    let (ic, oc) = endpoint[sp.id.0][yi];
+                    let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
                     instrs.push(Instr::RecvKeep {
                         slot: sp.id.0,
                         chan: ic,
@@ -286,9 +328,9 @@ pub fn elaborate(
             // propagation).
             for sp in &plan.streams {
                 if sp.kind == StreamKind::Moving {
-                    let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                    let soak = plan.stream_count_at(&sp.soak, env, y);
-                    let drain = plan.stream_count_at(&sp.drain, env, y);
+                    let (ic, oc) = endpoint[sp.id.0][yi];
+                    let soak = SystolicProgram::stream_count_bound(&sp.soak, &env_y);
+                    let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
                     if opts.split_propagation {
                         let cs = chans.next(); // splitter -> comp
                         let cm = chans.next(); // comp -> merger
@@ -334,8 +376,8 @@ pub fn elaborate(
             if !opts.split_propagation {
                 for sp in &plan.streams {
                     if sp.kind == StreamKind::Moving {
-                        let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                        let drain = plan.stream_count_at(&sp.drain, env, y);
+                        let (ic, oc) = endpoint[sp.id.0][yi];
+                        let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
                         instrs.push(Instr::PassN {
                             in_chan: ic,
                             out_chan: oc,
@@ -347,8 +389,8 @@ pub fn elaborate(
             // Recoveries.
             for sp in &plan.streams {
                 if let StreamKind::Stationary { .. } = sp.kind {
-                    let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                    let soak = plan.stream_count_at(&sp.soak, env, y);
+                    let (ic, oc) = endpoint[sp.id.0][yi];
+                    let soak = SystolicProgram::stream_count_bound(&sp.soak, &env_y);
                     instrs.push(Instr::PassN {
                         in_chan: ic,
                         out_chan: oc,
@@ -363,7 +405,7 @@ pub fn elaborate(
             procs.push(Box::new(CompProc::new(
                 instrs,
                 plan.streams.len(),
-                plan.source.body.clone(),
+                body.clone(),
                 moving,
                 first,
                 plan.increment.clone(),
@@ -376,8 +418,8 @@ pub fn elaborate(
             // (the paper composes the passes in `par`; independent relay
             // processes are the same composition).
             for sp in &plan.streams {
-                let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                let n = pipe_n[&(sp.id.0, y.clone())];
+                let (ic, oc) = endpoint[sp.id.0][yi];
+                let n = pipe_n[sp.id.0][yi];
                 procs.push(Box::new(RelayProc::new(
                     ic,
                     oc,
@@ -390,9 +432,17 @@ pub fn elaborate(
     }
 
     census.channels = chans.0;
-    let endpoints = endpoint
-        .into_iter()
-        .map(|((sid, y), (ic, oc))| (sid, y, ic, oc))
+    let endpoints = plan
+        .streams
+        .iter()
+        .flat_map(|sp| {
+            let row = &endpoint[sp.id.0];
+            let psidx = &psidx;
+            ps_points.iter().map(move |y| {
+                let (ic, oc) = row[psidx.at(y)];
+                (sp.id.0, y.clone(), ic, oc)
+            })
+        })
         .collect();
     Elaborated {
         procs,

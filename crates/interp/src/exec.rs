@@ -8,7 +8,7 @@ use std::time::Duration;
 use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
-use systolic_runtime::{run_threaded, ChannelPolicy, Deadlock, Network, RunStats};
+use systolic_runtime::{run_threaded, ChannelPolicy, Network, RunError, RunStats};
 
 /// Outcome of a systolic run.
 pub struct SystolicRun {
@@ -18,22 +18,64 @@ pub struct SystolicRun {
     pub census: crate::elaborate::Census,
 }
 
-fn writeback(outputs: &[crate::elaborate::OutputBinding], store: &mut HostStore) {
+/// Why executing an elaborated plan failed.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The network stopped early: deadlock or a protocol violation.
+    Run(RunError),
+    /// An output pipe delivered a different number of elements than the
+    /// plan's output map expects — a plan/elaboration bug, diagnosed
+    /// instead of panicking.
+    ShortOutput {
+        variable: String,
+        got: usize,
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Run(e) => e.fmt(f),
+            ExecError::ShortOutput {
+                variable,
+                got,
+                want,
+            } => write!(
+                f,
+                "output pipe for {variable} returned {got} of {want} elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<RunError> for ExecError {
+    fn from(e: RunError) -> Self {
+        ExecError::Run(e)
+    }
+}
+
+fn writeback(
+    outputs: &[crate::elaborate::OutputBinding],
+    store: &mut HostStore,
+) -> Result<(), ExecError> {
     for out in outputs {
         let values = out.buffer.lock();
-        assert_eq!(
-            values.len(),
-            out.elements.len(),
-            "output pipe for {} returned {} of {} elements",
-            out.variable,
-            values.len(),
-            out.elements.len()
-        );
+        if values.len() != out.elements.len() {
+            return Err(ExecError::ShortOutput {
+                variable: out.variable.clone(),
+                got: values.len(),
+                want: out.elements.len(),
+            });
+        }
         let arr = store.get_mut(&out.variable);
         for (e, &v) in out.elements.iter().zip(values.iter()) {
             arr.set(e, v);
         }
     }
+    Ok(())
 }
 
 /// Run the plan on the cooperative scheduler. `store` supplies the input
@@ -44,7 +86,7 @@ pub fn run_plan(
     store: &HostStore,
     policy: ChannelPolicy,
     opts: &ElabOptions,
-) -> Result<SystolicRun, Deadlock> {
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
         procs,
         outputs,
@@ -57,7 +99,7 @@ pub fn run_plan(
     }
     let stats = net.run()?;
     let mut result = store.clone();
-    writeback(&outputs, &mut result);
+    writeback(&outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
@@ -80,7 +122,7 @@ pub fn run_plan_threaded(
     } = elaborate(plan, env, store, &ElabOptions::default());
     let stats = run_threaded(procs, timeout)?;
     let mut result = store.clone();
-    writeback(&outputs, &mut result);
+    writeback(&outputs, &mut result).map_err(|e| e.to_string())?;
     Ok(SystolicRun {
         store: result,
         stats,
@@ -107,7 +149,7 @@ pub fn run_plan_partitioned(
     let groups = systolic_runtime::block_partition(procs.len(), workers);
     let stats = systolic_runtime::run_partitioned(procs, groups, timeout)?;
     let mut result = store.clone();
-    writeback(&outputs, &mut result);
+    writeback(&outputs, &mut result).map_err(|e| e.to_string())?;
     Ok(SystolicRun {
         store: result,
         stats,
@@ -334,6 +376,33 @@ mod tests {
             verify_equivalence(&plan, &env, &inputs, 11)
                 .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
+    }
+
+    #[test]
+    fn short_output_pipe_is_a_descriptive_error() {
+        // A binding expecting two elements whose pipe delivered one.
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let env = size_env(&plan, 2);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        let buffer = systolic_runtime::sink_buffer();
+        buffer.lock().push(7);
+        let outputs = vec![crate::elaborate::OutputBinding {
+            variable: "c".into(),
+            elements: vec![vec![0], vec![1]],
+            buffer,
+        }];
+        let err = writeback(&outputs, &mut store).unwrap_err();
+        let ExecError::ShortOutput {
+            variable,
+            got,
+            want,
+        } = &err
+        else {
+            panic!("expected ShortOutput, got {err}");
+        };
+        assert_eq!((variable.as_str(), *got, *want), ("c", 1, 2));
+        assert!(err.to_string().contains("returned 1 of 2"));
     }
 
     #[test]

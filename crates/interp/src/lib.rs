@@ -23,5 +23,5 @@ pub use describe::describe;
 pub use elaborate::{elaborate, Census, ElabOptions, Elaborated, OutputBinding};
 pub use exec::{
     run_plan, run_plan_partitioned, run_plan_threaded, verify_equivalence, verify_equivalence_with,
-    SystolicRun,
+    ExecError, SystolicRun,
 };

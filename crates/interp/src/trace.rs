@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{ChannelPolicy, Deadlock, Network, TraceEvent};
+use systolic_runtime::{ChannelPolicy, Network, RunError, TraceEvent};
 
 /// One located transfer: stream, receiving process coordinates, round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,7 +31,7 @@ pub fn run_traced(
     plan: &SystolicProgram,
     env: &Env,
     store: &HostStore,
-) -> Result<(Vec<LocatedEvent>, u64), Deadlock> {
+) -> Result<(Vec<LocatedEvent>, u64), RunError> {
     let Elaborated {
         procs, endpoints, ..
     } = elaborate(plan, env, store, &ElabOptions::default());

@@ -1,0 +1,209 @@
+//! The `Strategy` trait and combinators. A strategy is just a
+//! deterministic-RNG-to-value generator here; no value trees, no
+//! shrinking.
+
+use crate::test_runner::TestRng;
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    fn prop_filter<R, F>(self, whence: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Resample until the predicate accepts; a generator whose filter
+        // rejects 1000 draws in a row is a bug in the strategy.
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 draws: {}", self.whence);
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for ::core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for ::core::ops::Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        assert!(self.start < self.end, "empty range strategy");
+        let lo = self.start as u32;
+        let span = (self.end as u32 - lo) as u128;
+        char::from_u32(lo + rng.below(span) as u32).unwrap_or(self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(7);
+        for _ in 0..200 {
+            let v = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&v));
+            let u = (0u8..3).generate(&mut rng);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut rng = TestRng::deterministic(1);
+        let s = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0i64..10, n))
+            .prop_map(|v| v.len())
+            .prop_filter("nonempty", |n| *n > 0);
+        for _ in 0..50 {
+            let n = s.generate(&mut rng);
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic(3);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic(3);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -7,11 +7,29 @@
 //! one **round** completes every rendezvous that is enabled at its start,
 //! mirroring the global clock tick of the hardware array.
 //!
+//! The engine is event-driven: channel endpoints live in a persistent
+//! dense table (`Vec<ChanSlot>` indexed by [`ChanId`]) updated
+//! incrementally as processes register and complete comm sets, and each
+//! round visits only a worklist of channels that may be enabled instead
+//! of re-scanning every process. See `docs/scheduler.md` for the design
+//! and its invariants.
+//!
+//! ## Reuse invariant (zero steady-state allocation)
+//!
+//! After warm-up, a round performs **no heap allocation**: the worklists
+//! (`worklist`/`work_scratch`), the ready queue, the receive/request
+//! scratch buffers, and each process's `pending`/`inbox` vectors are
+//! cleared and refilled in place, never dropped; the channel table and
+//! buffered queues grow to a high-water mark and stay there. The only
+//! exception is the optional trace log, which grows by design. Process
+//! `step_into` implementations uphold the same rule (see
+//! [`Process::step_into`]).
+//!
 //! Deadlock is detected exactly: unfinished processes with no enabled
 //! rendezvous.
 
 use crate::process::{ChanId, CommReq, Process, Value};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// Channel behaviour for the ablation experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,28 +78,110 @@ impl std::fmt::Display for Deadlock {
 
 impl std::error::Error for Deadlock {}
 
+/// A malformed network: two processes simultaneously pending on the same
+/// channel endpoint. Channels are point-to-point wires in the systolic
+/// model, so this is a plan bug — diagnosed, not a panic.
+#[derive(Clone, Debug)]
+pub struct ProtocolViolation {
+    pub chan: ChanId,
+    /// Which endpoint was claimed twice: `"sender"` or `"receiver"`.
+    pub endpoint: &'static str,
+    /// Label of the process already registered on the endpoint.
+    pub first: String,
+    /// Label of the process that tried to claim it as well.
+    pub second: String,
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol violation: two {}s pending on channel {} ({} and {})",
+            self.endpoint, self.chan, self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+/// Why a network run stopped without completing.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    Deadlock(Deadlock),
+    Protocol(ProtocolViolation),
+}
+
+impl RunError {
+    /// The deadlock, if that is what stopped the run.
+    pub fn as_deadlock(&self) -> Option<&Deadlock> {
+        match self {
+            RunError::Deadlock(d) => Some(d),
+            RunError::Protocol(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock(d) => d.fmt(f),
+            RunError::Protocol(p) => p.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<Deadlock> for RunError {
+    fn from(d: Deadlock) -> Self {
+        RunError::Deadlock(d)
+    }
+}
+
+impl From<ProtocolViolation> for RunError {
+    fn from(p: ProtocolViolation) -> Self {
+        RunError::Protocol(p)
+    }
+}
+
 struct ProcState {
     proc: Box<dyn Process>,
     /// Pending requests with completion marks.
     pending: Vec<(CommReq, bool)>,
     /// Values received for pending `Recv`s, by request index.
     inbox: Vec<Option<Value>>,
+    /// Count of not-yet-completed requests in `pending`.
+    remaining: usize,
     finished: bool,
 }
 
-impl ProcState {
-    fn all_complete(&self) -> bool {
-        self.pending.iter().all(|&(_, done)| done)
-    }
+/// One channel's persistent endpoint state. `ChanId`s are dense, so the
+/// whole channel table is a flat `Vec<ChanSlot>` — registration,
+/// matching, and completion are all O(1) indexed accesses with no
+/// hashing anywhere on the round path.
+#[derive(Default)]
+struct ChanSlot {
+    /// The at-most-one pending sender: (process, request index, value).
+    sender: Option<(usize, usize, Value)>,
+    /// The at-most-one pending receiver: (process, request index).
+    receiver: Option<(usize, usize)>,
+    /// In-flight values under [`ChannelPolicy::Buffered`].
+    queue: VecDeque<Value>,
+    /// Whether the channel is already queued in the round worklist.
+    in_worklist: bool,
+}
 
-    fn collect_received(&mut self) -> Vec<Value> {
-        let mut vals = Vec::new();
-        for (i, (req, _)) in self.pending.iter().enumerate() {
-            if !req.is_send() {
-                vals.push(self.inbox[i].take().expect("recv completed without value"));
-            }
+/// Can this channel transfer a value next round, given its current
+/// endpoints and queue?
+fn enabled(slot: &ChanSlot, policy: ChannelPolicy) -> bool {
+    match policy {
+        ChannelPolicy::Rendezvous => slot.sender.is_some() && slot.receiver.is_some(),
+        ChannelPolicy::Buffered(cap) => {
+            let can_recv = slot.receiver.is_some() && !slot.queue.is_empty();
+            // A pop frees one slot before the send is considered.
+            can_recv
+                || (slot.sender.is_some() && slot.queue.len() - usize::from(can_recv) < cap)
         }
-        vals
     }
 }
 
@@ -99,8 +199,22 @@ pub struct TraceEvent {
 pub struct Network {
     procs: Vec<ProcState>,
     policy: ChannelPolicy,
-    /// In-flight buffered values per channel.
-    queues: HashMap<ChanId, std::collections::VecDeque<Value>>,
+    /// Dense persistent channel table, indexed by `ChanId`.
+    chans: Vec<ChanSlot>,
+    /// Channels that may fire next round (deduplicated via
+    /// `ChanSlot::in_worklist`).
+    worklist: Vec<ChanId>,
+    /// Previous round's worklist, kept to reuse its allocation.
+    work_scratch: Vec<ChanId>,
+    /// Processes whose comm set completed this round.
+    ready: Vec<usize>,
+    /// Reused buffer of received values handed to `step_into`.
+    recv_scratch: Vec<Value>,
+    /// Reused buffer of requests produced by `step_into`.
+    req_scratch: Vec<CommReq>,
+    /// Processes not yet finished, so the run loop never re-scans
+    /// `procs` for termination.
+    unfinished: usize,
     stats: RunStats,
     trace: Option<Vec<TraceEvent>>,
 }
@@ -110,7 +224,13 @@ impl Network {
         Network {
             procs: Vec::new(),
             policy,
-            queues: HashMap::new(),
+            chans: Vec::new(),
+            worklist: Vec::new(),
+            work_scratch: Vec::new(),
+            ready: Vec::new(),
+            recv_scratch: Vec::new(),
+            req_scratch: Vec::new(),
+            unfinished: 0,
             stats: RunStats::default(),
             trace: None,
         }
@@ -123,7 +243,7 @@ impl Network {
 
     /// Run to completion, returning the statistics and the recorded
     /// trace of every channel transfer.
-    pub fn run_traced(mut self) -> Result<(RunStats, Vec<TraceEvent>), Deadlock> {
+    pub fn run_traced(mut self) -> Result<(RunStats, Vec<TraceEvent>), RunError> {
         self.enable_trace();
         let stats = self.run_inner()?;
         let trace = self.trace.take().unwrap_or_default();
@@ -136,159 +256,246 @@ impl Network {
             proc,
             pending: Vec::new(),
             inbox: Vec::new(),
+            remaining: 0,
             finished: false,
         });
         self.procs.len() - 1
     }
 
     /// Run all processes to completion. Returns statistics, or the
-    /// deadlock if progress stops.
-    pub fn run(mut self) -> Result<RunStats, Deadlock> {
+    /// deadlock / protocol violation if progress stops.
+    pub fn run(mut self) -> Result<RunStats, RunError> {
         self.run_inner()
     }
 
-    fn run_inner(&mut self) -> Result<RunStats, Deadlock> {
+    fn run_inner(&mut self) -> Result<RunStats, RunError> {
         self.stats.processes = self.procs.len();
+        self.unfinished = self.procs.len();
         // Prime every process.
         for i in 0..self.procs.len() {
-            self.advance(i, Vec::new());
+            self.advance(i)?;
         }
         loop {
-            if self.procs.iter().all(|p| p.finished) {
+            if self.unfinished == 0 {
                 return Ok(self.stats.clone());
             }
-            let fired = self.round();
+            let fired = self.round()?;
             if fired == 0 {
-                let blocked = self
-                    .procs
-                    .iter()
-                    .filter(|p| !p.finished)
-                    .map(|p| {
-                        let waits: Vec<String> = p
-                            .pending
-                            .iter()
-                            .filter(|&&(_, done)| !done)
-                            .map(|(r, _)| match r {
-                                CommReq::Send { chan, .. } => format!("send@{chan}"),
-                                CommReq::Recv { chan } => format!("recv@{chan}"),
-                            })
-                            .collect();
-                        format!("{} [{}]", p.proc.label(), waits.join(","))
-                    })
-                    .collect();
-                return Err(Deadlock { blocked });
+                return Err(self.deadlock_report().into());
             }
             self.stats.rounds += 1;
         }
     }
 
-    /// Feed `received` into process `i` and register its next comm set.
-    fn advance(&mut self, i: usize, received: Vec<Value>) {
-        let reqs = self.procs[i].proc.step(&received);
-        self.stats.steps += 1;
-        if reqs.is_empty() {
-            self.procs[i].finished = true;
-            self.procs[i].pending.clear();
-            self.procs[i].inbox.clear();
-            return;
+    fn deadlock_report(&self) -> Deadlock {
+        let blocked = self
+            .procs
+            .iter()
+            .filter(|p| !p.finished)
+            .map(|p| {
+                let waits: Vec<String> = p
+                    .pending
+                    .iter()
+                    .filter(|&&(_, done)| !done)
+                    .map(|(r, _)| match r {
+                        CommReq::Send { chan, .. } => format!("send@{chan}"),
+                        CommReq::Recv { chan } => format!("recv@{chan}"),
+                    })
+                    .collect();
+                format!("{} [{}]", p.proc.label(), waits.join(","))
+            })
+            .collect();
+        Deadlock { blocked }
+    }
+
+    /// Collect received values for process `i`'s completed set, step it,
+    /// and register its next comm set in the channel table. All buffers
+    /// involved are reused (see the module-level reuse invariant).
+    fn advance(&mut self, pi: usize) -> Result<(), ProtocolViolation> {
+        self.recv_scratch.clear();
+        self.req_scratch.clear();
+        {
+            let p = &mut self.procs[pi];
+            for i in 0..p.pending.len() {
+                if !p.pending[i].0.is_send() {
+                    self.recv_scratch
+                        .push(p.inbox[i].take().expect("recv completed without value"));
+                }
+            }
+            p.proc.step_into(&self.recv_scratch, &mut self.req_scratch);
         }
-        let n = reqs.len();
-        self.procs[i].pending = reqs.into_iter().map(|r| (r, false)).collect();
-        self.procs[i].inbox = vec![None; n];
+        self.stats.steps += 1;
+
+        let p = &mut self.procs[pi];
+        p.pending.clear();
+        p.inbox.clear();
+        if self.req_scratch.is_empty() {
+            p.finished = true;
+            p.remaining = 0;
+            self.unfinished -= 1;
+            return Ok(());
+        }
+        p.pending
+            .extend(self.req_scratch.drain(..).map(|r| (r, false)));
+        p.inbox.resize(p.pending.len(), None);
+        p.remaining = p.pending.len();
+
+        // Register each endpoint; a channel that became transfer-ready
+        // joins the worklist for the next round.
+        for ri in 0..self.procs[pi].pending.len() {
+            let (req, _) = self.procs[pi].pending[ri];
+            let (chan, conflict) = match req {
+                CommReq::Send { chan, value } => {
+                    let slot = slot_mut(&mut self.chans, chan);
+                    match slot.sender {
+                        Some((prev, _, _)) => (chan, Some(("sender", prev))),
+                        None => {
+                            slot.sender = Some((pi, ri, value));
+                            (chan, None)
+                        }
+                    }
+                }
+                CommReq::Recv { chan } => {
+                    let slot = slot_mut(&mut self.chans, chan);
+                    match slot.receiver {
+                        Some((prev, _)) => (chan, Some(("receiver", prev))),
+                        None => {
+                            slot.receiver = Some((pi, ri));
+                            (chan, None)
+                        }
+                    }
+                }
+            };
+            if let Some((endpoint, prev)) = conflict {
+                return Err(ProtocolViolation {
+                    chan,
+                    endpoint,
+                    first: self.procs[prev].proc.label(),
+                    second: self.procs[pi].proc.label(),
+                });
+            }
+            let slot = &mut self.chans[chan];
+            if !slot.in_worklist && enabled(slot, self.policy) {
+                slot.in_worklist = true;
+                self.worklist.push(chan);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark request `ri` of process `pi` complete (optionally delivering
+    /// a received value); queues the process when its whole set is done.
+    fn complete(&mut self, pi: usize, ri: usize, value: Option<Value>) {
+        let p = &mut self.procs[pi];
+        debug_assert!(!p.pending[ri].1, "request completed twice");
+        p.pending[ri].1 = true;
+        if let Some(v) = value {
+            p.inbox[ri] = Some(v);
+        }
+        p.remaining -= 1;
+        if p.remaining == 0 {
+            self.ready.push(pi);
+        }
     }
 
     /// One round: complete every rendezvous enabled at the start of the
     /// round, then re-step processes whose sets completed. Returns the
     /// number of transfers performed.
-    fn round(&mut self) -> u64 {
-        // Snapshot matches: channel -> (sender proc/req, receiver proc/req).
-        let mut senders: HashMap<ChanId, (usize, usize, Value)> = HashMap::new();
-        let mut receivers: HashMap<ChanId, (usize, usize)> = HashMap::new();
-        for (pi, p) in self.procs.iter().enumerate() {
-            for (ri, &(req, done)) in p.pending.iter().enumerate() {
-                if done {
-                    continue;
-                }
-                match req {
-                    CommReq::Send { chan, value } => {
-                        let prev = senders.insert(chan, (pi, ri, value));
-                        assert!(prev.is_none(), "two senders pending on channel {chan}");
-                    }
-                    CommReq::Recv { chan } => {
-                        let prev = receivers.insert(chan, (pi, ri));
-                        assert!(prev.is_none(), "two receivers pending on channel {chan}");
-                    }
-                }
-            }
-        }
-
+    ///
+    /// Only channels on the worklist are visited; the sort makes firing
+    /// order (and thus the trace) identical to the historical
+    /// scan-all-channels scheduler. Registrations performed by the
+    /// end-of-round `advance` calls land in the *next* round's worklist,
+    /// preserving the snapshot-at-round-start semantics.
+    fn round(&mut self) -> Result<u64, ProtocolViolation> {
+        std::mem::swap(&mut self.worklist, &mut self.work_scratch);
+        self.work_scratch.sort_unstable();
         let mut fired = 0u64;
-        let mut touched: Vec<usize> = Vec::new();
-        // Buffered policy: drain queue heads into receivers, admit sends.
-        if let ChannelPolicy::Buffered(cap) = self.policy {
-            let mut chans: Vec<ChanId> = receivers.keys().copied().collect();
-            chans.sort_unstable();
-            for chan in chans {
-                if let Some(q) = self.queues.get_mut(&chan) {
-                    if let Some(v) = q.pop_front() {
-                        let (pi, ri) = receivers.remove(&chan).unwrap();
-                        self.procs[pi].pending[ri].1 = true;
-                        self.procs[pi].inbox[ri] = Some(v);
-                        touched.push(pi);
+
+        for wi in 0..self.work_scratch.len() {
+            let chan = self.work_scratch[wi];
+            match self.policy {
+                ChannelPolicy::Rendezvous => {
+                    let slot = &mut self.chans[chan];
+                    slot.in_worklist = false;
+                    // Both endpoints were present when the channel was
+                    // enqueued and can only be consumed by firing, so
+                    // they are still present; `take` keeps this robust.
+                    let (Some((spi, sri, v)), Some((rpi, rri))) =
+                        (slot.sender.take(), slot.receiver.take())
+                    else {
+                        continue;
+                    };
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent {
+                            round: self.stats.rounds,
+                            chan,
+                            value: v,
+                        });
+                    }
+                    self.complete(spi, sri, None);
+                    self.complete(rpi, rri, Some(v));
+                    fired += 1;
+                }
+                ChannelPolicy::Buffered(cap) => {
+                    let slot = &mut self.chans[chan];
+                    slot.in_worklist = false;
+                    // Queue head drains into the receiver first, then the
+                    // sender is admitted if the queue (after the pop) has
+                    // room — the same order the historical scheduler
+                    // applied across its receiver and sender passes.
+                    let mut recv_done = None;
+                    let mut send_done = None;
+                    if slot.receiver.is_some() && !slot.queue.is_empty() {
+                        let v = slot.queue.pop_front().expect("checked non-empty");
+                        recv_done = slot.receiver.take().map(|(pi, ri)| (pi, ri, v));
+                    }
+                    if slot.queue.len() < cap {
+                        if let Some((pi, ri, v)) = slot.sender.take() {
+                            slot.queue.push_back(v);
+                            send_done = Some((pi, ri));
+                        }
+                    }
+                    // A send that landed while the receiver still waits
+                    // re-enables the channel for the next round.
+                    if !slot.in_worklist && enabled(slot, self.policy) {
+                        slot.in_worklist = true;
+                        self.worklist.push(chan);
+                    }
+                    if let Some((pi, ri, v)) = recv_done {
+                        self.complete(pi, ri, Some(v));
+                        fired += 1;
+                    }
+                    if let Some((pi, ri)) = send_done {
+                        self.complete(pi, ri, None);
                         fired += 1;
                     }
                 }
             }
-            let mut chans: Vec<ChanId> = senders.keys().copied().collect();
-            chans.sort_unstable();
-            for chan in chans {
-                let q = self.queues.entry(chan).or_default();
-                if q.len() < cap {
-                    let (pi, ri, v) = senders.remove(&chan).unwrap();
-                    q.push_back(v);
-                    self.procs[pi].pending[ri].1 = true;
-                    touched.push(pi);
-                    fired += 1;
-                }
-            }
-        } else {
-            // Rendezvous: match sender/receiver pairs.
-            let mut chans: Vec<ChanId> = senders
-                .keys()
-                .filter(|c| receivers.contains_key(c))
-                .copied()
-                .collect();
-            chans.sort_unstable();
-            for chan in chans {
-                let (spi, sri, v) = senders[&chan];
-                let (rpi, rri) = receivers[&chan];
-                self.procs[spi].pending[sri].1 = true;
-                self.procs[rpi].pending[rri].1 = true;
-                self.procs[rpi].inbox[rri] = Some(v);
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceEvent {
-                        round: self.stats.rounds,
-                        chan,
-                        value: v,
-                    });
-                }
-                touched.push(spi);
-                touched.push(rpi);
-                fired += 1;
-            }
         }
+        self.work_scratch.clear();
         self.stats.messages += fired;
 
-        touched.sort_unstable();
-        touched.dedup();
-        for pi in touched {
-            if !self.procs[pi].finished && self.procs[pi].all_complete() {
-                let received = self.procs[pi].collect_received();
-                self.advance(pi, received);
-            }
+        // Advance completed processes in index order (their registrations
+        // target the next round via `self.worklist`).
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.sort_unstable();
+        for &pi in &ready {
+            debug_assert!(!self.procs[pi].finished && self.procs[pi].remaining == 0);
+            self.advance(pi)?;
         }
-        fired
+        ready.clear();
+        self.ready = ready;
+        Ok(fired)
     }
+}
+
+/// Index into the dense channel table, growing it on first touch.
+fn slot_mut(chans: &mut Vec<ChanSlot>, chan: ChanId) -> &mut ChanSlot {
+    if chan >= chans.len() {
+        chans.resize_with(chan + 1, ChanSlot::default);
+    }
+    &mut chans[chan]
 }
 
 #[cfg(test)]
@@ -316,8 +523,9 @@ mod tests {
         let buf = sink_buffer();
         net.add(Box::new(SinkProc::new(9, 1, buf, "lonely-sink")));
         let err = net.run().unwrap_err();
-        assert_eq!(err.blocked.len(), 1);
-        assert!(err.blocked[0].contains("recv@9"));
+        let deadlock = err.as_deadlock().expect("deadlock, not protocol error");
+        assert_eq!(deadlock.blocked.len(), 1);
+        assert!(deadlock.blocked[0].contains("recv@9"));
         assert!(err.to_string().contains("deadlock"));
     }
 
@@ -329,6 +537,58 @@ mod tests {
         net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
         net.add(Box::new(SinkProc::new(0, 4, buf, "sink")));
         assert!(net.run().is_err());
+    }
+
+    #[test]
+    fn two_senders_is_a_protocol_violation() {
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1], "src-a")));
+        net.add(Box::new(SourceProc::new(0, vec![2], "src-b")));
+        net.add(Box::new(SinkProc::new(0, 2, buf, "sink")));
+        let err = net.run().unwrap_err();
+        let RunError::Protocol(v) = err else {
+            panic!("expected protocol violation, got {err}");
+        };
+        assert_eq!(v.chan, 0);
+        assert_eq!(v.endpoint, "sender");
+        assert_eq!(v.first, "src-a");
+        assert_eq!(v.second, "src-b");
+        assert!(v.to_string().contains("two senders"));
+    }
+
+    #[test]
+    fn two_receivers_is_a_protocol_violation() {
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let b1 = sink_buffer();
+        let b2 = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1, 2], "src")));
+        net.add(Box::new(SinkProc::new(0, 1, b1, "sink-a")));
+        net.add(Box::new(SinkProc::new(0, 1, b2, "sink-b")));
+        let err = net.run().unwrap_err();
+        let RunError::Protocol(v) = err else {
+            panic!("expected protocol violation, got {err}");
+        };
+        assert_eq!(v.endpoint, "receiver");
+        assert_eq!((v.first.as_str(), v.second.as_str()), ("sink-a", "sink-b"));
+    }
+
+    #[test]
+    fn violation_mid_run_is_diagnosed() {
+        // The conflict only materializes after the first value moves:
+        // a relay starts forwarding onto a channel that already has a
+        // long-lived sender.
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![7, 9], "src-direct")));
+        net.add(Box::new(SourceProc::new(1, vec![8], "src-upstream")));
+        net.add(Box::new(RelayProc::new(1, 0, 1, "relay")));
+        net.add(Box::new(SinkProc::new(0, 3, buf, "sink")));
+        let err = net.run().unwrap_err();
+        let RunError::Protocol(v) = err else {
+            panic!("expected protocol violation, got {err}");
+        };
+        assert_eq!((v.first.as_str(), v.second.as_str()), ("src-direct", "relay"));
     }
 
     #[test]
@@ -365,6 +625,19 @@ mod tests {
         assert_eq!(*buf.lock(), vec![5, 6]);
         // Each value counts twice: enqueue + dequeue.
         assert_eq!(stats.messages, 4);
+    }
+
+    #[test]
+    fn buffered_capacity_one_backpressures() {
+        // cap=1: the queue holds one value; the second send must wait
+        // for the pop, but the run still completes.
+        let mut net = Network::new(ChannelPolicy::Buffered(1));
+        let buf = sink_buffer();
+        net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
+        net.add(Box::new(SinkProc::new(0, 3, buf.clone(), "sink")));
+        let stats = net.run().unwrap();
+        assert_eq!(*buf.lock(), vec![1, 2, 3]);
+        assert_eq!(stats.messages, 6);
     }
 
     #[test]
@@ -424,5 +697,35 @@ mod tests {
         }));
         net.run().unwrap();
         assert_eq!(*buf.lock(), vec![3, 30]);
+    }
+
+    #[test]
+    fn trace_orders_events_by_channel_within_a_round() {
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let b1 = sink_buffer();
+        let b2 = sink_buffer();
+        // Register the higher channel first; the trace must still list
+        // channel 0 before channel 1 within the round.
+        net.add(Box::new(SourceProc::new(1, vec![20], "s-hi")));
+        net.add(Box::new(SourceProc::new(0, vec![10], "s-lo")));
+        net.add(Box::new(SinkProc::new(1, 1, b1, "k-hi")));
+        net.add(Box::new(SinkProc::new(0, 1, b2, "k-lo")));
+        let (stats, trace) = net.run_traced().unwrap();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(
+            trace,
+            vec![
+                TraceEvent {
+                    round: 0,
+                    chan: 0,
+                    value: 10
+                },
+                TraceEvent {
+                    round: 0,
+                    chan: 1,
+                    value: 20
+                },
+            ]
+        );
     }
 }

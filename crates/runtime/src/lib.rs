@@ -20,7 +20,9 @@ pub mod partition;
 pub mod process;
 pub mod threaded;
 
-pub use coop::{ChannelPolicy, Deadlock, Network, RunStats, TraceEvent};
+pub use coop::{
+    ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats, TraceEvent,
+};
 pub use partition::{block_partition, run_partitioned};
 pub use process::{
     sink_buffer, ChanId, CommReq, Process, RelayProc, ScriptedSink, ScriptedSource, SegmentRelay,

@@ -14,11 +14,16 @@
 //! when *every* member is stuck — so intra-group rendezvous still make
 //! progress (they complete inside the shared matcher the moment both
 //! sides are offered, regardless of which thread hosts them).
+//!
+//! As in [`crate::coop`] and [`crate::threaded`], channel endpoints live
+//! in dense tables indexed by [`ChanId`], worker loops reuse their
+//! request/receive buffers across steps, and a malformed network (two
+//! processes on one endpoint) aborts with a diagnosis instead of
+//! panicking a worker.
 
 use crate::coop::RunStats;
 use crate::process::{ChanId, CommReq, Process, Value};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,10 +37,22 @@ struct SetState {
 }
 
 struct EngineState {
-    sends: HashMap<ChanId, (usize, usize, Value)>,
-    recvs: HashMap<ChanId, (usize, usize)>,
+    /// Dense endpoint tables by channel id, grown on first touch.
+    sends: Vec<Option<(usize, usize, Value)>>,
+    recvs: Vec<Option<(usize, usize)>>,
     sets: Vec<SetState>,
     messages: u64,
+    /// First fatal diagnosis; preferred over secondary "aborted" errors.
+    failure: Option<String>,
+}
+
+impl EngineState {
+    fn ensure_chan(&mut self, chan: ChanId) {
+        if chan >= self.sends.len() {
+            self.sends.resize(chan + 1, None);
+            self.recvs.resize(chan + 1, None);
+        }
+    }
 }
 
 struct Engine {
@@ -47,39 +64,62 @@ struct Engine {
 }
 
 impl Engine {
+    /// Record a fatal diagnosis, wake every group, and return the message.
+    fn abort(&self, st: &mut EngineState, msg: String) -> String {
+        self.aborted.store(true, Ordering::Relaxed);
+        if st.failure.is_none() {
+            st.failure = Some(msg.clone());
+        }
+        for w in &self.wakeups {
+            w.notify_all();
+        }
+        msg
+    }
+
     /// Register a process's next communication set; complete any matches
     /// this enables. Caller holds no lock.
-    fn register(&self, pid: usize, reqs: &[CommReq]) {
+    fn register(&self, pid: usize, reqs: &[CommReq]) -> Result<(), String> {
         let mut st = self.state.lock();
-        st.sets[pid] = SetState {
-            remaining: reqs.len(),
-            inbox: vec![None; reqs.len()],
-            ready: reqs.is_empty(),
-            finished: false,
-        };
+        st.sets[pid].remaining = reqs.len();
+        st.sets[pid].inbox.clear();
+        st.sets[pid].inbox.resize(reqs.len(), None);
+        st.sets[pid].ready = reqs.is_empty();
+        st.sets[pid].finished = false;
         let mut to_wake = Vec::new();
         for (ri, req) in reqs.iter().enumerate() {
             match *req {
                 CommReq::Send { chan, value } => {
-                    if let Some((rpid, rri)) = st.recvs.remove(&chan) {
+                    st.ensure_chan(chan);
+                    if let Some((rpid, rri)) = st.recvs[chan].take() {
                         st.sets[rpid].inbox[rri] = Some(value);
                         Self::complete(&mut st, rpid, &mut to_wake, &self.group_of);
                         Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
                         st.messages += 1;
                     } else {
-                        let prev = st.sends.insert(chan, (pid, ri, value));
-                        assert!(prev.is_none(), "two senders on channel {chan}");
+                        if st.sends[chan].is_some() {
+                            return Err(self.abort(
+                                &mut st,
+                                format!("protocol violation: two senders on channel {chan}"),
+                            ));
+                        }
+                        st.sends[chan] = Some((pid, ri, value));
                     }
                 }
                 CommReq::Recv { chan } => {
-                    if let Some((spid, _sri, value)) = st.sends.remove(&chan) {
+                    st.ensure_chan(chan);
+                    if let Some((spid, _sri, value)) = st.sends[chan].take() {
                         st.sets[pid].inbox[ri] = Some(value);
                         Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
                         Self::complete(&mut st, spid, &mut to_wake, &self.group_of);
                         st.messages += 1;
                     } else {
-                        let prev = st.recvs.insert(chan, (pid, ri));
-                        assert!(prev.is_none(), "two receivers on channel {chan}");
+                        if st.recvs[chan].is_some() {
+                            return Err(self.abort(
+                                &mut st,
+                                format!("protocol violation: two receivers on channel {chan}"),
+                            ));
+                        }
+                        st.recvs[chan] = Some((pid, ri));
                     }
                 }
             }
@@ -90,6 +130,7 @@ impl Engine {
         for g in to_wake {
             self.wakeups[g].notify_one();
         }
+        Ok(())
     }
 
     fn complete(st: &mut EngineState, pid: usize, to_wake: &mut Vec<usize>, group_of: &[usize]) {
@@ -100,16 +141,17 @@ impl Engine {
         }
     }
 
-    /// Pop a ready member of `group`, returning its id and received
-    /// values; or park until one appears. `None` on abort/timeout or when
-    /// every member has finished.
+    /// Pop a ready member of `group`, filling `received` with its values
+    /// (request shapes come from `shapes`, indexed by pid); or park until
+    /// one appears. `None` on abort/timeout or when every member finished.
     fn next_ready(
         &self,
         group_id: usize,
         members: &[usize],
-        reqs_of: &dyn Fn(usize) -> Vec<bool>, // is_send per request index
+        shapes: &[Vec<bool>], // is_send per request index, by pid
+        received: &mut Vec<Value>,
         timeout: Duration,
-    ) -> Result<Option<(usize, Vec<Value>)>, String> {
+    ) -> Result<Option<usize>, String> {
         let mut st = self.state.lock();
         loop {
             if members.iter().all(|&m| st.sets[m].finished) {
@@ -120,9 +162,8 @@ impl Engine {
                 .find(|&&m| st.sets[m].ready && !st.sets[m].finished)
             {
                 st.sets[m].ready = false;
-                let sends = reqs_of(m);
-                let mut received = Vec::new();
-                for (ri, is_send) in sends.iter().enumerate() {
+                received.clear();
+                for (ri, is_send) in shapes[m].iter().enumerate() {
                     if !is_send {
                         received.push(
                             st.sets[m].inbox[ri]
@@ -131,20 +172,19 @@ impl Engine {
                         );
                     }
                 }
-                return Ok(Some((m, received)));
+                return Ok(Some(m));
             }
             if self.aborted.load(Ordering::Relaxed) {
-                return Err("aborted".into());
+                return Err(st.failure.clone().unwrap_or_else(|| "aborted".into()));
             }
             if self.wakeups[group_id]
                 .wait_for(&mut st, timeout)
                 .timed_out()
             {
-                self.aborted.store(true, Ordering::Relaxed);
-                for w in &self.wakeups {
-                    w.notify_all();
-                }
-                return Err(format!("group {group_id} timed out waiting for rendezvous"));
+                return Err(self.abort(
+                    &mut st,
+                    format!("group {group_id} timed out waiting for rendezvous"),
+                ));
             }
         }
     }
@@ -176,8 +216,8 @@ pub fn run_partitioned(
     }
     let engine = Arc::new(Engine {
         state: Mutex::new(EngineState {
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
+            sends: Vec::new(),
+            recvs: Vec::new(),
             sets: (0..n)
                 .map(|_| SetState {
                     remaining: 0,
@@ -187,6 +227,7 @@ pub fn run_partitioned(
                 })
                 .collect(),
             messages: 0,
+            failure: None,
         }),
         wakeups: (0..groups.len()).map(|_| Condvar::new()).collect(),
         group_of,
@@ -208,39 +249,43 @@ pub fn run_partitioned(
             .name(format!("systolic-group-{gi}"))
             .spawn(move || -> Result<u64, String> {
                 let mut steps = 0u64;
-                // Track each member's current request shape for inbox
-                // extraction.
-                let mut shapes: HashMap<usize, Vec<bool>> = HashMap::new();
+                // Each member's current request shape (is_send per request
+                // index), dense by pid; the per-member vectors and the
+                // request/receive buffers are reused across every step.
+                let mut shapes: Vec<Vec<bool>> = vec![Vec::new(); engine.group_of.len()];
+                let mut reqs = Vec::new();
+                let mut received = Vec::new();
                 // Prime every member.
                 for (pid, proc) in owned.iter_mut() {
-                    let reqs = proc.step(&[]);
+                    reqs.clear();
+                    proc.step_into(&[], &mut reqs);
                     steps += 1;
                     if reqs.is_empty() {
                         engine.state.lock().sets[*pid].finished = true;
                         continue;
                     }
-                    shapes.insert(*pid, reqs.iter().map(|r| r.is_send()).collect());
-                    engine.register(*pid, &reqs);
+                    shapes[*pid].clear();
+                    shapes[*pid].extend(reqs.iter().map(|r| r.is_send()));
+                    engine.register(*pid, &reqs)?;
                 }
                 loop {
-                    let shapes_ref = shapes.clone();
-                    let lookup = move |pid: usize| shapes_ref[&pid].clone();
-                    match engine.next_ready(gi, &members, &lookup, timeout)? {
+                    match engine.next_ready(gi, &members, &shapes, &mut received, timeout)? {
                         None => return Ok(steps),
-                        Some((pid, received)) => {
+                        Some(pid) => {
                             let proc = owned
                                 .iter_mut()
                                 .find(|(p, _)| *p == pid)
                                 .map(|(_, pr)| pr)
                                 .expect("ready member owned by this group");
-                            let reqs = proc.step(&received);
+                            reqs.clear();
+                            proc.step_into(&received, &mut reqs);
                             steps += 1;
                             if reqs.is_empty() {
                                 engine.state.lock().sets[pid].finished = true;
-                                shapes.remove(&pid);
                             } else {
-                                shapes.insert(pid, reqs.iter().map(|r| r.is_send()).collect());
-                                engine.register(pid, &reqs);
+                                shapes[pid].clear();
+                                shapes[pid].extend(reqs.iter().map(|r| r.is_send()));
+                                engine.register(pid, &reqs)?;
                             }
                         }
                     }
@@ -256,10 +301,11 @@ pub fn run_partitioned(
             Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
         }
     }
-    if let Some(e) = first_err {
-        return Err(e);
-    }
     let st = engine.state.lock();
+    if let Some(e) = first_err {
+        // The root cause, not whichever group's abort joined first.
+        return Err(st.failure.clone().unwrap_or(e));
+    }
     Ok(RunStats {
         rounds: 0,
         messages: st.messages,
@@ -355,5 +401,22 @@ mod tests {
             err.contains("timed out") || err.contains("aborted"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn two_receivers_abort_with_diagnosis() {
+        // Two sinks both claim the receive end of channel 0 with no sender
+        // in the network, so both receives must park; whichever registers
+        // second trips the violation, and the run reports it regardless of
+        // which group observed the abort first.
+        for k in 1..=2 {
+            let procs: Vec<Box<dyn Process>> = vec![
+                Box::new(SinkProc::new(0, 2, sink_buffer(), "sink-a")),
+                Box::new(SinkProc::new(0, 2, sink_buffer(), "sink-b")),
+            ];
+            let groups = block_partition(procs.len(), k);
+            let err = run_partitioned(procs, groups, T).unwrap_err();
+            assert!(err.contains("two receivers on channel 0"), "k = {k}: {err}");
+        }
     }
 }

@@ -43,12 +43,29 @@ impl CommReq {
 }
 
 /// A cooperative sequential process.
+///
+/// `step` and `step_into` are the same operation; implement **at least
+/// one** (each has a default in terms of the other). Hot-path processes
+/// implement `step_into` so the scheduler's steady-state rounds stay
+/// allocation-free; `step` remains the convenient form for tests and
+/// one-off processes.
 pub trait Process: Send {
     /// Advance the process. `received` holds the values of the previous
     /// set's `Recv` requests, in request order (empty on the first call).
     /// Return the next communication set; an empty set means the process
     /// has terminated.
-    fn step(&mut self, received: &[Value]) -> Vec<CommReq>;
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        let mut out = Vec::new();
+        self.step_into(received, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Process::step`]: append the next
+    /// communication set to `out` (handed in empty, with its previous
+    /// capacity intact). Leaving `out` empty terminates the process.
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
+        out.extend(self.step(received));
+    }
 
     /// A short label for diagnostics (deadlock reports).
     fn label(&self) -> String {
@@ -75,13 +92,12 @@ impl SourceProc {
 }
 
 impl Process for SourceProc {
-    fn step(&mut self, _received: &[Value]) -> Vec<CommReq> {
-        match self.values.next() {
-            Some(v) => vec![CommReq::Send {
+    fn step_into(&mut self, _received: &[Value], out: &mut Vec<CommReq>) {
+        if let Some(v) = self.values.next() {
+            out.push(CommReq::Send {
                 chan: self.chan,
                 value: v,
-            }],
-            None => vec![],
+            });
         }
     }
 
@@ -114,15 +130,15 @@ impl SinkProc {
 }
 
 impl Process for SinkProc {
-    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
         if let Some(&v) = received.first() {
             self.out.lock().push(v);
         }
         if self.remaining == 0 {
-            return vec![];
+            return;
         }
         self.remaining -= 1;
-        vec![CommReq::Recv { chan: self.chan }]
+        out.push(CommReq::Recv { chan: self.chan });
     }
 
     fn label(&self) -> String {
@@ -157,18 +173,19 @@ impl RelayProc {
 }
 
 impl Process for RelayProc {
-    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
         if let Some(&v) = received.first() {
-            return vec![CommReq::Send {
+            out.push(CommReq::Send {
                 chan: self.out_chan,
                 value: v,
-            }];
+            });
+            return;
         }
         if self.remaining == 0 {
-            return vec![];
+            return;
         }
         self.remaining -= 1;
-        vec![CommReq::Recv { chan: self.in_chan }]
+        out.push(CommReq::Recv { chan: self.in_chan });
     }
 
     fn label(&self) -> String {
@@ -210,13 +227,14 @@ impl SegmentRelay {
 }
 
 impl Process for SegmentRelay {
-    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
         if let Some(&v) = received.first() {
-            let (_, out, _) = self.current.expect("received without a segment");
-            return vec![CommReq::Send {
-                chan: out,
+            let (_, out_chan, _) = self.current.expect("received without a segment");
+            out.push(CommReq::Send {
+                chan: out_chan,
                 value: v,
-            }];
+            });
+            return;
         }
         // Advance within / across segments.
         match &mut self.current {
@@ -227,9 +245,8 @@ impl Process for SegmentRelay {
                 self.current = self.next_segment();
             }
         }
-        match self.current {
-            Some((inp, _, _)) => vec![CommReq::Recv { chan: inp }],
-            None => vec![],
+        if let Some((inp, _, _)) = self.current {
+            out.push(CommReq::Recv { chan: inp });
         }
     }
 
@@ -256,10 +273,9 @@ impl ScriptedSource {
 }
 
 impl Process for ScriptedSource {
-    fn step(&mut self, _received: &[Value]) -> Vec<CommReq> {
-        match self.sends.next() {
-            Some((chan, value)) => vec![CommReq::Send { chan, value }],
-            None => vec![],
+    fn step_into(&mut self, _received: &[Value], out: &mut Vec<CommReq>) {
+        if let Some((chan, value)) = self.sends.next() {
+            out.push(CommReq::Send { chan, value });
         }
     }
 
@@ -287,13 +303,12 @@ impl ScriptedSink {
 }
 
 impl Process for ScriptedSink {
-    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
         if let Some(&v) = received.first() {
             self.out.lock().push(v);
         }
-        match self.recvs.next() {
-            Some(chan) => vec![CommReq::Recv { chan }],
-            None => vec![],
+        if let Some(chan) = self.recvs.next() {
+            out.push(CommReq::Recv { chan });
         }
     }
 

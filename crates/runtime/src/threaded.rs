@@ -9,11 +9,15 @@
 //! complete in any order without the thread having to block on one channel
 //! at a time — this is what makes the executor deadlock-equivalent to the
 //! cooperative scheduler.
+//!
+//! Like the cooperative scheduler, the matcher keeps its channel endpoints
+//! in dense tables indexed by [`ChanId`] (no hashing under the lock), and
+//! a malformed network — two processes claiming the same endpoint — aborts
+//! the run with a diagnosis instead of panicking the offending thread.
 
 use crate::coop::RunStats;
 use crate::process::{ChanId, CommReq, Process, Value};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,10 +28,23 @@ struct SetState {
 }
 
 struct EngineState {
-    sends: HashMap<ChanId, (usize, usize, Value)>,
-    recvs: HashMap<ChanId, (usize, usize)>,
+    /// Dense endpoint tables by channel id, grown on first touch.
+    sends: Vec<Option<(usize, usize, Value)>>,
+    recvs: Vec<Option<(usize, usize)>>,
     sets: Vec<SetState>,
     messages: u64,
+    /// First fatal diagnosis (protocol violation or timeout); preferred
+    /// over the secondary "aborted" errors of the other threads.
+    failure: Option<String>,
+}
+
+impl EngineState {
+    fn ensure_chan(&mut self, chan: ChanId) {
+        if chan >= self.sends.len() {
+            self.sends.resize(chan + 1, None);
+            self.recvs.resize(chan + 1, None);
+        }
+    }
 }
 
 struct Engine {
@@ -40,8 +57,8 @@ impl Engine {
     fn new(nprocs: usize) -> Engine {
         Engine {
             state: Mutex::new(EngineState {
-                sends: HashMap::new(),
-                recvs: HashMap::new(),
+                sends: Vec::new(),
+                recvs: Vec::new(),
                 sets: (0..nprocs)
                     .map(|_| SetState {
                         remaining: 0,
@@ -49,29 +66,44 @@ impl Engine {
                     })
                     .collect(),
                 messages: 0,
+                failure: None,
             }),
             wakeups: (0..nprocs).map(|_| Condvar::new()).collect(),
             aborted: AtomicBool::new(false),
         }
     }
 
-    /// Offer a communication set and block until it completes. Returns the
-    /// received values in request order, or `Err` on timeout/abort.
+    /// Record a fatal diagnosis, wake everyone, and return the message.
+    fn abort(&self, st: &mut EngineState, msg: String) -> String {
+        self.aborted.store(true, Ordering::Relaxed);
+        if st.failure.is_none() {
+            st.failure = Some(msg.clone());
+        }
+        for w in &self.wakeups {
+            w.notify_one();
+        }
+        msg
+    }
+
+    /// Offer a communication set and block until it completes, filling
+    /// `received` with the received values in request order. `Err` on
+    /// timeout, abort, or a protocol violation.
     fn offer_set(
         &self,
         pid: usize,
         reqs: &[CommReq],
+        received: &mut Vec<Value>,
         timeout: Duration,
-    ) -> Result<Vec<Value>, String> {
+    ) -> Result<(), String> {
         let mut st = self.state.lock();
-        st.sets[pid] = SetState {
-            remaining: reqs.len(),
-            inbox: vec![None; reqs.len()],
-        };
+        st.sets[pid].remaining = reqs.len();
+        st.sets[pid].inbox.clear();
+        st.sets[pid].inbox.resize(reqs.len(), None);
         for (ri, req) in reqs.iter().enumerate() {
             match *req {
                 CommReq::Send { chan, value } => {
-                    if let Some((rpid, rri)) = st.recvs.remove(&chan) {
+                    st.ensure_chan(chan);
+                    if let Some((rpid, rri)) = st.recvs[chan].take() {
                         st.sets[rpid].inbox[rri] = Some(value);
                         st.sets[rpid].remaining -= 1;
                         st.sets[pid].remaining -= 1;
@@ -80,12 +112,18 @@ impl Engine {
                             self.wakeups[rpid].notify_one();
                         }
                     } else {
-                        let prev = st.sends.insert(chan, (pid, ri, value));
-                        assert!(prev.is_none(), "two senders on channel {chan}");
+                        if st.sends[chan].is_some() {
+                            return Err(self.abort(
+                                &mut st,
+                                format!("protocol violation: two senders on channel {chan}"),
+                            ));
+                        }
+                        st.sends[chan] = Some((pid, ri, value));
                     }
                 }
                 CommReq::Recv { chan } => {
-                    if let Some((spid, _sri, value)) = st.sends.remove(&chan) {
+                    st.ensure_chan(chan);
+                    if let Some((spid, _sri, value)) = st.sends[chan].take() {
                         st.sets[pid].inbox[ri] = Some(value);
                         st.sets[pid].remaining -= 1;
                         st.sets[spid].remaining -= 1;
@@ -94,8 +132,13 @@ impl Engine {
                             self.wakeups[spid].notify_one();
                         }
                     } else {
-                        let prev = st.recvs.insert(chan, (pid, ri));
-                        assert!(prev.is_none(), "two receivers on channel {chan}");
+                        if st.recvs[chan].is_some() {
+                            return Err(self.abort(
+                                &mut st,
+                                format!("protocol violation: two receivers on channel {chan}"),
+                            ));
+                        }
+                        st.recvs[chan] = Some((pid, ri));
                     }
                 }
             }
@@ -105,20 +148,19 @@ impl Engine {
                 return Err("aborted".into());
             }
             if self.wakeups[pid].wait_for(&mut st, timeout).timed_out() {
-                self.aborted.store(true, Ordering::Relaxed);
-                for w in &self.wakeups {
-                    w.notify_one();
-                }
-                return Err(format!("process {pid} timed out waiting for rendezvous"));
+                return Err(self.abort(
+                    &mut st,
+                    format!("process {pid} timed out waiting for rendezvous"),
+                ));
             }
         }
-        let mut received = Vec::new();
+        received.clear();
         for (ri, req) in reqs.iter().enumerate() {
             if !req.is_send() {
                 received.push(st.sets[pid].inbox[ri].take().expect("recv without value"));
             }
         }
-        Ok(received)
+        Ok(())
     }
 }
 
@@ -137,15 +179,18 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
             .name(format!("systolic-{pid}"))
             .stack_size(128 * 1024)
             .spawn(move || -> Result<u64, String> {
+                // Buffers reused across every step of this process.
                 let mut received = Vec::new();
+                let mut reqs = Vec::new();
                 let mut steps = 0u64;
                 loop {
-                    let reqs = proc.step(&received);
+                    reqs.clear();
+                    proc.step_into(&received, &mut reqs);
                     steps += 1;
                     if reqs.is_empty() {
                         return Ok(steps);
                     }
-                    received = engine.offer_set(pid, &reqs, timeout)?;
+                    engine.offer_set(pid, &reqs, &mut received, timeout)?;
                 }
             })
             .expect("spawn systolic thread");
@@ -158,10 +203,11 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
             Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
         }
     }
-    if let Some(e) = first_err {
-        return Err(e);
-    }
     let st = engine.state.lock();
+    if let Some(e) = first_err {
+        // The root cause, not whichever thread's abort joined first.
+        return Err(st.failure.clone().unwrap_or(e));
+    }
     Ok(RunStats {
         rounds: 0,
         messages: st.messages,
@@ -227,10 +273,20 @@ mod tests {
         let buf = sink_buffer();
         let procs: Vec<Box<dyn Process>> = vec![Box::new(SinkProc::new(7, 1, buf, "lonely"))];
         let err = run_threaded(procs, Duration::from_millis(50)).unwrap_err();
-        assert!(
-            err.contains("timed out") || err.contains("aborted"),
-            "{err}"
-        );
+        assert!(err.contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn two_senders_abort_with_diagnosis() {
+        // No receiver exists, so both sources must park their sends on
+        // channel 0; whichever registers second trips the violation, and
+        // the run reports it (not a bare "aborted").
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(SourceProc::new(0, vec![1, 2], "src-a")),
+            Box::new(SourceProc::new(0, vec![3, 4], "src-b")),
+        ];
+        let err = run_threaded(procs, T).unwrap_err();
+        assert!(err.contains("two senders on channel 0"), "{err}");
     }
 
     #[test]

@@ -211,7 +211,12 @@ impl Systolized {
     ) -> Result<systolic_interp::SystolicRun, Error> {
         let env = self.size_env(sizes);
         systolic_interp::run_plan(&self.plan, &env, store, ChannelPolicy::Rendezvous, opts)
-            .map_err(|d| Error::Deadlock(d.to_string()))
+            .map_err(|e| match e {
+                systolic_interp::ExecError::Run(r) => Error::Deadlock(r.to_string()),
+                short @ systolic_interp::ExecError::ShortOutput { .. } => {
+                    Error::Mismatch(short.to_string())
+                }
+            })
     }
 
     /// Verify observational equivalence with the sequential execution on

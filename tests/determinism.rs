@@ -1,0 +1,86 @@
+//! Scheduler determinism regression: the event-driven cooperative
+//! scheduler must produce bit-identical statistics run over run (its
+//! worklist order is sorted, never arrival-dependent), and those
+//! statistics are pinned to goldens so a scheduler change that silently
+//! alters round structure — extra rounds, dropped messages, reordered
+//! completion — fails here rather than only shifting benchmark numbers.
+//!
+//! The golden tuples are `(processes, rounds, messages, steps)` as
+//! captured from the seed (pre-event-driven) scheduler; the rewrite is
+//! required to preserve them exactly.
+
+use systolizer::core::{compile, Options};
+use systolizer::interp::verify_equivalence;
+use systolizer::ir::gallery;
+use systolizer::math::Env;
+use systolizer::runtime::RunStats;
+use systolizer::synthesis::{derive_array, placement::paper};
+
+fn golden(processes: usize, rounds: u64, messages: u64, steps: u64) -> RunStats {
+    RunStats {
+        rounds,
+        messages,
+        processes,
+        steps,
+    }
+}
+
+#[test]
+fn paper_designs_are_deterministic_and_match_goldens() {
+    let goldens = [
+        ("D.1", golden(16, 44, 139, 244)),
+        ("D.2", golden(24, 70, 235, 444)),
+        ("E.1", golden(55, 36, 450, 705)),
+        ("E.2", golden(191, 22, 710, 1111)),
+    ];
+    for (label, p, a) in paper::all() {
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let first = verify_equivalence(&plan, &env, &["a", "b"], 11).unwrap();
+        let second = verify_equivalence(&plan, &env, &["a", "b"], 11).unwrap();
+        assert_eq!(first, second, "{label}: two runs disagree");
+        let want = &goldens
+            .iter()
+            .find(|(l, _)| *l == label)
+            .unwrap_or_else(|| panic!("no golden for paper design {label}"))
+            .1;
+        assert_eq!(&first, want, "{label}: stats drifted from the seed golden");
+    }
+}
+
+#[test]
+fn gallery_programs_are_deterministic_and_match_goldens() {
+    let goldens = [
+        ("polynomial_product", golden(14, 39, 103, 188)),
+        ("matrix_product", golden(40, 32, 240, 392)),
+        ("matrix_product_bt", golden(40, 32, 240, 392)),
+        ("fir_filter", golden(14, 39, 103, 188)),
+        ("tensor_contraction", golden(160, 32, 960, 1568)),
+    ];
+    for p in gallery::all() {
+        let a = derive_array(&p, 2, 4).unwrap();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        for &s in &p.sizes {
+            env.bind(s, 3);
+        }
+        let inputs: Vec<&str> = match p.name.as_str() {
+            "fir_filter" => vec!["h", "x"],
+            _ => vec!["a", "b"],
+        };
+        let first = verify_equivalence(&plan, &env, &inputs, 11).unwrap();
+        let second = verify_equivalence(&plan, &env, &inputs, 11).unwrap();
+        assert_eq!(first, second, "{}: two runs disagree", p.name);
+        let want = &goldens
+            .iter()
+            .find(|(l, _)| *l == p.name)
+            .unwrap_or_else(|| panic!("no golden for gallery program {}", p.name))
+            .1;
+        assert_eq!(
+            &first, want,
+            "{}: stats drifted from the seed golden",
+            p.name
+        );
+    }
+}
