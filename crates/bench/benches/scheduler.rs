@@ -1,11 +1,12 @@
-//! Scheduler-only benchmark: `Network::run` on freshly elaborated matmul
-//! E.1 networks, with elaboration kept out of the measured routine via
-//! `iter_batched` — the number this tracks is the event-driven engine's
-//! cost per simulated network, not the compiler front half's.
+//! Scheduler-only benchmark: `Network::run` on matmul E.1 networks.
+//! Elaboration happens once per size — the cached `Arc<ProcIrModule>` is
+//! re-instantiated in the `iter_batched` setup, so the measured routine is
+//! the event-driven engine's cost per simulated network, not the compiler
+//! front half's (and not even the lowering's).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use systolic_core::{compile, Options};
-use systolic_interp::{elaborate, ElabOptions, Elaborated};
+use systolic_interp::{elaborate, ElabOptions};
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{ChannelPolicy, Network};
@@ -22,13 +23,14 @@ fn bench_scheduler(c: &mut Criterion) {
         let mut store = HostStore::allocate(&p, &env);
         store.fill_random("a", 1, -9, 9);
         store.fill_random("b", 2, -9, 9);
+        let module = elaborate(&plan, &env, &store, &ElabOptions::default())
+            .unwrap()
+            .module;
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
                 || {
-                    let Elaborated { procs, .. } =
-                        elaborate(&plan, &env, &store, &ElabOptions::default());
                     let mut net = Network::new(ChannelPolicy::Rendezvous);
-                    for pr in procs {
+                    for pr in module.instantiate().procs {
                         net.add(pr);
                     }
                     net

@@ -176,7 +176,7 @@ fn section_census() {
         let plan = compile(&p, &a, &Options::default()).unwrap();
         let env = env_at(&p, 4);
         let store = HostStore::allocate(&p, &env);
-        let el = systolic_interp::elaborate(&plan, &env, &store, &ElabOptions::default());
+        let el = systolic_interp::elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
         println!(
             "{:<6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>10}",
             label,

@@ -1,13 +1,15 @@
 //! The benchmark trajectory harness: runs the simulate suite (the four
-//! appendix designs at several problem sizes) and writes
-//! `BENCH_simulate.json` at the repo root with wall-clock, rounds,
-//! messages, and steps per configuration.
+//! appendix designs at several problem sizes) and appends a labeled
+//! snapshot to `BENCH_simulate.json` at the repo root with wall-clock,
+//! rounds, messages, and steps per configuration.
 //!
-//! Future PRs rerun this binary and compare against the committed file to
-//! track the performance trajectory of the simulator:
+//! Each PR reruns this binary; the committed file accumulates one
+//! snapshot per PR, so the simulator's performance trajectory is the
+//! diff between adjacent snapshots (rounds/messages/steps must never
+//! change — they are pinned by `tests/determinism.rs`):
 //!
 //! ```sh
-//! cargo run --release -p systolic-bench --bin simulate_trajectory
+//! cargo run --release -p systolic-bench --bin simulate_trajectory -- <label>
 //! ```
 //!
 //! Wall-clock is the minimum over [`ITERS`] runs (the usual noise-robust
@@ -99,11 +101,12 @@ fn main() {
 
     // Hand-rolled JSON: the schema is fixed and flat, and the workspace
     // deliberately avoids a serde_json dependency outside criterion.
-    let mut json = String::from("{\n  \"suite\": \"simulate\",\n  \"entries\": [\n");
+    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    let mut snapshot = format!("    {{\"label\": \"{label}\", \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
-            json,
-            "    {{\"design\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \"processes\": {}, \
+            snapshot,
+            "      {{\"design\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \"processes\": {}, \
              \"rounds\": {}, \"messages\": {}, \"steps\": {}}}{}",
             e.design,
             e.n,
@@ -115,10 +118,19 @@ fn main() {
             if i + 1 < entries.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    snapshot.push_str("    ]}");
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = std::path::Path::new(root).join("BENCH_simulate.json");
+    let json = match std::fs::read_to_string(&path) {
+        // Append to an existing snapshot file (insert before the closing
+        // of the snapshots array).
+        Ok(old) if old.contains("\"snapshots\"") => {
+            let cut = old.rfind("\n  ]\n}").expect("well-formed snapshot file");
+            format!("{},\n{snapshot}\n  ]\n}}\n", &old[..cut])
+        }
+        _ => format!("{{\n  \"suite\": \"simulate\",\n  \"snapshots\": [\n{snapshot}\n  ]\n}}\n"),
+    };
     std::fs::write(&path, json).expect("write BENCH_simulate.json");
-    println!("wrote {}", path.display());
+    println!("wrote {} (snapshot \"{label}\")", path.display());
 }

@@ -1,5 +1,7 @@
 //! Elaboration: instantiate a symbolic [`SystolicProgram`] at a concrete
-//! problem size as a network of virtual processes.
+//! problem size, lowering every virtual process — computation, relay
+//! buffer, host source/sink — to the flat [`ProcIR`](ProcIrModule)
+//! bytecode shared by all executors and code generators.
 //!
 //! The construction follows Appendix C's channel discipline — stream `s`
 //! has a channel family along its flow, `s_chan[y]` connecting
@@ -9,21 +11,20 @@
 //! ahead of every process for a flow of denominator `d` (Sec. 7.6,
 //! "inserted in between each computation process ... for the sake of
 //! regularity" also ahead of the first), and an output process downstream.
+//!
+//! The result is an immutable [`Arc<ProcIrModule>`]: per-run state lives
+//! in the VMs that [`ProcIrModule::instantiate`] builds, so one
+//! elaboration can back many runs. The lowering rules (which ops each
+//! process shape compiles to) are documented in `docs/process-ir.md`.
 
-use crate::comp::{CompProc, Instr, MovingChans};
+use std::fmt;
+use std::sync::Arc;
 use systolic_core::{StreamKind, SystolicProgram};
-use systolic_ir::HostStore;
+use systolic_ir::{BasicStatement, HostStore};
 use systolic_math::{point, Env};
-use systolic_runtime::{sink_buffer, ChanId, Process, RelayProc, SinkBuffer, SinkProc, SourceProc};
-use systolic_runtime::{ScriptedSink, ScriptedSource};
-
-/// Where an output pipe's values must be restored.
-pub struct OutputBinding {
-    pub variable: String,
-    /// Element identities, in arrival order.
-    pub elements: Vec<Vec<i64>>,
-    pub buffer: SinkBuffer,
-}
+use systolic_runtime::{
+    ChanId, ComputeBody, MovingLink, ProcId, ProcIrBuilder, ProcIrModule, ProcOp, Value,
+};
 
 /// Census of the elaborated network, for reports and experiments.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -38,17 +39,6 @@ pub struct Census {
     pub inputs: usize,
     pub outputs: usize,
     pub channels: usize,
-}
-
-/// The elaborated network, ready to run.
-pub struct Elaborated {
-    pub procs: Vec<Box<dyn Process>>,
-    pub outputs: Vec<OutputBinding>,
-    pub census: Census,
-    /// Per (stream index, process-space point): the channel into and out
-    /// of the process at that point — the map behind `s_chan[y]`
-    /// (Appendix C). Used by the space-time tracer.
-    pub endpoints: Vec<(usize, Vec<i64>, ChanId, ChanId)>,
 }
 
 /// Options controlling elaboration (ablation hooks and protocol
@@ -82,6 +72,84 @@ impl Default for ElabOptions {
             split_propagation: false,
             merge_io: false,
         }
+    }
+}
+
+/// Elaboration failure: the plan's symbolic stream layout does not
+/// instantiate cleanly at this problem size / host store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElabError {
+    /// `last_s - first_s` is not a multiple of `increment_s` at a pipe
+    /// head: the pipe's element walk does not close.
+    MisalignedPipe { stream: String, head: Vec<i64> },
+    /// `last_s` precedes `first_s` along `increment_s`.
+    ReversedPipe { stream: String, head: Vec<i64> },
+    /// A stream names a variable absent from the host store.
+    MissingVariable { variable: String },
+    /// A pipe element falls outside its variable's array bounds.
+    ElementOutOfBounds { variable: String, element: Vec<i64> },
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::MisalignedPipe { stream, head } => write!(
+                f,
+                "stream {stream}: pipe at {} has ends not aligned with increment_s",
+                point::fmt_point(head)
+            ),
+            ElabError::ReversedPipe { stream, head } => write!(
+                f,
+                "stream {stream}: pipe at {} has last_s preceding first_s",
+                point::fmt_point(head)
+            ),
+            ElabError::MissingVariable { variable } => {
+                write!(f, "no host array named {variable}")
+            }
+            ElabError::ElementOutOfBounds { variable, element } => write!(
+                f,
+                "element {} outside the bounds of host array {variable}",
+                point::fmt_point(element)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// Where an output buffer's values must be restored after a run.
+#[derive(Clone, Debug)]
+pub struct OutputSpec {
+    pub variable: String,
+    /// Element identities, in arrival order.
+    pub elements: Vec<Vec<i64>>,
+    /// Index into [`systolic_runtime::Instance::outputs`].
+    pub output: u32,
+}
+
+/// The elaborated network: the lowered module plus the host-side maps
+/// needed to seed and read back a run.
+pub struct Elaborated {
+    pub module: Arc<ProcIrModule>,
+    pub outputs: Vec<OutputSpec>,
+    pub census: Census,
+    /// Per (stream index, process-space point): the channel into and out
+    /// of the process at that point — the map behind `s_chan[y]`
+    /// (Appendix C). Used by the space-time tracer.
+    pub endpoints: Vec<(usize, Vec<i64>, ChanId, ChanId)>,
+    /// The computation process lowered at each CS point, for consumers
+    /// that align plan-derived shapes with the bytecode (`runtime_gen`).
+    pub comp_at: Vec<(Vec<i64>, ProcId)>,
+}
+
+/// Adapts the plan's [`BasicStatement`] to the runtime's opaque
+/// [`ComputeBody`] (the runtime crate knows nothing about expression
+/// trees).
+struct BodyAdapter(Arc<BasicStatement>);
+
+impl ComputeBody for BodyAdapter {
+    fn execute(&self, locals: &mut [Value], x: &[i64]) {
+        self.0.execute(locals, x)
     }
 }
 
@@ -129,14 +197,14 @@ impl PsIndex {
     }
 }
 
-/// Build the process network for `plan` at the problem size bound in
-/// `env`, reading initial stream data from `store`.
+/// Lower `plan` at the problem size bound in `env` to a [`ProcIrModule`],
+/// reading initial stream data from `store`.
 pub fn elaborate(
     plan: &SystolicProgram,
     env: &Env,
     store: &HostStore,
     opts: &ElabOptions,
-) -> Elaborated {
+) -> Result<Elaborated, ElabError> {
     let ps = plan.ps_box(env);
     let in_ps = |p: &[i64]| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
     let ps_points = plan.ps_points(env);
@@ -146,10 +214,10 @@ pub fn elaborate(
     // `bind_coords` overwrites the previous point's coordinates.
     let mut env_y = env.clone();
     // The basic statement is identical at every computation process.
-    let body = std::sync::Arc::new(plan.source.body.clone());
+    let body: Arc<dyn ComputeBody> = Arc::new(BodyAdapter(Arc::new(plan.source.body.clone())));
 
     let mut chans = ChanAlloc(0);
-    let mut procs: Vec<Box<dyn Process>> = Vec::new();
+    let mut b = ProcIrBuilder::new();
     let mut outputs = Vec::new();
     let mut census = Census::default();
     // [stream][PS offset] -> (in_chan, out_chan); every in-PS point of
@@ -176,6 +244,11 @@ pub fn elaborate(
         } else {
             0
         };
+        let var = store
+            .try_get(&sp.name)
+            .ok_or_else(|| ElabError::MissingVariable {
+                variable: sp.name.clone(),
+            })?;
         let mut pipe_ios: Vec<PipeIo> = Vec::new();
         for head in &ps_points {
             if in_ps(&point::sub(head, u)) {
@@ -194,9 +267,18 @@ pub fn elaborate(
             let last_s = SystolicProgram::stream_point_bound(&sp.last_s, &env_y);
             let (elements, n) = match (first_s, last_s) {
                 (Some(f), Some(l)) => {
-                    let k = point::exact_div(&point::sub(&l, &f), &sp.increment_s)
-                        .expect("pipe ends not aligned with increment_s");
-                    assert!(k >= 0, "last_s precedes first_s");
+                    let k = point::exact_div(&point::sub(&l, &f), &sp.increment_s).ok_or_else(
+                        || ElabError::MisalignedPipe {
+                            stream: sp.name.clone(),
+                            head: head.clone(),
+                        },
+                    )?;
+                    if k < 0 {
+                        return Err(ElabError::ReversedPipe {
+                            stream: sp.name.clone(),
+                            head: head.clone(),
+                        });
+                    }
                     let elems: Vec<Vec<i64>> = (0..=k)
                         .map(|t| point::add(&f, &point::scale(t, &sp.increment_s)))
                         .collect();
@@ -216,12 +298,12 @@ pub fn elaborate(
             for z in &chain {
                 for r in 0..relays {
                     let nxt = chans.next();
-                    procs.push(Box::new(RelayProc::new(
+                    b.relay(
                         prev,
                         nxt,
                         n.max(0) as usize,
                         format!("buf{r}:{}@{}", sp.name, point::fmt_point(z)),
-                    )));
+                    );
                     census.internal_buffers += 1;
                     prev = nxt;
                 }
@@ -229,8 +311,16 @@ pub fn elaborate(
                 endpoint[sp.id.0][psidx.at(z)] = (prev, out);
                 prev = out;
             }
-            let var = store.get(&sp.name);
-            let values: Vec<i64> = elements.iter().map(|e| var.get(e)).collect();
+            let values = elements
+                .iter()
+                .map(|e| {
+                    var.checked_get(e)
+                        .ok_or_else(|| ElabError::ElementOutOfBounds {
+                            variable: sp.name.clone(),
+                            element: e.clone(),
+                        })
+                })
+                .collect::<Result<Vec<i64>, ElabError>>()?;
             pipe_ios.push(PipeIo {
                 entry,
                 exit: prev,
@@ -257,75 +347,53 @@ pub fn elaborate(
                     }
                 }
             }
-            procs.push(Box::new(ScriptedSource::new(
-                sends,
-                format!("in:{}", sp.name),
-            )));
-            let buffer = sink_buffer();
-            procs.push(Box::new(ScriptedSink::new(
-                recvs,
-                buffer.clone(),
-                format!("out:{}", sp.name),
-            )));
+            b.scripted_source(&sends, format!("in:{}", sp.name));
+            let (_, out) = b.scripted_sink(&recvs, format!("out:{}", sp.name));
             census.inputs += 1;
             census.outputs += 1;
-            outputs.push(OutputBinding {
+            outputs.push(OutputSpec {
                 variable: sp.name.clone(),
                 elements: merged_elems,
-                buffer,
+                output: out,
             });
         } else {
             for p in pipe_ios {
-                procs.push(Box::new(SourceProc::new(
+                b.source(
                     p.entry,
-                    p.values,
+                    &p.values,
                     format!("in:{}@{}", sp.name, point::fmt_point(&p.head)),
-                )));
+                );
                 census.inputs += 1;
-                let buffer = sink_buffer();
-                procs.push(Box::new(SinkProc::new(
+                let (_, out) = b.sink(
                     p.exit,
                     p.elements.len(),
-                    buffer.clone(),
                     format!("out:{}@{}", sp.name, point::fmt_point(&p.tail)),
-                )));
+                );
                 census.outputs += 1;
-                outputs.push(OutputBinding {
+                outputs.push(OutputSpec {
                     variable: sp.name.clone(),
                     elements: p.elements,
-                    buffer,
+                    output: out,
                 });
             }
         }
     }
 
     // Processes at every PS point.
+    let mut comp_at = Vec::new();
     for y in &ps_points {
         let yi = psidx.at(y);
         plan.bind_coords(&mut env_y, y);
         if let Some(first) = plan.first_bound(&env_y) {
-            // Computation process.
+            // Computation process: the canonical load / soak / repeater /
+            // drain / recover shape of Appendix C–E.
             let count = plan.count_bound(&env_y);
-            let mut instrs = Vec::new();
-            let mut moving = Vec::new();
-            // Loads.
-            for sp in &plan.streams {
-                if let StreamKind::Stationary { .. } = sp.kind {
-                    let (ic, oc) = endpoint[sp.id.0][yi];
-                    let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
-                    instrs.push(Instr::RecvKeep {
-                        slot: sp.id.0,
-                        chan: ic,
-                    });
-                    instrs.push(Instr::PassN {
-                        in_chan: ic,
-                        out_chan: oc,
-                        n: drain,
-                    });
-                }
-            }
-            // Soaks (paper protocol) or escort processes (split
-            // propagation).
+            // Pre-pass over the moving streams: split propagation's escort
+            // relays are separate processes and lower before the
+            // computation process opens; the paper protocol's soaks are
+            // ops queued for it.
+            let mut moving: Vec<MovingLink> = Vec::new();
+            let mut soaks: Vec<ProcOp> = Vec::new();
             for sp in &plan.streams {
                 if sp.kind == StreamKind::Moving {
                     let (ic, oc) = endpoint[sp.id.0][yi];
@@ -335,53 +403,77 @@ pub fn elaborate(
                         let cs = chans.next(); // splitter -> comp
                         let cm = chans.next(); // comp -> merger
                         let sm = chans.next(); // splitter -> merger
-                        procs.push(Box::new(systolic_runtime::SegmentRelay::new(
-                            vec![
+                        b.segment_relay(
+                            &[
                                 (ic, sm, soak.max(0) as usize),
                                 (ic, cs, count.max(0) as usize),
                                 (ic, sm, drain.max(0) as usize),
                             ],
                             format!("split:{}@{}", sp.name, point::fmt_point(y)),
-                        )));
-                        procs.push(Box::new(systolic_runtime::SegmentRelay::new(
-                            vec![
+                        );
+                        b.segment_relay(
+                            &[
                                 (sm, oc, soak.max(0) as usize),
                                 (cm, oc, count.max(0) as usize),
                                 (sm, oc, drain.max(0) as usize),
                             ],
                             format!("merge:{}@{}", sp.name, point::fmt_point(y)),
-                        )));
+                        );
                         census.escorts += 2;
-                        moving.push(MovingChans {
-                            slot: sp.id.0,
-                            in_chan: cs,
-                            out_chan: cm,
+                        moving.push(MovingLink {
+                            slot: sp.id.0 as u32,
+                            inp: cs,
+                            out: cm,
                         });
                     } else {
-                        instrs.push(Instr::PassN {
-                            in_chan: ic,
-                            out_chan: oc,
-                            n: soak,
+                        soaks.push(ProcOp::Pass {
+                            inp: ic,
+                            out: oc,
+                            n: soak.max(0) as u32,
                         });
-                        moving.push(MovingChans {
-                            slot: sp.id.0,
-                            in_chan: ic,
-                            out_chan: oc,
+                        moving.push(MovingLink {
+                            slot: sp.id.0 as u32,
+                            inp: ic,
+                            out: oc,
                         });
                     }
                 }
             }
-            instrs.push(Instr::Compute);
+            b.begin(format!("comp@{}", point::fmt_point(y)));
+            // Loads.
+            for sp in &plan.streams {
+                if let StreamKind::Stationary { .. } = sp.kind {
+                    let (ic, oc) = endpoint[sp.id.0][yi];
+                    let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
+                    b.op(ProcOp::Keep {
+                        chan: ic,
+                        slot: sp.id.0 as u32,
+                    });
+                    b.op(ProcOp::Pass {
+                        inp: ic,
+                        out: oc,
+                        n: drain.max(0) as u32,
+                    });
+                }
+            }
+            // Soaks (paper protocol; escorts already handle them under
+            // split propagation).
+            for op in &soaks {
+                b.op(*op);
+            }
+            b.op(ProcOp::Compute {
+                count: count.max(0) as u32,
+            });
             // Drains (paper protocol only; escorts already handle them).
             if !opts.split_propagation {
                 for sp in &plan.streams {
                     if sp.kind == StreamKind::Moving {
                         let (ic, oc) = endpoint[sp.id.0][yi];
                         let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
-                        instrs.push(Instr::PassN {
-                            in_chan: ic,
-                            out_chan: oc,
-                            n: drain,
+                        b.op(ProcOp::Pass {
+                            inp: ic,
+                            out: oc,
+                            n: drain.max(0) as u32,
                         });
                     }
                 }
@@ -391,27 +483,20 @@ pub fn elaborate(
                 if let StreamKind::Stationary { .. } = sp.kind {
                     let (ic, oc) = endpoint[sp.id.0][yi];
                     let soak = SystolicProgram::stream_count_bound(&sp.soak, &env_y);
-                    instrs.push(Instr::PassN {
-                        in_chan: ic,
-                        out_chan: oc,
-                        n: soak,
+                    b.op(ProcOp::Pass {
+                        inp: ic,
+                        out: oc,
+                        n: soak.max(0) as u32,
                     });
-                    instrs.push(Instr::SendLocal {
-                        slot: sp.id.0,
+                    b.op(ProcOp::Eject {
                         chan: oc,
+                        slot: sp.id.0 as u32,
                     });
                 }
             }
-            procs.push(Box::new(CompProc::new(
-                instrs,
-                plan.streams.len(),
-                body.clone(),
-                moving,
-                first,
-                plan.increment.clone(),
-                count,
-                format!("comp@{}", point::fmt_point(y)),
-            )));
+            b.repeater(&moving, &first, &plan.increment, plan.streams.len() as u32);
+            let pid = b.finish();
+            comp_at.push((y.clone(), pid));
             census.computation += 1;
         } else {
             // Null process: external buffer, one relay per stream
@@ -420,12 +505,12 @@ pub fn elaborate(
             for sp in &plan.streams {
                 let (ic, oc) = endpoint[sp.id.0][yi];
                 let n = pipe_n[sp.id.0][yi];
-                procs.push(Box::new(RelayProc::new(
+                b.relay(
                     ic,
                     oc,
                     n.max(0) as usize,
                     format!("extbuf:{}@{}", sp.name, point::fmt_point(y)),
-                )));
+                );
                 census.external_buffers += 1;
             }
         }
@@ -444,12 +529,13 @@ pub fn elaborate(
             })
         })
         .collect();
-    Elaborated {
-        procs,
+    Ok(Elaborated {
+        module: b.build(Some(body)),
         outputs,
         census,
         endpoints,
-    }
+        comp_at,
+    })
 }
 
 #[cfg(test)]
@@ -475,7 +561,7 @@ mod tests {
         let mut env = Env::new();
         env.bind(plan.source.sizes[0], n);
         let store = HostStore::allocate(&plan.source, &env);
-        let el = elaborate(&plan, &env, &store, &ElabOptions::default());
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
         // n+1 computation processes; 3 pipes (one per stream, 1-D);
         // b has denominator 2 -> one internal buffer per column.
         assert_eq!(el.census.computation, (n + 1) as usize);
@@ -492,7 +578,7 @@ mod tests {
         let mut env = Env::new();
         env.bind(plan.source.sizes[0], n);
         let store = HostStore::allocate(&plan.source, &env);
-        let el = elaborate(&plan, &env, &store, &ElabOptions::default());
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
         let side = 2 * n + 1;
         let ps = (side * side) as usize;
         // CS: |col - row| <= n band.
@@ -519,7 +605,7 @@ mod tests {
             let mut env = Env::new();
             env.bind(plan.source.sizes[0], 3);
             let store = HostStore::allocate(&plan.source, &env);
-            let el = elaborate(&plan, &env, &store, &ElabOptions::default());
+            let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
             assert_eq!(el.census.inputs, el.census.outputs, "{label}");
             let ps_count = plan.ps_points(&env).len();
             assert_eq!(
@@ -535,7 +621,7 @@ mod tests {
             // Total processes = comp + null buffers + internal buffers
             // + escorts + inputs + outputs.
             assert_eq!(
-                el.procs.len(),
+                el.module.procs.len(),
                 el.census.computation
                     + el.census.external_buffers
                     + el.census.internal_buffers
@@ -544,7 +630,30 @@ mod tests {
                     + el.census.outputs,
                 "{label}"
             );
+            // Every comp point's bytecode ends in exactly one Compute op.
+            for (y, pid) in &el.comp_at {
+                let computes = el
+                    .module
+                    .ops_of(*pid)
+                    .iter()
+                    .filter(|op| matches!(op, ProcOp::Compute { .. }))
+                    .count();
+                assert_eq!(computes, 1, "{label}: comp at {y:?}");
+            }
         }
+    }
+
+    #[test]
+    fn missing_variable_is_a_structured_error() {
+        let plan = plan_of(paper::polyprod_d1());
+        let mut env = Env::new();
+        env.bind(plan.source.sizes[0], 2);
+        let store = HostStore::new(); // nothing allocated
+        let Err(err) = elaborate(&plan, &env, &store, &ElabOptions::default()) else {
+            panic!("elaboration must fail without host arrays");
+        };
+        assert!(matches!(err, ElabError::MissingVariable { .. }));
+        assert!(err.to_string().contains("no host array"));
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! experiments (hand translations run on transputer networks and a
 //! Symult s2010).
 
-use crate::elaborate::{elaborate, ElabOptions, Elaborated};
+use crate::elaborate::{elaborate, ElabError, ElabOptions, Elaborated, OutputSpec};
 use std::time::Duration;
 use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
-use systolic_runtime::{run_threaded, ChannelPolicy, Network, RunError, RunStats};
+use systolic_runtime::{run_threaded, ChannelPolicy, Network, RunError, RunStats, SinkBuffer};
 
 /// Outcome of a systolic run.
 pub struct SystolicRun {
@@ -21,7 +21,10 @@ pub struct SystolicRun {
 /// Why executing an elaborated plan failed.
 #[derive(Debug)]
 pub enum ExecError {
-    /// The network stopped early: deadlock or a protocol violation.
+    /// The plan did not instantiate at this problem size / host store.
+    Elab(ElabError),
+    /// The network stopped early: deadlock, protocol violation, timeout,
+    /// or an aborted worker.
     Run(RunError),
     /// An output pipe delivered a different number of elements than the
     /// plan's output map expects — a plan/elaboration bug, diagnosed
@@ -36,6 +39,7 @@ pub enum ExecError {
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ExecError::Elab(e) => e.fmt(f),
             ExecError::Run(e) => e.fmt(f),
             ExecError::ShortOutput {
                 variable,
@@ -57,12 +61,21 @@ impl From<RunError> for ExecError {
     }
 }
 
+impl From<ElabError> for ExecError {
+    fn from(e: ElabError) -> Self {
+        ExecError::Elab(e)
+    }
+}
+
+/// Restore every output buffer of a finished run into the host store,
+/// following the element maps of the [`OutputSpec`]s.
 fn writeback(
-    outputs: &[crate::elaborate::OutputBinding],
+    outputs: &[OutputSpec],
+    buffers: &[SinkBuffer],
     store: &mut HostStore,
 ) -> Result<(), ExecError> {
     for out in outputs {
-        let values = out.buffer.lock();
+        let values = buffers[out.output as usize].lock();
         if values.len() != out.elements.len() {
             return Err(ExecError::ShortOutput {
                 variable: out.variable.clone(),
@@ -88,18 +101,19 @@ pub fn run_plan(
     opts: &ElabOptions,
 ) -> Result<SystolicRun, ExecError> {
     let Elaborated {
-        procs,
+        module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, opts);
+    } = elaborate(plan, env, store, opts)?;
+    let inst = module.instantiate();
     let mut net = Network::new(policy);
-    for p in procs {
+    for p in inst.procs {
         net.add(p);
     }
     let stats = net.run()?;
     let mut result = store.clone();
-    writeback(&outputs, &mut result)?;
+    writeback(&outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
@@ -113,16 +127,17 @@ pub fn run_plan_threaded(
     env: &Env,
     store: &HostStore,
     timeout: Duration,
-) -> Result<SystolicRun, String> {
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
-        procs,
+        module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, &ElabOptions::default());
-    let stats = run_threaded(procs, timeout)?;
+    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    let inst = module.instantiate();
+    let stats = run_threaded(inst.procs, timeout)?;
     let mut result = store.clone();
-    writeback(&outputs, &mut result).map_err(|e| e.to_string())?;
+    writeback(&outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
@@ -139,17 +154,18 @@ pub fn run_plan_partitioned(
     store: &HostStore,
     workers: usize,
     timeout: Duration,
-) -> Result<SystolicRun, String> {
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
-        procs,
+        module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, &ElabOptions::default());
-    let groups = systolic_runtime::block_partition(procs.len(), workers);
-    let stats = systolic_runtime::run_partitioned(procs, groups, timeout)?;
+    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    let inst = module.instantiate();
+    let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
+    let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)?;
     let mut result = store.clone();
-    writeback(&outputs, &mut result).map_err(|e| e.to_string())?;
+    writeback(&outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
@@ -253,6 +269,31 @@ mod tests {
             verify_equivalence(&plan, &env, &["a", "b"], 200 + n as u64)
                 .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
+    }
+
+    #[test]
+    fn one_elaboration_backs_many_runs() {
+        // The module is immutable: instantiate twice, run twice, get the
+        // same stats and outputs (the Arc<ProcIrModule> caching story).
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let env = size_env(&plan, 4);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        store.fill_random("a", 3, -9, 9);
+        store.fill_random("b", 4, -9, 9);
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let inst = el.module.instantiate();
+            let mut net = Network::new(ChannelPolicy::Rendezvous);
+            for pr in inst.procs {
+                net.add(pr);
+            }
+            let stats = net.run().unwrap();
+            let bufs: Vec<Vec<i64>> = inst.outputs.iter().map(|b| b.lock().clone()).collect();
+            runs.push((stats, bufs));
+        }
+        assert_eq!(runs[0], runs[1]);
     }
 
     #[test]
@@ -380,19 +421,19 @@ mod tests {
 
     #[test]
     fn short_output_pipe_is_a_descriptive_error() {
-        // A binding expecting two elements whose pipe delivered one.
+        // A spec expecting two elements whose pipe delivered one.
         let (p, a) = paper::polyprod_d1();
         let plan = compile(&p, &a, &Options::default()).unwrap();
         let env = size_env(&plan, 2);
         let mut store = HostStore::allocate(&plan.source, &env);
         let buffer = systolic_runtime::sink_buffer();
         buffer.lock().push(7);
-        let outputs = vec![crate::elaborate::OutputBinding {
+        let outputs = vec![OutputSpec {
             variable: "c".into(),
             elements: vec![vec![0], vec![1]],
-            buffer,
+            output: 0,
         }];
-        let err = writeback(&outputs, &mut store).unwrap_err();
+        let err = writeback(&outputs, &[buffer], &mut store).unwrap_err();
         let ExecError::ShortOutput {
             variable,
             got,

@@ -4,14 +4,12 @@
 //! between the symbolic plan (`systolic-core`) and the simulated
 //! distributed-memory machine (`systolic-runtime`).
 //!
-//! - [`comp`] — the computation-process virtual machine (the canonical
-//!   load / soak / repeater / drain / recover program shape);
 //! - [`elaborate`] — pipe construction, channel allocation, buffer
-//!   insertion at a concrete problem size;
-//! - [`exec`] — running plans on either executor and verifying
+//!   insertion at a concrete problem size, lowering every process to the
+//!   flat `ProcIR` bytecode (`systolic_runtime::ProcIrModule`);
+//! - [`exec`] — running plans on any executor and verifying
 //!   observational equivalence with the sequential reference.
 
-pub mod comp;
 pub mod describe;
 pub mod elaborate;
 pub mod exec;
@@ -20,7 +18,7 @@ pub mod rustgen;
 pub mod trace;
 
 pub use describe::describe;
-pub use elaborate::{elaborate, Census, ElabOptions, Elaborated, OutputBinding};
+pub use elaborate::{elaborate, Census, ElabError, ElabOptions, Elaborated, OutputSpec};
 pub use exec::{
     run_plan, run_plan_partitioned, run_plan_threaded, verify_equivalence, verify_equivalence_with,
     ExecError, SystolicRun,

@@ -14,9 +14,11 @@
 //! outputs must agree with the compiled plan (tested), and the scan cost
 //! is what the benchmark compares against plan evaluation.
 
+use crate::elaborate::Elaborated;
 use std::collections::HashMap;
 use systolic_core::{StreamKind, SystolicProgram};
 use systolic_math::{point, Env};
+use systolic_runtime::{ChanId, ProcOp};
 
 /// Everything one process needs, derived by brute-force scan.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -149,11 +151,121 @@ pub fn agree_with_plan(plan: &SystolicProgram, env: &Env) -> Result<usize, Strin
     Ok(compared)
 }
 
+/// Check the scan against the *lowered bytecode*: for every computation
+/// process, the repeater count and the per-stream pass totals encoded in
+/// its [`ProcOp`] list must match what a run-time generator derives from
+/// the index space alone. This closes the loop scan → plan → ProcIR: the
+/// flat bytecode carries exactly the statically-determined trace.
+/// Returns the number of computation processes compared.
+pub fn agree_with_procir(
+    plan: &SystolicProgram,
+    env: &Env,
+    el: &Elaborated,
+) -> Result<usize, String> {
+    let (scanned, _) = scan(plan, env);
+    let module = &el.module;
+    let mut compared = 0;
+    for (y, pid) in &el.comp_at {
+        let sp = scanned
+            .get(y)
+            .ok_or_else(|| format!("comp process at {y:?} missing from the scan"))?;
+        let ops = module.ops_of(*pid);
+        let moving = module.moving_of(*pid);
+        // Decode the op list: pass totals per input channel, split at the
+        // repeater, plus the keep channel of each stationary slot.
+        let mut keep_chan: HashMap<u32, ChanId> = HashMap::new();
+        let mut pre: HashMap<ChanId, i64> = HashMap::new();
+        let mut post: HashMap<ChanId, i64> = HashMap::new();
+        let mut count: Option<u32> = None;
+        for op in ops {
+            match *op {
+                ProcOp::Keep { chan, slot } => {
+                    keep_chan.insert(slot, chan);
+                }
+                ProcOp::Pass { inp, n, .. } => {
+                    *if count.is_some() {
+                        post.entry(inp)
+                    } else {
+                        pre.entry(inp)
+                    }
+                    .or_default() += n as i64;
+                }
+                ProcOp::Compute { count: c } => count = Some(c),
+                ProcOp::Eject { .. } | ProcOp::Emit { .. } | ProcOp::Collect { .. } => {}
+            }
+        }
+        let count = count.ok_or_else(|| format!("no repeater in the ops of comp at {y:?}"))?;
+        if count as usize != sp.chord.len() {
+            return Err(format!(
+                "repeater count at {y:?}: bytecode {count} vs scanned chord {}",
+                sp.chord.len()
+            ));
+        }
+        for (k, spn) in plan.streams.iter().enumerate() {
+            let (s, _, d) = sp.propagation[k];
+            let at = |m: &HashMap<ChanId, i64>, c: ChanId| m.get(&c).copied().unwrap_or(0);
+            match spn.kind {
+                StreamKind::Moving => {
+                    let link = moving
+                        .iter()
+                        .find(|l| l.slot == k as u32)
+                        .ok_or_else(|| format!("stream {} has no moving link at {y:?}", spn.name))?;
+                    if (at(&pre, link.inp), at(&post, link.inp)) != (s, d) {
+                        return Err(format!(
+                            "stream {} at {y:?}: bytecode soak/drain ({},{}) vs scan ({s},{d})",
+                            spn.name,
+                            at(&pre, link.inp),
+                            at(&post, link.inp)
+                        ));
+                    }
+                }
+                StreamKind::Stationary { .. } => {
+                    // Load passes the `drain` later elements through; the
+                    // recovery passes the `soak` earlier ones before the
+                    // eject.
+                    let chan = *keep_chan
+                        .get(&(k as u32))
+                        .ok_or_else(|| format!("stream {} has no keep at {y:?}", spn.name))?;
+                    if (at(&pre, chan), at(&post, chan)) != (d, s) {
+                        return Err(format!(
+                            "stationary {} at {y:?}: bytecode load/recover passes ({},{}) vs scan ({d},{s})",
+                            spn.name,
+                            at(&pre, chan),
+                            at(&post, chan)
+                        ));
+                    }
+                }
+            }
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elaborate::{elaborate, ElabOptions};
     use systolic_core::{compile, Options};
+    use systolic_ir::HostStore;
     use systolic_synthesis::placement::paper;
+
+    #[test]
+    fn scan_agrees_with_the_lowered_bytecode_on_all_designs() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            for n in [2i64, 4] {
+                let mut env = Env::new();
+                env.bind(p.sizes[0], n);
+                let store = HostStore::allocate(&p, &env);
+                let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+                let compared = agree_with_procir(&plan, &env, &el)
+                    .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+                assert_eq!(compared, el.comp_at.len());
+                assert!(compared > 0);
+            }
+        }
+    }
 
     #[test]
     fn scan_agrees_with_the_compiled_plan_on_all_designs() {

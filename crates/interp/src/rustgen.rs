@@ -16,14 +16,18 @@
 //! so the generated program's sequentialized sends (a thread cannot
 //! offer a `par` set) stay deadlock-free where the abstract program is.
 //!
-//! The network topology below mirrors [`crate::elaborate`]; the two are
-//! kept in sync by the end-to-end tests (same pipes, same counts).
+//! The generator is a [`ProcIrModule`] walker: the plan is elaborated
+//! once and each bytecode op renders to the corresponding thread code,
+//! so the emitted network is the simulated network *by construction* —
+//! there is no second topology derivation to keep in sync.
 
-use std::collections::HashMap;
+use crate::elaborate::{elaborate, ElabOptions};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
-use systolic_core::{StreamKind, SystolicProgram};
+use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore, ScalarExpr, SourceProgram};
-use systolic_math::{point, Env};
+use systolic_math::Env;
+use systolic_runtime::ProcOp;
 
 /// Render the basic statement body as Rust over locals `l0..` and the
 /// index point `x`.
@@ -93,230 +97,164 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
     let mut expected = store.clone();
     seq::run(&plan.source, env, &mut expected);
 
-    let ps = plan.ps_box(env);
-    let in_ps = |p: &[i64]| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
-    let ps_points = plan.ps_points(env);
+    let el = elaborate(plan, env, &store, &ElabOptions::default())
+        .expect("plan elaborates at the generation size");
+    let module = &el.module;
 
-    let mut next_chan = 0usize;
-    let mut alloc = || {
-        let c = next_chan;
-        next_chan += 1;
-        c
-    };
-    let mut endpoint: HashMap<(usize, Vec<i64>), (usize, usize)> = HashMap::new();
-    let mut pipe_n: HashMap<(usize, Vec<i64>), i64> = HashMap::new();
+    // Output-buffer index -> expected values (sequential reference).
+    let expect_of: HashMap<u32, Vec<i64>> = el
+        .outputs
+        .iter()
+        .map(|spec| {
+            let vals = spec
+                .elements
+                .iter()
+                .map(|e| expected.get(&spec.variable).get(e))
+                .collect();
+            (spec.output, vals)
+        })
+        .collect();
 
-    // Process bodies, emitted after channel count is known.
     let mut bodies: Vec<String> = Vec::new();
-    // (output name label, channel, expected values)
-    let mut checks: Vec<(String, usize, Vec<i64>)> = Vec::new();
+    for pid in 0..module.procs.len() {
+        let rec = &module.procs[pid];
+        let ops = module.ops_of(pid);
+        let data = module.data_of(pid);
+        let moving = module.moving_of(pid);
 
-    for sp in &plan.streams {
-        let relays = sp.denominator - 1;
-        for head in &ps_points {
-            if in_ps(&point::sub(head, &sp.unit_flow)) {
-                continue;
-            }
-            let mut chain = Vec::new();
-            let mut z = head.clone();
-            while in_ps(&z) {
-                chain.push(z.clone());
-                z = point::add(&z, &sp.unit_flow);
-            }
-            let first_s = plan.stream_point_at(&sp.first_s, env, head);
-            let last_s = plan.stream_point_at(&sp.last_s, env, head);
-            let elements: Vec<Vec<i64>> = match (first_s, last_s) {
-                (Some(f), Some(l)) => {
-                    let k = point::exact_div(&point::sub(&l, &f), &sp.increment_s).unwrap();
-                    (0..=k)
-                        .map(|t| point::add(&f, &point::scale(t, &sp.increment_s)))
-                        .collect()
+        // The channel handles this thread owns, from the ops themselves.
+        let mut rx_chans = BTreeSet::new();
+        let mut tx_chans = BTreeSet::new();
+        for op in ops {
+            match *op {
+                ProcOp::Emit { chan } => {
+                    tx_chans.insert(chan);
                 }
-                _ => Vec::new(),
-            };
-            let n = elements.len() as i64;
-            for z in &chain {
-                pipe_n.insert((sp.id.0, z.clone()), n);
-            }
-
-            // Input thread.
-            let values: Vec<i64> = elements
-                .iter()
-                .map(|e| store.get(&sp.name).get(e))
-                .collect();
-            let mut prev = alloc();
-            let mut b = String::new();
-            let _ = writeln!(b, "    // input {}@{}", sp.name, point::fmt_point(head));
-            let _ = writeln!(b, "    {{");
-            let _ = writeln!(b, "        let tx = senders[{prev}].take().unwrap();");
-            let _ = writeln!(b, "        handles.push(thread::spawn(move || {{");
-            let _ = writeln!(
-                b,
-                "            for v in {values:?} {{ tx.send(v).unwrap(); }}"
-            );
-            let _ = writeln!(b, "        }}));");
-            let _ = writeln!(b, "    }}");
-            bodies.push(b);
-
-            for z in &chain {
-                for _ in 0..relays {
-                    let nxt = alloc();
-                    let mut b = String::new();
-                    let _ = writeln!(b, "    // relay {}@{}", sp.name, point::fmt_point(z));
-                    let _ = writeln!(b, "    {{");
-                    let _ = writeln!(b, "        let rx = receivers[{prev}].take().unwrap();");
-                    let _ = writeln!(b, "        let tx = senders[{nxt}].take().unwrap();");
-                    let _ = writeln!(b, "        handles.push(thread::spawn(move || {{");
-                    let _ = writeln!(
-                        b,
-                        "            for _ in 0..{n} {{ tx.send(rx.recv().unwrap()).unwrap(); }}"
-                    );
-                    let _ = writeln!(b, "        }}));");
-                    let _ = writeln!(b, "    }}");
-                    bodies.push(b);
-                    prev = nxt;
+                ProcOp::Collect { chan } | ProcOp::Keep { chan, .. } => {
+                    rx_chans.insert(chan);
                 }
-                let out_c = alloc();
-                endpoint.insert((sp.id.0, z.clone()), (prev, out_c));
-                prev = out_c;
+                ProcOp::Pass { inp, out, .. } => {
+                    rx_chans.insert(inp);
+                    tx_chans.insert(out);
+                }
+                ProcOp::Eject { chan, .. } => {
+                    tx_chans.insert(chan);
+                }
+                ProcOp::Compute { .. } => {
+                    for l in moving {
+                        rx_chans.insert(l.inp);
+                        tx_chans.insert(l.out);
+                    }
+                }
             }
-
-            // Output thread: collect and check against the expected
-            // sequential results.
-            let expect: Vec<i64> = elements
-                .iter()
-                .map(|e| expected.get(&sp.name).get(e))
-                .collect();
-            checks.push((
-                format!("{}@{}", sp.name, point::fmt_point(head)),
-                prev,
-                expect,
-            ));
         }
-    }
 
-    // Process-space threads.
-    for y in &ps_points {
-        if let Some(first) = plan.first_at(env, y) {
-            let count = plan.count_at(env, y);
-            let mut b = String::new();
-            let _ = writeln!(b, "    // computation @{}", point::fmt_point(y));
-            let _ = writeln!(b, "    {{");
-            // Take the channel handles this process uses.
-            for sp in &plan.streams {
-                let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                let _ = writeln!(
-                    b,
-                    "        let rx{} = receivers[{ic}].take().unwrap();",
-                    sp.id.0
-                );
-                let _ = writeln!(
-                    b,
-                    "        let tx{} = senders[{oc}].take().unwrap();",
-                    sp.id.0
-                );
-            }
-            let _ = writeln!(b, "        handles.push(thread::spawn(move || {{");
-            for k in 0..plan.streams.len() {
-                let _ = writeln!(b, "            let mut l{k}: i64 = 0;");
-            }
-            let _ = writeln!(b, "            #[allow(unused_mut, unused_variables)]");
-            let _ = writeln!(b, "            let mut x: [i64; {}] = {:?};", plan.r, first);
-            // Loads.
-            for sp in &plan.streams {
-                if matches!(sp.kind, StreamKind::Stationary { .. }) {
-                    let k = sp.id.0;
-                    let drain = plan.stream_count_at(&sp.drain, env, y);
-                    let _ = writeln!(b, "            l{k} = rx{k}.recv().unwrap(); // load");
-                    let _ = writeln!(
-                        b,
-                        "            for _ in 0..{drain} {{ tx{k}.send(rx{k}.recv().unwrap()).unwrap(); }}"
-                    );
-                }
-            }
-            // Soaks.
-            for sp in &plan.streams {
-                if sp.kind == StreamKind::Moving {
-                    let k = sp.id.0;
-                    let soak = plan.stream_count_at(&sp.soak, env, y);
-                    let _ = writeln!(
-                        b,
-                        "            for _ in 0..{soak} {{ tx{k}.send(rx{k}.recv().unwrap()).unwrap(); }} // soak"
-                    );
-                }
-            }
-            // The repeater.
-            let _ = writeln!(b, "            for _ in 0..{count} {{");
-            for sp in &plan.streams {
-                if sp.kind == StreamKind::Moving {
-                    let k = sp.id.0;
-                    let _ = writeln!(b, "                l{k} = rx{k}.recv().unwrap();");
-                }
-            }
-            rust_body(&plan.source, "                ", &mut b);
-            for sp in &plan.streams {
-                if sp.kind == StreamKind::Moving {
-                    let k = sp.id.0;
-                    let _ = writeln!(b, "                tx{k}.send(l{k}).unwrap();");
-                }
-            }
-            let _ = writeln!(
-                b,
-                "                for d in 0..{} {{ x[d] += {:?}[d]; }}",
-                plan.r, plan.increment
-            );
-            let _ = writeln!(b, "            }}");
-            // Drains.
-            for sp in &plan.streams {
-                if sp.kind == StreamKind::Moving {
-                    let k = sp.id.0;
-                    let drain = plan.stream_count_at(&sp.drain, env, y);
-                    let _ = writeln!(
-                        b,
-                        "            for _ in 0..{drain} {{ tx{k}.send(rx{k}.recv().unwrap()).unwrap(); }} // drain"
-                    );
-                }
-            }
-            // Recoveries.
-            for sp in &plan.streams {
-                if matches!(sp.kind, StreamKind::Stationary { .. }) {
-                    let k = sp.id.0;
-                    let soak = plan.stream_count_at(&sp.soak, env, y);
-                    let _ = writeln!(
-                        b,
-                        "            for _ in 0..{soak} {{ tx{k}.send(rx{k}.recv().unwrap()).unwrap(); }}"
-                    );
-                    let _ = writeln!(b, "            tx{k}.send(l{k}).unwrap(); // recover");
-                }
-            }
-            let _ = writeln!(b, "        }}));");
-            let _ = writeln!(b, "    }}");
-            bodies.push(b);
+        let is_sink = rec.output.is_some();
+        let mut b = String::new();
+        let _ = writeln!(b, "    // {}", module.label_of(pid));
+        let _ = writeln!(b, "    {{");
+        for &c in &rx_chans {
+            let _ = writeln!(b, "        let rx{c} = receivers[{c}].take().unwrap();");
+        }
+        for &c in &tx_chans {
+            let _ = writeln!(b, "        let tx{c} = senders[{c}].take().unwrap();");
+        }
+        if is_sink {
+            let _ = writeln!(b, "        let h = thread::spawn(move || {{");
+            let _ = writeln!(b, "            let mut out: Vec<i64> = Vec::new();");
         } else {
-            // Null process: per-stream relays.
-            for sp in &plan.streams {
-                let (ic, oc) = endpoint[&(sp.id.0, y.clone())];
-                let n = pipe_n[&(sp.id.0, y.clone())];
-                let mut b = String::new();
-                let _ = writeln!(
-                    b,
-                    "    // external buffer {}@{}",
-                    sp.name,
-                    point::fmt_point(y)
-                );
-                let _ = writeln!(b, "    {{");
-                let _ = writeln!(b, "        let rx = receivers[{ic}].take().unwrap();");
-                let _ = writeln!(b, "        let tx = senders[{oc}].take().unwrap();");
-                let _ = writeln!(b, "        handles.push(thread::spawn(move || {{");
-                let _ = writeln!(
-                    b,
-                    "            for _ in 0..{n} {{ tx.send(rx.recv().unwrap()).unwrap(); }}"
-                );
-                let _ = writeln!(b, "        }}));");
-                let _ = writeln!(b, "    }}");
-                bodies.push(b);
-            }
+            let _ = writeln!(b, "        handles.push(thread::spawn(move || {{");
         }
+        for k in 0..rec.n_locals {
+            let _ = writeln!(b, "            let mut l{k}: i64 = 0;");
+        }
+        if ops.iter().any(|op| matches!(op, ProcOp::Compute { .. })) {
+            let _ = writeln!(b, "            #[allow(unused_mut, unused_variables)]");
+            let _ = writeln!(
+                b,
+                "            let mut x: [i64; {}] = {:?};",
+                plan.r,
+                module.first_of(pid)
+            );
+        }
+
+        // Walk the bytecode; runs of `Emit` on one channel compress to a
+        // data loop.
+        let mut di = 0usize;
+        let mut i = 0usize;
+        while i < ops.len() {
+            match ops[i] {
+                ProcOp::Emit { chan } => {
+                    let mut vals = vec![data[di]];
+                    di += 1;
+                    while matches!(ops.get(i + 1), Some(ProcOp::Emit { chan: c }) if *c == chan) {
+                        i += 1;
+                        vals.push(data[di]);
+                        di += 1;
+                    }
+                    if vals.len() == 1 {
+                        let _ = writeln!(b, "            tx{chan}.send({}i64).unwrap();", vals[0]);
+                    } else {
+                        let _ = writeln!(
+                            b,
+                            "            for v in {vals:?} {{ tx{chan}.send(v).unwrap(); }}"
+                        );
+                    }
+                }
+                ProcOp::Collect { chan } => {
+                    let _ = writeln!(b, "            out.push(rx{chan}.recv().unwrap());");
+                }
+                ProcOp::Keep { chan, slot } => {
+                    let _ = writeln!(b, "            l{slot} = rx{chan}.recv().unwrap();");
+                }
+                ProcOp::Pass { inp, out, n } => {
+                    let _ = writeln!(
+                        b,
+                        "            for _ in 0..{n} {{ tx{out}.send(rx{inp}.recv().unwrap()).unwrap(); }}"
+                    );
+                }
+                ProcOp::Eject { chan, slot } => {
+                    let _ = writeln!(b, "            tx{chan}.send(l{slot}).unwrap();");
+                }
+                ProcOp::Compute { count } => {
+                    let _ = writeln!(b, "            for _ in 0..{count} {{");
+                    for l in moving {
+                        let _ = writeln!(
+                            b,
+                            "                l{} = rx{}.recv().unwrap();",
+                            l.slot, l.inp
+                        );
+                    }
+                    rust_body(&plan.source, "                ", &mut b);
+                    for l in moving {
+                        let _ = writeln!(b, "                tx{}.send(l{}).unwrap();", l.out, l.slot);
+                    }
+                    let _ = writeln!(
+                        b,
+                        "                for d in 0..{} {{ x[d] += {:?}[d]; }}",
+                        plan.r,
+                        module.increment_of(pid)
+                    );
+                    let _ = writeln!(b, "            }}");
+                }
+            }
+            i += 1;
+        }
+
+        if let Some(oi) = rec.output {
+            let expect = &expect_of[&oi];
+            let _ = writeln!(b, "            out");
+            let _ = writeln!(b, "        }});");
+            let _ = writeln!(
+                b,
+                "        outputs.push(({:?}, h, vec!{expect:?}));",
+                module.label_of(pid)
+            );
+        } else {
+            let _ = writeln!(b, "        }}));");
+        }
+        let _ = writeln!(b, "    }}");
+        bodies.push(b);
     }
 
     // Assemble the program.
@@ -334,7 +272,7 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
     let _ = writeln!(out, "use std::thread;");
     let _ = writeln!(out);
     let _ = writeln!(out, "fn main() {{");
-    let _ = writeln!(out, "    const NCHAN: usize = {next_chan};");
+    let _ = writeln!(out, "    const NCHAN: usize = {};", module.n_chans);
     let _ = writeln!(
         out,
         "    let mut senders: Vec<Option<std::sync::mpsc::SyncSender<i64>>> = Vec::new();"
@@ -355,21 +293,6 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
     );
     for b in &bodies {
         out.push_str(b);
-    }
-    for (label, chan, expect) in &checks {
-        let _ = writeln!(out, "    // output {label}");
-        let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "        let rx = receivers[{chan}].take().unwrap();");
-        let _ = writeln!(out, "        let expect: Vec<i64> = vec!{expect:?};");
-        let _ = writeln!(out, "        let count = expect.len();");
-        let _ = writeln!(out, "        let h = thread::spawn(move || {{");
-        let _ = writeln!(
-            out,
-            "            (0..count).map(|_| rx.recv().unwrap()).collect::<Vec<i64>>()"
-        );
-        let _ = writeln!(out, "        }});");
-        let _ = writeln!(out, "        outputs.push(({label:?}, h, expect));");
-        let _ = writeln!(out, "    }}");
     }
     let _ = writeln!(out, "    for h in handles {{ h.join().unwrap(); }}");
     let _ = writeln!(out, "    for (label, h, expect) in outputs {{");
@@ -402,9 +325,21 @@ mod tests {
         let src = generate_rust(&plan, &env, 7);
         assert!(src.contains("fn main()"));
         assert!(src.contains("sync_channel"));
-        assert!(src.contains("// computation @"));
+        assert!(src.contains("// comp@"));
         assert!(src.contains("l2 = (l2 + (l0 * l1));"));
         // Balanced braces.
         assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+
+    #[test]
+    fn generated_channel_count_is_the_module_channel_count() {
+        let (p, a) = paper::matmul_e1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 2);
+        let store = HostStore::allocate(&p, &env);
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+        let src = generate_rust(&plan, &env, 7);
+        assert!(src.contains(&format!("const NCHAN: usize = {};", el.module.n_chans)));
     }
 }

@@ -8,11 +8,12 @@
 //! designs) and per-round activity summaries for higher dimensions.
 
 use crate::elaborate::{elaborate, ElabOptions, Elaborated};
+use crate::exec::ExecError;
 use std::collections::HashMap;
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{ChannelPolicy, Network, RunError, TraceEvent};
+use systolic_runtime::{ChannelPolicy, Network, TraceEvent};
 
 /// One located transfer: stream, receiving process coordinates, round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,15 +32,15 @@ pub fn run_traced(
     plan: &SystolicProgram,
     env: &Env,
     store: &HostStore,
-) -> Result<(Vec<LocatedEvent>, u64), RunError> {
+) -> Result<(Vec<LocatedEvent>, u64), ExecError> {
     let Elaborated {
-        procs, endpoints, ..
-    } = elaborate(plan, env, store, &ElabOptions::default());
+        module, endpoints, ..
+    } = elaborate(plan, env, store, &ElabOptions::default())?;
     let mut net = Network::new(ChannelPolicy::Rendezvous);
-    for p in procs {
+    for p in module.instantiate().procs {
         net.add(p);
     }
-    let (stats, trace) = net.run_traced()?;
+    let (stats, trace) = net.run_traced().map_err(ExecError::Run)?;
     // chan -> (stream name, coords) for the *incoming* channel of each
     // process.
     let mut incoming: HashMap<usize, (String, Vec<i64>)> = HashMap::new();

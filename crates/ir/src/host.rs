@@ -83,6 +83,16 @@ impl HostArray {
         self.data[self.offset(p)]
     }
 
+    /// `get` without the bounds panic; `None` when `p` lies outside the
+    /// array.
+    pub fn checked_get(&self, p: &[i64]) -> Option<Value> {
+        if self.contains(p) {
+            Some(self.data[self.offset(p)])
+        } else {
+            None
+        }
+    }
+
     pub fn set(&mut self, p: &[i64], v: Value) {
         let off = self.offset(p);
         self.data[off] = v;
@@ -152,6 +162,11 @@ impl HostStore {
         self.arrays
             .get(name)
             .unwrap_or_else(|| panic!("no host array named {name}"))
+    }
+
+    /// `get` without the missing-variable panic.
+    pub fn try_get(&self, name: &str) -> Option<&HostArray> {
+        self.arrays.get(name)
     }
 
     pub fn get_mut(&mut self, name: &str) -> &mut HostArray {

@@ -104,11 +104,25 @@ impl std::fmt::Display for ProtocolViolation {
 
 impl std::error::Error for ProtocolViolation {}
 
-/// Why a network run stopped without completing.
+/// Why a network run stopped without completing. Shared by all three
+/// executors: the cooperative scheduler reports [`RunError::Deadlock`]
+/// exactly; the threaded executors bound rendezvous waits by a timeout
+/// instead ([`RunError::Timeout`]) and propagate peer failures as
+/// [`RunError::Aborted`].
 #[derive(Clone, Debug)]
 pub enum RunError {
     Deadlock(Deadlock),
     Protocol(ProtocolViolation),
+    /// A rendezvous wait outlived the executor's timeout budget; `scope`
+    /// names the blocked thread ("process 3", "group 1").
+    Timeout { scope: String },
+    /// A worker stopped because another thread failed first — a
+    /// secondary error, reported only when the primary diagnosis is lost.
+    Aborted,
+    /// A worker thread panicked.
+    Panicked { scope: String },
+    /// The requested partition is not a partition of the process set.
+    Partition { reason: String },
 }
 
 impl RunError {
@@ -116,7 +130,7 @@ impl RunError {
     pub fn as_deadlock(&self) -> Option<&Deadlock> {
         match self {
             RunError::Deadlock(d) => Some(d),
-            RunError::Protocol(_) => None,
+            _ => None,
         }
     }
 }
@@ -126,6 +140,12 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Deadlock(d) => d.fmt(f),
             RunError::Protocol(p) => p.fmt(f),
+            RunError::Timeout { scope } => {
+                write!(f, "{scope} timed out waiting for rendezvous")
+            }
+            RunError::Aborted => write!(f, "aborted after a failure in another thread"),
+            RunError::Panicked { scope } => write!(f, "{scope} panicked"),
+            RunError::Partition { reason } => write!(f, "invalid partition: {reason}"),
         }
     }
 }
@@ -501,17 +521,30 @@ fn slot_mut(chans: &mut Vec<ChanSlot>, chan: ChanId) -> &mut ChanSlot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::process::{sink_buffer, RelayProc, SinkProc, SourceProc};
+    use crate::process::{sink_buffer, SinkBuffer};
+    use crate::procir::ProcIrBuilder;
+
+    /// Instantiate a builder's module into a fresh network, returning the
+    /// output buffers in sink-declaration order.
+    fn net_of(b: ProcIrBuilder, policy: ChannelPolicy) -> (Network, Vec<SinkBuffer>) {
+        let module = b.build(None);
+        let inst = module.instantiate();
+        let mut net = Network::new(policy);
+        for p in inst.procs {
+            net.add(p);
+        }
+        (net, inst.outputs)
+    }
 
     #[test]
     fn pipeline_delivers_in_order() {
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
-        net.add(Box::new(RelayProc::new(0, 1, 3, "relay")));
-        net.add(Box::new(SinkProc::new(1, 3, buf.clone(), "sink")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2, 3], "src");
+        b.relay(0, 1, 3, "relay");
+        b.sink(1, 3, "sink");
+        let (net, outs) = net_of(b, ChannelPolicy::Rendezvous);
         let stats = net.run().unwrap();
-        assert_eq!(*buf.lock(), vec![1, 2, 3]);
+        assert_eq!(*outs[0].lock(), vec![1, 2, 3]);
         assert_eq!(stats.messages, 6, "3 values over 2 hops");
         assert_eq!(stats.processes, 3);
     }
@@ -519,9 +552,9 @@ mod tests {
     #[test]
     fn deadlock_detected() {
         // A sink waiting on a channel nobody sends on.
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let buf = sink_buffer();
-        net.add(Box::new(SinkProc::new(9, 1, buf, "lonely-sink")));
+        let mut b = ProcIrBuilder::new();
+        b.sink(9, 1, "lonely-sink");
+        let (net, _) = net_of(b, ChannelPolicy::Rendezvous);
         let err = net.run().unwrap_err();
         let deadlock = err.as_deadlock().expect("deadlock, not protocol error");
         assert_eq!(deadlock.blocked.len(), 1);
@@ -532,20 +565,20 @@ mod tests {
     #[test]
     fn mismatched_counts_deadlock() {
         // Source sends 3, sink expects 4.
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
-        net.add(Box::new(SinkProc::new(0, 4, buf, "sink")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2, 3], "src");
+        b.sink(0, 4, "sink");
+        let (net, _) = net_of(b, ChannelPolicy::Rendezvous);
         assert!(net.run().is_err());
     }
 
     #[test]
     fn two_senders_is_a_protocol_violation() {
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1], "src-a")));
-        net.add(Box::new(SourceProc::new(0, vec![2], "src-b")));
-        net.add(Box::new(SinkProc::new(0, 2, buf, "sink")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1], "src-a");
+        b.source(0, &[2], "src-b");
+        b.sink(0, 2, "sink");
+        let (net, _) = net_of(b, ChannelPolicy::Rendezvous);
         let err = net.run().unwrap_err();
         let RunError::Protocol(v) = err else {
             panic!("expected protocol violation, got {err}");
@@ -559,12 +592,11 @@ mod tests {
 
     #[test]
     fn two_receivers_is_a_protocol_violation() {
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let b1 = sink_buffer();
-        let b2 = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1, 2], "src")));
-        net.add(Box::new(SinkProc::new(0, 1, b1, "sink-a")));
-        net.add(Box::new(SinkProc::new(0, 1, b2, "sink-b")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2], "src");
+        b.sink(0, 1, "sink-a");
+        b.sink(0, 1, "sink-b");
+        let (net, _) = net_of(b, ChannelPolicy::Rendezvous);
         let err = net.run().unwrap_err();
         let RunError::Protocol(v) = err else {
             panic!("expected protocol violation, got {err}");
@@ -578,12 +610,12 @@ mod tests {
         // The conflict only materializes after the first value moves:
         // a relay starts forwarding onto a channel that already has a
         // long-lived sender.
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![7, 9], "src-direct")));
-        net.add(Box::new(SourceProc::new(1, vec![8], "src-upstream")));
-        net.add(Box::new(RelayProc::new(1, 0, 1, "relay")));
-        net.add(Box::new(SinkProc::new(0, 3, buf, "sink")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[7, 9], "src-direct");
+        b.source(1, &[8], "src-upstream");
+        b.relay(1, 0, 1, "relay");
+        b.sink(0, 3, "sink");
+        let (net, _) = net_of(b, ChannelPolicy::Rendezvous);
         let err = net.run().unwrap_err();
         let RunError::Protocol(v) = err else {
             panic!("expected protocol violation, got {err}");
@@ -597,15 +629,16 @@ mod tests {
         // subsequent values pipeline behind it.
         let k = 4usize;
         let n = 10usize;
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, (0..n as i64).collect(), "src")));
+        let mut b = ProcIrBuilder::new();
+        let values: Vec<Value> = (0..n as i64).collect();
+        b.source(0, &values, "src");
         for i in 0..k {
-            net.add(Box::new(RelayProc::new(i, i + 1, n, format!("relay{i}"))));
+            b.relay(i, i + 1, n, format!("relay{i}"));
         }
-        net.add(Box::new(SinkProc::new(k, n, buf.clone(), "sink")));
+        b.sink(k, n, "sink");
+        let (net, outs) = net_of(b, ChannelPolicy::Rendezvous);
         let stats = net.run().unwrap();
-        assert_eq!(buf.lock().len(), n);
+        assert_eq!(outs[0].lock().len(), n);
         // Pipelined: rounds ~ n + k, not n * k.
         assert!(
             stats.rounds <= (2 * (n + k)) as u64,
@@ -617,12 +650,12 @@ mod tests {
 
     #[test]
     fn buffered_policy_decouples_sender() {
-        let mut net = Network::new(ChannelPolicy::Buffered(8));
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![5, 6], "src")));
-        net.add(Box::new(SinkProc::new(0, 2, buf.clone(), "sink")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[5, 6], "src");
+        b.sink(0, 2, "sink");
+        let (net, outs) = net_of(b, ChannelPolicy::Buffered(8));
         let stats = net.run().unwrap();
-        assert_eq!(*buf.lock(), vec![5, 6]);
+        assert_eq!(*outs[0].lock(), vec![5, 6]);
         // Each value counts twice: enqueue + dequeue.
         assert_eq!(stats.messages, 4);
     }
@@ -631,35 +664,36 @@ mod tests {
     fn buffered_capacity_one_backpressures() {
         // cap=1: the queue holds one value; the second send must wait
         // for the pop, but the run still completes.
-        let mut net = Network::new(ChannelPolicy::Buffered(1));
-        let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1, 2, 3], "src")));
-        net.add(Box::new(SinkProc::new(0, 3, buf.clone(), "sink")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2, 3], "src");
+        b.sink(0, 3, "sink");
+        let (net, outs) = net_of(b, ChannelPolicy::Buffered(1));
         let stats = net.run().unwrap();
-        assert_eq!(*buf.lock(), vec![1, 2, 3]);
+        assert_eq!(*outs[0].lock(), vec![1, 2, 3]);
         assert_eq!(stats.messages, 6);
     }
 
     #[test]
     fn two_parallel_pipelines_fire_in_one_round_each() {
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let b1 = sink_buffer();
-        let b2 = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1], "s1")));
-        net.add(Box::new(SourceProc::new(1, vec![2], "s2")));
-        net.add(Box::new(SinkProc::new(0, 1, b1.clone(), "k1")));
-        net.add(Box::new(SinkProc::new(1, 1, b2.clone(), "k2")));
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1], "s1");
+        b.source(1, &[2], "s2");
+        b.sink(0, 1, "k1");
+        b.sink(1, 1, "k2");
+        let (net, outs) = net_of(b, ChannelPolicy::Rendezvous);
         let stats = net.run().unwrap();
         assert_eq!(stats.rounds, 1, "independent channels fire simultaneously");
-        assert_eq!(*b1.lock(), vec![1]);
-        assert_eq!(*b2.lock(), vec![2]);
+        assert_eq!(*outs[0].lock(), vec![1]);
+        assert_eq!(*outs[1].lock(), vec![2]);
     }
 
-    /// A process exercising par-sets: receives from two channels at once.
+    /// An ad-hoc process exercising par-sets: receives from two channels
+    /// at once (also checks that hand-written [`Process`] impls compose
+    /// with module-instantiated VMs in one network).
     struct Join {
         a: ChanId,
         b: ChanId,
-        out: crate::process::SinkBuffer,
+        out: SinkBuffer,
         rounds: usize,
     }
 
@@ -685,10 +719,11 @@ mod tests {
 
     #[test]
     fn par_set_completes_in_any_order() {
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 10], "sa");
+        b.source(1, &[2, 20], "sb");
+        let (mut net, _) = net_of(b, ChannelPolicy::Rendezvous);
         let buf = sink_buffer();
-        net.add(Box::new(SourceProc::new(0, vec![1, 10], "sa")));
-        net.add(Box::new(SourceProc::new(1, vec![2, 20], "sb")));
         net.add(Box::new(Join {
             a: 0,
             b: 1,
@@ -701,15 +736,14 @@ mod tests {
 
     #[test]
     fn trace_orders_events_by_channel_within_a_round() {
-        let mut net = Network::new(ChannelPolicy::Rendezvous);
-        let b1 = sink_buffer();
-        let b2 = sink_buffer();
         // Register the higher channel first; the trace must still list
         // channel 0 before channel 1 within the round.
-        net.add(Box::new(SourceProc::new(1, vec![20], "s-hi")));
-        net.add(Box::new(SourceProc::new(0, vec![10], "s-lo")));
-        net.add(Box::new(SinkProc::new(1, 1, b1, "k-hi")));
-        net.add(Box::new(SinkProc::new(0, 1, b2, "k-lo")));
+        let mut b = ProcIrBuilder::new();
+        b.source(1, &[20], "s-hi");
+        b.source(0, &[10], "s-lo");
+        b.sink(1, 1, "k-hi");
+        b.sink(0, 1, "k-lo");
+        let (net, _) = net_of(b, ChannelPolicy::Rendezvous);
         let (stats, trace) = net.run_traced().unwrap();
         assert_eq!(stats.rounds, 1);
         assert_eq!(

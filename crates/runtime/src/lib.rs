@@ -5,8 +5,11 @@
 //! processes, synchronous point-to-point channels, `par` communication
 //! sets, host-side sources and sinks.
 //!
-//! - [`process`] — the [`Process`] coroutine trait and the library
-//!   processes (sources, sinks, relays);
+//! - [`process`] — the [`Process`] coroutine trait and the channel
+//!   vocabulary ([`CommReq`], [`ChanId`], [`Value`]);
+//! - [`procir`] — the flat process bytecode ([`ProcIrModule`]) that every
+//!   elaborated process lowers to, and the generic VM ([`ProcVm`]) that
+//!   interprets it;
 //! - [`coop`] — the deterministic cooperative scheduler with rendezvous
 //!   rounds (the virtual systolic clock), exact deadlock detection, and a
 //!   buffered-channel ablation mode;
@@ -18,14 +21,16 @@
 pub mod coop;
 pub mod partition;
 pub mod process;
+pub mod procir;
 pub mod threaded;
 
 pub use coop::{
     ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats, TraceEvent,
 };
 pub use partition::{block_partition, run_partitioned};
-pub use process::{
-    sink_buffer, ChanId, CommReq, Process, RelayProc, ScriptedSink, ScriptedSource, SegmentRelay,
-    SinkBuffer, SinkProc, SourceProc, Value,
+pub use process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
+pub use procir::{
+    ComputeBody, Instance, MovingLink, ProcId, ProcIrBuilder, ProcIrModule, ProcOp, ProcRecord,
+    ProcVm,
 };
 pub use threaded::run_threaded;

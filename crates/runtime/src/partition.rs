@@ -18,10 +18,10 @@
 //! As in [`crate::coop`] and [`crate::threaded`], channel endpoints live
 //! in dense tables indexed by [`ChanId`], worker loops reuse their
 //! request/receive buffers across steps, and a malformed network (two
-//! processes on one endpoint) aborts with a diagnosis instead of
-//! panicking a worker.
+//! processes on one endpoint) aborts with a structured [`RunError`]
+//! diagnosis instead of panicking a worker.
 
-use crate::coop::RunStats;
+use crate::coop::{ProtocolViolation, RunError, RunStats};
 use crate::process::{ChanId, CommReq, Process, Value};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,8 +42,8 @@ struct EngineState {
     recvs: Vec<Option<(usize, usize)>>,
     sets: Vec<SetState>,
     messages: u64,
-    /// First fatal diagnosis; preferred over secondary "aborted" errors.
-    failure: Option<String>,
+    /// First fatal diagnosis; preferred over secondary [`RunError::Aborted`].
+    failure: Option<RunError>,
 }
 
 impl EngineState {
@@ -60,25 +60,37 @@ struct Engine {
     /// One wakeup per group.
     wakeups: Vec<Condvar>,
     group_of: Vec<usize>,
+    /// Process labels captured before the workers were spawned, so
+    /// violation diagnoses can name both offenders.
+    labels: Vec<String>,
     aborted: AtomicBool,
 }
 
 impl Engine {
-    /// Record a fatal diagnosis, wake every group, and return the message.
-    fn abort(&self, st: &mut EngineState, msg: String) -> String {
+    /// Record a fatal diagnosis, wake every group, and return the error.
+    fn abort(&self, st: &mut EngineState, err: RunError) -> RunError {
         self.aborted.store(true, Ordering::Relaxed);
         if st.failure.is_none() {
-            st.failure = Some(msg.clone());
+            st.failure = Some(err.clone());
         }
         for w in &self.wakeups {
             w.notify_all();
         }
-        msg
+        err
+    }
+
+    fn violation(&self, chan: ChanId, endpoint: &'static str, first: usize, second: usize) -> RunError {
+        RunError::Protocol(ProtocolViolation {
+            chan,
+            endpoint,
+            first: self.labels[first].clone(),
+            second: self.labels[second].clone(),
+        })
     }
 
     /// Register a process's next communication set; complete any matches
     /// this enables. Caller holds no lock.
-    fn register(&self, pid: usize, reqs: &[CommReq]) -> Result<(), String> {
+    fn register(&self, pid: usize, reqs: &[CommReq]) -> Result<(), RunError> {
         let mut st = self.state.lock();
         st.sets[pid].remaining = reqs.len();
         st.sets[pid].inbox.clear();
@@ -96,11 +108,9 @@ impl Engine {
                         Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
                         st.messages += 1;
                     } else {
-                        if st.sends[chan].is_some() {
-                            return Err(self.abort(
-                                &mut st,
-                                format!("protocol violation: two senders on channel {chan}"),
-                            ));
+                        if let Some((prev, _, _)) = st.sends[chan] {
+                            let err = self.violation(chan, "sender", prev, pid);
+                            return Err(self.abort(&mut st, err));
                         }
                         st.sends[chan] = Some((pid, ri, value));
                     }
@@ -113,11 +123,9 @@ impl Engine {
                         Self::complete(&mut st, spid, &mut to_wake, &self.group_of);
                         st.messages += 1;
                     } else {
-                        if st.recvs[chan].is_some() {
-                            return Err(self.abort(
-                                &mut st,
-                                format!("protocol violation: two receivers on channel {chan}"),
-                            ));
+                        if let Some((prev, _)) = st.recvs[chan] {
+                            let err = self.violation(chan, "receiver", prev, pid);
+                            return Err(self.abort(&mut st, err));
                         }
                         st.recvs[chan] = Some((pid, ri));
                     }
@@ -151,7 +159,7 @@ impl Engine {
         shapes: &[Vec<bool>], // is_send per request index, by pid
         received: &mut Vec<Value>,
         timeout: Duration,
-    ) -> Result<Option<usize>, String> {
+    ) -> Result<Option<usize>, RunError> {
         let mut st = self.state.lock();
         loop {
             if members.iter().all(|&m| st.sets[m].finished) {
@@ -175,16 +183,16 @@ impl Engine {
                 return Ok(Some(m));
             }
             if self.aborted.load(Ordering::Relaxed) {
-                return Err(st.failure.clone().unwrap_or_else(|| "aborted".into()));
+                return Err(st.failure.clone().unwrap_or(RunError::Aborted));
             }
             if self.wakeups[group_id]
                 .wait_for(&mut st, timeout)
                 .timed_out()
             {
-                return Err(self.abort(
-                    &mut st,
-                    format!("group {group_id} timed out waiting for rendezvous"),
-                ));
+                let err = RunError::Timeout {
+                    scope: format!("group {group_id}"),
+                };
+                return Err(self.abort(&mut st, err));
             }
         }
     }
@@ -196,17 +204,30 @@ pub fn run_partitioned(
     procs: Vec<Box<dyn Process>>,
     groups: Vec<Vec<usize>>,
     timeout: Duration,
-) -> Result<RunStats, String> {
+) -> Result<RunStats, RunError> {
     let n = procs.len();
     {
         let mut seen = vec![false; n];
         for g in &groups {
             for &m in g {
-                assert!(!seen[m], "process {m} in two groups");
+                if m >= n {
+                    return Err(RunError::Partition {
+                        reason: format!("group member {m} out of range (n = {n})"),
+                    });
+                }
+                if seen[m] {
+                    return Err(RunError::Partition {
+                        reason: format!("process {m} in two groups"),
+                    });
+                }
                 seen[m] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "groups must cover every process");
+        if let Some(m) = seen.iter().position(|&s| !s) {
+            return Err(RunError::Partition {
+                reason: format!("process {m} not in any group"),
+            });
+        }
     }
     let mut group_of = vec![0usize; n];
     for (gi, g) in groups.iter().enumerate() {
@@ -214,6 +235,7 @@ pub fn run_partitioned(
             group_of[m] = gi;
         }
     }
+    let labels: Vec<String> = procs.iter().map(|p| p.label()).collect();
     let engine = Arc::new(Engine {
         state: Mutex::new(EngineState {
             sends: Vec::new(),
@@ -231,6 +253,7 @@ pub fn run_partitioned(
         }),
         wakeups: (0..groups.len()).map(|_| Condvar::new()).collect(),
         group_of,
+        labels,
         aborted: AtomicBool::new(false),
     });
 
@@ -247,7 +270,7 @@ pub fn run_partitioned(
         let members = members.clone();
         let h = std::thread::Builder::new()
             .name(format!("systolic-group-{gi}"))
-            .spawn(move || -> Result<u64, String> {
+            .spawn(move || -> Result<u64, RunError> {
                 let mut steps = 0u64;
                 // Each member's current request shape (is_send per request
                 // index), dense by pid; the per-member vectors and the
@@ -295,8 +318,10 @@ pub fn run_partitioned(
         handles.push(h);
     }
     let mut first_err = None;
-    for h in handles {
-        match h.join().map_err(|_| "group thread panicked".to_string()) {
+    for (gi, h) in handles.into_iter().enumerate() {
+        match h.join().map_err(|_| RunError::Panicked {
+            scope: format!("group {gi}"),
+        }) {
             Ok(Ok(s)) => steps_total += s,
             Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
         }
@@ -329,22 +354,22 @@ pub fn block_partition(n_procs: usize, k: usize) -> Vec<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::process::{sink_buffer, RelayProc, SinkProc, SourceProc};
+    use crate::process::SinkBuffer;
+    use crate::procir::ProcIrBuilder;
 
     const T: Duration = Duration::from_secs(10);
 
-    fn pipeline(
-        len: usize,
-        values: Vec<Value>,
-    ) -> (Vec<Box<dyn Process>>, crate::process::SinkBuffer) {
-        let buf = sink_buffer();
+    fn pipeline(len: usize, values: Vec<Value>) -> (Vec<Box<dyn Process>>, SinkBuffer) {
         let n = values.len();
-        let mut procs: Vec<Box<dyn Process>> = vec![Box::new(SourceProc::new(0, values, "src"))];
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &values, "src");
         for i in 0..len {
-            procs.push(Box::new(RelayProc::new(i, i + 1, n, format!("r{i}"))));
+            b.relay(i, i + 1, n, format!("r{i}"));
         }
-        procs.push(Box::new(SinkProc::new(len, n, buf.clone(), "sink")));
-        (procs, buf)
+        b.sink(len, n, "sink");
+        let inst = b.build(None).instantiate();
+        let buf = inst.outputs[0].clone();
+        (inst.procs, buf)
     }
 
     #[test]
@@ -377,29 +402,48 @@ mod tests {
     fn every_partition_of_a_diamond_works() {
         // Fan-out/fan-in across group boundaries in all placements.
         for k in 1..=4 {
-            let buf = sink_buffer();
-            let procs: Vec<Box<dyn Process>> = vec![
-                Box::new(SourceProc::new(0, vec![5, 6], "sa")),
-                Box::new(SourceProc::new(1, vec![7, 8], "sb")),
-                Box::new(RelayProc::new(0, 2, 2, "ra")),
-                Box::new(RelayProc::new(1, 3, 2, "rb")),
-                Box::new(SinkProc::new(2, 2, buf.clone(), "ka")),
-                Box::new(SinkProc::new(3, 2, sink_buffer(), "kb")),
-            ];
-            let groups = block_partition(procs.len(), k);
-            run_partitioned(procs, groups, T).unwrap();
+            let mut b = ProcIrBuilder::new();
+            b.source(0, &[5, 6], "sa");
+            b.source(1, &[7, 8], "sb");
+            b.relay(0, 2, 2, "ra");
+            b.relay(1, 3, 2, "rb");
+            b.sink(2, 2, "ka");
+            b.sink(3, 2, "kb");
+            let inst = b.build(None).instantiate();
+            let buf = inst.outputs[0].clone();
+            let groups = block_partition(inst.procs.len(), k);
+            run_partitioned(inst.procs, groups, T).unwrap();
             assert_eq!(*buf.lock(), vec![5, 6], "k = {k}");
         }
     }
 
     #[test]
     fn timeout_on_stuck_group() {
-        let buf = sink_buffer();
-        let procs: Vec<Box<dyn Process>> = vec![Box::new(SinkProc::new(9, 1, buf, "lonely"))];
-        let err = run_partitioned(procs, vec![vec![0]], Duration::from_millis(50)).unwrap_err();
+        let mut b = ProcIrBuilder::new();
+        b.sink(9, 1, "lonely");
+        let inst = b.build(None).instantiate();
+        let err =
+            run_partitioned(inst.procs, vec![vec![0]], Duration::from_millis(50)).unwrap_err();
         assert!(
-            err.contains("timed out") || err.contains("aborted"),
+            matches!(err, RunError::Timeout { .. } | RunError::Aborted),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn bad_partitions_are_structured_errors() {
+        let (procs, _) = pipeline(0, vec![1]);
+        let err = run_partitioned(procs, vec![vec![0], vec![0, 1]], T).unwrap_err();
+        let RunError::Partition { reason } = err else {
+            panic!("expected partition error, got {err}");
+        };
+        assert!(reason.contains("two groups"), "{reason}");
+
+        let (procs, _) = pipeline(0, vec![1]);
+        let err = run_partitioned(procs, vec![vec![0]], T).unwrap_err();
+        assert!(
+            matches!(err, RunError::Partition { .. }),
+            "uncovered process must be diagnosed: {err}"
         );
     }
 
@@ -410,13 +454,20 @@ mod tests {
         // second trips the violation, and the run reports it regardless of
         // which group observed the abort first.
         for k in 1..=2 {
-            let procs: Vec<Box<dyn Process>> = vec![
-                Box::new(SinkProc::new(0, 2, sink_buffer(), "sink-a")),
-                Box::new(SinkProc::new(0, 2, sink_buffer(), "sink-b")),
-            ];
-            let groups = block_partition(procs.len(), k);
-            let err = run_partitioned(procs, groups, T).unwrap_err();
-            assert!(err.contains("two receivers on channel 0"), "k = {k}: {err}");
+            let mut b = ProcIrBuilder::new();
+            b.sink(0, 2, "sink-a");
+            b.sink(0, 2, "sink-b");
+            let inst = b.build(None).instantiate();
+            let groups = block_partition(inst.procs.len(), k);
+            let err = run_partitioned(inst.procs, groups, T).unwrap_err();
+            let RunError::Protocol(v) = err else {
+                panic!("expected protocol violation, got {err} (k = {k})");
+            };
+            assert_eq!(v.chan, 0);
+            assert_eq!(v.endpoint, "receiver");
+            let mut pair = [v.first.as_str(), v.second.as_str()];
+            pair.sort_unstable();
+            assert_eq!(pair, ["sink-a", "sink-b"], "k = {k}");
         }
     }
 }

@@ -10,6 +10,10 @@
 //! communication requests; the set completes when every request has
 //! matched, in any order; the values received (in request order) are
 //! passed to the next `step`. An empty set terminates the process.
+//!
+//! Every elaborated process is a [`crate::ProcVm`] interpreting the flat
+//! [`crate::ProcIrModule`] bytecode; the trait exists so executors stay
+//! decoupled from the bytecode and tests can script ad-hoc processes.
 
 use std::sync::Arc;
 
@@ -73,249 +77,8 @@ pub trait Process: Send {
     }
 }
 
-/// An input process: sends a fixed sequence of values on one channel
-/// (the host-side injection of a stream partition, Sec. 4.2).
-pub struct SourceProc {
-    chan: ChanId,
-    values: std::vec::IntoIter<Value>,
-    label: String,
-}
-
-impl SourceProc {
-    pub fn new(chan: ChanId, values: Vec<Value>, label: impl Into<String>) -> SourceProc {
-        SourceProc {
-            chan,
-            values: values.into_iter(),
-            label: label.into(),
-        }
-    }
-}
-
-impl Process for SourceProc {
-    fn step_into(&mut self, _received: &[Value], out: &mut Vec<CommReq>) {
-        if let Some(v) = self.values.next() {
-            out.push(CommReq::Send {
-                chan: self.chan,
-                value: v,
-            });
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
-
-/// Shared collection buffer for [`SinkProc`] results.
+/// Shared collection buffer for host-side extraction results.
 pub type SinkBuffer = Arc<parking_lot::Mutex<Vec<Value>>>;
-
-/// An output process: receives `count` values from one channel into a
-/// shared buffer (the host-side extraction, Sec. 4.2).
-pub struct SinkProc {
-    chan: ChanId,
-    remaining: usize,
-    out: SinkBuffer,
-    label: String,
-}
-
-impl SinkProc {
-    pub fn new(chan: ChanId, count: usize, out: SinkBuffer, label: impl Into<String>) -> SinkProc {
-        SinkProc {
-            chan,
-            remaining: count,
-            out,
-            label: label.into(),
-        }
-    }
-}
-
-impl Process for SinkProc {
-    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
-        if let Some(&v) = received.first() {
-            self.out.lock().push(v);
-        }
-        if self.remaining == 0 {
-            return;
-        }
-        self.remaining -= 1;
-        out.push(CommReq::Recv { chan: self.chan });
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
-
-/// A buffer process: receives `count` values on one channel and forwards
-/// each on another (`pass s, n` — the internal buffers of Sec. 7.6 and
-/// the external buffers of `PS \ CS`).
-pub struct RelayProc {
-    in_chan: ChanId,
-    out_chan: ChanId,
-    remaining: usize,
-    label: String,
-}
-
-impl RelayProc {
-    pub fn new(
-        in_chan: ChanId,
-        out_chan: ChanId,
-        count: usize,
-        label: impl Into<String>,
-    ) -> RelayProc {
-        RelayProc {
-            in_chan,
-            out_chan,
-            remaining: count,
-            label: label.into(),
-        }
-    }
-}
-
-impl Process for RelayProc {
-    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
-        if let Some(&v) = received.first() {
-            out.push(CommReq::Send {
-                chan: self.out_chan,
-                value: v,
-            });
-            return;
-        }
-        if self.remaining == 0 {
-            return;
-        }
-        self.remaining -= 1;
-        out.push(CommReq::Recv { chan: self.in_chan });
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
-
-/// A relay that forwards values in consecutive *segments*, each with its
-/// own input channel, output channel, and count. Used to split a
-/// computation cell's data propagation into independent per-stream escort
-/// processes (splitter/merger pairs) — the alternative propagation
-/// protocol of `ElabOptions::split_propagation` (the paper: its protocol
-/// "is only one of many possible choices", Sec. 4.2).
-pub struct SegmentRelay {
-    segments: std::vec::IntoIter<(ChanId, ChanId, usize)>,
-    current: Option<(ChanId, ChanId, usize)>,
-    label: String,
-}
-
-impl SegmentRelay {
-    /// `segments`: `(in_chan, out_chan, count)` triples processed in
-    /// order; zero-count segments are skipped.
-    pub fn new(segments: Vec<(ChanId, ChanId, usize)>, label: impl Into<String>) -> SegmentRelay {
-        SegmentRelay {
-            segments: segments.into_iter(),
-            current: None,
-            label: label.into(),
-        }
-    }
-
-    fn next_segment(&mut self) -> Option<(ChanId, ChanId, usize)> {
-        loop {
-            match self.segments.next() {
-                Some((_, _, 0)) => continue,
-                other => return other,
-            }
-        }
-    }
-}
-
-impl Process for SegmentRelay {
-    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
-        if let Some(&v) = received.first() {
-            let (_, out_chan, _) = self.current.expect("received without a segment");
-            out.push(CommReq::Send {
-                chan: out_chan,
-                value: v,
-            });
-            return;
-        }
-        // Advance within / across segments.
-        match &mut self.current {
-            Some((_, _, n)) if *n > 1 => {
-                *n -= 1;
-            }
-            _ => {
-                self.current = self.next_segment();
-            }
-        }
-        if let Some((inp, _, _)) = self.current {
-            out.push(CommReq::Recv { chan: inp });
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
-
-/// A host-side input process driving *many* channels from one script:
-/// the merged form of per-pipe input processes (Sec. 4.2: "at a later
-/// stage, these may be merged into fewer processes").
-pub struct ScriptedSource {
-    sends: std::vec::IntoIter<(ChanId, Value)>,
-    label: String,
-}
-
-impl ScriptedSource {
-    pub fn new(sends: Vec<(ChanId, Value)>, label: impl Into<String>) -> ScriptedSource {
-        ScriptedSource {
-            sends: sends.into_iter(),
-            label: label.into(),
-        }
-    }
-}
-
-impl Process for ScriptedSource {
-    fn step_into(&mut self, _received: &[Value], out: &mut Vec<CommReq>) {
-        if let Some((chan, value)) = self.sends.next() {
-            out.push(CommReq::Send { chan, value });
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
-
-/// The merged output counterpart: receives from many channels in a fixed
-/// order into one shared buffer.
-pub struct ScriptedSink {
-    recvs: std::vec::IntoIter<ChanId>,
-    out: SinkBuffer,
-    label: String,
-}
-
-impl ScriptedSink {
-    pub fn new(recvs: Vec<ChanId>, out: SinkBuffer, label: impl Into<String>) -> ScriptedSink {
-        ScriptedSink {
-            recvs: recvs.into_iter(),
-            out,
-            label: label.into(),
-        }
-    }
-}
-
-impl Process for ScriptedSink {
-    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
-        if let Some(&v) = received.first() {
-            self.out.lock().push(v);
-        }
-        if let Some(chan) = self.recvs.next() {
-            out.push(CommReq::Recv { chan });
-        }
-    }
-
-    fn label(&self) -> String {
-        self.label.clone()
-    }
-}
 
 /// Build a fresh sink buffer.
 pub fn sink_buffer() -> SinkBuffer {
@@ -325,70 +88,6 @@ pub fn sink_buffer() -> SinkBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn source_emits_in_order() {
-        let mut s = SourceProc::new(0, vec![1, 2], "src");
-        assert_eq!(s.step(&[]), vec![CommReq::Send { chan: 0, value: 1 }]);
-        assert_eq!(s.step(&[]), vec![CommReq::Send { chan: 0, value: 2 }]);
-        assert!(s.step(&[]).is_empty());
-    }
-
-    #[test]
-    fn sink_collects() {
-        let buf = sink_buffer();
-        let mut s = SinkProc::new(3, 2, buf.clone(), "sink");
-        assert_eq!(s.step(&[]), vec![CommReq::Recv { chan: 3 }]);
-        assert_eq!(s.step(&[10]), vec![CommReq::Recv { chan: 3 }]);
-        assert!(s.step(&[20]).is_empty());
-        assert_eq!(*buf.lock(), vec![10, 20]);
-    }
-
-    #[test]
-    fn segment_relay_switches_channels() {
-        // Segments: 2 from chan 0 -> 10, 1 from chan 1 -> 11, skip a
-        // zero segment, 1 from chan 0 -> 10.
-        let mut r = SegmentRelay::new(vec![(0, 10, 2), (1, 11, 1), (2, 12, 0), (0, 10, 1)], "seg");
-        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
-        assert_eq!(r.step(&[5]), vec![CommReq::Send { chan: 10, value: 5 }]);
-        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
-        assert_eq!(r.step(&[6]), vec![CommReq::Send { chan: 10, value: 6 }]);
-        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 1 }]);
-        assert_eq!(r.step(&[7]), vec![CommReq::Send { chan: 11, value: 7 }]);
-        assert_eq!(
-            r.step(&[]),
-            vec![CommReq::Recv { chan: 0 }],
-            "zero segment skipped"
-        );
-        assert_eq!(r.step(&[8]), vec![CommReq::Send { chan: 10, value: 8 }]);
-        assert!(r.step(&[]).is_empty());
-    }
-
-    #[test]
-    fn scripted_source_and_sink_round_robin() {
-        let mut src = ScriptedSource::new(vec![(0, 10), (1, 20), (0, 11)], "host-in");
-        assert_eq!(
-            src.step(&[]),
-            vec![CommReq::Send { chan: 0, value: 10 }]
-        );
-        assert_eq!(
-            src.step(&[]),
-            vec![CommReq::Send { chan: 1, value: 20 }]
-        );
-        assert_eq!(
-            src.step(&[]),
-            vec![CommReq::Send { chan: 0, value: 11 }]
-        );
-        assert!(src.step(&[]).is_empty());
-
-        let buf = sink_buffer();
-        let mut sink = ScriptedSink::new(vec![2, 3, 2], buf.clone(), "host-out");
-        assert_eq!(sink.step(&[]), vec![CommReq::Recv { chan: 2 }]);
-        assert_eq!(sink.step(&[5]), vec![CommReq::Recv { chan: 3 }]);
-        assert_eq!(sink.step(&[6]), vec![CommReq::Recv { chan: 2 }]);
-        assert!(sink.step(&[7]).is_empty());
-        assert_eq!(*buf.lock(), vec![5, 6, 7]);
-    }
 
     #[test]
     fn comm_req_accessors() {
@@ -401,12 +100,24 @@ mod tests {
     }
 
     #[test]
-    fn relay_alternates_recv_send() {
-        let mut r = RelayProc::new(0, 1, 2, "relay");
-        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
-        assert_eq!(r.step(&[7]), vec![CommReq::Send { chan: 1, value: 7 }]);
-        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
-        assert_eq!(r.step(&[8]), vec![CommReq::Send { chan: 1, value: 8 }]);
-        assert!(r.step(&[]).is_empty());
+    fn step_defaults_delegate_both_ways() {
+        struct ViaStep(usize);
+        impl Process for ViaStep {
+            fn step(&mut self, _received: &[Value]) -> Vec<CommReq> {
+                if self.0 == 0 {
+                    return vec![];
+                }
+                self.0 -= 1;
+                vec![CommReq::Recv { chan: 1 }]
+            }
+        }
+        let mut p = ViaStep(1);
+        let mut out = Vec::new();
+        p.step_into(&[], &mut out);
+        assert_eq!(out, vec![CommReq::Recv { chan: 1 }]);
+        out.clear();
+        p.step_into(&[5], &mut out);
+        assert!(out.is_empty(), "empty set terminates");
+        assert_eq!(p.label(), "process");
     }
 }

@@ -1,0 +1,834 @@
+//! ProcIR: the flat process bytecode — the single post-elaboration
+//! representation of every virtual process.
+//!
+//! The paper's key structural fact is that generated systolic programs
+//! have no data-dependent control flow: every process is a statically
+//! determined trace of communications and computations (DESIGN.md §3).
+//! ProcIR encodes that trace directly as a compact op list per process,
+//! stored in one arena ([`ProcIrModule`]) indexed by [`ProcId`], with
+//! channel endpoints already resolved to dense [`ChanId`]s at lowering
+//! time. One generic virtual machine ([`ProcVm`]) interprets the ops as
+//! a [`Process`] coroutine, so the cooperative, threaded, and
+//! partitioned executors all drive the same semantics — there is no
+//! per-executor (or per-role) process behaviour anywhere else.
+//!
+//! The op set covers the canonical program shape of Appendix C–E
+//! (`load` / soak / repeater / drain / `recover`) plus the host fringe:
+//!
+//! - [`ProcOp::Emit`] — host injection: send the next scripted value;
+//! - [`ProcOp::Collect`] — host extraction: receive into the output
+//!   buffer;
+//! - [`ProcOp::Keep`] — the keep of `load`: receive into a local;
+//! - [`ProcOp::Pass`] — a bounded repetition (`Rep`) of one
+//!   receive-forward cycle: `pass s, n`;
+//! - [`ProcOp::Eject`] — the eject of `recover`: send a local;
+//! - [`ProcOp::Compute`] — the repeater: `count` iterations of
+//!   par-receive (`ParComm`), basic-statement execution, par-send.
+//!
+//! A module is immutable after lowering and carries no per-run state, so
+//! an elaborated network is a cacheable, shareable artifact
+//! (`Arc<ProcIrModule>`): [`ProcIrModule::instantiate`] builds fresh VMs
+//! and output buffers for each run. See `docs/process-ir.md` for the
+//! lowering rules and the VM's invariants.
+
+use crate::process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
+use std::sync::Arc;
+
+/// Index of a process in its module's arena.
+pub type ProcId = usize;
+
+/// Executes the basic statement at one index point. The compiler side
+/// supplies the implementation (the runtime crate knows nothing about
+/// expression trees); closures work for tests.
+pub trait ComputeBody: Send + Sync {
+    fn execute(&self, locals: &mut [Value], x: &[i64]);
+}
+
+impl<F> ComputeBody for F
+where
+    F: Fn(&mut [Value], &[i64]) + Send + Sync,
+{
+    fn execute(&self, locals: &mut [Value], x: &[i64]) {
+        self(locals, x)
+    }
+}
+
+/// One op of the flat process bytecode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcOp {
+    /// Send the next value of the process's data segment on `chan`
+    /// (host-side injection of a stream partition, Sec. 4.2).
+    Emit { chan: ChanId },
+    /// Receive one value from `chan` into the process's output buffer
+    /// (host-side extraction, Sec. 4.2).
+    Collect { chan: ChanId },
+    /// Receive one value from `chan` into local `slot` (the keep of
+    /// `load`).
+    Keep { chan: ChanId, slot: u32 },
+    /// `n` receive(`inp`) → forward(`out`) cycles: `pass s, n`. This is
+    /// the bounded `Rep` counter of the op set — it covers soak, drain,
+    /// the load/recover passes, internal (fractional-flow) buffers, and
+    /// external buffers alike.
+    Pass { inp: ChanId, out: ChanId, n: u32 },
+    /// Send local `slot` on `chan` (the eject of `recover`).
+    Eject { chan: ChanId, slot: u32 },
+    /// The repeater: `count` iterations of par-receive over the moving
+    /// links, basic-statement execution at the current index point, and
+    /// par-send (the `ParComm` pair of the paper's `par` construct).
+    /// Moving links, first point, and increment come from the process
+    /// record.
+    Compute { count: u32 },
+}
+
+/// One moving stream's channel pair at a computation process, with the
+/// local slot its values flow through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MovingLink {
+    pub slot: u32,
+    pub inp: ChanId,
+    pub out: ChanId,
+}
+
+/// One process's record in the arena: ranges into the module-wide op,
+/// data, moving-link, and point tables.
+#[derive(Clone, Debug)]
+pub struct ProcRecord {
+    /// Diagnostic label (deadlock reports, codegen comments).
+    pub label: String,
+    /// Op range in [`ProcIrModule::ops`].
+    pub ops: (u32, u32),
+    /// Data range in [`ProcIrModule::data`] ([`ProcOp::Emit`] scripts).
+    pub data: (u32, u32),
+    /// Moving-link range in [`ProcIrModule::moving`].
+    pub moving: (u32, u32),
+    /// Range in [`ProcIrModule::points`] holding `first` then
+    /// `increment` (each `r` values) for [`ProcOp::Compute`].
+    pub repeater: (u32, u32),
+    /// Number of stream locals.
+    pub n_locals: u32,
+    /// Output-buffer index for [`ProcOp::Collect`], if this process
+    /// extracts values.
+    pub output: Option<u32>,
+}
+
+/// The arena of lowered processes: the single post-elaboration artifact
+/// every executor and code generator consumes. Immutable and free of
+/// per-run state — share it with `Arc` and [`ProcIrModule::instantiate`]
+/// per run.
+pub struct ProcIrModule {
+    pub ops: Vec<ProcOp>,
+    pub data: Vec<Value>,
+    pub moving: Vec<MovingLink>,
+    pub points: Vec<i64>,
+    pub procs: Vec<ProcRecord>,
+    /// Channel ids are dense: every `ChanId` in `ops`/`moving` is
+    /// `< n_chans`.
+    pub n_chans: usize,
+    /// Number of output buffers [`ProcIrModule::instantiate`] creates.
+    pub n_outputs: usize,
+    /// The basic statement (identical at every computation process);
+    /// `None` for pure transport networks.
+    pub body: Option<Arc<dyn ComputeBody>>,
+}
+
+impl ProcIrModule {
+    pub fn ops_of(&self, pid: ProcId) -> &[ProcOp] {
+        let (a, b) = self.procs[pid].ops;
+        &self.ops[a as usize..b as usize]
+    }
+
+    pub fn data_of(&self, pid: ProcId) -> &[Value] {
+        let (a, b) = self.procs[pid].data;
+        &self.data[a as usize..b as usize]
+    }
+
+    pub fn moving_of(&self, pid: ProcId) -> &[MovingLink] {
+        let (a, b) = self.procs[pid].moving;
+        &self.moving[a as usize..b as usize]
+    }
+
+    /// The repeater's first index point (empty when the process has no
+    /// [`ProcOp::Compute`]).
+    pub fn first_of(&self, pid: ProcId) -> &[i64] {
+        let (a, b) = self.procs[pid].repeater;
+        let half = (b - a) / 2;
+        &self.points[a as usize..(a + half) as usize]
+    }
+
+    /// The repeater's per-iteration index increment.
+    pub fn increment_of(&self, pid: ProcId) -> &[i64] {
+        let (a, b) = self.procs[pid].repeater;
+        let half = (b - a) / 2;
+        &self.points[(a + half) as usize..b as usize]
+    }
+
+    pub fn label_of(&self, pid: ProcId) -> &str {
+        &self.procs[pid].label
+    }
+
+    /// Build fresh VMs and output buffers for one run.
+    pub fn instantiate(self: &Arc<Self>) -> Instance {
+        let outputs: Vec<SinkBuffer> = (0..self.n_outputs).map(|_| sink_buffer()).collect();
+        let procs = (0..self.procs.len())
+            .map(|pid| {
+                let out = self.procs[pid].output.map(|o| outputs[o as usize].clone());
+                Box::new(ProcVm::new(self.clone(), pid, out)) as Box<dyn Process>
+            })
+            .collect();
+        Instance { procs, outputs }
+    }
+}
+
+/// One run's worth of VMs plus the output buffers their
+/// [`ProcOp::Collect`] ops fill (indexed by the output ids the builder
+/// assigned).
+pub struct Instance {
+    pub procs: Vec<Box<dyn Process>>,
+    pub outputs: Vec<SinkBuffer>,
+}
+
+/// Builds a [`ProcIrModule`]: open a process with [`ProcIrBuilder::begin`],
+/// push ops, close it with [`ProcIrBuilder::finish`]. Convenience
+/// constructors cover the host fringe and relay shapes.
+#[derive(Default)]
+pub struct ProcIrBuilder {
+    ops: Vec<ProcOp>,
+    data: Vec<Value>,
+    moving: Vec<MovingLink>,
+    points: Vec<i64>,
+    procs: Vec<ProcRecord>,
+    n_outputs: u32,
+    open: Option<ProcRecord>,
+}
+
+impl ProcIrBuilder {
+    pub fn new() -> ProcIrBuilder {
+        ProcIrBuilder::default()
+    }
+
+    /// Open a new process. Ops pushed until [`ProcIrBuilder::finish`]
+    /// belong to it.
+    pub fn begin(&mut self, label: impl Into<String>) {
+        assert!(self.open.is_none(), "finish the previous process first");
+        let at = self.ops.len() as u32;
+        self.open = Some(ProcRecord {
+            label: label.into(),
+            ops: (at, at),
+            data: (self.data.len() as u32, self.data.len() as u32),
+            moving: (self.moving.len() as u32, self.moving.len() as u32),
+            repeater: (self.points.len() as u32, self.points.len() as u32),
+            n_locals: 0,
+            output: None,
+        });
+    }
+
+    /// Append an op to the open process.
+    pub fn op(&mut self, op: ProcOp) {
+        assert!(self.open.is_some(), "no open process");
+        if let ProcOp::Keep { slot, .. } | ProcOp::Eject { slot, .. } = op {
+            let rec = self.open.as_mut().unwrap();
+            rec.n_locals = rec.n_locals.max(slot + 1);
+        }
+        self.ops.push(op);
+    }
+
+    /// Append an [`ProcOp::Emit`] with its scripted value.
+    pub fn emit(&mut self, chan: ChanId, value: Value) {
+        self.op(ProcOp::Emit { chan });
+        self.data.push(value);
+    }
+
+    /// Append a [`ProcOp::Collect`], allocating the process's output
+    /// buffer on first use. Returns the output index.
+    pub fn collect(&mut self, chan: ChanId) -> u32 {
+        self.op(ProcOp::Collect { chan });
+        let rec = self.open.as_mut().unwrap();
+        let id = *rec.output.get_or_insert_with(|| {
+            let id = self.n_outputs;
+            self.n_outputs += 1;
+            id
+        });
+        id
+    }
+
+    /// Set the open process's repeater metadata: moving links, first
+    /// index point, per-iteration increment, and local count (streams of
+    /// the source program).
+    pub fn repeater(
+        &mut self,
+        moving: &[MovingLink],
+        first: &[i64],
+        increment: &[i64],
+        n_locals: u32,
+    ) {
+        assert_eq!(first.len(), increment.len(), "point ranks differ");
+        let rec = self.open.as_mut().expect("no open process");
+        rec.moving = (
+            self.moving.len() as u32,
+            (self.moving.len() + moving.len()) as u32,
+        );
+        self.moving.extend_from_slice(moving);
+        rec.repeater = (
+            self.points.len() as u32,
+            (self.points.len() + 2 * first.len()) as u32,
+        );
+        self.points.extend_from_slice(first);
+        self.points.extend_from_slice(increment);
+        rec.n_locals = rec.n_locals.max(n_locals);
+        for mc in moving {
+            rec.n_locals = rec.n_locals.max(mc.slot + 1);
+        }
+    }
+
+    /// Close the open process and return its id.
+    pub fn finish(&mut self) -> ProcId {
+        let mut rec = self.open.take().expect("no open process");
+        rec.ops.1 = self.ops.len() as u32;
+        rec.data.1 = self.data.len() as u32;
+        self.procs.push(rec);
+        self.procs.len() - 1
+    }
+
+    /// An input process: sends `values` on one channel, in order.
+    pub fn source(&mut self, chan: ChanId, values: &[Value], label: impl Into<String>) -> ProcId {
+        self.begin(label);
+        for &v in values {
+            self.emit(chan, v);
+        }
+        self.finish()
+    }
+
+    /// The merged host input: a script of (channel, value) sends
+    /// (Sec. 4.2's "merged into fewer processes").
+    pub fn scripted_source(
+        &mut self,
+        sends: &[(ChanId, Value)],
+        label: impl Into<String>,
+    ) -> ProcId {
+        self.begin(label);
+        for &(chan, v) in sends {
+            self.emit(chan, v);
+        }
+        self.finish()
+    }
+
+    /// An output process: receives `count` values from one channel into
+    /// a fresh output buffer. Returns (process, output index).
+    pub fn sink(&mut self, chan: ChanId, count: usize, label: impl Into<String>) -> (ProcId, u32) {
+        self.begin(label);
+        let mut out = 0;
+        for _ in 0..count {
+            out = self.collect(chan);
+        }
+        if count == 0 {
+            // Zero-length pipes still bind an (empty) output buffer.
+            let rec = self.open.as_mut().unwrap();
+            out = self.n_outputs;
+            rec.output = Some(out);
+            self.n_outputs += 1;
+        }
+        (self.finish(), out)
+    }
+
+    /// The merged host output: receives from `chans` in order into one
+    /// buffer.
+    pub fn scripted_sink(&mut self, chans: &[ChanId], label: impl Into<String>) -> (ProcId, u32) {
+        self.begin(label);
+        let mut out = 0;
+        for &chan in chans {
+            out = self.collect(chan);
+        }
+        if chans.is_empty() {
+            let rec = self.open.as_mut().unwrap();
+            out = self.n_outputs;
+            rec.output = Some(out);
+            self.n_outputs += 1;
+        }
+        (self.finish(), out)
+    }
+
+    /// A buffer process: `n` receive-forward cycles (`pass s, n` — the
+    /// internal buffers of Sec. 7.6 and the external buffers of
+    /// `PS \ CS`).
+    pub fn relay(
+        &mut self,
+        inp: ChanId,
+        out: ChanId,
+        n: usize,
+        label: impl Into<String>,
+    ) -> ProcId {
+        self.begin(label);
+        self.op(ProcOp::Pass {
+            inp,
+            out,
+            n: n as u32,
+        });
+        self.finish()
+    }
+
+    /// A relay forwarding consecutive *segments*, each with its own
+    /// channel pair and count (the split-propagation escorts). Folds the
+    /// former `RelayProc`/`SegmentRelay` pair into one lowering: a
+    /// single-segment call is exactly [`ProcIrBuilder::relay`].
+    pub fn segment_relay(
+        &mut self,
+        segments: &[(ChanId, ChanId, usize)],
+        label: impl Into<String>,
+    ) -> ProcId {
+        self.begin(label);
+        for &(inp, out, n) in segments {
+            if n == 0 {
+                continue;
+            }
+            self.op(ProcOp::Pass {
+                inp,
+                out,
+                n: n as u32,
+            });
+        }
+        self.finish()
+    }
+
+    /// Seal the module. Channel density (`n_chans`) is derived from the
+    /// ops and moving links.
+    pub fn build(self, body: Option<Arc<dyn ComputeBody>>) -> Arc<ProcIrModule> {
+        assert!(self.open.is_none(), "unfinished process at build");
+        let mut n_chans = 0usize;
+        let mut see = |c: ChanId| n_chans = n_chans.max(c + 1);
+        for op in &self.ops {
+            match *op {
+                ProcOp::Emit { chan }
+                | ProcOp::Collect { chan }
+                | ProcOp::Keep { chan, .. }
+                | ProcOp::Eject { chan, .. } => see(chan),
+                ProcOp::Pass { inp, out, .. } => {
+                    see(inp);
+                    see(out);
+                }
+                ProcOp::Compute { .. } => {}
+            }
+        }
+        for mc in &self.moving {
+            see(mc.inp);
+            see(mc.out);
+        }
+        Arc::new(ProcIrModule {
+            ops: self.ops,
+            data: self.data,
+            moving: self.moving,
+            points: self.points,
+            procs: self.procs,
+            n_chans,
+            n_outputs: self.n_outputs as usize,
+            body,
+        })
+    }
+}
+
+/// What the previously issued communication set was, so the next step
+/// can absorb its results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    None,
+    /// A send completed ([`ProcOp::Emit`] / [`ProcOp::Eject`]).
+    Sent,
+    /// A [`ProcOp::Keep`] receive; the value lands in the local.
+    Keep { slot: u32 },
+    /// A [`ProcOp::Collect`] receive; the value lands in the output
+    /// buffer.
+    CollectRecv,
+    /// A [`ProcOp::Pass`] cycle's receive; the value must be forwarded
+    /// next.
+    PassRecv { out: ChanId },
+    /// A pass cycle's forward completed.
+    PassSent,
+    /// The repeater's par-receive; values land in moving-link order.
+    ComputeRecv,
+    /// The repeater's par-send completed.
+    ComputeSent,
+}
+
+/// The generic process VM: interprets one process's ops as a [`Process`]
+/// coroutine. All state is a handful of scalars plus the `locals`/`x`
+/// vectors sized at construction, so steady-state stepping performs no
+/// heap allocation (the scheduler's reuse invariant, `docs/scheduler.md`).
+pub struct ProcVm {
+    module: Arc<ProcIrModule>,
+    pid: ProcId,
+    /// Program counter, absolute into `module.ops`.
+    pc: u32,
+    /// Data cursor, absolute into `module.data`.
+    cursor: u32,
+    /// Remaining cycles of the current [`ProcOp::Pass`]; `-1` when not
+    /// inside one.
+    pass_left: i64,
+    pending: Pending,
+    /// One local per stream of the source program.
+    locals: Vec<Value>,
+    /// Current index point of the repeater.
+    x: Vec<i64>,
+    /// Current repeater iteration.
+    t: i64,
+    /// Output buffer for [`ProcOp::Collect`].
+    out: Option<SinkBuffer>,
+}
+
+impl ProcVm {
+    pub fn new(module: Arc<ProcIrModule>, pid: ProcId, out: Option<SinkBuffer>) -> ProcVm {
+        let rec = &module.procs[pid];
+        let (pc, cursor) = (rec.ops.0, rec.data.0);
+        let locals = vec![0; rec.n_locals as usize];
+        let x = module.first_of(pid).to_vec();
+        ProcVm {
+            module,
+            pid,
+            pc,
+            cursor,
+            pass_left: -1,
+            pending: Pending::None,
+            locals,
+            x,
+            t: 0,
+            out,
+        }
+    }
+}
+
+impl Process for ProcVm {
+    // `step_into` (not `step`) so every elaborated process upholds the
+    // scheduler's zero-allocation round invariant.
+    fn step_into(&mut self, received: &[Value], out: &mut Vec<CommReq>) {
+        // Phase 1: absorb the previous set; pass-forwards and the
+        // repeater's par-send complete within this step.
+        match self.pending {
+            Pending::None | Pending::Sent | Pending::PassSent => {}
+            Pending::Keep { slot } => {
+                self.locals[slot as usize] = received[0];
+            }
+            Pending::CollectRecv => {
+                if let Some(buf) = &self.out {
+                    buf.lock().push(received[0]);
+                }
+            }
+            Pending::PassRecv { out: oc } => {
+                self.pending = Pending::PassSent;
+                out.push(CommReq::Send {
+                    chan: oc,
+                    value: received[0],
+                });
+                return;
+            }
+            Pending::ComputeRecv => {
+                let links = self.module.moving_of(self.pid);
+                for (mc, &v) in links.iter().zip(received) {
+                    self.locals[mc.slot as usize] = v;
+                }
+                // Execute the basic statement at the current index point.
+                if let Some(body) = &self.module.body {
+                    body.execute(&mut self.locals, &self.x);
+                }
+                // Par-send the moving locals.
+                self.pending = Pending::ComputeSent;
+                out.extend(links.iter().map(|mc| CommReq::Send {
+                    chan: mc.out,
+                    value: self.locals[mc.slot as usize],
+                }));
+                return;
+            }
+            Pending::ComputeSent => {
+                // Iteration finished: advance the repeater.
+                self.t += 1;
+                let incr = self.module.increment_of(self.pid);
+                for (xi, &inc) in self.x.iter_mut().zip(incr) {
+                    *xi += inc;
+                }
+            }
+        }
+
+        // Phase 2: issue the next communication.
+        let end = self.module.procs[self.pid].ops.1;
+        loop {
+            if self.pc >= end {
+                self.pending = Pending::None;
+                return;
+            }
+            match self.module.ops[self.pc as usize] {
+                ProcOp::Emit { chan } => {
+                    let value = self.module.data[self.cursor as usize];
+                    self.cursor += 1;
+                    self.pc += 1;
+                    self.pending = Pending::Sent;
+                    out.push(CommReq::Send { chan, value });
+                    return;
+                }
+                ProcOp::Collect { chan } => {
+                    self.pc += 1;
+                    self.pending = Pending::CollectRecv;
+                    out.push(CommReq::Recv { chan });
+                    return;
+                }
+                ProcOp::Keep { chan, slot } => {
+                    self.pc += 1;
+                    self.pending = Pending::Keep { slot };
+                    out.push(CommReq::Recv { chan });
+                    return;
+                }
+                ProcOp::Pass { inp, out: oc, n } => {
+                    if self.pass_left < 0 {
+                        self.pass_left = n as i64;
+                    }
+                    if self.pass_left == 0 {
+                        self.pass_left = -1;
+                        self.pc += 1;
+                        continue;
+                    }
+                    self.pass_left -= 1;
+                    self.pending = Pending::PassRecv { out: oc };
+                    out.push(CommReq::Recv { chan: inp });
+                    return;
+                }
+                ProcOp::Eject { chan, slot } => {
+                    let req = CommReq::Send {
+                        chan,
+                        value: self.locals[slot as usize],
+                    };
+                    self.pc += 1;
+                    self.pending = Pending::Sent;
+                    out.push(req);
+                    return;
+                }
+                ProcOp::Compute { count } => {
+                    if self.t >= count as i64 {
+                        // Reset for a hypothetical later Compute.
+                        self.pc += 1;
+                        self.t = 0;
+                        let (a, b) = self.module.procs[self.pid].repeater;
+                        let half = ((b - a) / 2) as usize;
+                        self.x
+                            .copy_from_slice(&self.module.points[a as usize..a as usize + half]);
+                        continue;
+                    }
+                    let links = self.module.moving_of(self.pid);
+                    if links.is_empty() {
+                        // No communications: execute the whole repeater
+                        // locally in one go.
+                        while self.t < count as i64 {
+                            if let Some(body) = &self.module.body {
+                                body.execute(&mut self.locals, &self.x);
+                            }
+                            self.t += 1;
+                            let incr = self.module.increment_of(self.pid);
+                            for (xi, &inc) in self.x.iter_mut().zip(incr) {
+                                *xi += inc;
+                            }
+                        }
+                        continue;
+                    }
+                    self.pending = Pending::ComputeRecv;
+                    out.extend(links.iter().map(|mc| CommReq::Recv { chan: mc.inp }));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        self.module.procs[self.pid].label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm_of(build: impl FnOnce(&mut ProcIrBuilder)) -> (ProcVm, Vec<SinkBuffer>) {
+        let mut b = ProcIrBuilder::new();
+        build(&mut b);
+        let module = b.build(None);
+        let inst = module.instantiate();
+        assert_eq!(inst.procs.len(), 1);
+        let out = module.procs[0]
+            .output
+            .map(|o| inst.outputs[o as usize].clone());
+        (ProcVm::new(module, 0, out), inst.outputs)
+    }
+
+    #[test]
+    fn source_emits_in_order() {
+        let (mut s, _) = vm_of(|b| {
+            b.source(0, &[1, 2], "src");
+        });
+        assert_eq!(s.step(&[]), vec![CommReq::Send { chan: 0, value: 1 }]);
+        assert_eq!(s.step(&[]), vec![CommReq::Send { chan: 0, value: 2 }]);
+        assert!(s.step(&[]).is_empty());
+    }
+
+    #[test]
+    fn sink_collects() {
+        let (mut s, outs) = vm_of(|b| {
+            b.sink(3, 2, "sink");
+        });
+        assert_eq!(s.step(&[]), vec![CommReq::Recv { chan: 3 }]);
+        assert_eq!(s.step(&[10]), vec![CommReq::Recv { chan: 3 }]);
+        assert!(s.step(&[20]).is_empty());
+        assert_eq!(*outs[0].lock(), vec![10, 20]);
+    }
+
+    #[test]
+    fn relay_alternates_recv_send() {
+        let (mut r, _) = vm_of(|b| {
+            b.relay(0, 1, 2, "relay");
+        });
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[7]), vec![CommReq::Send { chan: 1, value: 7 }]);
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[8]), vec![CommReq::Send { chan: 1, value: 8 }]);
+        assert!(r.step(&[]).is_empty());
+    }
+
+    #[test]
+    fn segment_relay_switches_channels() {
+        // Segments: 2 from chan 0 -> 10, 1 from chan 1 -> 11, skip a
+        // zero segment, 1 from chan 0 -> 10.
+        let (mut r, _) = vm_of(|b| {
+            b.segment_relay(&[(0, 10, 2), (1, 11, 1), (2, 12, 0), (0, 10, 1)], "seg");
+        });
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[5]), vec![CommReq::Send { chan: 10, value: 5 }]);
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 0 }]);
+        assert_eq!(r.step(&[6]), vec![CommReq::Send { chan: 10, value: 6 }]);
+        assert_eq!(r.step(&[]), vec![CommReq::Recv { chan: 1 }]);
+        assert_eq!(r.step(&[7]), vec![CommReq::Send { chan: 11, value: 7 }]);
+        assert_eq!(
+            r.step(&[]),
+            vec![CommReq::Recv { chan: 0 }],
+            "zero segment skipped"
+        );
+        assert_eq!(r.step(&[8]), vec![CommReq::Send { chan: 10, value: 8 }]);
+        assert!(r.step(&[]).is_empty());
+    }
+
+    #[test]
+    fn scripted_source_and_sink_round_robin() {
+        let (mut src, _) = vm_of(|b| {
+            b.scripted_source(&[(0, 10), (1, 20), (0, 11)], "host-in");
+        });
+        assert_eq!(src.step(&[]), vec![CommReq::Send { chan: 0, value: 10 }]);
+        assert_eq!(src.step(&[]), vec![CommReq::Send { chan: 1, value: 20 }]);
+        assert_eq!(src.step(&[]), vec![CommReq::Send { chan: 0, value: 11 }]);
+        assert!(src.step(&[]).is_empty());
+
+        let (mut sink, outs) = vm_of(|b| {
+            b.scripted_sink(&[2, 3, 2], "host-out");
+        });
+        assert_eq!(sink.step(&[]), vec![CommReq::Recv { chan: 2 }]);
+        assert_eq!(sink.step(&[5]), vec![CommReq::Recv { chan: 3 }]);
+        assert_eq!(sink.step(&[6]), vec![CommReq::Recv { chan: 2 }]);
+        assert!(sink.step(&[7]).is_empty());
+        assert_eq!(*outs[0].lock(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn module_is_reinstantiable() {
+        // Two instantiations of one module run independently.
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[4, 5], "src");
+        b.sink(0, 2, "sink");
+        let module = b.build(None);
+        for _ in 0..2 {
+            let inst = module.instantiate();
+            let mut net = crate::Network::new(crate::ChannelPolicy::Rendezvous);
+            for p in inst.procs {
+                net.add(p);
+            }
+            net.run().unwrap();
+            assert_eq!(*inst.outputs[0].lock(), vec![4, 5]);
+        }
+    }
+
+    #[test]
+    fn compute_repeater_runs_body() {
+        // One computation process: c := c + a (a moving on 0 -> 1,
+        // c kept then ejected on 2 -> 3), over 3 iterations.
+        let mut b = ProcIrBuilder::new();
+        b.begin("comp");
+        b.op(ProcOp::Keep { chan: 2, slot: 1 });
+        b.op(ProcOp::Compute { count: 3 });
+        b.op(ProcOp::Eject { chan: 3, slot: 1 });
+        b.repeater(
+            &[MovingLink {
+                slot: 0,
+                inp: 0,
+                out: 1,
+            }],
+            &[0],
+            &[1],
+            2,
+        );
+        b.finish();
+        b.source(0, &[2, 3, 4], "a-in");
+        b.source(2, &[10], "c-in");
+        b.sink(1, 3, "a-out");
+        b.sink(3, 1, "c-out");
+        let module = b.build(Some(Arc::new(|locals: &mut [Value], _x: &[i64]| {
+            locals[1] += locals[0];
+        })));
+        let inst = module.instantiate();
+        let mut net = crate::Network::new(crate::ChannelPolicy::Rendezvous);
+        for p in inst.procs {
+            net.add(p);
+        }
+        net.run().unwrap();
+        assert_eq!(*inst.outputs[0].lock(), vec![2, 3, 4], "a passes through");
+        assert_eq!(*inst.outputs[1].lock(), vec![10 + 2 + 3 + 4]);
+    }
+
+    #[test]
+    fn soak_compute_drain_uses_only_the_count_window() {
+        // A pipe of 4 values on a moving stream; the cell soaks 1,
+        // computes over 2, drains 1 — only the middle two reach the
+        // basic statement, and the index point advances per iteration.
+        let mut b = ProcIrBuilder::new();
+        b.begin("comp");
+        b.op(ProcOp::Keep { chan: 2, slot: 1 });
+        b.op(ProcOp::Pass {
+            inp: 0,
+            out: 1,
+            n: 1,
+        }); // soak
+        b.op(ProcOp::Compute { count: 2 });
+        b.op(ProcOp::Pass {
+            inp: 0,
+            out: 1,
+            n: 1,
+        }); // drain
+        b.op(ProcOp::Eject { chan: 3, slot: 1 });
+        b.repeater(
+            &[MovingLink {
+                slot: 0,
+                inp: 0,
+                out: 1,
+            }],
+            &[5],
+            &[1],
+            2,
+        );
+        b.finish();
+        b.source(0, &[100, 2, 3, 100], "a-in");
+        b.source(2, &[0], "c-in");
+        b.sink(1, 4, "a-out");
+        b.sink(3, 1, "c-out");
+        let module = b.build(Some(Arc::new(|locals: &mut [Value], x: &[i64]| {
+            locals[1] += locals[0] * x[0];
+        })));
+        let inst = module.instantiate();
+        let mut net = crate::Network::new(crate::ChannelPolicy::Rendezvous);
+        for p in inst.procs {
+            net.add(p);
+        }
+        net.run().unwrap();
+        assert_eq!(*inst.outputs[0].lock(), vec![100, 2, 3, 100], "FIFO order");
+        // Iterations see x = 5 then 6: 2*5 + 3*6 = 28.
+        assert_eq!(*inst.outputs[1].lock(), vec![28]);
+    }
+}

@@ -13,9 +13,10 @@
 //! Like the cooperative scheduler, the matcher keeps its channel endpoints
 //! in dense tables indexed by [`ChanId`] (no hashing under the lock), and
 //! a malformed network — two processes claiming the same endpoint — aborts
-//! the run with a diagnosis instead of panicking the offending thread.
+//! the run with a structured [`RunError`] diagnosis instead of panicking
+//! the offending thread.
 
-use crate::coop::RunStats;
+use crate::coop::{ProtocolViolation, RunError, RunStats};
 use crate::process::{ChanId, CommReq, Process, Value};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,8 +35,8 @@ struct EngineState {
     sets: Vec<SetState>,
     messages: u64,
     /// First fatal diagnosis (protocol violation or timeout); preferred
-    /// over the secondary "aborted" errors of the other threads.
-    failure: Option<String>,
+    /// over the secondary [`RunError::Aborted`] of the other threads.
+    failure: Option<RunError>,
 }
 
 impl EngineState {
@@ -50,11 +51,15 @@ impl EngineState {
 struct Engine {
     state: Mutex<EngineState>,
     wakeups: Vec<Condvar>,
+    /// Process labels captured before the threads were spawned, so
+    /// violation diagnoses can name both offenders.
+    labels: Vec<String>,
     aborted: AtomicBool,
 }
 
 impl Engine {
-    fn new(nprocs: usize) -> Engine {
+    fn new(labels: Vec<String>) -> Engine {
+        let nprocs = labels.len();
         Engine {
             state: Mutex::new(EngineState {
                 sends: Vec::new(),
@@ -69,20 +74,30 @@ impl Engine {
                 failure: None,
             }),
             wakeups: (0..nprocs).map(|_| Condvar::new()).collect(),
+            labels,
             aborted: AtomicBool::new(false),
         }
     }
 
-    /// Record a fatal diagnosis, wake everyone, and return the message.
-    fn abort(&self, st: &mut EngineState, msg: String) -> String {
+    /// Record a fatal diagnosis, wake everyone, and return the error.
+    fn abort(&self, st: &mut EngineState, err: RunError) -> RunError {
         self.aborted.store(true, Ordering::Relaxed);
         if st.failure.is_none() {
-            st.failure = Some(msg.clone());
+            st.failure = Some(err.clone());
         }
         for w in &self.wakeups {
             w.notify_one();
         }
-        msg
+        err
+    }
+
+    fn violation(&self, chan: ChanId, endpoint: &'static str, first: usize, second: usize) -> RunError {
+        RunError::Protocol(ProtocolViolation {
+            chan,
+            endpoint,
+            first: self.labels[first].clone(),
+            second: self.labels[second].clone(),
+        })
     }
 
     /// Offer a communication set and block until it completes, filling
@@ -94,7 +109,7 @@ impl Engine {
         reqs: &[CommReq],
         received: &mut Vec<Value>,
         timeout: Duration,
-    ) -> Result<(), String> {
+    ) -> Result<(), RunError> {
         let mut st = self.state.lock();
         st.sets[pid].remaining = reqs.len();
         st.sets[pid].inbox.clear();
@@ -112,11 +127,9 @@ impl Engine {
                             self.wakeups[rpid].notify_one();
                         }
                     } else {
-                        if st.sends[chan].is_some() {
-                            return Err(self.abort(
-                                &mut st,
-                                format!("protocol violation: two senders on channel {chan}"),
-                            ));
+                        if let Some((prev, _, _)) = st.sends[chan] {
+                            let err = self.violation(chan, "sender", prev, pid);
+                            return Err(self.abort(&mut st, err));
                         }
                         st.sends[chan] = Some((pid, ri, value));
                     }
@@ -132,11 +145,9 @@ impl Engine {
                             self.wakeups[spid].notify_one();
                         }
                     } else {
-                        if st.recvs[chan].is_some() {
-                            return Err(self.abort(
-                                &mut st,
-                                format!("protocol violation: two receivers on channel {chan}"),
-                            ));
+                        if let Some((prev, _)) = st.recvs[chan] {
+                            let err = self.violation(chan, "receiver", prev, pid);
+                            return Err(self.abort(&mut st, err));
                         }
                         st.recvs[chan] = Some((pid, ri));
                     }
@@ -145,13 +156,13 @@ impl Engine {
         }
         while st.sets[pid].remaining > 0 {
             if self.aborted.load(Ordering::Relaxed) {
-                return Err("aborted".into());
+                return Err(RunError::Aborted);
             }
             if self.wakeups[pid].wait_for(&mut st, timeout).timed_out() {
-                return Err(self.abort(
-                    &mut st,
-                    format!("process {pid} timed out waiting for rendezvous"),
-                ));
+                let err = RunError::Timeout {
+                    scope: format!("process {pid} ({})", self.labels[pid]),
+                };
+                return Err(self.abort(&mut st, err));
             }
         }
         received.clear();
@@ -168,9 +179,10 @@ impl Engine {
 /// `timeout` bounds any single rendezvous wait — a blown timeout reports
 /// instead of hanging (the cooperative scheduler is the deadlock oracle;
 /// this executor is for wall-clock measurement).
-pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<RunStats, String> {
+pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<RunStats, RunError> {
     let n = procs.len();
-    let engine = Arc::new(Engine::new(n));
+    let labels: Vec<String> = procs.iter().map(|p| p.label()).collect();
+    let engine = Arc::new(Engine::new(labels));
     let mut handles = Vec::with_capacity(n);
     let mut steps_total = 0u64;
     for (pid, mut proc) in procs.into_iter().enumerate() {
@@ -178,7 +190,7 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
         let h = std::thread::Builder::new()
             .name(format!("systolic-{pid}"))
             .stack_size(128 * 1024)
-            .spawn(move || -> Result<u64, String> {
+            .spawn(move || -> Result<u64, RunError> {
                 // Buffers reused across every step of this process.
                 let mut received = Vec::new();
                 let mut reqs = Vec::new();
@@ -197,8 +209,10 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
         handles.push(h);
     }
     let mut first_err = None;
-    for h in handles {
-        match h.join().map_err(|_| "thread panicked".to_string()) {
+    for (pid, h) in handles.into_iter().enumerate() {
+        match h.join().map_err(|_| RunError::Panicked {
+            scope: format!("process {pid}"),
+        }) {
             Ok(Ok(s)) => steps_total += s,
             Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
         }
@@ -219,20 +233,27 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::process::{sink_buffer, RelayProc, SinkProc, SourceProc};
+    use crate::process::{sink_buffer, SinkBuffer};
+    use crate::procir::ProcIrBuilder;
 
     const T: Duration = Duration::from_secs(10);
 
+    /// Instantiate a builder's module, returning the processes and the
+    /// output buffers in sink-declaration order.
+    fn procs_of(b: ProcIrBuilder) -> (Vec<Box<dyn Process>>, Vec<SinkBuffer>) {
+        let inst = b.build(None).instantiate();
+        (inst.procs, inst.outputs)
+    }
+
     #[test]
     fn threaded_pipeline_matches_cooperative() {
-        let buf = sink_buffer();
-        let procs: Vec<Box<dyn Process>> = vec![
-            Box::new(SourceProc::new(0, vec![1, 2, 3, 4], "src")),
-            Box::new(RelayProc::new(0, 1, 4, "relay")),
-            Box::new(SinkProc::new(1, 4, buf.clone(), "sink")),
-        ];
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2, 3, 4], "src");
+        b.relay(0, 1, 4, "relay");
+        b.sink(1, 4, "sink");
+        let (procs, outs) = procs_of(b);
         let stats = run_threaded(procs, T).unwrap();
-        assert_eq!(*buf.lock(), vec![1, 2, 3, 4]);
+        assert_eq!(*outs[0].lock(), vec![1, 2, 3, 4]);
         assert_eq!(stats.messages, 8);
         assert_eq!(stats.processes, 3);
     }
@@ -240,7 +261,7 @@ mod tests {
     #[test]
     fn threaded_fanout_join() {
         struct Join {
-            out: crate::process::SinkBuffer,
+            out: SinkBuffer,
             rounds: usize,
         }
         impl Process for Join {
@@ -255,25 +276,27 @@ mod tests {
                 vec![CommReq::Recv { chan: 0 }, CommReq::Recv { chan: 1 }]
             }
         }
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[2, 3], "sa");
+        b.source(1, &[10, 100], "sb");
+        let (mut procs, _) = procs_of(b);
         let buf = sink_buffer();
-        let procs: Vec<Box<dyn Process>> = vec![
-            Box::new(SourceProc::new(0, vec![2, 3], "sa")),
-            Box::new(SourceProc::new(1, vec![10, 100], "sb")),
-            Box::new(Join {
-                out: buf.clone(),
-                rounds: 2,
-            }),
-        ];
+        procs.push(Box::new(Join {
+            out: buf.clone(),
+            rounds: 2,
+        }));
         run_threaded(procs, T).unwrap();
         assert_eq!(*buf.lock(), vec![20, 300]);
     }
 
     #[test]
     fn timeout_reports_instead_of_hanging() {
-        let buf = sink_buffer();
-        let procs: Vec<Box<dyn Process>> = vec![Box::new(SinkProc::new(7, 1, buf, "lonely"))];
+        let mut b = ProcIrBuilder::new();
+        b.sink(7, 1, "lonely");
+        let (procs, _) = procs_of(b);
         let err = run_threaded(procs, Duration::from_millis(50)).unwrap_err();
-        assert!(err.contains("timed out"), "{err}");
+        assert!(matches!(err, RunError::Timeout { .. }), "{err}");
+        assert!(err.to_string().contains("timed out"), "{err}");
     }
 
     #[test]
@@ -281,28 +304,36 @@ mod tests {
         // No receiver exists, so both sources must park their sends on
         // channel 0; whichever registers second trips the violation, and
         // the run reports it (not a bare "aborted").
-        let procs: Vec<Box<dyn Process>> = vec![
-            Box::new(SourceProc::new(0, vec![1, 2], "src-a")),
-            Box::new(SourceProc::new(0, vec![3, 4], "src-b")),
-        ];
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2], "src-a");
+        b.source(0, &[3, 4], "src-b");
+        let (procs, _) = procs_of(b);
         let err = run_threaded(procs, T).unwrap_err();
-        assert!(err.contains("two senders on channel 0"), "{err}");
+        let RunError::Protocol(v) = err else {
+            panic!("expected protocol violation, got {err}");
+        };
+        assert_eq!(v.chan, 0);
+        assert_eq!(v.endpoint, "sender");
+        // Registration order is racy across threads, but both offenders
+        // are named either way.
+        let mut pair = [v.first.as_str(), v.second.as_str()];
+        pair.sort_unstable();
+        assert_eq!(pair, ["src-a", "src-b"]);
+        assert!(v.to_string().contains("two senders"));
     }
 
     #[test]
     fn many_threads_small_stacks() {
         // 200 parallel one-shot pipelines.
-        let mut procs: Vec<Box<dyn Process>> = Vec::new();
-        let mut bufs = Vec::new();
-        for i in 0..200 {
-            let buf = sink_buffer();
-            procs.push(Box::new(SourceProc::new(i, vec![i as Value], "s")));
-            procs.push(Box::new(SinkProc::new(i, 1, buf.clone(), "k")));
-            bufs.push(buf);
+        let mut b = ProcIrBuilder::new();
+        for i in 0..200usize {
+            b.source(i, &[i as Value], "s");
+            b.sink(i, 1, "k");
         }
+        let (procs, outs) = procs_of(b);
         run_threaded(procs, T).unwrap();
-        for (i, b) in bufs.iter().enumerate() {
-            assert_eq!(*b.lock(), vec![i as Value]);
+        for (i, buf) in outs.iter().enumerate() {
+            assert_eq!(*buf.lock(), vec![i as Value]);
         }
     }
 }

@@ -1,49 +1,33 @@
 //! Randomized stress tests: the three executors (cooperative, threaded,
-//! partitioned) must agree on arbitrary relay networks.
+//! partitioned) must agree on arbitrary relay networks lowered to ProcIR.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 use systolic_runtime::{
-    block_partition, run_partitioned, run_threaded, sink_buffer, ChannelPolicy, Network, Process,
-    RelayProc, SinkBuffer, SinkProc, SourceProc,
+    block_partition, run_partitioned, run_threaded, ChannelPolicy, Network, ProcIrBuilder,
+    ProcIrModule,
 };
 
 /// Build `k` independent pipelines with the given relay counts and
-/// payload lengths. Returns (processes, sink buffers, expected values).
-#[allow(clippy::type_complexity)]
-fn build(specs: &[(usize, usize)]) -> (Vec<Box<dyn Process>>, Vec<SinkBuffer>, Vec<Vec<i64>>) {
-    let mut procs: Vec<Box<dyn Process>> = Vec::new();
-    let mut bufs = Vec::new();
+/// payload lengths as one ProcIR module. Returns (module, expected values
+/// per pipeline, in sink order).
+fn build(specs: &[(usize, usize)]) -> (Arc<ProcIrModule>, Vec<Vec<i64>>) {
+    let mut b = ProcIrBuilder::new();
     let mut expected = Vec::new();
     let mut chan = 0usize;
     for (pipe, &(relays, len)) in specs.iter().enumerate() {
         let values: Vec<i64> = (0..len as i64).map(|v| v * 7 + pipe as i64).collect();
-        procs.push(Box::new(SourceProc::new(
-            chan,
-            values.clone(),
-            format!("src{pipe}"),
-        )));
+        b.source(chan, &values, format!("src{pipe}"));
         for r in 0..relays {
-            procs.push(Box::new(RelayProc::new(
-                chan,
-                chan + 1,
-                len,
-                format!("r{pipe}.{r}"),
-            )));
+            b.relay(chan, chan + 1, len, format!("r{pipe}.{r}"));
             chan += 1;
         }
-        let buf = sink_buffer();
-        procs.push(Box::new(SinkProc::new(
-            chan,
-            len,
-            buf.clone(),
-            format!("sink{pipe}"),
-        )));
+        b.sink(chan, len, format!("sink{pipe}"));
         chan += 1;
-        bufs.push(buf);
         expected.push(values);
     }
-    (procs, bufs, expected)
+    (b.build(None), expected)
 }
 
 /// Case count: default, overridable via PROPTEST_CASES for deep fuzzing.
@@ -62,29 +46,32 @@ proptest! {
         specs in proptest::collection::vec((0usize..6, 0usize..12), 1..6),
         workers in 1usize..5,
     ) {
+        // One elaboration, one module: each executor re-instantiates it.
+        let (module, expected) = build(&specs);
+
         // Cooperative.
-        let (procs, bufs, expected) = build(&specs);
+        let inst = module.instantiate();
         let mut net = Network::new(ChannelPolicy::Rendezvous);
-        for p in procs {
+        for p in inst.procs {
             net.add(p);
         }
         net.run().unwrap();
-        for (b, e) in bufs.iter().zip(&expected) {
+        for (b, e) in inst.outputs.iter().zip(&expected) {
             prop_assert_eq!(&*b.lock(), e);
         }
 
         // Threaded.
-        let (procs, bufs, expected) = build(&specs);
-        run_threaded(procs, Duration::from_secs(20)).unwrap();
-        for (b, e) in bufs.iter().zip(&expected) {
+        let inst = module.instantiate();
+        run_threaded(inst.procs, Duration::from_secs(20)).unwrap();
+        for (b, e) in inst.outputs.iter().zip(&expected) {
             prop_assert_eq!(&*b.lock(), e);
         }
 
         // Partitioned.
-        let (procs, bufs, expected) = build(&specs);
-        let groups = block_partition(procs.len(), workers);
-        run_partitioned(procs, groups, Duration::from_secs(20)).unwrap();
-        for (b, e) in bufs.iter().zip(&expected) {
+        let inst = module.instantiate();
+        let groups = block_partition(inst.procs.len(), workers);
+        run_partitioned(inst.procs, groups, Duration::from_secs(20)).unwrap();
+        for (b, e) in inst.outputs.iter().zip(&expected) {
             prop_assert_eq!(&*b.lock(), e);
         }
     }
@@ -94,13 +81,14 @@ proptest! {
         specs in proptest::collection::vec((0usize..5, 1usize..10), 1..4),
         cap in 1usize..5,
     ) {
-        let (procs, bufs, expected) = build(&specs);
+        let (module, expected) = build(&specs);
+        let inst = module.instantiate();
         let mut net = Network::new(ChannelPolicy::Buffered(cap));
-        for p in procs {
+        for p in inst.procs {
             net.add(p);
         }
         net.run().unwrap();
-        for (b, e) in bufs.iter().zip(&expected) {
+        for (b, e) in inst.outputs.iter().zip(&expected) {
             prop_assert_eq!(&*b.lock(), e);
         }
     }
@@ -111,9 +99,9 @@ proptest! {
     fn message_conservation(
         specs in proptest::collection::vec((0usize..5, 0usize..10), 1..5),
     ) {
-        let (procs, _bufs, _expected) = build(&specs);
+        let (module, _expected) = build(&specs);
         let mut net = Network::new(ChannelPolicy::Rendezvous);
-        for p in procs {
+        for p in module.instantiate().procs {
             net.add(p);
         }
         let stats = net.run().unwrap();

@@ -94,6 +94,9 @@ pub enum Error {
     /// No valid schedule/place within the search bound.
     NoArrayFound,
     Compile(CompileError),
+    /// The compiled plan could not be lowered to process bytecode for the
+    /// given host data (misaligned pipes, missing/short host arrays).
+    Elaborate(systolic_interp::ElabError),
     /// Simulated and sequential executions disagree (should be
     /// unreachable for accepted inputs — surfaced for the test harness).
     Mismatch(String),
@@ -106,6 +109,7 @@ impl fmt::Display for Error {
             Error::Parse(e) => write!(f, "parse error: {e}"),
             Error::NoArrayFound => write!(f, "no valid systolic array within the search bound"),
             Error::Compile(e) => write!(f, "compilation failed: {e}"),
+            Error::Elaborate(e) => write!(f, "elaboration failed: {e}"),
             Error::Mismatch(m) => write!(f, "equivalence failure: {m}"),
             Error::Deadlock(m) => write!(f, "{m}"),
         }
@@ -212,6 +216,7 @@ impl Systolized {
         let env = self.size_env(sizes);
         systolic_interp::run_plan(&self.plan, &env, store, ChannelPolicy::Rendezvous, opts)
             .map_err(|e| match e {
+                systolic_interp::ExecError::Elab(el) => Error::Elaborate(el),
                 systolic_interp::ExecError::Run(r) => Error::Deadlock(r.to_string()),
                 short @ systolic_interp::ExecError::ShortOutput { .. } => {
                     Error::Mismatch(short.to_string())

@@ -9,11 +9,13 @@
 //! captured from the seed (pre-event-driven) scheduler; the rewrite is
 //! required to preserve them exactly.
 
+use std::time::Duration;
 use systolizer::core::{compile, Options};
-use systolizer::interp::verify_equivalence;
+use systolizer::interp::{run_plan, run_plan_partitioned, run_plan_threaded, verify_equivalence};
+use systolizer::ir::HostStore;
 use systolizer::ir::gallery;
 use systolizer::math::Env;
-use systolizer::runtime::RunStats;
+use systolizer::runtime::{ChannelPolicy, RunStats};
 use systolizer::synthesis::{derive_array, placement::paper};
 
 fn golden(processes: usize, rounds: u64, messages: u64, steps: u64) -> RunStats {
@@ -46,6 +48,53 @@ fn paper_designs_are_deterministic_and_match_goldens() {
             .unwrap_or_else(|| panic!("no golden for paper design {label}"))
             .1;
         assert_eq!(&first, want, "{label}: stats drifted from the seed golden");
+    }
+}
+
+/// All three executors drive the same ProcIR bytecode, so on every paper
+/// design they must recover bit-identical host stores and move exactly
+/// the golden message/step counts; only `rounds` is scheduler-specific
+/// (the threaded executors report 0 — there is no virtual clock).
+#[test]
+fn executors_agree_bit_for_bit_on_paper_designs() {
+    let goldens = [
+        ("D.1", golden(16, 44, 139, 244)),
+        ("D.2", golden(24, 70, 235, 444)),
+        ("E.1", golden(55, 36, 450, 705)),
+        ("E.2", golden(191, 22, 710, 1111)),
+    ];
+    let timeout = Duration::from_secs(20);
+    for (label, p, a) in paper::all() {
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let mut store = HostStore::allocate(&p, &env);
+        store.fill_random("a", 11, -9, 9);
+        store.fill_random("b", 12, -9, 9);
+
+        let coop = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &Default::default(),
+        )
+        .unwrap();
+        let want = &goldens.iter().find(|(l, _)| *l == label).unwrap().1;
+        assert_eq!(&coop.stats, want, "{label}: cooperative stats drifted");
+
+        let threaded = run_plan_threaded(&plan, &env, &store, timeout).unwrap();
+        assert_eq!(threaded.store, coop.store, "{label}: threaded store");
+        assert_eq!(threaded.stats.messages, want.messages, "{label}");
+        assert_eq!(threaded.stats.steps, want.steps, "{label}");
+        assert_eq!(threaded.stats.rounds, 0, "{label}: no virtual clock");
+
+        for workers in [1usize, 3] {
+            let part = run_plan_partitioned(&plan, &env, &store, workers, timeout).unwrap();
+            assert_eq!(part.store, coop.store, "{label} w={workers}: store");
+            assert_eq!(part.stats.messages, want.messages, "{label} w={workers}");
+            assert_eq!(part.stats.steps, want.steps, "{label} w={workers}");
+        }
     }
 }
 

@@ -131,7 +131,8 @@ fn process_counts_match_the_layouts() {
             &env,
             &store,
             &systolizer::interp::ElabOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(el.census.computation, cs_size, "{}", p.name);
     }
 }

@@ -151,7 +151,8 @@ fn merged_io_reduces_host_process_count() {
     let mut env = Env::new();
     env.bind(p.sizes[0], 3);
     let store = systolizer::ir::HostStore::allocate(&p, &env);
-    let separate = systolizer::interp::elaborate(&plan, &env, &store, &ElabOptions::default());
+    let separate =
+        systolizer::interp::elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
     let merged = systolizer::interp::elaborate(
         &plan,
         &env,
@@ -160,7 +161,8 @@ fn merged_io_reduces_host_process_count() {
             merge_io: true,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(merged.census.inputs, 3, "one host input per stream");
     assert_eq!(merged.census.outputs, 3);
     assert!(separate.census.inputs > 9, "E.2 has many per-pipe inputs");
