@@ -15,14 +15,20 @@
 //! Wall-clock is the minimum over [`ITERS`] runs (the usual noise-robust
 //! estimator); rounds/messages/steps are deterministic and identical
 //! across runs.
+//!
+//! The timed runs carry no recorders — the snapshot guards the
+//! zero-cost-when-off contract of the observability layer. A separate
+//! observed pass (outside the timing loop) contributes the receiver-wait
+//! and messages-per-round histograms, and double-checks that attaching
+//! recorders leaves rounds/messages/steps untouched.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use systolic_core::{compile, Options};
-use systolic_interp::{run_plan, ElabOptions};
+use systolic_interp::{run_plan, run_plan_recorded, ElabOptions};
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::ChannelPolicy;
+use systolic_runtime::{shared, ChannelPolicy, MetricsRecorder};
 use systolic_synthesis::placement::paper;
 
 const ITERS: usize = 9;
@@ -40,6 +46,15 @@ struct Entry {
     rounds: u64,
     messages: u64,
     steps: u64,
+    /// (receiver wait in rounds, transfer count) — from the observed pass.
+    wait_hist: Vec<(u64, u64)>,
+    /// (messages in one round, round count) — the occupancy profile.
+    msgs_per_round_hist: Vec<(u64, u64)>,
+}
+
+fn pairs_json(pairs: &[(u64, u64)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(a, b)| format!("[{a}, {b}]")).collect();
+    format!("[{}]", body.join(", "))
 }
 
 fn measure(label: &'static str, mk: DesignFn, n: i64) -> Entry {
@@ -68,6 +83,25 @@ fn measure(label: &'static str, mk: DesignFn, n: i64) -> Entry {
         stats = Some(run.stats);
     }
     let stats = stats.unwrap();
+
+    // Observed pass, outside the timing loop: histograms for the
+    // snapshot, plus the invariance check.
+    let (metrics, erased) = shared(MetricsRecorder::new());
+    let observed = run_plan_recorded(
+        &plan,
+        &env,
+        &store,
+        ChannelPolicy::Rendezvous,
+        &ElabOptions::default(),
+        &[erased],
+    )
+    .unwrap();
+    assert_eq!(
+        observed.stats, stats,
+        "recorders must not perturb rounds/messages/steps"
+    );
+    let report = metrics.lock().report();
+
     Entry {
         design: label,
         n,
@@ -76,6 +110,8 @@ fn measure(label: &'static str, mk: DesignFn, n: i64) -> Entry {
         rounds: stats.rounds,
         messages: stats.messages,
         steps: stats.steps,
+        wait_hist: report.wait_hist,
+        msgs_per_round_hist: report.msgs_per_time_hist,
     }
 }
 
@@ -107,7 +143,8 @@ fn main() {
         let _ = writeln!(
             snapshot,
             "      {{\"design\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \"processes\": {}, \
-             \"rounds\": {}, \"messages\": {}, \"steps\": {}}}{}",
+             \"rounds\": {}, \"messages\": {}, \"steps\": {}, \
+             \"wait_hist\": {}, \"msgs_per_round_hist\": {}}}{}",
             e.design,
             e.n,
             e.wall_ms,
@@ -115,6 +152,8 @@ fn main() {
             e.rounds,
             e.messages,
             e.steps,
+            pairs_json(&e.wait_hist),
+            pairs_json(&e.msgs_per_round_hist),
             if i + 1 < entries.len() { "," } else { "" }
         );
     }

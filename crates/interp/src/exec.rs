@@ -8,7 +8,7 @@ use std::time::Duration;
 use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
-use systolic_runtime::{run_threaded, ChannelPolicy, Network, RunError, RunStats, SinkBuffer};
+use systolic_runtime::{ChannelPolicy, Network, RunError, RunStats, SharedRecorder, SinkBuffer};
 
 /// Outcome of a systolic run.
 pub struct SystolicRun {
@@ -69,7 +69,7 @@ impl From<ElabError> for ExecError {
 
 /// Restore every output buffer of a finished run into the host store,
 /// following the element maps of the [`OutputSpec`]s.
-fn writeback(
+pub(crate) fn writeback(
     outputs: &[OutputSpec],
     buffers: &[SinkBuffer],
     store: &mut HostStore,
@@ -100,14 +100,32 @@ pub fn run_plan(
     policy: ChannelPolicy,
     opts: &ElabOptions,
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_recorded(plan, env, store, policy, opts, &[])
+}
+
+/// [`run_plan`] with observers attached (see `systolic_runtime::record`):
+/// the recorders see every VM op, scheduler step, and channel transfer.
+/// With an empty slice this is exactly `run_plan` and pays no per-event
+/// cost.
+pub fn run_plan_recorded(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
         module,
         outputs,
         census,
         ..
     } = elaborate(plan, env, store, opts)?;
-    let inst = module.instantiate();
+    let inst = module.instantiate_recorded(recorders);
     let mut net = Network::new(policy);
+    for r in recorders {
+        net.add_recorder(r.clone());
+    }
     for p in inst.procs {
         net.add(p);
     }
@@ -128,14 +146,26 @@ pub fn run_plan_threaded(
     store: &HostStore,
     timeout: Duration,
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_threaded_recorded(plan, env, store, timeout, Vec::new())
+}
+
+/// [`run_plan_threaded`] with observers attached. Transfer times are in
+/// microseconds since run start; waits are not measured (no round clock).
+pub fn run_plan_threaded_recorded(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
         module,
         outputs,
         census,
         ..
     } = elaborate(plan, env, store, &ElabOptions::default())?;
-    let inst = module.instantiate();
-    let stats = run_threaded(inst.procs, timeout)?;
+    let inst = module.instantiate_recorded(&recorders);
+    let stats = systolic_runtime::run_threaded_recorded(inst.procs, timeout, recorders)?;
     let mut result = store.clone();
     writeback(&outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
@@ -155,15 +185,27 @@ pub fn run_plan_partitioned(
     workers: usize,
     timeout: Duration,
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_partitioned_recorded(plan, env, store, workers, timeout, Vec::new())
+}
+
+/// [`run_plan_partitioned`] with observers attached.
+pub fn run_plan_partitioned_recorded(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    workers: usize,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
         module,
         outputs,
         census,
         ..
     } = elaborate(plan, env, store, &ElabOptions::default())?;
-    let inst = module.instantiate();
+    let inst = module.instantiate_recorded(&recorders);
     let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
-    let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)?;
+    let stats = systolic_runtime::run_partitioned_recorded(inst.procs, groups, timeout, recorders)?;
     let mut result = store.clone();
     writeback(&outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {

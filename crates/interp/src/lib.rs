@@ -8,11 +8,14 @@
 //!   insertion at a concrete problem size, lowering every process to the
 //!   flat `ProcIR` bytecode (`systolic_runtime::ProcIrModule`);
 //! - [`exec`] — running plans on any executor and verifying
-//!   observational equivalence with the sequential reference.
+//!   observational equivalence with the sequential reference;
+//! - [`metrics`] — observed runs: metrics reports and Perfetto traces
+//!   with channels named by stream and process-space point.
 
 pub mod describe;
 pub mod elaborate;
 pub mod exec;
+pub mod metrics;
 pub mod runtime_gen;
 pub mod rustgen;
 pub mod trace;
@@ -20,6 +23,8 @@ pub mod trace;
 pub use describe::describe;
 pub use elaborate::{elaborate, Census, ElabError, ElabOptions, Elaborated, OutputSpec};
 pub use exec::{
-    run_plan, run_plan_partitioned, run_plan_threaded, verify_equivalence, verify_equivalence_with,
+    run_plan, run_plan_partitioned, run_plan_partitioned_recorded, run_plan_recorded,
+    run_plan_threaded, run_plan_threaded_recorded, verify_equivalence, verify_equivalence_with,
     ExecError, SystolicRun,
 };
+pub use metrics::{channel_names, observe_plan, Observed};

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{ChannelPolicy, Network, TraceEvent};
+use systolic_runtime::{shared, ChannelPolicy, EventLogRecorder, Network};
 
 /// One located transfer: stream, receiving process coordinates, round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,6 +28,10 @@ pub struct LocatedEvent {
 /// Run the plan with tracing; returns the located arrival events at
 /// computation/buffer processes (i/o fringe and relay hops are omitted:
 /// the diagram shows cell activity, as the hardware figures do).
+///
+/// The events are sourced from the runtime's recorder stream (an
+/// [`EventLogRecorder`] attached to the network) — the same stream the
+/// metrics and Perfetto exporters consume.
 pub fn run_traced(
     plan: &SystolicProgram,
     env: &Env,
@@ -36,25 +40,31 @@ pub fn run_traced(
     let Elaborated {
         module, endpoints, ..
     } = elaborate(plan, env, store, &ElabOptions::default())?;
+    let (log, erased) = shared(EventLogRecorder::new());
+    let recorders = [erased];
+    let inst = module.instantiate_recorded(&recorders);
     let mut net = Network::new(ChannelPolicy::Rendezvous);
-    for p in module.instantiate().procs {
+    net.add_recorder(recorders[0].clone());
+    for p in inst.procs {
         net.add(p);
     }
-    let (stats, trace) = net.run_traced().map_err(ExecError::Run)?;
+    let stats = net.run().map_err(ExecError::Run)?;
     // chan -> (stream name, coords) for the *incoming* channel of each
     // process.
     let mut incoming: HashMap<usize, (String, Vec<i64>)> = HashMap::new();
     for (sid, y, ic, _oc) in &endpoints {
         incoming.insert(*ic, (plan.streams[*sid].name.clone(), y.clone()));
     }
-    let located = trace
+    let located = log
+        .lock()
+        .transfers()
         .iter()
-        .filter_map(|TraceEvent { round, chan, value }| {
-            incoming.get(chan).map(|(stream, at)| LocatedEvent {
-                round: *round,
+        .filter_map(|t| {
+            incoming.get(&t.chan).map(|(stream, at)| LocatedEvent {
+                round: t.time,
                 stream: stream.clone(),
                 at: at.clone(),
-                value: *value,
+                value: t.value,
             })
         })
         .collect();

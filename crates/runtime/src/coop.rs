@@ -29,7 +29,10 @@
 //! rendezvous.
 
 use crate::process::{ChanId, CommReq, Process, Value};
+use crate::record::{EventLogRecorder, SharedRecorder, Transfer, QUEUE_ENDPOINT};
+use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Channel behaviour for the ablation experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,14 +118,20 @@ pub enum RunError {
     Protocol(ProtocolViolation),
     /// A rendezvous wait outlived the executor's timeout budget; `scope`
     /// names the blocked thread ("process 3", "group 1").
-    Timeout { scope: String },
+    Timeout {
+        scope: String,
+    },
     /// A worker stopped because another thread failed first — a
     /// secondary error, reported only when the primary diagnosis is lost.
     Aborted,
     /// A worker thread panicked.
-    Panicked { scope: String },
+    Panicked {
+        scope: String,
+    },
     /// The requested partition is not a partition of the process set.
-    Partition { reason: String },
+    Partition {
+        reason: String,
+    },
 }
 
 impl RunError {
@@ -199,8 +208,7 @@ fn enabled(slot: &ChanSlot, policy: ChannelPolicy) -> bool {
         ChannelPolicy::Buffered(cap) => {
             let can_recv = slot.receiver.is_some() && !slot.queue.is_empty();
             // A pop frees one slot before the send is considered.
-            can_recv
-                || (slot.sender.is_some() && slot.queue.len() - usize::from(can_recv) < cap)
+            can_recv || (slot.sender.is_some() && slot.queue.len() - usize::from(can_recv) < cap)
         }
     }
 }
@@ -236,7 +244,19 @@ pub struct Network {
     /// `procs` for termination.
     unfinished: usize,
     stats: RunStats,
-    trace: Option<Vec<TraceEvent>>,
+    /// Attached observability sinks (see `crate::record`). Empty in the
+    /// common case: every recording hook is behind one `is_empty` branch,
+    /// so an unobserved run allocates and locks nothing extra.
+    recorders: Vec<SharedRecorder>,
+    /// Rounds at which each channel's current (sender, receiver)
+    /// registered, indexed like `chans`. Kept out of `ChanSlot` — and
+    /// empty unless recorders are attached — so observability adds no
+    /// bytes to the hot channel table of an unobserved run.
+    since: Vec<(u64, u64)>,
+    /// The recorder behind [`Network::enable_trace`] /
+    /// [`Network::run_traced`], kept typed so the transfer log can be
+    /// extracted after the run.
+    trace_log: Option<Arc<Mutex<EventLogRecorder>>>,
 }
 
 impl Network {
@@ -252,13 +272,28 @@ impl Network {
             req_scratch: Vec::new(),
             unfinished: 0,
             stats: RunStats::default(),
-            trace: None,
+            recorders: Vec::new(),
+            since: Vec::new(),
+            trace_log: None,
         }
     }
 
+    /// Attach an observability sink; every recorder receives the full
+    /// event stream (transfers with wait attribution, steps, process
+    /// terminations, run start/end). Attach before [`Network::run`].
+    pub fn add_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorders.push(recorder);
+    }
+
     /// Record every channel transfer; retrieve with [`Network::run_traced`].
+    /// Implemented as an internal [`EventLogRecorder`] on the same event
+    /// stream the public recorders consume.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        if self.trace_log.is_none() {
+            let log = Arc::new(Mutex::new(EventLogRecorder::new()));
+            self.recorders.push(log.clone());
+            self.trace_log = Some(log);
+        }
     }
 
     /// Run to completion, returning the statistics and the recorded
@@ -266,7 +301,21 @@ impl Network {
     pub fn run_traced(mut self) -> Result<(RunStats, Vec<TraceEvent>), RunError> {
         self.enable_trace();
         let stats = self.run_inner()?;
-        let trace = self.trace.take().unwrap_or_default();
+        let trace = self
+            .trace_log
+            .take()
+            .map(|log| {
+                log.lock()
+                    .take_transfers()
+                    .into_iter()
+                    .map(|t| TraceEvent {
+                        round: t.time,
+                        chan: t.chan,
+                        value: t.value,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok((stats, trace))
     }
 
@@ -291,12 +340,21 @@ impl Network {
     fn run_inner(&mut self) -> Result<RunStats, RunError> {
         self.stats.processes = self.procs.len();
         self.unfinished = self.procs.len();
+        if !self.recorders.is_empty() {
+            let labels: Vec<String> = self.procs.iter().map(|p| p.proc.label()).collect();
+            for r in &self.recorders {
+                r.lock().start(&labels);
+            }
+        }
         // Prime every process.
         for i in 0..self.procs.len() {
             self.advance(i)?;
         }
         loop {
             if self.unfinished == 0 {
+                for r in &self.recorders {
+                    r.lock().end(self.stats.rounds);
+                }
                 return Ok(self.stats.clone());
             }
             let fired = self.round()?;
@@ -345,6 +403,12 @@ impl Network {
             p.proc.step_into(&self.recv_scratch, &mut self.req_scratch);
         }
         self.stats.steps += 1;
+        let recording = !self.recorders.is_empty();
+        if recording {
+            for r in &self.recorders {
+                r.lock().step(self.stats.rounds, pi);
+            }
+        }
 
         let p = &mut self.procs[pi];
         p.pending.clear();
@@ -353,6 +417,11 @@ impl Network {
             p.finished = true;
             p.remaining = 0;
             self.unfinished -= 1;
+            if recording {
+                for r in &self.recorders {
+                    r.lock().finished(self.stats.rounds, pi);
+                }
+            }
             return Ok(());
         }
         p.pending
@@ -371,6 +440,9 @@ impl Network {
                         Some((prev, _, _)) => (chan, Some(("sender", prev))),
                         None => {
                             slot.sender = Some((pi, ri, value));
+                            if recording {
+                                since_mut(&mut self.since, chan).0 = self.stats.rounds;
+                            }
                             (chan, None)
                         }
                     }
@@ -381,6 +453,9 @@ impl Network {
                         Some((prev, _)) => (chan, Some(("receiver", prev))),
                         None => {
                             slot.receiver = Some((pi, ri));
+                            if recording {
+                                since_mut(&mut self.since, chan).1 = self.stats.rounds;
+                            }
                             (chan, None)
                         }
                     }
@@ -446,12 +521,21 @@ impl Network {
                     else {
                         continue;
                     };
-                    if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEvent {
-                            round: self.stats.rounds,
+                    if !self.recorders.is_empty() {
+                        let (s_since, r_since) = *since_mut(&mut self.since, chan);
+                        let now = self.stats.rounds;
+                        let ev = Transfer {
+                            time: now,
                             chan,
                             value: v,
-                        });
+                            sender: spi,
+                            receiver: rpi,
+                            sender_wait: now - s_since,
+                            receiver_wait: now - r_since,
+                        };
+                        for r in &self.recorders {
+                            r.lock().transfer(&ev);
+                        }
                     }
                     self.complete(spi, sri, None);
                     self.complete(rpi, rri, Some(v));
@@ -473,7 +557,7 @@ impl Network {
                     if slot.queue.len() < cap {
                         if let Some((pi, ri, v)) = slot.sender.take() {
                             slot.queue.push_back(v);
-                            send_done = Some((pi, ri));
+                            send_done = Some((pi, ri, v));
                         }
                     }
                     // A send that landed while the receiver still waits
@@ -482,11 +566,45 @@ impl Network {
                         slot.in_worklist = true;
                         self.worklist.push(chan);
                     }
+                    let now = self.stats.rounds;
                     if let Some((pi, ri, v)) = recv_done {
+                        // A dequeue: the sending side already completed
+                        // when the value entered the queue.
+                        if !self.recorders.is_empty() {
+                            let r_since = since_mut(&mut self.since, chan).1;
+                            let ev = Transfer {
+                                time: now,
+                                chan,
+                                value: v,
+                                sender: QUEUE_ENDPOINT,
+                                receiver: pi,
+                                sender_wait: 0,
+                                receiver_wait: now - r_since,
+                            };
+                            for r in &self.recorders {
+                                r.lock().transfer(&ev);
+                            }
+                        }
                         self.complete(pi, ri, Some(v));
                         fired += 1;
                     }
-                    if let Some((pi, ri)) = send_done {
+                    if let Some((pi, ri, v)) = send_done {
+                        // An enqueue: no receiving process yet.
+                        if !self.recorders.is_empty() {
+                            let s_since = since_mut(&mut self.since, chan).0;
+                            let ev = Transfer {
+                                time: now,
+                                chan,
+                                value: v,
+                                sender: pi,
+                                receiver: QUEUE_ENDPOINT,
+                                sender_wait: now - s_since,
+                                receiver_wait: 0,
+                            };
+                            for r in &self.recorders {
+                                r.lock().transfer(&ev);
+                            }
+                        }
                         self.complete(pi, ri, None);
                         fired += 1;
                     }
@@ -516,6 +634,16 @@ fn slot_mut(chans: &mut Vec<ChanSlot>, chan: ChanId) -> &mut ChanSlot {
         chans.resize_with(chan + 1, ChanSlot::default);
     }
     &mut chans[chan]
+}
+
+/// The recording-only companion of [`slot_mut`]: grows the side table of
+/// endpoint registration rounds on demand. Never called on an unobserved
+/// run, so `Network::since` stays empty there.
+fn since_mut(since: &mut Vec<(u64, u64)>, chan: ChanId) -> &mut (u64, u64) {
+    if chan >= since.len() {
+        since.resize(chan + 1, (0, 0));
+    }
+    &mut since[chan]
 }
 
 #[cfg(test)]
@@ -620,7 +748,10 @@ mod tests {
         let RunError::Protocol(v) = err else {
             panic!("expected protocol violation, got {err}");
         };
-        assert_eq!((v.first.as_str(), v.second.as_str()), ("src-direct", "relay"));
+        assert_eq!(
+            (v.first.as_str(), v.second.as_str()),
+            ("src-direct", "relay")
+        );
     }
 
     #[test]

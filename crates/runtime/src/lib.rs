@@ -16,21 +16,30 @@
 //! - [`threaded`] — the OS-thread executor with a blocking rendezvous
 //!   engine for wall-clock parallel measurements;
 //! - [`partition`] — the Sec. 8 partitioning refinement: many virtual
-//!   processes multiplexed per worker thread.
+//!   processes multiplexed per worker thread;
+//! - [`record`] — the observability layer: the [`Recorder`] event sink
+//!   threaded through the VM and all three executors, with metrics
+//!   aggregation ([`MetricsRecorder`]) and Chrome-trace export
+//!   ([`PerfettoRecorder`]); zero cost when no recorder is attached.
 
 pub mod coop;
 pub mod partition;
 pub mod process;
 pub mod procir;
+pub mod record;
 pub mod threaded;
 
 pub use coop::{
     ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats, TraceEvent,
 };
-pub use partition::{block_partition, run_partitioned};
+pub use partition::{block_partition, run_partitioned, run_partitioned_recorded};
 pub use process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
 pub use procir::{
     ComputeBody, Instance, MovingLink, ProcId, ProcIrBuilder, ProcIrModule, ProcOp, ProcRecord,
     ProcVm,
 };
-pub use threaded::run_threaded;
+pub use record::{
+    shared, ChanMetrics, EventLogRecorder, MetricsRecorder, MetricsReport, OpKind, PerfettoEvent,
+    PerfettoRecorder, Phase, ProcMetrics, Recorder, SharedRecorder, Transfer, QUEUE_ENDPOINT,
+};
+pub use threaded::{run_threaded, run_threaded_recorded};

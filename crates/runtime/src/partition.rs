@@ -23,10 +23,11 @@
 
 use crate::coop::{ProtocolViolation, RunError, RunStats};
 use crate::process::{ChanId, CommReq, Process, Value};
+use crate::record::{SharedRecorder, Transfer};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct SetState {
     remaining: usize,
@@ -64,9 +65,39 @@ struct Engine {
     /// violation diagnoses can name both offenders.
     labels: Vec<String>,
     aborted: AtomicBool,
+    /// Attached observability sinks (see `crate::record`); every hook is
+    /// behind an `is_empty` branch, so unobserved runs pay nothing.
+    recorders: Vec<SharedRecorder>,
+    /// Run start, for the microsecond virtual clock of recorded events.
+    epoch: Instant,
 }
 
 impl Engine {
+    /// Microseconds since run start — the virtual time of recorded events.
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Report one completed transfer to every recorder (waits are a
+    /// round-clock notion; this executor reports them as 0).
+    fn record_transfer(&self, chan: ChanId, value: Value, sender: usize, receiver: usize) {
+        if self.recorders.is_empty() {
+            return;
+        }
+        let ev = Transfer {
+            time: self.now(),
+            chan,
+            value,
+            sender,
+            receiver,
+            sender_wait: 0,
+            receiver_wait: 0,
+        };
+        for r in &self.recorders {
+            r.lock().transfer(&ev);
+        }
+    }
+
     /// Record a fatal diagnosis, wake every group, and return the error.
     fn abort(&self, st: &mut EngineState, err: RunError) -> RunError {
         self.aborted.store(true, Ordering::Relaxed);
@@ -79,7 +110,13 @@ impl Engine {
         err
     }
 
-    fn violation(&self, chan: ChanId, endpoint: &'static str, first: usize, second: usize) -> RunError {
+    fn violation(
+        &self,
+        chan: ChanId,
+        endpoint: &'static str,
+        first: usize,
+        second: usize,
+    ) -> RunError {
         RunError::Protocol(ProtocolViolation {
             chan,
             endpoint,
@@ -107,6 +144,7 @@ impl Engine {
                         Self::complete(&mut st, rpid, &mut to_wake, &self.group_of);
                         Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
                         st.messages += 1;
+                        self.record_transfer(chan, value, pid, rpid);
                     } else {
                         if let Some((prev, _, _)) = st.sends[chan] {
                             let err = self.violation(chan, "sender", prev, pid);
@@ -122,6 +160,7 @@ impl Engine {
                         Self::complete(&mut st, pid, &mut to_wake, &self.group_of);
                         Self::complete(&mut st, spid, &mut to_wake, &self.group_of);
                         st.messages += 1;
+                        self.record_transfer(chan, value, spid, pid);
                     } else {
                         if let Some((prev, _)) = st.recvs[chan] {
                             let err = self.violation(chan, "receiver", prev, pid);
@@ -205,6 +244,19 @@ pub fn run_partitioned(
     groups: Vec<Vec<usize>>,
     timeout: Duration,
 ) -> Result<RunStats, RunError> {
+    run_partitioned_recorded(procs, groups, timeout, Vec::new())
+}
+
+/// [`run_partitioned`] with observability sinks attached (see
+/// `crate::record`). Event times are microseconds since run start;
+/// transfer waits are reported as 0 (no round clock). With an empty
+/// recorder list this is exactly `run_partitioned`.
+pub fn run_partitioned_recorded(
+    procs: Vec<Box<dyn Process>>,
+    groups: Vec<Vec<usize>>,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+) -> Result<RunStats, RunError> {
     let n = procs.len();
     {
         let mut seen = vec![false; n];
@@ -255,7 +307,12 @@ pub fn run_partitioned(
         group_of,
         labels,
         aborted: AtomicBool::new(false),
+        recorders,
+        epoch: Instant::now(),
     });
+    for r in &engine.recorders {
+        r.lock().start(&engine.labels);
+    }
 
     // Distribute process ownership to the group threads.
     let mut slots: Vec<Option<Box<dyn Process>>> = procs.into_iter().map(Some).collect();
@@ -278,11 +335,22 @@ pub fn run_partitioned(
                 let mut shapes: Vec<Vec<bool>> = vec![Vec::new(); engine.group_of.len()];
                 let mut reqs = Vec::new();
                 let mut received = Vec::new();
+                let recording = !engine.recorders.is_empty();
                 // Prime every member.
                 for (pid, proc) in owned.iter_mut() {
                     reqs.clear();
                     proc.step_into(&[], &mut reqs);
                     steps += 1;
+                    if recording {
+                        let now = engine.now();
+                        for r in &engine.recorders {
+                            let mut r = r.lock();
+                            r.step(now, *pid);
+                            if reqs.is_empty() {
+                                r.finished(now, *pid);
+                            }
+                        }
+                    }
                     if reqs.is_empty() {
                         engine.state.lock().sets[*pid].finished = true;
                         continue;
@@ -303,6 +371,16 @@ pub fn run_partitioned(
                             reqs.clear();
                             proc.step_into(&received, &mut reqs);
                             steps += 1;
+                            if recording {
+                                let now = engine.now();
+                                for r in &engine.recorders {
+                                    let mut r = r.lock();
+                                    r.step(now, pid);
+                                    if reqs.is_empty() {
+                                        r.finished(now, pid);
+                                    }
+                                }
+                            }
                             if reqs.is_empty() {
                                 engine.state.lock().sets[pid].finished = true;
                             } else {
@@ -330,6 +408,10 @@ pub fn run_partitioned(
     if let Some(e) = first_err {
         // The root cause, not whichever group's abort joined first.
         return Err(st.failure.clone().unwrap_or(e));
+    }
+    let now = engine.now();
+    for r in &engine.recorders {
+        r.lock().end(now);
     }
     Ok(RunStats {
         rounds: 0,

@@ -32,6 +32,7 @@
 //! lowering rules and the VM's invariants.
 
 use crate::process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
+use crate::record::{OpKind, Phase, SharedRecorder};
 use std::sync::Arc;
 
 /// Index of a process in its module's arena.
@@ -168,11 +169,24 @@ impl ProcIrModule {
 
     /// Build fresh VMs and output buffers for one run.
     pub fn instantiate(self: &Arc<Self>) -> Instance {
+        self.instantiate_recorded(&[])
+    }
+
+    /// [`ProcIrModule::instantiate`], with every VM reporting its retired
+    /// op effects to the given recorders (see `crate::record`). With an
+    /// empty slice this is exactly `instantiate` — the VMs carry no
+    /// recording state and pay no per-step cost.
+    pub fn instantiate_recorded(self: &Arc<Self>, recorders: &[SharedRecorder]) -> Instance {
         let outputs: Vec<SinkBuffer> = (0..self.n_outputs).map(|_| sink_buffer()).collect();
         let procs = (0..self.procs.len())
             .map(|pid| {
                 let out = self.procs[pid].output.map(|o| outputs[o as usize].clone());
-                Box::new(ProcVm::new(self.clone(), pid, out)) as Box<dyn Process>
+                Box::new(ProcVm::with_recorders(
+                    self.clone(),
+                    pid,
+                    out,
+                    recorders.to_vec(),
+                )) as Box<dyn Process>
             })
             .collect();
         Instance { procs, outputs }
@@ -433,13 +447,17 @@ enum Pending {
     /// A send completed ([`ProcOp::Emit`] / [`ProcOp::Eject`]).
     Sent,
     /// A [`ProcOp::Keep`] receive; the value lands in the local.
-    Keep { slot: u32 },
+    Keep {
+        slot: u32,
+    },
     /// A [`ProcOp::Collect`] receive; the value lands in the output
     /// buffer.
     CollectRecv,
     /// A [`ProcOp::Pass`] cycle's receive; the value must be forwarded
     /// next.
-    PassRecv { out: ChanId },
+    PassRecv {
+        out: ChanId,
+    },
     /// A pass cycle's forward completed.
     PassSent,
     /// The repeater's par-receive; values land in moving-link order.
@@ -471,14 +489,38 @@ pub struct ProcVm {
     t: i64,
     /// Output buffer for [`ProcOp::Collect`].
     out: Option<SinkBuffer>,
+    /// Observability sinks for retired op effects (empty when off — the
+    /// only per-step cost is then one `is_empty` branch per effect).
+    recorders: Vec<SharedRecorder>,
+    /// Absolute pc of this process's [`ProcOp::Compute`], for the
+    /// soak-side / drain-side phase classification of `Pass` cycles.
+    /// Only resolved when recorders are attached.
+    compute_pc: Option<u32>,
 }
 
 impl ProcVm {
     pub fn new(module: Arc<ProcIrModule>, pid: ProcId, out: Option<SinkBuffer>) -> ProcVm {
+        ProcVm::with_recorders(module, pid, out, Vec::new())
+    }
+
+    /// A VM reporting retired op effects ([`crate::record::Recorder::vm_op`])
+    /// to the given recorders.
+    pub fn with_recorders(
+        module: Arc<ProcIrModule>,
+        pid: ProcId,
+        out: Option<SinkBuffer>,
+        recorders: Vec<SharedRecorder>,
+    ) -> ProcVm {
         let rec = &module.procs[pid];
         let (pc, cursor) = (rec.ops.0, rec.data.0);
         let locals = vec![0; rec.n_locals as usize];
         let x = module.first_of(pid).to_vec();
+        let compute_pc = if recorders.is_empty() {
+            None
+        } else {
+            (rec.ops.0..rec.ops.1)
+                .find(|&p| matches!(module.ops[p as usize], ProcOp::Compute { .. }))
+        };
         ProcVm {
             module,
             pid,
@@ -490,6 +532,30 @@ impl ProcVm {
             x,
             t: 0,
             out,
+            recorders,
+            compute_pc,
+        }
+    }
+
+    /// Report one retired op effect to every attached recorder.
+    #[inline]
+    fn record_op(&self, kind: OpKind, phase: Phase) {
+        if self.recorders.is_empty() {
+            return;
+        }
+        for r in &self.recorders {
+            r.lock().vm_op(self.pid, kind, phase);
+        }
+    }
+
+    /// Which canonical-program phase the current `Pass` cycle belongs
+    /// to: soak side before the repeater, drain side after it, pure
+    /// transport when the process has no repeater at all.
+    fn pass_phase(&self) -> Phase {
+        match self.compute_pc {
+            None => Phase::Transport,
+            Some(cpc) if self.pc < cpc => Phase::Soak,
+            Some(_) => Phase::Drain,
         }
     }
 }
@@ -527,6 +593,7 @@ impl Process for ProcVm {
                 if let Some(body) = &self.module.body {
                     body.execute(&mut self.locals, &self.x);
                 }
+                self.record_op(OpKind::Compute, Phase::Compute);
                 // Par-send the moving locals.
                 self.pending = Pending::ComputeSent;
                 out.extend(links.iter().map(|mc| CommReq::Send {
@@ -558,18 +625,21 @@ impl Process for ProcVm {
                     self.cursor += 1;
                     self.pc += 1;
                     self.pending = Pending::Sent;
+                    self.record_op(OpKind::Emit, Phase::Host);
                     out.push(CommReq::Send { chan, value });
                     return;
                 }
                 ProcOp::Collect { chan } => {
                     self.pc += 1;
                     self.pending = Pending::CollectRecv;
+                    self.record_op(OpKind::Collect, Phase::Host);
                     out.push(CommReq::Recv { chan });
                     return;
                 }
                 ProcOp::Keep { chan, slot } => {
                     self.pc += 1;
                     self.pending = Pending::Keep { slot };
+                    self.record_op(OpKind::Keep, Phase::Load);
                     out.push(CommReq::Recv { chan });
                     return;
                 }
@@ -584,6 +654,7 @@ impl Process for ProcVm {
                     }
                     self.pass_left -= 1;
                     self.pending = Pending::PassRecv { out: oc };
+                    self.record_op(OpKind::Pass, self.pass_phase());
                     out.push(CommReq::Recv { chan: inp });
                     return;
                 }
@@ -594,6 +665,7 @@ impl Process for ProcVm {
                     };
                     self.pc += 1;
                     self.pending = Pending::Sent;
+                    self.record_op(OpKind::Eject, Phase::Recover);
                     out.push(req);
                     return;
                 }
@@ -616,6 +688,7 @@ impl Process for ProcVm {
                             if let Some(body) = &self.module.body {
                                 body.execute(&mut self.locals, &self.x);
                             }
+                            self.record_op(OpKind::Compute, Phase::Compute);
                             self.t += 1;
                             let incr = self.module.increment_of(self.pid);
                             for (xi, &inc) in self.x.iter_mut().zip(incr) {

@@ -18,10 +18,11 @@
 
 use crate::coop::{ProtocolViolation, RunError, RunStats};
 use crate::process::{ChanId, CommReq, Process, Value};
+use crate::record::{SharedRecorder, Transfer};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct SetState {
     remaining: usize,
@@ -55,10 +56,16 @@ struct Engine {
     /// violation diagnoses can name both offenders.
     labels: Vec<String>,
     aborted: AtomicBool,
+    /// Attached observability sinks (see `crate::record`); every hook is
+    /// behind an `is_empty` branch, so unobserved runs pay nothing.
+    recorders: Vec<SharedRecorder>,
+    /// Run start, for the microsecond virtual clock of recorded events
+    /// (this executor has no round clock).
+    epoch: Instant,
 }
 
 impl Engine {
-    fn new(labels: Vec<String>) -> Engine {
+    fn new(labels: Vec<String>, recorders: Vec<SharedRecorder>) -> Engine {
         let nprocs = labels.len();
         Engine {
             state: Mutex::new(EngineState {
@@ -76,6 +83,33 @@ impl Engine {
             wakeups: (0..nprocs).map(|_| Condvar::new()).collect(),
             labels,
             aborted: AtomicBool::new(false),
+            recorders,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since run start — the virtual time of recorded events.
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Report one completed transfer to every recorder (waits are a
+    /// round-clock notion; this executor reports them as 0).
+    fn record_transfer(&self, chan: ChanId, value: Value, sender: usize, receiver: usize) {
+        if self.recorders.is_empty() {
+            return;
+        }
+        let ev = Transfer {
+            time: self.now(),
+            chan,
+            value,
+            sender,
+            receiver,
+            sender_wait: 0,
+            receiver_wait: 0,
+        };
+        for r in &self.recorders {
+            r.lock().transfer(&ev);
         }
     }
 
@@ -91,7 +125,13 @@ impl Engine {
         err
     }
 
-    fn violation(&self, chan: ChanId, endpoint: &'static str, first: usize, second: usize) -> RunError {
+    fn violation(
+        &self,
+        chan: ChanId,
+        endpoint: &'static str,
+        first: usize,
+        second: usize,
+    ) -> RunError {
         RunError::Protocol(ProtocolViolation {
             chan,
             endpoint,
@@ -123,6 +163,7 @@ impl Engine {
                         st.sets[rpid].remaining -= 1;
                         st.sets[pid].remaining -= 1;
                         st.messages += 1;
+                        self.record_transfer(chan, value, pid, rpid);
                         if st.sets[rpid].remaining == 0 {
                             self.wakeups[rpid].notify_one();
                         }
@@ -141,6 +182,7 @@ impl Engine {
                         st.sets[pid].remaining -= 1;
                         st.sets[spid].remaining -= 1;
                         st.messages += 1;
+                        self.record_transfer(chan, value, spid, pid);
                         if st.sets[spid].remaining == 0 {
                             self.wakeups[spid].notify_one();
                         }
@@ -180,9 +222,24 @@ impl Engine {
 /// instead of hanging (the cooperative scheduler is the deadlock oracle;
 /// this executor is for wall-clock measurement).
 pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<RunStats, RunError> {
+    run_threaded_recorded(procs, timeout, Vec::new())
+}
+
+/// [`run_threaded`] with observability sinks attached (see
+/// `crate::record`). Event times are microseconds since run start —
+/// this executor has no round clock, so transfer waits are reported
+/// as 0. With an empty recorder list this is exactly `run_threaded`.
+pub fn run_threaded_recorded(
+    procs: Vec<Box<dyn Process>>,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+) -> Result<RunStats, RunError> {
     let n = procs.len();
     let labels: Vec<String> = procs.iter().map(|p| p.label()).collect();
-    let engine = Arc::new(Engine::new(labels));
+    let engine = Arc::new(Engine::new(labels, recorders));
+    for r in &engine.recorders {
+        r.lock().start(&engine.labels);
+    }
     let mut handles = Vec::with_capacity(n);
     let mut steps_total = 0u64;
     for (pid, mut proc) in procs.into_iter().enumerate() {
@@ -195,10 +252,21 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
                 let mut received = Vec::new();
                 let mut reqs = Vec::new();
                 let mut steps = 0u64;
+                let recording = !engine.recorders.is_empty();
                 loop {
                     reqs.clear();
                     proc.step_into(&received, &mut reqs);
                     steps += 1;
+                    if recording {
+                        let now = engine.now();
+                        for r in &engine.recorders {
+                            let mut r = r.lock();
+                            r.step(now, pid);
+                            if reqs.is_empty() {
+                                r.finished(now, pid);
+                            }
+                        }
+                    }
                     if reqs.is_empty() {
                         return Ok(steps);
                     }
@@ -221,6 +289,10 @@ pub fn run_threaded(procs: Vec<Box<dyn Process>>, timeout: Duration) -> Result<R
     if let Some(e) = first_err {
         // The root cause, not whichever thread's abort joined first.
         return Err(st.failure.clone().unwrap_or(e));
+    }
+    let now = engine.now();
+    for r in &engine.recorders {
+        r.lock().end(now);
     }
     Ok(RunStats {
         rounds: 0,

@@ -143,11 +143,41 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             let stats = sys
                 .verify_with(&sizes, &input_refs, seed, &elab)
                 .map_err(|e| format!("FAILED: {e}"))?;
-            Ok(format!(
+            let mut out = format!(
                 "OK: {} processes, {} rendezvous rounds, {} messages; \
                  systolic result == sequential result",
                 stats.processes, stats.rounds, stats.messages
-            ))
+            );
+            // Observability artifacts: re-run the same seeded problem
+            // with recorders attached and write the requested files.
+            if inv.flag("metrics").is_some() || inv.flag("trace-out").is_some() {
+                let env = sys.size_env(&sizes);
+                let mut store = systolic_ir::HostStore::allocate(&sys.source, &env);
+                for (i, name) in input_refs.iter().enumerate() {
+                    store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+                }
+                let obs = systolic_interp::observe_plan(
+                    &sys.plan,
+                    &env,
+                    &store,
+                    systolic_runtime::ChannelPolicy::Rendezvous,
+                    &elab,
+                )
+                .map_err(|e| format!("FAILED: {e}"))?;
+                if let Some(path) = inv.flag("metrics") {
+                    std::fs::write(path, obs.report.to_json())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    out.push_str(&format!("\nmetrics report: {path}"));
+                }
+                if let Some(path) = inv.flag("trace-out") {
+                    std::fs::write(path, &obs.perfetto_json)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    out.push_str(&format!(
+                        "\nperfetto trace: {path} (open in ui.perfetto.dev)"
+                    ));
+                }
+            }
+            Ok(out)
         }
         "describe" => {
             let opts = build_options(inv).ok_or("bad options")?;
@@ -294,6 +324,51 @@ mod tests {
         assert!(out.contains("network map"), "{out}");
         assert!(out.contains("comp"), "{out}");
         assert!(out.contains("pipe @"), "{out}");
+    }
+
+    #[test]
+    fn run_writes_metrics_and_trace_artifacts() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("systolizer-metrics-{}.json", std::process::id()));
+        let trace = dir.join(format!("systolizer-trace-{}.json", std::process::id()));
+        let inv = parse_args(&args(&[
+            "run",
+            "f",
+            "--sizes",
+            "4",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("OK:"), "{out}");
+        assert!(out.contains("metrics report:"), "{out}");
+        assert!(out.contains("perfetto trace:"), "{out}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"schema\": \"systolic-metrics-v1\""));
+        assert!(m.contains("\"makespan\""));
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"traceEvents\""));
+        assert!(t.contains("thread_name"));
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn unwritable_artifact_path_is_a_message_not_a_panic() {
+        let inv = parse_args(&args(&[
+            "run",
+            "f",
+            "--sizes",
+            "3",
+            "--metrics",
+            "/nonexistent-dir/metrics.json",
+        ]))
+        .unwrap();
+        let err = execute(&inv, SRC).unwrap_err();
+        assert!(err.contains("cannot write"), "{err}");
     }
 
     #[test]

@@ -3,9 +3,15 @@
 //! ```text
 //! systolizer compile <file> [--place auto|proj:<c,c,..>] [--emit paper|occam|c|report]
 //! systolizer run     <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
+//!                           [--metrics PATH] [--trace-out PATH]
 //! systolizer verify  <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
 //! systolizer explore <file> [--bound B] [--sample N]
 //! ```
+//!
+//! `--metrics` writes a `systolic-metrics-v1` JSON report (per-process op
+//! and phase counts, per-channel waits, makespan attribution);
+//! `--trace-out` writes a Chrome `trace_event` JSON viewable in
+//! <https://ui.perfetto.dev>. See `docs/observability.md`.
 //!
 //! The input is a source program in the front-end syntax (Sec. 3.1 made
 //! concrete); see `programs/` and `README.md`.
@@ -18,6 +24,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          systolizer compile <file> [--place auto|proj:C,C,..] [--emit paper|occam|c|report]\n  \
          systolizer run     <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
+                            [--metrics PATH] [--trace-out PATH]\n  \
          systolizer verify  <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
          systolizer describe <file> --sizes N[,M..]\n  \
          systolizer explore <file> [--bound B] [--sample N]"

@@ -139,6 +139,55 @@ fn all_zero_inputs_roundtrip() {
     assert_eq!(run.store, store, "all-zero store is a fixed point");
 }
 
+/// The lockstep counterexample (see tests/protocol_findings.rs) in the
+/// front-end syntax: streams `a` and `c` share the index map `i+j`, the
+/// outer loop is one longer — the paper protocol deadlocks on it.
+const LOCKSTEP_SRC: &str = "
+    program lockstep;
+    size n;
+    var a[0..2*n+1], b[0..n+1], c[0..2*n+1];
+    for i = 0 <- 1 -> n+1
+    for j = 0 <- 1 -> n {
+      c[i+j] = c[i+j] + a[i+j] * b[i];
+    }
+";
+
+#[test]
+fn cli_renders_deadlock_as_a_message_not_a_panic() {
+    use systolizer::cli::{execute, parse_args};
+    let raw: Vec<String> = ["verify", "f.sys", "--sizes", "2", "--bound", "1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let inv = parse_args(&raw).unwrap();
+    let err = execute(&inv, LOCKSTEP_SRC).expect_err("deadlocks under the paper protocol");
+    assert!(err.contains("FAILED"), "{err}");
+    assert!(err.contains("deadlock"), "{err}");
+    // The diagnosis names blocked processes and their channel endpoints.
+    assert!(err.contains("recv@") || err.contains("send@"), "{err}");
+}
+
+#[test]
+fn cli_split_protocol_rescues_the_lockstep_design() {
+    use systolizer::cli::{execute, parse_args};
+    let raw: Vec<String> = [
+        "verify",
+        "f.sys",
+        "--sizes",
+        "2",
+        "--bound",
+        "1",
+        "--protocol",
+        "split",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let inv = parse_args(&raw).unwrap();
+    let out = execute(&inv, LOCKSTEP_SRC).unwrap();
+    assert!(out.contains("OK:"), "{out}");
+}
+
 #[test]
 fn repeated_runs_are_deterministic() {
     let (p, a) = paper::polyprod_d2();

@@ -1,0 +1,180 @@
+//! Differential oracle suite: every gallery design — the four appendix
+//! designs (polyprod D.1/D.2, matmul E.1/E.2) plus the FIR filter on a
+//! derived array — runs through the sequential reference (`ir::seq`) and
+//! the simulated network on all three executors, at several problem
+//! sizes. The final host stores must be bit-identical across all four
+//! executions, and the executor-invariant statistics (messages, steps)
+//! must agree.
+
+use std::time::Duration;
+use systolizer::core::{compile, Options, SystolicProgram};
+use systolizer::interp::{
+    run_plan, run_plan_partitioned, run_plan_threaded, ElabOptions, SystolicRun,
+};
+use systolizer::ir::{seq, HostStore};
+use systolizer::math::Env;
+use systolizer::runtime::ChannelPolicy;
+use systolizer::synthesis::placement::paper;
+
+/// A gallery design: label, compiled plan, input variables, and the size
+/// tuples to exercise.
+struct Design {
+    label: &'static str,
+    plan: SystolicProgram,
+    inputs: Vec<&'static str>,
+    sizes: Vec<Vec<i64>>,
+}
+
+fn designs() -> Vec<Design> {
+    let mut out = Vec::new();
+    for (label, p, a) in paper::all() {
+        out.push(Design {
+            label,
+            plan: compile(&p, &a, &Options::default()).unwrap(),
+            inputs: vec!["a", "b"],
+            sizes: if label.starts_with("matmul") {
+                vec![vec![1], vec![2], vec![4]]
+            } else {
+                vec![vec![1], vec![3], vec![6]]
+            },
+        });
+    }
+    let p = systolizer::ir::gallery::fir_filter();
+    let a = systolizer::synthesis::derive_array(&p, 2, 4).unwrap();
+    out.push(Design {
+        label: "fir",
+        plan: compile(&p, &a, &Options::default()).unwrap(),
+        inputs: vec!["h", "x"],
+        sizes: vec![vec![1, 2], vec![2, 5], vec![3, 4]],
+    });
+    out
+}
+
+fn size_env(plan: &SystolicProgram, vals: &[i64]) -> Env {
+    let mut env = Env::new();
+    for (&s, &v) in plan.source.sizes.iter().zip(vals) {
+        env.bind(s, v);
+    }
+    env
+}
+
+/// Seeded input store and the sequential-oracle result for a design.
+fn oracle(d: &Design, env: &Env, seed: u64) -> (HostStore, HostStore) {
+    let mut store = HostStore::allocate(&d.plan.source, env);
+    for (i, name) in d.inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    let mut expected = store.clone();
+    seq::run(&d.plan.source, env, &mut expected);
+    (store, expected)
+}
+
+/// Every variable of the recovered store matches the oracle bit for bit.
+fn assert_stores_identical(label: &str, sizes: &[i64], run: &SystolicRun, expected: &HostStore) {
+    for name in expected.names() {
+        assert_eq!(
+            run.store.get(name),
+            expected.get(name),
+            "{label} sizes={sizes:?}: variable {name} diverges from the sequential oracle"
+        );
+    }
+}
+
+#[test]
+fn coop_matches_the_sequential_oracle_on_every_design() {
+    for d in designs() {
+        for sizes in &d.sizes {
+            let env = size_env(&d.plan, sizes);
+            let (store, expected) = oracle(&d, &env, 17);
+            let run = run_plan(
+                &d.plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} sizes={sizes:?}: {e}", d.label));
+            assert_stores_identical(d.label, sizes, &run, &expected);
+        }
+    }
+}
+
+#[test]
+fn threaded_matches_the_sequential_oracle_on_every_design() {
+    for d in designs() {
+        // One mid-size point per design: OS threads are costly.
+        let sizes = &d.sizes[1];
+        let env = size_env(&d.plan, sizes);
+        let (store, expected) = oracle(&d, &env, 29);
+        let run = run_plan_threaded(&d.plan, &env, &store, Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("{} sizes={sizes:?}: {e}", d.label));
+        assert_stores_identical(d.label, sizes, &run, &expected);
+    }
+}
+
+#[test]
+fn partitioned_matches_the_sequential_oracle_on_every_design() {
+    for d in designs() {
+        let sizes = &d.sizes[1];
+        let env = size_env(&d.plan, sizes);
+        let (store, expected) = oracle(&d, &env, 31);
+        for workers in [1usize, 3, 7] {
+            let run = run_plan_partitioned(&d.plan, &env, &store, workers, Duration::from_secs(60))
+                .unwrap_or_else(|e| panic!("{} sizes={sizes:?} workers={workers}: {e}", d.label));
+            assert_stores_identical(d.label, sizes, &run, &expected);
+        }
+    }
+}
+
+#[test]
+fn executors_agree_on_stores_and_invariant_statistics() {
+    // Messages and steps are properties of the elaborated network, not of
+    // the executor; all three must report the same counts and stores.
+    for d in designs() {
+        let sizes = &d.sizes[1];
+        let env = size_env(&d.plan, sizes);
+        let (store, _) = oracle(&d, &env, 43);
+        let coop = run_plan(
+            &d.plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        let threaded = run_plan_threaded(&d.plan, &env, &store, Duration::from_secs(60)).unwrap();
+        let part = run_plan_partitioned(&d.plan, &env, &store, 4, Duration::from_secs(60)).unwrap();
+        for other in [&threaded, &part] {
+            assert_eq!(coop.stats.messages, other.stats.messages, "{}", d.label);
+            assert_eq!(coop.stats.steps, other.stats.steps, "{}", d.label);
+            assert_eq!(coop.stats.processes, other.stats.processes, "{}", d.label);
+            for name in coop.store.names() {
+                assert_eq!(coop.store.get(name), other.store.get(name), "{}", d.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn observed_runs_match_the_oracle_too() {
+    // Attaching recorders must not perturb results: the observed run's
+    // store equals the oracle and its report reconciles with the stats.
+    for d in designs() {
+        let sizes = &d.sizes[1];
+        let env = size_env(&d.plan, sizes);
+        let (store, expected) = oracle(&d, &env, 59);
+        let obs = systolizer::interp::observe_plan(
+            &d.plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", d.label));
+        assert_stores_identical(d.label, sizes, &obs.run, &expected);
+        assert_eq!(obs.report.transfers, obs.run.stats.messages, "{}", d.label);
+        assert_eq!(obs.report.end_time, obs.run.stats.rounds, "{}", d.label);
+        let steps: u64 = obs.report.processes.iter().map(|p| p.steps).sum();
+        assert_eq!(steps, obs.run.stats.steps, "{}", d.label);
+    }
+}

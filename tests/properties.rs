@@ -139,6 +139,48 @@ proptest! {
         prop_assert!(res.is_ok(), "loading ({lx},{ly}): {:?}", res.err());
     }
 
+    /// All three executors agree with the sequential oracle — and with
+    /// each other — on store contents and executor-invariant statistics,
+    /// for random designs, sizes, worker counts, and data.
+    #[test]
+    fn executors_agree_with_the_sequential_oracle(
+        design in 0usize..4,
+        n in 1i64..=3,
+        workers in 1usize..=6,
+        seed in 0u64..1000,
+    ) {
+        use std::time::Duration;
+        use systolizer::interp::{run_plan, run_plan_partitioned, run_plan_threaded, ElabOptions};
+        use systolizer::runtime::ChannelPolicy;
+        let paper = systolizer::synthesis::placement::paper::all();
+        let (_, p, a) = &paper[design];
+        let plan = compile(p, a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], n);
+        let mut store = systolizer::ir::HostStore::allocate(p, &env);
+        store.fill_random("a", seed, -9, 9);
+        store.fill_random("b", seed + 1, -9, 9);
+        let mut expected = store.clone();
+        systolizer::ir::seq::run(p, &env, &mut expected);
+
+        let coop = run_plan(&plan, &env, &store, ChannelPolicy::Rendezvous, &ElabOptions::default())
+            .unwrap();
+        let threaded = run_plan_threaded(&plan, &env, &store, Duration::from_secs(60)).unwrap();
+        let part = run_plan_partitioned(&plan, &env, &store, workers, Duration::from_secs(60))
+            .unwrap();
+        for name in expected.names() {
+            prop_assert_eq!(coop.store.get(name), expected.get(name), "coop {}", name);
+            prop_assert_eq!(threaded.store.get(name), expected.get(name), "threaded {}", name);
+            prop_assert_eq!(part.store.get(name), expected.get(name), "partitioned {}", name);
+        }
+        // Messages and steps are network properties, not executor ones.
+        prop_assert_eq!(coop.stats.messages, threaded.stats.messages);
+        prop_assert_eq!(coop.stats.messages, part.stats.messages);
+        prop_assert_eq!(coop.stats.steps, threaded.stats.steps);
+        prop_assert_eq!(coop.stats.steps, part.stats.steps);
+        prop_assert_eq!(coop.stats.processes, threaded.stats.processes);
+    }
+
     /// Channel policy is semantically inert: buffered channels of any
     /// capacity produce the same results as rendezvous.
     #[test]

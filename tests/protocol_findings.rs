@@ -169,6 +169,81 @@ fn merged_io_reduces_host_process_count() {
 }
 
 #[test]
+fn deadlock_diagnosis_names_processes_and_channels() {
+    // The structured error, not just its rendering: RunError::Deadlock
+    // carries every blocked process label with the channel endpoints it
+    // waits on ("label [recv@N,send@M]").
+    use systolizer::interp::{run_plan, ExecError};
+    use systolizer::runtime::{ChannelPolicy, RunError};
+    let p = lockstep_program();
+    let a = systolizer::synthesis::derive_array(&p, 1, 3).unwrap();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut env = Env::new();
+    env.bind(p.sizes[0], 2);
+    let mut store = systolizer::ir::HostStore::allocate(&p, &env);
+    store.fill_random("a", 1, -9, 9);
+    store.fill_random("b", 2, -9, 9);
+    let err = match run_plan(
+        &plan,
+        &env,
+        &store,
+        ChannelPolicy::Rendezvous,
+        &ElabOptions::default(),
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("the sequential-phase protocol deadlocks here"),
+    };
+    let ExecError::Run(RunError::Deadlock(d)) = &err else {
+        panic!("expected a structured deadlock, got {err}");
+    };
+    assert!(!d.blocked.is_empty());
+    for b in &d.blocked {
+        assert!(
+            b.contains("recv@") || b.contains("send@"),
+            "blocked entry without a channel endpoint: {b}"
+        );
+        assert!(b.contains('['), "blocked entry without a label: {b}");
+    }
+    // Computation processes are among the blocked, by label.
+    assert!(
+        d.blocked.iter().any(|b| b.starts_with("comp@")),
+        "{:?}",
+        d.blocked
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock") && msg.contains("blocked"), "{msg}");
+}
+
+#[test]
+fn protocol_violation_names_both_claimants_and_the_channel() {
+    // A malformed network — two sources driving one channel — is
+    // diagnosed as RunError::Protocol with the channel id, the claimed
+    // endpoint, and both process labels.
+    use systolizer::runtime::{ChannelPolicy, Network, ProcIrBuilder, RunError};
+    let mut b = ProcIrBuilder::new();
+    b.source(0, &[1], "src-one");
+    b.source(0, &[2], "src-two");
+    b.sink(0, 2, "sink");
+    let module = b.build(None);
+    let mut net = Network::new(ChannelPolicy::Rendezvous);
+    for p in module.instantiate().procs {
+        net.add(p);
+    }
+    let err = net.run().unwrap_err();
+    let RunError::Protocol(v) = &err else {
+        panic!("expected a protocol violation, got {err}");
+    };
+    assert_eq!(v.chan, 0);
+    assert_eq!(v.endpoint, "sender");
+    let claimants = [v.first.as_str(), v.second.as_str()];
+    assert!(claimants.contains(&"src-one"), "{claimants:?}");
+    assert!(claimants.contains(&"src-two"), "{claimants:?}");
+    let msg = err.to_string();
+    assert!(msg.contains("protocol violation"), "{msg}");
+    assert!(msg.contains("src-one") && msg.contains("src-two"), "{msg}");
+}
+
+#[test]
 fn non_rectangular_image_is_rejected_by_validation() {
     // The other fuzzer finding: a map like (i-k, k) images the index box
     // onto a parallelogram, so a covering rectangular variable has
