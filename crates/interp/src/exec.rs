@@ -8,7 +8,9 @@ use std::time::Duration;
 use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
-use systolic_runtime::{ChannelPolicy, Network, RunError, RunStats, SharedRecorder, SinkBuffer};
+use systolic_runtime::{
+    ChannelPolicy, Network, RunError, RunStats, SchedulePolicy, SharedRecorder, SinkBuffer,
+};
 
 /// Outcome of a systolic run.
 pub struct SystolicRun {
@@ -115,6 +117,24 @@ pub fn run_plan_recorded(
     opts: &ElabOptions,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_scheduled(plan, env, store, policy, opts, None, recorders)
+}
+
+/// [`run_plan_recorded`] under an explicit [`SchedulePolicy`]: the policy
+/// permutes (and may defer) the cooperative scheduler's per-round channel
+/// worklist. The paper's schedule-independence theorem (Sec. 4) says the
+/// final store must not depend on the choice; the DST harness in
+/// `systolic-sim` exercises exactly this entry point. `None` is the
+/// unhooked FIFO path of [`run_plan`], bit for bit.
+pub fn run_plan_scheduled(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    sched: Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
     let Elaborated {
         module,
         outputs,
@@ -123,6 +143,9 @@ pub fn run_plan_recorded(
     } = elaborate(plan, env, store, opts)?;
     let inst = module.instantiate_recorded(recorders);
     let mut net = Network::new(policy);
+    if let Some(s) = sched {
+        net.set_schedule_policy(s);
+    }
     for r in recorders {
         net.add_recorder(r.clone());
     }

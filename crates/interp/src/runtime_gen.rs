@@ -206,10 +206,9 @@ pub fn agree_with_procir(
             let at = |m: &HashMap<ChanId, i64>, c: ChanId| m.get(&c).copied().unwrap_or(0);
             match spn.kind {
                 StreamKind::Moving => {
-                    let link = moving
-                        .iter()
-                        .find(|l| l.slot == k as u32)
-                        .ok_or_else(|| format!("stream {} has no moving link at {y:?}", spn.name))?;
+                    let link = moving.iter().find(|l| l.slot == k as u32).ok_or_else(|| {
+                        format!("stream {} has no moving link at {y:?}", spn.name)
+                    })?;
                     if (at(&pre, link.inp), at(&post, link.inp)) != (s, d) {
                         return Err(format!(
                             "stream {} at {y:?}: bytecode soak/drain ({},{}) vs scan ({s},{d})",

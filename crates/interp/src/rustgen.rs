@@ -227,7 +227,8 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
                     }
                     rust_body(&plan.source, "                ", &mut b);
                     for l in moving {
-                        let _ = writeln!(b, "                tx{}.send(l{}).unwrap();", l.out, l.slot);
+                        let _ =
+                            writeln!(b, "                tx{}.send(l{}).unwrap();", l.out, l.slot);
                     }
                     let _ = writeln!(
                         b,

@@ -266,6 +266,29 @@ mod tests {
     }
 
     #[test]
+    fn simplify_is_idempotent() {
+        let (_, _, n, col, row) = setup();
+        // A mix of constant-true, symbolic, and another symbolic chain:
+        // one pass removes exactly the constant conjuncts, so a second
+        // pass must be the identity.
+        let g = Guard::always()
+            .and_chain(Chain::le(Affine::int(0), Affine::int(3)))
+            .and_chain(Chain::between(Affine::zero(), row - col.clone(), n.clone()))
+            .and_chain(Chain::between(Affine::zero(), col, n));
+        let once = g.simplify().unwrap();
+        assert_eq!(once.chains().len(), 2, "constant-true conjunct dropped");
+        let twice = once.simplify().unwrap();
+        assert_eq!(once, twice, "simplify must be idempotent");
+        // The fixed points: the always guard and an infeasible guard.
+        assert!(Guard::always().simplify().unwrap().is_always());
+        let dead = Guard::always().and_chain(Chain::le(Affine::int(1), Affine::int(0)));
+        assert!(dead.simplify().is_none());
+        // Simplification never changes the guard's meaning.
+        let (_, env, ..) = setup();
+        assert_eq!(g.eval(&env), once.eval(&env));
+    }
+
+    #[test]
     fn piecewise_select_first_match() {
         let (_, env, n, col, _) = setup();
         // if 0 <= col <= n -> 1 [] n <= col <= 2n -> 2 fi (col=2, n=4 -> 1).

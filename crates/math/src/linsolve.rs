@@ -97,6 +97,34 @@ mod tests {
     }
 
     #[test]
+    fn rank_deficient_three_by_three_is_rejected() {
+        // Rank 2: row2 = row0 + row1. A symbolic right-hand side must not
+        // mask the deficiency — elimination has to bail on the pivot
+        // search, never invent a solution.
+        let mut t = VarTable::new();
+        let col = t.coord(0);
+        let a = Matrix::from_rows(&[vec![1, 2, 3], vec![2, 0, 1], vec![3, 2, 4]]);
+        let b = vec![Affine::var(col), Affine::int(1), Affine::int(0)];
+        assert!(solve(&a, &b).is_none());
+    }
+
+    #[test]
+    fn zero_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![0, 0], vec![0, 0]]);
+        let b = vec![Affine::int(1), Affine::int(2)];
+        assert!(solve(&a, &b).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_a_zero_leading_entry() {
+        // 0x + y = 5, x + 0y = 2 forces a row swap before elimination.
+        let a = Matrix::from_rows(&[vec![0, 1], vec![1, 0]]);
+        let b = vec![Affine::int(5), Affine::int(2)];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, vec![Affine::int(2), Affine::int(5)]);
+    }
+
+    #[test]
     fn rational_coefficients() {
         // (1/2) x = n  =>  x = 2n.
         let mut t = VarTable::new();

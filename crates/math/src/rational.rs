@@ -294,6 +294,45 @@ mod tests {
     }
 
     #[test]
+    fn normalization_round_trips() {
+        // Both-negative input lands on the canonical positive-denominator
+        // form, and num/den reconstruct the same value.
+        let r = Rational::new(-2, -4);
+        assert_eq!((r.num(), r.den()), (1, 2));
+        assert_eq!(Rational::new(r.num(), r.den()), r);
+        // Scaling numerator and denominator by any k is an identity.
+        for k in [-7i64, -1, 1, 3, 12] {
+            assert_eq!(Rational::new(5 * k, 9 * k), Rational::new(5, 9));
+        }
+        // Display round-trips through the canonical form.
+        assert_eq!(Rational::new(-3, -6).to_string(), "1/2");
+        assert_eq!(Rational::new(3, -6).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn large_values_stay_exact_through_i128_intermediates() {
+        // num * den products exceed i64 but the reduced result fits:
+        // (2^40 / 3) * (3 / 2^40) == 1 must not wrap.
+        let big = 1i64 << 40;
+        let a = Rational::new(big, 3);
+        let b = Rational::new(3, big);
+        assert_eq!(a * b, Rational::ONE);
+        assert_eq!(a + (-a), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow")]
+    fn addition_overflow_panics_rather_than_wrapping() {
+        let _ = Rational::int(i64::MAX) + Rational::ONE;
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow")]
+    fn multiplication_overflow_panics_rather_than_wrapping() {
+        let _ = Rational::int(i64::MAX) * Rational::int(2);
+    }
+
+    #[test]
     #[should_panic]
     fn zero_denominator_panics() {
         let _ = Rational::new(1, 0);

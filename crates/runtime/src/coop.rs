@@ -30,6 +30,7 @@
 
 use crate::process::{ChanId, CommReq, Process, Value};
 use crate::record::{EventLogRecorder, SharedRecorder, Transfer, QUEUE_ENDPOINT};
+use crate::schedule::{SchedulePolicy, STARVATION_LIMIT};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -257,6 +258,19 @@ pub struct Network {
     /// [`Network::run_traced`], kept typed so the transfer log can be
     /// extracted after the run.
     trace_log: Option<Arc<Mutex<EventLogRecorder>>>,
+    /// Optional schedule decision procedure (see `crate::schedule`).
+    /// `None` in the common case: the round path tests one discriminant
+    /// and otherwise runs the historical canonical order unchanged.
+    sched: Option<Box<dyn SchedulePolicy>>,
+    /// Scratch list handed to the policy for deferrals; reused per round.
+    defer_scratch: Vec<ChanId>,
+    /// How many channels the policy deferred in the last round (always 0
+    /// without a policy), so `run_inner` can tell a starved round from a
+    /// genuine deadlock.
+    deferred: u64,
+    /// Consecutive rounds in which the policy deferred every enabled
+    /// rendezvous; capped by [`STARVATION_LIMIT`].
+    starved: u64,
 }
 
 impl Network {
@@ -275,7 +289,20 @@ impl Network {
             recorders: Vec::new(),
             since: Vec::new(),
             trace_log: None,
+            sched: None,
+            defer_scratch: Vec::new(),
+            deferred: 0,
+            starved: 0,
         }
+    }
+
+    /// Attach a schedule policy (see `crate::schedule`); the engine hands
+    /// it each round's candidate channels and ready processes instead of
+    /// using the canonical ascending order. Attach before [`Network::run`].
+    /// With [`crate::schedule::FifoPolicy`] (or no policy) the run is
+    /// bit-identical to the unhooked engine.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.sched = Some(policy);
     }
 
     /// Attach an observability sink; every recorder receives the full
@@ -359,7 +386,17 @@ impl Network {
             }
             let fired = self.round()?;
             if fired == 0 {
-                return Err(self.deadlock_report().into());
+                // A round that moved nothing is a deadlock — unless an
+                // attached policy deferred enabled rendezvous, in which
+                // case progress is still possible. Starvation is bounded:
+                // a policy deferring everything forever is converted into
+                // the deadlock it is hiding.
+                self.starved += 1;
+                if self.deferred == 0 || self.starved > STARVATION_LIMIT {
+                    return Err(self.deadlock_report().into());
+                }
+            } else {
+                self.starved = 0;
             }
             self.stats.rounds += 1;
         }
@@ -505,6 +542,9 @@ impl Network {
     fn round(&mut self) -> Result<u64, ProtocolViolation> {
         std::mem::swap(&mut self.worklist, &mut self.work_scratch);
         self.work_scratch.sort_unstable();
+        if self.sched.is_some() {
+            self.schedule_worklist();
+        }
         let mut fired = 0u64;
 
         for wi in 0..self.work_scratch.len() {
@@ -615,9 +655,13 @@ impl Network {
         self.stats.messages += fired;
 
         // Advance completed processes in index order (their registrations
-        // target the next round via `self.worklist`).
+        // target the next round via `self.worklist`), unless an attached
+        // policy picks a different permutation.
         let mut ready = std::mem::take(&mut self.ready);
         ready.sort_unstable();
+        if let Some(sched) = self.sched.as_mut() {
+            sched.order_ready(self.stats.rounds, &mut ready);
+        }
         for &pi in &ready {
             debug_assert!(!self.procs[pi].finished && self.procs[pi].remaining == 0);
             self.advance(pi)?;
@@ -625,6 +669,22 @@ impl Network {
         ready.clear();
         self.ready = ready;
         Ok(fired)
+    }
+
+    /// Cold path of [`Network::round`], entered only with a policy
+    /// attached: hand the sorted candidate list to the policy and carry
+    /// any deferred channels over to the next round's worklist (their
+    /// `in_worklist` claim stays set, so the dedup invariant holds).
+    fn schedule_worklist(&mut self) {
+        let sched = self.sched.as_mut().expect("checked by caller");
+        self.defer_scratch.clear();
+        sched.schedule_round(
+            self.stats.rounds,
+            &mut self.work_scratch,
+            &mut self.defer_scratch,
+        );
+        self.deferred = self.defer_scratch.len() as u64;
+        self.worklist.append(&mut self.defer_scratch);
     }
 }
 
@@ -863,6 +923,98 @@ mod tests {
         }));
         net.run().unwrap();
         assert_eq!(*buf.lock(), vec![3, 30]);
+    }
+
+    /// Reverses the firing order and the ready order every round — the
+    /// simplest non-identity permutation policy.
+    struct ReversePolicy;
+
+    impl SchedulePolicy for ReversePolicy {
+        fn schedule_round(&mut self, _r: u64, fire: &mut Vec<ChanId>, _defer: &mut Vec<ChanId>) {
+            fire.reverse();
+        }
+
+        fn order_ready(&mut self, _r: u64, ready: &mut Vec<usize>) {
+            ready.reverse();
+        }
+    }
+
+    /// Defers the lowest-numbered candidate for the first `budget` rounds.
+    struct DeferLowest {
+        budget: u64,
+    }
+
+    impl SchedulePolicy for DeferLowest {
+        fn schedule_round(&mut self, _r: u64, fire: &mut Vec<ChanId>, defer: &mut Vec<ChanId>) {
+            if self.budget > 0 && !fire.is_empty() {
+                self.budget -= 1;
+                defer.push(fire.remove(0));
+            }
+        }
+    }
+
+    /// Adversarial worst case: defers everything, forever.
+    struct StarveEverything;
+
+    impl SchedulePolicy for StarveEverything {
+        fn schedule_round(&mut self, _r: u64, fire: &mut Vec<ChanId>, defer: &mut Vec<ChanId>) {
+            defer.append(fire);
+        }
+    }
+
+    fn policied_pipeline(policy: Option<Box<dyn SchedulePolicy>>) -> (RunStats, Vec<Value>) {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2, 3, 4], "src");
+        b.relay(0, 1, 4, "relay");
+        b.sink(1, 4, "sink");
+        let (mut net, outs) = net_of(b, ChannelPolicy::Rendezvous);
+        if let Some(p) = policy {
+            net.set_schedule_policy(p);
+        }
+        let stats = net.run().unwrap();
+        let out = outs[0].lock().clone();
+        (stats, out)
+    }
+
+    #[test]
+    fn reversing_policy_preserves_results_and_stats() {
+        let (base_stats, base_out) = policied_pipeline(None);
+        let (stats, out) = policied_pipeline(Some(Box::new(ReversePolicy)));
+        assert_eq!(out, base_out, "permutation policies cannot change values");
+        assert_eq!(stats, base_stats, "pure permutations keep stats invariant");
+    }
+
+    #[test]
+    fn explicit_fifo_policy_is_bit_identical_to_no_policy() {
+        let (base_stats, base_out) = policied_pipeline(None);
+        let (stats, out) = policied_pipeline(Some(Box::new(crate::schedule::FifoPolicy)));
+        assert_eq!((stats, out), (base_stats, base_out));
+    }
+
+    #[test]
+    fn bounded_deferral_delays_rounds_but_not_values() {
+        let (base_stats, base_out) = policied_pipeline(None);
+        let (stats, out) = policied_pipeline(Some(Box::new(DeferLowest { budget: 3 })));
+        assert_eq!(out, base_out, "delays cannot change values");
+        assert_eq!(stats.messages, base_stats.messages);
+        assert_eq!(stats.steps, base_stats.steps);
+        assert!(
+            stats.rounds > base_stats.rounds,
+            "deferral must cost rounds: {} vs {}",
+            stats.rounds,
+            base_stats.rounds
+        );
+    }
+
+    #[test]
+    fn starving_policy_is_reported_as_deadlock_not_a_hang() {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1], "src");
+        b.sink(0, 1, "sink");
+        let (mut net, _) = net_of(b, ChannelPolicy::Rendezvous);
+        net.set_schedule_policy(Box::new(StarveEverything));
+        let err = net.run().unwrap_err();
+        assert!(err.as_deadlock().is_some(), "{err}");
     }
 
     #[test]

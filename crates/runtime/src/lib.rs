@@ -27,19 +27,24 @@ pub mod partition;
 pub mod process;
 pub mod procir;
 pub mod record;
+pub mod schedule;
 pub mod threaded;
 
 pub use coop::{
     ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats, TraceEvent,
 };
-pub use partition::{block_partition, run_partitioned, run_partitioned_recorded};
+pub use partition::{
+    block_partition, run_partitioned, run_partitioned_perturbed, run_partitioned_recorded,
+};
 pub use process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
 pub use procir::{
     ComputeBody, Instance, MovingLink, ProcId, ProcIrBuilder, ProcIrModule, ProcOp, ProcRecord,
     ProcVm,
 };
 pub use record::{
-    shared, ChanMetrics, EventLogRecorder, MetricsRecorder, MetricsReport, OpKind, PerfettoEvent,
-    PerfettoRecorder, Phase, ProcMetrics, Recorder, SharedRecorder, Transfer, QUEUE_ENDPOINT,
+    canonicalize_transfers, first_divergence, shared, ChanMetrics, EventLogRecorder,
+    MetricsRecorder, MetricsReport, OpKind, PerfettoEvent, PerfettoRecorder, Phase, ProcMetrics,
+    Recorder, SharedRecorder, Transfer, QUEUE_ENDPOINT,
 };
-pub use threaded::{run_threaded, run_threaded_recorded};
+pub use schedule::{FifoPolicy, Pcg32, SchedulePolicy, YieldInjector, YieldPlan, STARVATION_LIMIT};
+pub use threaded::{run_threaded, run_threaded_perturbed, run_threaded_recorded};

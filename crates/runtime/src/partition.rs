@@ -24,6 +24,7 @@
 use crate::coop::{ProtocolViolation, RunError, RunStats};
 use crate::process::{ChanId, CommReq, Process, Value};
 use crate::record::{SharedRecorder, Transfer};
+use crate::schedule::YieldPlan;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -257,6 +258,22 @@ pub fn run_partitioned_recorded(
     timeout: Duration,
     recorders: Vec<SharedRecorder>,
 ) -> Result<RunStats, RunError> {
+    run_partitioned_perturbed(procs, groups, timeout, recorders, None)
+}
+
+/// [`run_partitioned_recorded`] with seeded yield-point injection: each
+/// group worker surrenders its timeslice at pseudo-random resume
+/// boundaries drawn from `yields` (see [`YieldPlan`]), perturbing both
+/// the OS schedule and the order in which a worker multiplexes its
+/// members — rendezvous semantics are untouched. `None` is exactly
+/// [`run_partitioned_recorded`].
+pub fn run_partitioned_perturbed(
+    procs: Vec<Box<dyn Process>>,
+    groups: Vec<Vec<usize>>,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+    yields: Option<YieldPlan>,
+) -> Result<RunStats, RunError> {
     let n = procs.len();
     {
         let mut seen = vec![false; n];
@@ -329,6 +346,7 @@ pub fn run_partitioned_recorded(
             .name(format!("systolic-group-{gi}"))
             .spawn(move || -> Result<u64, RunError> {
                 let mut steps = 0u64;
+                let mut injector = yields.map(|y| y.injector(gi as u64));
                 // Each member's current request shape (is_send per request
                 // index), dense by pid; the per-member vectors and the
                 // request/receive buffers are reused across every step.
@@ -360,6 +378,9 @@ pub fn run_partitioned_recorded(
                     engine.register(*pid, &reqs)?;
                 }
                 loop {
+                    if let Some(inj) = injector.as_mut() {
+                        inj.maybe_yield();
+                    }
                     match engine.next_ready(gi, &members, &shapes, &mut received, timeout)? {
                         None => return Ok(steps),
                         Some(pid) => {
@@ -496,6 +517,20 @@ mod tests {
             let groups = block_partition(inst.procs.len(), k);
             run_partitioned(inst.procs, groups, T).unwrap();
             assert_eq!(*buf.lock(), vec![5, 6], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn yield_injection_perturbs_but_does_not_change_results() {
+        for seed in [0u64, 5, 31] {
+            let (procs, buf) = pipeline(4, (0..8).collect());
+            let groups = block_partition(procs.len(), 3);
+            let plan = YieldPlan {
+                seed,
+                yield_per_1024: 512,
+            };
+            run_partitioned_perturbed(procs, groups, T, Vec::new(), Some(plan)).unwrap();
+            assert_eq!(*buf.lock(), (0..8).collect::<Vec<_>>(), "seed {seed}");
         }
     }
 

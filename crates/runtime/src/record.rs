@@ -224,6 +224,35 @@ impl Recorder for EventLogRecorder {
     }
 }
 
+/// Sort a transfer log into the canonical `(time, chan)` order. Within a
+/// cooperative round every enabled rendezvous fires regardless of the
+/// firing order a schedule policy picked, so two runs of a
+/// schedule-independent network compare equal after canonicalization —
+/// and the first difference that *survives* it is a genuine divergence,
+/// not a harmless reordering.
+pub fn canonicalize_transfers(log: &mut [Transfer]) {
+    log.sort_by_key(|t| (t.time, t.chan, t.value));
+}
+
+/// The index of the first transfer at which two canonicalized logs
+/// diverge in substance — round, channel, or value (endpoint waits are
+/// schedule-dependent attribution, not substance). `None` when one log
+/// is substance-identical to the other; a length mismatch diverges at
+/// the shorter log's end. The schedule-exploration harness uses this to
+/// attribute a store mismatch to the earliest offending transfer.
+pub fn first_divergence(a: &[Transfer], b: &[Transfer]) -> Option<usize> {
+    let substance = |t: &Transfer| (t.time, t.chan, t.value);
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if substance(x) != substance(y) {
+            return Some(i);
+        }
+    }
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    None
+}
+
 /// Per-process aggregates of a [`MetricsReport`].
 #[derive(Clone, Debug, Default)]
 pub struct ProcMetrics {
@@ -811,6 +840,32 @@ mod tests {
             net.add(p);
         }
         net.run().unwrap()
+    }
+
+    #[test]
+    fn divergence_attribution_ignores_order_and_waits_but_not_substance() {
+        let t = |time, chan, value, sender_wait| Transfer {
+            time,
+            chan,
+            value,
+            sender: 0,
+            receiver: 1,
+            sender_wait,
+            receiver_wait: 0,
+        };
+        // Same substance, different within-round order and different
+        // wait attribution: canonically identical.
+        let mut a = vec![t(0, 1, 10, 0), t(0, 0, 20, 0), t(1, 0, 30, 2)];
+        let mut b = vec![t(0, 0, 20, 5), t(0, 1, 10, 1), t(1, 0, 30, 0)];
+        canonicalize_transfers(&mut a);
+        canonicalize_transfers(&mut b);
+        assert_eq!(first_divergence(&a, &b), None);
+        // A changed value is substance: attributed at its canonical index.
+        let mut c = vec![t(0, 0, 20, 0), t(0, 1, 99, 0), t(1, 0, 30, 0)];
+        canonicalize_transfers(&mut c);
+        assert_eq!(first_divergence(&a, &c), Some(1));
+        // A missing tail transfer diverges at the shorter log's end.
+        assert_eq!(first_divergence(&a, &a[..2]), Some(2));
     }
 
     /// Metrics totals reconcile with the VM step-count contract of

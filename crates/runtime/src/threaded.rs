@@ -19,6 +19,7 @@
 use crate::coop::{ProtocolViolation, RunError, RunStats};
 use crate::process::{ChanId, CommReq, Process, Value};
 use crate::record::{SharedRecorder, Transfer};
+use crate::schedule::YieldPlan;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -234,6 +235,22 @@ pub fn run_threaded_recorded(
     timeout: Duration,
     recorders: Vec<SharedRecorder>,
 ) -> Result<RunStats, RunError> {
+    run_threaded_perturbed(procs, timeout, recorders, None)
+}
+
+/// [`run_threaded_recorded`] with seeded yield-point injection: each
+/// process thread surrenders its timeslice at pseudo-random step
+/// boundaries drawn from `yields` (see [`YieldPlan`]), perturbing the OS
+/// schedule without touching rendezvous semantics. The schedule-
+/// independence harness (`crates/sim`) uses this to check that results
+/// do not depend on thread interleaving. `None` is exactly
+/// [`run_threaded_recorded`].
+pub fn run_threaded_perturbed(
+    procs: Vec<Box<dyn Process>>,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+    yields: Option<YieldPlan>,
+) -> Result<RunStats, RunError> {
     let n = procs.len();
     let labels: Vec<String> = procs.iter().map(|p| p.label()).collect();
     let engine = Arc::new(Engine::new(labels, recorders));
@@ -253,7 +270,11 @@ pub fn run_threaded_recorded(
                 let mut reqs = Vec::new();
                 let mut steps = 0u64;
                 let recording = !engine.recorders.is_empty();
+                let mut injector = yields.map(|y| y.injector(pid as u64));
                 loop {
+                    if let Some(inj) = injector.as_mut() {
+                        inj.maybe_yield();
+                    }
                     reqs.clear();
                     proc.step_into(&received, &mut reqs);
                     steps += 1;
@@ -392,6 +413,24 @@ mod tests {
         pair.sort_unstable();
         assert_eq!(pair, ["src-a", "src-b"]);
         assert!(v.to_string().contains("two senders"));
+    }
+
+    #[test]
+    fn yield_injection_perturbs_but_does_not_change_results() {
+        for seed in [0u64, 7, 99] {
+            let mut b = ProcIrBuilder::new();
+            b.source(0, &[1, 2, 3, 4], "src");
+            b.relay(0, 1, 4, "relay");
+            b.sink(1, 4, "sink");
+            let (procs, outs) = procs_of(b);
+            let plan = YieldPlan {
+                seed,
+                yield_per_1024: 512,
+            };
+            let stats = run_threaded_perturbed(procs, T, Vec::new(), Some(plan)).unwrap();
+            assert_eq!(*outs[0].lock(), vec![1, 2, 3, 4], "seed {seed}");
+            assert_eq!(stats.messages, 8, "seed {seed}");
+        }
     }
 
     #[test]

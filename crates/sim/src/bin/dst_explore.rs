@@ -1,0 +1,103 @@
+//! The CI entry point for deterministic schedule exploration: sweep the
+//! seed × policy matrix over the five gallery designs and fail loudly —
+//! with a replayable counterexample artifact — on any schedule
+//! dependence.
+//!
+//! ```text
+//! dst_explore [--seeds N] [--out DIR] [--design KEY]...
+//! ```
+//!
+//! Exit status 0 means every design survived the sweep; 1 means a
+//! counterexample was found (written to `DIR/counterexample-<design>.json`,
+//! replayable with `systolic replay --schedule <file>`); 2 means bad
+//! usage or a setup failure.
+
+use systolic_sim::{explore, registry, subject_for, ExploreConfig};
+
+fn main() {
+    let mut seeds: u64 = 64;
+    let mut out_dir = String::from("dst-artifacts");
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => usage("--seeds needs a number"),
+            },
+            "--out" => match args.next() {
+                Some(d) => out_dir = d,
+                None => usage("--out needs a directory"),
+            },
+            "--design" => match args.next() {
+                Some(k) => only.push(k),
+                None => usage("--design needs a key"),
+            },
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let cfg = ExploreConfig::matrix(seeds);
+    let mut failed = false;
+    for spec in registry() {
+        if !only.is_empty() && !only.iter().any(|k| k == spec.key) {
+            continue;
+        }
+        let subject = match subject_for(spec.key, &spec.sizes, spec.input_seed) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: setup failed: {e}", spec.key);
+                std::process::exit(2);
+            }
+        };
+        let report = match explore(subject.as_ref(), &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.key);
+                std::process::exit(2);
+            }
+        };
+        match report.counterexample {
+            None => {
+                println!(
+                    "{}: ok ({} schedules, {} policies x {} seeds)",
+                    spec.key,
+                    report.runs,
+                    cfg.policies.len(),
+                    cfg.seeds.len()
+                );
+            }
+            Some(ce) => {
+                failed = true;
+                if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                    eprintln!("cannot create {out_dir}: {e}");
+                    std::process::exit(2);
+                }
+                let path = format!("{out_dir}/counterexample-{}.json", spec.key);
+                if let Err(e) = std::fs::write(&path, ce.schedule.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "{}: FAILED under {}:{} after {} schedules — {}",
+                    spec.key, ce.policy, ce.seed, report.runs, ce.reason
+                );
+                eprintln!(
+                    "  shrunk to {} of {} rounds; replay with: systolic replay --schedule {path}",
+                    ce.schedule.log.rounds.len(),
+                    ce.full_rounds
+                );
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: dst_explore [--seeds N] [--out DIR] [--design KEY]...");
+    std::process::exit(2);
+}

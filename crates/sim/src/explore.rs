@@ -1,0 +1,735 @@
+//! Schedule exploration: sweep a seed × policy matrix over a subject,
+//! detect any schedule dependence, and shrink the offending decision log
+//! to a minimal replayable prefix.
+//!
+//! The oracle is the paper's Sec. 4 schedule-independence theorem: a
+//! correctly systolized program run under *any* legal interleaving
+//! produces the same outputs, and under pure permutation policies the
+//! same `RunStats` as well. A divergence is therefore always a bug — in
+//! the compiled network, in the engine, or (deliberately, for the
+//! harness's own mutation test) in a subject like [`RaceSubject`] whose
+//! output depends on who fires first.
+
+use crate::json::{parse, Json};
+use crate::policy::{policy_by_name, RecordingPolicy, ReplayPolicy, ScheduleLog, ScheduleRound};
+use std::sync::Arc;
+use systolic_core::SystolicProgram;
+use systolic_interp::{elaborate, ElabOptions};
+use systolic_ir::HostStore;
+use systolic_math::Env;
+use systolic_runtime::{
+    canonicalize_transfers, first_divergence, shared, sink_buffer, ChanId, ChannelPolicy, CommReq,
+    EventLogRecorder, Network, ProcIrModule, Process, RunError, RunStats, SchedulePolicy, Transfer,
+    Value,
+};
+
+/// What one run produced: everything a schedule may not change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// The output sink buffers, in output-index order.
+    pub outputs: Vec<Vec<Value>>,
+    pub stats: RunStats,
+    /// The transfer stream, canonicalized (sorted by round, channel,
+    /// value) so legal same-round reorderings compare equal.
+    pub transfers: Vec<Transfer>,
+}
+
+/// Something the explorer can run repeatedly under different schedule
+/// policies. Each `run` must build a fresh network from the same
+/// immutable description.
+pub trait DstSubject {
+    fn label(&self) -> String;
+    fn run(&self, sched: Option<Box<dyn SchedulePolicy>>) -> Result<Outcome, RunError>;
+    /// A schedule file identifying this subject, with an empty log.
+    fn schedule_stub(&self) -> ScheduleFile;
+}
+
+/// A compiled systolic plan elaborated once at a fixed size with seeded
+/// inputs; every `run` re-instantiates the immutable `ProcIrModule`.
+pub struct PlanSubject {
+    key: String,
+    source: Option<String>,
+    sizes: Vec<i64>,
+    input_seed: u64,
+    module: Arc<ProcIrModule>,
+}
+
+impl PlanSubject {
+    /// Elaborate `plan` at `sizes` with the named inputs filled from
+    /// `input_seed`. `key` identifies the design in schedule files;
+    /// `source` carries the program text for non-registry designs so the
+    /// file stays self-contained.
+    pub fn from_plan(
+        key: impl Into<String>,
+        source: Option<String>,
+        plan: &SystolicProgram,
+        sizes: &[i64],
+        inputs: &[&str],
+        input_seed: u64,
+    ) -> Result<PlanSubject, String> {
+        let mut env = Env::new();
+        for (&s, &v) in plan.source.sizes.iter().zip(sizes) {
+            env.bind(s, v);
+        }
+        let mut store = HostStore::allocate(&plan.source, &env);
+        for (i, name) in inputs.iter().enumerate() {
+            store.fill_random(name, input_seed.wrapping_add(i as u64), -9, 9);
+        }
+        let el = elaborate(plan, &env, &store, &ElabOptions::default())
+            .map_err(|e| format!("elaboration failed: {e}"))?;
+        Ok(PlanSubject {
+            key: key.into(),
+            source,
+            sizes: sizes.to_vec(),
+            input_seed,
+            module: el.module,
+        })
+    }
+}
+
+impl DstSubject for PlanSubject {
+    fn label(&self) -> String {
+        self.key.clone()
+    }
+
+    fn run(&self, sched: Option<Box<dyn SchedulePolicy>>) -> Result<Outcome, RunError> {
+        let (handle, rec) = shared(EventLogRecorder::new());
+        let inst = self.module.instantiate_recorded(std::slice::from_ref(&rec));
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        if let Some(s) = sched {
+            net.set_schedule_policy(s);
+        }
+        net.add_recorder(rec.clone());
+        for p in inst.procs {
+            net.add(p);
+        }
+        let stats = net.run()?;
+        let outputs = inst.outputs.iter().map(|b| b.lock().clone()).collect();
+        let mut transfers = handle.lock().take_transfers();
+        canonicalize_transfers(&mut transfers);
+        Ok(Outcome {
+            outputs,
+            stats,
+            transfers,
+        })
+    }
+
+    fn schedule_stub(&self) -> ScheduleFile {
+        ScheduleFile {
+            design: self.key.clone(),
+            source: self.source.clone(),
+            sizes: self.sizes.clone(),
+            input_seed: self.input_seed,
+            policy: "fifo".into(),
+            policy_seed: 0,
+            reason: None,
+            log: ScheduleLog::default(),
+        }
+    }
+}
+
+/// An input process: sends `values` on `chan`, in order.
+struct ValueSource {
+    chan: ChanId,
+    values: Vec<Value>,
+    next: usize,
+}
+
+impl Process for ValueSource {
+    fn step(&mut self, _received: &[Value]) -> Vec<CommReq> {
+        if self.next == self.values.len() {
+            return Vec::new();
+        }
+        let value = self.values[self.next];
+        self.next += 1;
+        vec![CommReq::Send {
+            chan: self.chan,
+            value,
+        }]
+    }
+
+    fn label(&self) -> String {
+        format!("source@{}", self.chan)
+    }
+}
+
+/// A sink that pushes into a buffer *shared with another sink* — the
+/// seeded interleaving bug. Its merged output order is exactly the order
+/// the scheduler re-steps the two sinks, so any policy that perturbs the
+/// ready order diverges from the FIFO baseline.
+struct RacingSink {
+    chan: ChanId,
+    remaining: usize,
+    primed: bool,
+    buf: systolic_runtime::SinkBuffer,
+}
+
+impl Process for RacingSink {
+    fn step(&mut self, received: &[Value]) -> Vec<CommReq> {
+        if self.primed {
+            self.buf.lock().push(received[0]);
+            self.remaining -= 1;
+        }
+        if !self.primed || self.remaining > 0 {
+            self.primed = true;
+            vec![CommReq::Recv { chan: self.chan }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("race-sink@{}", self.chan)
+    }
+}
+
+/// The built-in mutation subject: two sources feed two sinks that merge
+/// into one shared buffer. Schedule-DEPENDENT by construction — the
+/// explorer must catch it, and the shrinker must reduce the catch to a
+/// minimal prefix. This is the harness's own canary, not a gallery
+/// design.
+pub struct RaceSubject {
+    /// Values per source stream.
+    pub k: usize,
+}
+
+pub const RACE_SINK: &str = "race-sink";
+
+impl DstSubject for RaceSubject {
+    fn label(&self) -> String {
+        RACE_SINK.into()
+    }
+
+    fn run(&self, sched: Option<Box<dyn SchedulePolicy>>) -> Result<Outcome, RunError> {
+        let buf = sink_buffer();
+        let k = self.k;
+        let a: Vec<Value> = (0..k as i64).map(|i| 100 + i).collect();
+        let b: Vec<Value> = (0..k as i64).map(|i| 200 + i).collect();
+        let (handle, rec) = shared(EventLogRecorder::new());
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        if let Some(s) = sched {
+            net.set_schedule_policy(s);
+        }
+        net.add_recorder(rec);
+        net.add(Box::new(ValueSource {
+            chan: 0,
+            values: a,
+            next: 0,
+        }));
+        net.add(Box::new(ValueSource {
+            chan: 1,
+            values: b,
+            next: 0,
+        }));
+        net.add(Box::new(RacingSink {
+            chan: 0,
+            remaining: k,
+            primed: false,
+            buf: buf.clone(),
+        }));
+        net.add(Box::new(RacingSink {
+            chan: 1,
+            remaining: k,
+            primed: false,
+            buf: buf.clone(),
+        }));
+        let stats = net.run()?;
+        let mut transfers = handle.lock().take_transfers();
+        canonicalize_transfers(&mut transfers);
+        let merged = buf.lock().clone();
+        Ok(Outcome {
+            outputs: vec![merged],
+            stats,
+            transfers,
+        })
+    }
+
+    fn schedule_stub(&self) -> ScheduleFile {
+        ScheduleFile {
+            design: RACE_SINK.into(),
+            source: None,
+            sizes: vec![self.k as i64],
+            input_seed: 0,
+            policy: "fifo".into(),
+            policy_seed: 0,
+            reason: None,
+            log: ScheduleLog::default(),
+        }
+    }
+}
+
+/// One design of the DST matrix: registry key, problem sizes, input
+/// variables, and the seed their data is drawn from.
+pub struct DesignSpec {
+    pub key: &'static str,
+    pub sizes: Vec<i64>,
+    pub inputs: Vec<&'static str>,
+    pub input_seed: u64,
+}
+
+/// The five gallery designs the CI matrix sweeps: the four appendix
+/// designs plus the FIR filter on a derived array. Sizes are chosen so a
+/// full 64-seed × 3-policy sweep stays in CI's budget.
+pub fn registry() -> Vec<DesignSpec> {
+    vec![
+        DesignSpec {
+            key: "D.1",
+            sizes: vec![4],
+            inputs: vec!["a", "b"],
+            input_seed: 17,
+        },
+        DesignSpec {
+            key: "D.2",
+            sizes: vec![4],
+            inputs: vec!["a", "b"],
+            input_seed: 18,
+        },
+        DesignSpec {
+            key: "E.1",
+            sizes: vec![3],
+            inputs: vec!["a", "b"],
+            input_seed: 19,
+        },
+        DesignSpec {
+            key: "E.2",
+            sizes: vec![3],
+            inputs: vec!["a", "b"],
+            input_seed: 20,
+        },
+        DesignSpec {
+            key: "fir",
+            sizes: vec![2, 5],
+            inputs: vec!["h", "x"],
+            input_seed: 21,
+        },
+    ]
+}
+
+/// Resolve a registry key (or [`RACE_SINK`]) to a runnable subject at
+/// the given sizes. `"source"` designs carry their own program text and
+/// are resolved by the CLI, which owns the front end.
+pub fn subject_for(
+    key: &str,
+    sizes: &[i64],
+    input_seed: u64,
+) -> Result<Box<dyn DstSubject>, String> {
+    use systolic_core::{compile, Options};
+    if key == RACE_SINK {
+        let k = sizes.first().copied().unwrap_or(4).max(1) as usize;
+        return Ok(Box::new(RaceSubject { k }));
+    }
+    let (plan, inputs): (SystolicProgram, Vec<&str>) = if key == "fir" {
+        let p = systolic_ir::gallery::fir_filter();
+        let a = systolic_synthesis::derive_array(&p, 2, 4).ok_or("fir array derivation failed")?;
+        (
+            compile(&p, &a, &Options::default()).map_err(|e| format!("compile failed: {e}"))?,
+            vec!["h", "x"],
+        )
+    } else {
+        let (_, p, a) = systolic_synthesis::placement::paper::all()
+            .into_iter()
+            .find(|(label, _, _)| *label == key)
+            .ok_or_else(|| format!("unknown design '{key}'"))?;
+        (
+            compile(&p, &a, &Options::default()).map_err(|e| format!("compile failed: {e}"))?,
+            vec!["a", "b"],
+        )
+    };
+    Ok(Box::new(PlanSubject::from_plan(
+        key, None, &plan, sizes, &inputs, input_seed,
+    )?))
+}
+
+/// The serialized counterexample/replay format (`systolic-schedule-v1`):
+/// which subject, which inputs, which policy produced the log, and the
+/// (possibly shrunk) per-round decisions to replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// Registry key, [`RACE_SINK`], or `"source"`.
+    pub design: String,
+    /// Program text when `design == "source"` — the file is then
+    /// self-contained.
+    pub source: Option<String>,
+    pub sizes: Vec<i64>,
+    pub input_seed: u64,
+    /// The policy whose recorded decisions the log holds.
+    pub policy: String,
+    pub policy_seed: u64,
+    /// Human-readable failure description (diagnostic only; ignored on
+    /// parse-for-replay).
+    pub reason: Option<String>,
+    pub log: ScheduleLog,
+}
+
+pub const SCHEDULE_SCHEMA: &str = "systolic-schedule-v1";
+
+fn ids_to_json(xs: &[usize]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x as i64)).collect())
+}
+
+fn ids_from_json(j: Option<&Json>) -> Result<Vec<usize>, String> {
+    j.and_then(Json::as_arr)
+        .map(|xs| {
+            xs.iter()
+                .map(|x| x.as_i64().map(|n| n as usize).ok_or("non-integer id"))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(String::from)
+        })
+        .unwrap_or_else(|| Ok(Vec::new()))
+}
+
+impl ScheduleFile {
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("schema".into(), Json::Str(SCHEDULE_SCHEMA.into())),
+            ("design".into(), Json::Str(self.design.clone())),
+        ];
+        if let Some(src) = &self.source {
+            fields.push(("source".into(), Json::Str(src.clone())));
+        }
+        fields.push((
+            "sizes".into(),
+            Json::Arr(self.sizes.iter().map(|&s| Json::Num(s)).collect()),
+        ));
+        fields.push(("input_seed".into(), Json::Num(self.input_seed as i64)));
+        fields.push(("policy".into(), Json::Str(self.policy.clone())));
+        fields.push(("policy_seed".into(), Json::Num(self.policy_seed as i64)));
+        if let Some(r) = &self.reason {
+            fields.push(("reason".into(), Json::Str(r.clone())));
+        }
+        fields.push((
+            "rounds".into(),
+            Json::Arr(
+                self.log
+                    .rounds
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("round".into(), Json::Num(r.round as i64)),
+                            ("fire".into(), ids_to_json(&r.fire)),
+                            ("defer".into(), ids_to_json(&r.defer)),
+                            ("ready".into(), ids_to_json(&r.ready)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(fields).to_string()
+    }
+
+    pub fn from_json(text: &str) -> Result<ScheduleFile, String> {
+        let doc = parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEDULE_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schedule schema '{other}'")),
+            None => return Err("missing \"schema\" field".into()),
+        }
+        let design = doc
+            .get("design")
+            .and_then(Json::as_str)
+            .ok_or("missing \"design\" field")?
+            .to_string();
+        let source = doc.get("source").and_then(Json::as_str).map(String::from);
+        let sizes = doc
+            .get("sizes")
+            .and_then(Json::as_arr)
+            .map(|xs| xs.iter().filter_map(Json::as_i64).collect())
+            .unwrap_or_default();
+        let input_seed = doc.get("input_seed").and_then(Json::as_i64).unwrap_or(0) as u64;
+        let policy = doc
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("fifo")
+            .to_string();
+        let policy_seed = doc.get("policy_seed").and_then(Json::as_i64).unwrap_or(0) as u64;
+        let reason = doc.get("reason").and_then(Json::as_str).map(String::from);
+        let mut rounds = Vec::new();
+        for r in doc.get("rounds").and_then(Json::as_arr).unwrap_or(&[]) {
+            rounds.push(ScheduleRound {
+                round: r
+                    .get("round")
+                    .and_then(Json::as_i64)
+                    .ok_or("round without number")? as u64,
+                fire: ids_from_json(r.get("fire"))?,
+                defer: ids_from_json(r.get("defer"))?,
+                ready: ids_from_json(r.get("ready"))?,
+            });
+        }
+        Ok(ScheduleFile {
+            design,
+            source,
+            sizes,
+            input_seed,
+            policy,
+            policy_seed,
+            reason,
+            log: ScheduleLog { rounds },
+        })
+    }
+}
+
+/// Compare a candidate run against the FIFO baseline; `None` means the
+/// schedule independence held. The description attributes transfer-level
+/// divergence via the recorder stream's first differing transfer.
+pub fn compare_outcomes(baseline: &Outcome, candidate: &Outcome) -> Option<String> {
+    if baseline == candidate {
+        return None;
+    }
+    let mut parts = Vec::new();
+    if baseline.outputs != candidate.outputs {
+        let which = baseline
+            .outputs
+            .iter()
+            .zip(&candidate.outputs)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        parts.push(format!("output buffer {which} differs"));
+    }
+    if baseline.stats != candidate.stats {
+        parts.push(format!(
+            "stats differ (rounds {}→{}, messages {}→{}, steps {}→{})",
+            baseline.stats.rounds,
+            candidate.stats.rounds,
+            baseline.stats.messages,
+            candidate.stats.messages,
+            baseline.stats.steps,
+            candidate.stats.steps
+        ));
+    }
+    match first_divergence(&baseline.transfers, &candidate.transfers) {
+        Some(i) => {
+            let describe = |t: Option<&Transfer>| match t {
+                Some(t) => format!("round {} chan {} value {}", t.time, t.chan, t.value),
+                None => "<absent>".into(),
+            };
+            parts.push(format!(
+                "first transfer divergence at event {i}: baseline {} vs candidate {}",
+                describe(baseline.transfers.get(i)),
+                describe(candidate.transfers.get(i))
+            ));
+        }
+        None => parts.push("transfer streams agree; divergence is in output assembly".into()),
+    }
+    Some(parts.join("; "))
+}
+
+/// A caught, shrunk schedule-dependence failure.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    pub subject: String,
+    pub policy: String,
+    pub seed: u64,
+    pub reason: String,
+    /// Rounds in the full recorded log.
+    pub full_rounds: usize,
+    /// The minimal replayable prefix, embedded in the schedule file.
+    pub schedule: ScheduleFile,
+}
+
+/// Outcome of sweeping one subject.
+pub struct ExploreReport {
+    pub subject: String,
+    /// Schedules exercised (excluding the baseline).
+    pub runs: usize,
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Sweep configuration: which adversary policies, which seeds.
+pub struct ExploreConfig {
+    pub policies: Vec<&'static str>,
+    pub seeds: Vec<u64>,
+}
+
+impl ExploreConfig {
+    /// The standard matrix: all three adversaries × seeds `0..n`.
+    pub fn matrix(n_seeds: u64) -> ExploreConfig {
+        ExploreConfig {
+            policies: vec!["random", "lifo", "prio-inv"],
+            seeds: (0..n_seeds).collect(),
+        }
+    }
+}
+
+/// What one policied run did, relative to the baseline.
+fn verdict(
+    subject: &dyn DstSubject,
+    baseline: &Outcome,
+    sched: Box<dyn SchedulePolicy>,
+) -> Option<String> {
+    match subject.run(Some(sched)) {
+        Ok(out) => compare_outcomes(baseline, &out),
+        Err(e) => Some(format!("run failed: {e}")),
+    }
+}
+
+/// Shrink a failing decision log to the shortest prefix that still
+/// fails. Linear scan from the empty prefix (pure FIFO — passes by
+/// baseline construction), so the first failing length is minimal by
+/// construction. Replay is deterministic, so the scan is sound.
+pub fn shrink_log(
+    subject: &dyn DstSubject,
+    baseline: &Outcome,
+    full: &ScheduleLog,
+) -> (ScheduleLog, String) {
+    for k in 0..full.rounds.len() {
+        let prefix = ScheduleLog {
+            rounds: full.rounds[..k].to_vec(),
+        };
+        if let Some(reason) = verdict(
+            subject,
+            baseline,
+            Box::new(ReplayPolicy::new(prefix.clone())),
+        ) {
+            return (prefix, reason);
+        }
+    }
+    let reason = verdict(subject, baseline, Box::new(ReplayPolicy::new(full.clone())))
+        .unwrap_or_else(|| "full log no longer reproduces".into());
+    (full.clone(), reason)
+}
+
+/// Sweep the matrix over one subject. On the first divergence, record,
+/// shrink, and return the counterexample; otherwise report the clean
+/// sweep.
+pub fn explore(subject: &dyn DstSubject, cfg: &ExploreConfig) -> Result<ExploreReport, String> {
+    let baseline = subject
+        .run(None)
+        .map_err(|e| format!("{}: baseline run failed: {e}", subject.label()))?;
+    let mut runs = 0usize;
+    for policy_name in &cfg.policies {
+        for &seed in &cfg.seeds {
+            let inner = policy_by_name(policy_name, seed)
+                .ok_or_else(|| format!("unknown policy '{policy_name}'"))?;
+            let (rec, log) = RecordingPolicy::new(inner);
+            runs += 1;
+            let failed = match subject.run(Some(Box::new(rec))) {
+                Ok(out) => compare_outcomes(&baseline, &out),
+                Err(e) => Some(format!("run failed: {e}")),
+            };
+            if let Some(reason) = failed {
+                let full = log.lock().clone();
+                let full_rounds = full.rounds.len();
+                let (shrunk, min_reason) = shrink_log(subject, &baseline, &full);
+                let mut schedule = subject.schedule_stub();
+                schedule.policy = policy_name.to_string();
+                schedule.policy_seed = seed;
+                schedule.reason = Some(min_reason);
+                schedule.log = shrunk;
+                return Ok(ExploreReport {
+                    subject: subject.label(),
+                    runs,
+                    counterexample: Some(Counterexample {
+                        subject: subject.label(),
+                        policy: policy_name.to_string(),
+                        seed,
+                        reason,
+                        full_rounds,
+                        schedule,
+                    }),
+                });
+            }
+        }
+    }
+    Ok(ExploreReport {
+        subject: subject.label(),
+        runs,
+        counterexample: None,
+    })
+}
+
+/// Result of replaying a schedule file against its subject.
+pub struct ReplayReport {
+    /// Did the recorded schedule still diverge from the FIFO baseline?
+    pub reproduced: bool,
+    /// The divergence (or failure) description, when reproduced.
+    pub reason: Option<String>,
+    pub rounds_replayed: usize,
+}
+
+/// Re-run a subject under a schedule file's decision log and check the
+/// divergence reproduces.
+pub fn replay(subject: &dyn DstSubject, file: &ScheduleFile) -> Result<ReplayReport, String> {
+    let baseline = subject
+        .run(None)
+        .map_err(|e| format!("baseline run failed: {e}"))?;
+    let reason = verdict(
+        subject,
+        &baseline,
+        Box::new(ReplayPolicy::new(file.log.clone())),
+    );
+    Ok(ReplayReport {
+        reproduced: reason.is_some(),
+        reason,
+        rounds_replayed: file.log.rounds.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallery_designs_are_schedule_independent_over_a_small_matrix() {
+        // The real sweep lives in the `dst_explore` binary (64 seeds);
+        // this is the fast in-tree version.
+        let cfg = ExploreConfig::matrix(3);
+        for spec in registry() {
+            let subject = subject_for(spec.key, &spec.sizes, spec.input_seed).unwrap();
+            let report = explore(subject.as_ref(), &cfg).unwrap();
+            assert!(
+                report.counterexample.is_none(),
+                "{}: {:?}",
+                spec.key,
+                report.counterexample.map(|c| c.reason)
+            );
+            assert_eq!(report.runs, 9, "{}", spec.key);
+        }
+    }
+
+    #[test]
+    fn race_sink_mutation_is_caught_shrunk_and_replayable() {
+        // The seeded interleaving bug: the explorer must catch it, the
+        // shrinker must cut the log down, and replaying the shrunk file
+        // must reproduce the divergence.
+        let subject = RaceSubject { k: 8 };
+        let report = explore(&subject, &ExploreConfig::matrix(4)).unwrap();
+        let ce = report.counterexample.expect("race-sink must be caught");
+        let shrunk = ce.schedule.log.rounds.len();
+        assert!(shrunk >= 1 && shrunk <= ce.full_rounds);
+        let replayed = replay(&subject, &ce.schedule).unwrap();
+        assert!(replayed.reproduced, "shrunk schedule must reproduce");
+        // Minimality: one round fewer no longer reproduces.
+        let mut smaller = ce.schedule.clone();
+        smaller.log.rounds.pop();
+        let under = replay(&subject, &smaller).unwrap();
+        assert!(!under.reproduced, "shrunk log must be a *minimal* prefix");
+    }
+
+    #[test]
+    fn schedule_files_round_trip_through_json() {
+        let subject = RaceSubject { k: 5 };
+        let report = explore(&subject, &ExploreConfig::matrix(2)).unwrap();
+        let ce = report.counterexample.unwrap();
+        let text = ce.schedule.to_json();
+        let parsed = ScheduleFile::from_json(&text).unwrap();
+        assert_eq!(parsed, ce.schedule);
+        // And the parsed file still reproduces.
+        let replayed = replay(&subject, &parsed).unwrap();
+        assert!(replayed.reproduced);
+    }
+
+    #[test]
+    fn subject_for_resolves_the_race_builtin_and_rejects_unknowns() {
+        assert_eq!(subject_for(RACE_SINK, &[4], 0).unwrap().label(), RACE_SINK);
+        assert!(subject_for("Z.9", &[3], 0).is_err());
+    }
+
+    #[test]
+    fn replaying_an_empty_log_is_the_baseline() {
+        let subject = RaceSubject { k: 4 };
+        let stub = subject.schedule_stub();
+        let replayed = replay(&subject, &stub).unwrap();
+        assert!(!replayed.reproduced, "empty log = FIFO = no divergence");
+        assert_eq!(replayed.rounds_replayed, 0);
+    }
+}

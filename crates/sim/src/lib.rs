@@ -1,0 +1,44 @@
+//! # systolic-sim
+//!
+//! Deterministic-simulation testing for systolized programs: adversarial
+//! schedule exploration, fault injection, and shrunk, replayable
+//! counterexamples.
+//!
+//! The property under test is the paper's Sec. 4 schedule-independence
+//! theorem: a correctly compiled network computes the same outputs under
+//! *every* interleaving that honours channel rendezvous. This crate
+//! supplies the machinery to hunt for violations deterministically:
+//!
+//! - [`policy`] — the adversary policies ([`RandomPolicy`],
+//!   [`LifoPolicy`], [`PriorityInversionPolicy`]) plugged into the
+//!   cooperative engine's `SchedulePolicy` hook, plus the
+//!   [`RecordingPolicy`]/[`ReplayPolicy`] pair that makes any run's
+//!   schedule decisions serializable and re-executable;
+//! - [`fault`] — bounded rendezvous delays, stalled workers, and process
+//!   aborts, each with a precise pass/fail contract;
+//! - [`explore`] — the seed-matrix explorer: sweep, detect divergence
+//!   via outputs/stats/the recorder's transfer stream, shrink the
+//!   decision log to a minimal prefix, and emit a
+//!   `systolic-schedule-v1` JSON file that `systolic replay` reproduces;
+//! - [`json`] — the tiny hand-rolled JSON reader/writer those files use.
+//!
+//! The `dst_explore` binary runs the CI matrix (64 seeds × 3 policies ×
+//! 5 gallery designs) and writes counterexample artifacts on failure.
+//! See `docs/testing.md` for the walkthrough.
+
+pub mod explore;
+pub mod fault;
+pub mod json;
+pub mod policy;
+
+pub use explore::{
+    compare_outcomes, explore, registry, replay, shrink_log, subject_for, Counterexample,
+    DesignSpec, DstSubject, ExploreConfig, ExploreReport, Outcome, PlanSubject, RaceSubject,
+    ReplayReport, ScheduleFile, RACE_SINK, SCHEDULE_SCHEMA,
+};
+pub use fault::{DelayPolicy, Fault, FaultPlan};
+pub use json::Json;
+pub use policy::{
+    policy_by_name, LifoPolicy, PriorityInversionPolicy, RandomPolicy, RecordingPolicy,
+    ReplayPolicy, ScheduleLog, ScheduleRound, POLICY_NAMES,
+};

@@ -13,7 +13,8 @@ pub struct Invocation {
 }
 
 /// Parse raw arguments (after the binary name). `None` on malformed
-/// input (flag without a value, missing command/file).
+/// input (flag without a value, missing command/file). `replay` takes no
+/// positional: its `--schedule <file>` value *is* the file to read.
 pub fn parse_args(raw: &[String]) -> Option<Invocation> {
     let mut it = raw.iter();
     let command = it.next()?.clone();
@@ -28,9 +29,15 @@ pub fn parse_args(raw: &[String]) -> Option<Invocation> {
             return None; // extra positional argument
         }
     }
+    let file = file.or_else(|| {
+        flags
+            .iter()
+            .find(|(n, _)| n == "schedule")
+            .map(|(_, v)| v.clone())
+    })?;
     Some(Invocation {
         command,
-        file: file?,
+        file,
         flags,
     })
 }
@@ -196,6 +203,13 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "explore" => {
+            // With --schedules N this is deterministic schedule
+            // exploration (DST) of the compiled program; without it, the
+            // historical design-space exploration.
+            if let Some(n) = inv.flag("schedules") {
+                let n: u64 = n.parse().map_err(|_| "--schedules needs a number")?;
+                return explore_schedules(inv, src, n);
+            }
             let bound: i64 = inv.flag("bound").and_then(|s| s.parse().ok()).unwrap_or(2);
             let sample: i64 = inv.flag("sample").and_then(|s| s.parse().ok()).unwrap_or(6);
             let program = systolic_lang::parse(src).map_err(|e| e.to_string())?;
@@ -204,7 +218,117 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 &program, &designs, 20,
             ))
         }
+        "replay" => {
+            // `src` is the schedule file itself (parse_args routed the
+            // --schedule value into `inv.file`).
+            let file = systolic_sim::ScheduleFile::from_json(src)?;
+            let subject = subject_from_schedule(&file)?;
+            let report = systolic_sim::replay(subject.as_ref(), &file)?;
+            if report.reproduced {
+                Ok(format!(
+                    "REPRODUCED: design {} diverges from the FIFO baseline after replaying \
+                     {} recorded round(s)\n{}",
+                    file.design,
+                    report.rounds_replayed,
+                    report.reason.unwrap_or_default()
+                ))
+            } else {
+                Ok(format!(
+                    "did not reproduce: design {} matched the FIFO baseline under the \
+                     recorded schedule ({} round(s))",
+                    file.design, report.rounds_replayed
+                ))
+            }
+        }
         other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// DST mode of `explore`: sweep the adversary-policy seed matrix over
+/// the compiled source program; on divergence, write the shrunk
+/// counterexample schedule to `--out` (default `counterexample.json`).
+fn explore_schedules(inv: &Invocation, src: &str, n_seeds: u64) -> Result<String, String> {
+    let opts = build_options(inv).ok_or("bad options")?;
+    let sizes = inv
+        .flag("sizes")
+        .and_then(parse_sizes)
+        .ok_or("--sizes N[,M..] is required with --schedules")?;
+    let seed: u64 = inv.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let sys = systolize_source(src, &opts).map_err(|e| e.to_string())?;
+    if sizes.len() != sys.source.sizes.len() {
+        return Err("size arity mismatch".into());
+    }
+    let inputs: Vec<String> = sys
+        .source
+        .variables
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
+    let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+    let subject = systolic_sim::PlanSubject::from_plan(
+        "source",
+        Some(src.to_string()),
+        &sys.plan,
+        &sizes,
+        &input_refs,
+        seed,
+    )?;
+    let cfg = systolic_sim::ExploreConfig::matrix(n_seeds);
+    let report = systolic_sim::explore(&subject, &cfg)?;
+    match report.counterexample {
+        None => Ok(format!(
+            "schedule-independent: {} adversarial schedules ({} policies x {} seeds) \
+             all matched the FIFO baseline",
+            report.runs,
+            cfg.policies.len(),
+            cfg.seeds.len()
+        )),
+        Some(ce) => {
+            let path = inv.flag("out").unwrap_or("counterexample.json");
+            std::fs::write(path, ce.schedule.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Err(format!(
+                "SCHEDULE DEPENDENCE under {}:{} — {}\nshrunk to {} of {} recorded round(s); \
+                 replay with: systolic replay --schedule {path}",
+                ce.policy,
+                ce.seed,
+                ce.reason,
+                ce.schedule.log.rounds.len(),
+                ce.full_rounds
+            ))
+        }
+    }
+}
+
+/// Resolve a schedule file to its subject: embedded-source designs are
+/// recompiled here (the CLI owns the front end); registry designs and
+/// the race-sink builtin resolve inside `systolic-sim`.
+fn subject_from_schedule(
+    file: &systolic_sim::ScheduleFile,
+) -> Result<Box<dyn systolic_sim::DstSubject>, String> {
+    if file.design == "source" {
+        let src = file
+            .source
+            .as_ref()
+            .ok_or("schedule file has design \"source\" but no embedded program text")?;
+        let sys = systolize_source(src, &SystolizeOptions::default()).map_err(|e| e.to_string())?;
+        let inputs: Vec<String> = sys
+            .source
+            .variables
+            .iter()
+            .map(|v| v.name.clone())
+            .collect();
+        let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+        Ok(Box::new(systolic_sim::PlanSubject::from_plan(
+            "source",
+            Some(src.clone()),
+            &sys.plan,
+            &file.sizes,
+            &input_refs,
+            file.input_seed,
+        )?))
+    } else {
+        systolic_sim::subject_for(&file.design, &file.sizes, file.input_seed)
     }
 }
 
@@ -369,6 +493,63 @@ mod tests {
         .unwrap();
         let err = execute(&inv, SRC).unwrap_err();
         assert!(err.contains("cannot write"), "{err}");
+    }
+
+    #[test]
+    fn replay_takes_its_file_from_the_schedule_flag() {
+        let inv = parse_args(&args(&["replay", "--schedule", "ce.json"])).unwrap();
+        assert_eq!(inv.command, "replay");
+        assert_eq!(inv.file, "ce.json");
+        assert_eq!(inv.flag("schedule"), Some("ce.json"));
+    }
+
+    #[test]
+    fn explore_schedules_reports_schedule_independence() {
+        let inv = parse_args(&args(&["explore", "f", "--schedules", "2", "--sizes", "3"])).unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("schedule-independent"), "{out}");
+        assert!(out.contains("6 adversarial schedules"), "{out}");
+    }
+
+    #[test]
+    fn explore_schedules_requires_sizes() {
+        let inv = parse_args(&args(&["explore", "f", "--schedules", "2"])).unwrap();
+        let err = execute(&inv, SRC).unwrap_err();
+        assert!(err.contains("--sizes"), "{err}");
+    }
+
+    #[test]
+    fn replay_reproduces_a_race_sink_counterexample_end_to_end() {
+        // Full loop: explorer catches the seeded interleaving bug,
+        // shrinks it, serializes it; the CLI replays the file and
+        // reproduces the divergence.
+        use crate::sim::{explore, ExploreConfig, RaceSubject};
+        let subject = RaceSubject { k: 6 };
+        let ce = explore(&subject, &ExploreConfig::matrix(4))
+            .unwrap()
+            .counterexample
+            .expect("race-sink diverges");
+        let text = ce.schedule.to_json();
+        let inv = parse_args(&args(&["replay", "--schedule", "ce.json"])).unwrap();
+        let out = execute(&inv, &text).unwrap();
+        assert!(out.contains("REPRODUCED"), "{out}");
+        assert!(out.contains("race-sink"), "{out}");
+    }
+
+    #[test]
+    fn replay_of_an_empty_schedule_does_not_reproduce() {
+        use crate::sim::{DstSubject, RaceSubject};
+        let stub = RaceSubject { k: 4 }.schedule_stub();
+        let inv = parse_args(&args(&["replay", "--schedule", "ce.json"])).unwrap();
+        let out = execute(&inv, &stub.to_json()).unwrap();
+        assert!(out.contains("did not reproduce"), "{out}");
+    }
+
+    #[test]
+    fn replay_rejects_malformed_schedule_files() {
+        let inv = parse_args(&args(&["replay", "--schedule", "ce.json"])).unwrap();
+        assert!(execute(&inv, "{not json").is_err());
+        assert!(execute(&inv, "{\"schema\":\"v0\"}").is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use systolic_ir as ir;
 pub use systolic_lang as lang;
 pub use systolic_math as math;
 pub use systolic_runtime as runtime;
+pub use systolic_sim as sim;
 pub use systolic_synthesis as synthesis;
 
 use std::fmt;
@@ -214,14 +215,15 @@ impl Systolized {
         opts: &systolic_interp::ElabOptions,
     ) -> Result<systolic_interp::SystolicRun, Error> {
         let env = self.size_env(sizes);
-        systolic_interp::run_plan(&self.plan, &env, store, ChannelPolicy::Rendezvous, opts)
-            .map_err(|e| match e {
+        systolic_interp::run_plan(&self.plan, &env, store, ChannelPolicy::Rendezvous, opts).map_err(
+            |e| match e {
                 systolic_interp::ExecError::Elab(el) => Error::Elaborate(el),
                 systolic_interp::ExecError::Run(r) => Error::Deadlock(r.to_string()),
                 short @ systolic_interp::ExecError::ShortOutput { .. } => {
                     Error::Mismatch(short.to_string())
                 }
-            })
+            },
+        )
     }
 
     /// Verify observational equivalence with the sequential execution on

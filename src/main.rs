@@ -6,7 +6,16 @@
 //!                           [--metrics PATH] [--trace-out PATH]
 //! systolizer verify  <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
 //! systolizer explore <file> [--bound B] [--sample N]
+//! systolizer explore <file> --schedules N --sizes <n[,m..]> [--seed S] [--out PATH]
+//! systolizer replay  --schedule <file>
 //! ```
+//!
+//! `explore --schedules N` is deterministic schedule exploration: the
+//! compiled program is run under N seeds × 3 adversarial schedule
+//! policies; any divergence from the FIFO baseline is shrunk to a
+//! minimal decision-log prefix and written as a `systolic-schedule-v1`
+//! JSON counterexample that `replay --schedule` reproduces. See
+//! `docs/testing.md`.
 //!
 //! `--metrics` writes a `systolic-metrics-v1` JSON report (per-process op
 //! and phase counts, per-channel waits, makespan attribution);
@@ -27,7 +36,9 @@ fn usage() -> ExitCode {
                             [--metrics PATH] [--trace-out PATH]\n  \
          systolizer verify  <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
          systolizer describe <file> --sizes N[,M..]\n  \
-         systolizer explore <file> [--bound B] [--sample N]"
+         systolizer explore <file> [--bound B] [--sample N]\n  \
+         systolizer explore <file> --schedules N --sizes N[,M..] [--seed S] [--out PATH]\n  \
+         systolizer replay  --schedule <file>"
     );
     ExitCode::from(2)
 }

@@ -11,11 +11,13 @@
 
 use std::time::Duration;
 use systolizer::core::{compile, Options};
-use systolizer::interp::{run_plan, run_plan_partitioned, run_plan_threaded, verify_equivalence};
-use systolizer::ir::HostStore;
+use systolizer::interp::{
+    run_plan, run_plan_partitioned, run_plan_scheduled, run_plan_threaded, verify_equivalence,
+};
 use systolizer::ir::gallery;
+use systolizer::ir::HostStore;
 use systolizer::math::Env;
-use systolizer::runtime::{ChannelPolicy, RunStats};
+use systolizer::runtime::{ChannelPolicy, FifoPolicy, RunStats};
 use systolizer::synthesis::{derive_array, placement::paper};
 
 fn golden(processes: usize, rounds: u64, messages: u64, steps: u64) -> RunStats {
@@ -95,6 +97,53 @@ fn executors_agree_bit_for_bit_on_paper_designs() {
             assert_eq!(part.stats.messages, want.messages, "{label} w={workers}");
             assert_eq!(part.stats.steps, want.steps, "{label} w={workers}");
         }
+    }
+}
+
+/// The DST schedule hook must be invisible when the policy is FIFO: a
+/// run with an explicit [`FifoPolicy`] attached is bit-identical — same
+/// recovered store, same round/message/step counts — to the unhooked
+/// engine, and both still match the pre-hook seed goldens above. This
+/// pins the "policy attached but inert" path, so the hook itself can
+/// never perturb the schedule it observes.
+#[test]
+fn coop_under_explicit_fifo_policy_matches_pre_hook_goldens() {
+    let goldens = [
+        ("D.1", golden(16, 44, 139, 244)),
+        ("D.2", golden(24, 70, 235, 444)),
+        ("E.1", golden(55, 36, 450, 705)),
+        ("E.2", golden(191, 22, 710, 1111)),
+    ];
+    for (label, p, a) in paper::all() {
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let mut store = HostStore::allocate(&p, &env);
+        store.fill_random("a", 11, -9, 9);
+        store.fill_random("b", 12, -9, 9);
+
+        let bare = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &Default::default(),
+        )
+        .unwrap();
+        let hooked = run_plan_scheduled(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &Default::default(),
+            Some(Box::new(FifoPolicy)),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(hooked.store, bare.store, "{label}: FIFO policy moved data");
+        assert_eq!(hooked.stats, bare.stats, "{label}: FIFO policy cost stats");
+        let want = &goldens.iter().find(|(l, _)| *l == label).unwrap().1;
+        assert_eq!(&hooked.stats, want, "{label}: drifted from seed golden");
     }
 }
 

@@ -66,6 +66,54 @@ fn c_code_snapshots() {
     check("e2_c.txt", &design(3).c_code());
 }
 
+/// One observed run of polyprod D.1 at n=4 with seeded inputs — the
+/// fixture behind the observability snapshots below. Everything in the
+/// artifacts is virtual-time-based, so the bytes are deterministic.
+fn observed_d1() -> systolizer::interp::Observed {
+    use systolizer::interp::{observe_plan, ElabOptions};
+    use systolizer::runtime::ChannelPolicy;
+    let sys = design(0);
+    let env = sys.size_env(&[4]);
+    let mut store = systolizer::ir::HostStore::allocate(&sys.source, &env);
+    store.fill_random("a", 11, -9, 9);
+    store.fill_random("b", 12, -9, 9);
+    observe_plan(
+        &sys.plan,
+        &env,
+        &store,
+        ChannelPolicy::Rendezvous,
+        &ElabOptions::default(),
+    )
+    .unwrap()
+}
+
+/// Pins the `systolic-metrics-v1` JSON for D.1: schema drift (renamed
+/// keys, reordered sections, changed histograms) must be deliberate,
+/// because downstream tooling parses this document.
+#[test]
+fn metrics_json_snapshot() {
+    check("d1_metrics.json", &observed_d1().report.to_json());
+}
+
+/// Pins the Perfetto track names (the `thread_name`/`process_name`
+/// metadata) for D.1: the stream-and-coordinate naming (`a@(3):in`) is
+/// the contract that makes traces readable in the paper's vocabulary.
+/// Only metadata lines are pinned — slice events are covered by the
+/// metrics snapshot's counts.
+#[test]
+fn perfetto_track_names_snapshot() {
+    let obs = observed_d1();
+    let mut tracks: String = obs
+        .perfetto_json
+        .lines()
+        .filter(|l| l.contains("\"process_name\"") || l.contains("\"thread_name\""))
+        .map(|l| l.trim().trim_end_matches(','))
+        .collect::<Vec<_>>()
+        .join("\n");
+    tracks.push('\n');
+    check("d1_perfetto_tracks.txt", &tracks);
+}
+
 #[test]
 fn report_snapshots() {
     for (idx, name) in [

@@ -141,12 +141,16 @@ proptest! {
 
     /// All three executors agree with the sequential oracle — and with
     /// each other — on store contents and executor-invariant statistics,
-    /// for random designs, sizes, worker counts, and data.
+    /// for random designs, sizes, worker counts, and data. The ranges
+    /// deliberately include the degenerate corners: `n = 0` (the
+    /// iteration space collapses to a single point), one worker (fully
+    /// serialized partition), and 64 workers (more workers than
+    /// processes, so most groups are empty).
     #[test]
     fn executors_agree_with_the_sequential_oracle(
         design in 0usize..4,
-        n in 1i64..=3,
-        workers in 1usize..=6,
+        n in 0i64..=3,
+        workers in prop_oneof![Just(1usize), 2usize..=6, Just(64usize)],
         seed in 0u64..1000,
     ) {
         use std::time::Duration;
@@ -205,5 +209,110 @@ proptest! {
         prop_assert_eq!(r1.store.get("c"), r2.store.get("c"));
         // Buffered transfers are counted twice (enqueue + dequeue).
         prop_assert_eq!(2 * r1.stats.messages, r2.stats.messages);
+    }
+}
+
+/// Named regressions for the degenerate corners the proptest above only
+/// samples: they must stay pinned even when the fuzz budget is tiny.
+mod degenerate_corners {
+    use std::time::Duration;
+    use systolizer::core::{compile, Options};
+    use systolizer::interp::{run_plan, run_plan_partitioned, run_plan_threaded, ElabOptions};
+    use systolizer::ir::HostStore;
+    use systolizer::math::Env;
+    use systolizer::runtime::ChannelPolicy;
+    use systolizer::synthesis::placement::paper;
+
+    fn seeded_store(p: &systolizer::ir::SourceProgram, env: &Env) -> HostStore {
+        let mut store = HostStore::allocate(p, env);
+        store.fill_random("a", 7, -9, 9);
+        store.fill_random("b", 8, -9, 9);
+        store
+    }
+
+    /// A single worker serializes every process into one group; the
+    /// partition must still agree with the cooperative engine bit for
+    /// bit on every paper design.
+    #[test]
+    fn one_worker_partition_agrees_with_coop() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let mut env = Env::new();
+            env.bind(p.sizes[0], 3);
+            let store = seeded_store(&p, &env);
+            let coop = run_plan(
+                &plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+            )
+            .unwrap();
+            let part =
+                run_plan_partitioned(&plan, &env, &store, 1, Duration::from_secs(30)).unwrap();
+            assert_eq!(part.store, coop.store, "{label}: one-worker store");
+            assert_eq!(part.stats.messages, coop.stats.messages, "{label}");
+            assert_eq!(part.stats.steps, coop.stats.steps, "{label}");
+        }
+    }
+
+    /// More workers than processes leaves most partition groups empty;
+    /// empty groups must be inert, not deadlock or panic.
+    #[test]
+    fn more_workers_than_processes_is_inert() {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 2);
+        let store = seeded_store(&p, &env);
+        let coop = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        assert!(coop.stats.processes < 64, "pick a size below worker count");
+        let part = run_plan_partitioned(&plan, &env, &store, 64, Duration::from_secs(30)).unwrap();
+        assert_eq!(part.store, coop.store, "oversubscribed store");
+        assert_eq!(part.stats.messages, coop.stats.messages);
+        assert_eq!(part.stats.steps, coop.stats.steps);
+    }
+
+    /// `n = 0` collapses every loop to the single point 0 (bounds are
+    /// inclusive). All three executors must still run the pipeline clean
+    /// and agree with the sequential reference.
+    #[test]
+    fn empty_iteration_space_runs_clean_on_all_executors() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let mut env = Env::new();
+            env.bind(p.sizes[0], 0);
+            let store = seeded_store(&p, &env);
+            let mut expected = store.clone();
+            systolizer::ir::seq::run(&p, &env, &mut expected);
+
+            let coop = run_plan(
+                &plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+            )
+            .unwrap();
+            let threaded = run_plan_threaded(&plan, &env, &store, Duration::from_secs(30)).unwrap();
+            let part =
+                run_plan_partitioned(&plan, &env, &store, 2, Duration::from_secs(30)).unwrap();
+            for name in expected.names() {
+                assert_eq!(coop.store.get(name), expected.get(name), "{label} {name}");
+                assert_eq!(
+                    threaded.store.get(name),
+                    expected.get(name),
+                    "{label} {name}"
+                );
+                assert_eq!(part.store.get(name), expected.get(name), "{label} {name}");
+            }
+        }
     }
 }
