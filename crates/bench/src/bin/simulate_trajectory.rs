@@ -16,23 +16,39 @@
 //! estimator); rounds/messages/steps are deterministic and identical
 //! across runs.
 //!
-//! The timed runs carry no recorders — the snapshot guards the
-//! zero-cost-when-off contract of the observability layer. They *do*
-//! carry an explicit FIFO `SchedulePolicy`, so the snapshot also guards
-//! the schedule-exploration hook's zero-cost-when-inert contract: the
-//! hooked engine under FIFO must stay within noise of the unhooked
-//! trajectory (and `tests/determinism.rs` pins it bit-identical). A
-//! separate observed pass (outside the timing loop) contributes the
-//! receiver-wait and messages-per-round histograms, and double-checks
-//! that attaching recorders leaves rounds/messages/steps untouched.
+//! The timed runs go through `run_plan_batch` under an explicit FIFO
+//! `SchedulePolicy`: since PR 5 the trajectory measures the steady-state
+//! batching fast path (see `docs/scheduler.md`), and the FIFO policy
+//! keeps guarding the schedule hook's zero-cost-when-inert contract.
+//! The *recorded* statistics stay those of the unbatched rendezvous
+//! engine — an untimed baseline pass per configuration supplies them, so
+//! snapshot rounds remain comparable across the whole trajectory — and
+//! every timed pass is asserted to engage batching and preserve the
+//! logical `messages`/`steps` counts and the recovered store bit for
+//! bit. A separate observed pass (outside the timing loop) contributes
+//! the receiver-wait and messages-per-round histograms, and
+//! double-checks that attaching recorders leaves rounds/messages/steps
+//! untouched.
+//!
+//! Two extra modes:
+//!
+//! - `--gate-pct P` (default 10): before appending, each configuration's
+//!   new wall-clock is compared against the best prior snapshot; any
+//!   configuration more than `P` percent slower fails the run (exit 1,
+//!   nothing written). The gate is skipped when the file has no prior
+//!   snapshots.
+//! - `--quick`: CI smoke mode — one configuration (matmul E.1, n = 12),
+//!   one baseline pass and one batched pass, assert the invariance
+//!   contract, print, and exit without timing anything or touching
+//!   `BENCH_simulate.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use systolic_core::{compile, Options};
-use systolic_interp::{run_plan_recorded, run_plan_scheduled, ElabOptions};
+use systolic_interp::{run_plan_batch, run_plan_recorded, run_plan_scheduled, ElabOptions};
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{shared, ChannelPolicy, FifoPolicy, MetricsRecorder};
+use systolic_runtime::{shared, BatchMode, ChannelPolicy, FifoPolicy, MetricsRecorder, RunStats};
 use systolic_synthesis::placement::paper;
 
 const ITERS: usize = 25;
@@ -87,8 +103,10 @@ fn prepare(label: &'static str, mk: DesignFn, n: i64) -> Prepared {
     }
 }
 
-fn timed_run(c: &Prepared) -> (f64, systolic_runtime::RunStats) {
-    let t0 = Instant::now();
+/// The untimed unbatched baseline: supplies the snapshot statistics
+/// (round counts comparable with every prior snapshot) and the reference
+/// store for the invariance assertion.
+fn baseline_run(c: &Prepared) -> (RunStats, HostStore) {
     let run = run_plan_scheduled(
         &c.plan,
         &c.env,
@@ -99,10 +117,42 @@ fn timed_run(c: &Prepared) -> (f64, systolic_runtime::RunStats) {
         &[],
     )
     .unwrap();
-    (t0.elapsed().as_secs_f64() * 1e3, run.stats)
+    (run.stats, run.store)
 }
 
-fn observed_entry(c: &Prepared, wall_ms: f64, stats: systolic_runtime::RunStats) -> Entry {
+/// One timed batched pass; asserts the fast path engaged and that the
+/// logical counts and the store match the unbatched baseline.
+fn timed_run(c: &Prepared, base: &(RunStats, HostStore)) -> f64 {
+    let t0 = Instant::now();
+    let run = run_plan_batch(
+        &c.plan,
+        &c.env,
+        &c.store,
+        ChannelPolicy::Rendezvous,
+        &ElabOptions::default(),
+        BatchMode::Auto,
+        Some(Box::new(FifoPolicy)),
+        &[],
+    )
+    .unwrap();
+    let dt = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(run.batched, "{} n={}: batching must engage", c.label, c.n);
+    assert_eq!(
+        (run.stats.messages, run.stats.steps, run.stats.processes),
+        (base.0.messages, base.0.steps, base.0.processes),
+        "{} n={}: batching changed the logical counts",
+        c.label,
+        c.n
+    );
+    assert_eq!(
+        run.store, base.1,
+        "{} n={}: batching changed the result",
+        c.label, c.n
+    );
+    dt
+}
+
+fn observed_entry(c: &Prepared, wall_ms: f64, stats: RunStats) -> Entry {
     // Observed pass, outside the timing loop: histograms for the
     // snapshot, plus the invariance check.
     let (metrics, erased) = shared(MetricsRecorder::new());
@@ -134,7 +184,76 @@ fn observed_entry(c: &Prepared, wall_ms: f64, stats: systolic_runtime::RunStats)
     }
 }
 
+/// Best prior wall-clock per (design, n), parsed from the flat snapshot
+/// JSON the harness itself writes (no serde in the workspace).
+fn prior_best(old: &str) -> Vec<(String, i64, f64)> {
+    let mut best: Vec<(String, i64, f64)> = Vec::new();
+    for line in old.lines() {
+        let Some(d0) = line.find("\"design\": \"") else {
+            continue;
+        };
+        let rest = &line[d0 + 11..];
+        let Some(d1) = rest.find('"') else { continue };
+        let design = rest[..d1].to_string();
+        let field = |name: &str| -> Option<f64> {
+            let i = line.find(name)? + name.len();
+            let tail = &line[i..];
+            let end = tail
+                .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-'))
+                .unwrap_or(tail.len());
+            tail[..end].parse().ok()
+        };
+        let (Some(n), Some(wall)) = (field("\"n\": "), field("\"wall_ms\": ")) else {
+            continue;
+        };
+        let n = n as i64;
+        match best.iter_mut().find(|(d, m, _)| *d == design && *m == n) {
+            Some((_, _, w)) if *w <= wall => {}
+            Some((_, _, w)) => *w = wall,
+            None => best.push((design, n, wall)),
+        }
+    }
+    best
+}
+
+/// CI smoke mode: one small configuration, the full invariance contract,
+/// no timing assertions and no file writes.
+fn quick_smoke() {
+    let c = prepare("matmul-E.1", paper::matmul_e1, 12);
+    let base = baseline_run(&c);
+    let _ = timed_run(&c, &base); // asserts batched + invariant internally
+    println!(
+        "quick smoke OK: {} n={} — batched run matches the rendezvous \
+         baseline ({} messages, {} steps, store bit-identical)",
+        c.label, c.n, base.0.messages, base.0.steps
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quick") {
+        quick_smoke();
+        return;
+    }
+    let gate_pct: f64 = args
+        .iter()
+        .position(|a| a == "--gate-pct")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let mut label = String::from("current");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gate-pct" => i += 2,
+            a if a.starts_with("--") => i += 1,
+            a => {
+                label = a.to_string();
+                break;
+            }
+        }
+    }
+
     let suite: [(&'static str, DesignFn, &[i64]); 4] = [
         ("polyprod-D.1", paper::polyprod_d1, &[16, 32, 64]),
         ("polyprod-D.2", paper::polyprod_d2, &[16, 32, 64]),
@@ -147,21 +266,17 @@ fn main() {
         .flat_map(|&(label, mk, sizes)| sizes.iter().map(move |&n| prepare(label, mk, n)))
         .collect();
 
+    let baselines: Vec<(RunStats, HostStore)> = configs.iter().map(baseline_run).collect();
+
     // Interleaved passes: visit every configuration once per pass rather
     // than running each one's iterations back to back, so a config's
     // minimum samples ITERS separate moments of the session instead of
     // one burst — a shared-machine noise spike then inflates a single
     // pass, not a whole configuration.
     let mut best = vec![f64::INFINITY; configs.len()];
-    let mut stats = Vec::new();
-    for (i, c) in configs.iter().enumerate() {
-        let (dt, s) = timed_run(c);
-        best[i] = dt;
-        stats.push(s);
-    }
-    for _ in 1..ITERS {
+    for _ in 0..ITERS {
         for (i, c) in configs.iter().enumerate() {
-            let (dt, _) = timed_run(c);
+            let dt = timed_run(c, &baselines[i]);
             if dt < best[i] {
                 best[i] = dt;
             }
@@ -169,8 +284,8 @@ fn main() {
     }
 
     let mut entries = Vec::new();
-    for ((c, wall), s) in configs.iter().zip(best).zip(stats) {
-        let e = observed_entry(c, wall, s);
+    for ((c, wall), (s, _)) in configs.iter().zip(best).zip(&baselines) {
+        let e = observed_entry(c, wall, s.clone());
         println!(
             "{:<14} n={:<3} wall {:>9.3} ms  procs {:>6}  rounds {:>6}  messages {:>9}  steps {:>9}",
             e.design, e.n, e.wall_ms, e.processes, e.rounds, e.messages, e.steps
@@ -178,9 +293,36 @@ fn main() {
         entries.push(e);
     }
 
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_simulate.json");
+    let old = std::fs::read_to_string(&path).unwrap_or_default();
+
+    // The regression gate: every configuration must stay within
+    // `gate_pct` percent of its best prior snapshot.
+    let prior = prior_best(&old);
+    let mut violations = Vec::new();
+    for e in &entries {
+        if let Some((_, _, w)) = prior.iter().find(|(d, n, _)| d == e.design && *n == e.n) {
+            let limit = w * (1.0 + gate_pct / 100.0);
+            if e.wall_ms > limit {
+                violations.push(format!(
+                    "{} n={}: {:.3} ms exceeds the {:.0}% gate over the best \
+                     prior snapshot ({:.3} ms, limit {:.3} ms)",
+                    e.design, e.n, e.wall_ms, gate_pct, w, limit
+                ));
+            }
+        }
+    }
+    if !violations.is_empty() {
+        eprintln!("REGRESSION GATE FAILED — nothing written:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+
     // Hand-rolled JSON: the schema is fixed and flat, and the workspace
     // deliberately avoids a serde_json dependency outside criterion.
-    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
     let mut snapshot = format!("    {{\"label\": \"{label}\", \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
@@ -202,16 +344,13 @@ fn main() {
     }
     snapshot.push_str("    ]}");
 
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = std::path::Path::new(root).join("BENCH_simulate.json");
-    let json = match std::fs::read_to_string(&path) {
+    let json = if old.contains("\"snapshots\"") {
         // Append to an existing snapshot file (insert before the closing
         // of the snapshots array).
-        Ok(old) if old.contains("\"snapshots\"") => {
-            let cut = old.rfind("\n  ]\n}").expect("well-formed snapshot file");
-            format!("{},\n{snapshot}\n  ]\n}}\n", &old[..cut])
-        }
-        _ => format!("{{\n  \"suite\": \"simulate\",\n  \"snapshots\": [\n{snapshot}\n  ]\n}}\n"),
+        let cut = old.rfind("\n  ]\n}").expect("well-formed snapshot file");
+        format!("{},\n{snapshot}\n  ]\n}}\n", &old[..cut])
+    } else {
+        format!("{{\n  \"suite\": \"simulate\",\n  \"snapshots\": [\n{snapshot}\n  ]\n}}\n")
     };
     std::fs::write(&path, json).expect("write BENCH_simulate.json");
     println!("wrote {} (snapshot \"{label}\")", path.display());

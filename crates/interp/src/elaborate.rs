@@ -429,7 +429,7 @@ pub fn elaborate(
                         soaks.push(ProcOp::Pass {
                             inp: ic,
                             out: oc,
-                            n: soak.max(0) as u32,
+                            n: soak.max(0) as u64,
                         });
                         moving.push(MovingLink {
                             slot: sp.id.0 as u32,
@@ -452,7 +452,7 @@ pub fn elaborate(
                     b.op(ProcOp::Pass {
                         inp: ic,
                         out: oc,
-                        n: drain.max(0) as u32,
+                        n: drain.max(0) as u64,
                     });
                 }
             }
@@ -462,7 +462,7 @@ pub fn elaborate(
                 b.op(*op);
             }
             b.op(ProcOp::Compute {
-                count: count.max(0) as u32,
+                count: count.max(0) as u64,
             });
             // Drains (paper protocol only; escorts already handle them).
             if !opts.split_propagation {
@@ -473,7 +473,7 @@ pub fn elaborate(
                         b.op(ProcOp::Pass {
                             inp: ic,
                             out: oc,
-                            n: drain.max(0) as u32,
+                            n: drain.max(0) as u64,
                         });
                     }
                 }
@@ -486,7 +486,7 @@ pub fn elaborate(
                     b.op(ProcOp::Pass {
                         inp: ic,
                         out: oc,
-                        n: soak.max(0) as u32,
+                        n: soak.max(0) as u64,
                     });
                     b.op(ProcOp::Eject {
                         chan: oc,

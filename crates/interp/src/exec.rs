@@ -9,7 +9,8 @@ use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
 use systolic_runtime::{
-    ChannelPolicy, Network, RunError, RunStats, SchedulePolicy, SharedRecorder, SinkBuffer,
+    BatchMode, ChannelPolicy, Network, RunError, RunStats, SchedulePolicy, SharedRecorder,
+    SinkBuffer,
 };
 
 /// Outcome of a systolic run.
@@ -18,6 +19,10 @@ pub struct SystolicRun {
     pub store: HostStore,
     pub stats: RunStats,
     pub census: crate::elaborate::Census,
+    /// Whether the steady-state batching fast path actually engaged (see
+    /// `systolic_runtime::batch`). Always `false` for the plain entry
+    /// points; the `*_batch` variants set it when the gate admits the run.
+    pub batched: bool,
 }
 
 /// Why executing an elaborated plan failed.
@@ -159,6 +164,86 @@ pub fn run_plan_scheduled(
         store: result,
         stats,
         census,
+        batched: false,
+    })
+}
+
+/// Decide whether the batching fast path may replace the rendezvous
+/// engine for this run. The gate is deliberately conservative — every
+/// observable feature wins over speed:
+///
+/// - [`BatchMode::Off`] disables it outright;
+/// - only [`ChannelPolicy::Rendezvous`] is eligible (the buffered
+///   ablation measures a *different* protocol, not a faster one);
+/// - any attached [`SharedRecorder`] forces the unbatched engine, which
+///   is the one that emits per-op and per-transfer events;
+/// - a [`SchedulePolicy`] other than FIFO (`is_fifo()`) perturbs the
+///   worklist on purpose, so its runs stay unbatched;
+/// - the module itself must pass [`systolic_runtime::analyze`].
+fn batching_admissible(
+    batch: BatchMode,
+    policy: ChannelPolicy,
+    sched: &Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> bool {
+    batch == BatchMode::Auto
+        && policy == ChannelPolicy::Rendezvous
+        && recorders.is_empty()
+        && sched.as_ref().is_none_or(|s| s.is_fifo())
+}
+
+/// [`run_plan_scheduled`] with the steady-state batching fast path: when
+/// the gate admits the configuration (see [`systolic_runtime::batch`] and
+/// `docs/scheduler.md`) the rendezvous engine is replaced by macro-stepped
+/// ring transfers. Stores are bit-identical and `messages`/`steps` are
+/// invariant either way; only `rounds` (scheduler sweeps) shrinks.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_batch(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    batch: BatchMode,
+    sched: Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
+    if !batching_admissible(batch, policy, &sched, recorders) {
+        return run_plan_scheduled(plan, env, store, policy, opts, sched, recorders);
+    }
+    let Elaborated {
+        module,
+        outputs,
+        census,
+        ..
+    } = elaborate(plan, env, store, opts)?;
+    let bplan = systolic_runtime::analyze(&module);
+    if !bplan.batchable() {
+        // The analysis itself declined (shared endpoint, unbalanced
+        // traffic); fall through to the rendezvous engine.
+        let inst = module.instantiate();
+        let mut net = Network::new(policy);
+        for p in inst.procs {
+            net.add(p);
+        }
+        let stats = net.run()?;
+        let mut result = store.clone();
+        writeback(&outputs, &inst.outputs, &mut result)?;
+        return Ok(SystolicRun {
+            store: result,
+            stats,
+            census,
+            batched: false,
+        });
+    }
+    let (stats, sinks) = systolic_runtime::run_coop_batched(&module, &bplan)?;
+    let mut result = store.clone();
+    writeback(&outputs, &sinks, &mut result)?;
+    Ok(SystolicRun {
+        store: result,
+        stats,
+        census,
+        batched: true,
     })
 }
 
@@ -195,6 +280,51 @@ pub fn run_plan_threaded_recorded(
         store: result,
         stats,
         census,
+        batched: false,
+    })
+}
+
+/// [`run_plan_threaded`] with the batching fast path: eligible runs use
+/// per-channel SPSC rings under the blocking engine instead of one
+/// rendezvous handshake per value. Same stats contract as
+/// [`run_plan_batch`] (threaded runs report `rounds == 0` either way).
+pub fn run_plan_threaded_batch(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    timeout: Duration,
+    batch: BatchMode,
+) -> Result<SystolicRun, ExecError> {
+    if batch == BatchMode::Off {
+        return run_plan_threaded(plan, env, store, timeout);
+    }
+    let Elaborated {
+        module,
+        outputs,
+        census,
+        ..
+    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    let bplan = systolic_runtime::analyze(&module);
+    if !bplan.batchable() {
+        let inst = module.instantiate();
+        let stats = systolic_runtime::run_threaded(inst.procs, timeout)?;
+        let mut result = store.clone();
+        writeback(&outputs, &inst.outputs, &mut result)?;
+        return Ok(SystolicRun {
+            store: result,
+            stats,
+            census,
+            batched: false,
+        });
+    }
+    let (stats, sinks) = systolic_runtime::run_threaded_batched(&module, &bplan, timeout)?;
+    let mut result = store.clone();
+    writeback(&outputs, &sinks, &mut result)?;
+    Ok(SystolicRun {
+        store: result,
+        stats,
+        census,
+        batched: true,
     })
 }
 
@@ -235,6 +365,55 @@ pub fn run_plan_partitioned_recorded(
         store: result,
         stats,
         census,
+        batched: false,
+    })
+}
+
+/// [`run_plan_partitioned`] with the batching fast path: each worker
+/// macro-steps its whole block of virtual processes per scheduling grant,
+/// reusing the same per-module [`systolic_runtime::BatchPlan`] for every
+/// partition. Same stats contract as [`run_plan_batch`].
+pub fn run_plan_partitioned_batch(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    workers: usize,
+    timeout: Duration,
+    batch: BatchMode,
+) -> Result<SystolicRun, ExecError> {
+    if batch == BatchMode::Off {
+        return run_plan_partitioned(plan, env, store, workers, timeout);
+    }
+    let Elaborated {
+        module,
+        outputs,
+        census,
+        ..
+    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    let bplan = systolic_runtime::analyze(&module);
+    if !bplan.batchable() {
+        let inst = module.instantiate();
+        let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
+        let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)?;
+        let mut result = store.clone();
+        writeback(&outputs, &inst.outputs, &mut result)?;
+        return Ok(SystolicRun {
+            store: result,
+            stats,
+            census,
+            batched: false,
+        });
+    }
+    let groups = systolic_runtime::block_partition(module.procs.len(), workers);
+    let (stats, sinks) =
+        systolic_runtime::run_partitioned_batched(&module, &bplan, groups, timeout)?;
+    let mut result = store.clone();
+    writeback(&outputs, &sinks, &mut result)?;
+    Ok(SystolicRun {
+        store: result,
+        stats,
+        census,
+        batched: true,
     })
 }
 
@@ -248,6 +427,45 @@ pub fn verify_equivalence(
     seed: u64,
 ) -> Result<RunStats, String> {
     verify_equivalence_with(plan, env, inputs, seed, &ElabOptions::default())
+}
+
+/// [`verify_equivalence`] through [`run_plan_batch`]: same experiment,
+/// optionally on the batching fast path. Returns the stats and whether
+/// batching actually engaged, so callers (the CLI, the trajectory bench)
+/// can report which engine produced the — identical — result.
+pub fn verify_equivalence_batch(
+    plan: &SystolicProgram,
+    env: &Env,
+    inputs: &[&str],
+    seed: u64,
+    batch: BatchMode,
+) -> Result<(RunStats, bool), String> {
+    let mut store = HostStore::allocate(&plan.source, env);
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    let mut expected = store.clone();
+    seq::run(&plan.source, env, &mut expected);
+
+    let run = run_plan_batch(
+        plan,
+        env,
+        &store,
+        ChannelPolicy::Rendezvous,
+        &ElabOptions::default(),
+        batch,
+        None,
+        &[],
+    )
+    .map_err(|d| d.to_string())?;
+    for name in expected.names() {
+        if run.store.get(name) != expected.get(name) {
+            return Err(format!(
+                "variable {name} differs between sequential and systolic execution"
+            ));
+        }
+    }
+    Ok((run.stats, run.batched))
 }
 
 /// [`verify_equivalence`] under explicit elaboration options (protocol

@@ -23,8 +23,10 @@ pub mod trace;
 pub use describe::describe;
 pub use elaborate::{elaborate, Census, ElabError, ElabOptions, Elaborated, OutputSpec};
 pub use exec::{
-    run_plan, run_plan_partitioned, run_plan_partitioned_recorded, run_plan_recorded,
-    run_plan_scheduled, run_plan_threaded, run_plan_threaded_recorded, verify_equivalence,
-    verify_equivalence_with, ExecError, SystolicRun,
+    run_plan, run_plan_batch, run_plan_partitioned, run_plan_partitioned_batch,
+    run_plan_partitioned_recorded, run_plan_recorded, run_plan_scheduled, run_plan_threaded,
+    run_plan_threaded_batch, run_plan_threaded_recorded, verify_equivalence,
+    verify_equivalence_batch, verify_equivalence_with, ExecError, SystolicRun,
 };
 pub use metrics::{channel_names, observe_plan, Observed};
+pub use systolic_runtime::BatchMode;

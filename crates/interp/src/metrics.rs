@@ -99,6 +99,7 @@ pub fn observe_plan(
             store: result,
             stats,
             census: el.census,
+            batched: false,
         },
         report,
         perfetto_json,

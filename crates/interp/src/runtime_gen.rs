@@ -176,7 +176,7 @@ pub fn agree_with_procir(
         let mut keep_chan: HashMap<u32, ChanId> = HashMap::new();
         let mut pre: HashMap<ChanId, i64> = HashMap::new();
         let mut post: HashMap<ChanId, i64> = HashMap::new();
-        let mut count: Option<u32> = None;
+        let mut count: Option<u64> = None;
         for op in ops {
             match *op {
                 ProcOp::Keep { chan, slot } => {

@@ -706,6 +706,61 @@ fn since_mut(since: &mut Vec<(u64, u64)>, chan: ChanId) -> &mut (u64, u64) {
     &mut since[chan]
 }
 
+/// The batched cooperative engine: macro-step every VM over the
+/// per-channel rings of a proven [`BatchPlan`], retiring up to a full
+/// batch of transfers per visit instead of one rendezvous handshake per
+/// round (see `crate::batch` and `docs/scheduler.md`).
+///
+/// Sweeps processes in ascending pid order until all finish; a sweep
+/// that moves nothing with unfinished processes left is a deadlock,
+/// reported in the same `label [wait,...]` shape as
+/// [`Network::run`]'s. `stats.rounds` counts macro-sweeps — the round
+/// structure is collapsed by design — while `messages` and `steps` are
+/// the same logical counts the rendezvous engine reports, and the
+/// recovered stores are bit-identical (pinned by `tests/batching.rs`).
+pub fn run_coop_batched(
+    module: &Arc<crate::procir::ProcIrModule>,
+    plan: &crate::batch::BatchPlan,
+) -> Result<(RunStats, Vec<crate::process::SinkBuffer>), RunError> {
+    debug_assert!(plan.batchable(), "caller checks BatchPlan::batchable");
+    let (mut vms, outputs) = module.instantiate_vms();
+    let mut rings = plan.rings();
+    let mut stats = RunStats {
+        rounds: 0,
+        messages: 0,
+        processes: vms.len(),
+        steps: 0,
+    };
+    let mut finished = vec![false; vms.len()];
+    let mut unfinished = vms.len();
+    while unfinished > 0 {
+        let mut moved = 0u64;
+        for (pid, vm) in vms.iter_mut().enumerate() {
+            if finished[pid] {
+                continue;
+            }
+            if vm.macro_step(&mut rings, &mut stats, &mut moved) {
+                finished[pid] = true;
+                unfinished -= 1;
+            }
+        }
+        stats.rounds += 1;
+        if moved == 0 && unfinished > 0 {
+            let blocked = vms
+                .iter()
+                .enumerate()
+                .filter(|(pid, _)| !finished[*pid])
+                .map(|(pid, vm)| {
+                    let wait = vm.macro_wait().unwrap_or_default();
+                    format!("{} [{}]", module.label_of(pid), wait)
+                })
+                .collect();
+            return Err(RunError::Deadlock(Deadlock { blocked }));
+        }
+    }
+    Ok((stats, outputs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1015,6 +1070,64 @@ mod tests {
         net.set_schedule_policy(Box::new(StarveEverything));
         let err = net.run().unwrap_err();
         assert!(err.as_deadlock().is_some(), "{err}");
+    }
+
+    #[test]
+    fn batched_pipeline_matches_unbatched_logical_stats() {
+        let build = || {
+            let mut b = ProcIrBuilder::new();
+            b.source(0, &(0..50).collect::<Vec<_>>(), "src");
+            b.relay(0, 1, 50, "relay");
+            b.sink(1, 50, "sink");
+            b
+        };
+        let (net, outs) = net_of(build(), ChannelPolicy::Rendezvous);
+        let base = net.run().unwrap();
+        let base_out = outs[0].lock().clone();
+
+        let module = build().build(None);
+        let plan = crate::batch::analyze(&module);
+        assert!(plan.batchable(), "{:?}", plan.reject_reason());
+        let (stats, outs) = run_coop_batched(&module, &plan).unwrap();
+        assert_eq!(*outs[0].lock(), base_out, "stores bit-identical");
+        assert_eq!(stats.messages, base.messages, "logical messages invariant");
+        assert_eq!(stats.steps, base.steps, "logical steps invariant");
+        assert!(
+            stats.rounds < base.rounds,
+            "batching must collapse the sweep count: {} vs {}",
+            stats.rounds,
+            base.rounds
+        );
+    }
+
+    #[test]
+    fn batched_cycle_deadlock_is_reported_with_waits() {
+        // Two passes in a cycle with nothing in flight: balanced traffic
+        // (so the analysis accepts), but both start with a pop from an
+        // empty ring — the batched engine must diagnose, not spin.
+        let mut b = ProcIrBuilder::new();
+        b.begin("fwd");
+        b.op(crate::procir::ProcOp::Pass {
+            inp: 0,
+            out: 1,
+            n: 2,
+        });
+        b.finish();
+        b.begin("bwd");
+        b.op(crate::procir::ProcOp::Pass {
+            inp: 1,
+            out: 0,
+            n: 2,
+        });
+        b.finish();
+        let module = b.build(None);
+        let plan = crate::batch::analyze(&module);
+        assert!(plan.batchable(), "{:?}", plan.reject_reason());
+        let err = run_coop_batched(&module, &plan).unwrap_err();
+        let d = err.as_deadlock().expect("deadlock, not another error");
+        assert_eq!(d.blocked.len(), 2);
+        assert!(d.blocked[0].contains("fwd [recv@0]"), "{:?}", d.blocked);
+        assert!(d.blocked[1].contains("bwd [recv@1]"), "{:?}", d.blocked);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! - [`procir`] — the flat process bytecode ([`ProcIrModule`]) that every
 //!   elaborated process lowers to, and the generic VM ([`ProcVm`]) that
 //!   interprets it;
+//! - [`batch`] — the steady-state batching analysis ([`analyze`]) and
+//!   per-channel [`Ring`] buffers behind the macro-stepping fast path of
+//!   all three executors (see `docs/scheduler.md`);
 //! - [`coop`] — the deterministic cooperative scheduler with rendezvous
 //!   rounds (the virtual systolic clock), exact deadlock detection, and a
 //!   buffered-channel ablation mode;
@@ -22,6 +25,7 @@
 //!   aggregation ([`MetricsRecorder`]) and Chrome-trace export
 //!   ([`PerfettoRecorder`]); zero cost when no recorder is attached.
 
+pub mod batch;
 pub mod coop;
 pub mod partition;
 pub mod process;
@@ -30,11 +34,14 @@ pub mod record;
 pub mod schedule;
 pub mod threaded;
 
+pub use batch::{analyze, BatchMode, BatchPlan, Ring, DEFAULT_BATCH_WIDTH};
 pub use coop::{
-    ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats, TraceEvent,
+    run_coop_batched, ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats,
+    TraceEvent,
 };
 pub use partition::{
-    block_partition, run_partitioned, run_partitioned_perturbed, run_partitioned_recorded,
+    block_partition, run_partitioned, run_partitioned_batched, run_partitioned_perturbed,
+    run_partitioned_recorded,
 };
 pub use process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
 pub use procir::{
@@ -47,4 +54,6 @@ pub use record::{
     Recorder, SharedRecorder, Transfer, QUEUE_ENDPOINT,
 };
 pub use schedule::{FifoPolicy, Pcg32, SchedulePolicy, YieldInjector, YieldPlan, STARVATION_LIMIT};
-pub use threaded::{run_threaded, run_threaded_perturbed, run_threaded_recorded};
+pub use threaded::{
+    run_threaded, run_threaded_batched, run_threaded_perturbed, run_threaded_recorded,
+};

@@ -21,8 +21,10 @@
 //! processes on one endpoint) aborts with a structured [`RunError`]
 //! diagnosis instead of panicking a worker.
 
+use crate::batch::{BatchPlan, Ring};
 use crate::coop::{ProtocolViolation, RunError, RunStats};
-use crate::process::{ChanId, CommReq, Process, Value};
+use crate::process::{ChanId, CommReq, Process, SinkBuffer, Value};
+use crate::procir::{ProcIrModule, ProcVm};
 use crate::record::{SharedRecorder, Transfer};
 use crate::schedule::YieldPlan;
 use parking_lot::{Condvar, Mutex};
@@ -275,29 +277,7 @@ pub fn run_partitioned_perturbed(
     yields: Option<YieldPlan>,
 ) -> Result<RunStats, RunError> {
     let n = procs.len();
-    {
-        let mut seen = vec![false; n];
-        for g in &groups {
-            for &m in g {
-                if m >= n {
-                    return Err(RunError::Partition {
-                        reason: format!("group member {m} out of range (n = {n})"),
-                    });
-                }
-                if seen[m] {
-                    return Err(RunError::Partition {
-                        reason: format!("process {m} in two groups"),
-                    });
-                }
-                seen[m] = true;
-            }
-        }
-        if let Some(m) = seen.iter().position(|&s| !s) {
-            return Err(RunError::Partition {
-                reason: format!("process {m} not in any group"),
-            });
-        }
-    }
+    check_partition(n, &groups)?;
     let mut group_of = vec![0usize; n];
     for (gi, g) in groups.iter().enumerate() {
         for &m in g {
@@ -442,6 +422,187 @@ pub fn run_partitioned_perturbed(
     })
 }
 
+/// Validate that `groups` is a partition of `0..n`; the shared
+/// precondition of both partitioned executors.
+fn check_partition(n: usize, groups: &[Vec<usize>]) -> Result<(), RunError> {
+    let mut seen = vec![false; n];
+    for g in groups {
+        for &m in g {
+            if m >= n {
+                return Err(RunError::Partition {
+                    reason: format!("group member {m} out of range (n = {n})"),
+                });
+            }
+            if seen[m] {
+                return Err(RunError::Partition {
+                    reason: format!("process {m} in two groups"),
+                });
+            }
+            seen[m] = true;
+        }
+    }
+    if let Some(m) = seen.iter().position(|&s| !s) {
+        return Err(RunError::Partition {
+            reason: format!("process {m} not in any group"),
+        });
+    }
+    Ok(())
+}
+
+/// Shared state of the batched partitioned executor (mirrors the
+/// threaded one: all rings under one lock, taken per macro-sweep).
+struct BatchState {
+    rings: Vec<Ring>,
+    failure: Option<RunError>,
+}
+
+struct BatchEngine {
+    state: Mutex<BatchState>,
+    /// One wakeup per group.
+    wakeups: Vec<Condvar>,
+    aborted: AtomicBool,
+}
+
+/// The batched partitioned executor: the Sec. 8 refinement over
+/// `ProcVm::macro_step`. Each worker round-robins its group's members
+/// over the plan's shared rings until none progresses, then parks on the
+/// group condvar; a member whose macro-step moved values wakes exactly
+/// the *other* groups hosting its channel peers (intra-group unblocking
+/// happens in the same sweep for free — the whole reason partitioning
+/// multiplexes instead of blocking). Semantics pinned to the unbatched
+/// executors by `tests/batching.rs`: stores bit-identical,
+/// `messages`/`steps` logical counts, `rounds` 0.
+pub fn run_partitioned_batched(
+    module: &Arc<ProcIrModule>,
+    plan: &BatchPlan,
+    groups: Vec<Vec<usize>>,
+    timeout: Duration,
+) -> Result<(RunStats, Vec<SinkBuffer>), RunError> {
+    debug_assert!(plan.batchable(), "caller checks BatchPlan::batchable");
+    let (vms, outputs) = module.instantiate_vms();
+    let n = vms.len();
+    check_partition(n, &groups)?;
+    let mut group_of = vec![0usize; n];
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in g {
+            group_of[m] = gi;
+        }
+    }
+    // Which other groups to wake when a member's macro-step moves
+    // values, dense by pid.
+    let neighbours = crate::threaded::neighbour_sets(plan, n);
+    let neighbour_groups: Arc<Vec<Vec<usize>>> = Arc::new(
+        (0..n)
+            .map(|pid| {
+                let mut gs: Vec<usize> = neighbours[pid]
+                    .iter()
+                    .map(|&q| group_of[q])
+                    .filter(|&g| g != group_of[pid])
+                    .collect();
+                gs.sort_unstable();
+                gs.dedup();
+                gs
+            })
+            .collect(),
+    );
+    let engine = Arc::new(BatchEngine {
+        state: Mutex::new(BatchState {
+            rings: plan.rings(),
+            failure: None,
+        }),
+        wakeups: (0..groups.len()).map(|_| Condvar::new()).collect(),
+        aborted: AtomicBool::new(false),
+    });
+
+    let mut slots: Vec<Option<ProcVm>> = vms.into_iter().map(Some).collect();
+    let mut handles = Vec::new();
+    for (gi, members) in groups.iter().enumerate() {
+        let mut owned: Vec<(usize, ProcVm, bool)> = members
+            .iter()
+            .map(|&m| (m, slots[m].take().unwrap(), false))
+            .collect();
+        let engine = engine.clone();
+        let neighbour_groups = neighbour_groups.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("systolic-batch-group-{gi}"))
+            .spawn(move || -> Result<RunStats, RunError> {
+                let mut stats = RunStats::default();
+                let mut live = owned.len();
+                let mut st = engine.state.lock();
+                loop {
+                    let mut progressed = false;
+                    for (pid, vm, done) in owned.iter_mut() {
+                        if *done {
+                            continue;
+                        }
+                        let mut moved = 0u64;
+                        let finished = vm.macro_step(&mut st.rings, &mut stats, &mut moved);
+                        if moved > 0 {
+                            progressed = true;
+                            for &g in &neighbour_groups[*pid] {
+                                engine.wakeups[g].notify_one();
+                            }
+                        }
+                        if finished {
+                            *done = true;
+                            live -= 1;
+                        }
+                    }
+                    if live == 0 {
+                        return Ok(stats);
+                    }
+                    if progressed {
+                        // A member may have unblocked a sibling; sweep
+                        // again before parking.
+                        continue;
+                    }
+                    if engine.aborted.load(Ordering::Relaxed) {
+                        return Err(RunError::Aborted);
+                    }
+                    if engine.wakeups[gi].wait_for(&mut st, timeout).timed_out() {
+                        let err = RunError::Timeout {
+                            scope: format!("group {gi}"),
+                        };
+                        engine.aborted.store(true, Ordering::Relaxed);
+                        if st.failure.is_none() {
+                            st.failure = Some(err.clone());
+                        }
+                        for w in &engine.wakeups {
+                            w.notify_all();
+                        }
+                        return Err(err);
+                    }
+                }
+            })
+            .expect("spawn batch group thread");
+        handles.push(h);
+    }
+    let mut total = RunStats {
+        rounds: 0,
+        messages: 0,
+        processes: n,
+        steps: 0,
+    };
+    let mut first_err = None;
+    for (gi, h) in handles.into_iter().enumerate() {
+        match h.join().map_err(|_| RunError::Panicked {
+            scope: format!("group {gi}"),
+        }) {
+            Ok(Ok(s)) => {
+                total.messages += s.messages;
+                total.steps += s.steps;
+            }
+            Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        // The root cause, not whichever group's abort joined first.
+        let st = engine.state.lock();
+        return Err(st.failure.clone().unwrap_or(e));
+    }
+    Ok((total, outputs))
+}
+
 /// A simple block partition: processes in index order, `k` groups of
 /// near-equal size.
 pub fn block_partition(n_procs: usize, k: usize) -> Vec<Vec<usize>> {
@@ -532,6 +693,45 @@ mod tests {
             run_partitioned_perturbed(procs, groups, T, Vec::new(), Some(plan)).unwrap();
             assert_eq!(*buf.lock(), (0..8).collect::<Vec<_>>(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn batched_partitions_match_unbatched_for_all_worker_counts() {
+        let build = || {
+            let mut b = ProcIrBuilder::new();
+            b.source(0, &(0..20).collect::<Vec<_>>(), "src");
+            for i in 0..4 {
+                b.relay(i, i + 1, 20, format!("r{i}"));
+            }
+            b.sink(4, 20, "sink");
+            b.build(None)
+        };
+        let module = build();
+        let inst = module.instantiate();
+        let nprocs = inst.procs.len();
+        let base = run_partitioned(inst.procs, block_partition(nprocs, 2), T).unwrap();
+        let base_out = inst.outputs[0].lock().clone();
+
+        let plan = crate::batch::analyze(&module);
+        assert!(plan.batchable(), "{:?}", plan.reject_reason());
+        for k in 1..=4 {
+            let groups = block_partition(nprocs, k);
+            let (stats, outs) = run_partitioned_batched(&module, &plan, groups, T).unwrap();
+            assert_eq!(*outs[0].lock(), base_out, "k = {k}: store");
+            assert_eq!(stats.messages, base.messages, "k = {k}: messages");
+            assert_eq!(stats.steps, base.steps, "k = {k}: steps");
+        }
+    }
+
+    #[test]
+    fn batched_bad_partition_is_a_structured_error() {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1], "src");
+        b.sink(0, 1, "sink");
+        let module = b.build(None);
+        let plan = crate::batch::analyze(&module);
+        let err = run_partitioned_batched(&module, &plan, vec![vec![0]], T).unwrap_err();
+        assert!(matches!(err, RunError::Partition { .. }), "{err}");
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! and output buffers for each run. See `docs/process-ir.md` for the
 //! lowering rules and the VM's invariants.
 
+use crate::batch::Ring;
+use crate::coop::RunStats;
 use crate::process::{sink_buffer, ChanId, CommReq, Process, SinkBuffer, Value};
 use crate::record::{OpKind, Phase, SharedRecorder};
 use std::sync::Arc;
@@ -69,16 +71,19 @@ pub enum ProcOp {
     /// `n` receive(`inp`) → forward(`out`) cycles: `pass s, n`. This is
     /// the bounded `Rep` counter of the op set — it covers soak, drain,
     /// the load/recover passes, internal (fractional-flow) buffers, and
-    /// external buffers alike.
-    Pass { inp: ChanId, out: ChanId, n: u32 },
+    /// external buffers alike. The count is `u64`: per-channel traffic
+    /// sums feed the batch-width analysis (`crate::batch`), which must
+    /// not overflow at large problem sizes.
+    Pass { inp: ChanId, out: ChanId, n: u64 },
     /// Send local `slot` on `chan` (the eject of `recover`).
     Eject { chan: ChanId, slot: u32 },
     /// The repeater: `count` iterations of par-receive over the moving
     /// links, basic-statement execution at the current index point, and
     /// par-send (the `ParComm` pair of the paper's `par` construct).
     /// Moving links, first point, and increment come from the process
-    /// record.
-    Compute { count: u32 },
+    /// record. `u64` for the same traffic-arithmetic reason as
+    /// [`ProcOp::Pass`].
+    Compute { count: u64 },
 }
 
 /// One moving stream's channel pair at a computation process, with the
@@ -170,6 +175,22 @@ impl ProcIrModule {
     /// Build fresh VMs and output buffers for one run.
     pub fn instantiate(self: &Arc<Self>) -> Instance {
         self.instantiate_recorded(&[])
+    }
+
+    /// Build bare VMs (not boxed [`Process`] trait objects) plus output
+    /// buffers for one run. The batched executors drive
+    /// [`ProcVm::macro_step`] directly and therefore need the concrete
+    /// type; recorders are never attached on that path (the batching
+    /// gate falls back to the rendezvous engines when any are).
+    pub fn instantiate_vms(self: &Arc<Self>) -> (Vec<ProcVm>, Vec<SinkBuffer>) {
+        let outputs: Vec<SinkBuffer> = (0..self.n_outputs).map(|_| sink_buffer()).collect();
+        let vms = (0..self.procs.len())
+            .map(|pid| {
+                let out = self.procs[pid].output.map(|o| outputs[o as usize].clone());
+                ProcVm::new(self.clone(), pid, out)
+            })
+            .collect();
+        (vms, outputs)
     }
 
     /// [`ProcIrModule::instantiate`], with every VM reporting its retired
@@ -375,7 +396,7 @@ impl ProcIrBuilder {
         self.op(ProcOp::Pass {
             inp,
             out,
-            n: n as u32,
+            n: n as u64,
         });
         self.finish()
     }
@@ -397,7 +418,7 @@ impl ProcIrBuilder {
             self.op(ProcOp::Pass {
                 inp,
                 out,
-                n: n as u32,
+                n: n as u64,
             });
         }
         self.finish()
@@ -466,6 +487,25 @@ enum Pending {
     ComputeSent,
 }
 
+/// Where a macro-stepped VM ([`ProcVm::macro_step`]) is parked when a
+/// ring is empty/full mid-op. Par-sets complete *piecewise*: the VM pops
+/// or pushes whichever moving links have room and remembers the rest in
+/// a bitmask, mirroring how the rendezvous engine matches each channel
+/// of a `par` set independently — completing them atomically instead
+/// would deadlock bidirectional-stream designs (e.g. matmul E.2, where
+/// neighbouring cells exchange `a` rightward and `b` leftward).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MacroState {
+    /// At an op boundary (or mid-`Pass` before its next pop).
+    Ready,
+    /// A `Pass` cycle popped its value but found the output ring full.
+    PassHeld(Value),
+    /// Mid par-receive; bit `i` set ⇔ moving link `i` already received.
+    ComputeRecv { mask: u64 },
+    /// Mid par-send; bit `i` set ⇔ moving link `i` already sent.
+    ComputeSend { mask: u64 },
+}
+
 /// The generic process VM: interprets one process's ops as a [`Process`]
 /// coroutine. All state is a handful of scalars plus the `locals`/`x`
 /// vectors sized at construction, so steady-state stepping performs no
@@ -496,6 +536,10 @@ pub struct ProcVm {
     /// soak-side / drain-side phase classification of `Pass` cycles.
     /// Only resolved when recorders are attached.
     compute_pc: Option<u32>,
+    /// Parked position of [`ProcVm::macro_step`] (unused by `step_into`).
+    macro_state: MacroState,
+    /// The terminal empty step has been accounted (macro path only).
+    macro_done: bool,
 }
 
 impl ProcVm {
@@ -534,6 +578,8 @@ impl ProcVm {
             out,
             recorders,
             compute_pc,
+            macro_state: MacroState::Ready,
+            macro_done: false,
         }
     }
 
@@ -557,6 +603,249 @@ impl ProcVm {
             Some(cpc) if self.pc < cpc => Phase::Soak,
             Some(_) => Phase::Drain,
         }
+    }
+
+    /// The batched executors' superinstruction path: retire as many ops
+    /// as the per-channel [`Ring`]s allow without returning to the
+    /// engine (see `crate::batch` and `docs/scheduler.md`). Fused paths
+    /// drain whole `Pass` repetitions and whole `Compute`
+    /// receive/body/send cycles in a tight loop; values move through the
+    /// rings instead of rendezvous sets.
+    ///
+    /// `stats.steps` and `stats.messages` account the *logical*
+    /// communication sets and transfers exactly as the rendezvous
+    /// engines would (steps on each completed set plus one terminal
+    /// empty step; one message per value transferred, counted at the
+    /// push), so batched runs stay stat-comparable. Every successful
+    /// ring push/pop also bumps `*moved` — the engines' progress signal
+    /// for deadlock detection.
+    ///
+    /// Returns `true` once the process has retired its terminal step;
+    /// further calls are no-ops that return `true` again. Must not be
+    /// mixed with `step_into` on the same VM, and assumes no recorders
+    /// are attached — the batching gate guarantees both.
+    pub fn macro_step(
+        &mut self,
+        rings: &mut [Ring],
+        stats: &mut RunStats,
+        moved: &mut u64,
+    ) -> bool {
+        if self.macro_done {
+            return true;
+        }
+        let end = self.module.procs[self.pid].ops.1;
+        loop {
+            if self.pc >= end {
+                // The terminal empty step, like the rendezvous engines'.
+                stats.steps += 1;
+                self.macro_done = true;
+                return true;
+            }
+            match self.module.ops[self.pc as usize] {
+                ProcOp::Emit { chan } => {
+                    if rings[chan].is_full() {
+                        return false;
+                    }
+                    let value = self.module.data[self.cursor as usize];
+                    rings[chan].push(value);
+                    self.cursor += 1;
+                    self.pc += 1;
+                    stats.steps += 1;
+                    stats.messages += 1;
+                    *moved += 1;
+                }
+                ProcOp::Collect { chan } => {
+                    let Some(v) = rings[chan].pop() else {
+                        return false;
+                    };
+                    if let Some(buf) = &self.out {
+                        buf.lock().push(v);
+                    }
+                    self.pc += 1;
+                    stats.steps += 1;
+                    *moved += 1;
+                }
+                ProcOp::Keep { chan, slot } => {
+                    let Some(v) = rings[chan].pop() else {
+                        return false;
+                    };
+                    self.locals[slot as usize] = v;
+                    self.pc += 1;
+                    stats.steps += 1;
+                    *moved += 1;
+                }
+                ProcOp::Pass { inp, out, n } => {
+                    if self.pass_left < 0 {
+                        self.pass_left = n as i64;
+                    }
+                    // Resume a cycle whose forward found the ring full.
+                    if let MacroState::PassHeld(v) = self.macro_state {
+                        if rings[out].is_full() {
+                            return false;
+                        }
+                        rings[out].push(v);
+                        self.macro_state = MacroState::Ready;
+                        stats.steps += 1;
+                        stats.messages += 1;
+                        *moved += 1;
+                    }
+                    // The fused pass loop: k receive-forward cycles per
+                    // visit, bounded only by ring occupancy.
+                    while self.pass_left > 0 {
+                        let Some(v) = rings[inp].pop() else {
+                            return false;
+                        };
+                        stats.steps += 1;
+                        *moved += 1;
+                        self.pass_left -= 1;
+                        if rings[out].is_full() {
+                            self.macro_state = MacroState::PassHeld(v);
+                            return false;
+                        }
+                        rings[out].push(v);
+                        stats.steps += 1;
+                        stats.messages += 1;
+                        *moved += 1;
+                    }
+                    self.pass_left = -1;
+                    self.pc += 1;
+                }
+                ProcOp::Eject { chan, slot } => {
+                    if rings[chan].is_full() {
+                        return false;
+                    }
+                    rings[chan].push(self.locals[slot as usize]);
+                    self.pc += 1;
+                    stats.steps += 1;
+                    stats.messages += 1;
+                    *moved += 1;
+                }
+                ProcOp::Compute { count } => {
+                    if self.t >= count as i64 {
+                        // Reset for a hypothetical later Compute.
+                        self.pc += 1;
+                        self.t = 0;
+                        let (a, b) = self.module.procs[self.pid].repeater;
+                        let half = ((b - a) / 2) as usize;
+                        self.x
+                            .copy_from_slice(&self.module.points[a as usize..a as usize + half]);
+                        continue;
+                    }
+                    let links = self.module.moving_of(self.pid);
+                    if links.is_empty() {
+                        // No communications: run the whole repeater
+                        // locally (zero sets, matching `step_into`).
+                        while self.t < count as i64 {
+                            if let Some(body) = &self.module.body {
+                                body.execute(&mut self.locals, &self.x);
+                            }
+                            self.t += 1;
+                            let incr = self.module.increment_of(self.pid);
+                            for (xi, &inc) in self.x.iter_mut().zip(incr) {
+                                *xi += inc;
+                            }
+                        }
+                        continue;
+                    }
+                    debug_assert!(links.len() <= 64, "batch gate admits at most 64 links");
+                    let full: u64 = if links.len() == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << links.len()) - 1
+                    };
+                    // One state transition per dispatch; the par-sets
+                    // complete piecewise (see [`MacroState`]).
+                    match self.macro_state {
+                        MacroState::Ready => {
+                            self.macro_state = MacroState::ComputeRecv { mask: 0 };
+                        }
+                        MacroState::ComputeRecv { mut mask } => {
+                            for (i, mc) in links.iter().enumerate() {
+                                if mask & (1 << i) != 0 {
+                                    continue;
+                                }
+                                if let Some(v) = rings[mc.inp].pop() {
+                                    self.locals[mc.slot as usize] = v;
+                                    mask |= 1 << i;
+                                    *moved += 1;
+                                }
+                            }
+                            if mask != full {
+                                self.macro_state = MacroState::ComputeRecv { mask };
+                                return false;
+                            }
+                            stats.steps += 1; // the par-receive set
+                            if let Some(body) = &self.module.body {
+                                body.execute(&mut self.locals, &self.x);
+                            }
+                            self.macro_state = MacroState::ComputeSend { mask: 0 };
+                        }
+                        MacroState::ComputeSend { mut mask } => {
+                            for (i, mc) in links.iter().enumerate() {
+                                if mask & (1 << i) != 0 {
+                                    continue;
+                                }
+                                if !rings[mc.out].is_full() {
+                                    rings[mc.out].push(self.locals[mc.slot as usize]);
+                                    mask |= 1 << i;
+                                    stats.messages += 1;
+                                    *moved += 1;
+                                }
+                            }
+                            if mask != full {
+                                self.macro_state = MacroState::ComputeSend { mask };
+                                return false;
+                            }
+                            stats.steps += 1; // the par-send set
+                            self.t += 1;
+                            let incr = self.module.increment_of(self.pid);
+                            for (xi, &inc) in self.x.iter_mut().zip(incr) {
+                                *xi += inc;
+                            }
+                            self.macro_state = MacroState::Ready;
+                        }
+                        MacroState::PassHeld(_) => {
+                            unreachable!("PassHeld at a Compute op")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// How this macro-stepped VM is currently blocked, as the same
+    /// `send@c` / `recv@c` wait description the cooperative engine's
+    /// deadlock reports use; `None` once the process has finished.
+    pub fn macro_wait(&self) -> Option<String> {
+        let end = self.module.procs[self.pid].ops.1;
+        if self.macro_done || self.pc >= end {
+            return None;
+        }
+        Some(match self.module.ops[self.pc as usize] {
+            ProcOp::Emit { chan } => format!("send@{chan}"),
+            ProcOp::Collect { chan } | ProcOp::Keep { chan, .. } => format!("recv@{chan}"),
+            ProcOp::Eject { chan, .. } => format!("send@{chan}"),
+            ProcOp::Pass { inp, out, .. } => match self.macro_state {
+                MacroState::PassHeld(_) => format!("send@{out}"),
+                _ => format!("recv@{inp}"),
+            },
+            ProcOp::Compute { .. } => {
+                let links = self.module.moving_of(self.pid);
+                let missing = |mask: u64| (0..links.len()).find(|i| mask & (1 << i) == 0);
+                match self.macro_state {
+                    MacroState::ComputeSend { mask } => {
+                        format!("send@{}", links[missing(mask).unwrap_or(0)].out)
+                    }
+                    MacroState::ComputeRecv { mask } => {
+                        format!("recv@{}", links[missing(mask).unwrap_or(0)].inp)
+                    }
+                    _ => match links.first() {
+                        Some(mc) => format!("recv@{}", mc.inp),
+                        None => "idle".into(),
+                    },
+                }
+            }
+        })
     }
 }
 

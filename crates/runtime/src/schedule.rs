@@ -65,6 +65,17 @@ pub trait SchedulePolicy: Send {
     fn label(&self) -> String {
         "policy".into()
     }
+
+    /// Whether this policy is observationally the canonical FIFO order
+    /// (fires everything, defers nothing, never permutes). The batching
+    /// fast path (`crate::batch`) only engages when this returns `true` —
+    /// macro-stepping collapses the round structure the policy would
+    /// otherwise get to reorder, so any policy that actually exercises its
+    /// hooks must keep the unbatched engine. Defaults to `false`; only
+    /// identity policies should override it.
+    fn is_fifo(&self) -> bool {
+        false
+    }
 }
 
 /// The explicit identity policy: fires channels in ascending order,
@@ -78,6 +89,10 @@ impl SchedulePolicy for FifoPolicy {
 
     fn label(&self) -> String {
         "fifo".into()
+    }
+
+    fn is_fifo(&self) -> bool {
+        true
     }
 }
 
@@ -237,6 +252,7 @@ mod tests {
         p.order_ready(9, &mut ready);
         assert_eq!(ready, vec![1, 2]);
         assert_eq!(p.label(), "fifo");
+        assert!(p.is_fifo(), "FIFO identity must admit batching");
     }
 
     #[test]

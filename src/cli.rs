@@ -94,6 +94,17 @@ pub fn build_elab_options(inv: &Invocation) -> Option<ElabOptions> {
     Some(opts)
 }
 
+/// Parse `--batch auto|off` (default `auto`): whether the steady-state
+/// batching fast path may engage on eligible runs (see
+/// `docs/scheduler.md`). `None` on any other value.
+pub fn build_batch_mode(inv: &Invocation) -> Option<systolic_interp::BatchMode> {
+    match inv.flag("batch") {
+        None | Some("auto") => Some(systolic_interp::BatchMode::Auto),
+        Some("off") => Some(systolic_interp::BatchMode::Off),
+        Some(_) => None,
+    }
+}
+
 /// Execute an invocation; returns the text to print, or an error message.
 pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
     match inv.command.as_str() {
@@ -147,13 +158,18 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 .map(|v| v.name.clone())
                 .collect();
             let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
-            let stats = sys
-                .verify_with(&sizes, &input_refs, seed, &elab)
+            let batch = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
+            let (stats, batched) = sys
+                .verify_batch(&sizes, &input_refs, seed, &elab, batch)
                 .map_err(|e| format!("FAILED: {e}"))?;
             let mut out = format!(
-                "OK: {} processes, {} rendezvous rounds, {} messages; \
+                "OK: {} processes, {} scheduler rounds, {} logical messages, {} steps{}; \
                  systolic result == sequential result",
-                stats.processes, stats.rounds, stats.messages
+                stats.processes,
+                stats.rounds,
+                stats.messages,
+                stats.steps,
+                if batched { " [batched]" } else { "" }
             );
             // Observability artifacts: re-run the same seeded problem
             // with recorders attached and write the requested files.
@@ -205,7 +221,11 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
         "explore" => {
             // With --schedules N this is deterministic schedule
             // exploration (DST) of the compiled program; without it, the
-            // historical design-space exploration.
+            // historical design-space exploration. `--batch` is accepted
+            // for interface uniformity but DST runs always take the
+            // unbatched engine: adversarial schedule policies and the
+            // round recorder both close the batching gate.
+            let _ = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
             if let Some(n) = inv.flag("schedules") {
                 let n: u64 = n.parse().map_err(|_| "--schedules needs a number")?;
                 return explore_schedules(inv, src, n);
@@ -439,6 +459,26 @@ mod tests {
         assert!(execute(&inv, SRC).unwrap().contains("PAR"));
         let inv = parse_args(&args(&["explore", "f", "--bound", "2", "--sample", "4"])).unwrap();
         assert!(execute(&inv, SRC).unwrap().contains("makespan"));
+    }
+
+    #[test]
+    fn batch_flag_gates_the_fast_path() {
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4"])).unwrap();
+        let auto = execute(&inv, SRC).unwrap();
+        assert!(auto.contains("[batched]"), "{auto}");
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--batch", "off"])).unwrap();
+        let off = execute(&inv, SRC).unwrap();
+        assert!(!off.contains("[batched]"), "{off}");
+        // Logical message and step counts are engine-invariant.
+        let invariant = |s: &str| {
+            let t = s.split("rounds, ").nth(1).unwrap();
+            t.split(" steps").next().unwrap().to_string()
+        };
+        assert_eq!(invariant(&auto), invariant(&off));
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--batch", "maybe"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--batch"));
+        let inv = parse_args(&args(&["explore", "f", "--batch", "bogus"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--batch"));
     }
 
     #[test]

@@ -250,6 +250,45 @@ impl Systolized {
             .map_err(Error::Mismatch)
     }
 
+    /// [`Systolized::verify_with`] through the steady-state batching gate
+    /// (see `systolic_runtime::batch`): identical experiment and result;
+    /// the returned flag says whether the fast path actually engaged.
+    pub fn verify_batch(
+        &self,
+        sizes: &[i64],
+        inputs: &[&str],
+        seed: u64,
+        opts: &systolic_interp::ElabOptions,
+        batch: systolic_interp::BatchMode,
+    ) -> Result<(RunStats, bool), Error> {
+        let env = self.size_env(sizes);
+        let mut store = systolic_ir::HostStore::allocate(&self.source, &env);
+        for (i, name) in inputs.iter().enumerate() {
+            store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+        }
+        let mut expected = store.clone();
+        systolic_ir::seq::run(&self.source, &env, &mut expected);
+        let run = systolic_interp::run_plan_batch(
+            &self.plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            opts,
+            batch,
+            None,
+            &[],
+        )
+        .map_err(|e| Error::Mismatch(e.to_string()))?;
+        for name in expected.names() {
+            if run.store.get(name) != expected.get(name) {
+                return Err(Error::Mismatch(format!(
+                    "variable {name} differs between sequential and systolic execution"
+                )));
+            }
+        }
+        Ok((run.stats, run.batched))
+    }
+
     /// The schedule's makespan at a problem size (`max step - min step + 1`).
     pub fn makespan(&self, sizes: &[i64]) -> i64 {
         self.array.makespan(&self.source, &self.size_env(sizes))

@@ -3,8 +3,9 @@
 //! ```text
 //! systolizer compile <file> [--place auto|proj:<c,c,..>] [--emit paper|occam|c|report]
 //! systolizer run     <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
-//!                           [--metrics PATH] [--trace-out PATH]
+//!                           [--batch auto|off] [--metrics PATH] [--trace-out PATH]
 //! systolizer verify  <file> --sizes <n[,m..]> [--seed S] [--protocol paper|split] [--merge-io yes|no]
+//!                           [--batch auto|off]
 //! systolizer explore <file> [--bound B] [--sample N]
 //! systolizer explore <file> --schedules N --sizes <n[,m..]> [--seed S] [--out PATH]
 //! systolizer replay  --schedule <file>
@@ -33,8 +34,9 @@ fn usage() -> ExitCode {
         "usage:\n  \
          systolizer compile <file> [--place auto|proj:C,C,..] [--emit paper|occam|c|report]\n  \
          systolizer run     <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
-                            [--metrics PATH] [--trace-out PATH]\n  \
+                            [--batch auto|off] [--metrics PATH] [--trace-out PATH]\n  \
          systolizer verify  <file> --sizes N[,M..] [--seed S] [--protocol paper|split] [--merge-io yes|no]\n  \
+                            [--batch auto|off]\n  \
          systolizer describe <file> --sizes N[,M..]\n  \
          systolizer explore <file> [--bound B] [--sample N]\n  \
          systolizer explore <file> --schedules N --sizes N[,M..] [--seed S] [--out PATH]\n  \

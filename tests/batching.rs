@@ -1,0 +1,255 @@
+//! Steady-state batching regression: the macro-stepping fast path
+//! (`systolic_runtime::batch`, see `docs/scheduler.md`) must be
+//! observationally invisible — bit-identical recovered stores and
+//! invariant logical `messages`/`steps` counts against the rendezvous
+//! engine on all three executors — and its engagement gate must be
+//! exactly as documented: `--batch off`, a buffered channel policy, an
+//! attached recorder, or a non-FIFO schedule policy each force the
+//! unbatched engine.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use systolizer::core::{compile, Options};
+use systolizer::interp::{
+    run_plan, run_plan_batch, run_plan_partitioned_batch, run_plan_threaded_batch, BatchMode,
+    ElabOptions,
+};
+use systolizer::ir::{gallery, HostStore, SourceProgram};
+use systolizer::math::Env;
+use systolizer::runtime::{shared, ChanId, ChannelPolicy, FifoPolicy, MetricsRecorder};
+use systolizer::synthesis::{derive_array, placement::paper};
+
+/// Compile one design from the corpus (the 4 paper appendix designs
+/// followed by the 5 gallery programs) at size `n`, with seeded inputs.
+fn prepared(
+    design: usize,
+    n: i64,
+    seed: u64,
+) -> (systolizer::core::SystolicProgram, Env, HostStore) {
+    let (p, a): (SourceProgram, _) = if design < 4 {
+        let (_, p, a) = paper::all().swap_remove(design);
+        (p, a)
+    } else {
+        let p = gallery::all().swap_remove(design - 4);
+        let a = derive_array(&p, 2, 4).unwrap();
+        (p, a)
+    };
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut env = Env::new();
+    for &s in &p.sizes {
+        env.bind(s, n);
+    }
+    let mut store = HostStore::allocate(&p, &env);
+    let inputs: &[&str] = if p.name == "fir_filter" {
+        &["h", "x"]
+    } else {
+        &["a", "b"]
+    };
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    (plan, env, store)
+}
+
+fn n_designs() -> usize {
+    paper::all().len() + gallery::all().len()
+}
+
+#[test]
+fn batched_coop_is_bit_identical_with_invariant_logical_stats() {
+    for design in 0..n_designs() {
+        let (plan, env, store) = prepared(design, 4, 11);
+        let base = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        let fast = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+            BatchMode::Auto,
+            None,
+            &[],
+        )
+        .unwrap();
+        assert!(fast.batched, "design {design}: gate should admit this run");
+        assert_eq!(fast.store, base.store, "design {design}: store differs");
+        assert_eq!(fast.stats.messages, base.stats.messages, "design {design}");
+        assert_eq!(fast.stats.steps, base.stats.steps, "design {design}");
+        assert_eq!(fast.stats.processes, base.stats.processes);
+        assert!(
+            fast.stats.rounds <= base.stats.rounds,
+            "design {design}: batching must not add scheduler rounds \
+             ({} vs {})",
+            fast.stats.rounds,
+            base.stats.rounds
+        );
+    }
+}
+
+#[test]
+fn batched_threaded_and_partitioned_agree_with_the_coop_baseline() {
+    let timeout = Duration::from_secs(30);
+    for design in 0..n_designs() {
+        let (plan, env, store) = prepared(design, 3, 7);
+        let base = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto).unwrap();
+        assert!(th.batched, "design {design}");
+        assert_eq!(th.store, base.store, "design {design}: threaded store");
+        assert_eq!(th.stats.messages, base.stats.messages, "design {design}");
+        assert_eq!(th.stats.steps, base.stats.steps, "design {design}");
+        for workers in [1usize, 3] {
+            let pt =
+                run_plan_partitioned_batch(&plan, &env, &store, workers, timeout, BatchMode::Auto)
+                    .unwrap();
+            assert!(pt.batched, "design {design} w={workers}");
+            assert_eq!(pt.store, base.store, "design {design} w={workers}: store");
+            assert_eq!(pt.stats.messages, base.stats.messages, "w={workers}");
+            assert_eq!(pt.stats.steps, base.stats.steps, "w={workers}");
+        }
+    }
+}
+
+/// A policy that actually exercises its hooks (reverses each round's
+/// firing order) and honestly reports `is_fifo() == false`.
+struct ReversePolicy;
+
+impl systolizer::runtime::SchedulePolicy for ReversePolicy {
+    fn schedule_round(&mut self, _round: u64, fire: &mut Vec<ChanId>, _defer: &mut Vec<ChanId>) {
+        fire.reverse();
+    }
+
+    fn label(&self) -> String {
+        "reverse".into()
+    }
+}
+
+/// The engagement gate, pinned feature by feature. Every configuration
+/// still produces the correct store; only the `batched` flag may change.
+#[test]
+fn gate_closes_for_every_observable_feature() {
+    let (plan, env, store) = prepared(2, 3, 5); // E.1
+    let elab = ElabOptions::default();
+    let run = |policy, batch, sched, recorders: &[_]| {
+        run_plan_batch(&plan, &env, &store, policy, &elab, batch, sched, recorders).unwrap()
+    };
+    let base = run(ChannelPolicy::Rendezvous, BatchMode::Off, None, &[]);
+    assert!(!base.batched, "--batch off forces the rendezvous engine");
+
+    let auto = run(ChannelPolicy::Rendezvous, BatchMode::Auto, None, &[]);
+    assert!(auto.batched, "plain Auto run engages");
+    assert_eq!(auto.store, base.store);
+
+    let fifo = run(
+        ChannelPolicy::Rendezvous,
+        BatchMode::Auto,
+        Some(Box::new(FifoPolicy)),
+        &[],
+    );
+    assert!(fifo.batched, "the identity policy keeps the gate open");
+    assert_eq!(fifo.store, base.store);
+
+    let perturbed = run(
+        ChannelPolicy::Rendezvous,
+        BatchMode::Auto,
+        Some(Box::new(ReversePolicy)),
+        &[],
+    );
+    assert!(!perturbed.batched, "a non-FIFO policy closes the gate");
+    assert_eq!(perturbed.store, base.store);
+
+    let (metrics, recorder) = shared(MetricsRecorder::new());
+    let observed = run(
+        ChannelPolicy::Rendezvous,
+        BatchMode::Auto,
+        None,
+        &[recorder],
+    );
+    assert!(!observed.batched, "a recorder closes the gate");
+    assert_eq!(observed.store, base.store);
+    assert!(
+        metrics.lock().report().transfers > 0,
+        "the recorder really observed the run"
+    );
+
+    let buffered = run(ChannelPolicy::Buffered(4), BatchMode::Auto, None, &[]);
+    assert!(!buffered.batched, "the buffered ablation closes the gate");
+    assert_eq!(buffered.store, base.store);
+}
+
+/// Case count override (see `tests/random_programs.rs`).
+fn env_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: env_cases(16), ..ProptestConfig::default() })]
+
+    /// Batched and unbatched execution agree — stores bit-identical,
+    /// logical messages/steps invariant — on all three executors, over
+    /// random (design, size, input seed, worker count) draws.
+    #[test]
+    fn batching_is_unobservable_on_random_configurations(
+        design in 0usize..9,
+        n in 1i64..=4,
+        seed in 0u64..1000,
+        workers in 1usize..=4,
+    ) {
+        let (plan, env, store) = prepared(design, n, seed);
+        let timeout = Duration::from_secs(30);
+        let base = run_plan(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap();
+        let coop = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+            BatchMode::Auto,
+            None,
+            &[],
+        )
+        .unwrap();
+        prop_assert_eq!(&coop.store, &base.store);
+        prop_assert_eq!(coop.stats.messages, base.stats.messages);
+        prop_assert_eq!(coop.stats.steps, base.stats.steps);
+        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto).unwrap();
+        prop_assert_eq!(&th.store, &base.store);
+        prop_assert_eq!(th.stats.messages, base.stats.messages);
+        prop_assert_eq!(th.stats.steps, base.stats.steps);
+        let pt = run_plan_partitioned_batch(
+            &plan,
+            &env,
+            &store,
+            workers,
+            timeout,
+            BatchMode::Auto,
+        )
+        .unwrap();
+        prop_assert_eq!(&pt.store, &base.store);
+        prop_assert_eq!(pt.stats.messages, base.stats.messages);
+        prop_assert_eq!(pt.stats.steps, base.stats.steps);
+    }
+}

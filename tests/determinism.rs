@@ -147,6 +147,81 @@ fn coop_under_explicit_fifo_policy_matches_pre_hook_goldens() {
     }
 }
 
+/// Runs with an observer attached or a non-FIFO schedule policy must
+/// take the *unbatched* engine even under `BatchMode::Auto` (see
+/// `docs/scheduler.md`): their stats equal the seed goldens exactly —
+/// including `rounds`, which the batching fast path would collapse — and
+/// the run reports `batched == false`. This pins the engagement gate to
+/// the goldens, so a gate regression shows up as a round-count drift
+/// here rather than as silently unobserved runs.
+#[test]
+fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
+    use systolizer::interp::{run_plan_batch, BatchMode};
+    use systolizer::runtime::{shared, ChanId, MetricsRecorder, SchedulePolicy};
+
+    struct ReversePolicy;
+    impl SchedulePolicy for ReversePolicy {
+        fn schedule_round(
+            &mut self,
+            _round: u64,
+            fire: &mut Vec<ChanId>,
+            _defer: &mut Vec<ChanId>,
+        ) {
+            fire.reverse();
+        }
+    }
+
+    let goldens = [
+        ("D.1", golden(16, 44, 139, 244)),
+        ("D.2", golden(24, 70, 235, 444)),
+        ("E.1", golden(55, 36, 450, 705)),
+        ("E.2", golden(191, 22, 710, 1111)),
+    ];
+    for (label, p, a) in paper::all() {
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let mut store = HostStore::allocate(&p, &env);
+        store.fill_random("a", 11, -9, 9);
+        store.fill_random("b", 12, -9, 9);
+        let want = &goldens.iter().find(|(l, _)| *l == label).unwrap().1;
+
+        let (_, recorder) = shared(MetricsRecorder::new());
+        let observed = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &Default::default(),
+            BatchMode::Auto,
+            None,
+            &[recorder],
+        )
+        .unwrap();
+        assert!(!observed.batched, "{label}: recorder must close the gate");
+        assert_eq!(&observed.stats, want, "{label}: observed run drifted");
+
+        let perturbed = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &Default::default(),
+            BatchMode::Auto,
+            Some(Box::new(ReversePolicy)),
+            &[],
+        )
+        .unwrap();
+        assert!(!perturbed.batched, "{label}: policy must close the gate");
+        assert_eq!(
+            (perturbed.stats.messages, perturbed.stats.steps),
+            (want.messages, want.steps),
+            "{label}: perturbed run lost logical invariance"
+        );
+        assert_eq!(perturbed.store, observed.store, "{label}: stores differ");
+    }
+}
+
 #[test]
 fn gallery_programs_are_deterministic_and_match_goldens() {
     let goldens = [
