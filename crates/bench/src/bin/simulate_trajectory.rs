@@ -1,7 +1,7 @@
 //! The benchmark trajectory harness: runs the simulate suite (the four
-//! appendix designs at several problem sizes) and appends a labeled
-//! snapshot to `BENCH_simulate.json` at the repo root with wall-clock,
-//! rounds, messages, and steps per configuration.
+//! appendix designs plus `programs/fir.sys`, at several problem sizes)
+//! and appends a labeled snapshot to `BENCH_simulate.json` at the repo
+//! root with wall-clock, rounds, messages, and steps per configuration.
 //!
 //! Each PR reruns this binary; the committed file accumulates one
 //! snapshot per PR, so the simulator's performance trajectory is the
@@ -18,14 +18,21 @@
 //!
 //! The timed runs go through `run_plan_batch` under an explicit FIFO
 //! `SchedulePolicy`: since PR 5 the trajectory measures the steady-state
-//! batching fast path (see `docs/scheduler.md`), and the FIFO policy
-//! keeps guarding the schedule hook's zero-cost-when-inert contract.
+//! batching fast path (see `docs/scheduler.md`), and since PR 6 the
+//! ProcIR optimizer rides along (`OptMode::Auto`, see
+//! `docs/process-ir.md`) — relay chains fuse into delay rings, so the
+//! timed module can be structurally smaller than the elaborated one.
+//! The FIFO policy keeps guarding the schedule hook's
+//! zero-cost-when-inert contract.
 //! The *recorded* statistics stay those of the unbatched rendezvous
 //! engine — an untimed baseline pass per configuration supplies them, so
 //! snapshot rounds remain comparable across the whole trajectory — and
-//! every timed pass is asserted to engage batching and preserve the
-//! logical `messages`/`steps` counts and the recovered store bit for
-//! bit. A separate observed pass (outside the timing loop) contributes
+//! every timed pass is asserted to engage batching and recover a store
+//! bit-identical to that baseline. When the optimizer left the module
+//! untouched the logical `messages`/`steps` counts must also be
+//! invariant; when it fused chains, the post-fusion counts are recorded
+//! as `opt_*` fields beside the baseline ones, so the snapshot shows the
+//! structural shrink as well as the speedup. A separate observed pass (outside the timing loop) contributes
 //! the receiver-wait and messages-per-round histograms, and
 //! double-checks that attaching recorders leaves rounds/messages/steps
 //! untouched.
@@ -45,10 +52,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use systolic_core::{compile, Options};
-use systolic_interp::{run_plan_batch, run_plan_recorded, run_plan_scheduled, ElabOptions};
+use systolic_interp::{run_plan_batch, run_plan_recorded, run_plan_scheduled, ElabOptions, SystolicRun};
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{shared, BatchMode, ChannelPolicy, FifoPolicy, MetricsRecorder, RunStats};
+use systolic_runtime::{
+    shared, BatchMode, ChannelPolicy, FifoPolicy, MetricsRecorder, OptMode, RunStats,
+};
 use systolic_synthesis::placement::paper;
 
 const ITERS: usize = 25;
@@ -66,6 +75,9 @@ struct Entry {
     rounds: u64,
     messages: u64,
     steps: u64,
+    /// Post-fusion stats and fused-relay count when the optimizer
+    /// engaged (`None`: module left untouched, counts invariant).
+    opt: Option<(RunStats, usize)>,
     /// (receiver wait in rounds, transfer count) — from the observed pass.
     wait_hist: Vec<(u64, u64)>,
     /// (messages in one round, round count) — the occupancy profile.
@@ -90,10 +102,18 @@ fn prepare(label: &'static str, mk: DesignFn, n: i64) -> Prepared {
     let (p, a) = mk();
     let plan = compile(&p, &a, &Options::default()).unwrap();
     let mut env = Env::new();
-    env.bind(p.sizes[0], n);
+    for &sz in &p.sizes {
+        env.bind(sz, n);
+    }
     let mut store = HostStore::allocate(&p, &env);
-    store.fill_random("a", 1, -9, 9);
-    store.fill_random("b", 2, -9, 9);
+    let inputs: &[&str] = if p.name.starts_with("fir") {
+        &["h", "x"]
+    } else {
+        &["a", "b"]
+    };
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, i as u64 + 1, -9, 9);
+    }
     Prepared {
         label,
         n,
@@ -101,6 +121,17 @@ fn prepare(label: &'static str, mk: DesignFn, n: i64) -> Prepared {
         env,
         store,
     }
+}
+
+/// The shipped program file, through the text front end: its long relay
+/// pipes are the second chain-fusion witness beside matmul E.2.
+fn fir_sys() -> (
+    systolic_ir::SourceProgram,
+    systolic_synthesis::SystolicArray,
+) {
+    let p = systolic_lang::parse(include_str!("../../../../programs/fir.sys")).unwrap();
+    let a = systolic_synthesis::derive_array(&p, 2, 4).unwrap();
+    (p, a)
 }
 
 /// The untimed unbatched baseline: supplies the snapshot statistics
@@ -120,9 +151,13 @@ fn baseline_run(c: &Prepared) -> (RunStats, HostStore) {
     (run.stats, run.store)
 }
 
-/// One timed batched pass; asserts the fast path engaged and that the
-/// logical counts and the store match the unbatched baseline.
-fn timed_run(c: &Prepared, base: &(RunStats, HostStore)) -> f64 {
+/// One timed batched pass; asserts the fast path engaged and the store
+/// matches the unbatched baseline bit for bit. With `OptMode::Off` (or
+/// when the optimizer leaves the module untouched) the logical counts
+/// must also be invariant; a fused run's stats legitimately describe
+/// the smaller module and are returned for the snapshot's `opt_*`
+/// fields.
+fn timed_run(c: &Prepared, base: &(RunStats, HostStore), opt: OptMode) -> (f64, SystolicRun) {
     let t0 = Instant::now();
     let run = run_plan_batch(
         &c.plan,
@@ -131,28 +166,36 @@ fn timed_run(c: &Prepared, base: &(RunStats, HostStore)) -> f64 {
         ChannelPolicy::Rendezvous,
         &ElabOptions::default(),
         BatchMode::Auto,
+        opt,
         Some(Box::new(FifoPolicy)),
         &[],
     )
     .unwrap();
     let dt = t0.elapsed().as_secs_f64() * 1e3;
     assert!(run.batched, "{} n={}: batching must engage", c.label, c.n);
-    assert_eq!(
-        (run.stats.messages, run.stats.steps, run.stats.processes),
-        (base.0.messages, base.0.steps, base.0.processes),
-        "{} n={}: batching changed the logical counts",
-        c.label,
-        c.n
-    );
+    if run.opt.is_none() {
+        assert_eq!(
+            (run.stats.messages, run.stats.steps, run.stats.processes),
+            (base.0.messages, base.0.steps, base.0.processes),
+            "{} n={}: batching changed the logical counts",
+            c.label,
+            c.n
+        );
+    }
     assert_eq!(
         run.store, base.1,
-        "{} n={}: batching changed the result",
+        "{} n={}: the fast path changed the result",
         c.label, c.n
     );
-    dt
+    (dt, run)
 }
 
-fn observed_entry(c: &Prepared, wall_ms: f64, stats: RunStats) -> Entry {
+fn observed_entry(
+    c: &Prepared,
+    wall_ms: f64,
+    stats: RunStats,
+    opt: Option<(RunStats, usize)>,
+) -> Entry {
     // Observed pass, outside the timing loop: histograms for the
     // snapshot, plus the invariance check.
     let (metrics, erased) = shared(MetricsRecorder::new());
@@ -179,6 +222,7 @@ fn observed_entry(c: &Prepared, wall_ms: f64, stats: RunStats) -> Entry {
         rounds: stats.rounds,
         messages: stats.messages,
         steps: stats.steps,
+        opt,
         wait_hist: report.wait_hist,
         msgs_per_round_hist: report.msgs_per_time_hist,
     }
@@ -221,11 +265,31 @@ fn prior_best(old: &str) -> Vec<(String, i64, f64)> {
 fn quick_smoke() {
     let c = prepare("matmul-E.1", paper::matmul_e1, 12);
     let base = baseline_run(&c);
-    let _ = timed_run(&c, &base); // asserts batched + invariant internally
+    // With the optimizer off the full invariance contract holds.
+    let _ = timed_run(&c, &base, OptMode::Off);
     println!(
         "quick smoke OK: {} n={} — batched run matches the rendezvous \
          baseline ({} messages, {} steps, store bit-identical)",
         c.label, c.n, base.0.messages, base.0.steps
+    );
+    // And with it on, E.2 fuses its relay chains, stays bit-identical,
+    // and the systolic-opt-v1 mapping report round-trips through JSON.
+    let c = prepare("matmul-E.2", paper::matmul_e2, 8);
+    let base = baseline_run(&c);
+    let (_, run) = timed_run(&c, &base, OptMode::Auto);
+    let report = run.opt.expect("E.2 n=8 must fuse relay chains");
+    let j = report.to_json();
+    assert!(j.contains("\"schema\": \"systolic-opt-v1\""), "{j}");
+    let back = systolic_runtime::OptReport::from_json(&j).expect("parseable report");
+    assert_eq!(back.to_json(), j, "mapping report must round-trip");
+    println!(
+        "quick smoke OK: {} n={} — optimizer fused {} relays \
+         ({} -> {} processes), store bit-identical, report round-trips",
+        c.label,
+        c.n,
+        report.fused_relays(),
+        report.processes_before,
+        report.processes_after
     );
 }
 
@@ -254,11 +318,12 @@ fn main() {
         }
     }
 
-    let suite: [(&'static str, DesignFn, &[i64]); 4] = [
+    let suite: [(&'static str, DesignFn, &[i64]); 5] = [
         ("polyprod-D.1", paper::polyprod_d1, &[16, 32, 64]),
         ("polyprod-D.2", paper::polyprod_d2, &[16, 32, 64]),
         ("matmul-E.1", paper::matmul_e1, &[8, 16, 24]),
         ("matmul-E.2", paper::matmul_e2, &[8, 16, 24]),
+        ("fir.sys", fir_sys, &[8, 16, 24]),
     ];
 
     let configs: Vec<Prepared> = suite
@@ -274,21 +339,31 @@ fn main() {
     // one burst — a shared-machine noise spike then inflates a single
     // pass, not a whole configuration.
     let mut best = vec![f64::INFINITY; configs.len()];
+    let mut opt_stats: Vec<Option<(RunStats, usize)>> = vec![None; configs.len()];
     for _ in 0..ITERS {
         for (i, c) in configs.iter().enumerate() {
-            let dt = timed_run(c, &baselines[i]);
+            let (dt, run) = timed_run(c, &baselines[i], OptMode::Auto);
             if dt < best[i] {
                 best[i] = dt;
+            }
+            if opt_stats[i].is_none() {
+                if let Some(r) = &run.opt {
+                    opt_stats[i] = Some((run.stats.clone(), r.fused_relays()));
+                }
             }
         }
     }
 
     let mut entries = Vec::new();
-    for ((c, wall), (s, _)) in configs.iter().zip(best).zip(&baselines) {
-        let e = observed_entry(c, wall, s.clone());
+    for (i, (c, wall)) in configs.iter().zip(best).enumerate() {
+        let e = observed_entry(c, wall, baselines[i].0.clone(), opt_stats[i].take());
+        let shrink = match &e.opt {
+            Some((s, fused)) => format!("  opt: {} procs, {} fused relays", s.processes, fused),
+            None => String::new(),
+        };
         println!(
-            "{:<14} n={:<3} wall {:>9.3} ms  procs {:>6}  rounds {:>6}  messages {:>9}  steps {:>9}",
-            e.design, e.n, e.wall_ms, e.processes, e.rounds, e.messages, e.steps
+            "{:<14} n={:<3} wall {:>9.3} ms  procs {:>6}  rounds {:>6}  messages {:>9}  steps {:>9}{}",
+            e.design, e.n, e.wall_ms, e.processes, e.rounds, e.messages, e.steps, shrink
         );
         entries.push(e);
     }
@@ -325,10 +400,18 @@ fn main() {
     // deliberately avoids a serde_json dependency outside criterion.
     let mut snapshot = format!("    {{\"label\": \"{label}\", \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let opt_fields = match &e.opt {
+            Some((s, fused)) => format!(
+                "\"opt_processes\": {}, \"opt_rounds\": {}, \"opt_messages\": {}, \
+                 \"opt_steps\": {}, \"opt_fused_relays\": {}, ",
+                s.processes, s.rounds, s.messages, s.steps, fused
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             snapshot,
             "      {{\"design\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \"processes\": {}, \
-             \"rounds\": {}, \"messages\": {}, \"steps\": {}, \
+             \"rounds\": {}, \"messages\": {}, \"steps\": {}, {}\
              \"wait_hist\": {}, \"msgs_per_round_hist\": {}}}{}",
             e.design,
             e.n,
@@ -337,6 +420,7 @@ fn main() {
             e.rounds,
             e.messages,
             e.steps,
+            opt_fields,
             pairs_json(&e.wait_hist),
             pairs_json(&e.msgs_per_round_hist),
             if i + 1 < entries.len() { "," } else { "" }

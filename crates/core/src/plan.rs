@@ -8,6 +8,7 @@
 use systolic_ir::{SourceProgram, StreamId};
 use systolic_math::{
     affine::{eval_point, AffinePoint},
+    speceval::{SpecAffine, SpecCount, SpecPiecewise},
     Affine, Env, Piecewise, RatPoint, Var, VarTable,
 };
 use systolic_synthesis::SystolicArray;
@@ -243,6 +244,63 @@ impl SystolicProgram {
     /// bound.
     pub fn stream_point_bound(which: &Piecewise<AffinePoint>, env_y: &Env) -> Option<Vec<i64>> {
         which.select(env_y).map(|p| eval_point(p, env_y))
+    }
+
+    /// Partially evaluate the per-point schedule quantities at a problem
+    /// size (`env_sizes` binds every size symbol). The returned evaluators
+    /// answer the same questions as [`SystolicProgram::first_bound`],
+    /// [`SystolicProgram::count_bound`] and
+    /// [`SystolicProgram::stream_count_bound`] — identically, clause order
+    /// included — but in pure integer arithmetic over the coordinate
+    /// vector, which is what makes elaboration's sweep over every
+    /// process-space point cheap (see `systolic_math::speceval`).
+    pub fn specialize(&self, env_sizes: &Env) -> SpecSchedule {
+        let dims = &self.coords;
+        SpecSchedule {
+            first: SpecPiecewise::compile(&self.first, dims, env_sizes, |p| {
+                p.iter()
+                    .map(|a| SpecAffine::compile(a, dims, env_sizes))
+                    .collect()
+            }),
+            count: SpecCount::of(&self.count, dims, env_sizes),
+            streams: self
+                .streams
+                .iter()
+                .map(|sp| SpecStream {
+                    soak: SpecCount::of(&sp.soak, dims, env_sizes),
+                    drain: SpecCount::of(&sp.drain, dims, env_sizes),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A stream's soak/drain counts, size-specialized.
+pub struct SpecStream {
+    pub soak: SpecCount,
+    pub drain: SpecCount,
+}
+
+/// The schedule quantities elaboration queries at every process-space
+/// point, size-specialized by [`SystolicProgram::specialize`].
+pub struct SpecSchedule {
+    first: SpecPiecewise<Vec<SpecAffine>>,
+    count: SpecCount,
+    /// Indexed by `StreamId`.
+    pub streams: Vec<SpecStream>,
+}
+
+impl SpecSchedule {
+    /// `first` at `y`; `None` for null processes.
+    pub fn first_at(&self, y: &[i64]) -> Option<Vec<i64>> {
+        self.first
+            .select(y)
+            .map(|p| p.iter().map(|a| a.eval_int(y)).collect())
+    }
+
+    /// The repeater length at `y`, 0 for null processes.
+    pub fn count_at(&self, y: &[i64]) -> i64 {
+        self.count.at(y)
     }
 }
 

@@ -23,7 +23,8 @@ use systolic_core::{StreamKind, SystolicProgram};
 use systolic_ir::{BasicStatement, HostStore};
 use systolic_math::{point, Env};
 use systolic_runtime::{
-    ChanId, ComputeBody, MovingLink, ProcId, ProcIrBuilder, ProcIrModule, ProcOp, Value,
+    ChanId, ComputeBody, MovingLink, OptMode, OptimizedModule, ProcId, ProcIrBuilder, ProcIrModule,
+    ProcOp, Value,
 };
 
 /// Census of the elaborated network, for reports and experiments.
@@ -140,6 +141,22 @@ pub struct Elaborated {
     /// The computation process lowered at each CS point, for consumers
     /// that align plan-derived shapes with the bytecode (`runtime_gen`).
     pub comp_at: Vec<(Vec<i64>, ProcId)>,
+}
+
+impl Elaborated {
+    /// Run the ProcIR optimizer (`systolic_runtime::opt`) over the
+    /// elaborated module: relay-chain fusion into delay rings plus the op
+    /// peepholes. `None` when the mode is [`OptMode::Off`] or the module
+    /// is left untouched. The optimized module executes only on the
+    /// batched engines — feed `chan_caps` to
+    /// [`systolic_runtime::analyze_with_caps`] so the surviving channels
+    /// get their delay-ring capacities.
+    pub fn optimize(&self, mode: OptMode) -> Option<OptimizedModule> {
+        if mode == OptMode::Off {
+            return None;
+        }
+        systolic_runtime::optimize(&self.module)
+    }
 }
 
 /// Adapts the plan's [`BasicStatement`] to the runtime's opaque
@@ -379,15 +396,18 @@ pub fn elaborate(
         }
     }
 
-    // Processes at every PS point.
+    // Processes at every PS point. The sweep asks the same symbolic
+    // questions at each of them, so the schedule quantities are partially
+    // evaluated at the bound problem size once up front and each point
+    // costs only integer arithmetic (`SystolicProgram::specialize`).
+    let spec = plan.specialize(env);
     let mut comp_at = Vec::new();
     for y in &ps_points {
         let yi = psidx.at(y);
-        plan.bind_coords(&mut env_y, y);
-        if let Some(first) = plan.first_bound(&env_y) {
+        if let Some(first) = spec.first_at(y) {
             // Computation process: the canonical load / soak / repeater /
             // drain / recover shape of Appendix C–E.
-            let count = plan.count_bound(&env_y);
+            let count = spec.count_at(y);
             // Pre-pass over the moving streams: split propagation's escort
             // relays are separate processes and lower before the
             // computation process opens; the paper protocol's soaks are
@@ -397,8 +417,8 @@ pub fn elaborate(
             for sp in &plan.streams {
                 if sp.kind == StreamKind::Moving {
                     let (ic, oc) = endpoint[sp.id.0][yi];
-                    let soak = SystolicProgram::stream_count_bound(&sp.soak, &env_y);
-                    let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
+                    let soak = spec.streams[sp.id.0].soak.at(y);
+                    let drain = spec.streams[sp.id.0].drain.at(y);
                     if opts.split_propagation {
                         let cs = chans.next(); // splitter -> comp
                         let cm = chans.next(); // comp -> merger
@@ -444,7 +464,7 @@ pub fn elaborate(
             for sp in &plan.streams {
                 if let StreamKind::Stationary { .. } = sp.kind {
                     let (ic, oc) = endpoint[sp.id.0][yi];
-                    let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
+                    let drain = spec.streams[sp.id.0].drain.at(y);
                     b.op(ProcOp::Keep {
                         chan: ic,
                         slot: sp.id.0 as u32,
@@ -469,7 +489,7 @@ pub fn elaborate(
                 for sp in &plan.streams {
                     if sp.kind == StreamKind::Moving {
                         let (ic, oc) = endpoint[sp.id.0][yi];
-                        let drain = SystolicProgram::stream_count_bound(&sp.drain, &env_y);
+                        let drain = spec.streams[sp.id.0].drain.at(y);
                         b.op(ProcOp::Pass {
                             inp: ic,
                             out: oc,
@@ -482,7 +502,7 @@ pub fn elaborate(
             for sp in &plan.streams {
                 if let StreamKind::Stationary { .. } = sp.kind {
                     let (ic, oc) = endpoint[sp.id.0][yi];
-                    let soak = SystolicProgram::stream_count_bound(&sp.soak, &env_y);
+                    let soak = spec.streams[sp.id.0].soak.at(y);
                     b.op(ProcOp::Pass {
                         inp: ic,
                         out: oc,
@@ -529,8 +549,9 @@ pub fn elaborate(
             })
         })
         .collect();
+    let module = b.build(Some(body));
     Ok(Elaborated {
-        module: b.build(Some(body)),
+        module,
         outputs,
         census,
         endpoints,

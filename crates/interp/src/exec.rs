@@ -9,8 +9,8 @@ use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
 use systolic_runtime::{
-    BatchMode, ChannelPolicy, Network, RunError, RunStats, SchedulePolicy, SharedRecorder,
-    SinkBuffer,
+    BatchMode, BatchPlan, ChannelPolicy, Network, OptMode, OptReport, OptimizedModule, RunError,
+    RunStats, SchedulePolicy, SharedRecorder, SinkBuffer,
 };
 
 /// Outcome of a systolic run.
@@ -23,6 +23,14 @@ pub struct SystolicRun {
     /// `systolic_runtime::batch`). Always `false` for the plain entry
     /// points; the `*_batch` variants set it when the gate admits the run.
     pub batched: bool,
+    /// The `systolic-opt-v1` mapping report when the ProcIR optimizer
+    /// rewrote the module this run executed (see `systolic_runtime::opt`).
+    /// `None` on every `--opt off`, unbatched, or untouched-module run;
+    /// when set, `stats` describes the *optimized* module — fewer
+    /// processes, messages, and steps than the elaborated one, with the
+    /// differences itemized in the report. The store stays bit-identical
+    /// either way.
+    pub opt: Option<OptReport>,
 }
 
 /// Why executing an elaborated plan failed.
@@ -165,6 +173,7 @@ pub fn run_plan_scheduled(
         stats,
         census,
         batched: false,
+        opt: None,
     })
 }
 
@@ -195,8 +204,16 @@ fn batching_admissible(
 /// [`run_plan_scheduled`] with the steady-state batching fast path: when
 /// the gate admits the configuration (see [`systolic_runtime::batch`] and
 /// `docs/scheduler.md`) the rendezvous engine is replaced by macro-stepped
-/// ring transfers. Stores are bit-identical and `messages`/`steps` are
-/// invariant either way; only `rounds` (scheduler sweeps) shrinks.
+/// ring transfers. With `opt` off, stores are bit-identical and
+/// `messages`/`steps` are invariant either way; only `rounds` (scheduler
+/// sweeps) shrinks. With [`OptMode::Auto`] the ProcIR optimizer
+/// (`systolic_runtime::opt`) may additionally fuse relay chains into
+/// delay rings before execution — stores stay bit-identical, but the
+/// stats then describe the smaller optimized module and the run carries
+/// the `systolic-opt-v1` report. The optimizer rides the batching gate:
+/// it never engages on a run the batch analysis (or the gate) declined,
+/// so `--opt off` *and* every unbatched configuration remain exactness
+/// oracles.
 #[allow(clippy::too_many_arguments)]
 pub fn run_plan_batch(
     plan: &SystolicProgram,
@@ -205,6 +222,7 @@ pub fn run_plan_batch(
     policy: ChannelPolicy,
     opts: &ElabOptions,
     batch: BatchMode,
+    opt: OptMode,
     sched: Option<Box<dyn SchedulePolicy>>,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
@@ -234,6 +252,19 @@ pub fn run_plan_batch(
             stats,
             census,
             batched: false,
+            opt: None,
+        });
+    }
+    if let Some((o, oplan)) = optimized_module(&module, opt) {
+        let (stats, sinks) = systolic_runtime::run_coop_batched(&o.module, &oplan)?;
+        let mut result = store.clone();
+        writeback(&outputs, &sinks, &mut result)?;
+        return Ok(SystolicRun {
+            store: result,
+            stats,
+            census,
+            batched: true,
+            opt: Some(o.report),
         });
     }
     let (stats, sinks) = systolic_runtime::run_coop_batched(&module, &bplan)?;
@@ -244,7 +275,30 @@ pub fn run_plan_batch(
         stats,
         census,
         batched: true,
+        opt: None,
     })
+}
+
+/// Apply the ProcIR optimizer to an already-proven-batchable module and
+/// re-run the batch analysis over the fused result with the delay-ring
+/// capacities layered in. `None` when the mode forbids it, the module is
+/// already optimal, or (defensively) the fused module fails re-analysis —
+/// fusion preserves endpoint uniqueness and traffic balance, so the last
+/// case indicates an optimizer bug rather than a legal decline.
+fn optimized_module(
+    module: &std::sync::Arc<systolic_runtime::ProcIrModule>,
+    opt: OptMode,
+) -> Option<(OptimizedModule, BatchPlan)> {
+    if opt == OptMode::Off {
+        return None;
+    }
+    let o = systolic_runtime::optimize(module)?;
+    let oplan = systolic_runtime::analyze_with_caps(&o.module, &o.chan_caps);
+    if !oplan.batchable() {
+        debug_assert!(false, "fused module failed re-analysis: {:?}", oplan.reject_reason());
+        return None;
+    }
+    Some((o, oplan))
 }
 
 /// Run the plan on OS threads (wall-clock parallelism).
@@ -281,6 +335,7 @@ pub fn run_plan_threaded_recorded(
         stats,
         census,
         batched: false,
+        opt: None,
     })
 }
 
@@ -294,6 +349,7 @@ pub fn run_plan_threaded_batch(
     store: &HostStore,
     timeout: Duration,
     batch: BatchMode,
+    opt: OptMode,
 ) -> Result<SystolicRun, ExecError> {
     if batch == BatchMode::Off {
         return run_plan_threaded(plan, env, store, timeout);
@@ -315,6 +371,19 @@ pub fn run_plan_threaded_batch(
             stats,
             census,
             batched: false,
+            opt: None,
+        });
+    }
+    if let Some((o, oplan)) = optimized_module(&module, opt) {
+        let (stats, sinks) = systolic_runtime::run_threaded_batched(&o.module, &oplan, timeout)?;
+        let mut result = store.clone();
+        writeback(&outputs, &sinks, &mut result)?;
+        return Ok(SystolicRun {
+            store: result,
+            stats,
+            census,
+            batched: true,
+            opt: Some(o.report),
         });
     }
     let (stats, sinks) = systolic_runtime::run_threaded_batched(&module, &bplan, timeout)?;
@@ -325,6 +394,7 @@ pub fn run_plan_threaded_batch(
         stats,
         census,
         batched: true,
+        opt: None,
     })
 }
 
@@ -366,6 +436,7 @@ pub fn run_plan_partitioned_recorded(
         stats,
         census,
         batched: false,
+        opt: None,
     })
 }
 
@@ -380,6 +451,7 @@ pub fn run_plan_partitioned_batch(
     workers: usize,
     timeout: Duration,
     batch: BatchMode,
+    opt: OptMode,
 ) -> Result<SystolicRun, ExecError> {
     if batch == BatchMode::Off {
         return run_plan_partitioned(plan, env, store, workers, timeout);
@@ -402,6 +474,21 @@ pub fn run_plan_partitioned_batch(
             stats,
             census,
             batched: false,
+            opt: None,
+        });
+    }
+    if let Some((o, oplan)) = optimized_module(&module, opt) {
+        let groups = systolic_runtime::block_partition(o.module.procs.len(), workers);
+        let (stats, sinks) =
+            systolic_runtime::run_partitioned_batched(&o.module, &oplan, groups, timeout)?;
+        let mut result = store.clone();
+        writeback(&outputs, &sinks, &mut result)?;
+        return Ok(SystolicRun {
+            store: result,
+            stats,
+            census,
+            batched: true,
+            opt: Some(o.report),
         });
     }
     let groups = systolic_runtime::block_partition(module.procs.len(), workers);
@@ -414,6 +501,7 @@ pub fn run_plan_partitioned_batch(
         stats,
         census,
         batched: true,
+        opt: None,
     })
 }
 
@@ -430,16 +518,19 @@ pub fn verify_equivalence(
 }
 
 /// [`verify_equivalence`] through [`run_plan_batch`]: same experiment,
-/// optionally on the batching fast path. Returns the stats and whether
-/// batching actually engaged, so callers (the CLI, the trajectory bench)
-/// can report which engine produced the — identical — result.
+/// optionally on the batching fast path and/or with the ProcIR optimizer.
+/// Returns the stats, whether batching actually engaged, and the
+/// optimizer's mapping report when it rewrote the module, so callers (the
+/// CLI, the trajectory bench) can report which engine and module shape
+/// produced the — identical — result.
 pub fn verify_equivalence_batch(
     plan: &SystolicProgram,
     env: &Env,
     inputs: &[&str],
     seed: u64,
     batch: BatchMode,
-) -> Result<(RunStats, bool), String> {
+    opt: OptMode,
+) -> Result<(RunStats, bool, Option<OptReport>), String> {
     let mut store = HostStore::allocate(&plan.source, env);
     for (i, name) in inputs.iter().enumerate() {
         store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
@@ -454,6 +545,7 @@ pub fn verify_equivalence_batch(
         ChannelPolicy::Rendezvous,
         &ElabOptions::default(),
         batch,
+        opt,
         None,
         &[],
     )
@@ -465,7 +557,7 @@ pub fn verify_equivalence_batch(
             ));
         }
     }
-    Ok((run.stats, run.batched))
+    Ok((run.stats, run.batched, run.opt))
 }
 
 /// [`verify_equivalence`] under explicit elaboration options (protocol

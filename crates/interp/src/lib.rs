@@ -29,4 +29,4 @@ pub use exec::{
     verify_equivalence_batch, verify_equivalence_with, ExecError, SystolicRun,
 };
 pub use metrics::{channel_names, observe_plan, Observed};
-pub use systolic_runtime::BatchMode;
+pub use systolic_runtime::{BatchMode, OptMode, OptReport};

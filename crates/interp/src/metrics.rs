@@ -24,7 +24,8 @@ use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{
-    shared, ChannelPolicy, MetricsRecorder, MetricsReport, Network, PerfettoRecorder,
+    shared, ChannelPolicy, MetricsRecorder, MetricsReport, Network, OptMode, OptReport,
+    PerfettoRecorder,
 };
 
 /// One observed run: the ordinary execution outcome plus the two
@@ -35,6 +36,33 @@ pub struct Observed {
     pub report: MetricsReport,
     /// The rendered Chrome `trace_event` document.
     pub perfetto_json: String,
+    /// The `systolic-opt-v1` mapping report the ProcIR optimizer derives
+    /// for this module (see `systolic_runtime::opt`), or `None` when the
+    /// optimizer leaves it untouched. Observed runs always *execute* the
+    /// exact rendezvous engine (recorders close the batching gate), so
+    /// the metrics above describe the unoptimized module; this report is
+    /// the structural mapping an `--opt auto` run of the same plan uses.
+    pub opt_report: Option<OptReport>,
+}
+
+impl Observed {
+    /// The metrics JSON with the optimizer mapping report spliced in as
+    /// an `"optimizer"` section (absent when the module is untouched) —
+    /// what `run --metrics PATH` writes.
+    pub fn metrics_json(&self) -> String {
+        let base = self.report.to_json();
+        let Some(r) = &self.opt_report else {
+            return base;
+        };
+        let stem = base
+            .trim_end()
+            .strip_suffix('}')
+            .expect("metrics JSON ends with its root object brace")
+            .trim_end()
+            .to_string();
+        let indented = r.to_json().trim_end().replace('\n', "\n  ");
+        format!("{stem},\n  \"optimizer\": {indented}\n}}\n")
+    }
 }
 
 /// Display names for every channel of an elaborated module, indexed by
@@ -94,15 +122,18 @@ pub fn observe_plan(
     writeback(&el.outputs, &inst.outputs, &mut result)?;
     let report = metrics.lock().report();
     let perfetto_json = perfetto.lock().to_json();
+    let opt_report = el.optimize(OptMode::Auto).map(|o| o.report);
     Ok(Observed {
         run: SystolicRun {
             store: result,
             stats,
             census: el.census,
             batched: false,
+            opt: None,
         },
         report,
         perfetto_json,
+        opt_report,
     })
 }
 

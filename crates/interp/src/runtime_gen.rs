@@ -15,10 +15,10 @@
 //! is what the benchmark compares against plan evaluation.
 
 use crate::elaborate::Elaborated;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use systolic_core::{StreamKind, SystolicProgram};
 use systolic_math::{point, Env};
-use systolic_runtime::{ChanId, ProcOp};
+use systolic_runtime::{ChanId, OptimizedModule, ProcOp};
 
 /// Everything one process needs, derived by brute-force scan.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -241,6 +241,135 @@ pub fn agree_with_procir(
     Ok(compared)
 }
 
+/// Extend the agreement check to an *optimized* module: run
+/// [`agree_with_procir`] on the pre-opt elaboration (the optimizer never
+/// changes what was compiled, only how it executes), then reconcile the
+/// `systolic-opt-v1` mapping report against both modules so codegen can
+/// trust it. Verified here: shape counts, an injective+dense process
+/// map that preserves labels, deleted processes being exactly the fused
+/// relays (and transport-only: no `Compute`/`Emit`/`Collect`, no host
+/// output), every computation process surviving with its repeater, and
+/// each chain's entry channel surviving as the delay ring while its
+/// exit channel is deleted. Returns the number of computation processes
+/// compared by the base check.
+pub fn agree_with_opt(
+    plan: &SystolicProgram,
+    env: &Env,
+    el: &Elaborated,
+    o: &OptimizedModule,
+) -> Result<usize, String> {
+    let compared = agree_with_procir(plan, env, el)?;
+    let r = &o.report;
+    let pre = &el.module;
+    let post = &o.module;
+    let shape = [
+        ("processes_before", r.processes_before, pre.procs.len()),
+        ("processes_after", r.processes_after, post.procs.len()),
+        ("channels_before", r.channels_before, pre.n_chans),
+        ("channels_after", r.channels_after, post.n_chans),
+        ("proc_map length", r.proc_map.len(), pre.procs.len()),
+        ("chan_map length", r.chan_map.len(), pre.n_chans),
+    ];
+    for (what, got, want) in shape {
+        if got != want {
+            return Err(format!("report {what}: {got} vs module {want}"));
+        }
+    }
+
+    // The process map must be injective onto the post module, dense
+    // (every surviving process has a preimage), and label-preserving.
+    let mut preimage: Vec<Option<usize>> = vec![None; post.procs.len()];
+    for (pid, m) in r.proc_map.iter().enumerate() {
+        let Some(q) = *m else { continue };
+        if q >= post.procs.len() {
+            return Err(format!("proc_map[{pid}] = {q} out of range"));
+        }
+        if let Some(prev) = preimage[q] {
+            return Err(format!("proc_map sends both {prev} and {pid} to {q}"));
+        }
+        preimage[q] = Some(pid);
+        if pre.label_of(pid) != post.label_of(q) {
+            return Err(format!(
+                "label changed across the map: {:?} -> {:?}",
+                pre.label_of(pid),
+                post.label_of(q)
+            ));
+        }
+    }
+    if let Some(q) = preimage.iter().position(|p| p.is_none()) {
+        return Err(format!("post process {q} has no preimage in proc_map"));
+    }
+
+    // Deleted processes are exactly the chains' relays, and each was
+    // transport-only in the pre-opt module.
+    let relays: BTreeSet<usize> = r.chains.iter().flat_map(|c| c.relays.clone()).collect();
+    for (pid, m) in r.proc_map.iter().enumerate() {
+        match (m.is_some(), relays.contains(&pid)) {
+            (false, false) => {
+                return Err(format!("process {pid} deleted but not in any chain"));
+            }
+            (true, true) => {
+                return Err(format!("process {pid} is a chain relay yet survives"));
+            }
+            _ => {}
+        }
+        if m.is_none() {
+            let transport = pre.ops_of(pid).iter().all(|op| {
+                matches!(
+                    op,
+                    ProcOp::Pass { .. }
+                        | ProcOp::Keep { .. }
+                        | ProcOp::Eject { .. }
+                        | ProcOp::Compute { count: 0 }
+                )
+            });
+            if !transport || pre.procs[pid].output.is_some() {
+                return Err(format!("fused process {pid} was not transport-only"));
+            }
+        }
+    }
+
+    // Every computation process survives, repeater intact.
+    for (y, pid) in &el.comp_at {
+        let q = r.proc_map[*pid]
+            .ok_or_else(|| format!("computation process at {y:?} was fused away"))?;
+        let count = |ops: &[ProcOp]| {
+            ops.iter()
+                .filter_map(|op| match op {
+                    ProcOp::Compute { count } => Some(*count),
+                    _ => None,
+                })
+                .sum::<u64>()
+        };
+        let (a, b) = (count(pre.ops_of(*pid)), count(post.ops_of(q)));
+        if a != b {
+            return Err(format!("comp at {y:?}: repeater {a} became {b}"));
+        }
+    }
+
+    // Chain channel bookkeeping: entry survives as the ring, exit (and
+    // everything interior) is gone, and the granted capacity is the one
+    // the batch analysis will see.
+    for (i, c) in r.chains.iter().enumerate() {
+        if r.chan_map.get(c.entry).copied().flatten() != Some(c.surviving) {
+            return Err(format!("chain {i}: entry {} does not survive as {}", c.entry, c.surviving));
+        }
+        if r.chan_map.get(c.exit).copied().flatten().is_some() {
+            return Err(format!("chain {i}: exit channel {} survives", c.exit));
+        }
+        if c.capacity < 1 {
+            return Err(format!("chain {i}: zero-capacity delay ring"));
+        }
+        if o.chan_caps.get(c.surviving).copied().unwrap_or(0) < c.capacity {
+            return Err(format!(
+                "chain {i}: chan_caps[{}] below the granted capacity {}",
+                c.surviving, c.capacity
+            ));
+        }
+    }
+    Ok(compared)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +393,47 @@ mod tests {
                 assert!(compared > 0);
             }
         }
+    }
+
+    #[test]
+    fn agreement_extends_to_optimized_modules_on_all_designs() {
+        use systolic_runtime::OptMode;
+        let mut optimized_somewhere = false;
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            for n in [2i64, 4] {
+                let mut env = Env::new();
+                env.bind(p.sizes[0], n);
+                let store = HostStore::allocate(&p, &env);
+                let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+                let Some(o) = el.optimize(OptMode::Auto) else {
+                    continue;
+                };
+                optimized_somewhere = true;
+                let compared = agree_with_opt(&plan, &env, &el, &o)
+                    .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+                assert_eq!(compared, el.comp_at.len());
+            }
+        }
+        assert!(optimized_somewhere, "no paper design produced an optimized module");
+    }
+
+    #[test]
+    fn a_corrupted_report_fails_the_agreement_check() {
+        use systolic_runtime::OptMode;
+        let (p, a) = paper::matmul_e2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let store = HostStore::allocate(&p, &env);
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+        let mut o = el.optimize(OptMode::Auto).expect("E.2 has relay chains");
+        assert!(agree_with_opt(&plan, &env, &el, &o).is_ok());
+        // Claim a computation process was fused away.
+        let victim = el.comp_at[0].1;
+        o.report.proc_map[victim] = None;
+        let err = agree_with_opt(&plan, &env, &el, &o).unwrap_err();
+        assert!(err.contains("has no preimage"), "{err}");
     }
 
     #[test]

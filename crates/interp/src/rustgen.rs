@@ -89,7 +89,42 @@ fn rust_body(src: &SourceProgram, indent: &str, out: &mut String) {
 /// Generate the complete standalone Rust program. `seed` drives the
 /// embedded input data (same LCG as [`HostStore::fill_random`]).
 pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
-    // Input data and expected results.
+    let (el, expect_of) = prepared(plan, env, seed);
+    emit_program(plan, &el.module, &expect_of, None)
+}
+
+/// Generate from the *optimized* module: relay chains become channel
+/// capacity instead of threads, so the emitted program has one thread
+/// per surviving process and a `sync_channel` sized to each delay ring.
+/// The mapping report is validated against the elaboration first
+/// ([`crate::runtime_gen::agree_with_opt`]) so codegen never emits a
+/// network that silently diverges from what was simulated; the report
+/// summary is recorded in the generated header. Falls back to
+/// [`generate_rust`] when the optimizer leaves the module untouched.
+pub fn generate_rust_opt(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
+    let (el, expect_of) = prepared(plan, env, seed);
+    let Some(o) = el.optimize(systolic_runtime::OptMode::Auto) else {
+        return emit_program(plan, &el.module, &expect_of, None);
+    };
+    crate::runtime_gen::agree_with_opt(plan, env, &el, &o)
+        .expect("optimizer mapping report reconciles with the elaboration");
+    let caps: Vec<u64> = (0..o.module.n_chans)
+        .map(|c| o.chan_caps.get(c).copied().unwrap_or(0).max(1))
+        .collect();
+    let mut out = emit_program(plan, &o.module, &expect_of, Some(&caps));
+    let note = format!("//! Optimized: {}.\n", o.report.summary());
+    let insert = out.find("use std::").expect("generated preamble");
+    out.insert_str(insert, &note);
+    out
+}
+
+/// Elaborate at the generation size and pair each output-buffer index
+/// with its sequentially-computed expected values.
+fn prepared(
+    plan: &SystolicProgram,
+    env: &Env,
+    seed: u64,
+) -> (crate::elaborate::Elaborated, HashMap<u32, Vec<i64>>) {
     let mut store = HostStore::allocate(&plan.source, env);
     for (i, v) in plan.source.variables.iter().enumerate() {
         store.fill_random(&v.name, seed.wrapping_add(i as u64), -9, 9);
@@ -99,9 +134,6 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
 
     let el = elaborate(plan, env, &store, &ElabOptions::default())
         .expect("plan elaborates at the generation size");
-    let module = &el.module;
-
-    // Output-buffer index -> expected values (sequential reference).
     let expect_of: HashMap<u32, Vec<i64>> = el
         .outputs
         .iter()
@@ -114,7 +146,18 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
             (spec.output, vals)
         })
         .collect();
+    (el, expect_of)
+}
 
+/// Render one module as the standalone program. `caps` is the
+/// per-channel buffer capacity (delay rings from the optimizer); `None`
+/// means the paper's uniform "buffer of size 1".
+fn emit_program(
+    plan: &SystolicProgram,
+    module: &systolic_runtime::ProcIrModule,
+    expect_of: &HashMap<u32, Vec<i64>>,
+    caps: Option<&[u64]>,
+) -> String {
     let mut bodies: Vec<String> = Vec::new();
     for pid in 0..module.procs.len() {
         let rec = &module.procs[pid];
@@ -282,11 +325,25 @@ pub fn generate_rust(plan: &SystolicProgram, env: &Env, seed: u64) -> String {
         out,
         "    let mut receivers: Vec<Option<std::sync::mpsc::Receiver<i64>>> = Vec::new();"
     );
-    let _ = writeln!(out, "    for _ in 0..NCHAN {{");
-    let _ = writeln!(out, "        let (s, r) = sync_channel::<i64>(1);");
-    let _ = writeln!(out, "        senders.push(Some(s));");
-    let _ = writeln!(out, "        receivers.push(Some(r));");
-    let _ = writeln!(out, "    }}");
+    match caps {
+        None => {
+            let _ = writeln!(out, "    for _ in 0..NCHAN {{");
+            let _ = writeln!(out, "        let (s, r) = sync_channel::<i64>(1);");
+            let _ = writeln!(out, "        senders.push(Some(s));");
+            let _ = writeln!(out, "        receivers.push(Some(r));");
+            let _ = writeln!(out, "    }}");
+        }
+        Some(caps) => {
+            let caps: Vec<usize> = caps.iter().map(|&c| c as usize).collect();
+            let _ = writeln!(out, "    // Delay-ring capacities from the optimizer.");
+            let _ = writeln!(out, "    const CAPS: [usize; NCHAN] = {caps:?};");
+            let _ = writeln!(out, "    for c in 0..NCHAN {{");
+            let _ = writeln!(out, "        let (s, r) = sync_channel::<i64>(CAPS[c]);");
+            let _ = writeln!(out, "        senders.push(Some(s));");
+            let _ = writeln!(out, "        receivers.push(Some(r));");
+            let _ = writeln!(out, "    }}");
+        }
+    }
     let _ = writeln!(out, "    let mut handles = Vec::new();");
     let _ = writeln!(
         out,
@@ -330,6 +387,49 @@ mod tests {
         assert!(src.contains("l2 = (l2 + (l0 * l1));"));
         // Balanced braces.
         assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+
+    #[test]
+    fn optimized_generation_drops_relay_threads_and_sizes_the_rings() {
+        let (p, a) = paper::matmul_e2();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(p.sizes[0], 4);
+        let store = HostStore::allocate(&p, &env);
+        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+        let o = el
+            .optimize(systolic_runtime::OptMode::Auto)
+            .expect("E.2 has relay chains to fuse");
+        let src = generate_rust_opt(&plan, &env, 7);
+        assert!(src.contains("//! Optimized:"));
+        assert!(src.contains("const CAPS: [usize; NCHAN]"));
+        assert!(src.contains(&format!("const NCHAN: usize = {};", o.module.n_chans)));
+        // One `thread::spawn` per surviving process — the fused relays
+        // are gone from the generated program too.
+        assert_eq!(src.matches("thread::spawn").count(), o.module.procs.len());
+        assert!(o.module.procs.len() < el.module.procs.len());
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+
+    #[test]
+    fn untouched_modules_fall_back_to_plain_generation() {
+        // A design the optimizer leaves alone generates the same program
+        // through both entry points.
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let mut env = Env::new();
+            env.bind(p.sizes[0], 2);
+            let store = HostStore::allocate(&p, &env);
+            let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+            if el.optimize(systolic_runtime::OptMode::Auto).is_some() {
+                continue;
+            }
+            assert_eq!(
+                generate_rust(&plan, &env, 7),
+                generate_rust_opt(&plan, &env, 7),
+                "{label}"
+            );
+        }
     }
 
     #[test]

@@ -71,6 +71,11 @@ impl Affine {
         self.constant
     }
 
+    /// The non-zero terms, sorted by variable.
+    pub fn terms(&self) -> &[(Var, Rational)] {
+        &self.terms
+    }
+
     /// The coefficient of `v` (zero if absent).
     pub fn coeff(&self, v: Var) -> Rational {
         self.terms

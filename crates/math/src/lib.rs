@@ -15,7 +15,9 @@
 //!   problem-size and process-coordinate variables, chained-inequality
 //!   guards, and guarded piecewise values (`if .. [] .. fi`);
 //! - [`linsolve`] — Gaussian elimination with symbolic right-hand sides
-//!   (the face equations of Sec. 7.2.2).
+//!   (the face equations of Sec. 7.2.2);
+//! - [`speceval`] — size-specialized integer evaluators for the piecewise
+//!   forms, the fast path of elaboration's per-point sweep.
 
 pub mod affine;
 pub mod guard;
@@ -23,6 +25,7 @@ pub mod linsolve;
 pub mod matrix;
 pub mod point;
 pub mod rational;
+pub mod speceval;
 pub mod symbols;
 
 pub use affine::{Affine, AffinePoint};
@@ -30,4 +33,5 @@ pub use guard::{Chain, Guard, Piecewise};
 pub use matrix::Matrix;
 pub use point::{Point, RatPoint};
 pub use rational::Rational;
+pub use speceval::{SpecAffine, SpecCount, SpecPiecewise};
 pub use symbols::{Env, Var, VarKind, VarTable};

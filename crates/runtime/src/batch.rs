@@ -123,6 +123,18 @@ impl BatchPlan {
 /// widths. Pure structural analysis, O(ops); runs once per elaboration,
 /// never per step.
 pub fn analyze(module: &ProcIrModule) -> BatchPlan {
+    analyze_with_caps(module, &[])
+}
+
+/// [`analyze`], with per-channel minimum ring capacities layered on
+/// top: `widths[c]` is raised to `caps[c]` where given. This is how the
+/// optimizer's delay rings (`crate::opt`) reach the engines — a fused
+/// chain's surviving channel must hold the chain's whole buffering,
+/// overriding both the width clamp and the `Keep`/`Eject` pin (safe
+/// because extra ring slack never changes a Kahn network's streams,
+/// only its timing; the optimizer's contract is store identity, not
+/// stat invariance).
+pub fn analyze_with_caps(module: &ProcIrModule, caps: &[u64]) -> BatchPlan {
     let nc = module.n_chans;
     let mut producer_of: Vec<Option<ProcId>> = vec![None; nc];
     let mut consumer_of: Vec<Option<ProcId>> = vec![None; nc];
@@ -218,11 +230,12 @@ pub fn analyze(module: &ProcIrModule) -> BatchPlan {
 
     let widths = (0..nc)
         .map(|c| {
-            if pinned[c] {
+            let base = if pinned[c] {
                 1
             } else {
                 prod_traffic[c].clamp(1, DEFAULT_BATCH_WIDTH)
-            }
+            };
+            base.max(caps.get(c).copied().unwrap_or(0))
         })
         .collect();
     BatchPlan {

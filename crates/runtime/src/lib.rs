@@ -27,6 +27,7 @@
 
 pub mod batch;
 pub mod coop;
+pub mod opt;
 pub mod partition;
 pub mod process;
 pub mod procir;
@@ -34,7 +35,8 @@ pub mod record;
 pub mod schedule;
 pub mod threaded;
 
-pub use batch::{analyze, BatchMode, BatchPlan, Ring, DEFAULT_BATCH_WIDTH};
+pub use batch::{analyze, analyze_with_caps, BatchMode, BatchPlan, Ring, DEFAULT_BATCH_WIDTH};
+pub use opt::{optimize, ChainRecord, OptMode, OptReport, OptimizedModule};
 pub use coop::{
     run_coop_batched, ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats,
     TraceEvent,

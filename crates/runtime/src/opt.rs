@@ -1,0 +1,820 @@
+//! The ProcIR optimizer: relay-chain fusion into delay rings, plus op
+//! peepholes that feed it.
+//!
+//! Elaboration (Sec. 7.6 and `PS \ CS`) manufactures large numbers of
+//! processes that exist only to *delay* values: the `d - 1` internal
+//! buffers of fractional flow and the external relay pipes between
+//! non-adjacent cells. Each is a single `pass s, n` — a pure FIFO of
+//! depth 1 with a rendezvous handshake on both sides. After batching
+//! (`crate::batch`) they still cost a VM, two ring endpoints, and a
+//! scheduler visit per value. This pass erases them: a maximal linear
+//! chain of `Pass`-only processes with unique endpoints and balanced
+//! traffic collapses into a single **delay ring** — the chain's entry
+//! channel survives with a fixed capacity at least the chain's total
+//! buffering, the consumer is rewired onto it, and the relay processes
+//! and interior channels are deleted outright.
+//!
+//! Legality is the Kahn-network argument one level up from batching
+//! (`docs/scheduler.md`): a pure relay computes the identity stream
+//! function, so fusing a chain changes neither the value sequence any
+//! surviving process reads nor the order it reads it in — only the
+//! *timing*. Granting the surviving channel the chain's worst-case
+//! buffering (`Σ widths + k` holding slots for `k` relays, clamped to
+//! the total traffic) makes every schedule of the original module
+//! replayable on the fused one, so termination and stores are
+//! preserved. What is **not** preserved is the logical step/message
+//! count — each fused relay retires `2n` steps and `n` messages that no
+//! longer happen — so unlike batching, optimization is observable in
+//! the stats. The contract is: stores bit-identical, counts free to
+//! shrink, and every structural decision written into a
+//! [`OptReport`] (`systolic-opt-v1`) the caller can thread into
+//! metrics, the CLI, and the codegen agreement check.
+//!
+//! Pass ordering: op peepholes run **first** (drop zero-iteration ops,
+//! merge consecutive same-pair `Pass` repetitions, fuse an adjacent
+//! `Keep`/`Eject` pair into a `Pass` when the local is dead), because
+//! they can turn a process *into* a pure relay that chain fusion then
+//! consumes. The peepholes alone are stat-invariant; only chain
+//! deletion changes counts.
+
+use crate::batch::DEFAULT_BATCH_WIDTH;
+use crate::process::ChanId;
+use crate::procir::{MovingLink, ProcId, ProcIrModule, ProcOp, ProcRecord};
+use std::sync::Arc;
+
+/// Whether a run may apply the optimizer at all. `Auto` optimizes
+/// whenever the module proves out (and the run is on the batched path —
+/// delay rings only exist there); `Off` keeps the elaborated module
+/// verbatim and is the exactness oracle (`--opt off`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptMode {
+    #[default]
+    Auto,
+    Off,
+}
+
+/// One fused relay chain, in pre-optimization ids except where noted.
+#[derive(Clone, Debug)]
+pub struct ChainRecord {
+    /// The chain's entry channel (producer side). This channel survives
+    /// and becomes the delay ring.
+    pub entry: ChanId,
+    /// The chain's exit channel (consumer side); deleted, with the
+    /// consumer rewired onto `entry`.
+    pub exit: ChanId,
+    /// `entry` under the post-optimization dense renumbering.
+    pub surviving: ChanId,
+    /// The fused relay processes, in flow order.
+    pub relays: Vec<ProcId>,
+    /// Per-relay repetition count (identical along the chain).
+    pub traffic: u64,
+    /// Ring capacity granted to the surviving channel: at least the
+    /// chain's worst-case buffering, at most its total traffic.
+    pub capacity: u64,
+}
+
+/// The `systolic-opt-v1` mapping report: what the optimizer did, in
+/// enough detail for metrics, the CLI, and the codegen agreement check
+/// to reconcile the optimized module with the elaborated one.
+#[derive(Clone, Debug, Default)]
+pub struct OptReport {
+    pub processes_before: usize,
+    pub processes_after: usize,
+    pub channels_before: usize,
+    pub channels_after: usize,
+    pub ops_before: usize,
+    pub ops_after: usize,
+    /// Zero-iteration `Pass`/`Compute` ops dropped.
+    pub zero_ops_dropped: u64,
+    /// Consecutive same-pair `Pass` ops merged away.
+    pub passes_merged: u64,
+    /// Adjacent `Keep`/`Eject` pairs rewritten to `Pass`.
+    pub keep_eject_fused: u64,
+    /// Every fused chain, in discovery order.
+    pub chains: Vec<ChainRecord>,
+    /// Pre-opt `ProcId` → post-opt `ProcId`; `None` = deleted (fused
+    /// into a delay ring).
+    pub proc_map: Vec<Option<ProcId>>,
+    /// Pre-opt `ChanId` → post-opt `ChanId`; `None` = deleted.
+    pub chan_map: Vec<Option<ChanId>>,
+}
+
+impl OptReport {
+    /// Total relay processes deleted by chain fusion.
+    pub fn fused_relays(&self) -> usize {
+        self.chains.iter().map(|c| c.relays.len()).sum()
+    }
+
+    /// One-line human summary for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} relays fused into {} delay rings, {}→{} processes, {}→{} channels, \
+             {} passes merged, {} keep/eject pairs fused, {} zero ops dropped",
+            self.fused_relays(),
+            self.chains.len(),
+            self.processes_before,
+            self.processes_after,
+            self.channels_before,
+            self.channels_after,
+            self.passes_merged,
+            self.keep_eject_fused,
+            self.zero_ops_dropped,
+        )
+    }
+
+    /// Serialize as `systolic-opt-v1` JSON (hand-rolled like every other
+    /// report in this codebase; no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"systolic-opt-v1\",\n");
+        s.push_str(&format!(
+            "  \"processes_before\": {},\n  \"processes_after\": {},\n",
+            self.processes_before, self.processes_after
+        ));
+        s.push_str(&format!(
+            "  \"channels_before\": {},\n  \"channels_after\": {},\n",
+            self.channels_before, self.channels_after
+        ));
+        s.push_str(&format!(
+            "  \"ops_before\": {},\n  \"ops_after\": {},\n",
+            self.ops_before, self.ops_after
+        ));
+        s.push_str(&format!(
+            "  \"zero_ops_dropped\": {},\n  \"passes_merged\": {},\n  \"keep_eject_fused\": {},\n",
+            self.zero_ops_dropped, self.passes_merged, self.keep_eject_fused
+        ));
+        s.push_str("  \"chains\": [");
+        for (i, c) in self.chains.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{ \"entry\": {}, \"exit\": {}, \"surviving\": {}, \
+                 \"relays\": {}, \"traffic\": {}, \"capacity\": {} }}",
+                c.entry,
+                c.exit,
+                c.surviving,
+                c.relays.len(),
+                c.traffic,
+                c.capacity
+            ));
+        }
+        if !self.chains.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse a `systolic-opt-v1` report back. Inverse of
+    /// [`OptReport::to_json`] up to the fields the JSON carries: the
+    /// proc/chan maps are not serialized, and each chain's relay list
+    /// comes back as `relays.len()` placeholder ids. Round-trip holds as
+    /// `to_json(from_json(j)) == j` for any `j` produced by `to_json`.
+    pub fn from_json(json: &str) -> Option<OptReport> {
+        if !json.contains("\"schema\": \"systolic-opt-v1\"") {
+            return None;
+        }
+        fn grab(s: &str, key: &str) -> Option<u64> {
+            let pat = format!("\"{key}\": ");
+            let at = s.find(&pat)? + pat.len();
+            let rest = &s[at..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        }
+        let mut r = OptReport {
+            processes_before: grab(json, "processes_before")? as usize,
+            processes_after: grab(json, "processes_after")? as usize,
+            channels_before: grab(json, "channels_before")? as usize,
+            channels_after: grab(json, "channels_after")? as usize,
+            ops_before: grab(json, "ops_before")? as usize,
+            ops_after: grab(json, "ops_after")? as usize,
+            zero_ops_dropped: grab(json, "zero_ops_dropped")?,
+            passes_merged: grab(json, "passes_merged")?,
+            keep_eject_fused: grab(json, "keep_eject_fused")?,
+            ..OptReport::default()
+        };
+        let chains_at = json.find("\"chains\": [")?;
+        let mut rest = &json[chains_at..];
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..].find('}')? + open;
+            let obj = &rest[open..=close];
+            r.chains.push(ChainRecord {
+                entry: grab(obj, "entry")? as ChanId,
+                exit: grab(obj, "exit")? as ChanId,
+                surviving: grab(obj, "surviving")? as ChanId,
+                relays: vec![0; grab(obj, "relays")? as usize],
+                traffic: grab(obj, "traffic")?,
+                capacity: grab(obj, "capacity")?,
+            });
+            rest = &rest[close + 1..];
+        }
+        Some(r)
+    }
+}
+
+/// An optimized module plus everything the executors and codegen need
+/// to run it: the per-channel minimum ring capacities (the delay rings;
+/// `0` = no requirement beyond the batch analysis) and the mapping
+/// report.
+pub struct OptimizedModule {
+    pub module: Arc<ProcIrModule>,
+    /// Minimum ring capacity per post-opt channel; feed to
+    /// [`crate::batch::analyze_with_caps`].
+    pub chan_caps: Vec<u64>,
+    pub report: OptReport,
+}
+
+/// Per-channel endpoint/traffic facts of the cleaned module, mirroring
+/// `crate::batch::analyze` (which the fused module still runs through).
+struct Endpoints {
+    producer_of: Vec<Option<ProcId>>,
+    consumer_of: Vec<Option<ProcId>>,
+    traffic: Vec<u64>,
+    pinned: Vec<bool>,
+}
+
+/// Run the pass pipeline. Returns `None` when the module is left
+/// untouched: nothing to rewrite, or an endpoint/traffic shape the
+/// legality analysis cannot prove (two producers or consumers on a
+/// channel, unbalanced traffic) — exactly the shapes `crate::batch`
+/// also rejects, so the caller's fallback is the same rendezvous path.
+pub fn optimize(module: &Arc<ProcIrModule>) -> Option<OptimizedModule> {
+    let mut report = OptReport {
+        processes_before: module.procs.len(),
+        channels_before: module.n_chans,
+        ops_before: module.ops.len(),
+        proc_map: vec![None; module.procs.len()],
+        chan_map: vec![None; module.n_chans],
+        ..OptReport::default()
+    };
+
+    // Phase 1: op peepholes, per process, on copies of the op lists.
+    let cleaned: Vec<Vec<ProcOp>> = (0..module.procs.len())
+        .map(|pid| peephole(module, pid, &mut report))
+        .collect();
+    let touched_ops = report.zero_ops_dropped + report.passes_merged + report.keep_eject_fused > 0;
+
+    // Phase 2: endpoint facts on the cleaned ops. A shape the analysis
+    // cannot prove unique/balanced rejects the whole module.
+    let ends = endpoints(module, &cleaned)?;
+
+    // Phase 3: chain discovery over pure relays.
+    let chains = find_chains(module, &cleaned, &ends);
+    if chains.is_empty() && !touched_ops {
+        return None;
+    }
+
+    // Phase 4: rebuild the module without the fused relays.
+    Some(rebuild(module, cleaned, chains, report))
+}
+
+/// The op peepholes for one process: drop zero-iteration ops, fuse an
+/// adjacent dead `Keep`/`Eject` pair into a `Pass`, merge consecutive
+/// same-pair `Pass` repetitions. Each rewrite is stat-invariant (the
+/// rewritten ops retire the same logical sets and transfers).
+fn peephole(module: &ProcIrModule, pid: ProcId, report: &mut OptReport) -> Vec<ProcOp> {
+    // Pass A: zero-iteration ops retire no sets; deleting them is
+    // invisible (and can make a keep/eject pair adjacent).
+    let mut ops: Vec<ProcOp> = Vec::with_capacity(module.ops_of(pid).len());
+    for &op in module.ops_of(pid) {
+        match op {
+            ProcOp::Pass { n: 0, .. } | ProcOp::Compute { count: 0 } => {
+                report.zero_ops_dropped += 1;
+            }
+            _ => ops.push(op),
+        }
+    }
+
+    // Pass B: slot liveness. A slot is *live* — and its keep/eject
+    // pairs must stay — when a basic statement might read it (any
+    // surviving Compute: the body sees all locals), a moving link flows
+    // through it, or any Keep/Eject touches it outside an adjacent
+    // keep-then-eject pair. Dead slots exist only to forward one value,
+    // which is exactly `pass 1`.
+    let n_locals = module.procs[pid].n_locals as usize;
+    let mut slot_live = vec![false; n_locals];
+    if ops.iter().any(|o| matches!(o, ProcOp::Compute { .. })) {
+        slot_live.iter_mut().for_each(|l| *l = true);
+    }
+    for mc in module.moving_of(pid) {
+        slot_live[mc.slot as usize] = true;
+    }
+    let adjacent_pair = |i: usize| -> Option<(ChanId, ChanId, u32)> {
+        if let (
+            Some(&ProcOp::Keep { chan: c_in, slot }),
+            Some(&ProcOp::Eject { chan: c_out, slot: s2 }),
+        ) = (ops.get(i), ops.get(i + 1))
+        {
+            if slot == s2 && c_in != c_out {
+                return Some((c_in, c_out, slot));
+            }
+        }
+        None
+    };
+    let mut i = 0;
+    while i < ops.len() {
+        if adjacent_pair(i).is_some() {
+            i += 2;
+        } else {
+            if let ProcOp::Keep { slot, .. } | ProcOp::Eject { slot, .. } = ops[i] {
+                slot_live[slot as usize] = true;
+            }
+            i += 1;
+        }
+    }
+
+    // Pass C: rewrite dead keep/eject pairs to `pass 1` and merge
+    // consecutive same-pair passes (the repetition counts simply add).
+    let mut out: Vec<ProcOp> = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let op = match adjacent_pair(i) {
+            Some((c_in, c_out, slot)) if !slot_live[slot as usize] => {
+                report.keep_eject_fused += 1;
+                i += 2;
+                ProcOp::Pass {
+                    inp: c_in,
+                    out: c_out,
+                    n: 1,
+                }
+            }
+            _ => {
+                i += 1;
+                ops[i - 1]
+            }
+        };
+        if let (
+            Some(ProcOp::Pass {
+                inp: pi,
+                out: po,
+                n: pn,
+            }),
+            ProcOp::Pass { inp, out, n },
+        ) = (out.last_mut(), op)
+        {
+            if *pi == inp && *po == out {
+                *pn = pn.saturating_add(n);
+                report.passes_merged += 1;
+                continue;
+            }
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// Unique-endpoint and traffic facts over the cleaned ops, or `None`
+/// when a channel has two producers/consumers or unbalanced traffic.
+fn endpoints(module: &ProcIrModule, cleaned: &[Vec<ProcOp>]) -> Option<Endpoints> {
+    let nc = module.n_chans;
+    let mut producer_of: Vec<Option<ProcId>> = vec![None; nc];
+    let mut consumer_of: Vec<Option<ProcId>> = vec![None; nc];
+    let mut prod = vec![0u64; nc];
+    let mut cons = vec![0u64; nc];
+    let mut pinned = vec![false; nc];
+    let mut ok = true;
+    let mut claim = |tbl: &mut Vec<Option<ProcId>>, chan: ChanId, pid: ProcId| match tbl[chan] {
+        None => tbl[chan] = Some(pid),
+        Some(prev) if prev == pid => {}
+        Some(_) => ok = false,
+    };
+    for (pid, ops) in cleaned.iter().enumerate() {
+        for op in ops {
+            match *op {
+                ProcOp::Emit { chan } => {
+                    claim(&mut producer_of, chan, pid);
+                    prod[chan] += 1;
+                }
+                ProcOp::Collect { chan } => {
+                    claim(&mut consumer_of, chan, pid);
+                    cons[chan] += 1;
+                }
+                ProcOp::Keep { chan, .. } => {
+                    claim(&mut consumer_of, chan, pid);
+                    cons[chan] += 1;
+                    pinned[chan] = true;
+                }
+                ProcOp::Eject { chan, .. } => {
+                    claim(&mut producer_of, chan, pid);
+                    prod[chan] += 1;
+                    pinned[chan] = true;
+                }
+                ProcOp::Pass { inp, out, n } => {
+                    claim(&mut consumer_of, inp, pid);
+                    cons[inp] = cons[inp].saturating_add(n);
+                    claim(&mut producer_of, out, pid);
+                    prod[out] = prod[out].saturating_add(n);
+                }
+                ProcOp::Compute { count } => {
+                    for mc in module.moving_of(pid) {
+                        claim(&mut consumer_of, mc.inp, pid);
+                        cons[mc.inp] = cons[mc.inp].saturating_add(count);
+                        claim(&mut producer_of, mc.out, pid);
+                        prod[mc.out] = prod[mc.out].saturating_add(count);
+                    }
+                }
+            }
+        }
+    }
+    if !ok || prod != cons {
+        return None;
+    }
+    Some(Endpoints {
+        producer_of,
+        consumer_of,
+        traffic: prod,
+        pinned,
+    })
+}
+
+/// A process is a pure relay when, after cleanup, it is exactly one
+/// `Pass` between distinct channels and nothing else — no locals, no
+/// moving links, no output buffer. Such a process computes the identity
+/// stream function, so it (and only it) is a fusion candidate; in
+/// particular a `Keep`/`Eject` endpoint can never be fused away.
+fn pure_relay(module: &ProcIrModule, cleaned: &[Vec<ProcOp>], pid: ProcId) -> Option<(ChanId, ChanId, u64)> {
+    match cleaned[pid][..] {
+        [ProcOp::Pass { inp, out, n }]
+            if inp != out
+                && n > 0
+                && module.moving_of(pid).is_empty()
+                && module.procs[pid].output.is_none() =>
+        {
+            Some((inp, out, n))
+        }
+        _ => None,
+    }
+}
+
+/// Discover maximal linear chains of pure relays. Each chain needs a
+/// real (non-relay) producer feeding its entry channel and a real
+/// consumer on its exit channel — a cycle of pure relays has neither
+/// and is left alone.
+fn find_chains(
+    module: &ProcIrModule,
+    cleaned: &[Vec<ProcOp>],
+    ends: &Endpoints,
+) -> Vec<ChainRecord> {
+    let n = module.procs.len();
+    let mut in_chain = vec![false; n];
+    let mut chains = Vec::new();
+    for seed in 0..n {
+        if in_chain[seed] {
+            continue;
+        }
+        let Some((mut inp, _, traffic)) = pure_relay(module, cleaned, seed) else {
+            continue;
+        };
+        // Walk upstream to the chain's head, guarding against relay
+        // cycles with a membership set.
+        let mut members = vec![seed];
+        let mut head = seed;
+        while let Some(p) = ends.producer_of[inp] {
+            if in_chain[p] || members.contains(&p) {
+                break;
+            }
+            let Some((pi, _, pn)) = pure_relay(module, cleaned, p) else {
+                break;
+            };
+            if pn != traffic {
+                break;
+            }
+            members.insert(0, p);
+            head = p;
+            inp = pi;
+        }
+        // Walk downstream from the tail.
+        let (_, mut out, _) = pure_relay(module, cleaned, *members.last().unwrap()).unwrap();
+        while let Some(c) = ends.consumer_of[out] {
+            if in_chain[c] || members.contains(&c) {
+                break;
+            }
+            let Some((_, co, cn)) = pure_relay(module, cleaned, c) else {
+                break;
+            };
+            if cn != traffic {
+                break;
+            }
+            members.push(c);
+            out = co;
+        }
+        let (entry, _, _) = pure_relay(module, cleaned, head).unwrap();
+        let exit = out;
+        // Both external endpoints must exist outside the chain, and the
+        // entry/exit channels must be distinct (a closed relay loop is
+        // not a delay line).
+        let producer = ends.producer_of[entry];
+        let consumer = ends.consumer_of[exit];
+        let external = |p: &Option<ProcId>| matches!(p, Some(pid) if !members.contains(pid));
+        if entry == exit || !external(&producer) || !external(&consumer) {
+            continue;
+        }
+        for &m in &members {
+            in_chain[m] = true;
+        }
+        // Capacity: the chain's worst-case in-flight buffering under the
+        // batch analysis — each channel's ring width plus one held value
+        // per relay — clamped to the total traffic (more can never be in
+        // flight) and at least 1.
+        let width = |c: ChanId| {
+            if ends.pinned[c] {
+                1
+            } else {
+                ends.traffic[c].clamp(1, DEFAULT_BATCH_WIDTH)
+            }
+        };
+        let mut cap = width(entry) + members.len() as u64;
+        let mut c = entry;
+        for &m in &members {
+            let (_, o, _) = pure_relay(module, cleaned, m).unwrap();
+            cap = cap.saturating_add(width(o));
+            c = o;
+        }
+        debug_assert_eq!(c, exit);
+        let capacity = cap.min(traffic).max(1);
+        chains.push(ChainRecord {
+            entry,
+            exit,
+            surviving: entry, // renumbered in `rebuild`
+            relays: members,
+            traffic,
+            capacity,
+        });
+    }
+    chains
+}
+
+/// Rebuild the arena without the fused relays: rewire every reference
+/// to a chain's exit channel onto its entry channel, drop the interior
+/// channels, and renumber processes and channels densely.
+fn rebuild(
+    module: &Arc<ProcIrModule>,
+    cleaned: Vec<Vec<ProcOp>>,
+    mut chains: Vec<ChainRecord>,
+    mut report: OptReport,
+) -> OptimizedModule {
+    let nc = module.n_chans;
+    let mut removed_proc = vec![false; module.procs.len()];
+    let mut redirect: Vec<ChanId> = (0..nc).collect();
+    let mut dropped_chan = vec![false; nc];
+    for ch in &chains {
+        for &pid in &ch.relays {
+            removed_proc[pid] = true;
+        }
+        redirect[ch.exit] = ch.entry;
+        dropped_chan[ch.exit] = true;
+        // Interior channels: every relay's input except the entry.
+        for &pid in &ch.relays[1..] {
+            if let [ProcOp::Pass { inp, .. }] = cleaned[pid][..] {
+                dropped_chan[inp] = true;
+            }
+        }
+    }
+    let resolve = |mut c: ChanId| {
+        while redirect[c] != c {
+            c = redirect[c];
+        }
+        c
+    };
+
+    // Dense channel renumbering over the survivors.
+    let mut next = 0;
+    for c in 0..nc {
+        if !dropped_chan[c] {
+            report.chan_map[c] = Some(next);
+            next += 1;
+        }
+    }
+    let new_nc = next;
+    let remap = |c: ChanId| report.chan_map[resolve(c)].expect("surviving channel");
+
+    let mut ops = Vec::with_capacity(module.ops.len());
+    let mut data = Vec::with_capacity(module.data.len());
+    let mut moving = Vec::with_capacity(module.moving.len());
+    let mut points = Vec::with_capacity(module.points.len());
+    let mut procs = Vec::with_capacity(module.procs.len());
+    for (pid, rec) in module.procs.iter().enumerate() {
+        if removed_proc[pid] {
+            continue;
+        }
+        report.proc_map[pid] = Some(procs.len());
+        let o0 = ops.len() as u32;
+        for op in &cleaned[pid] {
+            ops.push(match *op {
+                ProcOp::Emit { chan } => ProcOp::Emit { chan: remap(chan) },
+                ProcOp::Collect { chan } => ProcOp::Collect { chan: remap(chan) },
+                ProcOp::Keep { chan, slot } => ProcOp::Keep {
+                    chan: remap(chan),
+                    slot,
+                },
+                ProcOp::Eject { chan, slot } => ProcOp::Eject {
+                    chan: remap(chan),
+                    slot,
+                },
+                ProcOp::Pass { inp, out, n } => ProcOp::Pass {
+                    inp: remap(inp),
+                    out: remap(out),
+                    n,
+                },
+                ProcOp::Compute { count } => ProcOp::Compute { count },
+            });
+        }
+        let d0 = data.len() as u32;
+        data.extend_from_slice(module.data_of(pid));
+        let m0 = moving.len() as u32;
+        for mc in module.moving_of(pid) {
+            moving.push(MovingLink {
+                slot: mc.slot,
+                inp: remap(mc.inp),
+                out: remap(mc.out),
+            });
+        }
+        let p0 = points.len() as u32;
+        points.extend_from_slice(module.first_of(pid));
+        points.extend_from_slice(module.increment_of(pid));
+        procs.push(ProcRecord {
+            label: rec.label.clone(),
+            ops: (o0, ops.len() as u32),
+            data: (d0, data.len() as u32),
+            moving: (m0, moving.len() as u32),
+            repeater: (p0, points.len() as u32),
+            n_locals: rec.n_locals,
+            output: rec.output,
+        });
+    }
+
+    let mut chan_caps = vec![0u64; new_nc];
+    for ch in &mut chains {
+        ch.surviving = report.chan_map[ch.entry].expect("entry channel survives");
+        chan_caps[ch.surviving] = chan_caps[ch.surviving].max(ch.capacity);
+    }
+
+    report.processes_after = procs.len();
+    report.channels_after = new_nc;
+    report.ops_after = ops.len();
+    report.chains = chains;
+    let module = Arc::new(ProcIrModule {
+        ops,
+        data,
+        moving,
+        points,
+        procs,
+        n_chans: new_nc,
+        n_outputs: module.n_outputs,
+        body: module.body.clone(),
+    });
+    OptimizedModule {
+        module,
+        chan_caps,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::analyze_with_caps;
+    use crate::coop::run_coop_batched;
+    use crate::procir::ProcIrBuilder;
+
+    /// src -> relay -> relay -> relay -> sink: the three relays fuse
+    /// into one delay ring on the entry channel and the sink reads the
+    /// identical stream.
+    #[test]
+    fn relay_chain_fuses_into_one_delay_ring() {
+        let mut b = ProcIrBuilder::new();
+        let vals: Vec<i64> = (0..10).collect();
+        b.source(0, &vals, "src");
+        b.relay(0, 1, 10, "buf0");
+        b.relay(1, 2, 10, "buf1");
+        b.relay(2, 3, 10, "buf2");
+        b.sink(3, 10, "sink");
+        let m = b.build(None);
+        let o = optimize(&m).expect("chain should fuse");
+        assert_eq!(o.module.procs.len(), 2, "only src and sink survive");
+        assert_eq!(o.module.n_chans, 1, "one delay ring channel");
+        assert_eq!(o.report.chains.len(), 1);
+        assert_eq!(o.report.fused_relays(), 3);
+        let ch = &o.report.chains[0];
+        assert_eq!((ch.entry, ch.exit, ch.traffic), (0, 3, 10));
+        assert!(ch.capacity >= 3, "at least one held slot per relay");
+        assert_eq!(o.chan_caps[ch.surviving], ch.capacity);
+        // The fused module actually runs and the sink sees the stream.
+        let plan = analyze_with_caps(&o.module, &o.chan_caps);
+        assert!(plan.batchable(), "{:?}", plan.reject_reason());
+        let (_, outs) = run_coop_batched(&o.module, &plan).unwrap();
+        assert_eq!(*outs[0].lock(), vals);
+    }
+
+    /// A channel with two consumers (or producers) defeats the unique-
+    /// endpoint analysis: the module is left alone.
+    #[test]
+    fn multi_consumer_chains_are_rejected() {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2], "src");
+        b.relay(0, 1, 1, "buf-a");
+        b.relay(0, 2, 1, "buf-b");
+        b.sink(1, 1, "sink-a");
+        b.sink(2, 1, "sink-b");
+        let m = b.build(None);
+        assert!(optimize(&m).is_none(), "two consumers on channel 0");
+    }
+
+    /// Keep/Eject endpoints are never relay-fused: the keeping process
+    /// is not a pure relay, so the chain stops at its channel.
+    #[test]
+    fn keep_eject_endpoints_survive() {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[7], "src");
+        b.begin("keeper");
+        b.op(ProcOp::Keep { chan: 0, slot: 0 });
+        b.op(ProcOp::Compute { count: 0 });
+        b.op(ProcOp::Eject { chan: 1, slot: 0 });
+        // A second use of the slot, so the keep/eject peephole cannot
+        // rewrite it either (the dropped Compute makes it adjacent).
+        b.op(ProcOp::Eject { chan: 2, slot: 0 });
+        b.finish();
+        b.sink(1, 1, "sink");
+        b.sink(2, 1, "sink2");
+        let m = b.build(None);
+        let o = optimize(&m).expect("the zero Compute is dropped");
+        assert_eq!(o.report.zero_ops_dropped, 1);
+        assert_eq!(o.report.keep_eject_fused, 0, "live local is kept");
+        assert!(o.report.chains.is_empty());
+        assert_eq!(o.module.procs.len(), m.procs.len());
+    }
+
+    /// keep s; eject s with a dead local becomes pass 1, which then
+    /// makes the process a pure relay the chain pass consumes.
+    #[test]
+    fn dead_keep_eject_becomes_a_relay_and_fuses() {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[3, 4], "src");
+        b.relay(0, 1, 2, "buf");
+        b.begin("keeper");
+        b.op(ProcOp::Keep { chan: 1, slot: 0 });
+        b.op(ProcOp::Eject { chan: 2, slot: 0 });
+        b.op(ProcOp::Keep { chan: 1, slot: 0 });
+        b.op(ProcOp::Eject { chan: 2, slot: 0 });
+        b.finish();
+        b.sink(2, 2, "sink");
+        let m = b.build(None);
+        let o = optimize(&m).expect("should rewrite and fuse");
+        assert_eq!(o.report.keep_eject_fused, 2);
+        assert_eq!(o.report.passes_merged, 1, "the two pass 1s merge");
+        assert_eq!(o.report.fused_relays(), 2, "relay and keeper both fuse");
+        assert_eq!(o.module.procs.len(), 2);
+        let plan = analyze_with_caps(&o.module, &o.chan_caps);
+        let (_, outs) = run_coop_batched(&o.module, &plan).unwrap();
+        assert_eq!(*outs[0].lock(), vec![3, 4]);
+    }
+
+    /// Consecutive same-pair passes merge; different pairs do not.
+    #[test]
+    fn consecutive_passes_merge() {
+        let mut b = ProcIrBuilder::new();
+        b.begin("seg");
+        b.op(ProcOp::Pass { inp: 0, out: 1, n: 2 });
+        b.op(ProcOp::Pass { inp: 0, out: 1, n: 3 });
+        b.op(ProcOp::Pass { inp: 2, out: 3, n: 1 });
+        b.finish();
+        b.source(0, &[0; 5], "s0");
+        b.source(2, &[0; 1], "s2");
+        b.sink(1, 5, "k1");
+        b.sink(3, 1, "k3");
+        let m = b.build(None);
+        let o = optimize(&m).expect("passes merge");
+        assert_eq!(o.report.passes_merged, 1);
+        let seg_ops = o.module.ops_of(o.report.proc_map[0].unwrap());
+        assert_eq!(seg_ops.len(), 2);
+        assert!(matches!(seg_ops[0], ProcOp::Pass { n: 5, .. }));
+    }
+
+    /// A closed loop of pure relays has no external endpoints and must
+    /// be left alone rather than fused into a self-loop.
+    #[test]
+    fn pure_relay_cycle_is_left_alone() {
+        let mut b = ProcIrBuilder::new();
+        b.relay(0, 1, 4, "r0");
+        b.relay(1, 0, 4, "r1");
+        let m = b.build(None);
+        assert!(optimize(&m).is_none());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut b = ProcIrBuilder::new();
+        b.source(0, &[1, 2, 3], "src");
+        b.relay(0, 1, 3, "buf0");
+        b.relay(1, 2, 3, "buf1");
+        b.sink(2, 3, "sink");
+        let o = optimize(&b.build(None)).unwrap();
+        let j = o.report.to_json();
+        let parsed = OptReport::from_json(&j).expect("parses back");
+        assert_eq!(parsed.to_json(), j, "round-trip is the identity");
+        assert!(OptReport::from_json("{}").is_none());
+    }
+}

@@ -757,6 +757,53 @@ impl ProcVm {
                     // complete piecewise (see [`MacroState`]).
                     match self.macro_state {
                         MacroState::Ready => {
+                            // Steady-state loop summarization (see
+                            // `crate::opt`): when every moving link can
+                            // pop *and* push right now, retire whole
+                            // receive/body/send iterations in a tight
+                            // loop, skipping the piecewise masks. Stats
+                            // are identical to the mask path: one step
+                            // per completed par-set, one message per
+                            // pushed value. Requires pairwise-distinct
+                            // rings per direction — the availability
+                            // check is per-ring, not per-slot.
+                            let distinct = links.iter().enumerate().all(|(i, a)| {
+                                links[..i]
+                                    .iter()
+                                    .all(|b| a.inp != b.inp && a.out != b.out)
+                            });
+                            while distinct && self.t < count as i64 {
+                                let ready = links.iter().all(|mc| {
+                                    !rings[mc.inp].is_empty() && !rings[mc.out].is_full()
+                                });
+                                if !ready {
+                                    break;
+                                }
+                                for mc in links {
+                                    self.locals[mc.slot as usize] = rings[mc.inp]
+                                        .pop()
+                                        .expect("availability checked above");
+                                }
+                                *moved += links.len() as u64;
+                                stats.steps += 1; // the par-receive set
+                                if let Some(body) = &self.module.body {
+                                    body.execute(&mut self.locals, &self.x);
+                                }
+                                for mc in links {
+                                    rings[mc.out].push(self.locals[mc.slot as usize]);
+                                }
+                                stats.messages += links.len() as u64;
+                                *moved += links.len() as u64;
+                                stats.steps += 1; // the par-send set
+                                self.t += 1;
+                                let incr = self.module.increment_of(self.pid);
+                                for (xi, &inc) in self.x.iter_mut().zip(incr) {
+                                    *xi += inc;
+                                }
+                            }
+                            if self.t >= count as i64 {
+                                continue; // the top of the loop advances pc
+                            }
                             self.macro_state = MacroState::ComputeRecv { mask: 0 };
                         }
                         MacroState::ComputeRecv { mut mask } => {

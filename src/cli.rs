@@ -105,6 +105,19 @@ pub fn build_batch_mode(inv: &Invocation) -> Option<systolic_interp::BatchMode> 
     }
 }
 
+/// Parse `--opt auto|off` (default `auto`): whether the ProcIR optimizer
+/// (relay-chain fusion into delay rings, see `docs/process-ir.md`) may
+/// rewrite the module before a batched run. `--opt off` is the exactness
+/// oracle: stats keep the unfused message/step counts. `None` on any
+/// other value.
+pub fn build_opt_mode(inv: &Invocation) -> Option<systolic_interp::OptMode> {
+    match inv.flag("opt") {
+        None | Some("auto") => Some(systolic_interp::OptMode::Auto),
+        Some("off") => Some(systolic_interp::OptMode::Off),
+        Some(_) => None,
+    }
+}
+
 /// Execute an invocation; returns the text to print, or an error message.
 pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
     match inv.command.as_str() {
@@ -128,9 +141,18 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                     }
                     let seed: u64 = inv.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
                     let env = sys.size_env(&sizes);
-                    Ok(systolic_interp::rustgen::generate_rust(
-                        &sys.plan, &env, seed,
-                    ))
+                    // `--opt auto` routes through the delay-ring back
+                    // end; `off` (the default here — the generated
+                    // program is the paper's hand translation) does not.
+                    match inv.flag("opt") {
+                        None | Some("off") => Ok(systolic_interp::rustgen::generate_rust(
+                            &sys.plan, &env, seed,
+                        )),
+                        Some("auto") => Ok(systolic_interp::rustgen::generate_rust_opt(
+                            &sys.plan, &env, seed,
+                        )),
+                        Some(_) => Err("bad --opt value (auto|off)".into()),
+                    }
                 }
                 other => Err(format!("unknown --emit {other}")),
             }
@@ -159,8 +181,9 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 .collect();
             let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
             let batch = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
-            let (stats, batched) = sys
-                .verify_batch(&sizes, &input_refs, seed, &elab, batch)
+            let opt = build_opt_mode(inv).ok_or("bad --opt value (auto|off)")?;
+            let (stats, batched, opt_report) = sys
+                .verify_batch(&sizes, &input_refs, seed, &elab, batch, opt)
                 .map_err(|e| format!("FAILED: {e}"))?;
             let mut out = format!(
                 "OK: {} processes, {} scheduler rounds, {} logical messages, {} steps{}; \
@@ -169,8 +192,23 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 stats.rounds,
                 stats.messages,
                 stats.steps,
-                if batched { " [batched]" } else { "" }
+                match (batched, &opt_report) {
+                    (true, Some(_)) => " [batched+optimized]",
+                    (true, None) => " [batched]",
+                    (false, _) => "",
+                }
             );
+            if let Some(report) = &opt_report {
+                out.push_str(&format!("\noptimizer: {}", report.summary()));
+            }
+            if let Some(path) = inv.flag("opt-report") {
+                let json = opt_report
+                    .as_ref()
+                    .map(systolic_interp::OptReport::to_json)
+                    .unwrap_or_else(|| "{\n  \"schema\": \"systolic-opt-v1\"\n}\n".to_string());
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                out.push_str(&format!("\noptimizer report: {path}"));
+            }
             // Observability artifacts: re-run the same seeded problem
             // with recorders attached and write the requested files.
             if inv.flag("metrics").is_some() || inv.flag("trace-out").is_some() {
@@ -224,8 +262,10 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             // historical design-space exploration. `--batch` is accepted
             // for interface uniformity but DST runs always take the
             // unbatched engine: adversarial schedule policies and the
-            // round recorder both close the batching gate.
+            // round recorder both close the batching gate (and with it
+            // the optimizer, which rides the same gate).
             let _ = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
+            let _ = build_opt_mode(inv).ok_or("bad --opt value (auto|off)")?;
             if let Some(n) = inv.flag("schedules") {
                 let n: u64 = n.parse().map_err(|_| "--schedules needs a number")?;
                 return explore_schedules(inv, src, n);
@@ -463,13 +503,19 @@ mod tests {
 
     #[test]
     fn batch_flag_gates_the_fast_path() {
-        let inv = parse_args(&args(&["verify", "f", "--sizes", "4"])).unwrap();
+        // `--opt off` on both sides: with the optimizer disabled the
+        // logical message/step counts are engine-invariant.
+        let inv =
+            parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
         let auto = execute(&inv, SRC).unwrap();
         assert!(auto.contains("[batched]"), "{auto}");
-        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--batch", "off"])).unwrap();
+        assert!(!auto.contains("[batched+optimized]"), "{auto}");
+        let inv = parse_args(&args(&[
+            "verify", "f", "--sizes", "4", "--batch", "off", "--opt", "off",
+        ]))
+        .unwrap();
         let off = execute(&inv, SRC).unwrap();
         assert!(!off.contains("[batched]"), "{off}");
-        // Logical message and step counts are engine-invariant.
         let invariant = |s: &str| {
             let t = s.split("rounds, ").nth(1).unwrap();
             t.split(" steps").next().unwrap().to_string()
@@ -479,6 +525,51 @@ mod tests {
         assert!(execute(&inv, SRC).unwrap_err().contains("--batch"));
         let inv = parse_args(&args(&["explore", "f", "--batch", "bogus"])).unwrap();
         assert!(execute(&inv, SRC).unwrap_err().contains("--batch"));
+    }
+
+    #[test]
+    fn opt_flag_gates_the_optimizer_and_writes_the_report() {
+        // This design has pure relay chains at n=4, so `--opt auto`
+        // (the default) engages the optimizer; results stay verified.
+        let report = std::env::temp_dir().join(format!("systolizer-opt-{}.json", std::process::id()));
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "4",
+            "--opt-report",
+            report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let auto = execute(&inv, SRC).unwrap();
+        assert!(auto.contains("OK:"), "{auto}");
+        assert!(auto.contains("[batched+optimized]"), "{auto}");
+        assert!(auto.contains("optimizer: "), "{auto}");
+        assert!(auto.contains("optimizer report: "), "{auto}");
+        let j = std::fs::read_to_string(&report).unwrap();
+        assert!(j.contains("\"schema\": \"systolic-opt-v1\""), "{j}");
+        let _ = std::fs::remove_file(&report);
+        // `--opt off` keeps the plain batched engine.
+        let inv =
+            parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        let off = execute(&inv, SRC).unwrap();
+        assert!(!off.contains("optimized"), "{off}");
+        // Bad values are messages on both commands.
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "max"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--opt"));
+        let inv = parse_args(&args(&["explore", "f", "--opt", "bogus"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--opt"));
+    }
+
+    #[test]
+    fn emit_rust_opt_routes_through_the_delay_ring_back_end() {
+        let inv = parse_args(&args(&[
+            "compile", "f", "--emit", "rust", "--sizes", "4", "--opt", "auto",
+        ]))
+        .unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("fn main()"));
+        assert!(out.contains("//! Optimized:"), "relays should fuse at n=4");
     }
 
     #[test]

@@ -251,8 +251,12 @@ impl Systolized {
     }
 
     /// [`Systolized::verify_with`] through the steady-state batching gate
-    /// (see `systolic_runtime::batch`): identical experiment and result;
-    /// the returned flag says whether the fast path actually engaged.
+    /// (see `systolic_runtime::batch`) and the ProcIR optimizer (see
+    /// `systolic_runtime::opt`): identical experiment and result; the
+    /// returned flag says whether the fast path actually engaged, and the
+    /// report (if any) describes what the optimizer fused. `--opt off`
+    /// (`OptMode::Off`) is the exactness oracle: stats then carry the
+    /// unfused message/step counts.
     pub fn verify_batch(
         &self,
         sizes: &[i64],
@@ -260,7 +264,8 @@ impl Systolized {
         seed: u64,
         opts: &systolic_interp::ElabOptions,
         batch: systolic_interp::BatchMode,
-    ) -> Result<(RunStats, bool), Error> {
+        opt: systolic_interp::OptMode,
+    ) -> Result<(RunStats, bool, Option<systolic_interp::OptReport>), Error> {
         let env = self.size_env(sizes);
         let mut store = systolic_ir::HostStore::allocate(&self.source, &env);
         for (i, name) in inputs.iter().enumerate() {
@@ -275,6 +280,7 @@ impl Systolized {
             ChannelPolicy::Rendezvous,
             opts,
             batch,
+            opt,
             None,
             &[],
         )
@@ -286,7 +292,7 @@ impl Systolized {
                 )));
             }
         }
-        Ok((run.stats, run.batched))
+        Ok((run.stats, run.batched, run.opt))
     }
 
     /// The schedule's makespan at a problem size (`max step - min step + 1`).

@@ -5,14 +5,17 @@
 //! engine on all three executors — and its engagement gate must be
 //! exactly as documented: `--batch off`, a buffered channel policy, an
 //! attached recorder, or a non-FIFO schedule policy each force the
-//! unbatched engine.
+//! unbatched engine. All runs here pass `OptMode::Off`: the message and
+//! step pins below are the *unfused* counts, and the optimizer (which
+//! legitimately changes them) has its own differential suite in
+//! `tests/optimizer.rs`.
 
 use proptest::prelude::*;
 use std::time::Duration;
 use systolizer::core::{compile, Options};
 use systolizer::interp::{
     run_plan, run_plan_batch, run_plan_partitioned_batch, run_plan_threaded_batch, BatchMode,
-    ElabOptions,
+    ElabOptions, OptMode,
 };
 use systolizer::ir::{gallery, HostStore, SourceProgram};
 use systolizer::math::Env;
@@ -74,6 +77,7 @@ fn batched_coop_is_bit_identical_with_invariant_logical_stats() {
             ChannelPolicy::Rendezvous,
             &ElabOptions::default(),
             BatchMode::Auto,
+            OptMode::Off,
             None,
             &[],
         )
@@ -106,15 +110,17 @@ fn batched_threaded_and_partitioned_agree_with_the_coop_baseline() {
             &ElabOptions::default(),
         )
         .unwrap();
-        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto).unwrap();
+        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto, OptMode::Off).unwrap();
         assert!(th.batched, "design {design}");
         assert_eq!(th.store, base.store, "design {design}: threaded store");
         assert_eq!(th.stats.messages, base.stats.messages, "design {design}");
         assert_eq!(th.stats.steps, base.stats.steps, "design {design}");
         for workers in [1usize, 3] {
             let pt =
-                run_plan_partitioned_batch(&plan, &env, &store, workers, timeout, BatchMode::Auto)
-                    .unwrap();
+                run_plan_partitioned_batch(
+                &plan, &env, &store, workers, timeout, BatchMode::Auto, OptMode::Off,
+            )
+            .unwrap();
             assert!(pt.batched, "design {design} w={workers}");
             assert_eq!(pt.store, base.store, "design {design} w={workers}: store");
             assert_eq!(pt.stats.messages, base.stats.messages, "w={workers}");
@@ -144,7 +150,8 @@ fn gate_closes_for_every_observable_feature() {
     let (plan, env, store) = prepared(2, 3, 5); // E.1
     let elab = ElabOptions::default();
     let run = |policy, batch, sched, recorders: &[_]| {
-        run_plan_batch(&plan, &env, &store, policy, &elab, batch, sched, recorders).unwrap()
+        run_plan_batch(&plan, &env, &store, policy, &elab, batch, OptMode::Off, sched, recorders)
+            .unwrap()
     };
     let base = run(ChannelPolicy::Rendezvous, BatchMode::Off, None, &[]);
     assert!(!base.batched, "--batch off forces the rendezvous engine");
@@ -228,6 +235,7 @@ proptest! {
             ChannelPolicy::Rendezvous,
             &ElabOptions::default(),
             BatchMode::Auto,
+            OptMode::Off,
             None,
             &[],
         )
@@ -235,7 +243,7 @@ proptest! {
         prop_assert_eq!(&coop.store, &base.store);
         prop_assert_eq!(coop.stats.messages, base.stats.messages);
         prop_assert_eq!(coop.stats.steps, base.stats.steps);
-        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto).unwrap();
+        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto, OptMode::Off).unwrap();
         prop_assert_eq!(&th.store, &base.store);
         prop_assert_eq!(th.stats.messages, base.stats.messages);
         prop_assert_eq!(th.stats.steps, base.stats.steps);
@@ -246,6 +254,7 @@ proptest! {
             workers,
             timeout,
             BatchMode::Auto,
+            OptMode::Off,
         )
         .unwrap();
         prop_assert_eq!(&pt.store, &base.store);

@@ -156,7 +156,7 @@ fn coop_under_explicit_fifo_policy_matches_pre_hook_goldens() {
 /// here rather than as silently unobserved runs.
 #[test]
 fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
-    use systolizer::interp::{run_plan_batch, BatchMode};
+    use systolizer::interp::{run_plan_batch, BatchMode, OptMode};
     use systolizer::runtime::{shared, ChanId, MetricsRecorder, SchedulePolicy};
 
     struct ReversePolicy;
@@ -194,6 +194,7 @@ fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
             ChannelPolicy::Rendezvous,
             &Default::default(),
             BatchMode::Auto,
+            OptMode::Auto,
             None,
             &[recorder],
         )
@@ -208,6 +209,7 @@ fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
             ChannelPolicy::Rendezvous,
             &Default::default(),
             BatchMode::Auto,
+            OptMode::Auto,
             Some(Box::new(ReversePolicy)),
             &[],
         )

@@ -189,7 +189,9 @@ fn cli_batched_slack_rescues_the_lockstep_deadlock_correctly() {
     let inv = parse_args(&raw).unwrap();
     let out = execute(&inv, LOCKSTEP_SRC).expect("ring slack completes the lockstep design");
     assert!(out.contains("OK:"), "{out}");
-    assert!(out.contains("[batched]"), "{out}");
+    // `[batched]` plain or `[batched+optimized]` when the optimizer fuses
+    // something here too.
+    assert!(out.contains("[batched"), "{out}");
 }
 
 #[test]

@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 use systolizer::core::{compile, Options};
-use systolizer::interp::rustgen::generate_rust;
+use systolizer::interp::rustgen::{generate_rust, generate_rust_opt};
 use systolizer::math::Env;
 use systolizer::synthesis::placement::paper;
 
@@ -80,6 +80,28 @@ fn e2_generated_rust_compiles_and_verifies() {
     let mut env = Env::new();
     env.bind(p.sizes[0], 2);
     compile_and_run("e2", &generate_rust(&plan, &env, 14));
+}
+
+#[test]
+fn e2_optimized_generated_rust_compiles_and_verifies() {
+    // The delay-ring back end: fused relays become channel capacity, and
+    // the generated program still passes its embedded self-check.
+    let (p, a) = paper::matmul_e2();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut env = Env::new();
+    env.bind(p.sizes[0], 4);
+    let src = generate_rust_opt(&plan, &env, 14);
+    assert!(src.contains("//! Optimized:"), "E.2 n=4 should fuse chains");
+    compile_and_run("e2opt", &src);
+}
+
+#[test]
+fn d2_optimized_generated_rust_compiles_and_verifies() {
+    let (p, a) = paper::polyprod_d2();
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut env = Env::new();
+    env.bind(p.sizes[0], 5);
+    compile_and_run("d2opt", &generate_rust_opt(&plan, &env, 12));
 }
 
 #[test]

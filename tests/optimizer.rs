@@ -1,0 +1,379 @@
+//! Differential suite for the ProcIR optimizer (`systolic_runtime::opt`,
+//! see `docs/process-ir.md`): `--opt auto` may fuse relay chains into
+//! delay rings and rewrite ops, but the recovered store must stay
+//! bit-identical to the `--opt off` exactness oracle on all three
+//! executors, over the whole design corpus and random configurations.
+//! A second proptest sweeps random synthetic transport networks through
+//! the fusion legality check: multi-producer/consumer topologies must
+//! reject chain fusion outright, and processes holding `Keep`/`Eject`
+//! endpoints (stationary stream ends) are never fused away.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use systolizer::core::{compile, Options};
+use systolizer::interp::{
+    run_plan_batch, run_plan_partitioned_batch, run_plan_threaded_batch, BatchMode, ElabOptions,
+    OptMode,
+};
+use systolizer::ir::{gallery, HostStore, SourceProgram};
+use systolizer::math::Env;
+use systolizer::runtime::{optimize, ChannelPolicy, MovingLink, ProcIrModule, ProcOp, ProcRecord};
+use systolizer::synthesis::{derive_array, placement::paper};
+
+/// The corpus: 4 appendix designs, 5 gallery programs, and the shipped
+/// `programs/fir.sys` through the full front end.
+fn prepared(
+    design: usize,
+    n: i64,
+    seed: u64,
+) -> (systolizer::core::SystolicProgram, Env, HostStore) {
+    let n_gallery = gallery::all().len();
+    let plan = if design < 4 {
+        let (_, p, a) = paper::all().swap_remove(design);
+        compile(&p, &a, &Options::default()).unwrap()
+    } else if design < 4 + n_gallery {
+        let p: SourceProgram = gallery::all().swap_remove(design - 4);
+        let a = derive_array(&p, 2, 4).unwrap();
+        compile(&p, &a, &Options::default()).unwrap()
+    } else {
+        systolizer::systolize_source(
+            include_str!("../programs/fir.sys"),
+            &systolizer::SystolizeOptions::default(),
+        )
+        .unwrap()
+        .plan
+    };
+    let mut env = Env::new();
+    for &s in &plan.source.sizes {
+        env.bind(s, n);
+    }
+    let mut store = HostStore::allocate(&plan.source, &env);
+    let inputs: &[&str] = if plan.source.name.starts_with("fir") {
+        &["h", "x"]
+    } else {
+        &["a", "b"]
+    };
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    (plan, env, store)
+}
+
+fn n_designs() -> usize {
+    paper::all().len() + gallery::all().len() + 1
+}
+
+#[test]
+fn opt_auto_stores_are_bit_identical_to_the_oracle_on_all_executors() {
+    let timeout = Duration::from_secs(60);
+    let mut fused_somewhere = false;
+    for design in 0..n_designs() {
+        for n in [2i64, 4] {
+            let (plan, env, store) = prepared(design, n, 23);
+            let oracle = run_plan_batch(
+                &plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+                BatchMode::Auto,
+                OptMode::Off,
+                None,
+                &[],
+            )
+            .unwrap();
+            assert!(oracle.opt.is_none(), "design {design}: --opt off leaks a report");
+            let auto = run_plan_batch(
+                &plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+                BatchMode::Auto,
+                OptMode::Auto,
+                None,
+                &[],
+            )
+            .unwrap();
+            assert_eq!(auto.store, oracle.store, "design {design} n={n}: coop store");
+            if let Some(r) = &auto.opt {
+                fused_somewhere = true;
+                assert!(r.processes_after <= r.processes_before, "design {design}");
+                assert_eq!(
+                    auto.stats.processes as usize, r.processes_after,
+                    "design {design} n={n}: stats must describe the optimized module"
+                );
+                assert!(
+                    auto.stats.messages <= oracle.stats.messages,
+                    "design {design} n={n}: fusion must not add messages"
+                );
+            }
+            let th = run_plan_threaded_batch(
+                &plan,
+                &env,
+                &store,
+                timeout,
+                BatchMode::Auto,
+                OptMode::Auto,
+            )
+            .unwrap();
+            assert_eq!(th.store, oracle.store, "design {design} n={n}: threaded store");
+            for workers in [1usize, 3] {
+                let pt = run_plan_partitioned_batch(
+                    &plan,
+                    &env,
+                    &store,
+                    workers,
+                    timeout,
+                    BatchMode::Auto,
+                    OptMode::Auto,
+                )
+                .unwrap();
+                assert_eq!(
+                    pt.store, oracle.store,
+                    "design {design} n={n} w={workers}: partitioned store"
+                );
+            }
+        }
+    }
+    assert!(fused_somewhere, "no corpus design engaged the optimizer");
+}
+
+/// Case count override (see `tests/random_programs.rs`).
+fn env_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: env_cases(16), ..ProptestConfig::default() })]
+
+    /// Store bit-identity over random (design, size, seed, workers).
+    #[test]
+    fn optimizer_is_store_invisible_on_random_configurations(
+        design in 0usize..10,
+        n in 1i64..=4,
+        seed in 0u64..1000,
+        workers in 1usize..=4,
+    ) {
+        let (plan, env, store) = prepared(design, n, seed);
+        let timeout = Duration::from_secs(60);
+        let oracle = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+            BatchMode::Auto,
+            OptMode::Off,
+            None,
+            &[],
+        )
+        .unwrap();
+        let auto = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+            BatchMode::Auto,
+            OptMode::Auto,
+            None,
+            &[],
+        )
+        .unwrap();
+        prop_assert_eq!(&auto.store, &oracle.store);
+        let th = run_plan_threaded_batch(
+            &plan, &env, &store, timeout, BatchMode::Auto, OptMode::Auto,
+        )
+        .unwrap();
+        prop_assert_eq!(&th.store, &oracle.store);
+        let pt = run_plan_partitioned_batch(
+            &plan, &env, &store, workers, timeout, BatchMode::Auto, OptMode::Auto,
+        )
+        .unwrap();
+        prop_assert_eq!(&pt.store, &oracle.store);
+    }
+}
+
+/// One process of a synthetic transport network.
+#[derive(Clone, Debug)]
+enum Node {
+    /// Host source: `count` values onto `chan`.
+    Emitter { chan: usize, count: usize },
+    /// Pure relay — the only kind fusion may delete.
+    Relay { inp: usize, out: usize, n: u64 },
+    /// Host sink: `count` values off `chan`.
+    Sink { chan: usize, count: usize },
+    /// A stationary stream end: `Keep` and `Eject` with live slot
+    /// (separated by a `Pass`, like a real load/recover pair around a
+    /// computation). Must never be fused away.
+    Stationary { inp: usize, thru: usize, out: usize, n: u64 },
+}
+
+const CHANS: usize = 6;
+
+fn node() -> impl Strategy<Value = Node> {
+    let c = 0..CHANS;
+    prop_oneof![
+        (c.clone(), 1usize..4).prop_map(|(chan, count)| Node::Emitter { chan, count }),
+        (c.clone(), c.clone(), 1u64..4).prop_map(|(inp, out, n)| Node::Relay { inp, out, n }),
+        (c.clone(), 1usize..4).prop_map(|(chan, count)| Node::Sink { chan, count }),
+        (c.clone(), c.clone(), c.clone(), 1u64..4)
+            .prop_map(|(inp, thru, out, n)| Node::Stationary { inp, thru, out, n }),
+    ]
+}
+
+/// Assemble a [`ProcIrModule`] from node descriptors. The topology may
+/// be nonsensical as a program (dangling channels, unbalanced traffic);
+/// the optimizer's legality analysis must *reject* fusion there rather
+/// than misbehave.
+fn build(nodes: &[Node]) -> ProcIrModule {
+    let mut m = ProcIrModule {
+        ops: Vec::new(),
+        data: Vec::new(),
+        moving: Vec::<MovingLink>::new(),
+        points: Vec::new(),
+        procs: Vec::new(),
+        n_chans: CHANS,
+        n_outputs: 0,
+        body: None,
+    };
+    for (i, node) in nodes.iter().enumerate() {
+        let ops_start = m.ops.len() as u32;
+        let data_start = m.data.len() as u32;
+        let mut n_locals = 0;
+        let mut output = None;
+        match *node {
+            Node::Emitter { chan, count } => {
+                for v in 0..count {
+                    m.ops.push(ProcOp::Emit { chan });
+                    m.data.push(v as i64 + 1);
+                }
+            }
+            Node::Relay { inp, out, n } => m.ops.push(ProcOp::Pass { inp, out, n }),
+            Node::Sink { chan, count } => {
+                for _ in 0..count {
+                    m.ops.push(ProcOp::Collect { chan });
+                }
+                output = Some(m.n_outputs as u32);
+                m.n_outputs += 1;
+            }
+            Node::Stationary { inp, thru, out, n } => {
+                n_locals = 1;
+                m.ops.push(ProcOp::Keep { chan: inp, slot: 0 });
+                m.ops.push(ProcOp::Pass { inp, out: thru, n });
+                m.ops.push(ProcOp::Eject { chan: out, slot: 0 });
+            }
+        }
+        m.procs.push(ProcRecord {
+            label: format!("node{i}"),
+            ops: (ops_start, m.ops.len() as u32),
+            data: (data_start, m.data.len() as u32),
+            moving: (0, 0),
+            repeater: (0, 0),
+            n_locals,
+            output,
+        });
+    }
+    m
+}
+
+/// Per-channel (producer count, consumer count) in the pre-opt module.
+fn fan(m: &ProcIrModule) -> Vec<(usize, usize)> {
+    let mut fan = vec![(0usize, 0usize); m.n_chans];
+    for pid in 0..m.procs.len() {
+        for op in m.ops_of(pid) {
+            match *op {
+                ProcOp::Emit { chan } | ProcOp::Eject { chan, .. } => fan[chan].0 += 1,
+                ProcOp::Collect { chan } | ProcOp::Keep { chan, .. } => fan[chan].1 += 1,
+                ProcOp::Pass { inp, out, .. } => {
+                    fan[inp].1 += 1;
+                    fan[out].0 += 1;
+                }
+                ProcOp::Compute { .. } => {}
+            }
+        }
+    }
+    fan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: env_cases(256), ..ProptestConfig::default() })]
+
+    /// Fusion legality on arbitrary transport topologies: only pure
+    /// relays are ever deleted, chains demand single-producer /
+    /// single-consumer channels end to end, and a module with any
+    /// multi-endpoint channel grows no chains at all.
+    #[test]
+    fn fusion_legality_on_random_transport_networks(
+        nodes in proptest::collection::vec(node(), 1..12),
+    ) {
+        let module = Arc::new(build(&nodes));
+        let fan = fan(&module);
+        let multi = fan.iter().any(|&(p, c)| p > 1 || c > 1);
+        let Some(o) = optimize(&module) else { return Ok(()) };
+        let r = &o.report;
+        if multi {
+            // Endpoint analysis bails module-wide on any shared channel:
+            // peephole rewrites may still fire, chains must not.
+            prop_assert!(r.chains.is_empty(), "chains on a multi-endpoint module");
+        }
+        for (pid, mapped) in r.proc_map.iter().enumerate() {
+            if mapped.is_none() {
+                prop_assert!(
+                    matches!(nodes[pid], Node::Relay { .. }),
+                    "fused process {pid} was {:?}, not a pure relay",
+                    nodes[pid]
+                );
+            }
+        }
+        for ch in &r.chains {
+            prop_assert_eq!(fan[ch.entry], (1, 1), "chain entry channel is shared");
+            prop_assert_eq!(fan[ch.exit], (1, 1), "chain exit channel is shared");
+            prop_assert!(ch.capacity >= 1);
+            for &pid in &ch.relays {
+                prop_assert!(r.proc_map[pid].is_none(), "chain relay {pid} survives");
+                let &Node::Relay { inp, out, .. } = &nodes[pid] else {
+                    prop_assert!(false, "chain relay {} is {:?}", pid, nodes[pid]);
+                    unreachable!()
+                };
+                prop_assert_eq!(fan[inp], (1, 1));
+                prop_assert_eq!(fan[out], (1, 1));
+            }
+            // Balanced traffic along the chain.
+            for &pid in &ch.relays {
+                if let &Node::Relay { n, .. } = &nodes[pid] {
+                    prop_assert_eq!(n, ch.traffic, "unbalanced relay fused");
+                }
+            }
+        }
+        // Bookkeeping is dense and consistent.
+        prop_assert_eq!(r.processes_before, module.procs.len());
+        prop_assert_eq!(r.processes_after, o.module.procs.len());
+        prop_assert_eq!(r.channels_after, o.module.n_chans);
+        let survivors = r.proc_map.iter().filter(|m| m.is_some()).count();
+        prop_assert_eq!(survivors, r.processes_after);
+    }
+}
+
+#[test]
+fn mapping_report_round_trips_through_json() {
+    use systolizer::interp::OptReport;
+    let (plan, env, store) = prepared(3, 4, 7); // E.2 fuses
+    let el = systolizer::interp::elaborate::elaborate(
+        &plan,
+        &env,
+        &store,
+        &ElabOptions::default(),
+    )
+    .unwrap();
+    let o = el.optimize(OptMode::Auto).expect("E.2 n=4 fuses");
+    let j = o.report.to_json();
+    assert!(j.contains("\"schema\": \"systolic-opt-v1\""));
+    let back = OptReport::from_json(&j).expect("parseable report");
+    assert_eq!(back.to_json(), j, "report JSON must round-trip");
+}

@@ -47,6 +47,19 @@ fn designs() -> Vec<Design> {
         inputs: vec!["h", "x"],
         sizes: vec![vec![1, 2], vec![2, 5], vec![3, 4]],
     });
+    // The shipped program file, through the full front end — its long
+    // relay pipes make it a second witness for chain fusion.
+    let sys = systolizer::systolize_source(
+        include_str!("../programs/fir.sys"),
+        &systolizer::SystolizeOptions::default(),
+    )
+    .unwrap();
+    out.push(Design {
+        label: "fir.sys",
+        plan: sys.plan,
+        inputs: vec!["h", "x"],
+        sizes: vec![vec![1, 2], vec![2, 5], vec![3, 4]],
+    });
     out
 }
 
