@@ -8,7 +8,7 @@
 use systolic_ir::{SourceProgram, StreamId};
 use systolic_math::{
     affine::{eval_point, AffinePoint},
-    speceval::{SpecAffine, SpecCount, SpecPiecewise},
+    speceval::{SpecCount, SpecPoint},
     Affine, Env, Piecewise, RatPoint, Var, VarTable,
 };
 use systolic_synthesis::SystolicArray;
@@ -257,11 +257,7 @@ impl SystolicProgram {
     pub fn specialize(&self, env_sizes: &Env) -> SpecSchedule {
         let dims = &self.coords;
         SpecSchedule {
-            first: SpecPiecewise::compile(&self.first, dims, env_sizes, |p| {
-                p.iter()
-                    .map(|a| SpecAffine::compile(a, dims, env_sizes))
-                    .collect()
-            }),
+            first: SpecPoint::of_points(&self.first, dims, env_sizes),
             count: SpecCount::of(&self.count, dims, env_sizes),
             streams: self
                 .streams
@@ -284,7 +280,7 @@ pub struct SpecStream {
 /// The schedule quantities elaboration queries at every process-space
 /// point, size-specialized by [`SystolicProgram::specialize`].
 pub struct SpecSchedule {
-    first: SpecPiecewise<Vec<SpecAffine>>,
+    first: SpecPoint,
     count: SpecCount,
     /// Indexed by `StreamId`.
     pub streams: Vec<SpecStream>,
@@ -293,9 +289,7 @@ pub struct SpecSchedule {
 impl SpecSchedule {
     /// `first` at `y`; `None` for null processes.
     pub fn first_at(&self, y: &[i64]) -> Option<Vec<i64>> {
-        self.first
-            .select(y)
-            .map(|p| p.iter().map(|a| a.eval_int(y)).collect())
+        self.first.point_at(y)
     }
 
     /// The repeater length at `y`, 0 for null processes.

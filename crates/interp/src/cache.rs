@@ -1,0 +1,402 @@
+//! The module store: a two-level, `Arc`-shared cache in front of the
+//! two-phase elaborator (`crate::skeleton`).
+//!
+//! Level 1 caches **skeletons** — size-parametric compiles keyed by
+//! `(program fingerprint, ElabOptions)`. Level 2 caches **instantiated
+//! modules** keyed by `(program fingerprint, ElabOptions, size values,
+//! host-store fingerprint)`. The store fingerprint is part of the key
+//! because elaboration bakes input *values* into source scripts
+//! (`HostStore::fingerprint`); two runs over different data need
+//! different modules even at the same size.
+//!
+//! Each cached module also lazily memoizes the downstream per-module
+//! analyses the executors repeat today: the batch plan
+//! (`systolic_runtime::analyze`) and the optimizer result
+//! ([`CachedModule::optimized`]), so a warm `run --batch auto --opt
+//! auto` pays for neither.
+//!
+//! Entries never go stale silently: the plan fingerprint covers the
+//! whole derived plan (any recompilation with different
+//! placement/options moves it) and the data fingerprint covers every
+//! host value. [`ModuleStore::invalidate`] /
+//! [`ModuleStore::invalidate_program`] exist for callers that mutate
+//! behind those keys deliberately (or just want the memory back); both
+//! bump a generation counter so tests and metrics can observe the
+//! flush. Capacity is bounded by FIFO eviction — the store is a cache,
+//! not a leak.
+
+use crate::elaborate::{ElabError, ElabOptions, Elaborated};
+use crate::skeleton::{elaborate_skeleton, instantiate, SkeletonModule};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+use systolic_core::SystolicProgram;
+use systolic_ir::HostStore;
+use systolic_math::Env;
+use systolic_runtime::{BatchPlan, OptMode, OptimizedModule};
+
+/// Retained skeletons (level 1). Skeletons are small — per-stream
+/// specialized forms, no per-point state.
+const SKELETON_CAP: usize = 32;
+/// Retained instantiated modules (level 2). Modules hold the full
+/// per-point bytecode, so the cap is what bounds memory.
+const MODULE_CAP: usize = 64;
+
+/// Cache observability counters, exposed through the
+/// `systolic-metrics-v1` report (`elab_cache` section) and the CI cache
+/// artifact. Times are cumulative nanoseconds spent on misses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub skeleton_hits: u64,
+    pub skeleton_misses: u64,
+    pub module_hits: u64,
+    pub module_misses: u64,
+    /// Total time in phase 1 (`elaborate_skeleton`) across misses.
+    pub skeleton_build_ns: u64,
+    /// Total time in phase 2 (`instantiate`) across misses.
+    pub instantiate_ns: u64,
+    /// Bumped by every explicit invalidation.
+    pub generation: u64,
+}
+
+impl CacheStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"skeleton_hits\":{},\"skeleton_misses\":{},",
+                "\"module_hits\":{},\"module_misses\":{},",
+                "\"skeleton_build_ns\":{},\"instantiate_ns\":{},",
+                "\"generation\":{}}}"
+            ),
+            self.skeleton_hits,
+            self.skeleton_misses,
+            self.module_hits,
+            self.module_misses,
+            self.skeleton_build_ns,
+            self.instantiate_ns,
+            self.generation,
+        )
+    }
+}
+
+/// One instantiated module plus its lazily memoized per-module
+/// analyses. Everything here is immutable after construction; per-run
+/// state lives in the VMs `elab.module.instantiate*` builds.
+pub struct CachedModule {
+    pub elab: Elaborated,
+    batch: OnceLock<BatchPlan>,
+    optd: OnceLock<Option<Arc<(OptimizedModule, BatchPlan)>>>,
+}
+
+impl CachedModule {
+    fn new(elab: Elaborated) -> CachedModule {
+        CachedModule {
+            elab,
+            batch: OnceLock::new(),
+            optd: OnceLock::new(),
+        }
+    }
+
+    /// The batch analysis of the elaborated module, computed once per
+    /// cached module rather than once per run.
+    pub fn batch_plan(&self) -> &BatchPlan {
+        self.batch
+            .get_or_init(|| systolic_runtime::analyze(&self.elab.module))
+    }
+
+    /// The ProcIR optimizer applied to an already-proven-batchable
+    /// module, with the fused module's batch re-analysis (delay-ring
+    /// capacities layered in). `None` when the mode forbids it, the
+    /// module is already optimal, or (defensively) the fused module
+    /// fails re-analysis — fusion preserves endpoint uniqueness and
+    /// traffic balance, so the last case indicates an optimizer bug
+    /// rather than a legal decline.
+    pub fn optimized(&self, mode: OptMode) -> Option<Arc<(OptimizedModule, BatchPlan)>> {
+        if mode == OptMode::Off {
+            return None;
+        }
+        self.optd
+            .get_or_init(|| {
+                let o = systolic_runtime::optimize(&self.elab.module)?;
+                let oplan = systolic_runtime::analyze_with_caps(&o.module, &o.chan_caps);
+                if !oplan.batchable() {
+                    debug_assert!(
+                        false,
+                        "fused module failed re-analysis: {:?}",
+                        oplan.reject_reason()
+                    );
+                    return None;
+                }
+                Some(Arc::new((o, oplan)))
+            })
+            .clone()
+    }
+}
+
+type SkelKey = (u64, ElabOptions);
+type ModKey = (u64, ElabOptions, Vec<i64>, u64);
+
+#[derive(Default)]
+struct Inner {
+    skeletons: HashMap<SkelKey, Arc<SkeletonModule>>,
+    skel_order: VecDeque<SkelKey>,
+    modules: HashMap<ModKey, Arc<CachedModule>>,
+    mod_order: VecDeque<ModKey>,
+    stats: CacheStats,
+}
+
+impl Inner {
+    fn skeleton(
+        &mut self,
+        plan: &SystolicProgram,
+        opts: &ElabOptions,
+        fp: u64,
+    ) -> Arc<SkeletonModule> {
+        let key = (fp, opts.clone());
+        if let Some(s) = self.skeletons.get(&key) {
+            self.stats.skeleton_hits += 1;
+            return s.clone();
+        }
+        self.stats.skeleton_misses += 1;
+        let t = Instant::now();
+        let skel = elaborate_skeleton(plan, opts);
+        self.stats.skeleton_build_ns += t.elapsed().as_nanos() as u64;
+        if self.skeletons.len() >= SKELETON_CAP {
+            if let Some(old) = self.skel_order.pop_front() {
+                self.skeletons.remove(&old);
+            }
+        }
+        self.skel_order.push_back(key.clone());
+        self.skeletons.insert(key, skel.clone());
+        skel
+    }
+}
+
+/// The process-wide module cache. Executors go through
+/// [`ModuleStore::global`]; tests that need isolation construct their
+/// own with [`ModuleStore::new`].
+#[derive(Default)]
+pub struct ModuleStore {
+    inner: Mutex<Inner>,
+}
+
+impl ModuleStore {
+    pub fn new() -> ModuleStore {
+        ModuleStore::default()
+    }
+
+    /// The shared process-wide store.
+    pub fn global() -> &'static ModuleStore {
+        static GLOBAL: OnceLock<ModuleStore> = OnceLock::new();
+        GLOBAL.get_or_init(ModuleStore::new)
+    }
+
+    /// Phase 1 through the cache: the size-parametric skeleton for
+    /// `(plan, opts)`.
+    pub fn skeleton(&self, plan: &SystolicProgram, opts: &ElabOptions) -> Arc<SkeletonModule> {
+        let fp = plan_fingerprint(plan);
+        self.inner.lock().unwrap().skeleton(plan, opts, fp)
+    }
+
+    /// Both phases through the cache: the instantiated module for
+    /// `(plan, opts)` at the size bound in `env` over the data in
+    /// `store`. A hit returns the shared `Arc` without touching the
+    /// plan; a miss runs whichever phases are cold and caches the
+    /// result. Instantiation errors are returned (and not cached — a
+    /// failing configuration re-diagnoses on every attempt, exactly
+    /// like direct elaboration).
+    pub fn module(
+        &self,
+        plan: &SystolicProgram,
+        env: &Env,
+        store: &HostStore,
+        opts: &ElabOptions,
+    ) -> Result<Arc<CachedModule>, ElabError> {
+        let fp = plan_fingerprint(plan);
+        let sizes: Vec<i64> = plan.source.sizes.iter().map(|&v| env.expect(v)).collect();
+        let key = (fp, opts.clone(), sizes, store.fingerprint());
+        let mut g = self.inner.lock().unwrap();
+        if let Some(m) = g.modules.get(&key).cloned() {
+            g.stats.module_hits += 1;
+            return Ok(m);
+        }
+        g.stats.module_misses += 1;
+        let skel = g.skeleton(plan, opts, fp);
+        let t = Instant::now();
+        let elab = instantiate(&skel, env, store)?;
+        g.stats.instantiate_ns += t.elapsed().as_nanos() as u64;
+        let m = Arc::new(CachedModule::new(elab));
+        if g.modules.len() >= MODULE_CAP {
+            if let Some(old) = g.mod_order.pop_front() {
+                g.modules.remove(&old);
+            }
+        }
+        g.mod_order.push_back(key.clone());
+        g.modules.insert(key, m.clone());
+        Ok(m)
+    }
+
+    /// Drop everything and bump the generation.
+    pub fn invalidate(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.skeletons.clear();
+        g.skel_order.clear();
+        g.modules.clear();
+        g.mod_order.clear();
+        g.stats.generation += 1;
+    }
+
+    /// Drop the skeletons and modules of one program (every options /
+    /// size / data variant), leaving other programs' entries hot.
+    pub fn invalidate_program(&self, plan: &SystolicProgram) {
+        let fp = plan_fingerprint(plan);
+        let mut g = self.inner.lock().unwrap();
+        g.skeletons.retain(|k, _| k.0 != fp);
+        g.skel_order.retain(|k| k.0 != fp);
+        g.modules.retain(|k, _| k.0 != fp);
+        g.mod_order.retain(|k| k.0 != fp);
+        g.stats.generation += 1;
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats.clone()
+    }
+
+    /// The invalidation generation (also in [`CacheStats`]).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().stats.generation
+    }
+}
+
+/// Content fingerprint of a compiled plan: the hash of its full `Debug`
+/// rendering. The plan is a pure value (no interior mutability, no
+/// addresses in its debug output), so equal renderings mean
+/// interchangeable plans; any change to placement, schedule, or stream
+/// layout moves the string.
+fn plan_fingerprint(plan: &SystolicProgram) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{plan:?}").hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    fn plan_and_env(n: i64) -> (SystolicProgram, Env) {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(plan.source.sizes[0], n);
+        (plan, env)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_arc() {
+        let (plan, env) = plan_and_env(4);
+        let store = HostStore::allocate(&plan.source, &env);
+        let ms = ModuleStore::new();
+        let a = ms
+            .module(&plan, &env, &store, &ElabOptions::default())
+            .unwrap();
+        let b = ms
+            .module(&plan, &env, &store, &ElabOptions::default())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = ms.stats();
+        assert_eq!((s.module_hits, s.module_misses), (1, 1));
+        assert_eq!((s.skeleton_hits, s.skeleton_misses), (0, 1));
+    }
+
+    #[test]
+    fn new_size_reuses_the_skeleton() {
+        let (plan, env4) = plan_and_env(4);
+        let store4 = HostStore::allocate(&plan.source, &env4);
+        let ms = ModuleStore::new();
+        ms.module(&plan, &env4, &store4, &ElabOptions::default())
+            .unwrap();
+        let (_, env6) = plan_and_env(6);
+        let store6 = HostStore::allocate(&plan.source, &env6);
+        ms.module(&plan, &env6, &store6, &ElabOptions::default())
+            .unwrap();
+        let s = ms.stats();
+        assert_eq!((s.skeleton_hits, s.skeleton_misses), (1, 1));
+        assert_eq!((s.module_hits, s.module_misses), (0, 2));
+    }
+
+    #[test]
+    fn data_edit_is_a_different_key() {
+        let (plan, env) = plan_and_env(3);
+        let store = HostStore::allocate(&plan.source, &env);
+        let ms = ModuleStore::new();
+        ms.module(&plan, &env, &store, &ElabOptions::default())
+            .unwrap();
+        let mut edited = store.clone();
+        edited.fill_random("a", 5, -9, 9);
+        ms.module(&plan, &env, &edited, &ElabOptions::default())
+            .unwrap();
+        let s = ms.stats();
+        assert_eq!(s.module_hits, 0, "edited data must not hit");
+        assert_eq!(s.module_misses, 2);
+    }
+
+    #[test]
+    fn invalidate_program_leaves_other_plans_hot() {
+        let (plan_a, env_a) = plan_and_env(3);
+        let (p, a) = paper::matmul_e1();
+        let plan_b = compile(&p, &a, &Options::default()).unwrap();
+        let mut env_b = Env::new();
+        env_b.bind(plan_b.source.sizes[0], 2);
+        let store_a = HostStore::allocate(&plan_a.source, &env_a);
+        let store_b = HostStore::allocate(&plan_b.source, &env_b);
+        let ms = ModuleStore::new();
+        ms.module(&plan_a, &env_a, &store_a, &ElabOptions::default())
+            .unwrap();
+        ms.module(&plan_b, &env_b, &store_b, &ElabOptions::default())
+            .unwrap();
+        let g0 = ms.generation();
+        ms.invalidate_program(&plan_a);
+        assert_eq!(ms.generation(), g0 + 1);
+        ms.module(&plan_a, &env_a, &store_a, &ElabOptions::default())
+            .unwrap();
+        ms.module(&plan_b, &env_b, &store_b, &ElabOptions::default())
+            .unwrap();
+        let s = ms.stats();
+        // plan_a re-misses after its flush; plan_b stays hot.
+        assert_eq!(s.module_misses, 3);
+        assert_eq!(s.module_hits, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_store() {
+        let (plan, _) = plan_and_env(0);
+        let ms = ModuleStore::new();
+        for n in 1..=(MODULE_CAP as i64 + 8) {
+            let mut env = Env::new();
+            env.bind(plan.source.sizes[0], n);
+            let store = HostStore::allocate(&plan.source, &env);
+            ms.module(&plan, &env, &store, &ElabOptions::default())
+                .unwrap();
+        }
+        let g = ms.inner.lock().unwrap();
+        assert!(g.modules.len() <= MODULE_CAP);
+        assert_eq!(g.modules.len(), g.mod_order.len());
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let s = CacheStats {
+            skeleton_hits: 1,
+            module_misses: 2,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"skeleton_hits\":1"));
+        assert!(j.contains("\"module_misses\":2"));
+    }
+}

@@ -43,8 +43,9 @@ pub struct Census {
 }
 
 /// Options controlling elaboration (ablation hooks and protocol
-/// variants).
-#[derive(Clone, Debug)]
+/// variants). Part of the module-cache key (`crate::cache`): every
+/// variant elaborates a structurally different network.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ElabOptions {
     /// Insert the `d - 1` internal buffers fractional flows require
     /// (Sec. 7.6). Disabling demonstrates the timing effect.
@@ -119,7 +120,7 @@ impl fmt::Display for ElabError {
 impl std::error::Error for ElabError {}
 
 /// Where an output buffer's values must be restored after a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OutputSpec {
     pub variable: String,
     /// Element identities, in arrival order.
@@ -161,8 +162,8 @@ impl Elaborated {
 
 /// Adapts the plan's [`BasicStatement`] to the runtime's opaque
 /// [`ComputeBody`] (the runtime crate knows nothing about expression
-/// trees).
-struct BodyAdapter(Arc<BasicStatement>);
+/// trees). Shared with the two-phase elaborator (`crate::skeleton`).
+pub(crate) struct BodyAdapter(pub(crate) Arc<BasicStatement>);
 
 impl ComputeBody for BodyAdapter {
     fn execute(&self, locals: &mut [Value], x: &[i64]) {
@@ -170,10 +171,10 @@ impl ComputeBody for BodyAdapter {
     }
 }
 
-struct ChanAlloc(ChanId);
+pub(crate) struct ChanAlloc(pub(crate) ChanId);
 
 impl ChanAlloc {
-    fn next(&mut self) -> ChanId {
+    pub(crate) fn next(&mut self) -> ChanId {
         let c = self.0;
         self.0 += 1;
         c
@@ -183,13 +184,13 @@ impl ChanAlloc {
 /// Row-major index of the PS box, so per-(stream, point) tables are flat
 /// vectors rather than point-keyed hash maps (which cost a key clone and
 /// a hash per access — measurable at matmul sizes).
-struct PsIndex {
+pub(crate) struct PsIndex {
     lo: Vec<i64>,
     dims: Vec<usize>,
 }
 
 impl PsIndex {
-    fn new(ps: &[(i64, i64)]) -> PsIndex {
+    pub(crate) fn new(ps: &[(i64, i64)]) -> PsIndex {
         PsIndex {
             lo: ps.iter().map(|&(lo, _)| lo).collect(),
             dims: ps
@@ -199,12 +200,12 @@ impl PsIndex {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.dims.iter().product()
     }
 
     /// Offset of a point known to lie inside the box.
-    fn at(&self, p: &[i64]) -> usize {
+    pub(crate) fn at(&self, p: &[i64]) -> usize {
         let mut idx = 0usize;
         for ((&x, &lo), &d) in p.iter().zip(&self.lo).zip(&self.dims) {
             debug_assert!(x >= lo && ((x - lo) as usize) < d);

@@ -3,14 +3,15 @@
 //! experiments (hand translations run on transputer networks and a
 //! Symult s2010).
 
-use crate::elaborate::{elaborate, ElabError, ElabOptions, Elaborated, OutputSpec};
+use crate::cache::ModuleStore;
+use crate::elaborate::{ElabError, ElabOptions, Elaborated, OutputSpec};
 use std::time::Duration;
 use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
 use systolic_runtime::{
-    BatchMode, BatchPlan, ChannelPolicy, Network, OptMode, OptReport, OptimizedModule, RunError,
-    RunStats, SchedulePolicy, SharedRecorder, SinkBuffer,
+    BatchMode, ChannelPolicy, Network, OptMode, OptReport, RunError, RunStats, SchedulePolicy,
+    SharedRecorder, SinkBuffer,
 };
 
 /// Outcome of a systolic run.
@@ -148,12 +149,13 @@ pub fn run_plan_scheduled(
     sched: Option<Box<dyn SchedulePolicy>>,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
+    let cm = ModuleStore::global().module(plan, env, store, opts)?;
     let Elaborated {
         module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, opts)?;
+    } = &cm.elab;
     let inst = module.instantiate_recorded(recorders);
     let mut net = Network::new(policy);
     if let Some(s) = sched {
@@ -167,11 +169,11 @@ pub fn run_plan_scheduled(
     }
     let stats = net.run()?;
     let mut result = store.clone();
-    writeback(&outputs, &inst.outputs, &mut result)?;
+    writeback(outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
-        census,
+        census: census.clone(),
         batched: false,
         opt: None,
     })
@@ -229,13 +231,14 @@ pub fn run_plan_batch(
     if !batching_admissible(batch, policy, &sched, recorders) {
         return run_plan_scheduled(plan, env, store, policy, opts, sched, recorders);
     }
+    let cm = ModuleStore::global().module(plan, env, store, opts)?;
     let Elaborated {
         module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, opts)?;
-    let bplan = systolic_runtime::analyze(&module);
+    } = &cm.elab;
+    let bplan = cm.batch_plan();
     if !bplan.batchable() {
         // The analysis itself declined (shared endpoint, unbalanced
         // traffic); fall through to the rendezvous engine.
@@ -246,59 +249,38 @@ pub fn run_plan_batch(
         }
         let stats = net.run()?;
         let mut result = store.clone();
-        writeback(&outputs, &inst.outputs, &mut result)?;
+        writeback(outputs, &inst.outputs, &mut result)?;
         return Ok(SystolicRun {
             store: result,
             stats,
-            census,
+            census: census.clone(),
             batched: false,
             opt: None,
         });
     }
-    if let Some((o, oplan)) = optimized_module(&module, opt) {
-        let (stats, sinks) = systolic_runtime::run_coop_batched(&o.module, &oplan)?;
+    if let Some(od) = cm.optimized(opt) {
+        let (o, oplan) = &*od;
+        let (stats, sinks) = systolic_runtime::run_coop_batched(&o.module, oplan)?;
         let mut result = store.clone();
-        writeback(&outputs, &sinks, &mut result)?;
+        writeback(outputs, &sinks, &mut result)?;
         return Ok(SystolicRun {
             store: result,
             stats,
-            census,
+            census: census.clone(),
             batched: true,
-            opt: Some(o.report),
+            opt: Some(o.report.clone()),
         });
     }
-    let (stats, sinks) = systolic_runtime::run_coop_batched(&module, &bplan)?;
+    let (stats, sinks) = systolic_runtime::run_coop_batched(module, bplan)?;
     let mut result = store.clone();
-    writeback(&outputs, &sinks, &mut result)?;
+    writeback(outputs, &sinks, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
-        census,
+        census: census.clone(),
         batched: true,
         opt: None,
     })
-}
-
-/// Apply the ProcIR optimizer to an already-proven-batchable module and
-/// re-run the batch analysis over the fused result with the delay-ring
-/// capacities layered in. `None` when the mode forbids it, the module is
-/// already optimal, or (defensively) the fused module fails re-analysis —
-/// fusion preserves endpoint uniqueness and traffic balance, so the last
-/// case indicates an optimizer bug rather than a legal decline.
-fn optimized_module(
-    module: &std::sync::Arc<systolic_runtime::ProcIrModule>,
-    opt: OptMode,
-) -> Option<(OptimizedModule, BatchPlan)> {
-    if opt == OptMode::Off {
-        return None;
-    }
-    let o = systolic_runtime::optimize(module)?;
-    let oplan = systolic_runtime::analyze_with_caps(&o.module, &o.chan_caps);
-    if !oplan.batchable() {
-        debug_assert!(false, "fused module failed re-analysis: {:?}", oplan.reject_reason());
-        return None;
-    }
-    Some((o, oplan))
 }
 
 /// Run the plan on OS threads (wall-clock parallelism).
@@ -320,20 +302,21 @@ pub fn run_plan_threaded_recorded(
     timeout: Duration,
     recorders: Vec<SharedRecorder>,
 ) -> Result<SystolicRun, ExecError> {
+    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    } = &cm.elab;
     let inst = module.instantiate_recorded(&recorders);
     let stats = systolic_runtime::run_threaded_recorded(inst.procs, timeout, recorders)?;
     let mut result = store.clone();
-    writeback(&outputs, &inst.outputs, &mut result)?;
+    writeback(outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
-        census,
+        census: census.clone(),
         batched: false,
         opt: None,
     })
@@ -354,45 +337,47 @@ pub fn run_plan_threaded_batch(
     if batch == BatchMode::Off {
         return run_plan_threaded(plan, env, store, timeout);
     }
+    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, &ElabOptions::default())?;
-    let bplan = systolic_runtime::analyze(&module);
+    } = &cm.elab;
+    let bplan = cm.batch_plan();
     if !bplan.batchable() {
         let inst = module.instantiate();
         let stats = systolic_runtime::run_threaded(inst.procs, timeout)?;
         let mut result = store.clone();
-        writeback(&outputs, &inst.outputs, &mut result)?;
+        writeback(outputs, &inst.outputs, &mut result)?;
         return Ok(SystolicRun {
             store: result,
             stats,
-            census,
+            census: census.clone(),
             batched: false,
             opt: None,
         });
     }
-    if let Some((o, oplan)) = optimized_module(&module, opt) {
-        let (stats, sinks) = systolic_runtime::run_threaded_batched(&o.module, &oplan, timeout)?;
+    if let Some(od) = cm.optimized(opt) {
+        let (o, oplan) = &*od;
+        let (stats, sinks) = systolic_runtime::run_threaded_batched(&o.module, oplan, timeout)?;
         let mut result = store.clone();
-        writeback(&outputs, &sinks, &mut result)?;
+        writeback(outputs, &sinks, &mut result)?;
         return Ok(SystolicRun {
             store: result,
             stats,
-            census,
+            census: census.clone(),
             batched: true,
-            opt: Some(o.report),
+            opt: Some(o.report.clone()),
         });
     }
-    let (stats, sinks) = systolic_runtime::run_threaded_batched(&module, &bplan, timeout)?;
+    let (stats, sinks) = systolic_runtime::run_threaded_batched(module, bplan, timeout)?;
     let mut result = store.clone();
-    writeback(&outputs, &sinks, &mut result)?;
+    writeback(outputs, &sinks, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
-        census,
+        census: census.clone(),
         batched: true,
         opt: None,
     })
@@ -420,21 +405,22 @@ pub fn run_plan_partitioned_recorded(
     timeout: Duration,
     recorders: Vec<SharedRecorder>,
 ) -> Result<SystolicRun, ExecError> {
+    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    } = &cm.elab;
     let inst = module.instantiate_recorded(&recorders);
     let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
     let stats = systolic_runtime::run_partitioned_recorded(inst.procs, groups, timeout, recorders)?;
     let mut result = store.clone();
-    writeback(&outputs, &inst.outputs, &mut result)?;
+    writeback(outputs, &inst.outputs, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
-        census,
+        census: census.clone(),
         batched: false,
         opt: None,
     })
@@ -456,50 +442,51 @@ pub fn run_plan_partitioned_batch(
     if batch == BatchMode::Off {
         return run_plan_partitioned(plan, env, store, workers, timeout);
     }
+    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
         census,
         ..
-    } = elaborate(plan, env, store, &ElabOptions::default())?;
-    let bplan = systolic_runtime::analyze(&module);
+    } = &cm.elab;
+    let bplan = cm.batch_plan();
     if !bplan.batchable() {
         let inst = module.instantiate();
         let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
         let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)?;
         let mut result = store.clone();
-        writeback(&outputs, &inst.outputs, &mut result)?;
+        writeback(outputs, &inst.outputs, &mut result)?;
         return Ok(SystolicRun {
             store: result,
             stats,
-            census,
+            census: census.clone(),
             batched: false,
             opt: None,
         });
     }
-    if let Some((o, oplan)) = optimized_module(&module, opt) {
+    if let Some(od) = cm.optimized(opt) {
+        let (o, oplan) = &*od;
         let groups = systolic_runtime::block_partition(o.module.procs.len(), workers);
         let (stats, sinks) =
-            systolic_runtime::run_partitioned_batched(&o.module, &oplan, groups, timeout)?;
+            systolic_runtime::run_partitioned_batched(&o.module, oplan, groups, timeout)?;
         let mut result = store.clone();
-        writeback(&outputs, &sinks, &mut result)?;
+        writeback(outputs, &sinks, &mut result)?;
         return Ok(SystolicRun {
             store: result,
             stats,
-            census,
+            census: census.clone(),
             batched: true,
-            opt: Some(o.report),
+            opt: Some(o.report.clone()),
         });
     }
     let groups = systolic_runtime::block_partition(module.procs.len(), workers);
-    let (stats, sinks) =
-        systolic_runtime::run_partitioned_batched(&module, &bplan, groups, timeout)?;
+    let (stats, sinks) = systolic_runtime::run_partitioned_batched(module, bplan, groups, timeout)?;
     let mut result = store.clone();
-    writeback(&outputs, &sinks, &mut result)?;
+    writeback(outputs, &sinks, &mut result)?;
     Ok(SystolicRun {
         store: result,
         stats,
-        census,
+        census: census.clone(),
         batched: true,
         opt: None,
     })
@@ -558,6 +545,81 @@ pub fn verify_equivalence_batch(
         }
     }
     Ok((run.stats, run.batched, run.opt))
+}
+
+/// The cross-executor oracle experiment off **one** elaboration: fill
+/// the inputs, run the sequential reference, then run the cooperative,
+/// threaded, and partitioned engines against the same shared
+/// [`Arc<ProcIrModule>`](systolic_runtime::ProcIrModule) — one
+/// instantiation per engine, zero re-elaborations — and require every
+/// store to match the reference. Returns the labeled runs so callers
+/// can additionally compare the executors against each other
+/// (`tests/oracle.rs` does).
+pub fn verify_equivalence_all(
+    plan: &SystolicProgram,
+    env: &Env,
+    inputs: &[&str],
+    seed: u64,
+    workers: usize,
+    timeout: Duration,
+) -> Result<Vec<(&'static str, SystolicRun)>, String> {
+    let mut store = HostStore::allocate(&plan.source, env);
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    let mut expected = store.clone();
+    seq::run(&plan.source, env, &mut expected);
+
+    let cm = ModuleStore::global()
+        .module(plan, env, &store, &ElabOptions::default())
+        .map_err(|e| e.to_string())?;
+    let el = &cm.elab;
+    let finish = |stats: RunStats, sinks: &[SinkBuffer]| -> Result<SystolicRun, String> {
+        let mut result = store.clone();
+        writeback(&el.outputs, sinks, &mut result).map_err(|e| e.to_string())?;
+        Ok(SystolicRun {
+            store: result,
+            stats,
+            census: el.census.clone(),
+            batched: false,
+            opt: None,
+        })
+    };
+
+    let mut runs: Vec<(&'static str, SystolicRun)> = Vec::new();
+    {
+        let inst = el.module.instantiate();
+        let mut net = Network::new(ChannelPolicy::Rendezvous);
+        for p in inst.procs {
+            net.add(p);
+        }
+        let stats = net.run().map_err(|e| format!("coop: {e}"))?;
+        runs.push(("coop", finish(stats, &inst.outputs)?));
+    }
+    {
+        let inst = el.module.instantiate();
+        let stats = systolic_runtime::run_threaded(inst.procs, timeout)
+            .map_err(|e| format!("threaded: {e}"))?;
+        runs.push(("threaded", finish(stats, &inst.outputs)?));
+    }
+    {
+        let inst = el.module.instantiate();
+        let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
+        let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)
+            .map_err(|e| format!("partitioned: {e}"))?;
+        runs.push(("partitioned", finish(stats, &inst.outputs)?));
+    }
+
+    for (label, run) in &runs {
+        for name in expected.names() {
+            if run.store.get(name) != expected.get(name) {
+                return Err(format!(
+                    "{label}: variable {name} differs between sequential and systolic execution"
+                ));
+            }
+        }
+    }
+    Ok(runs)
 }
 
 /// [`verify_equivalence`] under explicit elaboration options (protocol
@@ -656,7 +718,7 @@ mod tests {
         let mut store = HostStore::allocate(&plan.source, &env);
         store.fill_random("a", 3, -9, 9);
         store.fill_random("b", 4, -9, 9);
-        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+        let el = crate::elaborate::elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
         let mut runs = Vec::new();
         for _ in 0..2 {
             let inst = el.module.instantiate();

@@ -7,26 +7,35 @@
 //! - [`elaborate`] — pipe construction, channel allocation, buffer
 //!   insertion at a concrete problem size, lowering every process to the
 //!   flat `ProcIR` bytecode (`systolic_runtime::ProcIrModule`);
+//! - [`skeleton`] — the same lowering split in two: a size-parametric
+//!   skeleton compiled once per plan, instantiated per concrete size;
+//! - [`cache`] — the `Arc`-shared module store in front of both phases,
+//!   which every executor entry point goes through;
 //! - [`exec`] — running plans on any executor and verifying
 //!   observational equivalence with the sequential reference;
 //! - [`metrics`] — observed runs: metrics reports and Perfetto traces
 //!   with channels named by stream and process-space point.
 
+pub mod cache;
 pub mod describe;
 pub mod elaborate;
 pub mod exec;
 pub mod metrics;
 pub mod runtime_gen;
 pub mod rustgen;
+pub mod skeleton;
 pub mod trace;
 
+pub use cache::{CacheStats, CachedModule, ModuleStore};
 pub use describe::describe;
 pub use elaborate::{elaborate, Census, ElabError, ElabOptions, Elaborated, OutputSpec};
 pub use exec::{
     run_plan, run_plan_batch, run_plan_partitioned, run_plan_partitioned_batch,
     run_plan_partitioned_recorded, run_plan_recorded, run_plan_scheduled, run_plan_threaded,
     run_plan_threaded_batch, run_plan_threaded_recorded, verify_equivalence,
-    verify_equivalence_batch, verify_equivalence_with, ExecError, SystolicRun,
+    verify_equivalence_all, verify_equivalence_batch, verify_equivalence_with, ExecError,
+    SystolicRun,
 };
 pub use metrics::{channel_names, observe_plan, Observed};
+pub use skeleton::{elaborate_skeleton, instantiate, SkeletonModule};
 pub use systolic_runtime::{BatchMode, OptMode, OptReport};

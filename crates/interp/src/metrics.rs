@@ -18,7 +18,8 @@
 //! The CLI exposes both as `run --metrics PATH --trace-out PATH`; see
 //! `docs/observability.md`.
 
-use crate::elaborate::{elaborate, ElabOptions, Elaborated};
+use crate::cache::{CacheStats, ModuleStore};
+use crate::elaborate::{ElabOptions, Elaborated};
 use crate::exec::{writeback, ExecError, SystolicRun};
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
@@ -43,25 +44,32 @@ pub struct Observed {
     /// the metrics above describe the unoptimized module; this report is
     /// the structural mapping an `--opt auto` run of the same plan uses.
     pub opt_report: Option<OptReport>,
+    /// Snapshot of the module-store counters
+    /// ([`ModuleStore::global`]`.stats()`) taken right after this run's
+    /// elaboration, so the report shows whether it was served warm.
+    pub cache: CacheStats,
 }
 
 impl Observed {
-    /// The metrics JSON with the optimizer mapping report spliced in as
-    /// an `"optimizer"` section (absent when the module is untouched) —
+    /// The metrics JSON with the module-cache counters spliced in as an
+    /// `"elab_cache"` section and the optimizer mapping report as an
+    /// `"optimizer"` section (absent when the module is untouched) —
     /// what `run --metrics PATH` writes.
     pub fn metrics_json(&self) -> String {
         let base = self.report.to_json();
-        let Some(r) = &self.opt_report else {
-            return base;
-        };
         let stem = base
             .trim_end()
             .strip_suffix('}')
             .expect("metrics JSON ends with its root object brace")
             .trim_end()
             .to_string();
-        let indented = r.to_json().trim_end().replace('\n', "\n  ");
-        format!("{stem},\n  \"optimizer\": {indented}\n}}\n")
+        let mut sections = String::new();
+        if let Some(r) = &self.opt_report {
+            let indented = r.to_json().trim_end().replace('\n', "\n  ");
+            sections.push_str(&format!(",\n  \"optimizer\": {indented}"));
+        }
+        sections.push_str(&format!(",\n  \"elab_cache\": {}", self.cache.to_json()));
+        format!("{stem}{sections}\n}}\n")
     }
 }
 
@@ -104,8 +112,10 @@ pub fn observe_plan(
     policy: ChannelPolicy,
     opts: &ElabOptions,
 ) -> Result<Observed, ExecError> {
-    let el = elaborate(plan, env, store, opts)?;
-    let names = channel_names(plan, &el);
+    let cm = ModuleStore::global().module(plan, env, store, opts)?;
+    let cache = ModuleStore::global().stats();
+    let el = &cm.elab;
+    let names = channel_names(plan, el);
     let (metrics, m_erased) = shared(MetricsRecorder::new());
     let (perfetto, p_erased) = shared(PerfettoRecorder::new().with_channel_names(names));
     let recorders = vec![m_erased, p_erased];
@@ -127,13 +137,14 @@ pub fn observe_plan(
         run: SystolicRun {
             store: result,
             stats,
-            census: el.census,
+            census: el.census.clone(),
             batched: false,
             opt: None,
         },
         report,
         perfetto_json,
         opt_report,
+        cache,
     })
 }
 
@@ -215,7 +226,7 @@ mod tests {
     #[test]
     fn channel_names_cover_every_endpoint() {
         let (plan, env, store) = setup(3);
-        let el = elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
+        let el = crate::elaborate::elaborate(&plan, &env, &store, &ElabOptions::default()).unwrap();
         let names = channel_names(&plan, &el);
         assert_eq!(names.len(), el.module.n_chans);
         for (sid, _, ic, oc) in &el.endpoints {

@@ -352,7 +352,10 @@ pub fn agree_with_opt(
     // the batch analysis will see.
     for (i, c) in r.chains.iter().enumerate() {
         if r.chan_map.get(c.entry).copied().flatten() != Some(c.surviving) {
-            return Err(format!("chain {i}: entry {} does not survive as {}", c.entry, c.surviving));
+            return Err(format!(
+                "chain {i}: entry {} does not survive as {}",
+                c.entry, c.surviving
+            ));
         }
         if r.chan_map.get(c.exit).copied().flatten().is_some() {
             return Err(format!("chain {i}: exit channel {} survives", c.exit));
@@ -415,7 +418,10 @@ mod tests {
                 assert_eq!(compared, el.comp_at.len());
             }
         }
-        assert!(optimized_somewhere, "no paper design produced an optimized module");
+        assert!(
+            optimized_somewhere,
+            "no paper design produced an optimized module"
+        );
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! Two-phase elaboration: a size-parametric ProcIR skeleton compiled
+//! once per (plan, options), instantiated at any concrete problem size
+//! in near-linear time.
+//!
+//! [`crate::elaborate::elaborate`] re-derives everything — the pipe
+//! topology, the schedule clauses, the per-point counts — from the
+//! symbolic plan at every concrete size. But the paper's derivation is
+//! symbolic in the size already, and the only per-size facts are
+//! integers: the PS box corners, the pipe contents, and the
+//! soak/count/drain values at each point. Phase 1
+//! ([`elaborate_skeleton`]) runs everything that does *not* depend on
+//! the size bound: it partially evaluates every schedule quantity over
+//! the **extended** dimension vector `coordinates ++ sizes`
+//! (`systolic_math::speceval` keeps the listed variables symbolic as
+//! integer coefficients), captures each stream's unit flow, relay
+//! count, and element increment, and wraps the shared [`ComputeBody`].
+//! Phase 2 ([`instantiate`]) binds the size values into the tail of one
+//! evaluation vector and sweeps the now-concrete PS box with pure
+//! integer arithmetic — no parsing, no rational solving, no symbolic
+//! clause selection.
+//!
+//! The construction mirrors [`crate::elaborate::elaborate`] operation
+//! for operation — same channel allocation order, same relay labels,
+//! same census — and the specialized forms answer exactly as their
+//! symbolic originals (clause order preserved, exact integer
+//! arithmetic), so the instantiated module is **bit-identical** to a
+//! direct elaboration: `tests/elaboration.rs` pins module structure,
+//! output maps, endpoints, and run results differentially. The direct
+//! elaborator stays untouched as the oracle implementation.
+//!
+//! Skeletons are immutable and `Arc`-shared; the module cache
+//! (`crate::cache`) sits in front of both phases.
+
+use crate::elaborate::{
+    BodyAdapter, Census, ChanAlloc, ElabError, ElabOptions, Elaborated, OutputSpec, PsIndex,
+};
+use std::sync::Arc;
+use systolic_core::{StreamKind, SystolicProgram};
+use systolic_ir::HostStore;
+use systolic_math::speceval::{SpecCount, SpecPoint};
+use systolic_math::{point, Env, Var};
+use systolic_runtime::{ChanId, ComputeBody, MovingLink, ProcIrBuilder, ProcOp};
+
+/// Everything phase 2 needs about one stream, with every schedule
+/// quantity specialized over the extended dimension vector.
+struct StreamSkeleton {
+    /// `StreamId` index — the row of the endpoint tables.
+    id: usize,
+    name: String,
+    kind: StreamKind,
+    unit_flow: Vec<i64>,
+    increment_s: Vec<i64>,
+    /// Internal relay buffers per chain element (`denominator - 1`,
+    /// already gated by [`ElabOptions::internal_buffers`]).
+    relays: i64,
+    first_s: SpecPoint,
+    last_s: SpecPoint,
+    soak: SpecCount,
+    drain: SpecCount,
+}
+
+/// A size-parametric ProcIR skeleton: phase 1's output, consumed by
+/// [`instantiate`] at each concrete size.
+pub struct SkeletonModule {
+    opts: ElabOptions,
+    /// Process-space dimensionality (`r - 1`): the evaluation vector is
+    /// `[y_0 .. y_{n_coords-1}, size_0 .. size_{k-1}]`.
+    n_coords: usize,
+    /// The size symbols, in `SourceProgram::sizes` order — the tail of
+    /// the evaluation vector.
+    size_vars: Vec<Var>,
+    ps_min: Vec<systolic_math::speceval::SpecAffine>,
+    ps_max: Vec<systolic_math::speceval::SpecAffine>,
+    first: SpecPoint,
+    count: SpecCount,
+    increment: Vec<i64>,
+    /// `plan.streams.len()`, the computation processes' local-slot count.
+    n_slots: u32,
+    /// `max(StreamId) + 1`, the endpoint-table row count.
+    n_streams: usize,
+    streams: Vec<StreamSkeleton>,
+    body: Arc<dyn ComputeBody>,
+}
+
+impl SkeletonModule {
+    /// The size symbols this skeleton expects bound at instantiation,
+    /// in evaluation-vector order.
+    pub fn size_vars(&self) -> &[Var] {
+        &self.size_vars
+    }
+
+    pub fn options(&self) -> &ElabOptions {
+        &self.opts
+    }
+}
+
+/// Phase 1: compile `plan` into a size-parametric skeleton. Everything
+/// symbolic is partially evaluated here — over the extended dimension
+/// vector `plan.coords ++ plan.source.sizes`, with an empty environment,
+/// so a variable outside that vector panics now (at compile) rather than
+/// at some instantiation later.
+pub fn elaborate_skeleton(plan: &SystolicProgram, opts: &ElabOptions) -> Arc<SkeletonModule> {
+    use systolic_math::speceval::SpecAffine;
+    let mut dims: Vec<Var> = plan.coords.clone();
+    dims.extend(plan.source.sizes.iter().copied());
+    let env = Env::new();
+    let streams = plan
+        .streams
+        .iter()
+        .map(|sp| StreamSkeleton {
+            id: sp.id.0,
+            name: sp.name.clone(),
+            kind: sp.kind.clone(),
+            unit_flow: sp.unit_flow.clone(),
+            increment_s: sp.increment_s.clone(),
+            relays: if opts.internal_buffers {
+                sp.denominator - 1
+            } else {
+                0
+            },
+            first_s: SpecPoint::of_points(&sp.first_s, &dims, &env),
+            last_s: SpecPoint::of_points(&sp.last_s, &dims, &env),
+            soak: SpecCount::of(&sp.soak, &dims, &env),
+            drain: SpecCount::of(&sp.drain, &dims, &env),
+        })
+        .collect();
+    Arc::new(SkeletonModule {
+        opts: opts.clone(),
+        n_coords: plan.coords.len(),
+        size_vars: plan.source.sizes.clone(),
+        ps_min: plan
+            .ps_min
+            .iter()
+            .map(|a| SpecAffine::compile(a, &dims, &env))
+            .collect(),
+        ps_max: plan
+            .ps_max
+            .iter()
+            .map(|a| SpecAffine::compile(a, &dims, &env))
+            .collect(),
+        first: SpecPoint::of_points(&plan.first, &dims, &env),
+        count: SpecCount::of(&plan.count, &dims, &env),
+        increment: plan.increment.clone(),
+        n_slots: plan.streams.len() as u32,
+        n_streams: plan.streams.iter().map(|s| s.id.0 + 1).max().unwrap_or(0),
+        streams,
+        body: Arc::new(BodyAdapter(Arc::new(plan.source.body.clone()))),
+    })
+}
+
+/// Phase 2: materialize channels, processes, and endpoint tables for the
+/// concrete size bound in `env`, reading initial stream data from
+/// `store`. Mirrors [`crate::elaborate::elaborate`]'s construction order
+/// exactly; every symbolic query is a prebaked integer form evaluated at
+/// `[y ++ sizes]`.
+pub fn instantiate(
+    skel: &SkeletonModule,
+    env: &Env,
+    store: &HostStore,
+) -> Result<Elaborated, ElabError> {
+    let nc = skel.n_coords;
+    // One evaluation vector for every query below: the size tail is
+    // fixed for the whole sweep, the coordinate head is overwritten per
+    // point (the two-phase analogue of elaborate's scratch environment).
+    let mut yx = vec![0i64; nc + skel.size_vars.len()];
+    for (slot, &v) in yx[nc..].iter_mut().zip(&skel.size_vars) {
+        *slot = env.expect(v);
+    }
+    let ps: Vec<(i64, i64)> = skel
+        .ps_min
+        .iter()
+        .zip(&skel.ps_max)
+        .map(|(lo, hi)| (lo.eval_int(&yx), hi.eval_int(&yx)))
+        .collect();
+    let in_ps = |p: &[i64]| p.iter().zip(&ps).all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+    let ps_points = enumerate_box(&ps);
+    let psidx = PsIndex::new(&ps);
+    let opts = &skel.opts;
+
+    let mut chans = ChanAlloc(0);
+    let mut b = ProcIrBuilder::new();
+    let mut outputs = Vec::new();
+    let mut census = Census::default();
+    let mut endpoint: Vec<Vec<(ChanId, ChanId)>> =
+        vec![vec![(ChanId::MAX, ChanId::MAX); psidx.len()]; skel.n_streams];
+    let mut pipe_n: Vec<Vec<i64>> = vec![vec![0; psidx.len()]; skel.n_streams];
+
+    struct PipeIo {
+        entry: ChanId,
+        exit: ChanId,
+        head: Vec<i64>,
+        tail: Vec<i64>,
+        values: Vec<i64>,
+        elements: Vec<Vec<i64>>,
+    }
+
+    for sp in &skel.streams {
+        let u = &sp.unit_flow;
+        let var = store
+            .try_get(&sp.name)
+            .ok_or_else(|| ElabError::MissingVariable {
+                variable: sp.name.clone(),
+            })?;
+        let mut pipe_ios: Vec<PipeIo> = Vec::new();
+        for head in &ps_points {
+            if in_ps(&point::sub(head, u)) {
+                continue; // not the upstream end of a pipe
+            }
+            let mut chain = Vec::new();
+            let mut z = head.clone();
+            while in_ps(&z) {
+                chain.push(z.clone());
+                z = point::add(&z, u);
+            }
+            yx[..nc].copy_from_slice(head);
+            let first_s = sp.first_s.point_at(&yx);
+            let last_s = sp.last_s.point_at(&yx);
+            let (elements, n) = match (first_s, last_s) {
+                (Some(f), Some(l)) => {
+                    let k = point::exact_div(&point::sub(&l, &f), &sp.increment_s).ok_or_else(
+                        || ElabError::MisalignedPipe {
+                            stream: sp.name.clone(),
+                            head: head.clone(),
+                        },
+                    )?;
+                    if k < 0 {
+                        return Err(ElabError::ReversedPipe {
+                            stream: sp.name.clone(),
+                            head: head.clone(),
+                        });
+                    }
+                    let elems: Vec<Vec<i64>> = (0..=k)
+                        .map(|t| point::add(&f, &point::scale(t, &sp.increment_s)))
+                        .collect();
+                    let n = elems.len() as i64;
+                    (elems, n)
+                }
+                _ => (Vec::new(), 0),
+            };
+            for z in &chain {
+                pipe_n[sp.id][psidx.at(z)] = n;
+            }
+
+            let entry = chans.next();
+            let mut prev = entry;
+            for z in &chain {
+                for r in 0..sp.relays {
+                    let nxt = chans.next();
+                    b.relay(
+                        prev,
+                        nxt,
+                        n.max(0) as usize,
+                        format!("buf{r}:{}@{}", sp.name, point::fmt_point(z)),
+                    );
+                    census.internal_buffers += 1;
+                    prev = nxt;
+                }
+                let out = chans.next();
+                endpoint[sp.id][psidx.at(z)] = (prev, out);
+                prev = out;
+            }
+            let values = elements
+                .iter()
+                .map(|e| {
+                    var.checked_get(e)
+                        .ok_or_else(|| ElabError::ElementOutOfBounds {
+                            variable: sp.name.clone(),
+                            element: e.clone(),
+                        })
+                })
+                .collect::<Result<Vec<i64>, ElabError>>()?;
+            pipe_ios.push(PipeIo {
+                entry,
+                exit: prev,
+                head: head.clone(),
+                tail: chain.last().unwrap().clone(),
+                values,
+                elements,
+            });
+        }
+
+        if opts.merge_io {
+            let max_len = pipe_ios.iter().map(|p| p.values.len()).max().unwrap_or(0);
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            let mut merged_elems = Vec::new();
+            for t in 0..max_len {
+                for p in &pipe_ios {
+                    if t < p.values.len() {
+                        sends.push((p.entry, p.values[t]));
+                        recvs.push(p.exit);
+                        merged_elems.push(p.elements[t].clone());
+                    }
+                }
+            }
+            b.scripted_source(&sends, format!("in:{}", sp.name));
+            let (_, out) = b.scripted_sink(&recvs, format!("out:{}", sp.name));
+            census.inputs += 1;
+            census.outputs += 1;
+            outputs.push(OutputSpec {
+                variable: sp.name.clone(),
+                elements: merged_elems,
+                output: out,
+            });
+        } else {
+            for p in pipe_ios {
+                b.source(
+                    p.entry,
+                    &p.values,
+                    format!("in:{}@{}", sp.name, point::fmt_point(&p.head)),
+                );
+                census.inputs += 1;
+                let (_, out) = b.sink(
+                    p.exit,
+                    p.elements.len(),
+                    format!("out:{}@{}", sp.name, point::fmt_point(&p.tail)),
+                );
+                census.outputs += 1;
+                outputs.push(OutputSpec {
+                    variable: sp.name.clone(),
+                    elements: p.elements,
+                    output: out,
+                });
+            }
+        }
+    }
+
+    // Processes at every PS point, querying the prebaked integer forms.
+    let mut comp_at = Vec::new();
+    for y in &ps_points {
+        let yi = psidx.at(y);
+        yx[..nc].copy_from_slice(y);
+        if let Some(first) = skel.first.point_at(&yx) {
+            let count = skel.count.at(&yx);
+            let mut moving: Vec<MovingLink> = Vec::new();
+            let mut soaks: Vec<ProcOp> = Vec::new();
+            for sp in &skel.streams {
+                if sp.kind == StreamKind::Moving {
+                    let (ic, oc) = endpoint[sp.id][yi];
+                    let soak = sp.soak.at(&yx);
+                    let drain = sp.drain.at(&yx);
+                    if opts.split_propagation {
+                        let cs = chans.next(); // splitter -> comp
+                        let cm = chans.next(); // comp -> merger
+                        let sm = chans.next(); // splitter -> merger
+                        b.segment_relay(
+                            &[
+                                (ic, sm, soak.max(0) as usize),
+                                (ic, cs, count.max(0) as usize),
+                                (ic, sm, drain.max(0) as usize),
+                            ],
+                            format!("split:{}@{}", sp.name, point::fmt_point(y)),
+                        );
+                        b.segment_relay(
+                            &[
+                                (sm, oc, soak.max(0) as usize),
+                                (cm, oc, count.max(0) as usize),
+                                (sm, oc, drain.max(0) as usize),
+                            ],
+                            format!("merge:{}@{}", sp.name, point::fmt_point(y)),
+                        );
+                        census.escorts += 2;
+                        moving.push(MovingLink {
+                            slot: sp.id as u32,
+                            inp: cs,
+                            out: cm,
+                        });
+                    } else {
+                        soaks.push(ProcOp::Pass {
+                            inp: ic,
+                            out: oc,
+                            n: soak.max(0) as u64,
+                        });
+                        moving.push(MovingLink {
+                            slot: sp.id as u32,
+                            inp: ic,
+                            out: oc,
+                        });
+                    }
+                }
+            }
+            b.begin(format!("comp@{}", point::fmt_point(y)));
+            for sp in &skel.streams {
+                if let StreamKind::Stationary { .. } = sp.kind {
+                    let (ic, oc) = endpoint[sp.id][yi];
+                    let drain = sp.drain.at(&yx);
+                    b.op(ProcOp::Keep {
+                        chan: ic,
+                        slot: sp.id as u32,
+                    });
+                    b.op(ProcOp::Pass {
+                        inp: ic,
+                        out: oc,
+                        n: drain.max(0) as u64,
+                    });
+                }
+            }
+            for op in &soaks {
+                b.op(*op);
+            }
+            b.op(ProcOp::Compute {
+                count: count.max(0) as u64,
+            });
+            if !opts.split_propagation {
+                for sp in &skel.streams {
+                    if sp.kind == StreamKind::Moving {
+                        let (ic, oc) = endpoint[sp.id][yi];
+                        let drain = sp.drain.at(&yx);
+                        b.op(ProcOp::Pass {
+                            inp: ic,
+                            out: oc,
+                            n: drain.max(0) as u64,
+                        });
+                    }
+                }
+            }
+            for sp in &skel.streams {
+                if let StreamKind::Stationary { .. } = sp.kind {
+                    let (ic, oc) = endpoint[sp.id][yi];
+                    let soak = sp.soak.at(&yx);
+                    b.op(ProcOp::Pass {
+                        inp: ic,
+                        out: oc,
+                        n: soak.max(0) as u64,
+                    });
+                    b.op(ProcOp::Eject {
+                        chan: oc,
+                        slot: sp.id as u32,
+                    });
+                }
+            }
+            b.repeater(&moving, &first, &skel.increment, skel.n_slots);
+            let pid = b.finish();
+            comp_at.push((y.clone(), pid));
+            census.computation += 1;
+        } else {
+            for sp in &skel.streams {
+                let (ic, oc) = endpoint[sp.id][yi];
+                let n = pipe_n[sp.id][yi];
+                b.relay(
+                    ic,
+                    oc,
+                    n.max(0) as usize,
+                    format!("extbuf:{}@{}", sp.name, point::fmt_point(y)),
+                );
+                census.external_buffers += 1;
+            }
+        }
+    }
+
+    census.channels = chans.0;
+    let endpoints = skel
+        .streams
+        .iter()
+        .flat_map(|sp| {
+            let row = &endpoint[sp.id];
+            let psidx = &psidx;
+            ps_points.iter().map(move |y| {
+                let (ic, oc) = row[psidx.at(y)];
+                (sp.id, y.clone(), ic, oc)
+            })
+        })
+        .collect();
+    let module = b.build(Some(skel.body.clone()));
+    Ok(Elaborated {
+        module,
+        outputs,
+        census,
+        endpoints,
+        comp_at,
+    })
+}
+
+/// All points of an inclusive box, row-major — the concrete analogue of
+/// `SystolicProgram::ps_points`.
+fn enumerate_box(bx: &[(i64, i64)]) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    let mut p: Vec<i64> = bx.iter().map(|&(lo, _)| lo).collect();
+    if bx.iter().any(|&(lo, hi)| lo > hi) {
+        return out;
+    }
+    loop {
+        out.push(p.clone());
+        let mut d = bx.len();
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            p[d] += 1;
+            if p[d] <= bx[d].1 {
+                break;
+            }
+            p[d] = bx[d].0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    #[test]
+    fn skeleton_instantiation_is_bit_identical_to_direct_elaboration() {
+        for (label, p, a) in paper::all() {
+            let plan = compile(&p, &a, &Options::default()).unwrap();
+            let opts = ElabOptions::default();
+            let skel = elaborate_skeleton(&plan, &opts);
+            for n in [1i64, 3, 5] {
+                let mut env = Env::new();
+                env.bind(plan.source.sizes[0], n);
+                let store = HostStore::allocate(&plan.source, &env);
+                let direct = elaborate(&plan, &env, &store, &opts).unwrap();
+                let two_phase = instantiate(&skel, &env, &store).unwrap();
+                assert!(
+                    direct.module.same_structure(&two_phase.module),
+                    "{label} n={n}: module structure diverges"
+                );
+                assert_eq!(direct.census, two_phase.census, "{label} n={n}");
+                assert_eq!(direct.outputs, two_phase.outputs, "{label} n={n}");
+                assert_eq!(direct.endpoints, two_phase.endpoints, "{label} n={n}");
+                assert_eq!(direct.comp_at, two_phase.comp_at, "{label} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_errors_match_direct_elaboration() {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(plan.source.sizes[0], 2);
+        let skel = elaborate_skeleton(&plan, &ElabOptions::default());
+        let empty = HostStore::new();
+        let Err(direct) = elaborate(&plan, &env, &empty, &ElabOptions::default()) else {
+            panic!("elaboration must fail without host arrays");
+        };
+        let Err(two_phase) = instantiate(&skel, &env, &empty) else {
+            panic!("instantiation must fail without host arrays");
+        };
+        assert_eq!(direct, two_phase);
+    }
+}

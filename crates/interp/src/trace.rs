@@ -7,7 +7,8 @@
 //! ASCII space–time diagram for 1-dimensional arrays (Appendix D's
 //! designs) and per-round activity summaries for higher dimensions.
 
-use crate::elaborate::{elaborate, ElabOptions, Elaborated};
+use crate::cache::ModuleStore;
+use crate::elaborate::{ElabOptions, Elaborated};
 use crate::exec::ExecError;
 use std::collections::HashMap;
 use systolic_core::SystolicProgram;
@@ -37,9 +38,10 @@ pub fn run_traced(
     env: &Env,
     store: &HostStore,
 ) -> Result<(Vec<LocatedEvent>, u64), ExecError> {
+    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module, endpoints, ..
-    } = elaborate(plan, env, store, &ElabOptions::default())?;
+    } = &cm.elab;
     let (log, erased) = shared(EventLogRecorder::new());
     let recorders = [erased];
     let inst = module.instantiate_recorded(&recorders);
@@ -52,7 +54,7 @@ pub fn run_traced(
     // chan -> (stream name, coords) for the *incoming* channel of each
     // process.
     let mut incoming: HashMap<usize, (String, Vec<i64>)> = HashMap::new();
-    for (sid, y, ic, _oc) in &endpoints {
+    for (sid, y, ic, _oc) in endpoints {
         incoming.insert(*ic, (plan.streams[*sid].name.clone(), y.clone()));
     }
     let located = log

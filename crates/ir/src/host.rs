@@ -179,6 +179,26 @@ impl HostStore {
         self.arrays.keys().map(|s| s.as_str())
     }
 
+    /// A content hash of the whole store — names, bounds, and every
+    /// value, in sorted-name order so the map's iteration order cannot
+    /// leak in. Elaboration bakes input values into source scripts, so
+    /// the module cache (`systolic_interp::cache`) keys instantiated
+    /// modules by this fingerprint: same plan + sizes + data → same
+    /// module, any edit → a distinct key.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut names: Vec<&str> = self.names().collect();
+        names.sort_unstable();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for name in names {
+            let arr = &self.arrays[name];
+            name.hash(&mut h);
+            arr.bounds().hash(&mut h);
+            arr.raw().hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Fill an array with uniform pseudo-random values from a seeded LCG —
     /// deterministic workloads for the equivalence experiments.
     pub fn fill_random(&mut self, name: &str, seed: u64, lo: Value, hi: Value) {
@@ -245,5 +265,25 @@ mod tests {
         let mut store2 = HostStore::allocate(&p, &env);
         store2.fill_random("a", 7, -5, 5);
         assert_eq!(store.get("a"), store2.get("a"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_insertion_order() {
+        let mut s1 = HostStore::new();
+        s1.insert("a", HostArray::zeros(&[(0, 3)]));
+        s1.insert("b", HostArray::zeros(&[(0, 2)]));
+        let mut s2 = HostStore::new();
+        s2.insert("b", HostArray::zeros(&[(0, 2)]));
+        s2.insert("a", HostArray::zeros(&[(0, 3)]));
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        // Any value edit moves the fingerprint.
+        let before = s1.fingerprint();
+        s1.get_mut("a").set(&[1], 9);
+        assert_ne!(before, s1.fingerprint());
+        // So does a bounds change at identical data.
+        let mut s3 = HostStore::new();
+        s3.insert("a", HostArray::zeros(&[(1, 4)]));
+        s3.insert("b", HostArray::zeros(&[(0, 2)]));
+        assert_ne!(s2.fingerprint(), s3.fingerprint());
     }
 }

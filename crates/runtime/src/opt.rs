@@ -582,8 +582,8 @@ fn rebuild(
 
     // Dense channel renumbering over the survivors.
     let mut next = 0;
-    for c in 0..nc {
-        if !dropped_chan[c] {
+    for (c, dropped) in dropped_chan.iter().enumerate().take(nc) {
+        if !dropped {
             report.chan_map[c] = Some(next);
             next += 1;
         }

@@ -97,7 +97,7 @@ pub struct MovingLink {
 
 /// One process's record in the arena: ranges into the module-wide op,
 /// data, moving-link, and point tables.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcRecord {
     /// Diagnostic label (deadlock reports, codegen comments).
     pub label: String,
@@ -138,6 +138,22 @@ pub struct ProcIrModule {
 }
 
 impl ProcIrModule {
+    /// Structural equality over every arena table — everything except the
+    /// opaque [`ComputeBody`] (a trait object; two modules elaborated from
+    /// the same plan share its behaviour by construction). This is the
+    /// bit-identity relation the two-phase elaboration differential suite
+    /// pins: same ops, data scripts, moving links, repeater points,
+    /// process records, channel density, and output count.
+    pub fn same_structure(&self, other: &ProcIrModule) -> bool {
+        self.ops == other.ops
+            && self.data == other.data
+            && self.moving == other.moving
+            && self.points == other.points
+            && self.procs == other.procs
+            && self.n_chans == other.n_chans
+            && self.n_outputs == other.n_outputs
+    }
+
     pub fn ops_of(&self, pid: ProcId) -> &[ProcOp] {
         let (a, b) = self.procs[pid].ops;
         &self.ops[a as usize..b as usize]
@@ -768,9 +784,7 @@ impl ProcVm {
                             // rings per direction — the availability
                             // check is per-ring, not per-slot.
                             let distinct = links.iter().enumerate().all(|(i, a)| {
-                                links[..i]
-                                    .iter()
-                                    .all(|b| a.inp != b.inp && a.out != b.out)
+                                links[..i].iter().all(|b| a.inp != b.inp && a.out != b.out)
                             });
                             while distinct && self.t < count as i64 {
                                 let ready = links.iter().all(|mc| {
@@ -780,9 +794,8 @@ impl ProcVm {
                                     break;
                                 }
                                 for mc in links {
-                                    self.locals[mc.slot as usize] = rings[mc.inp]
-                                        .pop()
-                                        .expect("availability checked above");
+                                    self.locals[mc.slot as usize] =
+                                        rings[mc.inp].pop().expect("availability checked above");
                                 }
                                 *moved += links.len() as u64;
                                 stats.steps += 1; // the par-receive set

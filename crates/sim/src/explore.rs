@@ -14,7 +14,7 @@ use crate::json::{parse, Json};
 use crate::policy::{policy_by_name, RecordingPolicy, ReplayPolicy, ScheduleLog, ScheduleRound};
 use std::sync::Arc;
 use systolic_core::SystolicProgram;
-use systolic_interp::{elaborate, ElabOptions};
+use systolic_interp::{ElabOptions, ModuleStore};
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{
@@ -75,14 +75,15 @@ impl PlanSubject {
         for (i, name) in inputs.iter().enumerate() {
             store.fill_random(name, input_seed.wrapping_add(i as u64), -9, 9);
         }
-        let el = elaborate(plan, &env, &store, &ElabOptions::default())
+        let cm = ModuleStore::global()
+            .module(plan, &env, &store, &ElabOptions::default())
             .map_err(|e| format!("elaboration failed: {e}"))?;
         Ok(PlanSubject {
             key: key.into(),
             source,
             sizes: sizes.to_vec(),
             input_seed,
-            module: el.module,
+            module: cm.elab.module.clone(),
         })
     }
 }

@@ -226,7 +226,7 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 )
                 .map_err(|e| format!("FAILED: {e}"))?;
                 if let Some(path) = inv.flag("metrics") {
-                    std::fs::write(path, obs.report.to_json())
+                    std::fs::write(path, obs.metrics_json())
                         .map_err(|e| format!("cannot write {path}: {e}"))?;
                     out.push_str(&format!("\nmetrics report: {path}"));
                 }
@@ -269,6 +269,9 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             if let Some(n) = inv.flag("schedules") {
                 let n: u64 = n.parse().map_err(|_| "--schedules needs a number")?;
                 return explore_schedules(inv, src, n);
+            }
+            if let Some(spec) = inv.flag("sweep-sizes") {
+                return explore_sweep(inv, src, spec);
             }
             let bound: i64 = inv.flag("bound").and_then(|s| s.parse().ok()).unwrap_or(2);
             let sample: i64 = inv.flag("sample").and_then(|s| s.parse().ok()).unwrap_or(6);
@@ -358,6 +361,90 @@ fn explore_schedules(inv: &Invocation, src: &str, n_seeds: u64) -> Result<String
             ))
         }
     }
+}
+
+/// Size-sweep mode of `explore`: run the compiled program at every size
+/// in `LO:HI` through the module store — the skeleton compiles once,
+/// each size pays only instantiation — and attribute wall time to
+/// elaboration vs simulation per size. The sweep demonstrates the
+/// two-phase elaborator's contract: across a whole size range the
+/// elaboration column stays a small fraction of the simulation column.
+fn explore_sweep(inv: &Invocation, src: &str, spec: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    let bad = "--sweep-sizes needs LO:HI with 1 <= LO <= HI";
+    let (lo, hi) = spec.split_once(':').ok_or(bad)?;
+    let lo: i64 = lo.trim().parse().map_err(|_| bad)?;
+    let hi: i64 = hi.trim().parse().map_err(|_| bad)?;
+    if lo < 1 || hi < lo {
+        return Err(bad.into());
+    }
+    let opts = build_options(inv).ok_or("bad options")?;
+    let seed: u64 = inv.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let sys = systolize_source(src, &opts).map_err(|e| e.to_string())?;
+    if sys.source.sizes.len() != 1 {
+        return Err("--sweep-sizes sweeps a single size parameter".into());
+    }
+    let inputs: Vec<String> = sys
+        .source
+        .variables
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
+    let ms = systolic_interp::ModuleStore::global();
+    let before = ms.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "size sweep {lo}..{hi}: one skeleton, per-size instantiation"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "n", "elab_us", "sim_us", "rounds", "messages"
+    );
+    let (mut elab_total, mut sim_total) = (0u128, 0u128);
+    for n in lo..=hi {
+        let env = sys.size_env(&[n]);
+        let mut store = systolic_ir::HostStore::allocate(&sys.source, &env);
+        for (i, name) in inputs.iter().enumerate() {
+            store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+        }
+        let t = Instant::now();
+        ms.module(&sys.plan, &env, &store, &ElabOptions::default())
+            .map_err(|e| format!("n={n}: {e}"))?;
+        let elab_us = t.elapsed().as_micros();
+        let t = Instant::now();
+        let run = systolic_interp::run_plan(
+            &sys.plan,
+            &env,
+            &store,
+            systolic_runtime::ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .map_err(|e| format!("n={n}: {e}"))?;
+        let sim_us = t.elapsed().as_micros();
+        elab_total += elab_us;
+        sim_total += sim_us;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>10} {:>12}",
+            n, elab_us, sim_us, run.stats.rounds, run.stats.messages
+        );
+    }
+    let after = ms.stats();
+    let skeleton_builds = after.skeleton_misses - before.skeleton_misses;
+    let sizes = (hi - lo + 1) as u128;
+    let pct = (sim_total * 100)
+        .checked_div(elab_total + sim_total)
+        .unwrap_or(100);
+    let _ = writeln!(
+        out,
+        "totals: {sizes} sizes, {skeleton_builds} skeleton build(s), \
+         elaboration {elab_total}us, simulation {sim_total}us ({pct}% simulation)"
+    );
+    let _ = writeln!(out, "cache: {}", after.to_json());
+    Ok(out)
 }
 
 /// Resolve a schedule file to its subject: embedded-source designs are
@@ -505,8 +592,7 @@ mod tests {
     fn batch_flag_gates_the_fast_path() {
         // `--opt off` on both sides: with the optimizer disabled the
         // logical message/step counts are engine-invariant.
-        let inv =
-            parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
         let auto = execute(&inv, SRC).unwrap();
         assert!(auto.contains("[batched]"), "{auto}");
         assert!(!auto.contains("[batched+optimized]"), "{auto}");
@@ -531,7 +617,8 @@ mod tests {
     fn opt_flag_gates_the_optimizer_and_writes_the_report() {
         // This design has pure relay chains at n=4, so `--opt auto`
         // (the default) engages the optimizer; results stay verified.
-        let report = std::env::temp_dir().join(format!("systolizer-opt-{}.json", std::process::id()));
+        let report =
+            std::env::temp_dir().join(format!("systolizer-opt-{}.json", std::process::id()));
         let inv = parse_args(&args(&[
             "verify",
             "f",
@@ -550,8 +637,7 @@ mod tests {
         assert!(j.contains("\"schema\": \"systolic-opt-v1\""), "{j}");
         let _ = std::fs::remove_file(&report);
         // `--opt off` keeps the plain batched engine.
-        let inv =
-            parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
         let off = execute(&inv, SRC).unwrap();
         assert!(!off.contains("optimized"), "{off}");
         // Bad values are messages on both commands.
@@ -604,6 +690,8 @@ mod tests {
         let m = std::fs::read_to_string(&metrics).unwrap();
         assert!(m.contains("\"schema\": \"systolic-metrics-v1\""));
         assert!(m.contains("\"makespan\""));
+        assert!(m.contains("\"elab_cache\""), "{m}");
+        assert!(m.contains("\"module_misses\""), "{m}");
         let t = std::fs::read_to_string(&trace).unwrap();
         assert!(t.contains("\"traceEvents\""));
         assert!(t.contains("thread_name"));
@@ -640,6 +728,34 @@ mod tests {
         let out = execute(&inv, SRC).unwrap();
         assert!(out.contains("schedule-independent"), "{out}");
         assert!(out.contains("6 adversarial schedules"), "{out}");
+    }
+
+    #[test]
+    fn explore_sweep_amortizes_the_skeleton_over_many_sizes() {
+        let inv = parse_args(&args(&["explore", "f", "--sweep-sizes", "1:20"])).unwrap();
+        let out = execute(&inv, SRC).unwrap();
+        assert!(out.contains("size sweep 1..20"), "{out}");
+        assert!(out.contains("20 sizes"), "{out}");
+        assert!(out.contains("skeleton build(s)"), "{out}");
+        assert!(out.contains("\"module_hits\""), "{out}");
+        // Every size appears as a row.
+        for n in [1, 10, 20] {
+            assert!(
+                out.lines().any(|l| l.trim().starts_with(&format!("{n} "))),
+                "missing row for n={n}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn explore_sweep_rejects_bad_ranges() {
+        for bad in ["5", "0:4", "7:3", "a:b"] {
+            let inv = parse_args(&args(&["explore", "f", "--sweep-sizes", bad])).unwrap();
+            assert!(
+                execute(&inv, SRC).unwrap_err().contains("--sweep-sizes"),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

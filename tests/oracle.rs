@@ -143,26 +143,43 @@ fn partitioned_matches_the_sequential_oracle_on_every_design() {
 fn executors_agree_on_stores_and_invariant_statistics() {
     // Messages and steps are properties of the elaborated network, not of
     // the executor; all three must report the same counts and stores.
+    // `verify_equivalence_all` runs the three engines off ONE shared
+    // elaboration (a single `Arc<ProcIrModule>` from the module store)
+    // and has already compared each against the sequential oracle.
     for d in designs() {
         let sizes = &d.sizes[1];
         let env = size_env(&d.plan, sizes);
-        let (store, _) = oracle(&d, &env, 43);
-        let coop = run_plan(
+        let runs = systolizer::interp::verify_equivalence_all(
             &d.plan,
             &env,
-            &store,
-            ChannelPolicy::Rendezvous,
-            &ElabOptions::default(),
+            &d.inputs,
+            43,
+            4,
+            Duration::from_secs(60),
         )
-        .unwrap();
-        let threaded = run_plan_threaded(&d.plan, &env, &store, Duration::from_secs(60)).unwrap();
-        let part = run_plan_partitioned(&d.plan, &env, &store, 4, Duration::from_secs(60)).unwrap();
-        for other in [&threaded, &part] {
-            assert_eq!(coop.stats.messages, other.stats.messages, "{}", d.label);
-            assert_eq!(coop.stats.steps, other.stats.steps, "{}", d.label);
-            assert_eq!(coop.stats.processes, other.stats.processes, "{}", d.label);
+        .unwrap_or_else(|e| panic!("{} sizes={sizes:?}: {e}", d.label));
+        let labels: Vec<&str> = runs.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["coop", "threaded", "partitioned"], "{}", d.label);
+        let (_, coop) = &runs[0];
+        for (label, other) in &runs[1..] {
+            assert_eq!(
+                coop.stats.messages, other.stats.messages,
+                "{} {label}",
+                d.label
+            );
+            assert_eq!(coop.stats.steps, other.stats.steps, "{} {label}", d.label);
+            assert_eq!(
+                coop.stats.processes, other.stats.processes,
+                "{} {label}",
+                d.label
+            );
             for name in coop.store.names() {
-                assert_eq!(coop.store.get(name), other.store.get(name), "{}", d.label);
+                assert_eq!(
+                    coop.store.get(name),
+                    other.store.get(name),
+                    "{} {label}",
+                    d.label
+                );
             }
         }
     }
