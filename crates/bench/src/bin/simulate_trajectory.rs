@@ -23,7 +23,10 @@
 //! `docs/process-ir.md`) — relay chains fuse into delay rings, so the
 //! timed module can be structurally smaller than the elaborated one.
 //! The FIFO policy keeps guarding the schedule hook's
-//! zero-cost-when-inert contract.
+//! zero-cost-when-inert contract. Since PR 8 the timed pass additionally
+//! takes the wavefront executor (see `docs/wavefront.md`): topologically
+//! staged chunk sweeps over traffic-wide rings replace the pid-order
+//! macro-sweep, and every timed run asserts the wavefront gate engaged.
 //! The *recorded* statistics stay those of the unbatched rendezvous
 //! engine — an untimed baseline pass per configuration supplies them, so
 //! snapshot rounds remain comparable across the whole trajectory — and
@@ -70,7 +73,7 @@ use systolic_interp::{
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{
-    shared, BatchMode, ChannelPolicy, FifoPolicy, MetricsRecorder, OptMode, RunStats,
+    shared, BatchMode, ChannelPolicy, FifoPolicy, MetricsRecorder, OptMode, RunStats, WavefrontMode,
 };
 use systolic_synthesis::placement::paper;
 
@@ -154,6 +157,18 @@ fn fir_sys() -> (
     (p, a)
 }
 
+/// The shipped polynomial-product file, through the text front end: the
+/// Appendix D design as a *parsed* program rather than the in-crate
+/// constructor, so the trajectory also covers the `.sys` path end to end.
+fn polyprod_sys() -> (
+    systolic_ir::SourceProgram,
+    systolic_synthesis::SystolicArray,
+) {
+    let p = systolic_lang::parse(include_str!("../../../../programs/polyprod.sys")).unwrap();
+    let a = systolic_synthesis::derive_array(&p, 2, 4).unwrap();
+    (p, a)
+}
+
 /// The untimed unbatched baseline: supplies the snapshot statistics
 /// (round counts comparable with every prior snapshot) and the reference
 /// store for the invariance assertion.
@@ -177,7 +192,12 @@ fn baseline_run(c: &Prepared) -> (RunStats, HostStore) {
 /// must also be invariant; a fused run's stats legitimately describe
 /// the smaller module and are returned for the snapshot's `opt_*`
 /// fields.
-fn timed_run(c: &Prepared, base: &(RunStats, HostStore), opt: OptMode) -> (f64, SystolicRun) {
+fn timed_run(
+    c: &Prepared,
+    base: &(RunStats, HostStore),
+    opt: OptMode,
+    wavefront: WavefrontMode,
+) -> (f64, SystolicRun) {
     let t0 = Instant::now();
     let run = run_plan_batch(
         &c.plan,
@@ -187,12 +207,20 @@ fn timed_run(c: &Prepared, base: &(RunStats, HostStore), opt: OptMode) -> (f64, 
         &ElabOptions::default(),
         BatchMode::Auto,
         opt,
+        wavefront,
         Some(Box::new(FifoPolicy)),
         &[],
     )
     .unwrap();
     let dt = t0.elapsed().as_secs_f64() * 1e3;
     assert!(run.batched, "{} n={}: batching must engage", c.label, c.n);
+    assert_eq!(
+        run.wavefront,
+        wavefront != WavefrontMode::Off,
+        "{} n={}: the wavefront gate disagrees with the requested mode",
+        c.label,
+        c.n
+    );
     if run.opt.is_none() {
         assert_eq!(
             (run.stats.messages, run.stats.steps, run.stats.processes),
@@ -342,17 +370,29 @@ fn quick_smoke() {
     let c = prepare("matmul-E.1", paper::matmul_e1, 12);
     let base = baseline_run(&c);
     // With the optimizer off the full invariance contract holds.
-    let _ = timed_run(&c, &base, OptMode::Off);
+    let _ = timed_run(&c, &base, OptMode::Off, WavefrontMode::Off);
     println!(
         "quick smoke OK: {} n={} — batched run matches the rendezvous \
          baseline ({} messages, {} steps, store bit-identical)",
         c.label, c.n, base.0.messages, base.0.steps
     );
+    // The wavefront executor holds the same contract on both chunk
+    // modes: stores bit-identical to the rendezvous baseline, logical
+    // messages/steps invariant (asserted inside `timed_run`).
+    for mode in [WavefrontMode::Auto, WavefrontMode::Par] {
+        let (_, run) = timed_run(&c, &base, OptMode::Off, mode);
+        assert!(run.wavefront);
+        println!(
+            "quick smoke OK: {} n={} — wavefront run ({mode:?}) matches the \
+             rendezvous baseline (store bit-identical, counts invariant)",
+            c.label, c.n
+        );
+    }
     // And with it on, E.2 fuses its relay chains, stays bit-identical,
     // and the systolic-opt-v1 mapping report round-trips through JSON.
     let c = prepare("matmul-E.2", paper::matmul_e2, 8);
     let base = baseline_run(&c);
-    let (_, run) = timed_run(&c, &base, OptMode::Auto);
+    let (_, run) = timed_run(&c, &base, OptMode::Auto, WavefrontMode::Off);
     let report = run.opt.expect("E.2 n=8 must fuse relay chains");
     let j = report.to_json();
     assert!(j.contains("\"schema\": \"systolic-opt-v1\""), "{j}");
@@ -447,12 +487,13 @@ fn main() {
         }
     }
 
-    let suite: [(&'static str, DesignFn, &[i64]); 5] = [
+    let suite: [(&'static str, DesignFn, &[i64]); 6] = [
         ("polyprod-D.1", paper::polyprod_d1, &[16, 32, 64]),
         ("polyprod-D.2", paper::polyprod_d2, &[16, 32, 64]),
         ("matmul-E.1", paper::matmul_e1, &[8, 16, 24]),
         ("matmul-E.2", paper::matmul_e2, &[8, 16, 24]),
         ("fir.sys", fir_sys, &[8, 16, 24]),
+        ("polyprod.sys", polyprod_sys, &[16, 32, 64]),
     ];
 
     let configs: Vec<Prepared> = suite
@@ -471,7 +512,7 @@ fn main() {
     let mut opt_stats: Vec<Option<(RunStats, usize)>> = vec![None; configs.len()];
     for _ in 0..ITERS {
         for (i, c) in configs.iter().enumerate() {
-            let (dt, run) = timed_run(c, &baselines[i], OptMode::Auto);
+            let (dt, run) = timed_run(c, &baselines[i], OptMode::Auto, WavefrontMode::Auto);
             if dt < best[i] {
                 best[i] = dt;
             }

@@ -33,7 +33,7 @@ use std::time::Instant;
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{BatchPlan, OptMode, OptimizedModule};
+use systolic_runtime::{analyze_wavefront, BatchPlan, OptMode, OptimizedModule, WavefrontPlan};
 
 /// Retained skeletons (level 1). Skeletons are small — per-stream
 /// specialized forms, no per-point state.
@@ -86,6 +86,8 @@ pub struct CachedModule {
     pub elab: Elaborated,
     batch: OnceLock<BatchPlan>,
     optd: OnceLock<Option<Arc<(OptimizedModule, BatchPlan)>>>,
+    wf: OnceLock<Arc<WavefrontPlan>>,
+    wf_opt: OnceLock<Arc<WavefrontPlan>>,
 }
 
 impl CachedModule {
@@ -94,6 +96,8 @@ impl CachedModule {
             elab,
             batch: OnceLock::new(),
             optd: OnceLock::new(),
+            wf: OnceLock::new(),
+            wf_opt: OnceLock::new(),
         }
     }
 
@@ -130,6 +134,27 @@ impl CachedModule {
                 Some(Arc::new((o, oplan)))
             })
             .clone()
+    }
+
+    /// The wavefront plan of the elaborated module
+    /// (`systolic_runtime::analyze_wavefront` over [`CachedModule::batch_plan`]),
+    /// memoized beside the batch plan so a warm `run --wavefront auto`
+    /// pays for neither analysis.
+    pub fn wavefront_plan(&self) -> &Arc<WavefrontPlan> {
+        self.wf
+            .get_or_init(|| Arc::new(analyze_wavefront(&self.elab.module, self.batch_plan())))
+    }
+
+    /// The wavefront plan of the *optimized* module (fused relays change
+    /// the process graph, so the wave structure must be re-derived).
+    /// `None` exactly when [`CachedModule::optimized`] declines.
+    pub fn wavefront_plan_opt(&self, mode: OptMode) -> Option<Arc<WavefrontPlan>> {
+        let o = self.optimized(mode)?;
+        Some(
+            self.wf_opt
+                .get_or_init(|| Arc::new(analyze_wavefront(&o.0.module, &o.1)))
+                .clone(),
+        )
     }
 }
 
@@ -385,6 +410,67 @@ mod tests {
         let g = ms.inner.lock().unwrap();
         assert!(g.modules.len() <= MODULE_CAP);
         assert_eq!(g.modules.len(), g.mod_order.len());
+    }
+
+    /// Named regression for eviction racing a `--sweep-sizes` sweep: a
+    /// sweep far past `MODULE_CAP` FIFO-evicts its earliest modules
+    /// while later sizes keep arriving. Re-requesting an evicted
+    /// configuration must rebuild a structurally bit-identical module
+    /// (same bytecode arena, data, links, and points — the sweep has not
+    /// poisoned the skeleton), and the `elab_cache` generation counter
+    /// must stay monotone and untouched: eviction is capacity
+    /// management, not invalidation.
+    #[test]
+    fn evicted_module_reinstantiates_bit_identically_across_a_sweep() {
+        let (plan, _) = plan_and_env(0);
+        let ms = ModuleStore::new();
+        let mk = |n: i64| {
+            let mut env = Env::new();
+            env.bind(plan.source.sizes[0], n);
+            let store = HostStore::allocate(&plan.source, &env);
+            (env, store)
+        };
+        let (env1, store1) = mk(1);
+        let first = ms
+            .module(&plan, &env1, &store1, &ElabOptions::default())
+            .unwrap();
+        let wf_first = first.wavefront_plan().clone();
+        let g0 = ms.generation();
+        let mut gens = vec![g0];
+        for n in 2..=(MODULE_CAP as i64 + 9) {
+            let (env, store) = mk(n);
+            ms.module(&plan, &env, &store, &ElabOptions::default())
+                .unwrap();
+            gens.push(ms.generation());
+        }
+        {
+            let g = ms.inner.lock().unwrap();
+            assert!(g.modules.len() <= MODULE_CAP);
+        }
+        let again = ms
+            .module(&plan, &env1, &store1, &ElabOptions::default())
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "the n=1 module must have been FIFO-evicted by the sweep"
+        );
+        assert!(
+            first.elab.module.same_structure(&again.elab.module),
+            "re-instantiation after eviction must be bit-identical"
+        );
+        // The memoized analyses rebuild to the same wave structure.
+        let wf_again = again.wavefront_plan();
+        assert_eq!(wf_first.waves, wf_again.waves);
+        assert_eq!(wf_first.capacities, wf_again.capacities);
+        assert!(
+            gens.windows(2).all(|w| w[0] <= w[1]),
+            "generation counters must stay monotone across the sweep"
+        );
+        assert_eq!(
+            ms.generation(),
+            g0,
+            "eviction must not bump the invalidation generation"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
 use systolic_runtime::{
     BatchMode, ChannelPolicy, Network, OptMode, OptReport, RunError, RunStats, SchedulePolicy,
-    SharedRecorder, SinkBuffer,
+    SharedRecorder, SinkBuffer, WavefrontMode,
 };
 
 /// Outcome of a systolic run.
@@ -24,6 +24,12 @@ pub struct SystolicRun {
     /// `systolic_runtime::batch`). Always `false` for the plain entry
     /// points; the `*_batch` variants set it when the gate admits the run.
     pub batched: bool,
+    /// Whether the wavefront executor ran this module (see
+    /// `systolic_runtime::wavefront`): topologically staged chunk sweeps
+    /// instead of pid-order macro-sweeps. Implies `batched` — the
+    /// wavefront path sits at the top of the fallback ladder
+    /// wavefront → batched → plain (`docs/wavefront.md`).
+    pub wavefront: bool,
     /// The `systolic-opt-v1` mapping report when the ProcIR optimizer
     /// rewrote the module this run executed (see `systolic_runtime::opt`).
     /// `None` on every `--opt off`, unbatched, or untouched-module run;
@@ -175,6 +181,7 @@ pub fn run_plan_scheduled(
         stats,
         census: census.clone(),
         batched: false,
+        wavefront: false,
         opt: None,
     })
 }
@@ -216,6 +223,15 @@ fn batching_admissible(
 /// it never engages on a run the batch analysis (or the gate) declined,
 /// so `--opt off` *and* every unbatched configuration remain exactness
 /// oracles.
+///
+/// On top of the batched path sits the wavefront executor
+/// ([`systolic_runtime::wavefront`], `docs/wavefront.md`): when
+/// `wavefront` is not [`WavefrontMode::Off`] and the per-module
+/// [`systolic_runtime::WavefrontPlan`] is eligible, chunked topological
+/// sweeps (optionally parallel under [`WavefrontMode::Par`]) replace the
+/// pid-order macro-sweep. The fallback ladder is strict — wavefront →
+/// batched → plain — and every rung preserves the stores bit for bit and
+/// the logical `messages`/`steps` counts; only `rounds` differs.
 #[allow(clippy::too_many_arguments)]
 pub fn run_plan_batch(
     plan: &SystolicProgram,
@@ -225,6 +241,7 @@ pub fn run_plan_batch(
     opts: &ElabOptions,
     batch: BatchMode,
     opt: OptMode,
+    wavefront: WavefrontMode,
     sched: Option<Box<dyn SchedulePolicy>>,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
@@ -255,11 +272,33 @@ pub fn run_plan_batch(
             stats,
             census: census.clone(),
             batched: false,
+            wavefront: false,
             opt: None,
         });
     }
     if let Some(od) = cm.optimized(opt) {
         let (o, oplan) = &*od;
+        if wavefront != WavefrontMode::Off {
+            if let Some(wplan) = cm.wavefront_plan_opt(opt) {
+                if wplan.eligible() {
+                    let (stats, sinks) = systolic_runtime::run_wavefront(
+                        &o.module,
+                        &wplan,
+                        wavefront == WavefrontMode::Par,
+                    )?;
+                    let mut result = store.clone();
+                    writeback(outputs, &sinks, &mut result)?;
+                    return Ok(SystolicRun {
+                        store: result,
+                        stats,
+                        census: census.clone(),
+                        batched: true,
+                        wavefront: true,
+                        opt: Some(o.report.clone()),
+                    });
+                }
+            }
+        }
         let (stats, sinks) = systolic_runtime::run_coop_batched(&o.module, oplan)?;
         let mut result = store.clone();
         writeback(outputs, &sinks, &mut result)?;
@@ -268,8 +307,26 @@ pub fn run_plan_batch(
             stats,
             census: census.clone(),
             batched: true,
+            wavefront: false,
             opt: Some(o.report.clone()),
         });
+    }
+    if wavefront != WavefrontMode::Off {
+        let wplan = cm.wavefront_plan();
+        if wplan.eligible() {
+            let (stats, sinks) =
+                systolic_runtime::run_wavefront(module, wplan, wavefront == WavefrontMode::Par)?;
+            let mut result = store.clone();
+            writeback(outputs, &sinks, &mut result)?;
+            return Ok(SystolicRun {
+                store: result,
+                stats,
+                census: census.clone(),
+                batched: true,
+                wavefront: true,
+                opt: None,
+            });
+        }
     }
     let (stats, sinks) = systolic_runtime::run_coop_batched(module, bplan)?;
     let mut result = store.clone();
@@ -279,6 +336,7 @@ pub fn run_plan_batch(
         stats,
         census: census.clone(),
         batched: true,
+        wavefront: false,
         opt: None,
     })
 }
@@ -318,6 +376,7 @@ pub fn run_plan_threaded_recorded(
         stats,
         census: census.clone(),
         batched: false,
+        wavefront: false,
         opt: None,
     })
 }
@@ -355,6 +414,7 @@ pub fn run_plan_threaded_batch(
             stats,
             census: census.clone(),
             batched: false,
+            wavefront: false,
             opt: None,
         });
     }
@@ -368,6 +428,7 @@ pub fn run_plan_threaded_batch(
             stats,
             census: census.clone(),
             batched: true,
+            wavefront: false,
             opt: Some(o.report.clone()),
         });
     }
@@ -379,6 +440,7 @@ pub fn run_plan_threaded_batch(
         stats,
         census: census.clone(),
         batched: true,
+        wavefront: false,
         opt: None,
     })
 }
@@ -422,6 +484,7 @@ pub fn run_plan_partitioned_recorded(
         stats,
         census: census.clone(),
         batched: false,
+        wavefront: false,
         opt: None,
     })
 }
@@ -461,6 +524,7 @@ pub fn run_plan_partitioned_batch(
             stats,
             census: census.clone(),
             batched: false,
+            wavefront: false,
             opt: None,
         });
     }
@@ -476,6 +540,7 @@ pub fn run_plan_partitioned_batch(
             stats,
             census: census.clone(),
             batched: true,
+            wavefront: false,
             opt: Some(o.report.clone()),
         });
     }
@@ -488,6 +553,7 @@ pub fn run_plan_partitioned_batch(
         stats,
         census: census.clone(),
         batched: true,
+        wavefront: false,
         opt: None,
     })
 }
@@ -505,11 +571,12 @@ pub fn verify_equivalence(
 }
 
 /// [`verify_equivalence`] through [`run_plan_batch`]: same experiment,
-/// optionally on the batching fast path and/or with the ProcIR optimizer.
-/// Returns the stats, whether batching actually engaged, and the
-/// optimizer's mapping report when it rewrote the module, so callers (the
-/// CLI, the trajectory bench) can report which engine and module shape
-/// produced the — identical — result.
+/// optionally on the batching fast path, the wavefront executor, and/or
+/// the ProcIR optimizer. Returns the stats, whether batching actually
+/// engaged, whether the wavefront executor ran, and the optimizer's
+/// mapping report when it rewrote the module, so callers (the CLI, the
+/// trajectory bench) can report which engine and module shape produced
+/// the — identical — result.
 pub fn verify_equivalence_batch(
     plan: &SystolicProgram,
     env: &Env,
@@ -517,7 +584,8 @@ pub fn verify_equivalence_batch(
     seed: u64,
     batch: BatchMode,
     opt: OptMode,
-) -> Result<(RunStats, bool, Option<OptReport>), String> {
+    wavefront: WavefrontMode,
+) -> Result<(RunStats, bool, bool, Option<OptReport>), String> {
     let mut store = HostStore::allocate(&plan.source, env);
     for (i, name) in inputs.iter().enumerate() {
         store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
@@ -533,6 +601,7 @@ pub fn verify_equivalence_batch(
         &ElabOptions::default(),
         batch,
         opt,
+        wavefront,
         None,
         &[],
     )
@@ -544,17 +613,20 @@ pub fn verify_equivalence_batch(
             ));
         }
     }
-    Ok((run.stats, run.batched, run.opt))
+    Ok((run.stats, run.batched, run.wavefront, run.opt))
 }
 
 /// The cross-executor oracle experiment off **one** elaboration: fill
 /// the inputs, run the sequential reference, then run the cooperative,
-/// threaded, and partitioned engines against the same shared
+/// threaded, partitioned, and wavefront engines against the same shared
 /// [`Arc<ProcIrModule>`](systolic_runtime::ProcIrModule) — one
 /// instantiation per engine, zero re-elaborations — and require every
 /// store to match the reference. Returns the labeled runs so callers
 /// can additionally compare the executors against each other
-/// (`tests/oracle.rs` does).
+/// (`tests/oracle.rs` does). The wavefront entry uses the memoized
+/// [`systolic_runtime::WavefrontPlan`] when the module is eligible and
+/// falls back to a plain rendezvous run otherwise, so the label list is
+/// always `["coop", "threaded", "partitioned", "wavefront"]`.
 pub fn verify_equivalence_all(
     plan: &SystolicProgram,
     env: &Env,
@@ -582,6 +654,7 @@ pub fn verify_equivalence_all(
             stats,
             census: el.census.clone(),
             batched: false,
+            wavefront: false,
             opt: None,
         })
     };
@@ -608,6 +681,28 @@ pub fn verify_equivalence_all(
         let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)
             .map_err(|e| format!("partitioned: {e}"))?;
         runs.push(("partitioned", finish(stats, &inst.outputs)?));
+    }
+    {
+        let wplan = cm.wavefront_plan();
+        if wplan.eligible() {
+            let (stats, sinks) = systolic_runtime::run_wavefront(&el.module, wplan, false)
+                .map_err(|e| format!("wavefront: {e}"))?;
+            let mut run = finish(stats, &sinks)?;
+            run.batched = true;
+            run.wavefront = true;
+            runs.push(("wavefront", run));
+        } else {
+            // Ineligible module: the ladder bottoms out at the plain
+            // rendezvous engine, still under the wavefront label so the
+            // oracle always compares four executors.
+            let inst = el.module.instantiate();
+            let mut net = Network::new(ChannelPolicy::Rendezvous);
+            for p in inst.procs {
+                net.add(p);
+            }
+            let stats = net.run().map_err(|e| format!("wavefront: {e}"))?;
+            runs.push(("wavefront", finish(stats, &inst.outputs)?));
+        }
     }
 
     for (label, run) in &runs {

@@ -38,4 +38,4 @@ pub use exec::{
 };
 pub use metrics::{channel_names, observe_plan, Observed};
 pub use skeleton::{elaborate_skeleton, instantiate, SkeletonModule};
-pub use systolic_runtime::{BatchMode, OptMode, OptReport};
+pub use systolic_runtime::{channel_diagnostics, BatchMode, OptMode, OptReport, WavefrontMode};

@@ -21,12 +21,13 @@
 use crate::cache::{CacheStats, ModuleStore};
 use crate::elaborate::{ElabOptions, Elaborated};
 use crate::exec::{writeback, ExecError, SystolicRun};
+use std::sync::Arc;
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{
     shared, ChannelPolicy, MetricsRecorder, MetricsReport, Network, OptMode, OptReport,
-    PerfettoRecorder,
+    PerfettoRecorder, WavefrontPlan,
 };
 
 /// One observed run: the ordinary execution outcome plus the two
@@ -48,13 +49,19 @@ pub struct Observed {
     /// ([`ModuleStore::global`]`.stats()`) taken right after this run's
     /// elaboration, so the report shows whether it was served warm.
     pub cache: CacheStats,
+    /// The memoized wavefront staging this module would run under (see
+    /// `systolic_runtime::wavefront`): observed runs execute the exact
+    /// rendezvous engine, but the report still says whether — and how —
+    /// the wavefront executor could take this module.
+    pub wavefront_plan: Arc<WavefrontPlan>,
 }
 
 impl Observed {
     /// The metrics JSON with the module-cache counters spliced in as an
-    /// `"elab_cache"` section and the optimizer mapping report as an
-    /// `"optimizer"` section (absent when the module is untouched) —
-    /// what `run --metrics PATH` writes.
+    /// `"elab_cache"` section, the optimizer mapping report as an
+    /// `"optimizer"` section (absent when the module is untouched), and
+    /// the wavefront staging facts as a `"wavefront"` section — what
+    /// `run --metrics PATH` writes.
     pub fn metrics_json(&self) -> String {
         let base = self.report.to_json();
         let stem = base
@@ -69,6 +76,20 @@ impl Observed {
             sections.push_str(&format!(",\n  \"optimizer\": {indented}"));
         }
         sections.push_str(&format!(",\n  \"elab_cache\": {}", self.cache.to_json()));
+        let wp = &self.wavefront_plan;
+        let wf = match wp.reject_reason() {
+            None => format!(
+                "{{ \"eligible\": true, \"waves\": {}, \"chunks\": {}, \"max_ring_capacity\": {} }}",
+                wp.n_waves(),
+                wp.n_chunks(),
+                wp.max_capacity()
+            ),
+            Some(r) => format!(
+                "{{ \"eligible\": false, \"reason\": \"{}\" }}",
+                r.replace('\\', "\\\\").replace('"', "\\\"")
+            ),
+        };
+        sections.push_str(&format!(",\n  \"wavefront\": {wf}"));
         format!("{stem}{sections}\n}}\n")
     }
 }
@@ -139,12 +160,14 @@ pub fn observe_plan(
             stats,
             census: el.census.clone(),
             batched: false,
+            wavefront: false,
             opt: None,
         },
         report,
         perfetto_json,
         opt_report,
         cache,
+        wavefront_plan: cm.wavefront_plan().clone(),
     })
 }
 

@@ -99,6 +99,10 @@ pub struct BatchPlan {
     pub producer_of: Vec<Option<ProcId>>,
     /// The unique receiving process per channel.
     pub consumer_of: Vec<Option<ProcId>>,
+    /// Per-channel balanced traffic (values sent over the whole run).
+    /// Meaningful when the plan is batchable — the balance check has
+    /// then proven the producer and consumer sides equal.
+    pub traffic: Vec<u64>,
     reject: Option<String>,
 }
 
@@ -116,6 +120,14 @@ impl BatchPlan {
     /// Fresh rings for one run, capacities from the widths.
     pub fn rings(&self) -> Vec<Ring> {
         self.widths.iter().map(|&k| Ring::new(k as usize)).collect()
+    }
+
+    /// Test-only: the same plan with the rejection cleared, so executor
+    /// failure paths behind the proof can be exercised directly.
+    #[cfg(test)]
+    pub(crate) fn assume_proven(mut self) -> BatchPlan {
+        self.reject = None;
+        self
     }
 }
 
@@ -242,8 +254,91 @@ pub fn analyze_with_caps(module: &ProcIrModule, caps: &[u64]) -> BatchPlan {
         widths,
         producer_of,
         consumer_of,
+        traffic: prod_traffic,
         reject,
     }
+}
+
+/// Per-channel eligibility diagnostics: `None` when the channel passes
+/// the batching proof locally, `Some(reason)` naming the first local
+/// disqualifier (a second producer/consumer, a missing endpoint,
+/// unbalanced traffic, or an endpoint process whose moving-link set
+/// exceeds the VM's 64-bit par-set mask). [`analyze`] stops at the first
+/// module-wide rejection; this walk keeps going so reports can explain
+/// *every* channel that forces the wavefront/batched paths to fall back
+/// (see `--opt-report` and `crate::wavefront`).
+pub fn channel_diagnostics(module: &ProcIrModule) -> Vec<Option<String>> {
+    let nc = module.n_chans;
+    let mut producer_of: Vec<Option<ProcId>> = vec![None; nc];
+    let mut consumer_of: Vec<Option<ProcId>> = vec![None; nc];
+    let mut prod_traffic = vec![0u64; nc];
+    let mut cons_traffic = vec![0u64; nc];
+    let mut reasons: Vec<Option<String>> = vec![None; nc];
+
+    let claim = |tbl: &mut [Option<ProcId>],
+                 reasons: &mut [Option<String>],
+                 chan: usize,
+                 pid: ProcId,
+                 what: &str| {
+        match tbl[chan] {
+            None => tbl[chan] = Some(pid),
+            Some(prev) if prev == pid => {}
+            Some(prev) => {
+                if reasons[chan].is_none() {
+                    reasons[chan] = Some(format!("two {what}s (processes {prev} and {pid})"));
+                }
+            }
+        }
+    };
+
+    let mut touch =
+        |prod: bool, chan: usize, pid: ProcId, n: u64, reasons: &mut [Option<String>]| {
+            if prod {
+                claim(&mut producer_of, reasons, chan, pid, "producer");
+                prod_traffic[chan] = prod_traffic[chan].saturating_add(n);
+            } else {
+                claim(&mut consumer_of, reasons, chan, pid, "consumer");
+                cons_traffic[chan] = cons_traffic[chan].saturating_add(n);
+            }
+        };
+
+    for pid in 0..module.procs.len() {
+        let links = module.moving_of(pid);
+        let oversized = links.len() > 64;
+        for op in module.ops_of(pid) {
+            let touched: Vec<(bool, usize, u64)> = match *op {
+                ProcOp::Emit { chan } | ProcOp::Eject { chan, .. } => vec![(true, chan, 1)],
+                ProcOp::Collect { chan } | ProcOp::Keep { chan, .. } => vec![(false, chan, 1)],
+                ProcOp::Pass { inp, out, n } => vec![(false, inp, n), (true, out, n)],
+                ProcOp::Compute { count } => links
+                    .iter()
+                    .flat_map(|mc| [(false, mc.inp, count), (true, mc.out, count)])
+                    .collect(),
+            };
+            for (prod, chan, n) in touched {
+                touch(prod, chan, pid, n, &mut reasons);
+                if oversized && reasons[chan].is_none() {
+                    reasons[chan] = Some(format!(
+                        "endpoint process {pid} has {} moving links (max 64)",
+                        links.len()
+                    ));
+                }
+            }
+        }
+    }
+
+    for c in 0..nc {
+        if reasons[c].is_some() {
+            continue;
+        }
+        if prod_traffic[c] != cons_traffic[c] {
+            reasons[c] = Some(format!(
+                "traffic unbalanced ({} sent vs {} received)",
+                prod_traffic[c], cons_traffic[c]
+            ));
+        }
+    }
+    reasons
 }
 
 #[cfg(test)]

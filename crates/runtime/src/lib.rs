@@ -24,6 +24,9 @@
 //!   threaded through the VM and all three executors, with metrics
 //!   aggregation ([`MetricsRecorder`]) and Chrome-trace export
 //!   ([`PerfettoRecorder`]); zero cost when no recorder is attached.
+//! - [`wavefront`] — the fourth executor: SCC-condensed, longest-path
+//!   staged chunk sweeps over the batch rings ([`WavefrontPlan`]), with
+//!   an optional scoped-thread parallel mode (see `docs/wavefront.md`).
 
 pub mod batch;
 pub mod coop;
@@ -34,13 +37,17 @@ pub mod procir;
 pub mod record;
 pub mod schedule;
 pub mod threaded;
+pub mod wavefront;
 
-pub use batch::{analyze, analyze_with_caps, BatchMode, BatchPlan, Ring, DEFAULT_BATCH_WIDTH};
-pub use opt::{optimize, ChainRecord, OptMode, OptReport, OptimizedModule};
+pub use batch::{
+    analyze, analyze_with_caps, channel_diagnostics, BatchMode, BatchPlan, Ring,
+    DEFAULT_BATCH_WIDTH,
+};
 pub use coop::{
     run_coop_batched, ChannelPolicy, Deadlock, Network, ProtocolViolation, RunError, RunStats,
     TraceEvent,
 };
+pub use opt::{optimize, ChainRecord, OptMode, OptReport, OptimizedModule};
 pub use partition::{
     block_partition, run_partitioned, run_partitioned_batched, run_partitioned_perturbed,
     run_partitioned_recorded,
@@ -58,4 +65,7 @@ pub use record::{
 pub use schedule::{FifoPolicy, Pcg32, SchedulePolicy, YieldInjector, YieldPlan, STARVATION_LIMIT};
 pub use threaded::{
     run_threaded, run_threaded_batched, run_threaded_perturbed, run_threaded_recorded,
+};
+pub use wavefront::{
+    analyze_wavefront, run_wavefront, WavefrontMode, WavefrontPlan, WAVEFRONT_RING_CAP,
 };

@@ -305,7 +305,10 @@ fn peephole(module: &ProcIrModule, pid: ProcId, report: &mut OptReport) -> Vec<P
     let adjacent_pair = |i: usize| -> Option<(ChanId, ChanId, u32)> {
         if let (
             Some(&ProcOp::Keep { chan: c_in, slot }),
-            Some(&ProcOp::Eject { chan: c_out, slot: s2 }),
+            Some(&ProcOp::Eject {
+                chan: c_out,
+                slot: s2,
+            }),
         ) = (ops.get(i), ops.get(i + 1))
         {
             if slot == s2 && c_in != c_out {
@@ -435,7 +438,11 @@ fn endpoints(module: &ProcIrModule, cleaned: &[Vec<ProcOp>]) -> Option<Endpoints
 /// moving links, no output buffer. Such a process computes the identity
 /// stream function, so it (and only it) is a fusion candidate; in
 /// particular a `Keep`/`Eject` endpoint can never be fused away.
-fn pure_relay(module: &ProcIrModule, cleaned: &[Vec<ProcOp>], pid: ProcId) -> Option<(ChanId, ChanId, u64)> {
+fn pure_relay(
+    module: &ProcIrModule,
+    cleaned: &[Vec<ProcOp>],
+    pid: ProcId,
+) -> Option<(ChanId, ChanId, u64)> {
     match cleaned[pid][..] {
         [ProcOp::Pass { inp, out, n }]
             if inp != out
@@ -777,9 +784,21 @@ mod tests {
     fn consecutive_passes_merge() {
         let mut b = ProcIrBuilder::new();
         b.begin("seg");
-        b.op(ProcOp::Pass { inp: 0, out: 1, n: 2 });
-        b.op(ProcOp::Pass { inp: 0, out: 1, n: 3 });
-        b.op(ProcOp::Pass { inp: 2, out: 3, n: 1 });
+        b.op(ProcOp::Pass {
+            inp: 0,
+            out: 1,
+            n: 2,
+        });
+        b.op(ProcOp::Pass {
+            inp: 0,
+            out: 1,
+            n: 3,
+        });
+        b.op(ProcOp::Pass {
+            inp: 2,
+            out: 3,
+            n: 1,
+        });
         b.finish();
         b.source(0, &[0; 5], "s0");
         b.source(2, &[0; 1], "s2");

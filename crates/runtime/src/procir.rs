@@ -640,12 +640,15 @@ impl ProcVm {
     /// further calls are no-ops that return `true` again. Must not be
     /// mixed with `step_into` on the same VM, and assumes no recorders
     /// are attached — the batching gate guarantees both.
-    pub fn macro_step(
-        &mut self,
-        rings: &mut [Ring],
-        stats: &mut RunStats,
-        moved: &mut u64,
-    ) -> bool {
+    /// Ring storage is generic so the same superinstruction path serves
+    /// both the lock-protected `Vec<Ring>` of the batched executors and
+    /// the shared channel slab of the wavefront executor
+    /// (`crate::wavefront`), whose chunks hold provably disjoint ring
+    /// sets. Only plain `rings[chan]` indexing is used.
+    pub fn macro_step<R>(&mut self, rings: &mut R, stats: &mut RunStats, moved: &mut u64) -> bool
+    where
+        R: ?Sized + std::ops::IndexMut<usize, Output = Ring>,
+    {
         if self.macro_done {
             return true;
         }

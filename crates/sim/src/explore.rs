@@ -720,6 +720,63 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_policies_close_the_wavefront_gate_without_changing_results() {
+        // The DST policy matrix must also exercise the *engine selection*
+        // gate: attaching any non-FIFO policy to `run_plan_batch` under
+        // full-auto modes forces the run off both the batched and the
+        // wavefront fast paths (the policies permute a per-round worklist
+        // that those engines do not have), while the recovered store and
+        // the logical statistics stay bit-identical to the wavefront run.
+        use systolic_interp::{run_plan_batch, BatchMode, OptMode, WavefrontMode};
+        let spec = registry().remove(2); // E.1
+        let (_, p, a) = systolic_synthesis::placement::paper::all()
+            .into_iter()
+            .find(|(label, _, _)| *label == spec.key)
+            .unwrap();
+        let plan = systolic_core::compile(&p, &a, &systolic_core::Options::default()).unwrap();
+        let mut env = Env::new();
+        for (&s, &v) in plan.source.sizes.iter().zip(&spec.sizes) {
+            env.bind(s, v);
+        }
+        let mut store = HostStore::allocate(&plan.source, &env);
+        for (i, name) in spec.inputs.iter().enumerate() {
+            store.fill_random(name, spec.input_seed.wrapping_add(i as u64), -9, 9);
+        }
+        let run_with = |sched: Option<Box<dyn SchedulePolicy>>| {
+            run_plan_batch(
+                &plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+                BatchMode::Auto,
+                OptMode::Auto,
+                WavefrontMode::Auto,
+                sched,
+                &[],
+            )
+            .unwrap()
+        };
+        let fast = run_with(None);
+        assert!(fast.wavefront, "E.1 must take the wavefront fast path");
+        for name in &crate::policy::POLICY_NAMES[1..] {
+            let perturbed = run_with(policy_by_name(name, 7));
+            assert!(!perturbed.batched, "{name}: policy must close the gate");
+            assert!(!perturbed.wavefront, "{name}: wavefront gate too");
+            assert_eq!(
+                (perturbed.stats.messages, perturbed.stats.steps),
+                (fast.stats.messages, fast.stats.steps),
+                "{name}: logical stats must be schedule-invariant"
+            );
+            assert_eq!(perturbed.store, fast.store, "{name}: stores diverge");
+        }
+        // And the FIFO anchor keeps the gate open.
+        let anchored = run_with(policy_by_name("fifo", 0));
+        assert!(anchored.wavefront, "an explicit FIFO policy is inert");
+        assert_eq!(anchored.store, fast.store);
+    }
+
+    #[test]
     fn subject_for_resolves_the_race_builtin_and_rejects_unknowns() {
         assert_eq!(subject_for(RACE_SINK, &[4], 0).unwrap().label(), RACE_SINK);
         assert!(subject_for("Z.9", &[3], 0).is_err());

@@ -118,6 +118,22 @@ pub fn build_opt_mode(inv: &Invocation) -> Option<systolic_interp::OptMode> {
     }
 }
 
+/// Parse `--wavefront auto|off|par` (default `auto`): whether the
+/// wavefront executor (topologically staged chunk sweeps, see
+/// `docs/wavefront.md`) may replace the batched macro-sweep on eligible
+/// runs, and whether its chunks run on scoped threads (`par`). The
+/// fallback ladder is wavefront → batched → plain; stores and logical
+/// message/step counts are invariant across all rungs. `None` on any
+/// other value.
+pub fn build_wavefront_mode(inv: &Invocation) -> Option<systolic_interp::WavefrontMode> {
+    match inv.flag("wavefront") {
+        None | Some("auto") => Some(systolic_interp::WavefrontMode::Auto),
+        Some("off") => Some(systolic_interp::WavefrontMode::Off),
+        Some("par") => Some(systolic_interp::WavefrontMode::Par),
+        Some(_) => None,
+    }
+}
+
 /// Execute an invocation; returns the text to print, or an error message.
 pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
     match inv.command.as_str() {
@@ -182,8 +198,10 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
             let batch = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
             let opt = build_opt_mode(inv).ok_or("bad --opt value (auto|off)")?;
-            let (stats, batched, opt_report) = sys
-                .verify_batch(&sizes, &input_refs, seed, &elab, batch, opt)
+            let wavefront =
+                build_wavefront_mode(inv).ok_or("bad --wavefront value (auto|off|par)")?;
+            let (stats, batched, wavefronted, opt_report) = sys
+                .verify_batch(&sizes, &input_refs, seed, &elab, batch, opt, wavefront)
                 .map_err(|e| format!("FAILED: {e}"))?;
             let mut out = format!(
                 "OK: {} processes, {} scheduler rounds, {} logical messages, {} steps{}; \
@@ -192,20 +210,23 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 stats.rounds,
                 stats.messages,
                 stats.steps,
-                match (batched, &opt_report) {
-                    (true, Some(_)) => " [batched+optimized]",
-                    (true, None) => " [batched]",
-                    (false, _) => "",
+                match (wavefronted, batched, &opt_report) {
+                    (true, _, Some(_)) => " [wavefront+optimized]",
+                    (true, _, None) => " [wavefront]",
+                    (false, true, Some(_)) => " [batched+optimized]",
+                    (false, true, None) => " [batched]",
+                    (false, false, _) => "",
                 }
             );
             if let Some(report) = &opt_report {
                 out.push_str(&format!("\noptimizer: {}", report.summary()));
             }
             if let Some(path) = inv.flag("opt-report") {
-                let json = opt_report
+                let base = opt_report
                     .as_ref()
                     .map(systolic_interp::OptReport::to_json)
                     .unwrap_or_else(|| "{\n  \"schema\": \"systolic-opt-v1\"\n}\n".to_string());
+                let json = splice_wavefront_section(&base, &sys, &sizes, seed, &input_refs, &elab)?;
                 std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
                 out.push_str(&format!("\noptimizer report: {path}"));
             }
@@ -263,9 +284,11 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             // for interface uniformity but DST runs always take the
             // unbatched engine: adversarial schedule policies and the
             // round recorder both close the batching gate (and with it
-            // the optimizer, which rides the same gate).
+            // the optimizer and the wavefront executor, which ride the
+            // same gate).
             let _ = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
             let _ = build_opt_mode(inv).ok_or("bad --opt value (auto|off)")?;
+            let _ = build_wavefront_mode(inv).ok_or("bad --wavefront value (auto|off|par)")?;
             if let Some(n) = inv.flag("schedules") {
                 let n: u64 = n.parse().map_err(|_| "--schedules needs a number")?;
                 return explore_schedules(inv, src, n);
@@ -305,6 +328,77 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
         }
         other => Err(format!("unknown command {other}")),
     }
+}
+
+/// Splice a `"wavefront"` section into an optimizer-report JSON document:
+/// whether the wavefront executor can take this module and, when it (or
+/// any channel) is disqualified, the per-channel ineligibility reasons
+/// from `systolic_interp::channel_diagnostics`. The base document's own
+/// fields are untouched, so `OptReport::from_json` round-trips through
+/// the written file exactly as before.
+fn splice_wavefront_section(
+    base: &str,
+    sys: &crate::Systolized,
+    sizes: &[i64],
+    seed: u64,
+    inputs: &[&str],
+    elab: &ElabOptions,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let env = sys.size_env(sizes);
+    let mut store = systolic_ir::HostStore::allocate(&sys.source, &env);
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    let cm = systolic_interp::ModuleStore::global()
+        .module(&sys.plan, &env, &store, elab)
+        .map_err(|e| e.to_string())?;
+    let wp = cm.wavefront_plan();
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut sec = String::new();
+    match wp.reject_reason() {
+        None => {
+            let _ = write!(
+                sec,
+                "  \"wavefront\": {{\n    \"eligible\": true,\n    \"waves\": {},\n    \
+                 \"chunks\": {},\n    \"max_ring_capacity\": {},\n",
+                wp.n_waves(),
+                wp.n_chunks(),
+                wp.max_capacity()
+            );
+        }
+        Some(r) => {
+            let _ = write!(
+                sec,
+                "  \"wavefront\": {{\n    \"eligible\": false,\n    \"reason\": \"{}\",\n",
+                escape(r)
+            );
+        }
+    }
+    sec.push_str("    \"channels\": [");
+    let mut first = true;
+    for (c, why) in systolic_interp::channel_diagnostics(&cm.elab.module)
+        .iter()
+        .enumerate()
+    {
+        if let Some(why) = why {
+            let _ = write!(
+                sec,
+                "{}\n      {{ \"chan\": {c}, \"reason\": \"{}\" }}",
+                if first { "" } else { "," },
+                escape(why)
+            );
+            first = false;
+        }
+    }
+    sec.push_str(if first { "]\n  }" } else { "\n    ]\n  }" });
+    let stem = base
+        .trim_end()
+        .strip_suffix('}')
+        .ok_or("optimizer report JSON ends with its root object brace")?
+        .trim_end()
+        .to_string();
+    Ok(format!("{stem},\n{sec}\n}}\n"))
 }
 
 /// DST mode of `explore`: sweep the adversary-policy seed matrix over
@@ -591,8 +685,20 @@ mod tests {
     #[test]
     fn batch_flag_gates_the_fast_path() {
         // `--opt off` on both sides: with the optimizer disabled the
-        // logical message/step counts are engine-invariant.
-        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        // logical message/step counts are engine-invariant. `--wavefront
+        // off` pins the batched rung of the ladder (the wavefront rung
+        // has its own gating test below).
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "4",
+            "--opt",
+            "off",
+            "--wavefront",
+            "off",
+        ]))
+        .unwrap();
         let auto = execute(&inv, SRC).unwrap();
         assert!(auto.contains("[batched]"), "{auto}");
         assert!(!auto.contains("[batched+optimized]"), "{auto}");
@@ -624,6 +730,8 @@ mod tests {
             "f",
             "--sizes",
             "4",
+            "--wavefront",
+            "off",
             "--opt-report",
             report.to_str().unwrap(),
         ]))
@@ -635,6 +743,11 @@ mod tests {
         assert!(auto.contains("optimizer report: "), "{auto}");
         let j = std::fs::read_to_string(&report).unwrap();
         assert!(j.contains("\"schema\": \"systolic-opt-v1\""), "{j}");
+        // The wavefront staging facts ride along in the same document
+        // (with per-channel ineligibility reasons when any exist).
+        assert!(j.contains("\"wavefront\""), "{j}");
+        assert!(j.contains("\"eligible\""), "{j}");
+        assert!(j.contains("\"channels\""), "{j}");
         let _ = std::fs::remove_file(&report);
         // `--opt off` keeps the plain batched engine.
         let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
@@ -645,6 +758,68 @@ mod tests {
         assert!(execute(&inv, SRC).unwrap_err().contains("--opt"));
         let inv = parse_args(&args(&["explore", "f", "--opt", "bogus"])).unwrap();
         assert!(execute(&inv, SRC).unwrap_err().contains("--opt"));
+    }
+
+    #[test]
+    fn wavefront_flag_gates_the_fourth_executor() {
+        // Default `--wavefront auto` takes the top rung of the ladder;
+        // `--opt off` keeps the message/step counts engine-invariant.
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        let wf = execute(&inv, SRC).unwrap();
+        assert!(wf.contains("[wavefront]"), "{wf}");
+        // `par` runs the same chunks on scoped threads — same result.
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "4",
+            "--opt",
+            "off",
+            "--wavefront",
+            "par",
+        ]))
+        .unwrap();
+        let par = execute(&inv, SRC).unwrap();
+        assert!(par.contains("[wavefront]"), "{par}");
+        // `off` drops to the batched rung.
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "4",
+            "--opt",
+            "off",
+            "--wavefront",
+            "off",
+        ]))
+        .unwrap();
+        let off = execute(&inv, SRC).unwrap();
+        assert!(off.contains("[batched]"), "{off}");
+        assert!(!off.contains("[wavefront]"), "{off}");
+        // Logical messages and steps are invariant across the ladder.
+        let invariant = |s: &str| {
+            let t = s.split("rounds, ").nth(1).unwrap();
+            t.split(" steps").next().unwrap().to_string()
+        };
+        assert_eq!(invariant(&wf), invariant(&off));
+        assert_eq!(invariant(&wf), invariant(&par));
+        // With the optimizer on, the marker names both engines.
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4"])).unwrap();
+        let both = execute(&inv, SRC).unwrap();
+        assert!(both.contains("[wavefront+optimized]"), "{both}");
+        // Bad values are messages on both commands.
+        let inv = parse_args(&args(&[
+            "verify",
+            "f",
+            "--sizes",
+            "4",
+            "--wavefront",
+            "max",
+        ]))
+        .unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--wavefront"));
+        let inv = parse_args(&args(&["explore", "f", "--wavefront", "bogus"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--wavefront"));
     }
 
     #[test]

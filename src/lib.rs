@@ -251,12 +251,14 @@ impl Systolized {
     }
 
     /// [`Systolized::verify_with`] through the steady-state batching gate
-    /// (see `systolic_runtime::batch`) and the ProcIR optimizer (see
+    /// (see `systolic_runtime::batch`), the wavefront executor (see
+    /// `systolic_runtime::wavefront`), and the ProcIR optimizer (see
     /// `systolic_runtime::opt`): identical experiment and result; the
-    /// returned flag says whether the fast path actually engaged, and the
-    /// report (if any) describes what the optimizer fused. `--opt off`
-    /// (`OptMode::Off`) is the exactness oracle: stats then carry the
-    /// unfused message/step counts.
+    /// returned flags say whether the batched fast path and the wavefront
+    /// executor actually engaged, and the report (if any) describes what
+    /// the optimizer fused. `--opt off` (`OptMode::Off`) is the exactness
+    /// oracle: stats then carry the unfused message/step counts.
+    #[allow(clippy::too_many_arguments)]
     pub fn verify_batch(
         &self,
         sizes: &[i64],
@@ -265,7 +267,8 @@ impl Systolized {
         opts: &systolic_interp::ElabOptions,
         batch: systolic_interp::BatchMode,
         opt: systolic_interp::OptMode,
-    ) -> Result<(RunStats, bool, Option<systolic_interp::OptReport>), Error> {
+        wavefront: systolic_interp::WavefrontMode,
+    ) -> Result<(RunStats, bool, bool, Option<systolic_interp::OptReport>), Error> {
         let env = self.size_env(sizes);
         let mut store = systolic_ir::HostStore::allocate(&self.source, &env);
         for (i, name) in inputs.iter().enumerate() {
@@ -281,6 +284,7 @@ impl Systolized {
             opts,
             batch,
             opt,
+            wavefront,
             None,
             &[],
         )
@@ -292,7 +296,7 @@ impl Systolized {
                 )));
             }
         }
-        Ok((run.stats, run.batched, run.opt))
+        Ok((run.stats, run.batched, run.wavefront, run.opt))
     }
 
     /// The schedule's makespan at a problem size (`max step - min step + 1`).

@@ -15,7 +15,7 @@ use std::time::Duration;
 use systolizer::core::{compile, Options};
 use systolizer::interp::{
     run_plan, run_plan_batch, run_plan_partitioned_batch, run_plan_threaded_batch, BatchMode,
-    ElabOptions, OptMode,
+    ElabOptions, OptMode, WavefrontMode,
 };
 use systolizer::ir::{gallery, HostStore, SourceProgram};
 use systolizer::math::Env;
@@ -78,6 +78,7 @@ fn batched_coop_is_bit_identical_with_invariant_logical_stats() {
             &ElabOptions::default(),
             BatchMode::Auto,
             OptMode::Off,
+            WavefrontMode::Off,
             None,
             &[],
         )
@@ -110,15 +111,22 @@ fn batched_threaded_and_partitioned_agree_with_the_coop_baseline() {
             &ElabOptions::default(),
         )
         .unwrap();
-        let th = run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto, OptMode::Off).unwrap();
+        let th =
+            run_plan_threaded_batch(&plan, &env, &store, timeout, BatchMode::Auto, OptMode::Off)
+                .unwrap();
         assert!(th.batched, "design {design}");
         assert_eq!(th.store, base.store, "design {design}: threaded store");
         assert_eq!(th.stats.messages, base.stats.messages, "design {design}");
         assert_eq!(th.stats.steps, base.stats.steps, "design {design}");
         for workers in [1usize, 3] {
-            let pt =
-                run_plan_partitioned_batch(
-                &plan, &env, &store, workers, timeout, BatchMode::Auto, OptMode::Off,
+            let pt = run_plan_partitioned_batch(
+                &plan,
+                &env,
+                &store,
+                workers,
+                timeout,
+                BatchMode::Auto,
+                OptMode::Off,
             )
             .unwrap();
             assert!(pt.batched, "design {design} w={workers}");
@@ -150,8 +158,19 @@ fn gate_closes_for_every_observable_feature() {
     let (plan, env, store) = prepared(2, 3, 5); // E.1
     let elab = ElabOptions::default();
     let run = |policy, batch, sched, recorders: &[_]| {
-        run_plan_batch(&plan, &env, &store, policy, &elab, batch, OptMode::Off, sched, recorders)
-            .unwrap()
+        run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            policy,
+            &elab,
+            batch,
+            OptMode::Off,
+            WavefrontMode::Off,
+            sched,
+            recorders,
+        )
+        .unwrap()
     };
     let base = run(ChannelPolicy::Rendezvous, BatchMode::Off, None, &[]);
     assert!(!base.batched, "--batch off forces the rendezvous engine");
@@ -197,6 +216,83 @@ fn gate_closes_for_every_observable_feature() {
     assert_eq!(buffered.store, base.store);
 }
 
+/// The wavefront executor's gate corners (see `docs/wavefront.md`): the
+/// degenerate sizes still engage and agree; any feature that closes the
+/// batching gate closes the wavefront gate with it (the wavefront rung
+/// sits strictly above the batched rung on the same ladder), and the run
+/// still produces the correct store.
+#[test]
+fn wavefront_gate_corners() {
+    let elab = ElabOptions::default();
+    // n=0 and n=1: one-iteration loop nests — trivial pipelines with
+    // single-process waves. The wavefront path must engage and agree.
+    for n in [0i64, 1, 2] {
+        let (plan, env, store) = prepared(0, n, 31); // D.1
+        let batched = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &elab,
+            BatchMode::Auto,
+            OptMode::Off,
+            WavefrontMode::Off,
+            None,
+            &[],
+        )
+        .unwrap();
+        let wf = run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &elab,
+            BatchMode::Auto,
+            OptMode::Off,
+            WavefrontMode::Auto,
+            None,
+            &[],
+        )
+        .unwrap();
+        assert!(wf.wavefront, "n={n}: the wavefront gate should admit");
+        assert!(wf.batched, "n={n}: wavefront implies batched");
+        assert_eq!(wf.store, batched.store, "n={n}");
+        assert_eq!(wf.stats.messages, batched.stats.messages, "n={n}");
+        assert_eq!(wf.stats.steps, batched.stats.steps, "n={n}");
+    }
+
+    let (plan, env, store) = prepared(2, 3, 5); // E.1
+    let run = |sched, recorders: &[_]| {
+        run_plan_batch(
+            &plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &elab,
+            BatchMode::Auto,
+            OptMode::Off,
+            WavefrontMode::Auto,
+            sched,
+            recorders,
+        )
+        .unwrap()
+    };
+    let base = run(None, &[]);
+    assert!(base.wavefront, "plain Auto run takes the wavefront rung");
+
+    let (metrics, recorder) = shared(MetricsRecorder::new());
+    let observed = run(None, &[recorder]);
+    assert!(!observed.wavefront, "a recorder closes the wavefront gate");
+    assert!(!observed.batched, "…and the batching gate beneath it");
+    assert_eq!(observed.store, base.store);
+    assert!(metrics.lock().report().transfers > 0);
+
+    let perturbed = run(Some(Box::new(ReversePolicy)), &[]);
+    assert!(!perturbed.wavefront, "a non-FIFO policy closes the gate");
+    assert!(!perturbed.batched);
+    assert_eq!(perturbed.store, base.store);
+}
+
 /// Case count override (see `tests/random_programs.rs`).
 fn env_cases(default: u32) -> u32 {
     std::env::var("PROPTEST_CASES")
@@ -236,6 +332,7 @@ proptest! {
             &ElabOptions::default(),
             BatchMode::Auto,
             OptMode::Off,
+            WavefrontMode::Off,
             None,
             &[],
         )
@@ -260,5 +357,44 @@ proptest! {
         prop_assert_eq!(&pt.store, &base.store);
         prop_assert_eq!(pt.stats.messages, base.stats.messages);
         prop_assert_eq!(pt.stats.steps, base.stats.steps);
+    }
+
+    /// The wavefront executor is differentially pinned against the
+    /// batched run it replaces: bit-identical stores, invariant logical
+    /// messages/steps, in both the sequential and the parallel chunk
+    /// modes, over random (design, size, seed) draws.
+    #[test]
+    fn wavefront_agrees_with_the_batched_run(
+        design in 0usize..9,
+        n in 1i64..=4,
+        seed in 0u64..1000,
+    ) {
+        let (plan, env, store) = prepared(design, n, seed);
+        let go = |wavefront| {
+            run_plan_batch(
+                &plan,
+                &env,
+                &store,
+                ChannelPolicy::Rendezvous,
+                &ElabOptions::default(),
+                BatchMode::Auto,
+                OptMode::Off,
+                wavefront,
+                None,
+                &[],
+            )
+            .unwrap()
+        };
+        let batched = go(WavefrontMode::Off);
+        prop_assert!(batched.batched);
+        prop_assert!(!batched.wavefront);
+        for mode in [WavefrontMode::Auto, WavefrontMode::Par] {
+            let wf = go(mode);
+            prop_assert!(wf.wavefront, "design {} n={}: gate should admit", design, n);
+            prop_assert_eq!(&wf.store, &batched.store);
+            prop_assert_eq!(wf.stats.messages, batched.stats.messages);
+            prop_assert_eq!(wf.stats.steps, batched.stats.steps);
+            prop_assert_eq!(wf.stats.processes, batched.stats.processes);
+        }
     }
 }

@@ -156,7 +156,7 @@ fn coop_under_explicit_fifo_policy_matches_pre_hook_goldens() {
 /// here rather than as silently unobserved runs.
 #[test]
 fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
-    use systolizer::interp::{run_plan_batch, BatchMode, OptMode};
+    use systolizer::interp::{run_plan_batch, BatchMode, OptMode, WavefrontMode};
     use systolizer::runtime::{shared, ChanId, MetricsRecorder, SchedulePolicy};
 
     struct ReversePolicy;
@@ -195,11 +195,13 @@ fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
             &Default::default(),
             BatchMode::Auto,
             OptMode::Auto,
+            WavefrontMode::Auto,
             None,
             &[recorder],
         )
         .unwrap();
         assert!(!observed.batched, "{label}: recorder must close the gate");
+        assert!(!observed.wavefront, "{label}: and the wavefront gate too");
         assert_eq!(&observed.stats, want, "{label}: observed run drifted");
 
         let perturbed = run_plan_batch(
@@ -210,11 +212,13 @@ fn recorder_and_non_fifo_runs_stay_on_the_unbatched_goldens() {
             &Default::default(),
             BatchMode::Auto,
             OptMode::Auto,
+            WavefrontMode::Auto,
             Some(Box::new(ReversePolicy)),
             &[],
         )
         .unwrap();
         assert!(!perturbed.batched, "{label}: policy must close the gate");
+        assert!(!perturbed.wavefront, "{label}: and the wavefront gate too");
         assert_eq!(
             (perturbed.stats.messages, perturbed.stats.steps),
             (want.messages, want.steps),

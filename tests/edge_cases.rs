@@ -172,13 +172,15 @@ fn cli_renders_deadlock_as_a_message_not_a_panic() {
     assert!(err.contains("recv@") || err.contains("send@"), "{err}");
 }
 
-/// The deliberate flip side: under the default `--batch auto`, the ring
-/// slack of the batched engine lets the lockstep design *complete* — and
-/// the result is still verified against the sequential reference, so
+/// The deliberate flip side: under the default full-auto modes, the ring
+/// slack of the fast-path engines lets the lockstep design *complete* —
+/// and the result is still verified against the sequential reference, so
 /// what the paper's strict rendezvous protocol turns into a deadlock is,
-/// semantically, only a scheduling artifact. The strict diagnosis
-/// remains available via `--batch off` (previous test) and is pinned
-/// unbatched in `tests/protocol_findings.rs`.
+/// semantically, only a scheduling artifact. The default ladder lands on
+/// the wavefront rung; `--wavefront off` drops to the batched rung with
+/// the same rescue. The strict diagnosis remains available via
+/// `--batch off` (previous test) and is pinned unbatched in
+/// `tests/protocol_findings.rs`.
 #[test]
 fn cli_batched_slack_rescues_the_lockstep_deadlock_correctly() {
     use systolizer::cli::{execute, parse_args};
@@ -188,6 +190,24 @@ fn cli_batched_slack_rescues_the_lockstep_deadlock_correctly() {
         .collect();
     let inv = parse_args(&raw).unwrap();
     let out = execute(&inv, LOCKSTEP_SRC).expect("ring slack completes the lockstep design");
+    assert!(out.contains("OK:"), "{out}");
+    assert!(out.contains("[wavefront"), "{out}");
+
+    let raw: Vec<String> = [
+        "verify",
+        "f.sys",
+        "--sizes",
+        "2",
+        "--bound",
+        "1",
+        "--wavefront",
+        "off",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let inv = parse_args(&raw).unwrap();
+    let out = execute(&inv, LOCKSTEP_SRC).expect("batched slack also completes it");
     assert!(out.contains("OK:"), "{out}");
     // `[batched]` plain or `[batched+optimized]` when the optimizer fuses
     // something here too.

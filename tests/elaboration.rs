@@ -11,7 +11,7 @@ use std::time::Duration;
 use systolizer::core::{compile, Options, SystolicProgram};
 use systolizer::interp::{
     elaborate, elaborate_skeleton, instantiate, run_plan, run_plan_batch, BatchMode, ElabOptions,
-    ModuleStore, OptMode,
+    ModuleStore, OptMode, WavefrontMode,
 };
 use systolizer::ir::{seq, HostStore};
 use systolizer::math::Env;
@@ -146,12 +146,17 @@ fn warm_cache_runs_bit_match_cold_runs_across_engine_modes() {
         let store = seeded_store(&d, &env, 23);
         let mut expected = store.clone();
         seq::run(&d.plan.source, &env, &mut expected);
-        for (batch, opt) in [
-            (BatchMode::Auto, OptMode::Auto),
-            (BatchMode::Auto, OptMode::Off),
-            (BatchMode::Off, OptMode::Off),
+        for (batch, opt, wavefront) in [
+            (BatchMode::Auto, OptMode::Auto, WavefrontMode::Auto),
+            (BatchMode::Auto, OptMode::Auto, WavefrontMode::Off),
+            (BatchMode::Auto, OptMode::Off, WavefrontMode::Auto),
+            (BatchMode::Auto, OptMode::Off, WavefrontMode::Off),
+            (BatchMode::Off, OptMode::Off, WavefrontMode::Off),
         ] {
-            let ctx = format!("{} sizes={sizes:?} {batch:?}/{opt:?}", d.label);
+            let ctx = format!(
+                "{} sizes={sizes:?} {batch:?}/{opt:?}/{wavefront:?}",
+                d.label
+            );
             let run_once = || {
                 run_plan_batch(
                     &d.plan,
@@ -161,6 +166,7 @@ fn warm_cache_runs_bit_match_cold_runs_across_engine_modes() {
                     &ElabOptions::default(),
                     batch,
                     opt,
+                    wavefront,
                     None,
                     &[],
                 )
@@ -170,6 +176,7 @@ fn warm_cache_runs_bit_match_cold_runs_across_engine_modes() {
             let warm = run_once();
             assert_eq!(cold.stats, warm.stats, "{ctx}: stats drift across hits");
             assert_eq!(cold.batched, warm.batched, "{ctx}");
+            assert_eq!(cold.wavefront, warm.wavefront, "{ctx}");
             for name in expected.names() {
                 assert_eq!(cold.store.get(name), expected.get(name), "{ctx}: {name}");
                 assert_eq!(warm.store.get(name), cold.store.get(name), "{ctx}: {name}");

@@ -14,7 +14,7 @@ use std::time::Duration;
 use systolizer::core::{compile, Options};
 use systolizer::interp::{
     run_plan_batch, run_plan_partitioned_batch, run_plan_threaded_batch, BatchMode, ElabOptions,
-    OptMode,
+    OptMode, WavefrontMode,
 };
 use systolizer::ir::{gallery, HostStore, SourceProgram};
 use systolizer::math::Env;
@@ -79,11 +79,15 @@ fn opt_auto_stores_are_bit_identical_to_the_oracle_on_all_executors() {
                 &ElabOptions::default(),
                 BatchMode::Auto,
                 OptMode::Off,
+                WavefrontMode::Off,
                 None,
                 &[],
             )
             .unwrap();
-            assert!(oracle.opt.is_none(), "design {design}: --opt off leaks a report");
+            assert!(
+                oracle.opt.is_none(),
+                "design {design}: --opt off leaks a report"
+            );
             let auto = run_plan_batch(
                 &plan,
                 &env,
@@ -92,11 +96,15 @@ fn opt_auto_stores_are_bit_identical_to_the_oracle_on_all_executors() {
                 &ElabOptions::default(),
                 BatchMode::Auto,
                 OptMode::Auto,
+                WavefrontMode::Off,
                 None,
                 &[],
             )
             .unwrap();
-            assert_eq!(auto.store, oracle.store, "design {design} n={n}: coop store");
+            assert_eq!(
+                auto.store, oracle.store,
+                "design {design} n={n}: coop store"
+            );
             if let Some(r) = &auto.opt {
                 fused_somewhere = true;
                 assert!(r.processes_after <= r.processes_before, "design {design}");
@@ -118,7 +126,10 @@ fn opt_auto_stores_are_bit_identical_to_the_oracle_on_all_executors() {
                 OptMode::Auto,
             )
             .unwrap();
-            assert_eq!(th.store, oracle.store, "design {design} n={n}: threaded store");
+            assert_eq!(
+                th.store, oracle.store,
+                "design {design} n={n}: threaded store"
+            );
             for workers in [1usize, 3] {
                 let pt = run_plan_partitioned_batch(
                     &plan,
@@ -169,6 +180,7 @@ proptest! {
             &ElabOptions::default(),
             BatchMode::Auto,
             OptMode::Off,
+            WavefrontMode::Off,
             None,
             &[],
         )
@@ -181,6 +193,7 @@ proptest! {
             &ElabOptions::default(),
             BatchMode::Auto,
             OptMode::Auto,
+            WavefrontMode::Off,
             None,
             &[],
         )
@@ -211,7 +224,12 @@ enum Node {
     /// A stationary stream end: `Keep` and `Eject` with live slot
     /// (separated by a `Pass`, like a real load/recover pair around a
     /// computation). Must never be fused away.
-    Stationary { inp: usize, thru: usize, out: usize, n: u64 },
+    Stationary {
+        inp: usize,
+        thru: usize,
+        out: usize,
+        n: u64,
+    },
 }
 
 const CHANS: usize = 6;
@@ -364,13 +382,8 @@ proptest! {
 fn mapping_report_round_trips_through_json() {
     use systolizer::interp::OptReport;
     let (plan, env, store) = prepared(3, 4, 7); // E.2 fuses
-    let el = systolizer::interp::elaborate::elaborate(
-        &plan,
-        &env,
-        &store,
-        &ElabOptions::default(),
-    )
-    .unwrap();
+    let el = systolizer::interp::elaborate::elaborate(&plan, &env, &store, &ElabOptions::default())
+        .unwrap();
     let o = el.optimize(OptMode::Auto).expect("E.2 n=4 fuses");
     let j = o.report.to_json();
     assert!(j.contains("\"schema\": \"systolic-opt-v1\""));

@@ -1,10 +1,11 @@
 //! Differential oracle suite: every gallery design — the four appendix
-//! designs (polyprod D.1/D.2, matmul E.1/E.2) plus the FIR filter on a
-//! derived array — runs through the sequential reference (`ir::seq`) and
-//! the simulated network on all three executors, at several problem
-//! sizes. The final host stores must be bit-identical across all four
-//! executions, and the executor-invariant statistics (messages, steps)
-//! must agree.
+//! designs (polyprod D.1/D.2, matmul E.1/E.2), the FIR filter on a
+//! derived array, and the shipped `fir.sys`/`polyprod.sys` files — runs
+//! through the sequential reference (`ir::seq`) and the simulated
+//! network on all four executors (cooperative, threaded, partitioned,
+//! wavefront), at several problem sizes. The final host stores must be
+//! bit-identical across all executions, and the executor-invariant
+//! statistics (messages, steps) must agree.
 
 use std::time::Duration;
 use systolizer::core::{compile, Options, SystolicProgram};
@@ -59,6 +60,19 @@ fn designs() -> Vec<Design> {
         plan: sys.plan,
         inputs: vec!["h", "x"],
         sizes: vec![vec![1, 2], vec![2, 5], vec![3, 4]],
+    });
+    // The shipped polynomial product, also through the full front end:
+    // the Appendix D source as users would actually write it.
+    let sys = systolizer::systolize_source(
+        include_str!("../programs/polyprod.sys"),
+        &systolizer::SystolizeOptions::default(),
+    )
+    .unwrap();
+    out.push(Design {
+        label: "polyprod.sys",
+        plan: sys.plan,
+        inputs: vec!["a", "b"],
+        sizes: vec![vec![1], vec![3], vec![6]],
     });
     out
 }
@@ -142,46 +156,110 @@ fn partitioned_matches_the_sequential_oracle_on_every_design() {
 #[test]
 fn executors_agree_on_stores_and_invariant_statistics() {
     // Messages and steps are properties of the elaborated network, not of
-    // the executor; all three must report the same counts and stores.
-    // `verify_equivalence_all` runs the three engines off ONE shared
+    // the executor; all four must report the same counts and stores.
+    // `verify_equivalence_all` runs the four engines off ONE shared
     // elaboration (a single `Arc<ProcIrModule>` from the module store)
-    // and has already compared each against the sequential oracle.
+    // and has already compared each against the sequential oracle. Every
+    // size of every design is exercised: the wavefront executor's chunk
+    // staging is size-dependent, so one mid-size point would not pin it.
     for d in designs() {
-        let sizes = &d.sizes[1];
-        let env = size_env(&d.plan, sizes);
-        let runs = systolizer::interp::verify_equivalence_all(
-            &d.plan,
-            &env,
-            &d.inputs,
-            43,
-            4,
-            Duration::from_secs(60),
-        )
-        .unwrap_or_else(|e| panic!("{} sizes={sizes:?}: {e}", d.label));
-        let labels: Vec<&str> = runs.iter().map(|(l, _)| *l).collect();
-        assert_eq!(labels, ["coop", "threaded", "partitioned"], "{}", d.label);
-        let (_, coop) = &runs[0];
-        for (label, other) in &runs[1..] {
+        for sizes in &d.sizes {
+            let env = size_env(&d.plan, sizes);
+            let runs = systolizer::interp::verify_equivalence_all(
+                &d.plan,
+                &env,
+                &d.inputs,
+                43,
+                4,
+                Duration::from_secs(60),
+            )
+            .unwrap_or_else(|e| panic!("{} sizes={sizes:?}: {e}", d.label));
+            let labels: Vec<&str> = runs.iter().map(|(l, _)| *l).collect();
             assert_eq!(
-                coop.stats.messages, other.stats.messages,
-                "{} {label}",
+                labels,
+                ["coop", "threaded", "partitioned", "wavefront"],
+                "{}",
                 d.label
             );
-            assert_eq!(coop.stats.steps, other.stats.steps, "{} {label}", d.label);
-            assert_eq!(
-                coop.stats.processes, other.stats.processes,
-                "{} {label}",
-                d.label
-            );
-            for name in coop.store.names() {
+            let (_, coop) = &runs[0];
+            for (label, other) in &runs[1..] {
                 assert_eq!(
-                    coop.store.get(name),
-                    other.store.get(name),
+                    coop.stats.messages, other.stats.messages,
                     "{} {label}",
                     d.label
                 );
+                assert_eq!(coop.stats.steps, other.stats.steps, "{} {label}", d.label);
+                assert_eq!(
+                    coop.stats.processes, other.stats.processes,
+                    "{} {label}",
+                    d.label
+                );
+                for name in coop.store.names() {
+                    assert_eq!(
+                        coop.store.get(name),
+                        other.store.get(name),
+                        "{} {label}",
+                        d.label
+                    );
+                }
             }
         }
+    }
+}
+
+/// Order-sensitive checksum over a host array's backing values, used to
+/// pin golden stores without serializing whole arrays into the test.
+fn checksum(values: &[systolizer::ir::Value]) -> i64 {
+    values
+        .iter()
+        .fold(0i64, |h, &v| h.wrapping_mul(31).wrapping_add(v))
+}
+
+#[test]
+fn polyprod_sys_golden_stores_are_pinned_at_three_sizes() {
+    // The shipped `programs/polyprod.sys` through the full front end,
+    // with the recovered `c` store pinned by checksum at three sizes.
+    // The sequential oracle already guards correctness; these goldens
+    // additionally guard the *front end* — a parser, normalizer, or
+    // systolization change that alters what the program computes fails
+    // here even if the simulated network faithfully executes the new
+    // (wrong) plan. Seed and fill range are part of the golden.
+    let goldens: [(i64, i64); 3] = [
+        (1, 6554),
+        (3, 6_018_320_591),
+        (6, 5_341_326_772_481_792_544),
+    ];
+    let sys = systolizer::systolize_source(
+        include_str!("../programs/polyprod.sys"),
+        &systolizer::SystolizeOptions::default(),
+    )
+    .unwrap();
+    for (n, want) in goldens {
+        let mut env = Env::new();
+        env.bind(sys.plan.source.sizes[0], n);
+        let mut store = HostStore::allocate(&sys.plan.source, &env);
+        store.fill_random("a", 101, -9, 9);
+        store.fill_random("b", 102, -9, 9);
+        let mut expected = store.clone();
+        seq::run(&sys.plan.source, &env, &mut expected);
+        let run = run_plan(
+            &sys.plan,
+            &env,
+            &store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("polyprod.sys n={n}: {e}"));
+        assert_eq!(
+            run.store.get("c"),
+            expected.get("c"),
+            "polyprod.sys n={n}: network diverges from the oracle"
+        );
+        let got = checksum(run.store.get("c").raw());
+        assert_eq!(
+            got, want,
+            "polyprod.sys n={n}: golden store checksum drifted"
+        );
     }
 }
 
