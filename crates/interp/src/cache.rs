@@ -55,6 +55,10 @@ pub struct CacheStats {
     pub skeleton_build_ns: u64,
     /// Total time in phase 2 (`instantiate`) across misses.
     pub instantiate_ns: u64,
+    /// Skeletons dropped by FIFO capacity management (not invalidation).
+    pub skeleton_evictions: u64,
+    /// Modules dropped by FIFO capacity management (not invalidation).
+    pub module_evictions: u64,
     /// Bumped by every explicit invalidation.
     pub generation: u64,
 }
@@ -66,6 +70,7 @@ impl CacheStats {
                 "{{\"skeleton_hits\":{},\"skeleton_misses\":{},",
                 "\"module_hits\":{},\"module_misses\":{},",
                 "\"skeleton_build_ns\":{},\"instantiate_ns\":{},",
+                "\"skeleton_evictions\":{},\"module_evictions\":{},",
                 "\"generation\":{}}}"
             ),
             self.skeleton_hits,
@@ -74,6 +79,8 @@ impl CacheStats {
             self.module_misses,
             self.skeleton_build_ns,
             self.instantiate_ns,
+            self.skeleton_evictions,
+            self.module_evictions,
             self.generation,
         )
     }
@@ -161,13 +168,28 @@ impl CachedModule {
 type SkelKey = (u64, ElabOptions);
 type ModKey = (u64, ElabOptions, Vec<i64>, u64);
 
-#[derive(Default)]
 struct Inner {
     skeletons: HashMap<SkelKey, Arc<SkeletonModule>>,
     skel_order: VecDeque<SkelKey>,
     modules: HashMap<ModKey, Arc<CachedModule>>,
     mod_order: VecDeque<ModKey>,
+    skel_cap: usize,
+    mod_cap: usize,
     stats: CacheStats,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            skeletons: HashMap::new(),
+            skel_order: VecDeque::new(),
+            modules: HashMap::new(),
+            mod_order: VecDeque::new(),
+            skel_cap: SKELETON_CAP,
+            mod_cap: MODULE_CAP,
+            stats: CacheStats::default(),
+        }
+    }
 }
 
 impl Inner {
@@ -186,9 +208,10 @@ impl Inner {
         let t = Instant::now();
         let skel = elaborate_skeleton(plan, opts);
         self.stats.skeleton_build_ns += t.elapsed().as_nanos() as u64;
-        if self.skeletons.len() >= SKELETON_CAP {
+        if self.skeletons.len() >= self.skel_cap {
             if let Some(old) = self.skel_order.pop_front() {
                 self.skeletons.remove(&old);
+                self.stats.skeleton_evictions += 1;
             }
         }
         self.skel_order.push_back(key.clone());
@@ -208,6 +231,18 @@ pub struct ModuleStore {
 impl ModuleStore {
     pub fn new() -> ModuleStore {
         ModuleStore::default()
+    }
+
+    /// A store with explicit FIFO capacities, for tests that want
+    /// eviction to fire early and for services tuning memory.
+    pub fn with_capacity(skeletons: usize, modules: usize) -> ModuleStore {
+        let ms = ModuleStore::default();
+        {
+            let mut g = ms.inner.lock().unwrap();
+            g.skel_cap = skeletons.max(1);
+            g.mod_cap = modules.max(1);
+        }
+        ms
     }
 
     /// The shared process-wide store.
@@ -251,9 +286,10 @@ impl ModuleStore {
         let elab = instantiate(&skel, env, store)?;
         g.stats.instantiate_ns += t.elapsed().as_nanos() as u64;
         let m = Arc::new(CachedModule::new(elab));
-        if g.modules.len() >= MODULE_CAP {
+        if g.modules.len() >= g.mod_cap {
             if let Some(old) = g.mod_order.pop_front() {
                 g.modules.remove(&old);
+                g.stats.module_evictions += 1;
             }
         }
         g.mod_order.push_back(key.clone());
@@ -471,6 +507,35 @@ mod tests {
             g0,
             "eviction must not bump the invalidation generation"
         );
+        // The sweep instantiated MODULE_CAP + 9 distinct modules plus the
+        // post-eviction re-request into a MODULE_CAP-slot store; every
+        // overflow is one counted eviction, none lost.
+        let s = ms.stats();
+        assert_eq!(s.module_evictions, s.module_misses - MODULE_CAP as u64);
+        assert_eq!(s.skeleton_evictions, 0, "one skeleton never overflows");
+    }
+
+    #[test]
+    fn with_capacity_counts_every_eviction_exactly() {
+        let (plan, _) = plan_and_env(0);
+        let ms = ModuleStore::with_capacity(4, 3);
+        for n in 1..=10i64 {
+            let mut env = Env::new();
+            env.bind(plan.source.sizes[0], n);
+            let store = HostStore::allocate(&plan.source, &env);
+            ms.module(&plan, &env, &store, &ElabOptions::default())
+                .unwrap();
+        }
+        let s = ms.stats();
+        assert_eq!(s.module_misses, 10);
+        assert_eq!(s.module_evictions, 7, "10 misses into 3 slots evict 7");
+        {
+            let g = ms.inner.lock().unwrap();
+            assert_eq!(g.modules.len(), 3);
+            assert_eq!(g.mod_order.len(), 3);
+        }
+        let j = s.to_json();
+        assert!(j.contains("\"module_evictions\":7"), "{j}");
     }
 
     #[test]

@@ -155,7 +155,33 @@ pub fn run_plan_scheduled(
     sched: Option<Box<dyn SchedulePolicy>>,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
-    let cm = ModuleStore::global().module(plan, env, store, opts)?;
+    run_plan_scheduled_in(
+        ModuleStore::global(),
+        plan,
+        env,
+        store,
+        policy,
+        opts,
+        sched,
+        recorders,
+    )
+}
+
+/// [`run_plan_scheduled`] against an explicit [`ModuleStore`] instead of
+/// the process-wide one — the entry point services with their own cache
+/// budget (and cache-isolation tests) use.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_scheduled_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    sched: Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
+    let cm = ms.module(plan, env, store, opts)?;
     let Elaborated {
         module,
         outputs,
@@ -245,10 +271,40 @@ pub fn run_plan_batch(
     sched: Option<Box<dyn SchedulePolicy>>,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_batch_in(
+        ModuleStore::global(),
+        plan,
+        env,
+        store,
+        policy,
+        opts,
+        batch,
+        opt,
+        wavefront,
+        sched,
+        recorders,
+    )
+}
+
+/// [`run_plan_batch`] against an explicit [`ModuleStore`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_batch_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    batch: BatchMode,
+    opt: OptMode,
+    wavefront: WavefrontMode,
+    sched: Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
     if !batching_admissible(batch, policy, &sched, recorders) {
-        return run_plan_scheduled(plan, env, store, policy, opts, sched, recorders);
+        return run_plan_scheduled_in(ms, plan, env, store, policy, opts, sched, recorders);
     }
-    let cm = ModuleStore::global().module(plan, env, store, opts)?;
+    let cm = ms.module(plan, env, store, opts)?;
     let Elaborated {
         module,
         outputs,
@@ -360,7 +416,19 @@ pub fn run_plan_threaded_recorded(
     timeout: Duration,
     recorders: Vec<SharedRecorder>,
 ) -> Result<SystolicRun, ExecError> {
-    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
+    run_plan_threaded_recorded_in(ModuleStore::global(), plan, env, store, timeout, recorders)
+}
+
+/// [`run_plan_threaded_recorded`] against an explicit [`ModuleStore`].
+pub fn run_plan_threaded_recorded_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+) -> Result<SystolicRun, ExecError> {
+    let cm = ms.module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
@@ -393,10 +461,23 @@ pub fn run_plan_threaded_batch(
     batch: BatchMode,
     opt: OptMode,
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_threaded_batch_in(ModuleStore::global(), plan, env, store, timeout, batch, opt)
+}
+
+/// [`run_plan_threaded_batch`] against an explicit [`ModuleStore`].
+pub fn run_plan_threaded_batch_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    timeout: Duration,
+    batch: BatchMode,
+    opt: OptMode,
+) -> Result<SystolicRun, ExecError> {
     if batch == BatchMode::Off {
-        return run_plan_threaded(plan, env, store, timeout);
+        return run_plan_threaded_recorded_in(ms, plan, env, store, timeout, Vec::new());
     }
-    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
+    let cm = ms.module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
@@ -467,7 +548,28 @@ pub fn run_plan_partitioned_recorded(
     timeout: Duration,
     recorders: Vec<SharedRecorder>,
 ) -> Result<SystolicRun, ExecError> {
-    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
+    run_plan_partitioned_recorded_in(
+        ModuleStore::global(),
+        plan,
+        env,
+        store,
+        workers,
+        timeout,
+        recorders,
+    )
+}
+
+/// [`run_plan_partitioned_recorded`] against an explicit [`ModuleStore`].
+pub fn run_plan_partitioned_recorded_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    workers: usize,
+    timeout: Duration,
+    recorders: Vec<SharedRecorder>,
+) -> Result<SystolicRun, ExecError> {
+    let cm = ms.module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
@@ -502,10 +604,37 @@ pub fn run_plan_partitioned_batch(
     batch: BatchMode,
     opt: OptMode,
 ) -> Result<SystolicRun, ExecError> {
+    run_plan_partitioned_batch_in(
+        ModuleStore::global(),
+        plan,
+        env,
+        store,
+        workers,
+        timeout,
+        batch,
+        opt,
+    )
+}
+
+/// [`run_plan_partitioned_batch`] against an explicit [`ModuleStore`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_partitioned_batch_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    workers: usize,
+    timeout: Duration,
+    batch: BatchMode,
+    opt: OptMode,
+) -> Result<SystolicRun, ExecError> {
     if batch == BatchMode::Off {
-        return run_plan_partitioned(plan, env, store, workers, timeout);
+        return run_plan_partitioned_recorded_in(
+            ms, plan, env, store, workers, timeout,
+            Vec::new(),
+        );
     }
-    let cm = ModuleStore::global().module(plan, env, store, &ElabOptions::default())?;
+    let cm = ms.module(plan, env, store, &ElabOptions::default())?;
     let Elaborated {
         module,
         outputs,
@@ -616,6 +745,55 @@ pub fn verify_equivalence_batch(
     Ok((run.stats, run.batched, run.wavefront, run.opt))
 }
 
+/// Why a cross-executor differential check failed, with the engine
+/// label preserved structurally: service-side differential checks key
+/// their diagnostics on *which* executor misbehaved, which a flat
+/// `String` loses.
+#[derive(Clone, Debug)]
+pub enum VerifyError {
+    /// Elaboration (or store writeback) failed before the engines could
+    /// be compared.
+    Setup { message: String },
+    /// The named engine stopped with a runtime diagnosis.
+    Engine {
+        engine: &'static str,
+        error: RunError,
+    },
+    /// The named engine completed, but its store disagrees with the
+    /// sequential reference on `variable`.
+    Divergence {
+        engine: &'static str,
+        variable: String,
+    },
+}
+
+impl VerifyError {
+    /// The executor label the failure is attributed to, when one is.
+    pub fn engine(&self) -> Option<&'static str> {
+        match self {
+            VerifyError::Setup { .. } => None,
+            VerifyError::Engine { engine, .. } | VerifyError::Divergence { engine, .. } => {
+                Some(engine)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Setup { message } => write!(f, "{message}"),
+            VerifyError::Engine { engine, error } => write!(f, "{engine}: {error}"),
+            VerifyError::Divergence { engine, variable } => write!(
+                f,
+                "{engine}: variable {variable} differs between sequential and systolic execution"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
 /// The cross-executor oracle experiment off **one** elaboration: fill
 /// the inputs, run the sequential reference, then run the cooperative,
 /// threaded, partitioned, and wavefront engines against the same shared
@@ -626,7 +804,8 @@ pub fn verify_equivalence_batch(
 /// (`tests/oracle.rs` does). The wavefront entry uses the memoized
 /// [`systolic_runtime::WavefrontPlan`] when the module is eligible and
 /// falls back to a plain rendezvous run otherwise, so the label list is
-/// always `["coop", "threaded", "partitioned", "wavefront"]`.
+/// always `["coop", "threaded", "partitioned", "wavefront"]`. Failures
+/// come back as a [`VerifyError`] that names the diverging engine.
 pub fn verify_equivalence_all(
     plan: &SystolicProgram,
     env: &Env,
@@ -634,7 +813,7 @@ pub fn verify_equivalence_all(
     seed: u64,
     workers: usize,
     timeout: Duration,
-) -> Result<Vec<(&'static str, SystolicRun)>, String> {
+) -> Result<Vec<(&'static str, SystolicRun)>, VerifyError> {
     let mut store = HostStore::allocate(&plan.source, env);
     for (i, name) in inputs.iter().enumerate() {
         store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
@@ -644,11 +823,18 @@ pub fn verify_equivalence_all(
 
     let cm = ModuleStore::global()
         .module(plan, env, &store, &ElabOptions::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| VerifyError::Setup {
+            message: e.to_string(),
+        })?;
     let el = &cm.elab;
-    let finish = |stats: RunStats, sinks: &[SinkBuffer]| -> Result<SystolicRun, String> {
+    let finish = |engine: &'static str,
+                  stats: RunStats,
+                  sinks: &[SinkBuffer]|
+     -> Result<SystolicRun, VerifyError> {
         let mut result = store.clone();
-        writeback(&el.outputs, sinks, &mut result).map_err(|e| e.to_string())?;
+        writeback(&el.outputs, sinks, &mut result).map_err(|e| VerifyError::Setup {
+            message: format!("{engine}: {e}"),
+        })?;
         Ok(SystolicRun {
             store: result,
             stats,
@@ -658,6 +844,7 @@ pub fn verify_equivalence_all(
             opt: None,
         })
     };
+    let engine_err = |engine: &'static str| move |error: RunError| VerifyError::Engine { engine, error };
 
     let mut runs: Vec<(&'static str, SystolicRun)> = Vec::new();
     {
@@ -666,28 +853,28 @@ pub fn verify_equivalence_all(
         for p in inst.procs {
             net.add(p);
         }
-        let stats = net.run().map_err(|e| format!("coop: {e}"))?;
-        runs.push(("coop", finish(stats, &inst.outputs)?));
+        let stats = net.run().map_err(engine_err("coop"))?;
+        runs.push(("coop", finish("coop", stats, &inst.outputs)?));
     }
     {
         let inst = el.module.instantiate();
-        let stats = systolic_runtime::run_threaded(inst.procs, timeout)
-            .map_err(|e| format!("threaded: {e}"))?;
-        runs.push(("threaded", finish(stats, &inst.outputs)?));
+        let stats =
+            systolic_runtime::run_threaded(inst.procs, timeout).map_err(engine_err("threaded"))?;
+        runs.push(("threaded", finish("threaded", stats, &inst.outputs)?));
     }
     {
         let inst = el.module.instantiate();
         let groups = systolic_runtime::block_partition(inst.procs.len(), workers);
         let stats = systolic_runtime::run_partitioned(inst.procs, groups, timeout)
-            .map_err(|e| format!("partitioned: {e}"))?;
-        runs.push(("partitioned", finish(stats, &inst.outputs)?));
+            .map_err(engine_err("partitioned"))?;
+        runs.push(("partitioned", finish("partitioned", stats, &inst.outputs)?));
     }
     {
         let wplan = cm.wavefront_plan();
         if wplan.eligible() {
             let (stats, sinks) = systolic_runtime::run_wavefront(&el.module, wplan, false)
-                .map_err(|e| format!("wavefront: {e}"))?;
-            let mut run = finish(stats, &sinks)?;
+                .map_err(engine_err("wavefront"))?;
+            let mut run = finish("wavefront", stats, &sinks)?;
             run.batched = true;
             run.wavefront = true;
             runs.push(("wavefront", run));
@@ -700,17 +887,18 @@ pub fn verify_equivalence_all(
             for p in inst.procs {
                 net.add(p);
             }
-            let stats = net.run().map_err(|e| format!("wavefront: {e}"))?;
-            runs.push(("wavefront", finish(stats, &inst.outputs)?));
+            let stats = net.run().map_err(engine_err("wavefront"))?;
+            runs.push(("wavefront", finish("wavefront", stats, &inst.outputs)?));
         }
     }
 
     for (label, run) in &runs {
         for name in expected.names() {
             if run.store.get(name) != expected.get(name) {
-                return Err(format!(
-                    "{label}: variable {name} differs between sequential and systolic execution"
-                ));
+                return Err(VerifyError::Divergence {
+                    engine: label,
+                    variable: name.to_string(),
+                });
             }
         }
     }

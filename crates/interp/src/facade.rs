@@ -1,0 +1,262 @@
+//! The library facade the multi-tenant service front end sits on
+//! (`crates/service`, `docs/service.md`): one request-shaped entry
+//! point over the executor zoo of [`crate::exec`], always routed
+//! through an explicit [`ModuleStore`] so concurrent requests share
+//! elaborated modules and the cache counters describe one tenant
+//! population rather than the whole process.
+//!
+//! The facade deliberately stays below HTTP: it knows nothing about
+//! sockets, worker pools, or JSON. It maps a [`SimSpec`] — executor
+//! choice, engine modes, deadline, optional adversarial schedule — onto
+//! the right `run_plan_*_in` entry point, and offers a differential
+//! variant ([`simulate_verified`]) whose failure names the engine that
+//! diverged (see [`VerifyError`]).
+
+use crate::cache::ModuleStore;
+use crate::elaborate::ElabOptions;
+use crate::exec::{
+    run_plan_batch_in, run_plan_partitioned_batch_in, run_plan_threaded_batch_in, ExecError,
+    SystolicRun, VerifyError,
+};
+use std::time::Duration;
+use systolic_core::SystolicProgram;
+use systolic_ir::{seq, HostStore};
+use systolic_math::Env;
+use systolic_runtime::{BatchMode, ChannelPolicy, OptMode, SchedulePolicy, WavefrontMode};
+
+/// Which executor family a request runs on. The cooperative scheduler
+/// is the deterministic default (and the only one that honors a
+/// non-FIFO [`SchedulePolicy`]); the threaded and partitioned engines
+/// trade determinism of *timing* (never of stores) for OS-thread
+/// parallelism and bound their rendezvous waits by the spec deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorChoice {
+    Coop,
+    Threaded,
+    Partitioned { workers: usize },
+}
+
+impl ExecutorChoice {
+    /// The stable label used in responses, stats, and
+    /// [`VerifyError::engine`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorChoice::Coop => "coop",
+            ExecutorChoice::Threaded => "threaded",
+            ExecutorChoice::Partitioned { .. } => "partitioned",
+        }
+    }
+
+    /// Parse a request-level executor name. `workers` only matters for
+    /// `"partitioned"`.
+    pub fn parse(name: &str, workers: usize) -> Option<ExecutorChoice> {
+        match name {
+            "coop" => Some(ExecutorChoice::Coop),
+            "threaded" => Some(ExecutorChoice::Threaded),
+            "partitioned" => Some(ExecutorChoice::Partitioned {
+                workers: workers.max(1),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Everything about a simulation request except the program itself:
+/// engine modes, executor, deadline, and an optional scheduling
+/// adversary (DST replays route through here).
+pub struct SimSpec {
+    pub batch: BatchMode,
+    pub opt: OptMode,
+    pub wavefront: WavefrontMode,
+    pub executor: ExecutorChoice,
+    /// Rendezvous-wait budget for the threaded/partitioned engines. The
+    /// cooperative engine has no internal clock; its deadline is
+    /// enforced by the worker pool above the facade.
+    pub deadline: Duration,
+    /// Non-FIFO policies force the cooperative engine (the threaded
+    /// engines have no worklist to permute), exactly like the DST
+    /// harness in `systolic-sim`.
+    pub sched: Option<Box<dyn SchedulePolicy>>,
+}
+
+impl Default for SimSpec {
+    fn default() -> SimSpec {
+        SimSpec {
+            batch: BatchMode::Auto,
+            opt: OptMode::Auto,
+            wavefront: WavefrontMode::Auto,
+            executor: ExecutorChoice::Coop,
+            deadline: Duration::from_secs(30),
+            sched: None,
+        }
+    }
+}
+
+/// Run one simulation through the shared module store. Stores are
+/// bit-identical across every executor/mode combination — that is the
+/// repo-wide oracle contract; the spec only chooses *how* the identical
+/// result is produced and how long the engines may wait.
+pub fn simulate(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    spec: SimSpec,
+) -> Result<SystolicRun, ExecError> {
+    let SimSpec {
+        batch,
+        opt,
+        wavefront,
+        executor,
+        deadline,
+        sched,
+    } = spec;
+    let adversarial = sched.as_ref().is_some_and(|s| !s.is_fifo());
+    match executor {
+        // Non-FIFO schedules only exist on the cooperative worklist.
+        _ if adversarial => run_plan_batch_in(
+            ms,
+            plan,
+            env,
+            store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+            batch,
+            opt,
+            wavefront,
+            sched,
+            &[],
+        ),
+        ExecutorChoice::Coop => run_plan_batch_in(
+            ms,
+            plan,
+            env,
+            store,
+            ChannelPolicy::Rendezvous,
+            &ElabOptions::default(),
+            batch,
+            opt,
+            wavefront,
+            sched,
+            &[],
+        ),
+        ExecutorChoice::Threaded => {
+            run_plan_threaded_batch_in(ms, plan, env, store, deadline, batch, opt)
+        }
+        ExecutorChoice::Partitioned { workers } => {
+            run_plan_partitioned_batch_in(ms, plan, env, store, workers, deadline, batch, opt)
+        }
+    }
+}
+
+/// [`simulate`], then compare every variable of the resulting store
+/// against the sequential reference (`systolic_ir::seq`). A mismatch
+/// comes back as [`VerifyError::Divergence`] carrying the executor
+/// label the spec selected — the service's differential mode surfaces
+/// this verbatim so a misbehaving engine is named, not guessed.
+pub fn simulate_verified(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    spec: SimSpec,
+) -> Result<SystolicRun, VerifyError> {
+    let engine = spec.executor.label();
+    let run = simulate(ms, plan, env, store, spec).map_err(|e| match e {
+        ExecError::Run(error) => VerifyError::Engine { engine, error },
+        other => VerifyError::Setup {
+            message: format!("{engine}: {other}"),
+        },
+    })?;
+    let mut expected = store.clone();
+    seq::run(&plan.source, env, &mut expected);
+    for name in expected.names() {
+        if run.store.get(name) != expected.get(name) {
+            return Err(VerifyError::Divergence {
+                engine,
+                variable: name.to_string(),
+            });
+        }
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{compile, Options};
+    use systolic_synthesis::placement::paper;
+
+    fn setup(n: i64) -> (SystolicProgram, Env, HostStore) {
+        let (p, a) = paper::polyprod_d1();
+        let plan = compile(&p, &a, &Options::default()).unwrap();
+        let mut env = Env::new();
+        env.bind(plan.source.sizes[0], n);
+        let mut store = HostStore::allocate(&plan.source, &env);
+        store.fill_random("a", 7, -9, 9);
+        store.fill_random("b", 8, -9, 9);
+        (plan, env, store)
+    }
+
+    #[test]
+    fn every_executor_choice_matches_the_oracle_off_one_store() {
+        let (plan, env, store) = setup(5);
+        let ms = ModuleStore::new();
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+        for executor in [
+            ExecutorChoice::Coop,
+            ExecutorChoice::Threaded,
+            ExecutorChoice::Partitioned { workers: 2 },
+        ] {
+            let run = simulate(
+                &ms,
+                &plan,
+                &env,
+                &store,
+                SimSpec {
+                    executor,
+                    ..SimSpec::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", executor.label()));
+            assert_eq!(
+                run.store.get("c"),
+                expected.get("c"),
+                "{}",
+                executor.label()
+            );
+        }
+        let s = ms.stats();
+        // Three executor runs over identical (plan, sizes, data): one
+        // miss, then hits — the whole point of sharing the store.
+        assert_eq!(s.module_misses, 1);
+        assert_eq!(s.module_hits, 2);
+    }
+
+    #[test]
+    fn verified_simulation_reports_the_engine_label() {
+        let (plan, env, store) = setup(4);
+        let ms = ModuleStore::new();
+        let run = simulate_verified(&ms, &plan, &env, &store, SimSpec::default()).unwrap();
+        assert!(!run.store.get("c").is_empty());
+        // Engine errors carry the label: a 1ns deadline on the threaded
+        // engine must time out and be attributed to it.
+        let err = match simulate_verified(
+            &ms,
+            &plan,
+            &env,
+            &store,
+            SimSpec {
+                executor: ExecutorChoice::Threaded,
+                batch: BatchMode::Off,
+                deadline: Duration::from_nanos(1),
+                ..SimSpec::default()
+            },
+        ) {
+            Ok(_) => panic!("a 1ns threaded deadline must time out"),
+            Err(e) => e,
+        };
+        assert_eq!(err.engine(), Some("threaded"), "{err}");
+    }
+}

@@ -20,6 +20,7 @@ pub mod cache;
 pub mod describe;
 pub mod elaborate;
 pub mod exec;
+pub mod facade;
 pub mod metrics;
 pub mod runtime_gen;
 pub mod rustgen;
@@ -30,12 +31,14 @@ pub use cache::{CacheStats, CachedModule, ModuleStore};
 pub use describe::describe;
 pub use elaborate::{elaborate, Census, ElabError, ElabOptions, Elaborated, OutputSpec};
 pub use exec::{
-    run_plan, run_plan_batch, run_plan_partitioned, run_plan_partitioned_batch,
-    run_plan_partitioned_recorded, run_plan_recorded, run_plan_scheduled, run_plan_threaded,
-    run_plan_threaded_batch, run_plan_threaded_recorded, verify_equivalence,
+    run_plan, run_plan_batch, run_plan_batch_in, run_plan_partitioned, run_plan_partitioned_batch,
+    run_plan_partitioned_batch_in, run_plan_partitioned_recorded, run_plan_recorded,
+    run_plan_scheduled, run_plan_scheduled_in, run_plan_threaded, run_plan_threaded_batch,
+    run_plan_threaded_batch_in, run_plan_threaded_recorded, verify_equivalence,
     verify_equivalence_all, verify_equivalence_batch, verify_equivalence_with, ExecError,
-    SystolicRun,
+    SystolicRun, VerifyError,
 };
-pub use metrics::{channel_names, observe_plan, Observed};
+pub use facade::{simulate, simulate_verified, ExecutorChoice, SimSpec};
+pub use metrics::{channel_names, observe_plan, observe_plan_in, Observed};
 pub use skeleton::{elaborate_skeleton, instantiate, SkeletonModule};
 pub use systolic_runtime::{channel_diagnostics, BatchMode, OptMode, OptReport, WavefrontMode};

@@ -133,8 +133,22 @@ pub fn observe_plan(
     policy: ChannelPolicy,
     opts: &ElabOptions,
 ) -> Result<Observed, ExecError> {
-    let cm = ModuleStore::global().module(plan, env, store, opts)?;
-    let cache = ModuleStore::global().stats();
+    observe_plan_in(ModuleStore::global(), plan, env, store, policy, opts)
+}
+
+/// [`observe_plan`] against an explicit [`ModuleStore`] — the entry
+/// point the service's metrics/trace outputs use so their cache
+/// counters describe the service's own store.
+pub fn observe_plan_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+) -> Result<Observed, ExecError> {
+    let cm = ms.module(plan, env, store, opts)?;
+    let cache = ms.stats();
     let el = &cm.elab;
     let names = channel_names(plan, el);
     let (metrics, m_erased) = shared(MetricsRecorder::new());

@@ -143,6 +143,34 @@ impl RunError {
             _ => None,
         }
     }
+
+    /// A stable machine-readable label for the error class. Service
+    /// boundaries key their structured responses on this so that the
+    /// classification survives any change to the `Display` prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Deadlock(_) => "deadlock",
+            RunError::Protocol(_) => "protocol",
+            RunError::Timeout { .. } => "timeout",
+            RunError::Aborted => "aborted",
+            RunError::Panicked { .. } => "panic",
+            RunError::Partition { .. } => "partition",
+        }
+    }
+
+    /// The offender labels the diagnosis carries: the blocked processes
+    /// of a deadlock, the two claimants of a protocol violation, the
+    /// scope that timed out or panicked. Empty for errors with no
+    /// attributable party.
+    pub fn offenders(&self) -> Vec<String> {
+        match self {
+            RunError::Deadlock(d) => d.blocked.clone(),
+            RunError::Protocol(p) => vec![p.first.clone(), p.second.clone()],
+            RunError::Timeout { scope } | RunError::Panicked { scope } => vec![scope.clone()],
+            RunError::Aborted => Vec::new(),
+            RunError::Partition { .. } => Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for RunError {

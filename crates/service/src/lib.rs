@@ -1,0 +1,512 @@
+//! # systolic-service
+//!
+//! The multi-tenant simulation service (ROADMAP item 1, "a service
+//! powering millions of users", `docs/service.md`): an HTTP/1.1 + JSON
+//! front end over the [`systolic_interp::facade`]. The engine treats
+//! the systolic array the way Delaval et al. treat a distributed
+//! synchronous program — a long-lived shared resource, not a one-shot
+//! run: elaborated modules stay hot in a service-owned
+//! [`ModuleStore`] and compiled plans in a [`PlanCache`], shared by
+//! every concurrent request.
+//!
+//! Layering (bottom-up):
+//! - [`pool`] — the bounded worker pool: backpressure (429), deadline
+//!   waits (504), per-worker panic isolation (structured 500);
+//! - [`api`] — the wire vocabulary: request parsing, structured
+//!   errors with `Deadlock`/`Protocol`/`Timeout` offender labels,
+//!   `systolic-service-v1` responses;
+//! - [`Service`] (this module) — plan resolution, cache plumbing, and
+//!   the in-process handlers (`handle_run`, `handle_replay`,
+//!   `stats_json`) the DST harness drives without sockets;
+//! - [`http`] — `std::net` HTTP/1.1 keep-alive transport, thread per
+//!   connection (the workspace builds offline: no tokio, no hyper).
+
+pub mod api;
+pub mod http;
+pub mod pool;
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use api::{ApiError, OutputKind, ProgramRef, RunRequest};
+use pool::Pool;
+use systolic_core::{compile, Options as CoreOptions, SystolicProgram};
+use systolic_interp::{
+    observe_plan_in, simulate, simulate_verified, ExecutorChoice, ModuleStore, SimSpec,
+};
+use systolic_ir::HostStore;
+use systolic_math::Env;
+use systolic_runtime::ChannelPolicy;
+use systolic_sim::{policy_by_name, Json, PlanSubject, ScheduleFile};
+
+/// Capacity and policy knobs. Defaults suit a small box; `load_gen`'s
+/// saturation scenario and the docs show how to scale them (see
+/// `docs/service.md`, "Capacity tuning").
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Backpressure queue depth; a full queue rejects with 429.
+    pub queue_cap: usize,
+    /// Largest accepted problem size per dimension (413 above it).
+    pub max_size: i64,
+    /// Deadline applied when a request names none.
+    pub default_deadline_ms: u64,
+    /// Hard ceiling a request's own deadline is clamped to.
+    pub max_deadline_ms: u64,
+    /// Compiled-plan cache entries (design keys + source hashes).
+    pub plan_cache_cap: usize,
+    /// Module-store FIFO capacities (skeletons, instantiated modules).
+    pub module_caps: (usize, usize),
+    /// Expose `POST /debug/panic` (tests only): a request whose job
+    /// panics inside a worker, proving isolation end-to-end.
+    pub debug_panic_route: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            workers: cores.max(2),
+            queue_cap: 256,
+            max_size: 64,
+            default_deadline_ms: 10_000,
+            max_deadline_ms: 60_000,
+            plan_cache_cap: 32,
+            module_caps: (32, 64),
+            debug_panic_route: false,
+        }
+    }
+}
+
+/// A compiled program ready to elaborate: the plan plus the input
+/// variables seeded data goes into by default.
+pub struct ResolvedProgram {
+    pub label: String,
+    pub plan: SystolicProgram,
+    pub default_inputs: Vec<String>,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    map: HashMap<String, Arc<ResolvedProgram>>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded FIFO cache of compiled plans in front of the module store:
+/// synthesis + compilation dominate cold-request latency, and warm
+/// requests (the common case for a design gallery) skip both.
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    cap: usize,
+}
+
+impl PlanCache {
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Look up `key`, building (and caching) with `build` on a miss.
+    /// The mutex is held across the build, so concurrent cold requests
+    /// for one key compile it exactly once — the same exactness
+    /// contract as `ModuleStore`.
+    pub fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<ResolvedProgram, ApiError>,
+    ) -> Result<Arc<ResolvedProgram>, ApiError> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(p) = g.map.get(key).cloned() {
+            g.hits += 1;
+            return Ok(p);
+        }
+        g.misses += 1;
+        let built = Arc::new(build()?);
+        if g.map.len() >= self.cap {
+            if let Some(old) = g.order.pop_front() {
+                g.map.remove(&old);
+                g.evictions += 1;
+            }
+        }
+        g.order.push_back(key.to_string());
+        g.map.insert(key.to_string(), built.clone());
+        Ok(built)
+    }
+
+    /// `(hits, misses, evictions, len)`.
+    pub fn stats(&self) -> (u64, u64, u64, usize) {
+        let g = self.inner.lock().unwrap();
+        (g.hits, g.misses, g.evictions, g.map.len())
+    }
+}
+
+/// The service: shared caches + the worker pool. Wrap in an [`Arc`] and
+/// hand to [`http::serve`], or call the `handle_*` methods directly
+/// (the DST integration tests do — same code path, no sockets).
+pub struct Service {
+    pub config: ServiceConfig,
+    pub modules: ModuleStore,
+    pub plans: PlanCache,
+    pub pool: Pool,
+}
+
+impl Service {
+    pub fn new(config: ServiceConfig) -> Arc<Service> {
+        let (skel_cap, mod_cap) = config.module_caps;
+        Arc::new(Service {
+            pool: Pool::new(config.workers, config.queue_cap),
+            modules: ModuleStore::with_capacity(skel_cap, mod_cap),
+            plans: PlanCache::new(config.plan_cache_cap),
+            config,
+        })
+    }
+
+    /// Resolve a gallery design key or inline source through the plan
+    /// cache.
+    pub fn resolve(&self, program: &ProgramRef) -> Result<Arc<ResolvedProgram>, ApiError> {
+        match program {
+            ProgramRef::Design(key) => {
+                let cache_key = format!("design:{key}");
+                self.plans
+                    .get_or_build(&cache_key, || compile_design(key))
+            }
+            ProgramRef::Source(src) => {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                src.hash(&mut h);
+                let cache_key = format!("source:{:016x}", h.finish());
+                self.plans
+                    .get_or_build(&cache_key, || compile_source(src))
+            }
+        }
+    }
+
+    /// The deadline a request actually gets: its own ask clamped to the
+    /// configured ceiling, or the default.
+    fn effective_deadline_ms(&self, req: &RunRequest) -> u64 {
+        req.deadline_ms
+            .unwrap_or(self.config.default_deadline_ms)
+            .clamp(1, self.config.max_deadline_ms)
+    }
+
+    /// `POST /v1/run`, end to end: parse on the calling thread (cheap,
+    /// and malformed requests must not consume pool slots), then
+    /// resolve + elaborate + simulate on the worker pool under the
+    /// request deadline.
+    pub fn handle_run(self: &Arc<Self>, body: &str) -> (u16, String) {
+        let req = match api::parse_run_request(body) {
+            Ok(r) => r,
+            Err(e) => return (e.status, e.to_json()),
+        };
+        let deadline_ms = self.effective_deadline_ms(&req);
+        let svc = Arc::clone(self);
+        self.pool.run(
+            Duration::from_millis(deadline_ms),
+            deadline_ms,
+            Box::new(move || match svc.execute(&req, deadline_ms) {
+                Ok(body) => (200, body),
+                Err(e) => (e.status, e.to_json()),
+            }),
+        )
+    }
+
+    /// The worker-side request body: everything after admission.
+    fn execute(&self, req: &RunRequest, deadline_ms: u64) -> Result<String, ApiError> {
+        let resolved = self.resolve(&req.program)?;
+        let plan = &resolved.plan;
+        if req.sizes.len() != plan.source.sizes.len() {
+            return Err(ApiError::bad_request(format!(
+                "design '{}' takes {} size(s), request gave {}",
+                resolved.label,
+                plan.source.sizes.len(),
+                req.sizes.len()
+            )));
+        }
+        for &s in &req.sizes {
+            if s < 1 {
+                return Err(ApiError::bad_request(format!(
+                    "problem sizes must be positive (got {s})"
+                )));
+            }
+            if s > self.config.max_size {
+                return Err(ApiError::size_limit(s, self.config.max_size));
+            }
+        }
+        let mut env = Env::new();
+        for (&v, &val) in plan.source.sizes.iter().zip(&req.sizes) {
+            env.bind(v, val);
+        }
+        let mut store = HostStore::allocate(&plan.source, &env);
+        let inputs: Vec<String> = match &req.inputs {
+            Some(list) => list.clone(),
+            None => resolved.default_inputs.clone(),
+        };
+        for (i, name) in inputs.iter().enumerate() {
+            if store.try_get(name).is_none() {
+                return Err(ApiError::bad_request(format!(
+                    "unknown input variable '{name}'"
+                )));
+            }
+            store.fill_random(name, req.seed.wrapping_add(i as u64), -9, 9);
+        }
+
+        match req.output {
+            OutputKind::Stores => {
+                let executor = ExecutorChoice::parse(&req.executor, req.workers)
+                    .expect("executor validated at parse time");
+                let sched = match &req.schedule {
+                    None => None,
+                    Some((policy, seed)) => Some(policy_by_name(policy, *seed).ok_or_else(
+                        || {
+                            ApiError::bad_request(format!(
+                                "unknown schedule policy '{policy}' (fifo|random|lifo|prio-inv)"
+                            ))
+                        },
+                    )?),
+                };
+                let spec = SimSpec {
+                    batch: req.batch,
+                    opt: req.opt,
+                    wavefront: req.wavefront,
+                    executor,
+                    deadline: Duration::from_millis(deadline_ms),
+                    sched,
+                };
+                let run = if req.verify {
+                    simulate_verified(&self.modules, plan, &env, &store, spec)
+                        .map_err(|e| ApiError::from_verify_error(&e))?
+                } else {
+                    simulate(&self.modules, plan, &env, &store, spec)
+                        .map_err(|e| ApiError::from_exec_error(&e))?
+                };
+                Ok(api::render_stores(
+                    &resolved.label,
+                    executor.label(),
+                    &run,
+                    req.verify,
+                ))
+            }
+            OutputKind::Metrics => {
+                let obs = observe_plan_in(
+                    &self.modules,
+                    plan,
+                    &env,
+                    &store,
+                    ChannelPolicy::Rendezvous,
+                    &Default::default(),
+                )
+                .map_err(|e| ApiError::from_exec_error(&e))?;
+                Ok(obs.metrics_json())
+            }
+            OutputKind::Trace => {
+                let obs = observe_plan_in(
+                    &self.modules,
+                    plan,
+                    &env,
+                    &store,
+                    ChannelPolicy::Rendezvous,
+                    &Default::default(),
+                )
+                .map_err(|e| ApiError::from_exec_error(&e))?;
+                Ok(obs.perfetto_json)
+            }
+        }
+    }
+
+    /// `POST /v1/replay`: a `systolic-schedule-v1` counterexample file
+    /// replayed under the worker pool. Returns whether the recorded
+    /// schedule still diverges from the FIFO baseline.
+    pub fn handle_replay(self: &Arc<Self>, body: &str) -> (u16, String) {
+        let file = match ScheduleFile::from_json(body) {
+            Ok(f) => f,
+            Err(e) => {
+                let e = ApiError::bad_request(format!("malformed schedule file: {e}"));
+                return (e.status, e.to_json());
+            }
+        };
+        let deadline_ms = self.config.default_deadline_ms;
+        self.pool.run(
+            Duration::from_millis(deadline_ms),
+            deadline_ms,
+            Box::new(move || match replay_schedule(&file) {
+                Ok(report) => (
+                    200,
+                    Json::Obj(vec![
+                        ("schema".into(), Json::Str(api::SCHEMA.into())),
+                        ("design".into(), Json::Str(file.design.clone())),
+                        ("reproduced".into(), Json::Bool(report.reproduced)),
+                        (
+                            "rounds_replayed".into(),
+                            Json::Num(report.rounds_replayed as i64),
+                        ),
+                        (
+                            "reason".into(),
+                            match report.reason {
+                                Some(r) => Json::Str(r),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
+                    .to_string(),
+                ),
+                Err(e) => (e.status, e.to_json()),
+            }),
+        )
+    }
+
+    /// `GET /stats`: module-store counters, plan-cache counters, pool
+    /// gauges — one JSON document.
+    pub fn stats_json(&self) -> String {
+        use std::sync::atomic::Ordering;
+        let (ph, pm, pe, plen) = self.plans.stats();
+        let s = &self.pool.stats;
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",",
+                "\"elab_cache\":{},",
+                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},",
+                "\"pool\":{{\"workers\":{},\"queue_cap\":{},\"submitted\":{},\"completed\":{},",
+                "\"rejected\":{},\"panics\":{},\"deadline_expired\":{},",
+                "\"in_flight\":{},\"max_in_flight\":{}}}}}"
+            ),
+            api::SCHEMA,
+            self.modules.stats().to_json(),
+            ph,
+            pm,
+            pe,
+            plen,
+            self.pool.n_workers,
+            self.pool.queue_cap,
+            s.submitted.load(Ordering::SeqCst),
+            s.completed.load(Ordering::SeqCst),
+            s.rejected.load(Ordering::SeqCst),
+            s.panics.load(Ordering::SeqCst),
+            s.deadline_expired.load(Ordering::SeqCst),
+            s.in_flight.load(Ordering::SeqCst),
+            s.max_in_flight.load(Ordering::SeqCst),
+        )
+    }
+
+    /// `POST /debug/panic` (gated by
+    /// [`ServiceConfig::debug_panic_route`]): a request whose job
+    /// panics inside a worker — the panic-isolation contract,
+    /// exercisable over the wire.
+    pub fn handle_debug_panic(self: &Arc<Self>) -> (u16, String) {
+        self.pool.run(
+            Duration::from_millis(self.config.default_deadline_ms),
+            self.config.default_deadline_ms,
+            Box::new(|| panic!("deliberate debug panic")),
+        )
+    }
+}
+
+/// Compile a gallery design key: the four appendix designs by label,
+/// `fir` on a derived array — the same resolution as the DST registry
+/// (`systolic_sim::subject_for`). Public so `load_gen` and the
+/// integration tests can build client-side sequential oracles from the
+/// exact same plan the service serves.
+pub fn compile_design(key: &str) -> Result<ResolvedProgram, ApiError> {
+    let (program, array, inputs) = if key == "fir" {
+        let p = systolic_ir::gallery::fir_filter();
+        let a = systolic_synthesis::derive_array(&p, 2, 4)
+            .ok_or_else(|| ApiError::internal("fir array derivation failed"))?;
+        (p, a, vec!["h".to_string(), "x".to_string()])
+    } else {
+        let found = systolic_synthesis::placement::paper::all()
+            .into_iter()
+            .find(|(label, _, _)| *label == key);
+        let Some((_, p, a)) = found else {
+            return Err(ApiError::unknown_design(key));
+        };
+        (p, a, vec!["a".to_string(), "b".to_string()])
+    };
+    let plan = compile(&program, &array, &CoreOptions::default())
+        .map_err(|e| ApiError::new(422, "compile", format!("compile failed: {e}")))?;
+    Ok(ResolvedProgram {
+        label: key.to_string(),
+        plan,
+        default_inputs: inputs,
+    })
+}
+
+/// Compile inline `.sys` source: parse, validate the Appendix A
+/// envelope, derive an array, compile. Every failure is a structured
+/// 400/422 — the parser's message reaches the client, a panic never
+/// does.
+pub fn compile_source(src: &str) -> Result<ResolvedProgram, ApiError> {
+    let program = systolic_lang::parse(src)
+        .map_err(|e| ApiError::parse(format!("parse error: {e}")))?;
+    systolic_ir::validate(&program, 4).map_err(|violations| {
+        let msgs: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        ApiError::new(
+            422,
+            "validate",
+            format!("program outside the compilable envelope: {}", msgs.join("; ")),
+        )
+    })?;
+    let array = systolic_synthesis::derive_array(&program, 2, 4).ok_or_else(|| {
+        ApiError::new(
+            422,
+            "no-array",
+            "no valid systolic array within the search bound",
+        )
+    })?;
+    let plan = compile(&program, &array, &CoreOptions::default())
+        .map_err(|e| ApiError::new(422, "compile", format!("compile failed: {e}")))?;
+    Ok(ResolvedProgram {
+        label: "source".to_string(),
+        plan,
+        default_inputs: Vec::new(),
+    })
+}
+
+/// Resolve a schedule file to a subject and replay it — the CLI's
+/// `replay` logic behind the service boundary.
+fn replay_schedule(file: &ScheduleFile) -> Result<systolic_sim::ReplayReport, ApiError> {
+    let subject: Box<dyn systolic_sim::DstSubject> = if file.design == "source" {
+        let src = file.source.as_ref().ok_or_else(|| {
+            ApiError::bad_request("schedule file has design \"source\" but no embedded program")
+        })?;
+        let resolved = compile_source(src)?;
+        let inputs: Vec<String> = resolved
+            .plan
+            .source
+            .variables
+            .iter()
+            .map(|v| v.name.clone())
+            .collect();
+        let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+        Box::new(
+            PlanSubject::from_plan(
+                "source",
+                Some(src.clone()),
+                &resolved.plan,
+                &file.sizes,
+                &input_refs,
+                file.input_seed,
+            )
+            .map_err(|e| ApiError::new(422, "elaborate", e))?,
+        )
+    } else {
+        systolic_sim::subject_for(&file.design, &file.sizes, file.input_seed)
+            .map_err(|e| ApiError::unknown_design(&file.design).with_message(e))?
+    };
+    systolic_sim::replay(subject.as_ref(), file)
+        .map_err(|e| ApiError::internal(format!("replay failed: {e}")))
+}
+
+impl ApiError {
+    fn with_message(mut self, message: String) -> ApiError {
+        self.message = message;
+        self
+    }
+}

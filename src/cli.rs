@@ -15,6 +15,8 @@ pub struct Invocation {
 /// Parse raw arguments (after the binary name). `None` on malformed
 /// input (flag without a value, missing command/file). `replay` takes no
 /// positional: its `--schedule <file>` value *is* the file to read.
+/// `serve` takes no file at all — the service compiles programs sent
+/// over the wire.
 pub fn parse_args(raw: &[String]) -> Option<Invocation> {
     let mut it = raw.iter();
     let command = it.next()?.clone();
@@ -29,12 +31,14 @@ pub fn parse_args(raw: &[String]) -> Option<Invocation> {
             return None; // extra positional argument
         }
     }
-    let file = file.or_else(|| {
-        flags
-            .iter()
-            .find(|(n, _)| n == "schedule")
-            .map(|(_, v)| v.clone())
-    })?;
+    let file = file
+        .or_else(|| {
+            flags
+                .iter()
+                .find(|(n, _)| n == "schedule")
+                .map(|(_, v)| v.clone())
+        })
+        .or_else(|| (command == "serve").then(String::new))?;
     Some(Invocation {
         command,
         file,
@@ -573,6 +577,44 @@ fn subject_from_schedule(
     }
 }
 
+/// Build the service configuration for `serve` from flags:
+/// `--workers N`, `--queue-cap N`, `--max-size N`, `--deadline-ms MS`.
+/// `None` on unparseable values.
+pub fn build_service_config(inv: &Invocation) -> Option<systolic_service::ServiceConfig> {
+    let mut cfg = systolic_service::ServiceConfig::default();
+    if let Some(w) = inv.flag("workers") {
+        cfg.workers = w.parse().ok().filter(|&w: &usize| w >= 1)?;
+    }
+    if let Some(q) = inv.flag("queue-cap") {
+        cfg.queue_cap = q.parse().ok().filter(|&q: &usize| q >= 1)?;
+    }
+    if let Some(m) = inv.flag("max-size") {
+        cfg.max_size = m.parse().ok().filter(|&m: &i64| m >= 1)?;
+    }
+    if let Some(d) = inv.flag("deadline-ms") {
+        cfg.default_deadline_ms = d.parse().ok().filter(|&d: &u64| d >= 1)?;
+    }
+    Some(cfg)
+}
+
+/// Boot the simulation service (`serve` command): bind `--addr`
+/// (default `127.0.0.1:8077`), print the bound address, return the
+/// running server. `main` blocks on the handle; tests shut it down.
+pub fn start_service(
+    inv: &Invocation,
+) -> Result<(std::sync::Arc<systolic_service::Service>, systolic_service::http::ServerHandle), String>
+{
+    let cfg = build_service_config(inv)
+        .ok_or("bad serve flags (--workers/--queue-cap/--max-size/--deadline-ms take positive integers)")?;
+    let addr = inv.flag("addr").unwrap_or("127.0.0.1:8077");
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let service = systolic_service::Service::new(cfg);
+    let handle = systolic_service::http::serve(std::sync::Arc::clone(&service), listener)
+        .map_err(|e| format!("cannot serve: {e}"))?;
+    Ok((service, handle))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -983,5 +1025,33 @@ mod tests {
         assert!(execute(&inv, SRC).is_err());
         let inv = parse_args(&args(&["nonsense", "f"])).unwrap();
         assert!(execute(&inv, SRC).is_err());
+    }
+
+    #[test]
+    fn serve_needs_no_file_and_builds_its_config_from_flags() {
+        let inv = parse_args(&args(&["serve", "--workers", "3", "--queue-cap", "9"])).unwrap();
+        assert_eq!(inv.command, "serve");
+        assert_eq!(inv.file, "");
+        let cfg = build_service_config(&inv).unwrap();
+        assert_eq!((cfg.workers, cfg.queue_cap), (3, 9));
+        // Junk values are a usage error, not a default.
+        let inv = parse_args(&args(&["serve", "--workers", "zero"])).unwrap();
+        assert!(build_service_config(&inv).is_none());
+    }
+
+    #[test]
+    fn serve_boots_a_real_server_on_an_ephemeral_port() {
+        use std::io::{Read as _, Write as _};
+        let inv = parse_args(&args(&["serve", "--addr", "127.0.0.1:0", "--workers", "1"]))
+            .unwrap();
+        let (_service, handle) = start_service(&inv).unwrap();
+        let mut s = std::net::TcpStream::connect(handle.addr).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("200 OK"), "{resp}");
+        assert!(resp.contains("{\"ok\":true}"), "{resp}");
+        handle.shutdown();
     }
 }

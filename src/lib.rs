@@ -43,6 +43,7 @@ pub use systolic_ir as ir;
 pub use systolic_lang as lang;
 pub use systolic_math as math;
 pub use systolic_runtime as runtime;
+pub use systolic_service as service;
 pub use systolic_sim as sim;
 pub use systolic_synthesis as synthesis;
 

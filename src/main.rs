@@ -9,6 +9,7 @@
 //! systolizer explore <file> [--bound B] [--sample N]
 //! systolizer explore <file> --schedules N --sizes <n[,m..]> [--seed S] [--out PATH]
 //! systolizer replay  --schedule <file>
+//! systolizer serve   [--addr HOST:PORT] [--workers N] [--queue-cap N] [--max-size N] [--deadline-ms MS]
 //! ```
 //!
 //! `explore --schedules N` is deterministic schedule exploration: the
@@ -40,7 +41,8 @@ fn usage() -> ExitCode {
          systolizer describe <file> --sizes N[,M..]\n  \
          systolizer explore <file> [--bound B] [--sample N]\n  \
          systolizer explore <file> --schedules N --sizes N[,M..] [--seed S] [--out PATH]\n  \
-         systolizer replay  --schedule <file>"
+         systolizer replay  --schedule <file>\n  \
+         systolizer serve   [--addr HOST:PORT] [--workers N] [--queue-cap N] [--max-size N] [--deadline-ms MS]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +52,25 @@ fn main() -> ExitCode {
     let Some(inv) = cli::parse_args(&raw) else {
         return usage();
     };
+    if inv.command == "serve" {
+        // The service reads no file: programs arrive over the wire
+        // (`docs/service.md`). Runs until killed.
+        return match cli::start_service(&inv) {
+            Ok((service, handle)) => {
+                println!(
+                    "systolic-service-v1 listening on {} ({} workers, queue {})",
+                    handle.addr, service.pool.n_workers, service.pool.queue_cap
+                );
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let src = match std::fs::read_to_string(&inv.file) {
         Ok(s) => s,
         Err(e) => {
