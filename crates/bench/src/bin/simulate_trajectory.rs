@@ -27,6 +27,10 @@
 //! takes the wavefront executor (see `docs/wavefront.md`): topologically
 //! staged chunk sweeps over traffic-wide rings replace the pid-order
 //! macro-sweep, and every timed run asserts the wavefront gate engaged.
+//! Since PR 10 the timed pass runs with `KernelMode::Auto`: eligible
+//! wavefront chunks execute through the compiled struct-of-arrays
+//! kernel (see `docs/kernels.md`) instead of scalar macro-steps; stores
+//! and logical counts stay invariant, only wall clock moves.
 //! The *recorded* statistics stay those of the unbatched rendezvous
 //! engine — an untimed baseline pass per configuration supplies them, so
 //! snapshot rounds remain comparable across the whole trajectory — and
@@ -68,12 +72,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use systolic_core::{compile, Options};
 use systolic_interp::{
-    run_plan_batch, run_plan_recorded, run_plan_scheduled, ElabOptions, ModuleStore, SystolicRun,
+    run_plan_batch_kernel, run_plan_recorded, run_plan_scheduled, ElabOptions, ModuleStore,
+    SystolicRun,
 };
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{
-    shared, BatchMode, ChannelPolicy, FifoPolicy, MetricsRecorder, OptMode, RunStats, WavefrontMode,
+    shared, BatchMode, ChannelPolicy, FifoPolicy, KernelMode, MetricsRecorder, OptMode, RunStats,
+    WavefrontMode,
 };
 use systolic_synthesis::placement::paper;
 
@@ -197,9 +203,10 @@ fn timed_run(
     base: &(RunStats, HostStore),
     opt: OptMode,
     wavefront: WavefrontMode,
+    kernel: KernelMode,
 ) -> (f64, SystolicRun) {
     let t0 = Instant::now();
-    let run = run_plan_batch(
+    let run = run_plan_batch_kernel(
         &c.plan,
         &c.env,
         &c.store,
@@ -208,6 +215,7 @@ fn timed_run(
         BatchMode::Auto,
         opt,
         wavefront,
+        kernel,
         Some(Box::new(FifoPolicy)),
         &[],
     )
@@ -370,7 +378,7 @@ fn quick_smoke() {
     let c = prepare("matmul-E.1", paper::matmul_e1, 12);
     let base = baseline_run(&c);
     // With the optimizer off the full invariance contract holds.
-    let _ = timed_run(&c, &base, OptMode::Off, WavefrontMode::Off);
+    let _ = timed_run(&c, &base, OptMode::Off, WavefrontMode::Off, KernelMode::Off);
     println!(
         "quick smoke OK: {} n={} — batched run matches the rendezvous \
          baseline ({} messages, {} steps, store bit-identical)",
@@ -380,7 +388,7 @@ fn quick_smoke() {
     // modes: stores bit-identical to the rendezvous baseline, logical
     // messages/steps invariant (asserted inside `timed_run`).
     for mode in [WavefrontMode::Auto, WavefrontMode::Par] {
-        let (_, run) = timed_run(&c, &base, OptMode::Off, mode);
+        let (_, run) = timed_run(&c, &base, OptMode::Off, mode, KernelMode::Off);
         assert!(run.wavefront);
         println!(
             "quick smoke OK: {} n={} — wavefront run ({mode:?}) matches the \
@@ -388,11 +396,35 @@ fn quick_smoke() {
             c.label, c.n
         );
     }
+    // The compiled-kernel gate (see `docs/kernels.md`): `--kernel auto`
+    // must actually fuse waves on E.1, `--kernel off` must run the same
+    // waves scalar — both bit-identical to the baseline (asserted inside
+    // `timed_run`).
+    for (mode, want_fused) in [(KernelMode::Auto, true), (KernelMode::Off, false)] {
+        let (_, run) = timed_run(&c, &base, OptMode::Off, WavefrontMode::Auto, mode);
+        let k = run.kernel.expect("wavefront runs carry a kernel report");
+        assert_eq!(
+            k.waves_fused > 0,
+            want_fused,
+            "{} n={}: kernel mode {mode:?} (report: {k:?})",
+            c.label,
+            c.n
+        );
+        println!(
+            "quick smoke OK: {} n={} — kernel {} run matches the rendezvous \
+             baseline ({} waves fused, {} kernel iterations)",
+            c.label,
+            c.n,
+            if want_fused { "auto" } else { "off" },
+            k.waves_fused,
+            k.iterations
+        );
+    }
     // And with it on, E.2 fuses its relay chains, stays bit-identical,
     // and the systolic-opt-v1 mapping report round-trips through JSON.
     let c = prepare("matmul-E.2", paper::matmul_e2, 8);
     let base = baseline_run(&c);
-    let (_, run) = timed_run(&c, &base, OptMode::Auto, WavefrontMode::Off);
+    let (_, run) = timed_run(&c, &base, OptMode::Auto, WavefrontMode::Off, KernelMode::Off);
     let report = run.opt.expect("E.2 n=8 must fuse relay chains");
     let j = report.to_json();
     assert!(j.contains("\"schema\": \"systolic-opt-v1\""), "{j}");
@@ -512,7 +544,13 @@ fn main() {
     let mut opt_stats: Vec<Option<(RunStats, usize)>> = vec![None; configs.len()];
     for _ in 0..ITERS {
         for (i, c) in configs.iter().enumerate() {
-            let (dt, run) = timed_run(c, &baselines[i], OptMode::Auto, WavefrontMode::Auto);
+            let (dt, run) = timed_run(
+                c,
+                &baselines[i],
+                OptMode::Auto,
+                WavefrontMode::Auto,
+                KernelMode::Auto,
+            );
             if dt < best[i] {
                 best[i] = dt;
             }

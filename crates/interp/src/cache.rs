@@ -33,7 +33,10 @@ use std::time::Instant;
 use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
-use systolic_runtime::{analyze_wavefront, BatchPlan, OptMode, OptimizedModule, WavefrontPlan};
+use systolic_runtime::{
+    analyze_kernels, analyze_wavefront, BatchPlan, KernelPlan, OptMode, OptimizedModule,
+    WavefrontPlan,
+};
 
 /// Retained skeletons (level 1). Skeletons are small — per-stream
 /// specialized forms, no per-point state.
@@ -95,6 +98,8 @@ pub struct CachedModule {
     optd: OnceLock<Option<Arc<(OptimizedModule, BatchPlan)>>>,
     wf: OnceLock<Arc<WavefrontPlan>>,
     wf_opt: OnceLock<Arc<WavefrontPlan>>,
+    kern: OnceLock<Arc<KernelPlan>>,
+    kern_opt: OnceLock<Arc<KernelPlan>>,
 }
 
 impl CachedModule {
@@ -105,6 +110,8 @@ impl CachedModule {
             optd: OnceLock::new(),
             wf: OnceLock::new(),
             wf_opt: OnceLock::new(),
+            kern: OnceLock::new(),
+            kern_opt: OnceLock::new(),
         }
     }
 
@@ -160,6 +167,28 @@ impl CachedModule {
         Some(
             self.wf_opt
                 .get_or_init(|| Arc::new(analyze_wavefront(&o.0.module, &o.1)))
+                .clone(),
+        )
+    }
+
+    /// The per-chunk kernel eligibility analysis over
+    /// [`CachedModule::wavefront_plan`], memoized so a warm
+    /// `run --wavefront auto --kernel auto` recompiles nothing.
+    pub fn kernel_plan(&self) -> &Arc<KernelPlan> {
+        self.kern.get_or_init(|| {
+            let wf = self.wavefront_plan().clone();
+            Arc::new(analyze_kernels(&self.elab.module, &wf))
+        })
+    }
+
+    /// Kernel eligibility of the *optimized* module's wave structure.
+    /// `None` exactly when [`CachedModule::optimized`] declines.
+    pub fn kernel_plan_opt(&self, mode: OptMode) -> Option<Arc<KernelPlan>> {
+        let o = self.optimized(mode)?;
+        let wf = self.wavefront_plan_opt(mode)?;
+        Some(
+            self.kern_opt
+                .get_or_init(|| Arc::new(analyze_kernels(&o.0.module, &wf)))
                 .clone(),
         )
     }

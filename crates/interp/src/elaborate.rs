@@ -231,8 +231,14 @@ pub fn elaborate(
     // One scratch environment for every per-point query below; each
     // `bind_coords` overwrites the previous point's coordinates.
     let mut env_y = env.clone();
-    // The basic statement is identical at every computation process.
+    // The basic statement is identical at every computation process, so
+    // the straight-line kernel compiles once per module; a rejection is
+    // recorded, not fatal (the scalar macro path still runs the body).
     let body: Arc<dyn ComputeBody> = Arc::new(BodyAdapter(Arc::new(plan.source.body.clone())));
+    let (kernel, kernel_reject) = match crate::kernelize::kernelize(&plan.source.body) {
+        Ok(k) => (Some(Arc::new(k)), None),
+        Err(why) => (None, Some(why)),
+    };
 
     let mut chans = ChanAlloc(0);
     let mut b = ProcIrBuilder::new();
@@ -550,6 +556,7 @@ pub fn elaborate(
             })
         })
         .collect();
+    b.set_kernel(kernel, kernel_reject);
     let module = b.build(Some(body));
     Ok(Elaborated {
         module,

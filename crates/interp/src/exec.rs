@@ -10,8 +10,8 @@ use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
 use systolic_runtime::{
-    BatchMode, ChannelPolicy, Network, OptMode, OptReport, RunError, RunStats, SchedulePolicy,
-    SharedRecorder, SinkBuffer, WavefrontMode,
+    BatchMode, ChannelPolicy, KernelMode, KernelReport, Network, OptMode, OptReport, RunError,
+    RunStats, SchedulePolicy, SharedRecorder, SinkBuffer, WavefrontMode,
 };
 
 /// Outcome of a systolic run.
@@ -38,6 +38,13 @@ pub struct SystolicRun {
     /// differences itemized in the report. The store stays bit-identical
     /// either way.
     pub opt: Option<OptReport>,
+    /// The compiled-kernel engagement report when the wavefront executor
+    /// ran this module (see `systolic_runtime::kernel` and
+    /// `docs/kernels.md`). `Some` exactly when `wavefront` is true; with
+    /// `--kernel off` the report is present but `enabled` is false and
+    /// every counter is zero. Kernels change wall-clock only — stores,
+    /// `messages`, and `steps` are bit-identical with the scalar path.
+    pub kernel: Option<KernelReport>,
 }
 
 /// Why executing an elaborated plan failed.
@@ -209,6 +216,7 @@ pub fn run_plan_scheduled_in(
         batched: false,
         wavefront: false,
         opt: None,
+        kernel: None,
     })
 }
 
@@ -286,6 +294,39 @@ pub fn run_plan_batch(
     )
 }
 
+/// [`run_plan_batch`] with an explicit [`KernelMode`]: `Off` forces the
+/// wavefront executor's scalar `macro_step` sweeps even for modules with
+/// a compiled kernel. The default everywhere else is [`KernelMode::Auto`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_batch_kernel(
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    batch: BatchMode,
+    opt: OptMode,
+    wavefront: WavefrontMode,
+    kernel: KernelMode,
+    sched: Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
+    run_plan_batch_kernel_in(
+        ModuleStore::global(),
+        plan,
+        env,
+        store,
+        policy,
+        opts,
+        batch,
+        opt,
+        wavefront,
+        kernel,
+        sched,
+        recorders,
+    )
+}
+
 /// [`run_plan_batch`] against an explicit [`ModuleStore`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_plan_batch_in(
@@ -298,6 +339,38 @@ pub fn run_plan_batch_in(
     batch: BatchMode,
     opt: OptMode,
     wavefront: WavefrontMode,
+    sched: Option<Box<dyn SchedulePolicy>>,
+    recorders: &[SharedRecorder],
+) -> Result<SystolicRun, ExecError> {
+    run_plan_batch_kernel_in(
+        ms,
+        plan,
+        env,
+        store,
+        policy,
+        opts,
+        batch,
+        opt,
+        wavefront,
+        KernelMode::Auto,
+        sched,
+        recorders,
+    )
+}
+
+/// [`run_plan_batch_kernel`] against an explicit [`ModuleStore`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_batch_kernel_in(
+    ms: &ModuleStore,
+    plan: &SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    policy: ChannelPolicy,
+    opts: &ElabOptions,
+    batch: BatchMode,
+    opt: OptMode,
+    wavefront: WavefrontMode,
+    kernel: KernelMode,
     sched: Option<Box<dyn SchedulePolicy>>,
     recorders: &[SharedRecorder],
 ) -> Result<SystolicRun, ExecError> {
@@ -330,6 +403,7 @@ pub fn run_plan_batch_in(
             batched: false,
             wavefront: false,
             opt: None,
+            kernel: None,
         });
     }
     if let Some(od) = cm.optimized(opt) {
@@ -337,9 +411,14 @@ pub fn run_plan_batch_in(
         if wavefront != WavefrontMode::Off {
             if let Some(wplan) = cm.wavefront_plan_opt(opt) {
                 if wplan.eligible() {
-                    let (stats, sinks) = systolic_runtime::run_wavefront(
+                    let kp = match kernel {
+                        KernelMode::Auto => cm.kernel_plan_opt(opt),
+                        KernelMode::Off => None,
+                    };
+                    let (stats, sinks, kreport) = systolic_runtime::run_wavefront(
                         &o.module,
                         &wplan,
+                        kp.as_deref(),
                         wavefront == WavefrontMode::Par,
                     )?;
                     let mut result = store.clone();
@@ -351,6 +430,7 @@ pub fn run_plan_batch_in(
                         batched: true,
                         wavefront: true,
                         opt: Some(o.report.clone()),
+                        kernel: Some(kreport),
                     });
                 }
             }
@@ -365,13 +445,22 @@ pub fn run_plan_batch_in(
             batched: true,
             wavefront: false,
             opt: Some(o.report.clone()),
+            kernel: None,
         });
     }
     if wavefront != WavefrontMode::Off {
         let wplan = cm.wavefront_plan();
         if wplan.eligible() {
-            let (stats, sinks) =
-                systolic_runtime::run_wavefront(module, wplan, wavefront == WavefrontMode::Par)?;
+            let kp = match kernel {
+                KernelMode::Auto => Some(cm.kernel_plan().clone()),
+                KernelMode::Off => None,
+            };
+            let (stats, sinks, kreport) = systolic_runtime::run_wavefront(
+                module,
+                wplan,
+                kp.as_deref(),
+                wavefront == WavefrontMode::Par,
+            )?;
             let mut result = store.clone();
             writeback(outputs, &sinks, &mut result)?;
             return Ok(SystolicRun {
@@ -381,6 +470,7 @@ pub fn run_plan_batch_in(
                 batched: true,
                 wavefront: true,
                 opt: None,
+                kernel: Some(kreport),
             });
         }
     }
@@ -394,6 +484,7 @@ pub fn run_plan_batch_in(
         batched: true,
         wavefront: false,
         opt: None,
+        kernel: None,
     })
 }
 
@@ -446,6 +537,7 @@ pub fn run_plan_threaded_recorded_in(
         batched: false,
         wavefront: false,
         opt: None,
+        kernel: None,
     })
 }
 
@@ -497,6 +589,7 @@ pub fn run_plan_threaded_batch_in(
             batched: false,
             wavefront: false,
             opt: None,
+            kernel: None,
         });
     }
     if let Some(od) = cm.optimized(opt) {
@@ -511,6 +604,7 @@ pub fn run_plan_threaded_batch_in(
             batched: true,
             wavefront: false,
             opt: Some(o.report.clone()),
+            kernel: None,
         });
     }
     let (stats, sinks) = systolic_runtime::run_threaded_batched(module, bplan, timeout)?;
@@ -523,6 +617,7 @@ pub fn run_plan_threaded_batch_in(
         batched: true,
         wavefront: false,
         opt: None,
+        kernel: None,
     })
 }
 
@@ -588,6 +683,7 @@ pub fn run_plan_partitioned_recorded_in(
         batched: false,
         wavefront: false,
         opt: None,
+        kernel: None,
     })
 }
 
@@ -655,6 +751,7 @@ pub fn run_plan_partitioned_batch_in(
             batched: false,
             wavefront: false,
             opt: None,
+            kernel: None,
         });
     }
     if let Some(od) = cm.optimized(opt) {
@@ -671,6 +768,7 @@ pub fn run_plan_partitioned_batch_in(
             batched: true,
             wavefront: false,
             opt: Some(o.report.clone()),
+            kernel: None,
         });
     }
     let groups = systolic_runtime::block_partition(module.procs.len(), workers);
@@ -684,6 +782,7 @@ pub fn run_plan_partitioned_batch_in(
         batched: true,
         wavefront: false,
         opt: None,
+        kernel: None,
     })
 }
 
@@ -715,6 +814,43 @@ pub fn verify_equivalence_batch(
     opt: OptMode,
     wavefront: WavefrontMode,
 ) -> Result<(RunStats, bool, bool, Option<OptReport>), String> {
+    let (stats, batched, wf, opt, _) = verify_equivalence_batch_kernel(
+        plan,
+        env,
+        inputs,
+        seed,
+        batch,
+        opt,
+        wavefront,
+        KernelMode::Auto,
+    )?;
+    Ok((stats, batched, wf, opt))
+}
+
+/// [`verify_equivalence_batch`] with an explicit [`KernelMode`], also
+/// returning the kernel engagement report (`None` when the wavefront
+/// executor did not run). The CLI and the trajectory bench use this to
+/// report whether the vectorized wave path actually fused any waves.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn verify_equivalence_batch_kernel(
+    plan: &SystolicProgram,
+    env: &Env,
+    inputs: &[&str],
+    seed: u64,
+    batch: BatchMode,
+    opt: OptMode,
+    wavefront: WavefrontMode,
+    kernel: KernelMode,
+) -> Result<
+    (
+        RunStats,
+        bool,
+        bool,
+        Option<OptReport>,
+        Option<KernelReport>,
+    ),
+    String,
+> {
     let mut store = HostStore::allocate(&plan.source, env);
     for (i, name) in inputs.iter().enumerate() {
         store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
@@ -722,7 +858,7 @@ pub fn verify_equivalence_batch(
     let mut expected = store.clone();
     seq::run(&plan.source, env, &mut expected);
 
-    let run = run_plan_batch(
+    let run = run_plan_batch_kernel(
         plan,
         env,
         &store,
@@ -731,6 +867,7 @@ pub fn verify_equivalence_batch(
         batch,
         opt,
         wavefront,
+        kernel,
         None,
         &[],
     )
@@ -742,7 +879,7 @@ pub fn verify_equivalence_batch(
             ));
         }
     }
-    Ok((run.stats, run.batched, run.wavefront, run.opt))
+    Ok((run.stats, run.batched, run.wavefront, run.opt, run.kernel))
 }
 
 /// Why a cross-executor differential check failed, with the engine
@@ -842,6 +979,7 @@ pub fn verify_equivalence_all(
             batched: false,
             wavefront: false,
             opt: None,
+            kernel: None,
         })
     };
     let engine_err = |engine: &'static str| move |error: RunError| VerifyError::Engine { engine, error };
@@ -872,11 +1010,16 @@ pub fn verify_equivalence_all(
     {
         let wplan = cm.wavefront_plan();
         if wplan.eligible() {
-            let (stats, sinks) = systolic_runtime::run_wavefront(&el.module, wplan, false)
-                .map_err(engine_err("wavefront"))?;
+            // Kernels engage here too: the oracle then covers the
+            // vectorized wave path on every gallery design for free.
+            let kp = cm.kernel_plan();
+            let (stats, sinks, kreport) =
+                systolic_runtime::run_wavefront(&el.module, wplan, Some(&**kp), false)
+                    .map_err(engine_err("wavefront"))?;
             let mut run = finish("wavefront", stats, &sinks)?;
             run.batched = true;
             run.wavefront = true;
+            run.kernel = Some(kreport);
             runs.push(("wavefront", run));
         } else {
             // Ineligible module: the ladder bottoms out at the plain

@@ -15,14 +15,16 @@
 use crate::cache::ModuleStore;
 use crate::elaborate::ElabOptions;
 use crate::exec::{
-    run_plan_batch_in, run_plan_partitioned_batch_in, run_plan_threaded_batch_in, ExecError,
-    SystolicRun, VerifyError,
+    run_plan_batch_kernel_in, run_plan_partitioned_batch_in, run_plan_threaded_batch_in,
+    ExecError, SystolicRun, VerifyError,
 };
 use std::time::Duration;
 use systolic_core::SystolicProgram;
 use systolic_ir::{seq, HostStore};
 use systolic_math::Env;
-use systolic_runtime::{BatchMode, ChannelPolicy, OptMode, SchedulePolicy, WavefrontMode};
+use systolic_runtime::{
+    BatchMode, ChannelPolicy, KernelMode, OptMode, SchedulePolicy, WavefrontMode,
+};
 
 /// Which executor family a request runs on. The cooperative scheduler
 /// is the deterministic default (and the only one that honors a
@@ -68,6 +70,9 @@ pub struct SimSpec {
     pub batch: BatchMode,
     pub opt: OptMode,
     pub wavefront: WavefrontMode,
+    /// Compiled-kernel gate for wavefront runs (`--kernel auto|off`);
+    /// inert on every other path.
+    pub kernel: KernelMode,
     pub executor: ExecutorChoice,
     /// Rendezvous-wait budget for the threaded/partitioned engines. The
     /// cooperative engine has no internal clock; its deadline is
@@ -85,6 +90,7 @@ impl Default for SimSpec {
             batch: BatchMode::Auto,
             opt: OptMode::Auto,
             wavefront: WavefrontMode::Auto,
+            kernel: KernelMode::Auto,
             executor: ExecutorChoice::Coop,
             deadline: Duration::from_secs(30),
             sched: None,
@@ -107,6 +113,7 @@ pub fn simulate(
         batch,
         opt,
         wavefront,
+        kernel,
         executor,
         deadline,
         sched,
@@ -114,7 +121,7 @@ pub fn simulate(
     let adversarial = sched.as_ref().is_some_and(|s| !s.is_fifo());
     match executor {
         // Non-FIFO schedules only exist on the cooperative worklist.
-        _ if adversarial => run_plan_batch_in(
+        _ if adversarial => run_plan_batch_kernel_in(
             ms,
             plan,
             env,
@@ -124,10 +131,11 @@ pub fn simulate(
             batch,
             opt,
             wavefront,
+            kernel,
             sched,
             &[],
         ),
-        ExecutorChoice::Coop => run_plan_batch_in(
+        ExecutorChoice::Coop => run_plan_batch_kernel_in(
             ms,
             plan,
             env,
@@ -137,6 +145,7 @@ pub fn simulate(
             batch,
             opt,
             wavefront,
+            kernel,
             sched,
             &[],
         ),

@@ -11,6 +11,8 @@
 //!   skeleton compiled once per plan, instantiated per concrete size;
 //! - [`cache`] — the `Arc`-shared module store in front of both phases,
 //!   which every executor entry point goes through;
+//! - [`kernelize`] — the basic-statement → straight-line kernel compiler
+//!   behind the wavefront executor's vectorized wave path;
 //! - [`exec`] — running plans on any executor and verifying
 //!   observational equivalence with the sequential reference;
 //! - [`metrics`] — observed runs: metrics reports and Perfetto traces
@@ -21,6 +23,7 @@ pub mod describe;
 pub mod elaborate;
 pub mod exec;
 pub mod facade;
+pub mod kernelize;
 pub mod metrics;
 pub mod runtime_gen;
 pub mod rustgen;
@@ -31,14 +34,19 @@ pub use cache::{CacheStats, CachedModule, ModuleStore};
 pub use describe::describe;
 pub use elaborate::{elaborate, Census, ElabError, ElabOptions, Elaborated, OutputSpec};
 pub use exec::{
-    run_plan, run_plan_batch, run_plan_batch_in, run_plan_partitioned, run_plan_partitioned_batch,
-    run_plan_partitioned_batch_in, run_plan_partitioned_recorded, run_plan_recorded,
-    run_plan_scheduled, run_plan_scheduled_in, run_plan_threaded, run_plan_threaded_batch,
-    run_plan_threaded_batch_in, run_plan_threaded_recorded, verify_equivalence,
-    verify_equivalence_all, verify_equivalence_batch, verify_equivalence_with, ExecError,
+    run_plan, run_plan_batch, run_plan_batch_in, run_plan_batch_kernel, run_plan_batch_kernel_in,
+    run_plan_partitioned, run_plan_partitioned_batch, run_plan_partitioned_batch_in,
+    run_plan_partitioned_recorded, run_plan_recorded, run_plan_scheduled, run_plan_scheduled_in,
+    run_plan_threaded, run_plan_threaded_batch, run_plan_threaded_batch_in,
+    run_plan_threaded_recorded, verify_equivalence, verify_equivalence_all,
+    verify_equivalence_batch, verify_equivalence_batch_kernel, verify_equivalence_with, ExecError,
     SystolicRun, VerifyError,
 };
 pub use facade::{simulate, simulate_verified, ExecutorChoice, SimSpec};
+pub use kernelize::{kernelize, KERNEL_MAX_OPS};
 pub use metrics::{channel_names, observe_plan, observe_plan_in, Observed};
 pub use skeleton::{elaborate_skeleton, instantiate, SkeletonModule};
-pub use systolic_runtime::{channel_diagnostics, BatchMode, OptMode, OptReport, WavefrontMode};
+pub use systolic_runtime::{
+    analyze_kernels, channel_diagnostics, BatchMode, KernelMode, KernelPlan, KernelReport,
+    OptMode, OptReport, WavefrontMode,
+};

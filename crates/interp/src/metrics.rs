@@ -26,8 +26,8 @@ use systolic_core::SystolicProgram;
 use systolic_ir::HostStore;
 use systolic_math::Env;
 use systolic_runtime::{
-    shared, ChannelPolicy, MetricsRecorder, MetricsReport, Network, OptMode, OptReport,
-    PerfettoRecorder, WavefrontPlan,
+    shared, ChannelPolicy, KernelPlan, MetricsRecorder, MetricsReport, Network, OptMode,
+    OptReport, PerfettoRecorder, WavefrontPlan,
 };
 
 /// One observed run: the ordinary execution outcome plus the two
@@ -54,6 +54,11 @@ pub struct Observed {
     /// rendezvous engine, but the report still says whether — and how —
     /// the wavefront executor could take this module.
     pub wavefront_plan: Arc<WavefrontPlan>,
+    /// The memoized kernel eligibility split over that wave structure
+    /// (see `systolic_runtime::kernel` and `docs/kernels.md`): whether a
+    /// kernel compiled, which chunks a `--kernel auto` wavefront run
+    /// would fuse, and why the rest fall back to scalar sweeps.
+    pub kernel_plan: Arc<KernelPlan>,
 }
 
 impl Observed {
@@ -90,6 +95,28 @@ impl Observed {
             ),
         };
         sections.push_str(&format!(",\n  \"wavefront\": {wf}"));
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let kp = &self.kernel_plan;
+        let mut kern = format!(
+            "{{ \"compiled\": {}, \"eligible_chunks\": {}, \"scalar_chunks\": {}, \"waves_fusable\": {}",
+            kp.compiled,
+            kp.eligible_chunks,
+            kp.chunk_reject.len() - kp.eligible_chunks,
+            kp.waves_fusable
+        );
+        if let Some(r) = &kp.reject {
+            kern.push_str(&format!(", \"reject\": \"{}\"", esc(r)));
+        }
+        let fallbacks = kp.fallbacks();
+        if !fallbacks.is_empty() {
+            let items: Vec<String> = fallbacks
+                .iter()
+                .map(|(r, n)| format!("{{ \"reason\": \"{}\", \"chunks\": {n} }}", esc(r)))
+                .collect();
+            kern.push_str(&format!(", \"fallbacks\": [{}]", items.join(", ")));
+        }
+        kern.push_str(" }");
+        sections.push_str(&format!(",\n  \"kernels\": {kern}"));
         format!("{stem}{sections}\n}}\n")
     }
 }
@@ -176,12 +203,14 @@ pub fn observe_plan_in(
             batched: false,
             wavefront: false,
             opt: None,
+            kernel: None,
         },
         report,
         perfetto_json,
         opt_report,
         cache,
         wavefront_plan: cm.wavefront_plan().clone(),
+        kernel_plan: cm.kernel_plan().clone(),
     })
 }
 

@@ -80,6 +80,10 @@ pub struct SkeletonModule {
     n_streams: usize,
     streams: Vec<StreamSkeleton>,
     body: Arc<dyn ComputeBody>,
+    /// Straight-line kernel compiled once per plan (size-independent,
+    /// like the body), carried into every instantiated module.
+    kernel: Option<Arc<systolic_runtime::Kernel>>,
+    kernel_reject: Option<String>,
 }
 
 impl SkeletonModule {
@@ -124,6 +128,10 @@ pub fn elaborate_skeleton(plan: &SystolicProgram, opts: &ElabOptions) -> Arc<Ske
             drain: SpecCount::of(&sp.drain, &dims, &env),
         })
         .collect();
+    let (kernel, kernel_reject) = match crate::kernelize::kernelize(&plan.source.body) {
+        Ok(k) => (Some(Arc::new(k)), None),
+        Err(why) => (None, Some(why)),
+    };
     Arc::new(SkeletonModule {
         opts: opts.clone(),
         n_coords: plan.coords.len(),
@@ -145,6 +153,8 @@ pub fn elaborate_skeleton(plan: &SystolicProgram, opts: &ElabOptions) -> Arc<Ske
         n_streams: plan.streams.iter().map(|s| s.id.0 + 1).max().unwrap_or(0),
         streams,
         body: Arc::new(BodyAdapter(Arc::new(plan.source.body.clone()))),
+        kernel,
+        kernel_reject,
     })
 }
 
@@ -461,6 +471,7 @@ pub fn instantiate(
             })
         })
         .collect();
+    b.set_kernel(skel.kernel.clone(), skel.kernel_reject.clone());
     let module = b.build(Some(skel.body.clone()));
     Ok(Elaborated {
         module,

@@ -87,6 +87,32 @@ impl Ring {
     pub fn pop(&mut self) -> Option<Value> {
         self.q.pop_front()
     }
+
+    /// Free slots before [`Ring::is_full`].
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.cap.saturating_sub(self.q.len())
+    }
+
+    /// Pop `dst.len()` values in FIFO order into `dst`. The caller must
+    /// have checked occupancy ([`Ring::len`]) — the kernel path's one
+    /// bounds decision per wave batch.
+    #[inline]
+    pub fn pop_many(&mut self, dst: &mut [Value]) {
+        debug_assert!(dst.len() <= self.q.len(), "pop_many past occupancy");
+        let n = dst.len();
+        for (d, v) in dst.iter_mut().zip(self.q.drain(..n)) {
+            *d = v;
+        }
+    }
+
+    /// Push all of `vals` in order; the caller must have checked
+    /// [`Ring::free`].
+    #[inline]
+    pub fn push_many(&mut self, vals: &[Value]) {
+        debug_assert!(vals.len() <= self.free(), "push_many past capacity");
+        self.q.extend(vals.iter().copied());
+    }
 }
 
 /// The result of [`analyze`]: per-channel batch widths and endpoint

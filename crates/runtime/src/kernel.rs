@@ -1,0 +1,617 @@
+//! Wave kernels: struct-of-arrays execution of homogeneous Compute ops.
+//!
+//! The wavefront executor (`crate::wavefront`) already sweeps the array
+//! one topological level at a time, but each Compute op in a wave still
+//! retires as an individual [`ProcVm`] superinstruction calling the
+//! opaque `Arc<dyn ComputeBody>` — so the hot loop is dynamic dispatch
+//! and per-value ring bookkeeping, not arithmetic. This module removes
+//! both costs for the common case the paper's scheme actually produces:
+//! every computation process runs the *same* basic statement, and that
+//! statement has no data-dependent control flow.
+//!
+//! - [`Kernel`] is the typed straight-line form of one basic statement:
+//!   an SSA op tape over registers ([`KernelOp`]) plus a final list of
+//!   local-slot writebacks. The compiler side (`systolic_interp`)
+//!   lowers a `BasicStatement` into it once per skeleton; modules whose
+//!   bodies resist the lowering (guards, unknown ops) carry the reject
+//!   reason instead and simply stay on the scalar path.
+//! - [`analyze_kernels`] classifies every chunk of a [`WavefrontPlan`]
+//!   once per module: a chunk is *kernel-eligible* when it is a single
+//!   process whose Compute op moves values over pairwise-distinct rings
+//!   — exactly the precondition of `macro_step`'s loop-summarized fast
+//!   path, which the kernel path mirrors batch-wise. Everything else
+//!   (transport relays, cyclic chunks, aliased rings) falls back to
+//!   [`ProcVm::macro_step`] with a recorded reason, extending the
+//!   wavefront/batch reject-reason ladder one rung down.
+//! - [`kernel_wave`] executes one wave's eligible chunks as a batch:
+//!   ring heads are gathered into struct-of-arrays scratch buffers
+//!   (lane = process, one bounds decision per wave instead of one per
+//!   op), the op tape runs as lane-inner tight loops the compiler can
+//!   auto-vectorize, and results scatter back in FIFO order. The
+//!   per-lane logical accounting (`steps`, `messages`, ring `moved`)
+//!   is identical to the loop-summarized macro path, so stores stay
+//!   bit-identical and stats invariant — the same contract every other
+//!   engine upholds.
+//!
+//! Safety of the gather/scatter: within one wave, chunks share no
+//! channels (the plan's leveling invariant), and a lane only touches its
+//! own process's rings. Batch-popping all `m` iterations before any
+//! push is stream-equivalent to the interleaved pop/push of the macro
+//! path because `m` never exceeds the input occupancy or output slack
+//! observed at the start of the batch — even a self-looped ring serves
+//! only values that were already queued. See `docs/kernels.md`.
+
+use crate::procir::{ProcIrModule, ProcOp};
+use crate::process::Value;
+use crate::wavefront::{ChunkRunner, RingSlab, SlabView, WavefrontPlan};
+
+/// Whether a wavefront run may execute eligible waves through compiled
+/// kernels. `Auto` engages them whenever the module compiled one and the
+/// chunk qualifies; `Off` forces every chunk onto the scalar
+/// `macro_step` path (`--kernel off`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    #[default]
+    Auto,
+    Off,
+}
+
+/// One op of the kernel tape. Ops form an SSA register file: op `i`
+/// defines register `i`, and operand indices always point at earlier
+/// ops, so the vector interpreter can split the register file at the
+/// destination without aliasing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelOp {
+    /// Read local slot `s` (current value — later reads see earlier
+    /// writebacks within one statement, like `BasicStatement::execute`).
+    Slot(u32),
+    /// Read coordinate `d` of the repeater's current index point.
+    Index(u32),
+    Const(Value),
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+    Min(u32, u32),
+    Max(u32, u32),
+    Neg(u32),
+}
+
+/// The compiled basic statement: straight-line ops over named local
+/// slots. Produced once per skeleton by the compiler side and shared via
+/// the module (`ProcIrModule::kernel`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Kernel {
+    pub ops: Vec<KernelOp>,
+    /// Slot writebacks applied in order after the tape: `(slot, reg)`.
+    pub writes: Vec<(u32, u32)>,
+    /// One past the highest local slot the tape or writes touch.
+    pub n_slots: u32,
+    /// One past the highest index coordinate the tape reads.
+    pub n_dims: u32,
+}
+
+impl Kernel {
+    /// Scalar reference interpreter — the single-lane semantics the
+    /// vectorized path must match; used by the differential tests.
+    pub fn execute_scalar(&self, locals: &mut [Value], x: &[i64]) {
+        let mut regs = vec![0i64; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            regs[i] = match *op {
+                KernelOp::Slot(s) => locals[s as usize],
+                KernelOp::Index(d) => x[d as usize],
+                KernelOp::Const(c) => c,
+                KernelOp::Add(a, b) => regs[a as usize] + regs[b as usize],
+                KernelOp::Sub(a, b) => regs[a as usize] - regs[b as usize],
+                KernelOp::Mul(a, b) => regs[a as usize] * regs[b as usize],
+                KernelOp::Min(a, b) => regs[a as usize].min(regs[b as usize]),
+                KernelOp::Max(a, b) => regs[a as usize].max(regs[b as usize]),
+                KernelOp::Neg(a) => -regs[a as usize],
+            };
+        }
+        for &(slot, reg) in &self.writes {
+            locals[slot as usize] = regs[reg as usize];
+        }
+    }
+}
+
+/// The per-module kernel classification: which wavefront chunks may run
+/// through the compiled kernel, and why the rest cannot. Derived once
+/// per (module, wavefront plan) and memoized on `CachedModule` beside
+/// the batch and wavefront analyses.
+pub struct KernelPlan {
+    /// Whether the module carries a compiled kernel at all.
+    pub compiled: bool,
+    /// Module-wide reject when it does not (body missing or resisting
+    /// the lowering).
+    pub reject: Option<String>,
+    /// Per chunk, wave-major (the executor's order): `None` =
+    /// kernel-eligible, `Some(reason)` = scalar fallback.
+    pub chunk_reject: Vec<Option<String>>,
+    /// Dense eligibility mask (`chunk_reject[k].is_none()`), the form the
+    /// executor's per-wave filter reads — precomputed so the hot loop
+    /// never chases the reject strings.
+    pub chunk_ok: Vec<bool>,
+    /// Chunks with `chunk_reject[k] == None`.
+    pub eligible_chunks: usize,
+    /// Waves containing at least one eligible chunk.
+    pub waves_fusable: usize,
+    /// [`Self::fallbacks`], aggregated once at analysis time.
+    fallback_counts: Vec<(String, u64)>,
+}
+
+impl KernelPlan {
+    pub fn any_eligible(&self) -> bool {
+        self.eligible_chunks > 0
+    }
+
+    /// Scalar-fallback reasons aggregated over the chunks, sorted by
+    /// descending count then reason (deterministic for reports).
+    pub fn fallbacks(&self) -> Vec<(String, u64)> {
+        self.fallback_counts.clone()
+    }
+
+    fn aggregate_fallbacks(chunk_reject: &[Option<String>]) -> Vec<(String, u64)> {
+        let mut counts: Vec<(String, u64)> = Vec::new();
+        for r in chunk_reject.iter().flatten() {
+            match counts.iter_mut().find(|(s, _)| s == r) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((r.clone(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        counts
+    }
+
+    /// A report seeded with the static analysis; the executor fills in
+    /// the runtime counters.
+    pub fn report(&self, enabled: bool) -> KernelReport {
+        KernelReport {
+            enabled,
+            compiled: self.compiled,
+            reject: self.reject.clone(),
+            eligible_chunks: self.eligible_chunks as u64,
+            scalar_chunks: (self.chunk_reject.len() - self.eligible_chunks) as u64,
+            fallbacks: self.fallbacks(),
+            ..KernelReport::default()
+        }
+    }
+}
+
+/// What the kernel layer did for one run: the static eligibility split
+/// plus runtime fusion counters. Kept separate from `RunStats` — the
+/// logical stats are equality-pinned across engines, while this report
+/// legitimately differs between `--kernel auto` and `off`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelReport {
+    /// The mode asked for kernels (`--kernel auto` on a wavefront run).
+    pub enabled: bool,
+    /// The module carries a compiled kernel.
+    pub compiled: bool,
+    /// Why not, when it does not.
+    pub reject: Option<String>,
+    pub eligible_chunks: u64,
+    pub scalar_chunks: u64,
+    /// Wave visits that retired at least one kernel batch.
+    pub waves_fused: u64,
+    /// Kernel batches executed (one gather/tape/scatter cycle).
+    pub batches: u64,
+    /// Lane-visits across those batches.
+    pub lanes: u64,
+    /// Compute iterations retired on the kernel path.
+    pub iterations: u64,
+    /// Scalar-fallback reasons with chunk counts.
+    pub fallbacks: Vec<(String, u64)>,
+}
+
+/// Classify every chunk of a wavefront plan against the module's
+/// compiled kernel. Pure structural analysis, O(processes); runs once
+/// per module and is memoized upstream.
+pub fn analyze_kernels(module: &ProcIrModule, plan: &WavefrontPlan) -> KernelPlan {
+    let module_reject: Option<String> = if module.kernel.is_some() {
+        None
+    } else {
+        Some(module.kernel_reject.clone().unwrap_or_else(|| {
+            if module.body.is_some() {
+                "opaque compute body (no kernel compiled)".into()
+            } else {
+                "transport-only module (no compute body)".into()
+            }
+        }))
+    };
+    let mut chunk_reject = Vec::with_capacity(plan.n_chunks());
+    let mut eligible = 0usize;
+    let mut waves_fusable = 0usize;
+    for wave in &plan.waves {
+        let mut any = false;
+        for chunk in wave {
+            let r = chunk_eligibility(module, chunk, &module_reject);
+            if r.is_none() {
+                eligible += 1;
+                any = true;
+            }
+            chunk_reject.push(r);
+        }
+        if any {
+            waves_fusable += 1;
+        }
+    }
+    KernelPlan {
+        compiled: module.kernel.is_some(),
+        reject: module_reject,
+        chunk_ok: chunk_reject.iter().map(|r| r.is_none()).collect(),
+        fallback_counts: KernelPlan::aggregate_fallbacks(&chunk_reject),
+        chunk_reject,
+        eligible_chunks: eligible,
+        waves_fusable,
+    }
+}
+
+fn chunk_eligibility(
+    module: &ProcIrModule,
+    chunk: &[usize],
+    module_reject: &Option<String>,
+) -> Option<String> {
+    if let Some(r) = module_reject {
+        return Some(r.clone());
+    }
+    let kernel = module.kernel.as_deref().expect("checked above");
+    if chunk.len() != 1 {
+        return Some(format!("cyclic chunk ({} processes)", chunk.len()));
+    }
+    let pid = chunk[0];
+    let has_compute = module
+        .ops_of(pid)
+        .iter()
+        .any(|op| matches!(op, ProcOp::Compute { count } if *count > 0));
+    if !has_compute {
+        return Some("transport process (no compute op)".into());
+    }
+    let links = module.moving_of(pid);
+    if links.is_empty() {
+        return Some("repeater without moving links".into());
+    }
+    let distinct = links
+        .iter()
+        .enumerate()
+        .all(|(i, a)| links[..i].iter().all(|b| a.inp != b.inp && a.out != b.out));
+    if !distinct {
+        return Some("aliased moving rings".into());
+    }
+    let rec = &module.procs[pid];
+    if kernel.n_slots > rec.n_locals {
+        return Some("kernel slots exceed process locals".into());
+    }
+    if kernel.n_dims as usize > module.first_of(pid).len() {
+        return Some("kernel index rank exceeds repeater rank".into());
+    }
+    None
+}
+
+/// Reusable struct-of-arrays scratch for one run: every buffer is laid
+/// out lane-contiguous (`[field][lane]`, or `[link][lane][iter]` for
+/// the ring payloads) so the tape's inner loops run over dense arrays.
+#[derive(Default)]
+pub(crate) struct KernelScratch {
+    locals: Vec<Value>,
+    x: Vec<i64>,
+    incr: Vec<i64>,
+    regs: Vec<Value>,
+    inb: Vec<Value>,
+    outb: Vec<Value>,
+    /// The batch's moving-slot layout (shared by every lane); reused
+    /// across batches so the steady state allocates nothing.
+    link_slots: Vec<u32>,
+    /// The runner indices batched this round — same reuse story.
+    lanes: Vec<usize>,
+    /// The candidates for the next round's phase 1.
+    cand: Vec<usize>,
+}
+
+std::thread_local! {
+    /// One scratch per thread, warm across runs: a fresh allocation per
+    /// run means cold pages per run, which interleaved benchmark visits
+    /// (and real multi-tenant traffic) pay over and over.
+    static SCRATCH: std::cell::RefCell<KernelScratch> =
+        std::cell::RefCell::new(KernelScratch::default());
+}
+
+/// Swap the thread's warm scratch out for the duration of a run. Pair
+/// with [`put_scratch`]; an early-errored run that never puts back only
+/// costs the warmth, not correctness.
+pub(crate) fn take_scratch() -> KernelScratch {
+    SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+pub(crate) fn put_scratch(scratch: KernelScratch) {
+    SCRATCH.with(|s| *s.borrow_mut() = scratch);
+}
+
+/// Execute one wave's kernel-eligible dirty chunks as struct-of-arrays
+/// batches, then leave them for the ordinary chunk sweep (which drains
+/// any post-compute ops and guarantees the wave fixpoint). Returns
+/// whether any batch retired work.
+///
+/// The loop alternates two phases until no lane can advance: park every
+/// live chunk at its Compute op (`macro_step_to_compute` retires the
+/// soak prefix with ordinary accounting), then batch the parked lanes
+/// over the minimum number of iterations every lane's rings can serve.
+pub(crate) fn kernel_wave(
+    kernel: &Kernel,
+    work: &[usize],
+    runners: &mut [ChunkRunner],
+    slab: &RingSlab,
+    scratch: &mut KernelScratch,
+    report: &mut KernelReport,
+) -> bool {
+    let mut ran = false;
+    let KernelScratch {
+        locals,
+        x,
+        incr,
+        regs,
+        inb,
+        outb,
+        link_slots,
+        lanes,
+        cand,
+    } = scratch;
+    // Round 1 considers the whole worklist; later rounds revisit only the
+    // lanes that just batched — same-wave chunks share no rings (the
+    // plan's leveling invariant), so nothing else can have advanced.
+    cand.clear();
+    cand.extend_from_slice(work);
+    loop {
+        // Phase 1: advance every live chunk to its kernel point (or to
+        // blockage / completion) and size the joint batch.
+        lanes.clear();
+        let mut iters = u64::MAX;
+        for &k in cand.iter() {
+            let r = &mut runners[k];
+            if r.left == 0 || r.finished[0] {
+                continue;
+            }
+            let mut view = SlabView(slab);
+            let mut pass_moved = 0u64;
+            if r.vms[0].macro_step_to_compute(&mut view, &mut r.stats, &mut pass_moved) {
+                r.finished[0] = true;
+                r.left -= 1;
+            }
+            r.moved += pass_moved;
+            if r.finished[0] {
+                continue;
+            }
+            let Some(remaining) = r.vms[0].kernel_point() else {
+                continue;
+            };
+            let view = SlabView(slab);
+            let mut m = remaining;
+            for mc in r.vms[0].links() {
+                let avail = view[mc.inp].len() as u64;
+                let free = view[mc.out].free() as u64;
+                m = m.min(avail).min(free);
+            }
+            if m == 0 {
+                continue;
+            }
+            lanes.push(k);
+            iters = iters.min(m);
+        }
+        if lanes.is_empty() {
+            return ran;
+        }
+
+        // Defensive homogeneity check: every lane must share the moving
+        // slot layout, local count, and index rank of the first (true by
+        // construction — one basic statement, one stream set — but a
+        // mismatch must degrade to scalar, not corrupt the batch).
+        let first = &runners[lanes[0]].vms[0];
+        let (n_locals, dims) = (first.n_locals(), first.dims());
+        link_slots.clear();
+        link_slots.extend(first.links().iter().map(|mc| mc.slot));
+        let n_links = link_slots.len();
+        lanes.retain(|&k| {
+            let vm = &runners[k].vms[0];
+            vm.n_locals() == n_locals
+                && vm.dims() == dims
+                && vm.links().len() == n_links
+                && vm
+                    .links()
+                    .iter()
+                    .zip(link_slots.iter())
+                    .all(|(mc, &s)| mc.slot == s)
+        });
+        let lane_n = lanes.len();
+        let iters = iters as usize;
+
+        // Phase 2: gather — locals, index points, increments, and all
+        // `iters` ring heads per link, popped in FIFO order. One
+        // capacity decision for the whole batch was made above.
+        locals.resize(n_locals * lane_n, 0);
+        x.resize(dims * lane_n, 0);
+        incr.resize(dims * lane_n, 0);
+        regs.resize(kernel.ops.len() * lane_n, 0);
+        inb.resize(n_links * lane_n * iters, 0);
+        outb.resize(n_links * lane_n * iters, 0);
+        for (li, &k) in lanes.iter().enumerate() {
+            let r = &mut runners[k];
+            r.moved += (n_links * iters) as u64;
+            let vm = &mut r.vms[0];
+            for (d, &inc) in vm.increments().iter().enumerate() {
+                incr[d * lane_n + li] = inc;
+            }
+            {
+                let (vm_locals, vm_x, _t) = vm.lane_state();
+                for (s, &v) in vm_locals.iter().enumerate() {
+                    locals[s * lane_n + li] = v;
+                }
+                for (d, &xv) in vm_x.iter().enumerate() {
+                    x[d * lane_n + li] = xv;
+                }
+            }
+            let mut view = SlabView(slab);
+            for (j, mc) in vm.links().iter().enumerate() {
+                let base = (j * lane_n + li) * iters;
+                view[mc.inp].pop_many(&mut inb[base..base + iters]);
+            }
+        }
+
+        // Phase 3: the tape, op-outer / lane-inner. Each iteration feeds
+        // the moving slots from the gathered ring values, runs the SSA
+        // ops over dense lane arrays, applies the writebacks, snapshots
+        // the moving slots for the scatter, and advances the index
+        // points — exactly one loop-summarized macro iteration, batched.
+        for it in 0..iters {
+            for (j, &slot) in link_slots.iter().enumerate() {
+                let src = j * lane_n * iters;
+                let dst = slot as usize * lane_n;
+                for li in 0..lane_n {
+                    locals[dst + li] = inb[src + li * iters + it];
+                }
+            }
+            for (i, op) in kernel.ops.iter().enumerate() {
+                let (head, tail) = regs.split_at_mut(i * lane_n);
+                let dst = &mut tail[..lane_n];
+                match *op {
+                    KernelOp::Slot(s) => {
+                        dst.copy_from_slice(&locals[s as usize * lane_n..][..lane_n])
+                    }
+                    KernelOp::Index(d) => {
+                        dst.copy_from_slice(&x[d as usize * lane_n..][..lane_n])
+                    }
+                    KernelOp::Const(c) => dst.fill(c),
+                    KernelOp::Add(a, b) => {
+                        let a = &head[a as usize * lane_n..][..lane_n];
+                        let b = &head[b as usize * lane_n..][..lane_n];
+                        for l in 0..lane_n {
+                            dst[l] = a[l] + b[l];
+                        }
+                    }
+                    KernelOp::Sub(a, b) => {
+                        let a = &head[a as usize * lane_n..][..lane_n];
+                        let b = &head[b as usize * lane_n..][..lane_n];
+                        for l in 0..lane_n {
+                            dst[l] = a[l] - b[l];
+                        }
+                    }
+                    KernelOp::Mul(a, b) => {
+                        let a = &head[a as usize * lane_n..][..lane_n];
+                        let b = &head[b as usize * lane_n..][..lane_n];
+                        for l in 0..lane_n {
+                            dst[l] = a[l] * b[l];
+                        }
+                    }
+                    KernelOp::Min(a, b) => {
+                        let a = &head[a as usize * lane_n..][..lane_n];
+                        let b = &head[b as usize * lane_n..][..lane_n];
+                        for l in 0..lane_n {
+                            dst[l] = a[l].min(b[l]);
+                        }
+                    }
+                    KernelOp::Max(a, b) => {
+                        let a = &head[a as usize * lane_n..][..lane_n];
+                        let b = &head[b as usize * lane_n..][..lane_n];
+                        for l in 0..lane_n {
+                            dst[l] = a[l].max(b[l]);
+                        }
+                    }
+                    KernelOp::Neg(a) => {
+                        let a = &head[a as usize * lane_n..][..lane_n];
+                        for l in 0..lane_n {
+                            dst[l] = -a[l];
+                        }
+                    }
+                }
+            }
+            for &(slot, reg) in &kernel.writes {
+                let (src, dst) = (reg as usize * lane_n, slot as usize * lane_n);
+                locals[dst..dst + lane_n].copy_from_slice(&regs[src..src + lane_n]);
+            }
+            for (j, &slot) in link_slots.iter().enumerate() {
+                let dst = j * lane_n * iters;
+                let src = slot as usize * lane_n;
+                for li in 0..lane_n {
+                    outb[dst + li * iters + it] = locals[src + li];
+                }
+            }
+            for d in 0..dims {
+                let xs = d * lane_n;
+                for li in 0..lane_n {
+                    x[xs + li] += incr[xs + li];
+                }
+            }
+        }
+
+        // Phase 4: scatter — push the produced values in FIFO order,
+        // write the locals / index points / iteration counter back, and
+        // account the batch exactly as `iters` loop-summarized macro
+        // iterations would have (one step per par-set, one message per
+        // pushed value, one `moved` tick per ring touch).
+        for (li, &k) in lanes.iter().enumerate() {
+            let r = &mut runners[k];
+            let vm = &mut r.vms[0];
+            let mut view = SlabView(slab);
+            for (j, mc) in vm.links().iter().enumerate() {
+                let base = (j * lane_n + li) * iters;
+                view[mc.out].push_many(&outb[base..base + iters]);
+            }
+            let (vm_locals, vm_x, t) = vm.lane_state();
+            for (s, lv) in vm_locals.iter_mut().enumerate() {
+                *lv = locals[s * lane_n + li];
+            }
+            for (d, xv) in vm_x.iter_mut().enumerate() {
+                *xv = x[d * lane_n + li];
+            }
+            *t += iters as i64;
+            r.stats.steps += 2 * iters as u64;
+            r.stats.messages += (n_links * iters) as u64;
+            r.moved += (n_links * iters) as u64;
+        }
+
+        ran = true;
+        report.batches += 1;
+        report.lanes += lane_n as u64;
+        report.iterations += (lane_n * iters) as u64;
+        std::mem::swap(lanes, cand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_interpreter_matches_hand_evaluation() {
+        // c := c + a*b, then a := -a  (sequential: the second update
+        // sees the original a, the writeback order is the update order).
+        let k = Kernel {
+            ops: vec![
+                KernelOp::Slot(2),
+                KernelOp::Slot(0),
+                KernelOp::Slot(1),
+                KernelOp::Mul(1, 2),
+                KernelOp::Add(0, 3),
+                KernelOp::Neg(1),
+            ],
+            writes: vec![(2, 4), (0, 5)],
+            n_slots: 3,
+            n_dims: 0,
+        };
+        let mut locals = vec![3, 5, 10];
+        k.execute_scalar(&mut locals, &[]);
+        assert_eq!(locals, vec![-3, 5, 25]);
+    }
+
+    #[test]
+    fn index_reads_see_the_current_point() {
+        // out := x0 + x1
+        let k = Kernel {
+            ops: vec![KernelOp::Index(0), KernelOp::Index(1), KernelOp::Add(0, 1)],
+            writes: vec![(0, 2)],
+            n_slots: 1,
+            n_dims: 2,
+        };
+        let mut locals = vec![0];
+        k.execute_scalar(&mut locals, &[7, 35]);
+        assert_eq!(locals, vec![42]);
+    }
+}

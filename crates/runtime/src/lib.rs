@@ -26,10 +26,16 @@
 //!   ([`PerfettoRecorder`]); zero cost when no recorder is attached.
 //! - [`wavefront`] — the fourth executor: SCC-condensed, longest-path
 //!   staged chunk sweeps over the batch rings ([`WavefrontPlan`]), with
-//!   an optional scoped-thread parallel mode (see `docs/wavefront.md`).
+//!   an optional pool-parallel mode (see `docs/wavefront.md`).
+//! - [`kernel`] — compiled compute kernels: the typed straight-line
+//!   form of the basic statement ([`Kernel`]) and the struct-of-arrays
+//!   wave batch executor behind `--kernel auto` (see `docs/kernels.md`).
+//! - [`wavepool`] — the persistent worker pool the wavefront executor's
+//!   parallel mode shares across runs ([`WavePool`]).
 
 pub mod batch;
 pub mod coop;
+pub mod kernel;
 pub mod opt;
 pub mod partition;
 pub mod process;
@@ -38,6 +44,7 @@ pub mod record;
 pub mod schedule;
 pub mod threaded;
 pub mod wavefront;
+pub mod wavepool;
 
 pub use batch::{
     analyze, analyze_with_caps, channel_diagnostics, BatchMode, BatchPlan, Ring,
@@ -66,6 +73,10 @@ pub use schedule::{FifoPolicy, Pcg32, SchedulePolicy, YieldInjector, YieldPlan, 
 pub use threaded::{
     run_threaded, run_threaded_batched, run_threaded_perturbed, run_threaded_recorded,
 };
+pub use kernel::{
+    analyze_kernels, Kernel, KernelMode, KernelOp, KernelPlan, KernelReport,
+};
 pub use wavefront::{
     analyze_wavefront, run_wavefront, WavefrontMode, WavefrontPlan, WAVEFRONT_RING_CAP,
 };
+pub use wavepool::WavePool;

@@ -672,6 +672,8 @@ fn rebuild(
         n_chans: new_nc,
         n_outputs: module.n_outputs,
         body: module.body.clone(),
+        kernel: module.kernel.clone(),
+        kernel_reject: module.kernel_reject.clone(),
     });
     OptimizedModule {
         module,

@@ -135,12 +135,21 @@ pub struct ProcIrModule {
     /// The basic statement (identical at every computation process);
     /// `None` for pure transport networks.
     pub body: Option<Arc<dyn ComputeBody>>,
+    /// The basic statement compiled to the typed kernel tape
+    /// (`crate::kernel`), when the compiler side managed the lowering;
+    /// behaviourally identical to `body`, shared like it.
+    pub kernel: Option<Arc<crate::kernel::Kernel>>,
+    /// Why no kernel was compiled (kernel reports surface it as the
+    /// scalar-fallback reason); `None` when `kernel` is present or the
+    /// builder recorded nothing.
+    pub kernel_reject: Option<String>,
 }
 
 impl ProcIrModule {
     /// Structural equality over every arena table — everything except the
-    /// opaque [`ComputeBody`] (a trait object; two modules elaborated from
-    /// the same plan share its behaviour by construction). This is the
+    /// opaque [`ComputeBody`] and the derived kernel (a trait object and
+    /// its compiled form; two modules elaborated from the same plan share
+    /// their behaviour by construction). This is the
     /// bit-identity relation the two-phase elaboration differential suite
     /// pins: same ops, data scripts, moving links, repeater points,
     /// process records, channel density, and output count.
@@ -250,6 +259,8 @@ pub struct ProcIrBuilder {
     procs: Vec<ProcRecord>,
     n_outputs: u32,
     open: Option<ProcRecord>,
+    kernel: Option<Arc<crate::kernel::Kernel>>,
+    kernel_reject: Option<String>,
 }
 
 impl ProcIrBuilder {
@@ -440,6 +451,18 @@ impl ProcIrBuilder {
         self.finish()
     }
 
+    /// Attach the compiled kernel form of the basic statement (or the
+    /// reason the lowering declined) before sealing. Optional: modules
+    /// built without one simply never take the kernel path.
+    pub fn set_kernel(
+        &mut self,
+        kernel: Option<Arc<crate::kernel::Kernel>>,
+        reject: Option<String>,
+    ) {
+        self.kernel = kernel;
+        self.kernel_reject = reject;
+    }
+
     /// Seal the module. Channel density (`n_chans`) is derived from the
     /// ops and moving links.
     pub fn build(self, body: Option<Arc<dyn ComputeBody>>) -> Arc<ProcIrModule> {
@@ -472,6 +495,8 @@ impl ProcIrBuilder {
             n_chans,
             n_outputs: self.n_outputs as usize,
             body,
+            kernel: self.kernel,
+            kernel_reject: self.kernel_reject,
         })
     }
 }
@@ -649,6 +674,39 @@ impl ProcVm {
     where
         R: ?Sized + std::ops::IndexMut<usize, Output = Ring>,
     {
+        self.macro_step_impl(rings, stats, moved, false)
+    }
+
+    /// [`ProcVm::macro_step`], stopping at the kernel hand-off point:
+    /// the moment the VM reaches a [`ProcOp::Compute`] with moving links
+    /// at a fresh iteration boundary ([`MacroState::Ready`]), it returns
+    /// `false` *without* entering the compute loop, leaving the batch
+    /// executor (`crate::kernel`) to retire the iterations. Everything
+    /// before and after the repeater — and any piecewise-parked par-set
+    /// — retires with ordinary accounting. [`ProcVm::kernel_point`]
+    /// distinguishes "parked for the kernel" from "blocked on a ring".
+    pub(crate) fn macro_step_to_compute<R>(
+        &mut self,
+        rings: &mut R,
+        stats: &mut RunStats,
+        moved: &mut u64,
+    ) -> bool
+    where
+        R: ?Sized + std::ops::IndexMut<usize, Output = Ring>,
+    {
+        self.macro_step_impl(rings, stats, moved, true)
+    }
+
+    fn macro_step_impl<R>(
+        &mut self,
+        rings: &mut R,
+        stats: &mut RunStats,
+        moved: &mut u64,
+        stop_at_compute: bool,
+    ) -> bool
+    where
+        R: ?Sized + std::ops::IndexMut<usize, Output = Ring>,
+    {
         if self.macro_done {
             return true;
         }
@@ -776,6 +834,13 @@ impl ProcVm {
                     // complete piecewise (see [`MacroState`]).
                     match self.macro_state {
                         MacroState::Ready => {
+                            if stop_at_compute {
+                                // Parked at the kernel hand-off point:
+                                // a fresh iteration boundary of a
+                                // linked repeater. The caller batches
+                                // the iterations from here.
+                                return false;
+                            }
                             // Steady-state loop summarization (see
                             // `crate::opt`): when every moving link can
                             // pop *and* push right now, retire whole
@@ -909,6 +974,54 @@ impl ProcVm {
                 }
             }
         })
+    }
+
+    /// Remaining repeater iterations when this VM is parked at the
+    /// kernel hand-off point (a linked [`ProcOp::Compute`] at a fresh
+    /// iteration boundary); `None` when it is finished, blocked inside
+    /// a piecewise par-set, or at any other op.
+    pub(crate) fn kernel_point(&self) -> Option<u64> {
+        if self.macro_done || self.macro_state != MacroState::Ready {
+            return None;
+        }
+        let end = self.module.procs[self.pid].ops.1;
+        if self.pc >= end {
+            return None;
+        }
+        match self.module.ops[self.pc as usize] {
+            ProcOp::Compute { count }
+                if self.t < count as i64 && !self.module.moving_of(self.pid).is_empty() =>
+            {
+                Some((count as i64 - self.t) as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// This process's moving links (kernel gather/scatter order).
+    pub(crate) fn links(&self) -> &[MovingLink] {
+        self.module.moving_of(self.pid)
+    }
+
+    /// This process's per-iteration index increment.
+    pub(crate) fn increments(&self) -> &[i64] {
+        self.module.increment_of(self.pid)
+    }
+
+    pub(crate) fn n_locals(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Rank of the repeater's index space.
+    pub(crate) fn dims(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Mutable access to the kernel-batched state: locals, index point,
+    /// and iteration counter. The batch executor writes these back
+    /// after retiring a batch of iterations.
+    pub(crate) fn lane_state(&mut self) -> (&mut [Value], &mut [i64], &mut i64) {
+        (&mut self.locals, &mut self.x, &mut self.t)
     }
 }
 

@@ -37,9 +37,12 @@
 //! batched executors use), repeating the pass until every process
 //! retires; after the first pass only chunks a moving neighbour
 //! re-dirtied are revisited, so the steady state sweeps the active
-//! frontier, not the module. Under [`WavefrontMode::Par`] the dirty
-//! chunks of a wave run on scoped threads over a shared ring slab; the
-//! plan's disjointness proof is the aliasing argument.
+//! frontier, not the module. Kernel-eligible chunks of a wave may first
+//! batch their Compute iterations through the compiled tape
+//! (`crate::kernel`) before the sweep certifies the fixpoint. Under
+//! [`WavefrontMode::Par`] the dirty chunks of a wave run on the
+//! persistent worker pool (`crate::wavepool`) over a shared ring slab;
+//! the plan's disjointness proof is the aliasing argument.
 //!
 //! Correctness is the Kahn-network story one more time (see
 //! `docs/scheduler.md` and `docs/wavefront.md`): scheduling order and
@@ -50,8 +53,10 @@
 
 use crate::batch::{BatchPlan, Ring};
 use crate::coop::{Deadlock, RunError, RunStats};
+use crate::kernel::{kernel_wave, put_scratch, take_scratch, KernelPlan, KernelReport};
 use crate::process::SinkBuffer;
 use crate::procir::{ProcId, ProcIrModule, ProcVm};
+use crate::wavepool::WavePool;
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
@@ -330,7 +335,7 @@ fn tarjan_sccs(succs: &[Vec<usize>]) -> Components {
 /// that within one wave each ring index is accessed by at most one
 /// chunk, and waves are separated by the `thread::scope` join barrier,
 /// so no two threads ever alias a cell.
-struct RingSlab {
+pub(crate) struct RingSlab {
     cells: Vec<UnsafeCell<Ring>>,
 }
 
@@ -338,7 +343,7 @@ unsafe impl Sync for RingSlab {}
 
 /// One chunk's private indexing view over the shared slab; satisfies the
 /// `IndexMut` bound of [`ProcVm::macro_step`].
-struct SlabView<'a>(&'a RingSlab);
+pub(crate) struct SlabView<'a>(pub(crate) &'a RingSlab);
 
 impl std::ops::Index<usize> for SlabView<'_> {
     type Output = Ring;
@@ -357,14 +362,15 @@ impl std::ops::IndexMut<usize> for SlabView<'_> {
 /// the processes), per-member completion, and a private stats
 /// accumulator merged after the run (the logical counts are per-op sums,
 /// so the merge order is immaterial).
-struct ChunkRunner {
-    pids: Vec<ProcId>,
-    vms: Vec<ProcVm>,
-    finished: Vec<bool>,
-    left: usize,
-    stats: RunStats,
-    /// Ring pushes/pops this chunk made in the latest wave visit.
-    moved: u64,
+pub(crate) struct ChunkRunner {
+    pub(crate) pids: Vec<ProcId>,
+    pub(crate) vms: Vec<ProcVm>,
+    pub(crate) finished: Vec<bool>,
+    pub(crate) left: usize,
+    pub(crate) stats: RunStats,
+    /// Ring pushes/pops this chunk made in the latest wave visit
+    /// (reset when the wave loop claims the chunk).
+    pub(crate) moved: u64,
 }
 
 impl ChunkRunner {
@@ -374,7 +380,6 @@ impl ChunkRunner {
     /// moves nothing.
     fn sweep(&mut self, slab: &RingSlab) {
         let mut view = SlabView(slab);
-        self.moved = 0;
         loop {
             let mut pass_moved = 0u64;
             for i in 0..self.vms.len() {
@@ -413,11 +418,19 @@ const PAR_MEMBER_THRESHOLD: usize = 64;
 /// counts passes. A pass that moves nothing with unfinished processes
 /// left is a deadlock, reported in the engines' usual `label [wait,...]`
 /// shape.
+///
+/// `kernels` (from [`crate::kernel::analyze_kernels`], memoized
+/// upstream) switches eligible chunks onto the struct-of-arrays kernel
+/// path before each wave's ordinary sweep; `None` (`--kernel off`, or a
+/// module without a compiled kernel) runs everything scalar. Either way
+/// the stores and the logical `messages`/`steps` are identical — the
+/// returned [`KernelReport`] is the only observable difference.
 pub fn run_wavefront(
     module: &Arc<ProcIrModule>,
     plan: &WavefrontPlan,
+    kernels: Option<&KernelPlan>,
     parallel: bool,
-) -> Result<(RunStats, Vec<SinkBuffer>), RunError> {
+) -> Result<(RunStats, Vec<SinkBuffer>, KernelReport), RunError> {
     debug_assert!(plan.eligible(), "caller checks WavefrontPlan::eligible");
     let (vms, outputs) = module.instantiate_vms();
     let n_procs = vms.len();
@@ -450,13 +463,26 @@ pub fn run_wavefront(
     }
     let n_chunks = runners.len();
 
-    let workers = if parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        1
+    // Kernel eligibility, aligned with the runners' wave-major order.
+    let kernel = kernels
+        .filter(|kp| kp.any_eligible())
+        .and_then(|_| module.kernel.as_deref());
+    let mut kreport = match kernels {
+        Some(kp) => kp.report(true),
+        None => KernelReport::default(),
     };
+    let kern_ok: &[bool] = match kernels {
+        Some(kp) if kernel.is_some() => {
+            debug_assert_eq!(kp.chunk_ok.len(), n_chunks, "plan/chunk order mismatch");
+            &kp.chunk_ok
+        }
+        _ => &[],
+    };
+    let mut scratch = take_scratch();
+    let mut kern_work: Vec<usize> = Vec::new();
+
+    let pool = if parallel { Some(WavePool::global()) } else { None };
+    let workers = pool.map(|p| p.workers()).unwrap_or(1);
 
     let mut dirty = vec![true; n_chunks];
     let mut work: Vec<usize> = Vec::with_capacity(n_chunks);
@@ -466,23 +492,46 @@ pub fn run_wavefront(
         let mut moved = 0u64;
         for range in &wave_ranges {
             // This wave's worklist: dirty, unfinished chunks. Claiming
-            // clears the flag; a neighbour's move below re-sets it.
+            // clears the flag (and the move counter); a neighbour's
+            // move below re-sets it.
             work.clear();
             for k in range.clone() {
                 if dirty[k] && runners[k].left > 0 {
                     dirty[k] = false;
+                    runners[k].moved = 0;
                     work.push(k);
                 }
             }
             if work.is_empty() {
                 continue;
             }
+            // Kernel phase: batch the wave's eligible chunks through
+            // the compiled tape; their trailing sweep below only drains
+            // post-compute ops and certifies the fixpoint.
+            if let Some(kern) = kernel {
+                kern_work.clear();
+                kern_work.extend(work.iter().copied().filter(|&k| kern_ok[k]));
+                if !kern_work.is_empty()
+                    && kernel_wave(
+                        kern,
+                        &kern_work,
+                        &mut runners,
+                        &slab,
+                        &mut scratch,
+                        &mut kreport,
+                    )
+                {
+                    kreport.waves_fused += 1;
+                }
+            }
             let live: usize = work.iter().map(|&k| runners[k].left).sum();
             if parallel && work.len() > 1 && live >= PAR_MEMBER_THRESHOLD {
                 // Same-wave chunks share no rings (the plan's leveling
                 // invariant), so slices of the worklist may sweep the
-                // shared slab concurrently; the scope join is the wave
-                // barrier.
+                // shared slab concurrently; the pool scope's latch is
+                // the wave barrier (the same join semantics the old
+                // per-run `thread::scope` provided, minus the per-run
+                // thread spawn — see `crate::wavepool`).
                 let per = work.len().div_ceil(workers);
                 let mut parts: Vec<Vec<&mut ChunkRunner>> = Vec::new();
                 {
@@ -501,16 +550,18 @@ pub fn run_wavefront(
                         parts.push(part);
                     }
                 }
-                std::thread::scope(|s| {
-                    for part in parts {
-                        let slab = &slab;
-                        s.spawn(move || {
+                let slab_ref = &slab;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        Box::new(move || {
                             for chunk in part {
-                                chunk.sweep(slab);
+                                chunk.sweep(slab_ref);
                             }
-                        });
-                    }
-                });
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.expect("parallel implies pool").scope(tasks);
             } else {
                 for &k in &work {
                     runners[k].sweep(&slab);
@@ -543,9 +594,11 @@ pub fn run_wavefront(
                         })
                 })
                 .collect();
+            put_scratch(scratch);
             return Err(RunError::Deadlock(Deadlock { blocked }));
         }
     }
+    put_scratch(scratch);
 
     let mut stats = RunStats {
         rounds,
@@ -557,7 +610,7 @@ pub fn run_wavefront(
         stats.messages += chunk.stats.messages;
         stats.steps += chunk.stats.steps;
     }
-    Ok((stats, outputs))
+    Ok((stats, outputs, kreport))
 }
 
 #[cfg(test)]
@@ -596,7 +649,7 @@ mod tests {
         let wf = analyze_wavefront(&m, &plan);
         let (bs, bout) = run_coop_batched(&m, &plan).unwrap();
         for parallel in [false, true] {
-            let (ws, wout) = run_wavefront(&m, &wf, parallel).unwrap();
+            let (ws, wout, _) = run_wavefront(&m, &wf, None, parallel).unwrap();
             assert_eq!(ws.messages, bs.messages, "parallel={parallel}");
             assert_eq!(ws.steps, bs.steps, "parallel={parallel}");
             assert_eq!(ws.processes, bs.processes);
@@ -611,7 +664,7 @@ mod tests {
         let m = pipeline_module();
         let plan = analyze(&m);
         let wf = analyze_wavefront(&m, &plan);
-        let (ws, _) = run_wavefront(&m, &wf, false).unwrap();
+        let (ws, _, _) = run_wavefront(&m, &wf, None, false).unwrap();
         // Topological order + traffic-wide rings: the whole 200-value
         // stream flows source->sink in the first grand sweep.
         assert_eq!(ws.rounds, 1, "one grand sweep drains the pipeline");
@@ -645,7 +698,7 @@ mod tests {
         assert!(wf.eligible());
         assert_eq!(wf.n_waves(), 1);
         assert_eq!(wf.n_chunks(), 1, "the cycle is one chunk");
-        let (ws, _) = run_wavefront(&m, &wf, false).unwrap();
+        let (ws, _, _) = run_wavefront(&m, &wf, None, false).unwrap();
         let (bs, _) = run_coop_batched(&m, &plan).unwrap();
         assert_eq!((ws.messages, ws.steps), (bs.messages, bs.steps));
     }
@@ -663,6 +716,152 @@ mod tests {
         assert!(wf.reject_reason().unwrap().contains("two producers"));
     }
 
+    /// A one-cell compute module (`c := c + a` over 3 iterations, `a`
+    /// moving) with both the closure body and its compiled kernel tape
+    /// attached — the smallest module that exercises the full
+    /// gather/tape/scatter cycle.
+    fn compute_module() -> Arc<ProcIrModule> {
+        use crate::kernel::{Kernel, KernelOp};
+        use crate::procir::{MovingLink, ProcOp};
+        let mut b = ProcIrBuilder::new();
+        b.begin("comp");
+        b.op(ProcOp::Keep { chan: 2, slot: 1 });
+        b.op(ProcOp::Compute { count: 3 });
+        b.op(ProcOp::Eject { chan: 3, slot: 1 });
+        b.repeater(
+            &[MovingLink {
+                slot: 0,
+                inp: 0,
+                out: 1,
+            }],
+            &[0],
+            &[1],
+            2,
+        );
+        b.finish();
+        b.source(0, &[2, 3, 4], "a-in");
+        b.source(2, &[10], "c-in");
+        b.sink(1, 3, "a-out");
+        b.sink(3, 1, "c-out");
+        b.set_kernel(
+            Some(Arc::new(Kernel {
+                ops: vec![KernelOp::Slot(1), KernelOp::Slot(0), KernelOp::Add(0, 1)],
+                writes: vec![(1, 2)],
+                n_slots: 2,
+                n_dims: 0,
+            })),
+            None,
+        );
+        b.build(Some(Arc::new(
+            |locals: &mut [crate::process::Value], _x: &[i64]| {
+                locals[1] += locals[0];
+            },
+        )))
+    }
+
+    #[test]
+    fn kernel_path_matches_the_scalar_run_bit_for_bit() {
+        use crate::kernel::analyze_kernels;
+        let m = compute_module();
+        let plan = analyze(&m);
+        assert!(plan.batchable(), "{:?}", plan.reject_reason());
+        let wf = analyze_wavefront(&m, &plan);
+        let kp = analyze_kernels(&m, &wf);
+        assert!(kp.compiled, "{:?}", kp.reject);
+        assert_eq!(kp.eligible_chunks, 1, "{:?}", kp.chunk_reject);
+        let (ss, souts, soff) = run_wavefront(&m, &wf, None, false).unwrap();
+        assert!(!soff.enabled);
+        assert_eq!(soff.iterations, 0);
+        let (ks, kouts, kon) = run_wavefront(&m, &wf, Some(&kp), false).unwrap();
+        assert!(kon.enabled && kon.compiled);
+        assert_eq!(kon.iterations, 3, "all repeater iterations fused");
+        assert!(kon.waves_fused >= 1);
+        assert_eq!(ks, ss, "logical stats invariant across kernel gate");
+        for (a, b) in souts.iter().zip(&kouts) {
+            assert_eq!(*a.lock(), *b.lock());
+        }
+        assert_eq!(*kouts[1].lock(), vec![10 + 2 + 3 + 4]);
+    }
+
+    #[test]
+    fn transport_chunks_fall_back_with_a_reason() {
+        use crate::kernel::analyze_kernels;
+        let m = compute_module();
+        let plan = analyze(&m);
+        let wf = analyze_wavefront(&m, &plan);
+        let kp = analyze_kernels(&m, &wf);
+        let fallbacks = kp.fallbacks();
+        assert!(
+            fallbacks
+                .iter()
+                .any(|(r, n)| r.contains("transport process") && *n == 4),
+            "sources and sinks stay scalar: {fallbacks:?}"
+        );
+    }
+
+    #[test]
+    fn ring_cap_clamp_survives_u64_max_traffic() {
+        // Adversarial traffic sums must clamp to WAVEFRONT_RING_CAP
+        // without overflowing the capacity arithmetic — the same
+        // boundary the PR 5 `Pass::n` width regression pins, one layer
+        // up. Named alongside `batch_width_math_survives_u32_overflow`.
+        let m = pipeline_module();
+        let mut plan = analyze(&m);
+        for t in &mut plan.traffic {
+            *t = u64::MAX;
+        }
+        let wf = analyze_wavefront(&m, &plan);
+        assert!(wf.eligible());
+        for (c, &cap) in wf.capacities.iter().enumerate() {
+            assert_eq!(cap, plan.widths[c].max(WAVEFRONT_RING_CAP), "channel {c}");
+        }
+        // One below the clamp stays exact; the rings then allocate.
+        for t in &mut plan.traffic {
+            *t = WAVEFRONT_RING_CAP - 1;
+        }
+        let wf = analyze_wavefront(&m, &plan);
+        for (c, &cap) in wf.capacities.iter().enumerate() {
+            assert_eq!(cap, plan.widths[c].max(WAVEFRONT_RING_CAP - 1), "channel {c}");
+        }
+        assert_eq!(wf.rings().len(), plan.widths.len());
+    }
+
+    #[test]
+    fn warm_parallel_runs_reuse_the_pool_with_identical_stats() {
+        // A module wide enough to clear PAR_MEMBER_THRESHOLD so the
+        // parallel path actually engages the pool.
+        let mut b = ProcIrBuilder::new();
+        let vals: Vec<i64> = (0..8).collect();
+        for i in 0..80usize {
+            let (cin, cout) = (2 * i, 2 * i + 1);
+            b.source(cin, &vals, format!("src-{i}"));
+            b.relay(cin, cout, vals.len(), format!("relay-{i}"));
+            b.sink(cout, vals.len(), format!("sink-{i}"));
+        }
+        let m = b.build(None);
+        let plan = analyze(&m);
+        let wf = analyze_wavefront(&m, &plan);
+        let (first, fouts, _) = run_wavefront(&m, &wf, None, true).unwrap();
+        let spawned = crate::wavepool::WavePool::global().threads_spawned();
+        let executed = crate::wavepool::WavePool::global().tasks_executed();
+        for _ in 0..3 {
+            let (s, outs, _) = run_wavefront(&m, &wf, None, true).unwrap();
+            assert_eq!(s, first, "warm stats identical across repeated runs");
+            for (a, b) in fouts.iter().zip(&outs) {
+                assert_eq!(*a.lock(), *b.lock());
+            }
+        }
+        assert_eq!(
+            crate::wavepool::WavePool::global().threads_spawned(),
+            spawned,
+            "warm runs must not spawn threads"
+        );
+        assert!(
+            crate::wavepool::WavePool::global().tasks_executed() > executed,
+            "warm runs route their sweeps through the pool"
+        );
+    }
+
     #[test]
     fn deadlock_reports_the_blocked_wait() {
         // A sink expecting more than the source sends: the run wedges
@@ -677,7 +876,7 @@ mod tests {
         assert!(!plan.batchable());
         let plan = plan.assume_proven();
         let wf = analyze_wavefront(&m, &plan);
-        let err = run_wavefront(&m, &wf, false).unwrap_err();
+        let err = run_wavefront(&m, &wf, None, false).unwrap_err();
         let RunError::Deadlock(d) = err else {
             panic!("expected a deadlock, got {err:?}");
         };

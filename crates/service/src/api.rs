@@ -9,7 +9,7 @@
 //! never cross the wire (see `crate::pool`).
 
 use systolic_interp::{ExecError, SystolicRun, VerifyError};
-use systolic_runtime::{BatchMode, OptMode, RunError, WavefrontMode};
+use systolic_runtime::{BatchMode, KernelMode, OptMode, RunError, WavefrontMode};
 use systolic_sim::Json;
 
 /// The response schema identifier.
@@ -183,6 +183,7 @@ pub struct RunRequest {
     pub batch: BatchMode,
     pub opt: OptMode,
     pub wavefront: WavefrontMode,
+    pub kernel: KernelMode,
     pub executor: String,
     pub workers: usize,
     pub deadline_ms: Option<u64>,
@@ -295,6 +296,15 @@ pub fn parse_run_request(body: &str) -> Result<RunRequest, ApiError> {
             )))
         }
     };
+    let kernel = match mode_field(&doc, "kernel")? {
+        None | Some("auto") => KernelMode::Auto,
+        Some("off") => KernelMode::Off,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown kernel mode '{other}' (auto|off)"
+            )))
+        }
+    };
     let executor = mode_field(&doc, "executor")?.unwrap_or("coop").to_string();
     if !matches!(executor.as_str(), "coop" | "threaded" | "partitioned") {
         return Err(ApiError::bad_request(format!(
@@ -330,6 +340,7 @@ pub fn parse_run_request(body: &str) -> Result<RunRequest, ApiError> {
         batch,
         opt,
         wavefront,
+        kernel,
         executor,
         workers: u64_field(&doc, "workers")?.unwrap_or(2).max(1) as usize,
         deadline_ms: u64_field(&doc, "deadline_ms")?,
@@ -368,6 +379,10 @@ pub fn render_stores(design: &str, executor: &str, run: &SystolicRun, verified: 
                 ("executor".into(), Json::Str(executor.into())),
                 ("batched".into(), Json::Bool(run.batched)),
                 ("wavefront".into(), Json::Bool(run.wavefront)),
+                (
+                    "kernels".into(),
+                    Json::Bool(run.kernel.as_ref().is_some_and(|k| k.waves_fused > 0)),
+                ),
                 ("optimized".into(), Json::Bool(run.opt.is_some())),
             ]),
         ),

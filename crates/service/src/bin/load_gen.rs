@@ -8,13 +8,19 @@
 //!
 //! - **warm-latency** — one client, matmul E.1 at n = 24, repeated
 //!   requests against hot plan/module caches. Records end-to-end
-//!   p50/p99; the acceptance bar is warm p50 under 10 ms.
+//!   p50/p99; the acceptance bar is warm p50 under 10 ms. Since PR 10
+//!   every warm response must also report `engine.kernels = true` — the
+//!   default coop run takes the wavefront executor's compiled
+//!   struct-of-arrays kernel path (see `docs/kernels.md`), so the warm
+//!   percentiles measure the kernel fast path, not the scalar sweep.
 //! - **saturation** — N closed-loop clients (default 1000) with a mixed
-//!   design/executor/mode workload across the whole gallery. The pool
-//!   workers are plugged until every client has a request in flight, so
-//!   the peak-concurrency claim is measured, not hoped for. Every
-//!   response's stores are checked bit-for-bit against a locally
-//!   precomputed sequential oracle — zero mismatches required.
+//!   design/executor/mode workload across the whole gallery, rotating
+//!   `kernel: auto|off` so both wave execution strategies serve
+//!   concurrently. The pool workers are plugged until every client has a
+//!   request in flight, so the peak-concurrency claim is measured, not
+//!   hoped for. Every response's stores are checked bit-for-bit against
+//!   a locally precomputed sequential oracle — zero mismatches required,
+//!   which pins the kernel path as observationally invisible end to end.
 //!
 //! Flags:
 //! - `--quick`: CI smoke mode — small client counts, full correctness
@@ -92,7 +98,7 @@ fn parse_args() -> Config {
         warm_requests: flag("--warm-requests")
             .and_then(|v| v.parse().ok())
             .unwrap_or(if quick { 10 } else { 50 }),
-        label: flag("--label").unwrap_or_else(|| "pr9-service".into()),
+        label: flag("--label").unwrap_or_else(|| "pr10-kernels".into()),
         gate_pct: flag("--gate-pct").and_then(|v| v.parse().ok()).unwrap_or(25.0),
         out: flag("--out").unwrap_or_else(|| "BENCH_service.json".into()),
         artifact: flag("--artifact"),
@@ -206,6 +212,17 @@ fn check_stores(body: &str, expected: &HashMap<String, Vec<i64>>) -> Option<Stri
     None
 }
 
+/// Whether a 200 response's engine block reports the given flag set.
+fn engine_flag(body: &str, key: &str) -> bool {
+    json::parse(body)
+        .ok()
+        .as_ref()
+        .and_then(|d| d.get("engine"))
+        .and_then(|e| e.get(key))
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false)
+}
+
 // ---------------------------------------------------------------------
 // Scenarios.
 
@@ -266,6 +283,12 @@ fn warm_latency(
         } else if let Some(why) = check_stores(&resp, &expected) {
             mismatches += 1;
             eprintln!("warm-latency: {why}");
+        } else if !engine_flag(&resp, "kernels") {
+            // The warm percentiles are a claim about the kernel fast
+            // path; a silent fall-back to the scalar sweep would keep
+            // the stores right but invalidate the measurement.
+            mismatches += 1;
+            eprintln!("warm-latency: engine did not engage the wave kernels");
         }
     }
     let wall = start.elapsed().as_secs_f64();
@@ -340,12 +363,16 @@ fn saturation(
                         let seed = SEEDS[idx % SEEDS.len()];
                         let executor = EXECUTORS[idx % EXECUTORS.len()];
                         let verify = idx % 7 == 0;
+                        // Alternate the wave execution strategy: the
+                        // oracle check below holds bit-for-bit on both,
+                        // served interleaved from the same module cache.
+                        let kernel = if idx % 2 == 0 { "auto" } else { "off" };
                         let sizes_json: Vec<String> =
                             sizes.iter().map(|s| s.to_string()).collect();
                         let body = format!(
                             "{{\"design\":\"{design}\",\"sizes\":[{}],\"seed\":{seed},\
                              \"executor\":\"{executor}\",\"verify\":{verify},\
-                             \"deadline_ms\":60000}}",
+                             \"kernel\":\"{kernel}\",\"deadline_ms\":60000}}",
                             sizes_json.join(",")
                         );
                         let t0 = Instant::now();

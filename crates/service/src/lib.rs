@@ -277,6 +277,7 @@ impl Service {
                     batch: req.batch,
                     opt: req.opt,
                     wavefront: req.wavefront,
+                    kernel: req.kernel,
                     executor,
                     deadline: Duration::from_millis(deadline_ms),
                     sched,

@@ -138,6 +138,19 @@ pub fn build_wavefront_mode(inv: &Invocation) -> Option<systolic_interp::Wavefro
     }
 }
 
+/// Parse `--kernel auto|off` (default `auto`): whether wavefront runs may
+/// execute eligible chunks through the compiled struct-of-arrays kernel
+/// (see `docs/kernels.md`) instead of scalar macro-steps. Stores and
+/// logical message/step counts are invariant either way; only wall clock
+/// changes. `None` on any other value.
+pub fn build_kernel_mode(inv: &Invocation) -> Option<systolic_interp::KernelMode> {
+    match inv.flag("kernel") {
+        None | Some("auto") => Some(systolic_interp::KernelMode::Auto),
+        Some("off") => Some(systolic_interp::KernelMode::Off),
+        Some(_) => None,
+    }
+}
+
 /// Execute an invocation; returns the text to print, or an error message.
 pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
     match inv.command.as_str() {
@@ -204,9 +217,13 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             let opt = build_opt_mode(inv).ok_or("bad --opt value (auto|off)")?;
             let wavefront =
                 build_wavefront_mode(inv).ok_or("bad --wavefront value (auto|off|par)")?;
-            let (stats, batched, wavefronted, opt_report) = sys
-                .verify_batch(&sizes, &input_refs, seed, &elab, batch, opt, wavefront)
+            let kernel = build_kernel_mode(inv).ok_or("bad --kernel value (auto|off)")?;
+            let (stats, batched, wavefronted, opt_report, kernel_report) = sys
+                .verify_batch_kernel(&sizes, &input_refs, seed, &elab, batch, opt, wavefront, kernel)
                 .map_err(|e| format!("FAILED: {e}"))?;
+            // Kernels only show in the marker when they actually fused
+            // waves — compiled-but-idle (or `--kernel off`) stays silent.
+            let kerneled = kernel_report.as_ref().is_some_and(|k| k.waves_fused > 0);
             let mut out = format!(
                 "OK: {} processes, {} scheduler rounds, {} logical messages, {} steps{}; \
                  systolic result == sequential result",
@@ -214,12 +231,14 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
                 stats.rounds,
                 stats.messages,
                 stats.steps,
-                match (wavefronted, batched, &opt_report) {
-                    (true, _, Some(_)) => " [wavefront+optimized]",
-                    (true, _, None) => " [wavefront]",
-                    (false, true, Some(_)) => " [batched+optimized]",
-                    (false, true, None) => " [batched]",
-                    (false, false, _) => "",
+                match (wavefronted, kerneled, batched, &opt_report) {
+                    (true, true, _, Some(_)) => " [wavefront+kernels+optimized]",
+                    (true, true, _, None) => " [wavefront+kernels]",
+                    (true, false, _, Some(_)) => " [wavefront+optimized]",
+                    (true, false, _, None) => " [wavefront]",
+                    (false, _, true, Some(_)) => " [batched+optimized]",
+                    (false, _, true, None) => " [batched]",
+                    (false, _, false, _) => "",
                 }
             );
             if let Some(report) = &opt_report {
@@ -293,6 +312,7 @@ pub fn execute(inv: &Invocation, src: &str) -> Result<String, String> {
             let _ = build_batch_mode(inv).ok_or("bad --batch value (auto|off)")?;
             let _ = build_opt_mode(inv).ok_or("bad --opt value (auto|off)")?;
             let _ = build_wavefront_mode(inv).ok_or("bad --wavefront value (auto|off|par)")?;
+            let _ = build_kernel_mode(inv).ok_or("bad --kernel value (auto|off)")?;
             if let Some(n) = inv.flag("schedules") {
                 let n: u64 = n.parse().map_err(|_| "--schedules needs a number")?;
                 return explore_schedules(inv, src, n);
@@ -805,17 +825,24 @@ mod tests {
     #[test]
     fn wavefront_flag_gates_the_fourth_executor() {
         // Default `--wavefront auto` takes the top rung of the ladder;
-        // `--opt off` keeps the message/step counts engine-invariant.
-        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        // `--opt off` keeps the message/step counts engine-invariant and
+        // `--kernel off` pins the scalar wavefront marker (the kernel
+        // rung has its own gating test below).
+        let inv = parse_args(&args(&[
+            "verify", "f", "--sizes", "4", "--opt", "off", "--kernel", "off",
+        ]))
+        .unwrap();
         let wf = execute(&inv, SRC).unwrap();
         assert!(wf.contains("[wavefront]"), "{wf}");
-        // `par` runs the same chunks on scoped threads — same result.
+        // `par` runs the same chunks on pool threads — same result.
         let inv = parse_args(&args(&[
             "verify",
             "f",
             "--sizes",
             "4",
             "--opt",
+            "off",
+            "--kernel",
             "off",
             "--wavefront",
             "par",
@@ -845,8 +872,10 @@ mod tests {
         };
         assert_eq!(invariant(&wf), invariant(&off));
         assert_eq!(invariant(&wf), invariant(&par));
-        // With the optimizer on, the marker names both engines.
-        let inv = parse_args(&args(&["verify", "f", "--sizes", "4"])).unwrap();
+        // With the optimizer on (kernels pinned off), the marker names
+        // both engines.
+        let inv =
+            parse_args(&args(&["verify", "f", "--sizes", "4", "--kernel", "off"])).unwrap();
         let both = execute(&inv, SRC).unwrap();
         assert!(both.contains("[wavefront+optimized]"), "{both}");
         // Bad values are messages on both commands.
@@ -862,6 +891,41 @@ mod tests {
         assert!(execute(&inv, SRC).unwrap_err().contains("--wavefront"));
         let inv = parse_args(&args(&["explore", "f", "--wavefront", "bogus"])).unwrap();
         assert!(execute(&inv, SRC).unwrap_err().contains("--wavefront"));
+    }
+
+    #[test]
+    fn kernel_flag_gates_the_vectorized_wave_path() {
+        // Default `--kernel auto`: polyprod's unguarded `c := c + a*b`
+        // body compiles, the wavefront chunks are eligible, and the
+        // marker names the fused path. `--opt off` keeps the logical
+        // counts comparable across the gate.
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--opt", "off"])).unwrap();
+        let auto = execute(&inv, SRC).unwrap();
+        assert!(auto.contains("[wavefront+kernels]"), "{auto}");
+        // `off` runs the same waves through scalar macro-steps.
+        let inv = parse_args(&args(&[
+            "verify", "f", "--sizes", "4", "--opt", "off", "--kernel", "off",
+        ]))
+        .unwrap();
+        let off = execute(&inv, SRC).unwrap();
+        assert!(off.contains("[wavefront]"), "{off}");
+        assert!(!off.contains("kernels"), "{off}");
+        // The kernel path is a pure execution strategy: logical messages
+        // and steps are invariant across the gate.
+        let invariant = |s: &str| {
+            let t = s.split("rounds, ").nth(1).unwrap();
+            t.split(" steps").next().unwrap().to_string()
+        };
+        assert_eq!(invariant(&auto), invariant(&off));
+        // With the optimizer on, the marker names all three engines.
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4"])).unwrap();
+        let all = execute(&inv, SRC).unwrap();
+        assert!(all.contains("[wavefront+kernels+optimized]"), "{all}");
+        // Bad values are messages on both commands.
+        let inv = parse_args(&args(&["verify", "f", "--sizes", "4", "--kernel", "max"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--kernel"));
+        let inv = parse_args(&args(&["explore", "f", "--kernel", "bogus"])).unwrap();
+        assert!(execute(&inv, SRC).unwrap_err().contains("--kernel"));
     }
 
     #[test]

@@ -270,6 +270,44 @@ impl Systolized {
         opt: systolic_interp::OptMode,
         wavefront: systolic_interp::WavefrontMode,
     ) -> Result<(RunStats, bool, bool, Option<systolic_interp::OptReport>), Error> {
+        let (stats, batched, wf, opt, _) = self.verify_batch_kernel(
+            sizes,
+            inputs,
+            seed,
+            opts,
+            batch,
+            opt,
+            wavefront,
+            systolic_interp::KernelMode::Auto,
+        )?;
+        Ok((stats, batched, wf, opt))
+    }
+
+    /// [`Systolized::verify_batch`] with an explicit
+    /// [`KernelMode`](systolic_interp::KernelMode) (`--kernel auto|off`)
+    /// and the kernel engagement report in the return — `None` when the
+    /// wavefront executor did not run.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn verify_batch_kernel(
+        &self,
+        sizes: &[i64],
+        inputs: &[&str],
+        seed: u64,
+        opts: &systolic_interp::ElabOptions,
+        batch: systolic_interp::BatchMode,
+        opt: systolic_interp::OptMode,
+        wavefront: systolic_interp::WavefrontMode,
+        kernel: systolic_interp::KernelMode,
+    ) -> Result<
+        (
+            RunStats,
+            bool,
+            bool,
+            Option<systolic_interp::OptReport>,
+            Option<systolic_interp::KernelReport>,
+        ),
+        Error,
+    > {
         let env = self.size_env(sizes);
         let mut store = systolic_ir::HostStore::allocate(&self.source, &env);
         for (i, name) in inputs.iter().enumerate() {
@@ -277,7 +315,7 @@ impl Systolized {
         }
         let mut expected = store.clone();
         systolic_ir::seq::run(&self.source, &env, &mut expected);
-        let run = systolic_interp::run_plan_batch(
+        let run = systolic_interp::run_plan_batch_kernel(
             &self.plan,
             &env,
             &store,
@@ -286,6 +324,7 @@ impl Systolized {
             batch,
             opt,
             wavefront,
+            kernel,
             None,
             &[],
         )
@@ -297,7 +336,7 @@ impl Systolized {
                 )));
             }
         }
-        Ok((run.stats, run.batched, run.wavefront, run.opt))
+        Ok((run.stats, run.batched, run.wavefront, run.opt, run.kernel))
     }
 
     /// The schedule's makespan at a problem size (`max step - min step + 1`).

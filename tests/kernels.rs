@@ -1,0 +1,251 @@
+//! Wave-kernel equivalence suite (see `docs/kernels.md`): the compiled
+//! struct-of-arrays kernel path must be observationally invisible. On
+//! every design in the corpus, `--kernel auto` and `--kernel off` must
+//! produce bit-identical stores with invariant logical `messages`/`steps`
+//! counts, and both must match the sequential oracle — the kernel is a
+//! pure execution strategy for the wavefront executor's compute chunks,
+//! never a semantic change. A deliberately inhomogeneous design (a
+//! guarded update, i.e. data-dependent control) pins the other side of
+//! the contract: the module is rejected with a reason, every wave runs
+//! on the scalar `macro_step` path, and the run still verifies.
+
+use proptest::prelude::*;
+use systolizer::core::{compile, Options};
+use systolizer::interp::{
+    run_plan_batch_kernel, BatchMode, ElabOptions, KernelMode, OptMode, WavefrontMode,
+};
+use systolizer::ir::{gallery, seq, HostStore, SourceProgram};
+use systolizer::math::Env;
+use systolizer::runtime::ChannelPolicy;
+use systolizer::synthesis::{derive_array, placement::paper};
+use systolizer::{systolize_source, SystolizeOptions};
+
+/// Compile one design from the corpus (the 4 paper appendix designs
+/// followed by the 5 gallery programs) at size `n`, with seeded inputs.
+fn prepared(
+    design: usize,
+    n: i64,
+    seed: u64,
+) -> (systolizer::core::SystolicProgram, Env, HostStore) {
+    let (p, a): (SourceProgram, _) = if design < 4 {
+        let (_, p, a) = paper::all().swap_remove(design);
+        (p, a)
+    } else {
+        let p = gallery::all().swap_remove(design - 4);
+        let a = derive_array(&p, 2, 4).unwrap();
+        (p, a)
+    };
+    let plan = compile(&p, &a, &Options::default()).unwrap();
+    let mut env = Env::new();
+    for &s in &p.sizes {
+        env.bind(s, n);
+    }
+    let mut store = HostStore::allocate(&p, &env);
+    let inputs: &[&str] = if p.name == "fir_filter" {
+        &["h", "x"]
+    } else {
+        &["a", "b"]
+    };
+    for (i, name) in inputs.iter().enumerate() {
+        store.fill_random(name, seed.wrapping_add(i as u64), -9, 9);
+    }
+    (plan, env, store)
+}
+
+fn n_designs() -> usize {
+    paper::all().len() + gallery::all().len()
+}
+
+fn go(
+    plan: &systolizer::core::SystolicProgram,
+    env: &Env,
+    store: &HostStore,
+    opt: OptMode,
+    wavefront: WavefrontMode,
+    kernel: KernelMode,
+) -> systolizer::interp::SystolicRun {
+    run_plan_batch_kernel(
+        plan,
+        env,
+        store,
+        ChannelPolicy::Rendezvous,
+        &ElabOptions::default(),
+        BatchMode::Auto,
+        opt,
+        wavefront,
+        kernel,
+        None,
+        &[],
+    )
+    .unwrap()
+}
+
+/// Every design in the corpus: the kernel path agrees bit-for-bit with
+/// the scalar macro-step path AND the sequential oracle, and on the
+/// homogeneous designs it actually engages (waves fused, iterations
+/// retired) rather than vacuously matching through the fallback.
+#[test]
+fn kernel_path_matches_macro_step_and_the_oracle_on_every_design() {
+    let mut engaged = 0usize;
+    for design in 0..n_designs() {
+        let (plan, env, store) = prepared(design, 4, 17);
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+
+        let scalar = go(&plan, &env, &store, OptMode::Off, WavefrontMode::Auto, KernelMode::Off);
+        assert!(scalar.wavefront, "design {design}: wavefront gate");
+        let k = scalar.kernel.as_ref().expect("wavefront runs carry a report");
+        assert!(!k.enabled, "design {design}: --kernel off is disabled");
+        assert_eq!(k.waves_fused, 0, "design {design}: off must not fuse");
+        assert_eq!(scalar.store, expected, "design {design}: scalar vs oracle");
+
+        let fused = go(&plan, &env, &store, OptMode::Off, WavefrontMode::Auto, KernelMode::Auto);
+        assert!(fused.wavefront, "design {design}");
+        assert_eq!(fused.store, expected, "design {design}: kernel vs oracle");
+        assert_eq!(fused.store, scalar.store, "design {design}: kernel vs scalar");
+        assert_eq!(fused.stats.messages, scalar.stats.messages, "design {design}");
+        assert_eq!(fused.stats.steps, scalar.stats.steps, "design {design}");
+        assert_eq!(fused.stats.processes, scalar.stats.processes);
+
+        let k = fused.kernel.as_ref().unwrap();
+        assert!(k.enabled, "design {design}");
+        assert!(k.compiled, "design {design}: corpus bodies all kernelize");
+        if k.eligible_chunks > 0 {
+            // Eligible chunks exist, so the kernel path must actually
+            // run, not vacuously match through the fallback.
+            assert!(
+                k.waves_fused > 0 && k.iterations > 0,
+                "design {design}: eligible but idle (report: {k:?})"
+            );
+            engaged += 1;
+        } else {
+            // A design whose compute cells sit in one SCC (e.g. a
+            // bidirectional pipeline) is all cyclic chunks: the report
+            // must say so rather than silently fusing nothing.
+            assert!(
+                k.fallbacks.iter().any(|(r, _)| r.contains("cyclic chunk")),
+                "design {design}: {:?}",
+                k.fallbacks
+            );
+        }
+        // Sources and sinks are transport processes; they always stay
+        // scalar, and the report says why.
+        assert!(
+            k.fallbacks.iter().any(|(r, _)| r.contains("transport process")),
+            "design {design}: {:?}",
+            k.fallbacks
+        );
+    }
+    // 5 of 9 at the time of writing: the unidirectional pipelines fuse;
+    // the bidirectional designs are single-SCC waves and stay scalar.
+    assert!(
+        engaged >= 5,
+        "most of the acyclic corpus must take the kernel path, got {engaged}/{}",
+        n_designs()
+    );
+}
+
+/// The same contract through the optimizer: delay-ring fusion rewrites
+/// the module, the kernel plan is rebuilt against the optimized
+/// wavefront staging, and stores remain bit-identical across the gate.
+#[test]
+fn kernel_path_is_invisible_on_the_optimized_module() {
+    for design in 0..n_designs() {
+        let (plan, env, store) = prepared(design, 4, 23);
+        let off = go(&plan, &env, &store, OptMode::Auto, WavefrontMode::Auto, KernelMode::Off);
+        let auto = go(&plan, &env, &store, OptMode::Auto, WavefrontMode::Auto, KernelMode::Auto);
+        assert_eq!(auto.store, off.store, "design {design}");
+        assert_eq!(auto.stats.messages, off.stats.messages, "design {design}");
+        assert_eq!(auto.stats.steps, off.stats.steps, "design {design}");
+    }
+}
+
+/// A deliberately inhomogeneous design: the guard makes the body
+/// control-divergent across lanes, so the module must be rejected with
+/// the documented reason and every compute chunk must fall back to the
+/// scalar path — while the run still verifies against the oracle.
+#[test]
+fn guarded_bodies_fall_back_to_scalar_with_the_reject_reason() {
+    let src = "
+        program guarded;
+        size n;
+        var a[0..n], b[0..n], c[0..2*n];
+        for i = 0 <- 1 -> n
+        for j = 0 <- 1 -> n {
+          if i <= j -> c[i+j] = c[i+j] + a[i] * b[j];
+        }
+    ";
+    let sys = systolize_source(src, &SystolizeOptions::default()).unwrap();
+    let (_, _, wavefronted, _, kernel) = sys
+        .verify_batch_kernel(
+            &[4],
+            &["a", "b"],
+            13,
+            &ElabOptions::default(),
+            BatchMode::Auto,
+            OptMode::Off,
+            WavefrontMode::Auto,
+            KernelMode::Auto,
+        )
+        .expect("the scalar fallback still verifies");
+    assert!(wavefronted, "the wavefront gate is independent of kernels");
+    let k = kernel.expect("wavefront runs carry a report");
+    assert!(k.enabled && !k.compiled);
+    let reject = k.reject.as_deref().unwrap_or_default();
+    assert!(
+        reject.contains("guarded update (data-dependent control)"),
+        "got: {reject}"
+    );
+    assert_eq!(k.waves_fused, 0, "nothing may fuse without a kernel");
+    assert_eq!(k.eligible_chunks, 0);
+    assert!(k.scalar_chunks > 0, "the waves all ran — on the scalar path");
+    assert!(
+        k.fallbacks.iter().any(|(r, _)| r.contains("guarded update")),
+        "{:?}",
+        k.fallbacks
+    );
+
+    // The direct compiler agrees with the executor's verdict.
+    let err = systolizer::interp::kernelize(&sys.source.body).unwrap_err();
+    assert!(err.contains("guarded update"), "{err}");
+}
+
+/// Case count override (see `tests/random_programs.rs`).
+fn env_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: env_cases(16), ..ProptestConfig::default() })]
+
+    /// Kernel-on and kernel-off agree — stores bit-identical against
+    /// each other and the sequential oracle, logical messages/steps
+    /// invariant — over random (design, size, seed, gate) draws,
+    /// including the parallel chunk mode (pool threads) and the
+    /// optimized module.
+    #[test]
+    fn kernels_are_unobservable_on_random_configurations(
+        design in 0usize..9,
+        n in 1i64..=4,
+        seed in 0u64..1000,
+        opt_on in 0u8..2,
+        par in 0u8..2,
+    ) {
+        let (plan, env, store) = prepared(design, n, seed);
+        let opt = if opt_on == 1 { OptMode::Auto } else { OptMode::Off };
+        let wavefront = if par == 1 { WavefrontMode::Par } else { WavefrontMode::Auto };
+        let mut expected = store.clone();
+        seq::run(&plan.source, &env, &mut expected);
+        let off = go(&plan, &env, &store, opt, wavefront, KernelMode::Off);
+        let auto = go(&plan, &env, &store, opt, wavefront, KernelMode::Auto);
+        prop_assert_eq!(&off.store, &expected);
+        prop_assert_eq!(&auto.store, &expected);
+        prop_assert_eq!(auto.stats.messages, off.stats.messages);
+        prop_assert_eq!(auto.stats.steps, off.stats.steps);
+        prop_assert_eq!(auto.stats.rounds, off.stats.rounds);
+        prop_assert!(auto.wavefront && off.wavefront);
+    }
+}

@@ -259,6 +259,8 @@ fn build(nodes: &[Node]) -> ProcIrModule {
         n_chans: CHANS,
         n_outputs: 0,
         body: None,
+        kernel: None,
+        kernel_reject: None,
     };
     for (i, node) in nodes.iter().enumerate() {
         let ops_start = m.ops.len() as u32;
